@@ -1,0 +1,62 @@
+//! Ablation study of the Delegated-Replies design choices (beyond the
+//! paper's figures; DESIGN.md calls these out):
+//!
+//! * trigger: delegate only when the reply network is blocked (the
+//!   paper's design) vs delegate whenever a reply is delegatable;
+//! * delayed hits: attach remote requests to in-flight MSHRs vs bounce
+//!   them straight back to the LLC;
+//! * FRQ depth: 2 / 8 (paper) / 32 entries;
+//! * delegation rate: at most 1 vs 2 vs 4 conversions per node-cycle.
+
+use clognet_bench::{banner, geomean, run_workload, SENSITIVITY_BENCHES};
+use clognet_proto::{Scheme, SystemConfig};
+use clognet_workloads::TABLE2;
+
+fn gain(mutate: impl Fn(&mut SystemConfig)) -> f64 {
+    let mut ratios = Vec::new();
+    for p in TABLE2
+        .iter()
+        .filter(|p| SENSITIVITY_BENCHES.contains(&p.gpu))
+    {
+        let base = run_workload(SystemConfig::default(), p.gpu, p.cpus[0]);
+        let mut cfg = SystemConfig::default().with_scheme(Scheme::DelegatedReplies);
+        mutate(&mut cfg);
+        let d = run_workload(cfg, p.gpu, p.cpus[0]);
+        ratios.push(d.gpu_ipc / base.gpu_ipc);
+    }
+    geomean(&ratios)
+}
+
+fn main() {
+    banner(
+        "Ablation: DR design choices",
+        "the paper's design (delegate-on-block, delayed hits, 8-entry FRQ) \
+         should dominate or match each ablated variant",
+    );
+    println!("{:<34} {:>10}", "variant", "DR/base");
+    println!("{:<34} {:>10.3}", "paper design", gain(|_| {}));
+    println!(
+        "{:<34} {:>10.3}",
+        "delegate always (no trigger)",
+        gain(|c| c.dr.delegate_always = true)
+    );
+    println!(
+        "{:<34} {:>10.3}",
+        "no delayed hits (bounce to LLC)",
+        gain(|c| c.dr.delayed_hits = false)
+    );
+    for frq in [2usize, 8, 32] {
+        println!(
+            "{:<34} {:>10.3}",
+            format!("FRQ depth {frq}"),
+            gain(move |c| c.gpu.frq_entries = frq)
+        );
+    }
+    for rate in [1usize, 2, 4] {
+        println!(
+            "{:<34} {:>10.3}",
+            format!("max {rate} delegations/node/cycle"),
+            gain(move |c| c.dr.max_per_cycle = rate)
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! Figure 6 — Asymmetric VC Partitioning (AVCP): giving reply traffic
+//! more VCs on a shared physical network. Ineffective, because the
+//! limiting factor is the bandwidth of the clogged links, not the VC
+//! count; write-heavy BP even loses (its request-side traffic starves).
+
+use clognet_bench::{banner, harmonic_mean, run_workload};
+use clognet_proto::{SystemConfig, VirtualNetConfig};
+use clognet_workloads::TABLE2;
+
+fn main() {
+    banner(
+        "Figure 6",
+        "AVCP improves best case ~3%, HM unaffected; BP gets worse",
+    );
+    // Shared physical network, same aggregate VCs: symmetric 2+2 vs
+    // asymmetric 1+3 (AVCP favours replies).
+    let sym = VirtualNetConfig {
+        request_vcs: 2,
+        reply_vcs: 2,
+    };
+    let avcp = VirtualNetConfig {
+        request_vcs: 1,
+        reply_vcs: 3,
+    };
+    println!("{:<7} {:>10}", "bench", "AVCP/base");
+    let mut ratios = Vec::new();
+    for p in TABLE2.iter() {
+        let mut cfg = SystemConfig::default();
+        cfg.noc.virtual_nets = Some(sym);
+        let base = run_workload(cfg, p.gpu, p.cpus[0]);
+        let mut cfg = SystemConfig::default();
+        cfg.noc.virtual_nets = Some(avcp);
+        let a = run_workload(cfg, p.gpu, p.cpus[0]);
+        let ratio = a.gpu_ipc / base.gpu_ipc;
+        ratios.push(ratio);
+        println!("{:<7} {:>10.3}", p.gpu, ratio);
+    }
+    println!(
+        "{:<7} {:>10.3}  (paper: ~1.00)",
+        "HM",
+        harmonic_mean(&ratios)
+    );
+}

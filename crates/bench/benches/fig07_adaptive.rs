@@ -1,0 +1,37 @@
+//! Figure 7 — adaptive routing (DyXY, Footprint, HARE) versus the CDR
+//! baseline. Counter-intuitively, adaptive routing does not help: the
+//! request network has no unbalanced congestion to exploit, and in the
+//! reply network every path from the memory nodes is clogged, so the
+//! adaptive overhead is pure loss.
+
+use clognet_bench::{banner, geomean, run_workload};
+use clognet_proto::{RoutingPolicy, SystemConfig};
+use clognet_workloads::TABLE2;
+
+fn main() {
+    banner("Figure 7", "adaptive routing reduces performance vs CDR");
+    let policies = [
+        ("CDR", None),
+        ("DyXY", Some(RoutingPolicy::DyXY)),
+        ("Footprint", Some(RoutingPolicy::Footprint)),
+        ("HARE", Some(RoutingPolicy::Hare)),
+    ];
+    let mut base_ipc = vec![1.0; TABLE2.len()];
+    println!("{:<10} {:>10}", "policy", "GPU perf");
+    for (label, pol) in policies {
+        let mut perf = Vec::new();
+        for (i, p) in TABLE2.iter().enumerate() {
+            let cfg = match pol {
+                None => SystemConfig::default(),
+                Some(pl) => SystemConfig::default().with_routing(pl, pl),
+            };
+            let r = run_workload(cfg, p.gpu, p.cpus[0]);
+            if pol.is_none() {
+                base_ipc[i] = r.gpu_ipc;
+            }
+            perf.push(r.gpu_ipc / base_ipc[i]);
+        }
+        println!("{:<10} {:>10.3}", label, geomean(&perf));
+    }
+    println!("(paper: adaptive schemes land below 1.0)");
+}

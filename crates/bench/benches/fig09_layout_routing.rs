@@ -1,0 +1,49 @@
+//! Figure 9 — chip layout x routing-policy analysis (Section V).
+//! The baseline layout with YX-XY CDR is the only configuration with
+//! both good GPU and good CPU performance.
+
+use clognet_bench::{banner, geomean, run_workload};
+use clognet_proto::{LayoutKind, RoutingPolicy, SystemConfig};
+use clognet_workloads::TABLE2;
+
+fn main() {
+    banner(
+        "Figure 9",
+        "baseline layout + YX-XY CDR gives both good GPU and CPU performance",
+    );
+    use RoutingPolicy::{DorXY, DorYX};
+    let configs: [(&str, LayoutKind, RoutingPolicy, RoutingPolicy); 7] = [
+        ("Base YX-XY", LayoutKind::Baseline, DorYX, DorXY),
+        ("Base XY-XY", LayoutKind::Baseline, DorXY, DorXY),
+        ("B XY-YX", LayoutKind::EdgeB, DorXY, DorYX),
+        ("B XY-XY", LayoutKind::EdgeB, DorXY, DorXY),
+        ("C XY-YX", LayoutKind::ClusteredC, DorXY, DorYX),
+        ("C XY-XY", LayoutKind::ClusteredC, DorXY, DorXY),
+        ("D XY-XY", LayoutKind::DistributedD, DorXY, DorXY),
+    ];
+    // Use a subset of workloads for the 7-config sweep.
+    let picks: Vec<_> = TABLE2.iter().step_by(2).collect();
+    let mut base: Vec<(f64, f64)> = vec![(1.0, 1.0); picks.len()];
+    println!("{:<12} {:>10} {:>10}", "config", "GPU perf", "CPU perf");
+    for (ci, (label, layout, req, rep)) in configs.iter().enumerate() {
+        let mut gpu = Vec::new();
+        let mut cpu = Vec::new();
+        for (i, p) in picks.iter().enumerate() {
+            let mut cfg = SystemConfig::default().with_routing(*req, *rep);
+            cfg.layout = *layout;
+            let r = run_workload(cfg, p.gpu, p.cpus[0]);
+            if ci == 0 {
+                base[i] = (r.gpu_ipc, r.cpu_performance);
+            }
+            gpu.push(r.gpu_ipc / base[i].0);
+            cpu.push(r.cpu_performance / base[i].1);
+        }
+        println!(
+            "{:<12} {:>10.3} {:>10.3}",
+            label,
+            geomean(&gpu),
+            geomean(&cpu)
+        );
+    }
+    println!("(paper: Base YX-XY = 1.0/1.0 reference; B/C trade GPU for CPU, D the reverse)");
+}

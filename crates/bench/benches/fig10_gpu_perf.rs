@@ -1,0 +1,66 @@
+//! Figure 10 — the headline result: GPU performance of Delegated Replies
+//! vs Realistic Probing vs the baseline, per benchmark with min/avg/max
+//! over the three CPU co-runners.
+
+use clognet_bench::{banner, geomean, run_workload};
+use clognet_proto::{Scheme, SystemConfig};
+use clognet_workloads::TABLE2;
+
+fn main() {
+    banner(
+        "Figure 10",
+        "DR improves GPU performance 25.7% avg (up to 65.9%) over baseline and \
+         14.2% avg (up to 30.6%) over RP",
+    );
+    println!(
+        "{:<7} {:>22} {:>22}",
+        "bench", "DR/base (min avg max)", "RP/base (min avg max)"
+    );
+    let mut dr_all = Vec::new();
+    let mut rp_all = Vec::new();
+    let mut req_inflation = Vec::new();
+    for p in TABLE2.iter() {
+        let mut dr = Vec::new();
+        let mut rp = Vec::new();
+        for cpu in p.cpus {
+            let b = run_workload(SystemConfig::default(), p.gpu, cpu);
+            let d = run_workload(
+                SystemConfig::default().with_scheme(Scheme::DelegatedReplies),
+                p.gpu,
+                cpu,
+            );
+            let r = run_workload(
+                SystemConfig::default().with_scheme(Scheme::rp_default()),
+                p.gpu,
+                cpu,
+            );
+            dr.push(d.gpu_ipc / b.gpu_ipc);
+            rp.push(r.gpu_ipc / b.gpu_ipc);
+            req_inflation.push(r.request_packets as f64 / b.request_packets as f64);
+        }
+        let stats = |v: &[f64]| {
+            (
+                v.iter().cloned().fold(f64::MAX, f64::min),
+                v.iter().sum::<f64>() / v.len() as f64,
+                v.iter().cloned().fold(0.0, f64::max),
+            )
+        };
+        let (dmin, davg, dmax) = stats(&dr);
+        let (rmin, ravg, rmax) = stats(&rp);
+        println!(
+            "{:<7} {:>6.3} {:>6.3} {:>6.3}   {:>6.3} {:>6.3} {:>6.3}",
+            p.gpu, dmin, davg, dmax, rmin, ravg, rmax
+        );
+        dr_all.extend(dr);
+        rp_all.extend(rp);
+    }
+    println!(
+        "GEOMEAN DR/base {:.3} (paper 1.257)   RP/base {:.3} (paper 1.101)",
+        geomean(&dr_all),
+        geomean(&rp_all)
+    );
+    println!(
+        "RP request-traffic inflation x{:.2} (paper: 5.9x)",
+        req_inflation.iter().sum::<f64>() / req_inflation.len() as f64
+    );
+}

@@ -1,0 +1,45 @@
+//! Figure 11 — received data rate per GPU core (flits/cycle): Delegated
+//! Replies raises effective NoC bandwidth by moving reply traffic onto
+//! inter-GPU links.
+
+use clognet_bench::{banner, run_workload};
+use clognet_proto::{Scheme, SystemConfig};
+use clognet_workloads::TABLE2;
+
+fn main() {
+    banner(
+        "Figure 11",
+        "DR improves received data rate 26.5% avg (up to 70.9%); RP 11.9%",
+    );
+    println!(
+        "{:<7} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "bench", "base", "DR", "RP", "DR/b", "RP/b"
+    );
+    let (mut dsum, mut rsum) = (0.0, 0.0);
+    for p in TABLE2.iter() {
+        let b = run_workload(SystemConfig::default(), p.gpu, p.cpus[0]);
+        let d = run_workload(
+            SystemConfig::default().with_scheme(Scheme::DelegatedReplies),
+            p.gpu,
+            p.cpus[0],
+        );
+        let r = run_workload(
+            SystemConfig::default().with_scheme(Scheme::rp_default()),
+            p.gpu,
+            p.cpus[0],
+        );
+        println!(
+            "{:<7} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+            p.gpu,
+            b.gpu_rx_rate,
+            d.gpu_rx_rate,
+            r.gpu_rx_rate,
+            d.gpu_rx_rate / b.gpu_rx_rate,
+            r.gpu_rx_rate / b.gpu_rx_rate
+        );
+        dsum += d.gpu_rx_rate / b.gpu_rx_rate;
+        rsum += r.gpu_rx_rate / b.gpu_rx_rate;
+    }
+    let n = TABLE2.len() as f64;
+    println!("AVG     DR/base {:.3}  RP/base {:.3}", dsum / n, rsum / n);
+}

@@ -1,0 +1,49 @@
+//! Figure 12 — CPU network latency under Delegated Replies: draining the
+//! memory-node injection buffers lets CPU requests enter and be
+//! prioritized.
+
+use clognet_bench::{banner, run_workload};
+use clognet_proto::{Scheme, SystemConfig};
+use clognet_workloads::{cpu_benchmarks, TABLE2};
+
+fn main() {
+    banner(
+        "Figure 12",
+        "DR reduces CPU network latency 44.2% avg (up to 59.7%)",
+    );
+    println!(
+        "{:<14} {:>9} {:>9} {:>9} {:>9}",
+        "cpu bench", "base", "DR", "min", "max"
+    );
+    for cb in cpu_benchmarks() {
+        // Aggregate over the GPU workloads this CPU benchmark co-runs
+        // with in Table II.
+        let mut ratios = Vec::new();
+        let mut base_lat = Vec::new();
+        let mut dr_lat = Vec::new();
+        for p in TABLE2.iter().filter(|p| p.cpus.contains(&cb.name)) {
+            let b = run_workload(SystemConfig::default(), p.gpu, cb.name);
+            let d = run_workload(
+                SystemConfig::default().with_scheme(Scheme::DelegatedReplies),
+                p.gpu,
+                cb.name,
+            );
+            base_lat.push(b.cpu_net_latency);
+            dr_lat.push(d.cpu_net_latency);
+            ratios.push(d.cpu_net_latency / b.cpu_net_latency);
+        }
+        if ratios.is_empty() {
+            continue;
+        }
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        println!(
+            "{:<14} {:>9.1} {:>9.1} {:>9.3} {:>9.3}",
+            cb.name,
+            avg(&base_lat),
+            avg(&dr_lat),
+            ratios.iter().cloned().fold(f64::MAX, f64::min),
+            ratios.iter().cloned().fold(0.0, f64::max)
+        );
+    }
+    println!("(ratios below 1.0 = latency reduction; paper avg 0.56)");
+}

@@ -1,0 +1,75 @@
+//! Figure 15 — Delegated Replies on top of inter-core-locality
+//! optimizations: DC-L1 / DynEB shared L1s and distributed CTA
+//! scheduling. Locality optimizations do not remove the clogging, so DR
+//! still helps.
+
+use clognet_bench::{banner, geomean, run_workload};
+use clognet_proto::{CtaSched, L1Org, Scheme, SystemConfig};
+use clognet_workloads::TABLE2;
+
+fn main() {
+    banner(
+        "Figure 15",
+        "DynEB+RR improves over baseline; DC-L1 helps SC/LUD but hurts NN/2DCON; \
+         DR on DynEB adds 23.5% (RR) / 9.9% (distributed)",
+    );
+    let configs: [(&str, L1Org, CtaSched, Scheme); 7] = [
+        (
+            "Private",
+            L1Org::Private,
+            CtaSched::RoundRobin,
+            Scheme::Baseline,
+        ),
+        ("DC-L1", L1Org::DcL1, CtaSched::RoundRobin, Scheme::Baseline),
+        (
+            "DynEB",
+            L1Org::DynEB,
+            CtaSched::RoundRobin,
+            Scheme::Baseline,
+        ),
+        (
+            "DC-L1+D",
+            L1Org::DcL1,
+            CtaSched::Distributed,
+            Scheme::Baseline,
+        ),
+        (
+            "DynEB+D",
+            L1Org::DynEB,
+            CtaSched::Distributed,
+            Scheme::Baseline,
+        ),
+        (
+            "DynEB+DR",
+            L1Org::DynEB,
+            CtaSched::RoundRobin,
+            Scheme::DelegatedReplies,
+        ),
+        (
+            "DynEB+D+DR",
+            L1Org::DynEB,
+            CtaSched::Distributed,
+            Scheme::DelegatedReplies,
+        ),
+    ];
+    let picks: Vec<_> = TABLE2.iter().collect();
+    let mut base = vec![1.0; picks.len()];
+    println!("{:<12} {:>10}  per-bench", "config", "GPU perf");
+    for (ci, (label, org, cta, scheme)) in configs.iter().enumerate() {
+        let mut perf = Vec::new();
+        let mut per = String::new();
+        for (i, p) in picks.iter().enumerate() {
+            let mut cfg = SystemConfig::default().with_scheme(*scheme);
+            cfg.l1_org = *org;
+            cfg.cta_sched = *cta;
+            let r = run_workload(cfg, p.gpu, p.cpus[0]);
+            if ci == 0 {
+                base[i] = r.gpu_ipc;
+            }
+            let ratio = r.gpu_ipc / base[i];
+            perf.push(ratio);
+            per += &format!(" {}={:.2}", p.gpu, ratio);
+        }
+        println!("{:<12} {:>10.3} {}", label, geomean(&perf), per);
+    }
+}

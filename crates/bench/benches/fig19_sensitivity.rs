@@ -1,0 +1,86 @@
+//! Figure 19 — sensitivity of Delegated Replies to L1 size, LLC size,
+//! NoC bandwidth, virtual networks, network size, and the memory-node
+//! injection-buffer depth.
+
+use clognet_bench::{banner, geomean, run_workload, SENSITIVITY_BENCHES};
+use clognet_proto::{CacheGeometry, Scheme, SystemConfig, VirtualNetConfig};
+use clognet_workloads::TABLE2;
+
+fn dr_gain(mutate: impl Fn(&mut SystemConfig)) -> f64 {
+    let mut ratios = Vec::new();
+    for p in TABLE2
+        .iter()
+        .filter(|p| SENSITIVITY_BENCHES.contains(&p.gpu))
+    {
+        let mk = |scheme| {
+            let mut cfg = SystemConfig::default().with_scheme(scheme);
+            mutate(&mut cfg);
+            cfg
+        };
+        let b = run_workload(mk(Scheme::Baseline), p.gpu, p.cpus[0]);
+        let d = run_workload(mk(Scheme::DelegatedReplies), p.gpu, p.cpus[0]);
+        ratios.push(d.gpu_ipc / b.gpu_ipc);
+    }
+    geomean(&ratios)
+}
+
+fn main() {
+    banner(
+        "Figure 19",
+        "DR helps across the whole design space: more for small L1s and narrow NoCs, \
+         insensitive to LLC size and injection-buffer depth",
+    );
+    println!("-- L1 size (paper: 22.9% @16KB .. 30.2% @64KB)");
+    for kb in [16u64, 48, 64] {
+        let g = dr_gain(|c| {
+            c.gpu.l1 = CacheGeometry {
+                capacity_bytes: kb * 1024,
+                ways: 4,
+                line_bytes: 128,
+            }
+        });
+        println!("  L1 {kb:>2} KB: DR/base {g:.3}");
+    }
+    println!("-- LLC size (paper: 25.0-26.0% across sizes)");
+    for mb in [4u64, 8, 16] {
+        let g = dr_gain(|c| {
+            c.llc.slice = CacheGeometry {
+                capacity_bytes: mb * 1024 * 1024 / 8,
+                ways: 16,
+                line_bytes: 128,
+            }
+        });
+        println!("  LLC {mb:>2} MB: DR/base {g:.3}");
+    }
+    println!("-- NoC channel width (paper: biggest gains when constrained; 13.9% even at 24B)");
+    for bytes in [8u32, 16, 24] {
+        let g = dr_gain(|c| c.noc.channel_bytes = bytes);
+        println!("  {bytes:>2} B channels: DR/base {g:.3}");
+    }
+    println!("-- virtual networks on one physical network (paper: 23.4% @1VC, 26.9% @2VC)");
+    for vcs in [1usize, 2] {
+        let g = dr_gain(|c| {
+            c.noc.virtual_nets = Some(VirtualNetConfig {
+                request_vcs: vcs,
+                reply_vcs: vcs,
+            })
+        });
+        println!("  {vcs} VC per vnet: DR/base {g:.3}");
+    }
+    println!("-- mesh size, same node proportions (paper: stable gains)");
+    for (w, h) in [(8usize, 8usize), (10, 10), (12, 12)] {
+        let g = dr_gain(|c| {
+            c.mesh_width = w;
+            c.mesh_height = h;
+            c.n_mem = h;
+            c.n_cpu = 2 * h;
+            c.n_gpu = w * h - 3 * h;
+        });
+        println!("  {w}x{h} mesh: DR/base {g:.3}");
+    }
+    println!("-- memory-node injection buffer (paper: insensitive)");
+    for pkts in [8usize, 16, 32] {
+        let g = dr_gain(|c| c.noc.mem_inj_buf_pkts = pkts);
+        println!("  {pkts:>2} packets: DR/base {g:.3}");
+    }
+}

@@ -1,0 +1,108 @@
+//! Criterion micro-benchmarks for the simulator substrates: router tick
+//! throughput, cache lookups, DRAM scheduling, and full-system
+//! cycles/second.
+
+use clognet_cache::SetAssocCache;
+use clognet_core::System;
+use clognet_dram::{DramController, DramRequest};
+use clognet_noc::{ClassAssignment, NetParams, Network};
+use clognet_proto::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_network(c: &mut Criterion) {
+    c.bench_function("noc_tick_64node_mesh_loaded", |b| {
+        let mut net = Network::new(NetParams {
+            topology: Topology::Mesh,
+            width: 8,
+            height: 8,
+            classes: ClassAssignment::Single(TrafficClass::Request, 2),
+            vc_buf_flits: 4,
+            pipeline: 4,
+            routing_request: RoutingPolicy::DorYX,
+            routing_reply: RoutingPolicy::DorXY,
+            eject_buf_flits: 36,
+            sa_iterations: 1,
+        });
+        let mut id = 0u64;
+        b.iter(|| {
+            for s in [0u16, 9, 18, 27, 36, 45, 54, 63] {
+                id += 1;
+                let _ = net.try_inject(Packet::new(
+                    PacketId(id),
+                    NodeId(s),
+                    NodeId(63 - s),
+                    MsgKind::ReadReq,
+                    Priority::Gpu,
+                    Addr::new(id * 128),
+                    128,
+                    16,
+                    net.now(),
+                ));
+            }
+            net.tick();
+            for d in 0..64 {
+                net.take_ejected(NodeId(d), usize::MAX);
+            }
+        });
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("l1_access_hit", |b| {
+        let mut l1: SetAssocCache<()> = SetAssocCache::new(CacheGeometry {
+            capacity_bytes: 48 * 1024,
+            ways: 4,
+            line_bytes: 128,
+        });
+        for i in 0..384 {
+            l1.fill(LineAddr(i), ());
+        }
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 7) % 384;
+            l1.access(LineAddr(i))
+        });
+    });
+}
+
+fn bench_dram(c: &mut Criterion) {
+    c.bench_function("dram_tick_loaded", |b| {
+        let mut mc = DramController::new(DramConfig::default(), 7);
+        let mut t = 0u64;
+        let mut now = 0;
+        b.iter(|| {
+            while mc.can_enqueue() {
+                t += 1;
+                let _ = mc.enqueue(
+                    DramRequest {
+                        line: LineAddr(t.wrapping_mul(0x9E37_79B9)),
+                        is_write: false,
+                        cpu: false,
+                        token: t,
+                    },
+                    now,
+                );
+            }
+            now += 1;
+            mc.tick(now)
+        });
+    });
+}
+
+fn bench_system(c: &mut Criterion) {
+    c.bench_function("full_system_cycle_HS", |b| {
+        let cfg = SystemConfig::default().with_scheme(Scheme::DelegatedReplies);
+        let mut sys = System::new(cfg, "HS", "bodytrack");
+        sys.run(2_000); // warm
+        b.iter(|| sys.tick());
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_network,
+    bench_cache,
+    bench_dram,
+    bench_system
+);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Section VII node-mix sweep: vary CPU/GPU/memory-node counts on the
+//! 64-node chip. Clogging — and therefore DR's benefit — grows with the
+//! GPU:memory-node ratio.
+
+use clognet_bench::{banner, geomean, run_workload, SENSITIVITY_BENCHES};
+use clognet_proto::{Scheme, SystemConfig};
+use clognet_workloads::TABLE2;
+
+fn main() {
+    banner(
+        "Node mix (Section VII)",
+        "30.5/25.8/22.6% with 8/16/24 CPUs; 38.2/30.5/10.7% with 4/8/16 memory nodes",
+    );
+    let mixes: [(&str, usize, usize, usize); 6] = [
+        ("48G/8C/8M", 48, 8, 8),
+        ("40G/16C/8M", 40, 16, 8),
+        ("32G/24C/8M", 32, 24, 8),
+        ("52G/8C/4M", 52, 8, 4),
+        ("48G/8C/8M", 48, 8, 8),
+        ("40G/8C/16M", 40, 8, 16),
+    ];
+    println!("{:<14} {:>10}", "mix", "DR/base");
+    for (label, g, c, m) in mixes {
+        let mut ratios = Vec::new();
+        for p in TABLE2
+            .iter()
+            .filter(|p| SENSITIVITY_BENCHES.contains(&p.gpu))
+        {
+            let mk = |scheme| {
+                let mut cfg = SystemConfig::default().with_scheme(scheme);
+                cfg.n_gpu = g;
+                cfg.n_cpu = c;
+                cfg.n_mem = m;
+                cfg
+            };
+            let b = run_workload(mk(Scheme::Baseline), p.gpu, p.cpus[0]);
+            let d = run_workload(mk(Scheme::DelegatedReplies), p.gpu, p.cpus[0]);
+            ratios.push(d.gpu_ipc / b.gpu_ipc);
+        }
+        println!("{:<14} {:>10.3}", label, geomean(&ratios));
+    }
+    println!("(fewer memory nodes / more GPU cores => more clogging => bigger DR gains)");
+}

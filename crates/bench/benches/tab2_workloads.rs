@@ -1,0 +1,26 @@
+//! Table II — the heterogeneous CPU-GPU workload pairings.
+
+use clognet_bench::banner;
+use clognet_workloads::{cpu_benchmark, gpu_benchmark, TABLE2};
+
+fn main() {
+    banner("Table II", "33 heterogeneous CPU-GPU workloads");
+    println!(
+        "{:<7} {:<14} {:<14} {:<14} {:<14}",
+        "GPU", "grid", "CPU #1", "CPU #2", "CPU #3"
+    );
+    for p in TABLE2.iter() {
+        let g = gpu_benchmark(p.gpu).expect("Table II benchmark");
+        println!(
+            "{:<7} {:<14} {:<14} {:<14} {:<14}",
+            p.gpu,
+            format!("{:?}", g.grid_dim),
+            p.cpus[0],
+            p.cpus[1],
+            p.cpus[2]
+        );
+        for c in p.cpus {
+            assert!(cpu_benchmark(c).is_some());
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! An LLC slice with Delegated-Replies core pointers.
+//!
+//! Each memory node owns one slice of the shared last-level cache. On
+//! top of the plain tag array, every resident line carries a *core
+//! pointer*: the GPU core that last accessed it (6 bits for 40 cores in
+//! the paper; 0.08 mm² total). The pointer drives speculative
+//! delegation: an LLC hit whose pointer names a different GPU core is
+//! *delegatable* to that core.
+//!
+//! Pointer maintenance (Section IV, "Coherence implications"):
+//! * updated to the requester on every GPU read access and fill;
+//! * invalidated on writes, so later readers get the fresh copy from the
+//!   LLC rather than a stale forward;
+//! * invalidated en masse when a core flushes its L1 (software
+//!   coherence at kernel boundaries).
+
+use crate::set_assoc::{CacheStats, Evicted, SetAssocCache};
+use clognet_proto::{CacheGeometry, CoreId, LineAddr};
+
+/// The result of an LLC lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LlcAccess {
+    /// Hit; carries the *previous* core pointer (before this access
+    /// updated it) — `Some(core)` makes the reply delegatable to `core`
+    /// if `core` differs from the requester.
+    Hit(Option<CoreId>),
+    /// Miss; the line must be fetched from DRAM.
+    Miss,
+}
+
+/// One slice of the shared LLC.
+#[derive(Debug, Clone)]
+pub struct LlcSlice {
+    cache: SetAssocCache<Option<CoreId>>,
+    pointer_invalidations: u64,
+}
+
+impl LlcSlice {
+    /// Build an empty slice.
+    pub fn new(geom: CacheGeometry) -> Self {
+        LlcSlice {
+            cache: SetAssocCache::new(geom),
+            pointer_invalidations: 0,
+        }
+    }
+
+    /// Tag-array statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Total pointer invalidations (writes + flushes), for the
+    /// coherence-overhead accounting.
+    pub fn pointer_invalidations(&self) -> u64 {
+        self.pointer_invalidations
+    }
+
+    /// Read access from a GPU core: on hit, returns the previous pointer
+    /// and repoints the line at `from`.
+    pub fn read_gpu(&mut self, line: LineAddr, from: CoreId) -> LlcAccess {
+        if self.cache.access(line) {
+            let meta = self.cache.meta_mut(line).expect("hit");
+            let prev = *meta;
+            *meta = Some(from);
+            LlcAccess::Hit(prev)
+        } else {
+            LlcAccess::Miss
+        }
+    }
+
+    /// Read access from the CPU domain: pointers are neither consulted
+    /// nor updated (Delegated Replies stays inside the GPU coherence
+    /// domain).
+    pub fn read_cpu(&mut self, line: LineAddr) -> LlcAccess {
+        if self.cache.access(line) {
+            LlcAccess::Hit(None)
+        } else {
+            LlcAccess::Miss
+        }
+    }
+
+    /// Write-through store: updates the line (filling on miss, as the
+    /// paper's allocate-on-write LLC) and invalidates the core pointer so
+    /// future readers receive the fresh copy from the LLC.
+    pub fn write(&mut self, line: LineAddr) -> Option<Evicted<Option<CoreId>>> {
+        if self.cache.access(line) {
+            let meta = self.cache.meta_mut(line).expect("hit");
+            if meta.is_some() {
+                self.pointer_invalidations += 1;
+            }
+            *meta = None;
+            self.cache.mark_dirty(line);
+            None
+        } else {
+            let ev = self.cache.fill(line, None);
+            self.cache.mark_dirty(line);
+            ev
+        }
+    }
+
+    /// Install a line fetched from DRAM, pointing it at the requesting
+    /// GPU core (or no one, for CPU fills).
+    pub fn fill(
+        &mut self,
+        line: LineAddr,
+        accessor: Option<CoreId>,
+    ) -> Option<Evicted<Option<CoreId>>> {
+        self.cache.fill(line, accessor)
+    }
+
+    /// Repoint a resident line (used when a remote miss bounces back with
+    /// the DNF bit: the LLC answers and repoints at the requester).
+    pub fn repoint(&mut self, line: LineAddr, core: CoreId) -> bool {
+        match self.cache.meta_mut(line) {
+            Some(meta) => {
+                *meta = Some(core);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Current pointer of a resident line (None = absent or no pointer).
+    pub fn pointer(&self, line: LineAddr) -> Option<CoreId> {
+        self.cache.meta(line).copied().flatten()
+    }
+
+    /// Is the line resident? (no LRU side effects)
+    pub fn probe(&self, line: LineAddr) -> bool {
+        self.cache.probe(line)
+    }
+
+    /// Invalidate every pointer that names `core` — called when that core
+    /// flushes its L1 at a kernel boundary. Returns how many pointers
+    /// were dropped.
+    pub fn invalidate_pointers_of(&mut self, core: CoreId) -> usize {
+        let lines: Vec<LineAddr> = self
+            .cache
+            .iter()
+            .filter(|(_, m)| **m == Some(core))
+            .map(|(l, _)| l)
+            .collect();
+        for l in &lines {
+            if let Some(meta) = self.cache.meta_mut(*l) {
+                *meta = None;
+            }
+        }
+        self.pointer_invalidations += lines.len() as u64;
+        lines.len()
+    }
+
+    /// Lines resident in this slice.
+    pub fn occupancy(&self) -> usize {
+        self.cache.occupancy()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slice() -> LlcSlice {
+        LlcSlice::new(CacheGeometry {
+            capacity_bytes: 8 * 1024,
+            ways: 4,
+            line_bytes: 128,
+        })
+    }
+
+    #[test]
+    fn read_updates_pointer_and_returns_previous() {
+        let mut s = slice();
+        s.fill(LineAddr(1), Some(CoreId(3)));
+        // Core 5 reads: previous pointer (core 3) is the delegation hint.
+        assert_eq!(
+            s.read_gpu(LineAddr(1), CoreId(5)),
+            LlcAccess::Hit(Some(CoreId(3)))
+        );
+        assert_eq!(s.pointer(LineAddr(1)), Some(CoreId(5)));
+        // Same core re-reads: pointer names itself, not delegatable.
+        assert_eq!(
+            s.read_gpu(LineAddr(1), CoreId(5)),
+            LlcAccess::Hit(Some(CoreId(5)))
+        );
+    }
+
+    #[test]
+    fn miss_reports_miss() {
+        let mut s = slice();
+        assert_eq!(s.read_gpu(LineAddr(9), CoreId(0)), LlcAccess::Miss);
+        assert_eq!(s.read_cpu(LineAddr(9)), LlcAccess::Miss);
+    }
+
+    #[test]
+    fn write_invalidates_pointer() {
+        let mut s = slice();
+        s.fill(LineAddr(2), Some(CoreId(7)));
+        s.write(LineAddr(2));
+        assert_eq!(s.pointer(LineAddr(2)), None);
+        assert_eq!(s.pointer_invalidations(), 1);
+        // Next reader repoints and is NOT told to delegate anywhere.
+        assert_eq!(s.read_gpu(LineAddr(2), CoreId(1)), LlcAccess::Hit(None));
+        assert_eq!(s.pointer(LineAddr(2)), Some(CoreId(1)));
+    }
+
+    #[test]
+    fn write_miss_allocates() {
+        let mut s = slice();
+        s.write(LineAddr(4));
+        assert!(s.probe(LineAddr(4)));
+        assert_eq!(s.pointer(LineAddr(4)), None);
+    }
+
+    #[test]
+    fn cpu_reads_do_not_touch_pointers() {
+        let mut s = slice();
+        s.fill(LineAddr(3), Some(CoreId(2)));
+        assert_eq!(s.read_cpu(LineAddr(3)), LlcAccess::Hit(None));
+        assert_eq!(s.pointer(LineAddr(3)), Some(CoreId(2)));
+    }
+
+    #[test]
+    fn flush_invalidates_all_pointers_of_core() {
+        let mut s = slice();
+        s.fill(LineAddr(1), Some(CoreId(1)));
+        s.fill(LineAddr(2), Some(CoreId(1)));
+        s.fill(LineAddr(3), Some(CoreId(2)));
+        assert_eq!(s.invalidate_pointers_of(CoreId(1)), 2);
+        assert_eq!(s.pointer(LineAddr(1)), None);
+        assert_eq!(s.pointer(LineAddr(2)), None);
+        assert_eq!(s.pointer(LineAddr(3)), Some(CoreId(2)));
+        // Lines stay resident — only the pointers die.
+        assert!(s.probe(LineAddr(1)));
+    }
+
+    #[test]
+    fn repoint_on_dnf() {
+        let mut s = slice();
+        s.fill(LineAddr(8), Some(CoreId(4)));
+        assert!(s.repoint(LineAddr(8), CoreId(9)));
+        assert_eq!(s.pointer(LineAddr(8)), Some(CoreId(9)));
+        assert!(!s.repoint(LineAddr(99), CoreId(9)));
+    }
+}

@@ -1,0 +1,158 @@
+//! Miss Status Holding Registers.
+//!
+//! An [`MshrFile`] tracks outstanding misses per line address and merges
+//! secondary misses into the primary's target list. Delegated Replies
+//! interacts with MSHRs twice: a *delayed hit* at a remote L1 appends a
+//! remote target to the local MSHR's list (Section IV, outcome ii), and
+//! the LLC core pointers are also kept for in-flight MSHR entries.
+
+use clognet_proto::LineAddr;
+use std::collections::HashMap;
+
+/// Outcome of [`MshrFile::allocate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// New primary miss: the caller must send a request downstream.
+    Primary,
+    /// Merged into an existing entry: no new downstream request.
+    Merged,
+    /// No MSHR entry available (structural stall).
+    NoEntry,
+    /// Entry exists but its target list is full (structural stall).
+    NoTarget,
+}
+
+/// MSHR file with `capacity` entries and `max_targets` merged targets per
+/// entry.
+///
+/// # Example
+///
+/// ```
+/// use clognet_cache::{MshrFile, MshrOutcome};
+/// use clognet_proto::LineAddr;
+///
+/// let mut m: MshrFile<u32> = MshrFile::new(2, 4);
+/// assert_eq!(m.allocate(LineAddr(9), 100), MshrOutcome::Primary);
+/// assert_eq!(m.allocate(LineAddr(9), 101), MshrOutcome::Merged);
+/// assert_eq!(m.complete(LineAddr(9)), vec![100, 101]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MshrFile<T> {
+    entries: HashMap<LineAddr, Vec<T>>,
+    capacity: usize,
+    max_targets: usize,
+}
+
+impl<T> MshrFile<T> {
+    /// Create an empty file.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `max_targets` is zero.
+    pub fn new(capacity: usize, max_targets: usize) -> Self {
+        assert!(capacity > 0 && max_targets > 0);
+        MshrFile {
+            entries: HashMap::with_capacity(capacity),
+            capacity,
+            max_targets,
+        }
+    }
+
+    /// Entries in flight.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// No outstanding misses?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Free entries.
+    pub fn available(&self) -> usize {
+        self.capacity - self.entries.len()
+    }
+
+    /// Is a miss to `line` already outstanding?
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.entries.contains_key(&line)
+    }
+
+    /// Try to track a miss to `line` for `target`.
+    pub fn allocate(&mut self, line: LineAddr, target: T) -> MshrOutcome {
+        if let Some(targets) = self.entries.get_mut(&line) {
+            if targets.len() >= self.max_targets {
+                return MshrOutcome::NoTarget;
+            }
+            targets.push(target);
+            return MshrOutcome::Merged;
+        }
+        if self.entries.len() >= self.capacity {
+            return MshrOutcome::NoEntry;
+        }
+        self.entries.insert(line, vec![target]);
+        MshrOutcome::Primary
+    }
+
+    /// The miss data returned: release the entry and hand back all merged
+    /// targets (primary first). Returns an empty vector if no entry
+    /// exists (e.g. a stray reply after a flush).
+    pub fn complete(&mut self, line: LineAddr) -> Vec<T> {
+        self.entries.remove(&line).unwrap_or_default()
+    }
+
+    /// Iterate outstanding lines.
+    pub fn lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
+        self.entries.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primary_then_merge() {
+        let mut m: MshrFile<&str> = MshrFile::new(4, 2);
+        assert_eq!(m.allocate(LineAddr(1), "a"), MshrOutcome::Primary);
+        assert_eq!(m.allocate(LineAddr(1), "b"), MshrOutcome::Merged);
+        assert_eq!(m.allocate(LineAddr(1), "c"), MshrOutcome::NoTarget);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.complete(LineAddr(1)), vec!["a", "b"]);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn capacity_limits_entries() {
+        let mut m: MshrFile<u8> = MshrFile::new(2, 8);
+        assert_eq!(m.allocate(LineAddr(1), 0), MshrOutcome::Primary);
+        assert_eq!(m.allocate(LineAddr(2), 0), MshrOutcome::Primary);
+        assert_eq!(m.allocate(LineAddr(3), 0), MshrOutcome::NoEntry);
+        // Merging into an existing entry still works at capacity.
+        assert_eq!(m.allocate(LineAddr(2), 1), MshrOutcome::Merged);
+        assert_eq!(m.available(), 0);
+        m.complete(LineAddr(1));
+        assert_eq!(m.allocate(LineAddr(3), 0), MshrOutcome::Primary);
+    }
+
+    #[test]
+    fn complete_unknown_line_is_empty() {
+        let mut m: MshrFile<u8> = MshrFile::new(2, 2);
+        assert!(m.complete(LineAddr(42)).is_empty());
+    }
+
+    #[test]
+    fn contains_and_lines() {
+        let mut m: MshrFile<u8> = MshrFile::new(4, 2);
+        m.allocate(LineAddr(5), 0);
+        assert!(m.contains(LineAddr(5)));
+        assert!(!m.contains(LineAddr(6)));
+        assert_eq!(m.lines().collect::<Vec<_>>(), vec![LineAddr(5)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_panics() {
+        let _: MshrFile<u8> = MshrFile::new(0, 1);
+    }
+}

@@ -1,0 +1,415 @@
+//! A set-associative cache tag array with true-LRU replacement and
+//! per-line metadata.
+//!
+//! Only tags and metadata are modeled — the simulator never materializes
+//! data bytes. The structure is generic over the per-line metadata `M`
+//! (the LLC attaches the Delegated-Replies core pointer through it).
+
+use clognet_proto::{CacheGeometry, LineAddr};
+
+/// One cache line's bookkeeping.
+#[derive(Debug, Clone)]
+struct Line<M> {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    last_use: u64,
+    meta: M,
+}
+
+/// A line evicted by [`SetAssocCache::fill`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Evicted<M> {
+    /// The victim's line address.
+    pub line: LineAddr,
+    /// Whether it was dirty (needs writeback under a write-back policy).
+    pub dirty: bool,
+    /// Its metadata.
+    pub meta: M,
+}
+
+/// Hit/miss statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookup hits.
+    pub hits: u64,
+    /// Lookup misses.
+    pub misses: u64,
+    /// Fills performed.
+    pub fills: u64,
+    /// Evictions caused by fills.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Miss rate in `[0, 1]` (0 when no accesses).
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+/// A set-associative tag array with LRU replacement.
+///
+/// # Example
+///
+/// ```
+/// use clognet_cache::SetAssocCache;
+/// use clognet_proto::{CacheGeometry, LineAddr};
+///
+/// let mut c: SetAssocCache<()> = SetAssocCache::new(CacheGeometry {
+///     capacity_bytes: 1024,
+///     ways: 2,
+///     line_bytes: 64,
+/// });
+/// assert!(!c.access(LineAddr(1)));
+/// c.fill(LineAddr(1), ());
+/// assert!(c.access(LineAddr(1)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache<M> {
+    geom: CacheGeometry,
+    n_sets: u64,
+    sets: Vec<Vec<Line<M>>>,
+    stamp: u64,
+    stats: CacheStats,
+}
+
+impl<M> SetAssocCache<M> {
+    /// Build an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide evenly.
+    pub fn new(geom: CacheGeometry) -> Self {
+        let n_sets = geom.sets();
+        SetAssocCache {
+            geom,
+            n_sets,
+            sets: (0..n_sets).map(|_| Vec::new()).collect(),
+            stamp: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache geometry.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geom
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Zero the statistics (contents untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    fn set_ix(&self, line: LineAddr) -> usize {
+        (line.0 % self.n_sets) as usize
+    }
+
+    fn tag(&self, line: LineAddr) -> u64 {
+        line.0 / self.n_sets
+    }
+
+    /// Is the line present? Does not touch LRU state or statistics
+    /// (used for oracle inter-core-locality measurements and RP probes).
+    pub fn probe(&self, line: LineAddr) -> bool {
+        let tag = self.tag(line);
+        self.sets[self.set_ix(line)]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Look the line up, updating LRU order and hit/miss statistics.
+    /// Returns `true` on hit.
+    pub fn access(&mut self, line: LineAddr) -> bool {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let tag = self.tag(line);
+        let set = self.set_ix(line);
+        if let Some(l) = self.sets[set].iter_mut().find(|l| l.valid && l.tag == tag) {
+            l.last_use = stamp;
+            self.stats.hits += 1;
+            true
+        } else {
+            self.stats.misses += 1;
+            false
+        }
+    }
+
+    /// Metadata of a resident line.
+    pub fn meta(&self, line: LineAddr) -> Option<&M> {
+        let tag = self.tag(line);
+        self.sets[self.set_ix(line)]
+            .iter()
+            .find(|l| l.valid && l.tag == tag)
+            .map(|l| &l.meta)
+    }
+
+    /// Mutable metadata of a resident line.
+    pub fn meta_mut(&mut self, line: LineAddr) -> Option<&mut M> {
+        let tag = self.tag(line);
+        let set = self.set_ix(line);
+        self.sets[set]
+            .iter_mut()
+            .find(|l| l.valid && l.tag == tag)
+            .map(|l| &mut l.meta)
+    }
+
+    /// Mark a resident line dirty (write-back policies). Returns `false`
+    /// if the line is absent.
+    pub fn mark_dirty(&mut self, line: LineAddr) -> bool {
+        let tag = self.tag(line);
+        let set = self.set_ix(line);
+        if let Some(l) = self.sets[set].iter_mut().find(|l| l.valid && l.tag == tag) {
+            l.dirty = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Install a line (replacing the LRU victim if the set is full) and
+    /// return the victim, if any. Filling a line that is already resident
+    /// refreshes its metadata and LRU position instead.
+    pub fn fill(&mut self, line: LineAddr, meta: M) -> Option<Evicted<M>> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let tag = self.tag(line);
+        let set_ix = self.set_ix(line);
+        let ways = self.geom.ways as usize;
+        self.stats.fills += 1;
+        let set = &mut self.sets[set_ix];
+        if let Some(l) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+            l.meta = meta;
+            l.last_use = stamp;
+            return None;
+        }
+        let fresh = Line {
+            tag,
+            valid: true,
+            dirty: false,
+            last_use: stamp,
+            meta,
+        };
+        // Reuse an invalid way first.
+        if let Some(l) = set.iter_mut().find(|l| !l.valid) {
+            *l = fresh;
+            return None;
+        }
+        if set.len() < ways {
+            set.push(fresh);
+            return None;
+        }
+        // Evict true-LRU.
+        let (vix, _) = set
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| l.last_use)
+            .expect("non-empty set");
+        let victim = std::mem::replace(&mut set[vix], fresh);
+        self.stats.evictions += 1;
+        Some(Evicted {
+            line: LineAddr(victim.tag * self.n_sets + set_ix as u64),
+            dirty: victim.dirty,
+            meta: victim.meta,
+        })
+    }
+
+    /// Invalidate a line; returns its metadata if it was resident.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<M>
+    where
+        M: Default,
+    {
+        let tag = self.tag(line);
+        let set = self.set_ix(line);
+        self.sets[set]
+            .iter_mut()
+            .find(|l| l.valid && l.tag == tag)
+            .map(|l| {
+                l.valid = false;
+                std::mem::take(&mut l.meta)
+            })
+    }
+
+    /// Invalidate everything (GPU software-coherence flush at kernel
+    /// boundaries). Returns the number of lines dropped.
+    pub fn flush(&mut self) -> usize {
+        let mut n = 0;
+        for set in &mut self.sets {
+            for l in set.iter_mut() {
+                if l.valid {
+                    l.valid = false;
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Number of resident lines.
+    pub fn occupancy(&self) -> usize {
+        self.sets
+            .iter()
+            .flat_map(|s| s.iter())
+            .filter(|l| l.valid)
+            .count()
+    }
+
+    /// Iterate resident line addresses with their metadata.
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &M)> + '_ {
+        self.sets.iter().enumerate().flat_map(move |(six, set)| {
+            set.iter()
+                .filter(|l| l.valid)
+                .map(move |l| (LineAddr(l.tag * self.n_sets + six as u64), &l.meta))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SetAssocCache<u32> {
+        // 2 sets x 2 ways, 64 B lines
+        SetAssocCache::new(CacheGeometry {
+            capacity_bytes: 256,
+            ways: 2,
+            line_bytes: 64,
+        })
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = small();
+        assert!(!c.access(LineAddr(4)));
+        assert!(c.fill(LineAddr(4), 7).is_none());
+        assert!(c.access(LineAddr(4)));
+        assert_eq!(c.meta(LineAddr(4)), Some(&7));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = small();
+        // set 0 holds even lines; fill two ways.
+        c.fill(LineAddr(0), 0);
+        c.fill(LineAddr(2), 1);
+        // touch line 0 so line 2 is LRU
+        assert!(c.access(LineAddr(0)));
+        let ev = c.fill(LineAddr(4), 2).expect("eviction");
+        assert_eq!(ev.line, LineAddr(2));
+        assert!(c.probe(LineAddr(0)));
+        assert!(c.probe(LineAddr(4)));
+        assert!(!c.probe(LineAddr(2)));
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c = small();
+        c.fill(LineAddr(0), 0);
+        c.fill(LineAddr(2), 0);
+        c.fill(LineAddr(4), 0); // evicts in set 0
+        assert!(!c.probe(LineAddr(1)));
+        c.fill(LineAddr(1), 9); // set 1 untouched by set-0 pressure
+        assert!(c.probe(LineAddr(1)));
+        assert_eq!(c.occupancy(), 3);
+    }
+
+    #[test]
+    fn refill_refreshes_instead_of_duplicating() {
+        let mut c = small();
+        c.fill(LineAddr(0), 1);
+        c.fill(LineAddr(0), 2);
+        assert_eq!(c.occupancy(), 1);
+        assert_eq!(c.meta(LineAddr(0)), Some(&2));
+    }
+
+    #[test]
+    fn invalidate_removes_and_returns_meta() {
+        let mut c = small();
+        c.fill(LineAddr(6), 5);
+        assert_eq!(c.invalidate(LineAddr(6)), Some(5));
+        assert!(!c.probe(LineAddr(6)));
+        assert_eq!(c.invalidate(LineAddr(6)), None);
+    }
+
+    #[test]
+    fn flush_empties_cache() {
+        let mut c = small();
+        c.fill(LineAddr(0), 0);
+        c.fill(LineAddr(1), 0);
+        c.fill(LineAddr(2), 0);
+        assert_eq!(c.flush(), 3);
+        assert_eq!(c.occupancy(), 0);
+        assert!(!c.access(LineAddr(0)));
+    }
+
+    #[test]
+    fn dirty_tracked_through_eviction() {
+        let mut c = small();
+        c.fill(LineAddr(0), 0);
+        assert!(c.mark_dirty(LineAddr(0)));
+        c.fill(LineAddr(2), 0);
+        c.access(LineAddr(2));
+        let ev = c.fill(LineAddr(4), 0).expect("evict");
+        assert_eq!(ev.line, LineAddr(0));
+        assert!(ev.dirty);
+    }
+
+    #[test]
+    fn victim_line_address_reconstruction() {
+        let mut c = small();
+        // line 10: set = 10 % 2 = 0, tag = 5
+        c.fill(LineAddr(10), 3);
+        c.fill(LineAddr(12), 4);
+        let ev = c.fill(LineAddr(14), 5).expect("evict");
+        assert_eq!(ev.line, LineAddr(10));
+        assert_eq!(ev.meta, 3);
+    }
+
+    #[test]
+    fn iter_lists_resident_lines() {
+        let mut c = small();
+        c.fill(LineAddr(3), 30);
+        c.fill(LineAddr(8), 80);
+        let mut got: Vec<_> = c.iter().map(|(l, &m)| (l.0, m)).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![(3, 30), (8, 80)]);
+    }
+
+    #[test]
+    fn non_power_of_two_sets_work() {
+        // The Table-I GPU L1: 48 KB, 4-way, 128 B lines => 96 sets.
+        let mut c: SetAssocCache<()> = SetAssocCache::new(CacheGeometry {
+            capacity_bytes: 48 * 1024,
+            ways: 4,
+            line_bytes: 128,
+        });
+        for i in 0..384 {
+            c.fill(LineAddr(i), ());
+        }
+        assert_eq!(c.occupancy(), 384);
+        c.fill(LineAddr(1000), ());
+        assert_eq!(c.occupancy(), 384, "full cache stays full");
+    }
+
+    #[test]
+    fn miss_rate_computation() {
+        let mut c = small();
+        c.fill(LineAddr(0), 0);
+        c.access(LineAddr(0));
+        c.access(LineAddr(2));
+        c.access(LineAddr(4));
+        assert!((c.stats().miss_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,195 @@
+//! Property-based tests: the set-associative cache against a reference
+//! model, LRU ordering, and MSHR invariants.
+
+use clognet_cache::{MshrFile, MshrOutcome, SetAssocCache};
+use clognet_proto::{CacheGeometry, LineAddr};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// A trivially-correct reference: per-set vectors ordered by recency.
+struct RefCache {
+    sets: HashMap<u64, Vec<u64>>, // most recent last
+    n_sets: u64,
+    ways: usize,
+}
+
+impl RefCache {
+    fn new(n_sets: u64, ways: usize) -> Self {
+        RefCache {
+            sets: HashMap::new(),
+            n_sets,
+            ways,
+        }
+    }
+
+    fn access(&mut self, line: u64) -> bool {
+        let set = self.sets.entry(line % self.n_sets).or_default();
+        if let Some(ix) = set.iter().position(|&l| l == line) {
+            let l = set.remove(ix);
+            set.push(l);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn fill(&mut self, line: u64) -> Option<u64> {
+        let ways = self.ways;
+        let set = self.sets.entry(line % self.n_sets).or_default();
+        if let Some(ix) = set.iter().position(|&l| l == line) {
+            let l = set.remove(ix);
+            set.push(l);
+            return None;
+        }
+        set.push(line);
+        if set.len() > ways {
+            Some(set.remove(0))
+        } else {
+            None
+        }
+    }
+
+    fn invalidate(&mut self, line: u64) -> bool {
+        let set = self.sets.entry(line % self.n_sets).or_default();
+        if let Some(ix) = set.iter().position(|&l| l == line) {
+            set.remove(ix);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Access(u64),
+    Fill(u64),
+    Invalidate(u64),
+    Flush,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        8 => (0u64..256).prop_map(Op::Access),
+        8 => (0u64..256).prop_map(Op::Fill),
+        2 => (0u64..256).prop_map(Op::Invalidate),
+        1 => Just(Op::Flush),
+    ]
+}
+
+proptest! {
+    /// The tag array agrees with the reference model on every hit/miss
+    /// and every eviction, under arbitrary operation sequences.
+    #[test]
+    fn matches_reference_model(ops in proptest::collection::vec(arb_op(), 1..400)) {
+        // 16 sets x 4 ways of 64 B lines.
+        let geom = CacheGeometry { capacity_bytes: 4096, ways: 4, line_bytes: 64 };
+        let mut dut: SetAssocCache<()> = SetAssocCache::new(geom);
+        let mut reference = RefCache::new(geom.sets(), 4);
+        for op in ops {
+            match op {
+                Op::Access(l) => {
+                    prop_assert_eq!(dut.access(LineAddr(l)), reference.access(l), "access {}", l);
+                }
+                Op::Fill(l) => {
+                    let ev_dut = dut.fill(LineAddr(l), ()).map(|e| e.line.0);
+                    let ev_ref = reference.fill(l);
+                    prop_assert_eq!(ev_dut, ev_ref, "fill {}", l);
+                }
+                Op::Invalidate(l) => {
+                    prop_assert_eq!(
+                        dut.invalidate(LineAddr(l)).is_some(),
+                        reference.invalidate(l),
+                        "invalidate {}", l
+                    );
+                }
+                Op::Flush => {
+                    dut.flush();
+                    reference.sets.clear();
+                }
+            }
+            // Presence must agree everywhere after every step.
+            for l in 0..256u64 {
+                prop_assert_eq!(
+                    dut.probe(LineAddr(l)),
+                    reference
+                        .sets
+                        .get(&(l % reference.n_sets))
+                        .is_some_and(|s| s.contains(&l)),
+                    "presence of {} diverged", l
+                );
+            }
+        }
+    }
+
+    /// Occupancy never exceeds capacity, and hits+misses equals accesses.
+    #[test]
+    fn capacity_and_counters(ops in proptest::collection::vec(arb_op(), 1..300)) {
+        let geom = CacheGeometry { capacity_bytes: 2048, ways: 2, line_bytes: 64 };
+        let mut c: SetAssocCache<u32> = SetAssocCache::new(geom);
+        let mut accesses = 0u64;
+        for op in ops {
+            match op {
+                Op::Access(l) => {
+                    c.access(LineAddr(l));
+                    accesses += 1;
+                }
+                Op::Fill(l) => {
+                    c.fill(LineAddr(l), 0);
+                }
+                Op::Invalidate(l) => {
+                    c.invalidate(LineAddr(l));
+                }
+                Op::Flush => {
+                    c.flush();
+                }
+            }
+            prop_assert!(c.occupancy() as u64 <= geom.lines());
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.hits + s.misses, accesses);
+    }
+
+    /// MSHR: outstanding entries never exceed capacity; merged targets
+    /// come back in insertion order; completion empties the entry.
+    #[test]
+    fn mshr_invariants(
+        lines in proptest::collection::vec(0u64..16, 1..120),
+        cap in 1usize..8,
+        max_targets in 1usize..6,
+    ) {
+        let mut m: MshrFile<usize> = MshrFile::new(cap, max_targets);
+        let mut model: HashMap<u64, Vec<usize>> = HashMap::new();
+        for (i, l) in lines.iter().enumerate() {
+            let line = LineAddr(*l);
+            match m.allocate(line, i) {
+                MshrOutcome::Primary => {
+                    prop_assert!(!model.contains_key(l));
+                    prop_assert!(model.len() < cap);
+                    model.insert(*l, vec![i]);
+                }
+                MshrOutcome::Merged => {
+                    let t = model.get_mut(l).expect("merged into existing");
+                    prop_assert!(t.len() < max_targets);
+                    t.push(i);
+                }
+                MshrOutcome::NoEntry => {
+                    prop_assert!(model.len() >= cap);
+                    prop_assert!(!model.contains_key(l));
+                }
+                MshrOutcome::NoTarget => {
+                    prop_assert_eq!(model.get(l).map(Vec::len), Some(max_targets));
+                }
+            }
+            prop_assert_eq!(m.len(), model.len());
+            // Occasionally complete the oldest line.
+            if i % 7 == 6 {
+                if let Some(&k) = model.keys().next() {
+                    let got = m.complete(LineAddr(k));
+                    let want = model.remove(&k).expect("tracked");
+                    prop_assert_eq!(got, want, "targets must preserve order");
+                }
+            }
+        }
+    }
+}

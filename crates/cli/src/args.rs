@@ -1,0 +1,153 @@
+//! Minimal dependency-free argument parsing for the `clognet` binary.
+//!
+//! Grammar: `clognet <command> [--key value]...` with `--key=value` also
+//! accepted. Unknown keys are an error (no silent typo-swallowing).
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: the subcommand plus its `--key value` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    /// The subcommand (`run`, `compare`, `sweep`, `list`, ...).
+    pub command: String,
+    opts: BTreeMap<String, String>,
+}
+
+/// A parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseArgsError(pub String);
+
+impl std::fmt::Display for ParseArgsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseArgsError {}
+
+impl Args {
+    /// Parse raw arguments (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Fails on a missing subcommand, a dangling `--key` with no value,
+    /// or positional arguments after the subcommand.
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Self, ParseArgsError> {
+        let mut it = raw.into_iter();
+        let command = it
+            .next()
+            .ok_or_else(|| ParseArgsError("missing subcommand; try `clognet help`".into()))?;
+        let mut opts = BTreeMap::new();
+        while let Some(tok) = it.next() {
+            let Some(body) = tok.strip_prefix("--") else {
+                return Err(ParseArgsError(format!(
+                    "unexpected positional argument `{tok}`"
+                )));
+            };
+            if let Some((k, v)) = body.split_once('=') {
+                opts.insert(k.to_string(), v.to_string());
+            } else {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ParseArgsError(format!("option --{body} is missing a value")))?;
+                opts.insert(body.to_string(), v);
+            }
+        }
+        Ok(Args { command, opts })
+    }
+
+    /// Fetch an option as a string.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.opts.get(key).map(String::as_str)
+    }
+
+    /// Fetch with a default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.get(key).unwrap_or(default)
+    }
+
+    /// Fetch and parse a number.
+    ///
+    /// # Errors
+    ///
+    /// Fails if present but unparseable.
+    pub fn get_num<T: std::str::FromStr>(
+        &self,
+        key: &str,
+        default: T,
+    ) -> Result<T, ParseArgsError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ParseArgsError(format!("--{key} {v}: not a valid number"))),
+        }
+    }
+
+    /// Error on any option not in `allowed` (typo protection).
+    ///
+    /// # Errors
+    ///
+    /// Lists the offending option and the allowed set.
+    pub fn reject_unknown(&self, allowed: &[&str]) -> Result<(), ParseArgsError> {
+        for k in self.opts.keys() {
+            if !allowed.contains(&k.as_str()) {
+                return Err(ParseArgsError(format!(
+                    "unknown option --{k}; allowed: {}",
+                    allowed
+                        .iter()
+                        .map(|a| format!("--{a}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Args, ParseArgsError> {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_key_value_pairs() {
+        let a = parse("run --gpu HS --cycles 1000 --scheme=dr").unwrap();
+        assert_eq!(a.command, "run");
+        assert_eq!(a.get("gpu"), Some("HS"));
+        assert_eq!(a.get("scheme"), Some("dr"));
+        assert_eq!(a.get_num("cycles", 0u64).unwrap(), 1000);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse("run").unwrap();
+        assert_eq!(a.get_or("gpu", "HS"), "HS");
+        assert_eq!(a.get_num("cycles", 42u64).unwrap(), 42);
+    }
+
+    #[test]
+    fn rejects_danglers_and_positionals() {
+        assert!(parse("run --gpu").is_err());
+        assert!(parse("run HS").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_options() {
+        let a = parse("run --gpuu HS").unwrap();
+        assert!(a.reject_unknown(&["gpu"]).is_err());
+        let a = parse("run --gpu HS").unwrap();
+        assert!(a.reject_unknown(&["gpu"]).is_ok());
+    }
+
+    #[test]
+    fn bad_numbers_error() {
+        let a = parse("run --cycles ten").unwrap();
+        assert!(a.get_num("cycles", 0u64).is_err());
+    }
+}

@@ -1,0 +1,212 @@
+//! Translate CLI options into a [`SystemConfig`].
+
+use crate::args::{Args, ParseArgsError};
+use clognet_proto::{
+    CtaSched, L1Org, LayoutKind, RoutingPolicy, Scheme, SystemConfig, Topology, VirtualNetConfig,
+};
+
+/// Options shared by `run`, `compare`, and `sweep`.
+pub const CONFIG_KEYS: [&str; 12] = [
+    "gpu", "cpu", "scheme", "layout", "topology", "routing", "width", "l1org", "cta", "vnets",
+    "seed", "mesh",
+];
+
+/// Parse a scheme name.
+///
+/// # Errors
+///
+/// Unknown scheme names.
+pub fn parse_scheme(s: &str) -> Result<Scheme, ParseArgsError> {
+    match s.to_ascii_lowercase().as_str() {
+        "baseline" | "base" => Ok(Scheme::Baseline),
+        "dr" | "delegated" | "delegated-replies" => Ok(Scheme::DelegatedReplies),
+        "rp" | "realistic-probing" => Ok(Scheme::rp_default()),
+        other => {
+            if let Some(f) = other.strip_prefix("rp:") {
+                let fanout = f
+                    .parse()
+                    .map_err(|_| ParseArgsError(format!("bad RP fanout `{f}`")))?;
+                Ok(Scheme::RealisticProbing { fanout })
+            } else {
+                Err(ParseArgsError(format!(
+                    "unknown scheme `{other}` (baseline | dr | rp | rp:<fanout>)"
+                )))
+            }
+        }
+    }
+}
+
+/// Parse a layout name.
+///
+/// # Errors
+///
+/// Unknown layout names.
+pub fn parse_layout(s: &str) -> Result<LayoutKind, ParseArgsError> {
+    match s.to_ascii_lowercase().as_str() {
+        "baseline" | "a" => Ok(LayoutKind::Baseline),
+        "b" | "edge" => Ok(LayoutKind::EdgeB),
+        "c" | "clustered" => Ok(LayoutKind::ClusteredC),
+        "d" | "distributed" => Ok(LayoutKind::DistributedD),
+        other => Err(ParseArgsError(format!(
+            "unknown layout `{other}` (a|b|c|d)"
+        ))),
+    }
+}
+
+/// Build a [`SystemConfig`] from the parsed arguments.
+///
+/// # Errors
+///
+/// Any unparseable option.
+pub fn config_from(args: &Args) -> Result<SystemConfig, ParseArgsError> {
+    let mut cfg = SystemConfig::default();
+    if let Some(s) = args.get("scheme") {
+        cfg.scheme = parse_scheme(s)?;
+    }
+    if let Some(s) = args.get("layout") {
+        cfg.layout = parse_layout(s)?;
+        let (req, rep) = SystemConfig::best_routing_for(cfg.layout);
+        cfg.noc.routing_request = req;
+        cfg.noc.routing_reply = rep;
+    }
+    if let Some(s) = args.get("topology") {
+        cfg.noc.topology = match s.to_ascii_lowercase().as_str() {
+            "mesh" => Topology::Mesh,
+            "crossbar" | "xbar" => Topology::Crossbar,
+            "fbfly" | "flattened-butterfly" => Topology::FlattenedButterfly,
+            "dragonfly" => Topology::Dragonfly,
+            other => {
+                return Err(ParseArgsError(format!(
+                    "unknown topology `{other}` (mesh|crossbar|fbfly|dragonfly)"
+                )))
+            }
+        };
+        if cfg.noc.topology != Topology::Mesh {
+            cfg.noc.routing_request = RoutingPolicy::DorXY;
+            cfg.noc.routing_reply = RoutingPolicy::DorXY;
+        }
+    }
+    if let Some(s) = args.get("routing") {
+        let pol = |p: &str| -> Result<RoutingPolicy, ParseArgsError> {
+            match p.to_ascii_lowercase().as_str() {
+                "xy" => Ok(RoutingPolicy::DorXY),
+                "yx" => Ok(RoutingPolicy::DorYX),
+                "dyxy" => Ok(RoutingPolicy::DyXY),
+                "footprint" => Ok(RoutingPolicy::Footprint),
+                "hare" => Ok(RoutingPolicy::Hare),
+                other => Err(ParseArgsError(format!("unknown routing `{other}`"))),
+            }
+        };
+        let (req, rep) = s
+            .split_once('-')
+            .ok_or_else(|| ParseArgsError("routing must be <req>-<rep>, e.g. yx-xy".into()))?;
+        cfg.noc.routing_request = pol(req)?;
+        cfg.noc.routing_reply = pol(rep)?;
+    }
+    if let Some(w) = args.get("width") {
+        cfg.noc.channel_bytes = w
+            .parse()
+            .map_err(|_| ParseArgsError(format!("bad channel width `{w}`")))?;
+    }
+    if let Some(s) = args.get("l1org") {
+        cfg.l1_org = match s.to_ascii_lowercase().as_str() {
+            "private" => L1Org::Private,
+            "dcl1" | "dc-l1" => L1Org::DcL1,
+            "dyneb" => L1Org::DynEB,
+            other => return Err(ParseArgsError(format!("unknown l1org `{other}`"))),
+        };
+    }
+    if let Some(s) = args.get("cta") {
+        cfg.cta_sched = match s.to_ascii_lowercase().as_str() {
+            "rr" | "round-robin" => CtaSched::RoundRobin,
+            "dist" | "distributed" => CtaSched::Distributed,
+            other => return Err(ParseArgsError(format!("unknown cta policy `{other}`"))),
+        };
+    }
+    if let Some(v) = args.get("vnets") {
+        let (rq, rp) = v
+            .split_once('+')
+            .ok_or_else(|| ParseArgsError("vnets must be <reqVCs>+<repVCs>, e.g. 2+2".into()))?;
+        cfg.noc.virtual_nets = Some(VirtualNetConfig {
+            request_vcs: rq
+                .parse()
+                .map_err(|_| ParseArgsError(format!("bad vnets `{v}`")))?,
+            reply_vcs: rp
+                .parse()
+                .map_err(|_| ParseArgsError(format!("bad vnets `{v}`")))?,
+        });
+    }
+    if let Some(m) = args.get("mesh") {
+        let (w, h) = m
+            .split_once('x')
+            .ok_or_else(|| ParseArgsError("mesh must be <w>x<h>, e.g. 10x10".into()))?;
+        let w: usize = w
+            .parse()
+            .map_err(|_| ParseArgsError(format!("bad mesh `{m}`")))?;
+        let h: usize = h
+            .parse()
+            .map_err(|_| ParseArgsError(format!("bad mesh `{m}`")))?;
+        cfg.mesh_width = w;
+        cfg.mesh_height = h;
+        cfg.n_mem = h;
+        cfg.n_cpu = 2 * h;
+        cfg.n_gpu = w * h - 3 * h;
+    }
+    cfg.seed = args.get_num("seed", cfg.seed)?;
+    Ok(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Args;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn scheme_names() {
+        assert_eq!(parse_scheme("dr").unwrap(), Scheme::DelegatedReplies);
+        assert_eq!(parse_scheme("baseline").unwrap(), Scheme::Baseline);
+        assert_eq!(
+            parse_scheme("rp:7").unwrap(),
+            Scheme::RealisticProbing { fanout: 7 }
+        );
+        assert!(parse_scheme("nope").is_err());
+    }
+
+    #[test]
+    fn full_config_line() {
+        let a = parse(
+            "run --scheme dr --layout b --routing xy-yx --width 32 --l1org dyneb \
+             --cta dist --vnets 1+3 --seed 9 --mesh 10x10",
+        );
+        let c = config_from(&a).unwrap();
+        assert_eq!(c.scheme, Scheme::DelegatedReplies);
+        assert_eq!(c.layout, LayoutKind::EdgeB);
+        assert_eq!(c.noc.routing_request, RoutingPolicy::DorXY);
+        assert_eq!(c.noc.routing_reply, RoutingPolicy::DorYX);
+        assert_eq!(c.noc.channel_bytes, 32);
+        assert_eq!(c.l1_org, L1Org::DynEB);
+        assert_eq!(c.cta_sched, CtaSched::Distributed);
+        assert_eq!(c.noc.virtual_nets.unwrap().reply_vcs, 3);
+        assert_eq!(c.seed, 9);
+        assert_eq!((c.mesh_width, c.n_gpu, c.n_cpu, c.n_mem), (10, 70, 20, 10));
+    }
+
+    #[test]
+    fn layout_sets_best_routing() {
+        let c = config_from(&parse("run --layout d")).unwrap();
+        assert_eq!(c.noc.routing_request, RoutingPolicy::DorXY);
+        assert_eq!(c.noc.routing_reply, RoutingPolicy::DorXY);
+    }
+
+    #[test]
+    fn bad_values_error() {
+        assert!(config_from(&parse("run --topology torus")).is_err());
+        assert!(config_from(&parse("run --vnets 22")).is_err());
+        assert!(config_from(&parse("run --mesh big")).is_err());
+        assert!(config_from(&parse("run --routing diagonal")).is_err());
+    }
+}

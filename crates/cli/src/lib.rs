@@ -1,0 +1,12 @@
+//! # clognet-cli
+//!
+//! Library half of the `clognet` command-line driver: argument parsing,
+//! option-to-configuration translation, and report formatting. The thin
+//! `main.rs` wires these to stdin/stdout so every piece is unit-testable.
+
+pub mod args;
+pub mod config;
+pub mod report;
+
+pub use args::{Args, ParseArgsError};
+pub use config::{config_from, parse_layout, parse_scheme, CONFIG_KEYS};

@@ -1,0 +1,284 @@
+//! `clognet` — command-line driver for the clognet heterogeneous-
+//! architecture simulator (a reproduction of *Delegated Replies*,
+//! HPCA 2022).
+//!
+//! ```text
+//! clognet run     --gpu HS --cpu bodytrack --scheme dr [--cycles N] [--warm N] ...
+//! clognet compare --gpu HS --cpu bodytrack             # baseline vs RP vs DR
+//! clognet sweep   --param width --values 8,16,24 ...   # config sweeps
+//! clognet list                                         # benchmarks & options
+//! clognet help
+//! ```
+
+use clognet_cli::args::{Args, ParseArgsError};
+use clognet_cli::config::{config_from, CONFIG_KEYS};
+use clognet_cli::report;
+use clognet_core::System;
+use clognet_proto::{Scheme, SystemConfig};
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let code = match dispatch(raw) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn dispatch(raw: Vec<String>) -> Result<(), ParseArgsError> {
+    let args = match Args::parse(raw) {
+        Ok(a) => a,
+        Err(_) => {
+            print_help();
+            return Ok(());
+        }
+    };
+    match args.command.as_str() {
+        "run" => cmd_run(&args),
+        "compare" => cmd_compare(&args),
+        "sweep" => cmd_sweep(&args),
+        "trace" => cmd_trace(&args),
+        "list" => {
+            cmd_list();
+            Ok(())
+        }
+        "help" | "--help" | "-h" => {
+            print_help();
+            Ok(())
+        }
+        other => Err(ParseArgsError(format!(
+            "unknown command `{other}`; try `clognet help`"
+        ))),
+    }
+}
+
+fn run_keys() -> Vec<&'static str> {
+    let mut keys = CONFIG_KEYS.to_vec();
+    keys.extend_from_slice(&["cycles", "warm"]);
+    keys
+}
+
+fn measure(
+    cfg: SystemConfig,
+    gpu: &str,
+    cpu: &str,
+    warm: u64,
+    cycles: u64,
+) -> clognet_core::Report {
+    let mut sys = System::new(cfg, gpu, cpu);
+    sys.run(warm);
+    sys.reset_stats();
+    sys.run(cycles);
+    sys.report()
+}
+
+fn cmd_run(args: &Args) -> Result<(), ParseArgsError> {
+    args.reject_unknown(&run_keys())?;
+    let gpu = args.get_or("gpu", "HS");
+    let cpu = args.get_or("cpu", "bodytrack");
+    let warm = args.get_num("warm", 6_000u64)?;
+    let cycles = args.get_num("cycles", 15_000u64)?;
+    let cfg = config_from(args)?;
+    let scheme = cfg.scheme;
+    let r = measure(cfg, gpu, cpu, warm, cycles);
+    report::print_report(scheme, &r);
+    Ok(())
+}
+
+fn cmd_compare(args: &Args) -> Result<(), ParseArgsError> {
+    args.reject_unknown(&run_keys())?;
+    let gpu = args.get_or("gpu", "HS");
+    let cpu = args.get_or("cpu", "bodytrack");
+    let warm = args.get_num("warm", 6_000u64)?;
+    let cycles = args.get_num("cycles", 15_000u64)?;
+    println!("comparing schemes on {gpu}+{cpu} ({warm} warm + {cycles} measured cycles)\n");
+    let mut rows = Vec::new();
+    for scheme in [
+        Scheme::Baseline,
+        Scheme::rp_default(),
+        Scheme::DelegatedReplies,
+    ] {
+        let mut cfg = config_from(args)?;
+        cfg.scheme = scheme;
+        rows.push((scheme, measure(cfg, gpu, cpu, warm, cycles)));
+    }
+    report::print_comparison(&rows);
+    Ok(())
+}
+
+fn cmd_sweep(args: &Args) -> Result<(), ParseArgsError> {
+    let mut keys = run_keys();
+    keys.extend_from_slice(&["param", "values"]);
+    args.reject_unknown(&keys)?;
+    let gpu = args.get_or("gpu", "HS");
+    let cpu = args.get_or("cpu", "bodytrack");
+    let warm = args.get_num("warm", 6_000u64)?;
+    let cycles = args.get_num("cycles", 15_000u64)?;
+    let param = args
+        .get("param")
+        .ok_or_else(|| ParseArgsError("sweep needs --param (width|l1kb|llcmb|injbuf)".into()))?;
+    let values: Vec<u64> = args
+        .get("values")
+        .ok_or_else(|| ParseArgsError("sweep needs --values v1,v2,...".into()))?
+        .split(',')
+        .map(|v| {
+            v.trim()
+                .parse()
+                .map_err(|_| ParseArgsError(format!("bad sweep value `{v}`")))
+        })
+        .collect::<Result<_, _>>()?;
+    println!(
+        "{:<10} {:>10} {:>10} {:>10} {:>10}",
+        param, "base IPC", "DR IPC", "DR/base", "blocked%"
+    );
+    for &v in &values {
+        let apply = |cfg: &mut SystemConfig| -> Result<(), ParseArgsError> {
+            match param {
+                "width" => cfg.noc.channel_bytes = v as u32,
+                "l1kb" => {
+                    cfg.gpu.l1.capacity_bytes = v * 1024;
+                }
+                "llcmb" => {
+                    cfg.llc.slice.capacity_bytes = v * 1024 * 1024 / cfg.n_mem as u64;
+                }
+                "injbuf" => cfg.noc.mem_inj_buf_pkts = v as usize,
+                other => {
+                    return Err(ParseArgsError(format!(
+                        "unknown sweep param `{other}` (width|l1kb|llcmb|injbuf)"
+                    )))
+                }
+            }
+            Ok(())
+        };
+        let mut base_cfg = config_from(args)?;
+        base_cfg.scheme = Scheme::Baseline;
+        apply(&mut base_cfg)?;
+        let mut dr_cfg = config_from(args)?;
+        dr_cfg.scheme = Scheme::DelegatedReplies;
+        apply(&mut dr_cfg)?;
+        let b = measure(base_cfg, gpu, cpu, warm, cycles);
+        let d = measure(dr_cfg, gpu, cpu, warm, cycles);
+        println!(
+            "{:<10} {:>10.2} {:>10.2} {:>10.3} {:>9.1}%",
+            v,
+            b.gpu_ipc,
+            d.gpu_ipc,
+            d.gpu_ipc / b.gpu_ipc,
+            b.mem_blocked_rate * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn cmd_trace(args: &Args) -> Result<(), ParseArgsError> {
+    let mut keys = run_keys();
+    keys.extend_from_slice(&["last", "kind"]);
+    args.reject_unknown(&keys)?;
+    let gpu = args.get_or("gpu", "HS");
+    let cpu = args.get_or("cpu", "bodytrack");
+    let warm = args.get_num("warm", 4_000u64)?;
+    let cycles = args.get_num("cycles", 4_000u64)?;
+    let last = args.get_num("last", 40usize)?;
+    let mut cfg = config_from(args)?;
+    if args.get("scheme").is_none() {
+        cfg.scheme = Scheme::DelegatedReplies;
+    }
+    let mut sys = System::new(cfg, gpu, cpu);
+    sys.run(warm);
+    sys.enable_trace(65_536);
+    sys.run(cycles);
+    let trace = sys.trace();
+    // Counts by kind.
+    let mut counts: std::collections::BTreeMap<&str, usize> = Default::default();
+    for t in trace.events() {
+        *counts.entry(t.event.kind()).or_default() += 1;
+    }
+    println!(
+        "{} protocol events over {cycles} cycles ({} retained):",
+        trace.total(),
+        trace.events().count()
+    );
+    for (k, n) in &counts {
+        println!("  {k:<12} {n}");
+    }
+    println!(
+        "
+last {last} events{}:",
+        match args.get("kind") {
+            Some(k) => format!(" of kind `{k}`"),
+            None => String::new(),
+        }
+    );
+    let filter = args.get("kind");
+    let shown: Vec<String> = trace
+        .events()
+        .filter(|t| filter.is_none_or(|k| t.event.kind() == k))
+        .map(|t| t.to_string())
+        .collect();
+    for line in shown.iter().rev().take(last).rev() {
+        println!("  {line}");
+    }
+    Ok(())
+}
+
+fn cmd_list() {
+    println!("GPU benchmarks (Table II):");
+    for p in clognet_workloads::gpu_benchmarks() {
+        println!(
+            "  {:<7} grid {:?}, shared {:.0}%, writes {:.0}%",
+            p.name,
+            p.grid_dim,
+            p.shared_fraction * 100.0,
+            p.write_fraction * 100.0
+        );
+    }
+    println!("\nCPU benchmarks (PARSEC):");
+    for p in clognet_workloads::cpu_benchmarks() {
+        println!(
+            "  {:<14} rate {:.3} req/cy, window {}, writes {:.0}%",
+            p.name,
+            p.req_rate,
+            p.window,
+            p.write_fraction * 100.0
+        );
+    }
+    println!("\nschemes  : baseline | rp | rp:<fanout> | dr");
+    println!("layouts  : a (baseline) | b (edge) | c (clustered) | d (distributed)");
+    println!("topologies: mesh | crossbar | fbfly | dragonfly");
+    println!("routing  : xy|yx|dyxy|footprint|hare, as <req>-<rep> (e.g. yx-xy)");
+}
+
+fn print_help() {
+    println!(
+        "clognet — heterogeneous CPU-GPU architecture simulator\n\
+         (reproduction of `Delegated Replies', HPCA 2022)\n\n\
+         USAGE:\n  clognet <command> [--key value]...\n\n\
+         COMMANDS:\n\
+         \x20 run      simulate one workload under one configuration\n\
+         \x20 compare  baseline vs Realistic Probing vs Delegated Replies\n\
+         \x20 sweep    sweep one parameter with and without Delegated Replies\n\
+         \x20 list     available benchmarks and option values\n\
+         \x20 help     this text\n\n\
+         COMMON OPTIONS:\n\
+         \x20 --gpu <bench>      GPU benchmark (Table II; default HS)\n\
+         \x20 --cpu <bench>      CPU benchmark (PARSEC; default bodytrack)\n\
+         \x20 --scheme <s>       baseline | rp | rp:<fanout> | dr\n\
+         \x20 --layout <l>       a | b | c | d (sets the layout's best routing)\n\
+         \x20 --topology <t>     mesh | crossbar | fbfly | dragonfly\n\
+         \x20 --routing <r>-<r>  per-class dimension order, e.g. yx-xy\n\
+         \x20 --width <bytes>    NoC channel width (default 16)\n\
+         \x20 --l1org <o>        private | dcl1 | dyneb\n\
+         \x20 --cta <p>          rr | dist\n\
+         \x20 --vnets <a>+<b>    shared physical net with a/b VCs per class\n\
+         \x20 --mesh <w>x<h>     scale the chip (node mix kept proportional)\n\
+         \x20 --warm/--cycles    warmup / measured cycles (6000 / 15000)\n\
+         \x20 --seed <n>         workload + mapping seed\n\n\
+         EXAMPLES:\n\
+         \x20 clognet compare --gpu MM --cpu canneal\n\
+         \x20 clognet run --gpu BP --cpu ferret --scheme dr --layout d\n\
+         \x20 clognet sweep --param width --values 8,16,24,32 --gpu HS --cpu x264"
+    );
+}

@@ -1,0 +1,52 @@
+//! Tests for the CLI's report formatting and end-to-end option flow.
+
+use clognet_cli::{config_from, Args};
+use clognet_core::System;
+use clognet_proto::Scheme;
+
+fn parse(s: &str) -> Args {
+    Args::parse(s.split_whitespace().map(String::from)).expect("parse")
+}
+
+#[test]
+fn run_flow_from_arguments_to_report() {
+    // The exact path `clognet run` takes, minus stdout.
+    let args = parse("run --gpu NN --cpu swaptions --scheme dr --seed 5");
+    let cfg = config_from(&args).expect("config");
+    assert_eq!(cfg.scheme, Scheme::DelegatedReplies);
+    let mut sys = System::new(cfg, "NN", "swaptions");
+    sys.run(1_500);
+    sys.reset_stats();
+    sys.run(3_000);
+    let r = sys.report();
+    assert!(r.gpu_ipc > 0.0);
+    clognet_cli::report::print_report(Scheme::DelegatedReplies, &r);
+    clognet_cli::report::print_comparison(&[(Scheme::Baseline, r)]);
+}
+
+#[test]
+fn sweep_parameters_translate() {
+    for spec in [
+        "run --topology fbfly",
+        "run --topology dragonfly",
+        "run --l1org dcl1 --cta dist",
+        "run --scheme rp:3",
+        "run --layout c",
+        "run --vnets 1+3",
+    ] {
+        let args = parse(spec);
+        let cfg = config_from(&args).expect(spec);
+        // Must be instantiable.
+        let _ = System::new(cfg, "HS", "vips");
+    }
+}
+
+#[test]
+fn summary_fields_survive_the_round_trip() {
+    let args = parse("run --mesh 10x10 --scheme dr");
+    let cfg = config_from(&args).expect("config");
+    assert_eq!(cfg.nodes(), 100);
+    assert_eq!(cfg.n_gpu + cfg.n_cpu + cfg.n_mem, 100);
+    let sys = System::new(cfg, "MM", "dedup");
+    assert_eq!(sys.layout().node_count(), 100);
+}

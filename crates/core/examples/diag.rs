@@ -1,0 +1,46 @@
+use clognet_core::System;
+use clognet_proto::{CoreId, Priority, Scheme, SystemConfig, TrafficClass};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let bench = args.get(1).map(|s| s.as_str()).unwrap_or("BT");
+    let cfg = SystemConfig::default().with_scheme(Scheme::Baseline);
+    let mut sys = System::new(cfg, bench, "dedup");
+    sys.run(20_000);
+    let r = sys.report();
+    println!("{}", r.summary());
+    println!(
+        "l1miss {:.3} oracle {:.2} llcReads {}",
+        r.l1_miss_rate, r.oracle_locality, r.breakdown.llc_direct
+    );
+    for m in sys.mems() {
+        let d = m.dram_stats();
+        println!(
+            "mem {} req {} hits {} miss {} blocked {} q{:?} dram(r {} w {} rowhit {:.2})",
+            m.id,
+            m.stats.requests,
+            m.stats.llc_hits,
+            m.stats.llc_misses,
+            m.stats.blocked_cycles,
+            m.queue_depths(),
+            d.reads,
+            d.writes,
+            d.row_hit_rate()
+        );
+    }
+    let req = sys.nets().net(TrafficClass::Request).stats();
+    let rep = sys.nets().net(TrafficClass::Reply).stats();
+    println!(
+        "reqInj {:?} repInj {:?} reqLat {:.0} repLat {:.0} inFlight {}",
+        req.injected_pkts,
+        rep.injected_pkts,
+        req.mean_latency(TrafficClass::Request, Priority::Gpu),
+        rep.mean_latency(TrafficClass::Reply, Priority::Gpu),
+        sys.nets().in_flight()
+    );
+    let g = sys.gpu().stats(CoreId(0));
+    println!(
+        "core0 retired {} memops {} stall {} llcReads {} writes {}",
+        g.retired, g.mem_ops, g.mem_stall_cycles, g.llc_reads, g.writes
+    );
+}

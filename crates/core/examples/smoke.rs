@@ -1,0 +1,58 @@
+use clognet_core::System;
+use clognet_proto::{Scheme, SystemConfig};
+use clognet_workloads::TABLE2;
+
+fn main() {
+    let warm = 10_000;
+    let run = 25_000;
+    println!(
+        "{:<6} {:>8} {:>8} {:>8} | {:>6} {:>6} | {:>5} {:>5} {:>5}",
+        "bench", "base", "DR", "RP", "DR/b", "RP/b", "blk%", "orac", "fwd%"
+    );
+    let mut gm = [1.0f64; 2];
+    for p in TABLE2.iter() {
+        let mut ipc = [0.0; 3];
+        let mut extra = (0.0, 0.0, 0.0);
+        for (i, scheme) in [
+            Scheme::Baseline,
+            Scheme::DelegatedReplies,
+            Scheme::rp_default(),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let cfg = SystemConfig::default().with_scheme(scheme);
+            let mut sys = System::new(cfg, p.gpu, p.cpus[0]);
+            sys.run(warm);
+            sys.reset_stats();
+            sys.run(run);
+            let r = sys.report();
+            ipc[i] = r.gpu_ipc;
+            if i == 0 {
+                extra = (r.mem_blocked_rate, r.oracle_locality, 0.0);
+            }
+            if i == 1 {
+                extra.2 = r.breakdown.forwarded_fraction();
+            }
+        }
+        gm[0] *= ipc[1] / ipc[0];
+        gm[1] *= ipc[2] / ipc[0];
+        println!(
+            "{:<6} {:>8.3} {:>8.3} {:>8.3} | {:>6.3} {:>6.3} | {:>5.2} {:>5.2} {:>5.2}",
+            p.gpu,
+            ipc[0],
+            ipc[1],
+            ipc[2],
+            ipc[1] / ipc[0],
+            ipc[2] / ipc[0],
+            extra.0,
+            extra.1,
+            extra.2
+        );
+    }
+    println!(
+        "GEOMEAN DR {:.3} RP {:.3}",
+        gm[0].powf(1.0 / 11.0),
+        gm[1].powf(1.0 / 11.0)
+    );
+}

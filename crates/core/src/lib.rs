@@ -1,0 +1,34 @@
+//! # clognet-core
+//!
+//! The paper's contribution, assembled: chip layouts, memory nodes with
+//! finite injection buffers, the Delegated-Replies engine (core
+//! pointers, blocking-triggered delegation on the request network, FRQ
+//! service with remote hit / delayed hit / remote-miss-DNF outcomes),
+//! the Realistic-Probing baseline, CPU-priority reply scheduling, and
+//! the cycle loop tying the GPU/CPU subsystems to the NoC, LLC, and
+//! DRAM substrates.
+//!
+//! ## Example
+//!
+//! ```
+//! use clognet_core::System;
+//! use clognet_proto::{Scheme, SystemConfig};
+//!
+//! let cfg = SystemConfig::default().with_scheme(Scheme::DelegatedReplies);
+//! let mut sys = System::new(cfg, "HS", "bodytrack");
+//! sys.run(2_000);
+//! let report = sys.report();
+//! assert!(report.gpu_ipc > 0.0);
+//! ```
+
+pub mod memnode;
+pub mod nets;
+pub mod report;
+pub mod system;
+pub mod trace;
+
+pub use memnode::{MemNode, MemNodeStats, PendingReply};
+pub use nets::Nets;
+pub use report::{MissBreakdown, Report};
+pub use system::System;
+pub use trace::{Event, TraceLog, Traced};

@@ -1,0 +1,142 @@
+//! End-of-run metrics, aligned with the paper's figures.
+
+/// Fig. 14-style breakdown of GPU L1 misses.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MissBreakdown {
+    /// Misses served directly by the LLC (or DRAM through it).
+    pub llc_direct: u64,
+    /// Misses served by a remote L1 (delegated hit, incl. delayed hits).
+    pub remote_hit: u64,
+    /// Misses delegated but missing remotely (bounced back with DNF).
+    pub remote_miss: u64,
+}
+
+impl MissBreakdown {
+    /// Total misses.
+    pub fn total(&self) -> u64 {
+        self.llc_direct + self.remote_hit + self.remote_miss
+    }
+
+    /// Fraction forwarded to remote cores (remote hit + remote miss).
+    pub fn forwarded_fraction(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            (self.remote_hit + self.remote_miss) as f64 / t as f64
+        }
+    }
+
+    /// Of the forwarded misses, the fraction that hit remotely (the
+    /// pointer-accuracy metric; 74.4% in the paper).
+    pub fn remote_hit_rate(&self) -> f64 {
+        let f = self.remote_hit + self.remote_miss;
+        if f == 0 {
+            0.0
+        } else {
+            self.remote_hit as f64 / f as f64
+        }
+    }
+}
+
+/// A complete run summary.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Report {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// GPU benchmark name.
+    pub gpu_bench: String,
+    /// CPU benchmark name.
+    pub cpu_bench: String,
+    /// Warp instructions retired per cycle, summed over GPU cores.
+    pub gpu_ipc: f64,
+    /// CPU progress relative to an unloaded core, in (0, 1].
+    pub cpu_performance: f64,
+    /// Mean CPU read round-trip latency (issue → data), cycles.
+    pub cpu_mem_latency: f64,
+    /// Mean CPU *network* latency (request + reply network residency),
+    /// cycles — the Fig. 12 metric.
+    pub cpu_net_latency: f64,
+    /// Mean received reply-network data rate per GPU core, flits/cycle —
+    /// the Fig. 11 metric.
+    pub gpu_rx_rate: f64,
+    /// Mean GPU core injection rate into the request network,
+    /// flits/cycle.
+    pub gpu_tx_rate: f64,
+    /// Fraction of cycles the memory nodes were blocked — Fig. 5b.
+    pub mem_blocked_rate: f64,
+    /// Mean utilization of the busiest reply-network output link of each
+    /// memory node (the clogged GPU-side links).
+    pub mem_reply_link_util: f64,
+    /// Replies delegated by memory nodes.
+    pub delegations: u64,
+    /// Fig. 14 breakdown.
+    pub breakdown: MissBreakdown,
+    /// Oracle inter-core locality: fraction of L1 misses whose line was
+    /// resident in some remote L1 at miss time — Fig. 2.
+    pub oracle_locality: f64,
+    /// GPU L1 miss rate (misses / accesses).
+    pub l1_miss_rate: f64,
+    /// RP probes sent.
+    pub probes_sent: u64,
+    /// Request-network packets injected (for RP's traffic inflation).
+    pub request_packets: u64,
+    /// FRQ arrivals that matched a queued line (merge opportunity,
+    /// ~4.8% in the paper).
+    pub frq_same_line_fraction: f64,
+    /// Total flit-hops over all links (energy input).
+    pub flit_hops: u64,
+    /// Channel width in bytes (energy input).
+    pub channel_bytes: u32,
+}
+
+impl Report {
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}+{}: GPU IPC {:.2}, CPU perf {:.3}, CPU net lat {:.1}, rx {:.3} fl/cy, blocked {:.1}%, delegations {}",
+            self.gpu_bench,
+            self.cpu_bench,
+            self.gpu_ipc,
+            self.cpu_performance,
+            self.cpu_net_latency,
+            self.gpu_rx_rate,
+            self.mem_blocked_rate * 100.0,
+            self.delegations
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_fractions() {
+        let b = MissBreakdown {
+            llc_direct: 40,
+            remote_hit: 45,
+            remote_miss: 15,
+        };
+        assert_eq!(b.total(), 100);
+        assert!((b.forwarded_fraction() - 0.6).abs() < 1e-12);
+        assert!((b.remote_hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_breakdown_is_zero() {
+        let b = MissBreakdown::default();
+        assert_eq!(b.forwarded_fraction(), 0.0);
+        assert_eq!(b.remote_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn summary_mentions_benchmarks() {
+        let r = Report {
+            gpu_bench: "HS".into(),
+            cpu_bench: "vips".into(),
+            ..Report::default()
+        };
+        assert!(r.summary().contains("HS+vips"));
+    }
+}

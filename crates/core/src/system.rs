@@ -1,0 +1,835 @@
+//! The full heterogeneous system: GPU subsystem + CPU subsystem +
+//! memory nodes, wired through the request/reply networks, with the
+//! Delegated-Replies engine at the memory nodes.
+//!
+//! One [`System`] simulates one heterogeneous workload (a Table-II
+//! GPU/CPU pairing) under one [`SystemConfig`]. Construction is cheap;
+//! `run` advances the whole chip cycle by cycle; [`System::report`]
+//! extracts the figure-level metrics.
+
+use crate::memnode::MemNode;
+use crate::nets::Nets;
+use crate::report::{MissBreakdown, Report};
+use crate::trace::{Event, TraceLog};
+use clognet_cpu::{CpuOut, CpuSubsystem};
+use clognet_gpu::{GpuIn, GpuOut, GpuSubsystem};
+use clognet_noc::Network;
+use clognet_proto::{
+    AddressMap, CoreId, Cycle, Layout, LineAddr, MsgKind, NodeId, NodeKind, Packet, PacketId,
+    Priority, Scheme, SystemConfig, TrafficClass,
+};
+use clognet_workloads::{cpu_benchmark, gpu_benchmark};
+use std::collections::VecDeque;
+
+/// Per-node outboxes (one per class) between the cores and the NIs.
+#[derive(Debug, Default)]
+struct Outbox {
+    request: VecDeque<Packet>,
+    reply: VecDeque<Packet>,
+}
+
+const OUTBOX_CAP: usize = 16;
+
+/// The assembled chip.
+#[derive(Debug)]
+pub struct System {
+    cfg: SystemConfig,
+    layout: Layout,
+    map: AddressMap,
+    nets: Nets,
+    gpu: GpuSubsystem,
+    cpu: CpuSubsystem,
+    mems: Vec<MemNode>,
+    outboxes: Vec<Outbox>,
+    pkt_seq: u64,
+    now: Cycle,
+    gpu_bench: String,
+    cpu_bench: String,
+    oracle_total: u64,
+    oracle_remote: u64,
+    delegations_sent: u64,
+    stats_epoch: Cycle,
+    trace: TraceLog,
+    blocked_since: Vec<Option<Cycle>>,
+    /// Scratch buffers reused across ticks.
+    gpu_out: Vec<(CoreId, GpuOut)>,
+    cpu_out: Vec<(CoreId, CpuOut)>,
+}
+
+impl System {
+    /// Build a system running `gpu_bench` on all GPU cores and
+    /// `cpu_bench` on all CPU cores (Table-II style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a benchmark name is unknown or the configuration is
+    /// inconsistent.
+    pub fn new(cfg: SystemConfig, gpu_bench: &str, cpu_bench: &str) -> Self {
+        let layout = cfg.layout();
+        let map = AddressMap::new(cfg.n_mem, cfg.seed);
+        let nets = Nets::new(&cfg);
+        let gpu_profile =
+            gpu_benchmark(gpu_bench).unwrap_or_else(|| panic!("unknown GPU benchmark {gpu_bench}"));
+        let cpu_profile =
+            cpu_benchmark(cpu_bench).unwrap_or_else(|| panic!("unknown CPU benchmark {cpu_bench}"));
+        let gpu = GpuSubsystem::new(
+            cfg.gpu.clone(),
+            cfg.scheme,
+            cfg.l1_org,
+            cfg.cta_sched,
+            gpu_profile,
+            cfg.n_gpu,
+            cfg.seed,
+        );
+        let mut gpu = gpu;
+        gpu.set_delayed_hits(cfg.dr.delayed_hits);
+        let cpu = CpuSubsystem::new(cfg.cpu.clone(), cpu_profile, cfg.n_cpu, cfg.seed);
+        let mems = layout
+            .mem_nodes()
+            .enumerate()
+            .map(|(i, node)| MemNode::new(&cfg, clognet_proto::MemId(i as u16), node))
+            .collect();
+        let outboxes = (0..layout.node_count())
+            .map(|_| Outbox::default())
+            .collect();
+        System {
+            layout,
+            map,
+            nets,
+            gpu,
+            cpu,
+            mems,
+            outboxes,
+            pkt_seq: 0,
+            now: 0,
+            gpu_bench: gpu_bench.to_string(),
+            cpu_bench: cpu_bench.to_string(),
+            oracle_total: 0,
+            oracle_remote: 0,
+            delegations_sent: 0,
+            stats_epoch: 0,
+            trace: TraceLog::new(4096),
+            blocked_since: vec![None; cfg.n_mem],
+            gpu_out: Vec::new(),
+            cpu_out: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// The resolved layout.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    fn next_pid(&mut self) -> PacketId {
+        self.pkt_seq += 1;
+        PacketId(self.pkt_seq)
+    }
+
+    fn mem_node_of(&self, line: LineAddr) -> NodeId {
+        let mc = self.map.controller_of(line);
+        self.layout.mem_node(mc)
+    }
+
+    /// Advance the whole chip by one cycle.
+    pub fn tick(&mut self) {
+        self.deliver_ejections();
+        self.tick_gpu();
+        self.tick_cpu();
+        self.tick_mems();
+        self.drain_outboxes();
+        self.nets.tick();
+        self.now += 1;
+    }
+
+    /// Run for `cycles` cycles.
+    pub fn run(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.tick();
+        }
+    }
+
+    /// Enable event tracing with a ring buffer of `cap` events.
+    pub fn enable_trace(&mut self, cap: usize) {
+        self.trace = TraceLog::new(cap);
+        self.trace.set_enabled(true);
+    }
+
+    /// The event trace (empty unless [`Self::enable_trace`] was called).
+    pub fn trace(&self) -> &TraceLog {
+        &self.trace
+    }
+
+    /// Zero all statistics while keeping architectural state (caches,
+    /// MSHRs, predictors, queues). Call after a warmup run so reports
+    /// cover only the measured window — the standard methodology for
+    /// sampled simulation.
+    pub fn reset_stats(&mut self) {
+        self.nets.reset_stats();
+        self.gpu.reset_stats();
+        self.cpu.reset_stats();
+        for m in &mut self.mems {
+            m.reset_stats();
+        }
+        self.oracle_total = 0;
+        self.oracle_remote = 0;
+        self.delegations_sent = 0;
+        self.stats_epoch = self.now;
+    }
+
+    /// Deliver everything the networks ejected to GPU/CPU endpoints.
+    /// (Memory nodes pull their requests themselves, gated on blocking.)
+    fn deliver_ejections(&mut self) {
+        let now = self.now;
+        let mut forwards: Vec<(CoreId, GpuOut)> = Vec::new();
+        for node in 0..self.layout.node_count() {
+            let node = NodeId(node as u16);
+            match self.layout.kind_of(node) {
+                NodeKind::Gpu(core) => match &mut self.nets {
+                    Nets::Separate { request, reply } => {
+                        drain_gpu(
+                            reply,
+                            node,
+                            core,
+                            &self.layout,
+                            &mut self.gpu,
+                            &mut forwards,
+                        );
+                        drain_gpu(
+                            request,
+                            node,
+                            core,
+                            &self.layout,
+                            &mut self.gpu,
+                            &mut forwards,
+                        );
+                    }
+                    Nets::Shared(n) => {
+                        drain_gpu(n, node, core, &self.layout, &mut self.gpu, &mut forwards);
+                    }
+                },
+                NodeKind::Cpu(core) => {
+                    let net = self.nets.net_mut(TrafficClass::Reply);
+                    for pkt in net.take_ejected(node, usize::MAX) {
+                        match pkt.kind {
+                            MsgKind::ReadReply => {
+                                self.cpu.deliver_data(core, pkt.addr.line(64), now);
+                            }
+                            MsgKind::WriteAck => {
+                                self.cpu.deliver_write_ack(core, pkt.addr.line(64));
+                            }
+                            other => panic!("CPU node got {other}"),
+                        }
+                    }
+                }
+                NodeKind::Mem(_) => {}
+            }
+        }
+        for (core, out) in forwards {
+            self.route_gpu_out(core, out);
+        }
+    }
+
+    fn tick_gpu(&mut self) {
+        let mut budgets = Vec::with_capacity(self.gpu.n_cores());
+        let mut remote_budgets = Vec::with_capacity(self.gpu.n_cores());
+        for i in 0..self.gpu.n_cores() {
+            let node = self.layout.gpu_node(CoreId(i as u16));
+            let ob = &self.outboxes[node.index()];
+            budgets.push(OUTBOX_CAP.saturating_sub(ob.request.len().max(ob.reply.len())));
+            // Remote (FRQ) service drains into the reply lane, which the
+            // reply network always sinks — independent of local request
+            // congestion.
+            remote_budgets.push(OUTBOX_CAP.saturating_sub(ob.reply.len()));
+        }
+        let mut out = std::mem::take(&mut self.gpu_out);
+        out.clear();
+        self.gpu.tick(self.now, &budgets, &remote_budgets, &mut out);
+        for (core, o) in out.drain(..) {
+            self.route_gpu_out(core, o);
+        }
+        self.gpu_out = out;
+    }
+
+    /// Turn a GPU-subsystem output into a packet in the right outbox.
+    fn route_gpu_out(&mut self, core: CoreId, o: GpuOut) {
+        let node = self.layout.gpu_node(core);
+        match o {
+            GpuOut::LlcRead {
+                line,
+                dnf,
+                requester,
+            } => {
+                if dnf {
+                    self.trace.push(
+                        self.now,
+                        Event::RemoteMiss {
+                            server: core,
+                            requester,
+                            line,
+                        },
+                    );
+                }
+                // Oracle inter-core-locality sampling on genuine local
+                // misses (Fig. 2).
+                if !dnf && requester == core {
+                    self.oracle_total += 1;
+                    if self.gpu.remote_l1_has(core, line) {
+                        self.oracle_remote += 1;
+                    }
+                }
+                let dst = self.mem_node_of(line);
+                let pid = self.next_pid();
+                let mut pkt = Packet::new(
+                    pid,
+                    node,
+                    dst,
+                    MsgKind::ReadReq,
+                    Priority::Gpu,
+                    line.to_addr(128),
+                    128,
+                    self.cfg.noc.channel_bytes,
+                    self.now,
+                );
+                pkt.dnf = dnf;
+                pkt.requester = self.layout.gpu_node(requester);
+                self.outboxes[node.index()].request.push_back(pkt);
+            }
+            GpuOut::LlcWrite { line } => {
+                let dst = self.mem_node_of(line);
+                let pid = self.next_pid();
+                let pkt = Packet::new(
+                    pid,
+                    node,
+                    dst,
+                    MsgKind::WriteReq,
+                    Priority::Gpu,
+                    line.to_addr(128),
+                    128,
+                    self.cfg.noc.channel_bytes,
+                    self.now,
+                );
+                self.outboxes[node.index()].request.push_back(pkt);
+            }
+            GpuOut::CoreReply { to, line } => {
+                if self.cfg.scheme == Scheme::DelegatedReplies {
+                    self.trace.push(
+                        self.now,
+                        Event::RemoteHit {
+                            server: core,
+                            requester: to,
+                            line,
+                        },
+                    );
+                }
+                let dst = self.layout.gpu_node(to);
+                let pid = self.next_pid();
+                let pkt = Packet::new(
+                    pid,
+                    node,
+                    dst,
+                    MsgKind::ReadReply,
+                    Priority::Gpu,
+                    line.to_addr(128),
+                    128,
+                    self.cfg.noc.channel_bytes,
+                    self.now,
+                );
+                self.outboxes[node.index()].reply.push_back(pkt);
+            }
+            GpuOut::Probe { to, line } => {
+                let dst = self.layout.gpu_node(to);
+                let pid = self.next_pid();
+                let pkt = Packet::new(
+                    pid,
+                    node,
+                    dst,
+                    MsgKind::ProbeReq,
+                    Priority::Gpu,
+                    line.to_addr(128),
+                    128,
+                    self.cfg.noc.channel_bytes,
+                    self.now,
+                );
+                self.outboxes[node.index()].request.push_back(pkt);
+            }
+            GpuOut::ProbeMiss { to, line } => {
+                let dst = self.layout.gpu_node(to);
+                let pid = self.next_pid();
+                let pkt = Packet::new(
+                    pid,
+                    node,
+                    dst,
+                    MsgKind::ProbeMiss,
+                    Priority::Gpu,
+                    line.to_addr(128),
+                    128,
+                    self.cfg.noc.channel_bytes,
+                    self.now,
+                );
+                self.outboxes[node.index()].reply.push_back(pkt);
+            }
+            GpuOut::ProbeHitAck { to, line } => {
+                let dst = self.layout.gpu_node(to);
+                let pid = self.next_pid();
+                let pkt = Packet::new(
+                    pid,
+                    node,
+                    dst,
+                    MsgKind::ProbeHit,
+                    Priority::Gpu,
+                    line.to_addr(128),
+                    128,
+                    self.cfg.noc.channel_bytes,
+                    self.now,
+                );
+                self.outboxes[node.index()].reply.push_back(pkt);
+            }
+            GpuOut::Fetch { to, line } => {
+                let dst = self.layout.gpu_node(to);
+                let pid = self.next_pid();
+                let pkt = Packet::new(
+                    pid,
+                    node,
+                    dst,
+                    MsgKind::FetchReq,
+                    Priority::Gpu,
+                    line.to_addr(128),
+                    128,
+                    self.cfg.noc.channel_bytes,
+                    self.now,
+                );
+                self.outboxes[node.index()].request.push_back(pkt);
+            }
+            GpuOut::Flushed => {
+                // Software coherence: all pointers naming this core die.
+                // Modeled as a direct (zero-traffic) operation; the cost
+                // of the flush itself is the lost L1 contents.
+                let mut dropped = 0;
+                for m in &mut self.mems {
+                    dropped += m.invalidate_pointers_of(core);
+                }
+                self.trace.push(
+                    self.now,
+                    Event::Flush {
+                        core,
+                        pointers: dropped,
+                    },
+                );
+            }
+        }
+    }
+
+    fn tick_cpu(&mut self) {
+        let budgets: Vec<usize> = (0..self.cpu.n_cores())
+            .map(|i| {
+                let node = self.layout.cpu_node(CoreId(i as u16));
+                let ob = &self.outboxes[node.index()];
+                OUTBOX_CAP.saturating_sub(ob.request.len())
+            })
+            .collect();
+        let mut out = std::mem::take(&mut self.cpu_out);
+        out.clear();
+        self.cpu.tick(self.now, &budgets, &mut out);
+        for (core, o) in out.drain(..) {
+            let node = self.layout.cpu_node(core);
+            let (kind, line) = match o {
+                CpuOut::Read { line } => (MsgKind::ReadReq, line),
+                CpuOut::Write { line } => (MsgKind::WriteReq, line),
+            };
+            let addr = line.to_addr(64);
+            let dst = self.mem_node_of(addr.line(128));
+            let pid = self.next_pid();
+            let pkt = Packet::new(
+                pid,
+                node,
+                dst,
+                kind,
+                Priority::Cpu,
+                addr,
+                64,
+                self.cfg.noc.channel_bytes,
+                self.now,
+            );
+            self.outboxes[node.index()].request.push_back(pkt);
+        }
+        self.cpu_out = out;
+    }
+
+    fn tick_mems(&mut self) {
+        let now = self.now;
+        for mi in 0..self.mems.len() {
+            let node = self.mems[mi].node;
+            // 1. Accept requests while unblocked (up to 2 per cycle).
+            let budget = self.mems[mi].accept_budget().min(2);
+            for _ in 0..budget {
+                let Some(pkt) = self
+                    .nets
+                    .net_mut(TrafficClass::Request)
+                    .take_ejected(node, 1)
+                    .pop()
+                else {
+                    break;
+                };
+                let layout = &self.layout;
+                self.mems[mi].process_request(&pkt, now, |n| match layout.kind_of(n) {
+                    NodeKind::Gpu(c) => Some(c),
+                    _ => None,
+                });
+            }
+            // 2. Memory-side progress.
+            self.mems[mi].tick_memory(now);
+            if self.trace.enabled() {
+                let blocked = self.mems[mi].blocked();
+                match (self.blocked_since[mi], blocked) {
+                    (None, true) => {
+                        self.blocked_since[mi] = Some(now);
+                        self.trace.push(
+                            now,
+                            Event::BlockedEnter {
+                                mem: self.mems[mi].id,
+                            },
+                        );
+                    }
+                    (Some(since), false) => {
+                        self.blocked_since[mi] = None;
+                        self.trace.push(
+                            now,
+                            Event::BlockedExit {
+                                mem: self.mems[mi].id,
+                                for_cycles: now - since,
+                            },
+                        );
+                    }
+                    _ => {}
+                }
+            }
+            // 3. Delegation: only when GPU reply injection is blocked
+            //    (Section II, "Delegated Replies" — the trigger), unless
+            //    the delegate-always ablation is active.
+            if self.cfg.scheme == Scheme::DelegatedReplies
+                && (self.cfg.dr.delegate_always
+                    || self
+                        .nets
+                        .inject_blocked(node, TrafficClass::Reply, Priority::Gpu))
+            {
+                for _ in 0..self.cfg.dr.max_per_cycle {
+                    if !self
+                        .nets
+                        .can_inject(node, TrafficClass::Request, Priority::Gpu)
+                    {
+                        break;
+                    }
+                    let Some(r) = self.mems[mi].take_delegatable() else {
+                        break;
+                    };
+                    let target = r.delegatable_to.expect("delegatable");
+                    let dst = self.layout.gpu_node(target);
+                    let pid = self.next_pid();
+                    let mut pkt = Packet::new(
+                        pid,
+                        node,
+                        dst,
+                        MsgKind::DelegatedReply,
+                        Priority::Gpu,
+                        r.addr,
+                        128,
+                        self.cfg.noc.channel_bytes,
+                        now,
+                    );
+                    pkt.requester = r.dst;
+                    self.nets.try_inject(pkt).expect("can_inject checked above");
+                    self.mems[mi].stats.delegations += 1;
+                    self.delegations_sent += 1;
+                    self.trace.push(
+                        now,
+                        Event::Delegated {
+                            mem: self.mems[mi].id,
+                            target,
+                            requester: match self.layout.kind_of(r.dst) {
+                                NodeKind::Gpu(c) => c,
+                                _ => CoreId(u16::MAX),
+                            },
+                            line: r.addr.line(128),
+                        },
+                    );
+                }
+            }
+            // 4. Inject replies: one CPU attempt (bypass), then GPU FIFO.
+            let mut tried_cpu = false;
+            for _ in 0..4 {
+                let r = if tried_cpu {
+                    self.mems[mi].next_gpu_reply()
+                } else {
+                    self.mems[mi].next_reply()
+                };
+                let Some(r) = r else { break };
+                let pid = self.next_pid();
+                let pkt = Packet::new(
+                    pid,
+                    node,
+                    r.dst,
+                    r.kind,
+                    r.prio,
+                    r.addr,
+                    r.line_bytes,
+                    self.cfg.noc.channel_bytes,
+                    now,
+                );
+                match self.nets.try_inject(pkt) {
+                    Ok(()) => {
+                        self.mems[mi].stats.injected_replies += 1;
+                    }
+                    Err(_) => {
+                        let was_cpu = r.prio == Priority::Cpu;
+                        self.mems[mi].put_back(r);
+                        if was_cpu {
+                            tried_cpu = true;
+                        } else {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn drain_outboxes(&mut self) {
+        for n in 0..self.outboxes.len() {
+            while let Some(pkt) = self.outboxes[n].request.front() {
+                match self.nets.try_inject(pkt.clone()) {
+                    Ok(()) => {
+                        self.outboxes[n].request.pop_front();
+                    }
+                    Err(_) => break,
+                }
+            }
+            while let Some(pkt) = self.outboxes[n].reply.front() {
+                match self.nets.try_inject(pkt.clone()) {
+                    Ok(()) => {
+                        self.outboxes[n].reply.pop_front();
+                    }
+                    Err(_) => break,
+                }
+            }
+        }
+    }
+
+    /// The GPU subsystem (for fine-grained inspection in tests and
+    /// examples).
+    pub fn gpu(&self) -> &GpuSubsystem {
+        &self.gpu
+    }
+
+    /// The CPU subsystem.
+    pub fn cpu(&self) -> &CpuSubsystem {
+        &self.cpu
+    }
+
+    /// The memory nodes.
+    pub fn mems(&self) -> &[MemNode] {
+        &self.mems
+    }
+
+    /// The networks.
+    pub fn nets(&self) -> &Nets {
+        &self.nets
+    }
+
+    /// Build the figure-level report.
+    pub fn report(&self) -> Report {
+        let cycles = (self.now - self.stats_epoch).max(1);
+        let n_gpu = self.gpu.n_cores() as f64;
+        let gpu_ipc = self.gpu.total_retired() as f64 / cycles as f64;
+        let rep_stats = self.nets.net(TrafficClass::Reply).stats();
+        let req_stats = self.nets.net(TrafficClass::Request).stats();
+        let gpu_rx_rate = self
+            .layout
+            .gpu_nodes()
+            .map(|n| rep_stats.rx_rate(n.index()))
+            .sum::<f64>()
+            / n_gpu;
+        let gpu_tx_rate = self
+            .layout
+            .gpu_nodes()
+            .map(|n| req_stats.node_tx_flits[n.index()] as f64 / cycles as f64)
+            .sum::<f64>()
+            / n_gpu;
+        let mem_blocked_rate = self
+            .mems
+            .iter()
+            .map(|m| m.stats.blocked_cycles as f64 / cycles as f64)
+            .sum::<f64>()
+            / self.mems.len() as f64;
+        // Busiest reply-network output link of each memory node's router.
+        let reply_net = self.nets.net(TrafficClass::Reply);
+        let topo = reply_net.topo();
+        let mem_reply_link_util = self
+            .mems
+            .iter()
+            .map(|m| {
+                let (r, local) = topo.attach_of(m.node);
+                (0..topo.port_count(r))
+                    .filter(|&p| p != local)
+                    .map(|p| reply_net.stats().link_utilization(r, p))
+                    .fold(0.0f64, f64::max)
+            })
+            .sum::<f64>()
+            / self.mems.len() as f64;
+        let mut remote_hit = 0;
+        let mut remote_miss = 0;
+        let mut llc_reads = 0;
+        let mut probes = 0;
+        let mut frq_same = 0u64;
+        let mut frq_total = 0u64;
+        for i in 0..self.gpu.n_cores() {
+            let s = self.gpu.stats(CoreId(i as u16));
+            remote_hit += s.delegated_hits + s.delegated_delayed;
+            remote_miss += s.delegated_misses;
+            llc_reads += s.llc_reads;
+            probes += s.probes_sent;
+            frq_same += s.frq_same_line;
+            frq_total += s.delegated_hits + s.delegated_delayed + s.delegated_misses;
+        }
+        let (l1_hits, l1_misses) = self.gpu.l1_hits_misses();
+        let cpu_net_latency = req_stats.mean_latency(TrafficClass::Request, Priority::Cpu)
+            + rep_stats.mean_latency(TrafficClass::Reply, Priority::Cpu);
+        Report {
+            cycles,
+            gpu_bench: self.gpu_bench.clone(),
+            cpu_bench: self.cpu_bench.clone(),
+            gpu_ipc,
+            cpu_performance: self.cpu.mean_performance(),
+            cpu_mem_latency: self.cpu.mean_read_latency(),
+            cpu_net_latency,
+            gpu_rx_rate,
+            gpu_tx_rate,
+            mem_blocked_rate,
+            mem_reply_link_util,
+            delegations: self.delegations_sent,
+            breakdown: MissBreakdown {
+                // Every miss first reaches the LLC (llc_reads); the ones
+                // that were then delegated are reclassified.
+                llc_direct: llc_reads.saturating_sub(remote_hit + remote_miss),
+                remote_hit,
+                remote_miss,
+            },
+            oracle_locality: if self.oracle_total == 0 {
+                0.0
+            } else {
+                self.oracle_remote as f64 / self.oracle_total as f64
+            },
+            l1_miss_rate: if l1_hits + l1_misses == 0 {
+                0.0
+            } else {
+                l1_misses as f64 / (l1_hits + l1_misses) as f64
+            },
+            probes_sent: probes,
+            request_packets: req_stats.injected_pkts[0],
+            frq_same_line_fraction: if frq_total == 0 {
+                0.0
+            } else {
+                frq_same as f64 / frq_total as f64
+            },
+            flit_hops: self.nets.total_flit_hops(),
+            channel_bytes: self.cfg.noc.channel_bytes,
+        }
+    }
+}
+
+/// Drain one network's ejection queue at a GPU node, dispatching by
+/// message kind. FRQ-bound messages (delegated replies, probes) are only
+/// taken while the FRQ has space — otherwise they stay in the NI and
+/// back-pressure the request network, exactly the bounded behavior the
+/// paper's 8-entry FRQ implies.
+fn drain_gpu(
+    net: &mut Network,
+    node: NodeId,
+    core: CoreId,
+    layout: &Layout,
+    gpu: &mut GpuSubsystem,
+    forwards: &mut Vec<(CoreId, GpuOut)>,
+) {
+    loop {
+        let Some(head) = net.peek_ejected(node) else {
+            return;
+        };
+        let needs_frq = matches!(
+            head.kind,
+            MsgKind::DelegatedReply | MsgKind::ProbeReq | MsgKind::FetchReq
+        );
+        if needs_frq && !gpu.frq_has_space(core) {
+            match head.kind {
+                // Delegated replies carry the reply obligation and must
+                // not be dropped: leave them in the NI (back-pressure).
+                MsgKind::DelegatedReply => return,
+                // Probes and fetches are best-effort: a full FRQ NACKs
+                // them instead of wedging the request network behind an
+                // unserviced probe (the prober falls back to the LLC).
+                _ => {
+                    let pkt = net.take_ejected(node, 1).pop().expect("peeked");
+                    let line = pkt.addr.line(128);
+                    let to = match layout.kind_of(pkt.src) {
+                        NodeKind::Gpu(c) => c,
+                        other => panic!("probe from non-GPU node {other}"),
+                    };
+                    forwards.push((core, GpuOut::ProbeMiss { to, line }));
+                    continue;
+                }
+            }
+        }
+        let pkt = net.take_ejected(node, 1).pop().expect("peeked");
+        let line = pkt.addr.line(128);
+        let msg = match pkt.kind {
+            MsgKind::ReadReply => GpuIn::Data {
+                line,
+                from: match layout.kind_of(pkt.src) {
+                    NodeKind::Gpu(c) => Some(c),
+                    _ => None,
+                },
+            },
+            MsgKind::WriteAck => GpuIn::WriteAck { line },
+            MsgKind::ProbeMiss => GpuIn::ProbeMissReply { line },
+            MsgKind::ProbeHit => GpuIn::ProbeHitReply {
+                from: match layout.kind_of(pkt.src) {
+                    NodeKind::Gpu(c) => c,
+                    other => panic!("probe hit from non-GPU node {other}"),
+                },
+                line,
+            },
+            MsgKind::FetchReq => GpuIn::FetchReq {
+                from: match layout.kind_of(pkt.requester) {
+                    NodeKind::Gpu(c) => c,
+                    other => panic!("fetch for non-GPU node {other}"),
+                },
+                line,
+            },
+            MsgKind::DelegatedReply => GpuIn::Delegated {
+                line,
+                requester: match layout.kind_of(pkt.requester) {
+                    NodeKind::Gpu(c) => c,
+                    other => panic!("delegation for non-GPU requester {other}"),
+                },
+            },
+            MsgKind::ProbeReq => GpuIn::ProbeReq {
+                from: match layout.kind_of(pkt.src) {
+                    NodeKind::Gpu(c) => c,
+                    other => panic!("probe from non-GPU node {other}"),
+                },
+                line,
+            },
+            other => panic!("GPU node got {other}"),
+        };
+        gpu.deliver(core, msg, forwards);
+    }
+}

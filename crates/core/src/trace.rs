@@ -1,0 +1,264 @@
+//! Event tracing: a bounded ring buffer of typed protocol events.
+//!
+//! Tracing makes the delegation protocol observable: every delegation,
+//! remote hit/miss, DNF bounce, blocking transition, and coherence flush
+//! can be captured with its cycle and actors, then queried or dumped.
+//! Disabled by default (zero overhead beyond a branch); enable with
+//! [`System::enable_trace`](crate::System::enable_trace).
+
+use clognet_proto::{CoreId, Cycle, LineAddr, MemId};
+use std::collections::VecDeque;
+
+/// One traced protocol event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A memory node converted a delegatable reply into a delegated
+    /// reply on the request network.
+    Delegated {
+        /// The delegating memory node.
+        mem: MemId,
+        /// The pointer core asked to supply the data.
+        target: CoreId,
+        /// The core awaiting the data.
+        requester: CoreId,
+        /// The line.
+        line: LineAddr,
+    },
+    /// A delegated reply hit in the remote L1 (data sent core-to-core).
+    RemoteHit {
+        /// The core that served the data.
+        server: CoreId,
+        /// The receiving core.
+        requester: CoreId,
+        /// The line.
+        line: LineAddr,
+    },
+    /// A delegated reply found the line outstanding and attached to the
+    /// MSHR (delayed hit).
+    DelayedHit {
+        /// The core holding the MSHR.
+        server: CoreId,
+        /// The receiving core.
+        requester: CoreId,
+        /// The line.
+        line: LineAddr,
+    },
+    /// A delegated reply missed remotely and bounced back to the LLC
+    /// with the DNF bit.
+    RemoteMiss {
+        /// The core that missed.
+        server: CoreId,
+        /// The original requester.
+        requester: CoreId,
+        /// The line.
+        line: LineAddr,
+    },
+    /// A memory node transitioned into the blocked state.
+    BlockedEnter {
+        /// The node.
+        mem: MemId,
+    },
+    /// A memory node unblocked.
+    BlockedExit {
+        /// The node.
+        mem: MemId,
+        /// Cycles it spent blocked.
+        for_cycles: Cycle,
+    },
+    /// A GPU core flushed its L1 (kernel boundary); its LLC pointers
+    /// were invalidated.
+    Flush {
+        /// The flushing core.
+        core: CoreId,
+        /// Pointers invalidated across all LLC slices.
+        pointers: usize,
+    },
+}
+
+impl Event {
+    /// Short kind tag for filtering and display.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::Delegated { .. } => "delegate",
+            Event::RemoteHit { .. } => "remote-hit",
+            Event::DelayedHit { .. } => "delayed-hit",
+            Event::RemoteMiss { .. } => "remote-miss",
+            Event::BlockedEnter { .. } => "blocked",
+            Event::BlockedExit { .. } => "unblocked",
+            Event::Flush { .. } => "flush",
+        }
+    }
+}
+
+/// A timestamped event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Traced {
+    /// Cycle the event occurred.
+    pub at: Cycle,
+    /// The event.
+    pub event: Event,
+}
+
+impl std::fmt::Display for Traced {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{:>8}] {:<11} ", self.at, self.event.kind())?;
+        match self.event {
+            Event::Delegated {
+                mem,
+                target,
+                requester,
+                line,
+            } => write!(f, "{mem} -> {target} (for {requester}) {line}"),
+            Event::RemoteHit {
+                server,
+                requester,
+                line,
+            }
+            | Event::DelayedHit {
+                server,
+                requester,
+                line,
+            }
+            | Event::RemoteMiss {
+                server,
+                requester,
+                line,
+            } => write!(f, "{server} -> {requester} {line}"),
+            Event::BlockedEnter { mem } => write!(f, "{mem}"),
+            Event::BlockedExit { mem, for_cycles } => {
+                write!(f, "{mem} after {for_cycles} cycles")
+            }
+            Event::Flush { core, pointers } => {
+                write!(f, "{core} ({pointers} LLC pointers dropped)")
+            }
+        }
+    }
+}
+
+/// Bounded event log (oldest events are discarded first).
+#[derive(Debug)]
+pub struct TraceLog {
+    buf: VecDeque<Traced>,
+    cap: usize,
+    enabled: bool,
+    total: u64,
+}
+
+impl TraceLog {
+    /// Create a disabled log with room for `cap` events.
+    pub fn new(cap: usize) -> Self {
+        TraceLog {
+            buf: VecDeque::with_capacity(cap.min(4096)),
+            cap: cap.max(1),
+            enabled: false,
+            total: 0,
+        }
+    }
+
+    /// Turn tracing on/off (the log keeps existing events).
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// Is tracing active?
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record an event (no-op while disabled).
+    pub fn push(&mut self, at: Cycle, event: Event) {
+        if !self.enabled {
+            return;
+        }
+        self.total += 1;
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(Traced { at, event });
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Traced> + '_ {
+        self.buf.iter()
+    }
+
+    /// Total events observed since enabling (including discarded ones).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Retained events of one kind.
+    pub fn of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a Traced> + 'a {
+        self.buf.iter().filter(move |t| t.event.kind() == kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log = TraceLog::new(8);
+        log.push(1, Event::BlockedEnter { mem: MemId(0) });
+        assert_eq!(log.total(), 0);
+        assert_eq!(log.events().count(), 0);
+    }
+
+    #[test]
+    fn ring_discards_oldest() {
+        let mut log = TraceLog::new(3);
+        log.set_enabled(true);
+        for i in 0..5 {
+            log.push(
+                i,
+                Event::BlockedEnter {
+                    mem: MemId(i as u16),
+                },
+            );
+        }
+        assert_eq!(log.total(), 5);
+        let at: Vec<Cycle> = log.events().map(|t| t.at).collect();
+        assert_eq!(at, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn kind_filter_and_display() {
+        let mut log = TraceLog::new(16);
+        log.set_enabled(true);
+        log.push(
+            10,
+            Event::Delegated {
+                mem: MemId(1),
+                target: CoreId(2),
+                requester: CoreId(3),
+                line: LineAddr(0x40),
+            },
+        );
+        log.push(
+            12,
+            Event::RemoteHit {
+                server: CoreId(2),
+                requester: CoreId(3),
+                line: LineAddr(0x40),
+            },
+        );
+        assert_eq!(log.of_kind("delegate").count(), 1);
+        assert_eq!(log.of_kind("remote-hit").count(), 1);
+        let s = log.events().next().unwrap().to_string();
+        assert!(s.contains("delegate"), "{s}");
+        assert!(s.contains("m1 -> c2"), "{s}");
+    }
+
+    #[test]
+    fn blocked_exit_formats_duration() {
+        let t = Traced {
+            at: 99,
+            event: Event::BlockedExit {
+                mem: MemId(4),
+                for_cycles: 17,
+            },
+        };
+        assert!(t.to_string().contains("after 17 cycles"));
+    }
+}

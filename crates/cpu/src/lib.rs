@@ -1,0 +1,420 @@
+//! # clognet-cpu
+//!
+//! The CPU side of the chip: an in-order-window trace replayer in the
+//! spirit of Netrace. Each core draws accesses from a deterministic
+//! PARSEC-profile stream at the benchmark's intrinsic rate, keeps at
+//! most `window` misses outstanding (the dependency model — small
+//! windows are latency-sensitive), and stalls when the window is full.
+//!
+//! CPU *performance* is reported as progress relative to an unloaded
+//! core: the fraction of intrinsic-rate accesses the core managed to
+//! process. Network latency reductions (what Delegated Replies delivers
+//! by un-blocking the memory nodes) translate directly into this metric,
+//! exactly as Netrace translates packet latency into CPU slowdown.
+//!
+//! The CPU domain uses MESI directory coherence in the paper; our CPU
+//! benchmarks use core-private data (PARSEC working sets partitioned per
+//! core), so the directory never generates invalidations and is modeled
+//! as plain home-node LLC access. Delegated Replies never crosses the
+//! CPU-GPU coherence boundary (Section IV).
+//!
+//! ## Example
+//!
+//! ```
+//! use clognet_cpu::{CpuOut, CpuSubsystem};
+//! use clognet_proto::CpuConfig;
+//! use clognet_workloads::cpu_benchmark;
+//!
+//! let mut cpu = CpuSubsystem::new(
+//!     CpuConfig::default(),
+//!     cpu_benchmark("vips").expect("PARSEC"),
+//!     16,
+//!     42,
+//! );
+//! let budget = vec![4; 16];
+//! let mut out = Vec::new();
+//! for now in 0..1000 {
+//!     cpu.tick(now, &budget, &mut out);
+//! }
+//! // vips at rate 0.06 over 16 cores must have issued some requests.
+//! assert!(!out.is_empty());
+//! ```
+
+use clognet_cache::SetAssocCache;
+use clognet_proto::{CoreId, CpuConfig, Cycle, LineAddr};
+use clognet_workloads::{CpuProfile, CpuStream, MemAccess};
+use std::collections::HashMap;
+
+/// A message a CPU core sends to the memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CpuOut {
+    /// Load request to the line's home LLC slice.
+    Read {
+        /// Line to fetch.
+        line: LineAddr,
+    },
+    /// Write-through store.
+    Write {
+        /// Line stored.
+        line: LineAddr,
+    },
+}
+
+/// Per-core counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CpuCoreStats {
+    /// Accesses processed (hits + issued misses + issued writes).
+    pub processed: u64,
+    /// Accesses the unloaded core would have processed (intrinsic-rate
+    /// opportunities).
+    pub opportunities: u64,
+    /// L1 hits.
+    pub l1_hits: u64,
+    /// Reads sent to the memory system.
+    pub reads: u64,
+    /// Writes sent to the memory system.
+    pub writes: u64,
+    /// Cycles stalled with a ready access that could not issue.
+    pub stall_cycles: u64,
+    /// Sum of read round-trip latencies (issue → data), in cycles.
+    pub read_latency_sum: u64,
+    /// Reads completed (for the latency mean).
+    pub reads_done: u64,
+}
+
+impl CpuCoreStats {
+    /// Progress relative to an unloaded core, in (0, 1].
+    pub fn performance(&self) -> f64 {
+        if self.opportunities == 0 {
+            1.0
+        } else {
+            self.processed as f64 / self.opportunities as f64
+        }
+    }
+
+    /// Mean read round-trip latency in cycles.
+    pub fn mean_read_latency(&self) -> f64 {
+        if self.reads_done == 0 {
+            0.0
+        } else {
+            self.read_latency_sum as f64 / self.reads_done as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Core {
+    stream: CpuStream,
+    l1: SetAssocCache<()>,
+    outstanding: usize,
+    pending: HashMap<LineAddr, Vec<Cycle>>,
+    deferred: Option<MemAccess>,
+    stats: CpuCoreStats,
+}
+
+/// All CPU cores (they all run the same PARSEC benchmark, per Table II).
+#[derive(Debug)]
+pub struct CpuSubsystem {
+    cfg: CpuConfig,
+    profile: CpuProfile,
+    cores: Vec<Core>,
+}
+
+impl CpuSubsystem {
+    /// Build `n_cores` cores running `profile`.
+    pub fn new(cfg: CpuConfig, profile: CpuProfile, n_cores: usize, seed: u64) -> Self {
+        let cores = (0..n_cores)
+            .map(|i| Core {
+                stream: CpuStream::new(profile.clone(), CoreId(i as u16), seed),
+                l1: SetAssocCache::new(cfg.l1),
+                outstanding: 0,
+                pending: HashMap::new(),
+                deferred: None,
+                stats: CpuCoreStats::default(),
+            })
+            .collect();
+        CpuSubsystem {
+            cfg,
+            profile,
+            cores,
+        }
+    }
+
+    /// Number of cores.
+    pub fn n_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// The PARSEC profile in use.
+    pub fn profile(&self) -> &CpuProfile {
+        &self.profile
+    }
+
+    /// Per-core statistics.
+    pub fn stats(&self, core: CoreId) -> CpuCoreStats {
+        self.cores[core.index()].stats
+    }
+
+    /// Zero every core's counters (warmup exclusion); caches and pending
+    /// misses keep their state.
+    pub fn reset_stats(&mut self) {
+        for c in &mut self.cores {
+            c.stats = CpuCoreStats::default();
+        }
+    }
+
+    /// Mean performance over all cores.
+    pub fn mean_performance(&self) -> f64 {
+        let n = self.cores.len() as f64;
+        self.cores
+            .iter()
+            .map(|c| c.stats.performance())
+            .sum::<f64>()
+            / n
+    }
+
+    /// Mean read latency over all cores (cycles).
+    pub fn mean_read_latency(&self) -> f64 {
+        let (sum, n) = self.cores.iter().fold((0u64, 0u64), |(s, n), c| {
+            (s + c.stats.read_latency_sum, n + c.stats.reads_done)
+        });
+        if n == 0 {
+            0.0
+        } else {
+            sum as f64 / n as f64
+        }
+    }
+
+    /// Advance all cores one cycle. `budget[i]` bounds how many messages
+    /// core `i` may emit.
+    pub fn tick(&mut self, now: Cycle, budget: &[usize], out: &mut Vec<(CoreId, CpuOut)>) {
+        let window = self.profile.window;
+        for (i, core) in self.cores.iter_mut().enumerate() {
+            let id = CoreId(i as u16);
+            let b = budget[i];
+            // Intrinsic-rate opportunities accrue every cycle, whether or
+            // not the pipeline is blocked — that is what makes the
+            // performance metric latency-aware.
+            let opportunity = core.stream.wants_issue();
+            if opportunity {
+                core.stats.opportunities += 1;
+            }
+            if core.deferred.is_none() && opportunity {
+                core.deferred = Some(core.stream.next_access());
+            }
+            let Some(access) = core.deferred else {
+                continue;
+            };
+            let line = access.addr.line(self.cfg.l1.line_bytes as u64);
+            if access.write {
+                if b == 0 {
+                    core.stats.stall_cycles += 1;
+                    continue;
+                }
+                // Write-through, no-allocate, no stall (store buffer).
+                core.l1.invalidate(line);
+                out.push((id, CpuOut::Write { line }));
+                core.stats.writes += 1;
+                core.stats.processed += 1;
+                core.deferred = None;
+                continue;
+            }
+            if core.l1.access(line) {
+                core.stats.l1_hits += 1;
+                core.stats.processed += 1;
+                core.deferred = None;
+                continue;
+            }
+            if core.pending.contains_key(&line) {
+                // Merge with the in-flight miss.
+                core.stats.processed += 1;
+                core.deferred = None;
+                continue;
+            }
+            if core.outstanding >= window || b == 0 {
+                core.stats.stall_cycles += 1;
+                continue;
+            }
+            core.outstanding += 1;
+            core.pending.entry(line).or_default().push(now);
+            out.push((id, CpuOut::Read { line }));
+            core.stats.reads += 1;
+            core.stats.processed += 1;
+            core.deferred = None;
+        }
+    }
+
+    /// A read reply arrived for `core`.
+    pub fn deliver_data(&mut self, core: CoreId, line: LineAddr, now: Cycle) {
+        let c = &mut self.cores[core.index()];
+        if let Some(issues) = c.pending.remove(&line) {
+            for t in issues {
+                c.stats.read_latency_sum += now - t;
+                c.stats.reads_done += 1;
+            }
+            c.outstanding -= 1;
+        }
+        c.l1.fill(line, ());
+    }
+
+    /// A write acknowledgment arrived (stores are fire-and-forget; the
+    /// ack only matters for network accounting).
+    pub fn deliver_write_ack(&mut self, _core: CoreId, _line: LineAddr) {}
+
+    #[cfg(test)]
+    fn outstanding(&self, core: CoreId) -> usize {
+        self.cores[core.index()].outstanding
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clognet_workloads::cpu_benchmark;
+
+    fn subsystem(name: &str) -> CpuSubsystem {
+        CpuSubsystem::new(CpuConfig::default(), cpu_benchmark(name).unwrap(), 4, 7)
+    }
+
+    /// Drive the subsystem with a fixed reply latency.
+    fn run(sub: &mut CpuSubsystem, cycles: u64, lat: u64) {
+        let budget = vec![4usize; sub.n_cores()];
+        let mut in_flight: Vec<(u64, CoreId, LineAddr)> = Vec::new();
+        for now in 0..cycles {
+            let mut due = Vec::new();
+            in_flight.retain(|&(t, c, l)| {
+                if t <= now {
+                    due.push((c, l));
+                    false
+                } else {
+                    true
+                }
+            });
+            for (c, l) in due {
+                sub.deliver_data(c, l, now);
+            }
+            let mut out = Vec::new();
+            sub.tick(now, &budget, &mut out);
+            for (c, o) in out {
+                if let CpuOut::Read { line } = o {
+                    in_flight.push((now + lat, c, line));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unloaded_core_keeps_up() {
+        let mut s = subsystem("blackscholes");
+        run(&mut s, 20_000, 30);
+        let perf = s.mean_performance();
+        assert!(perf > 0.95, "unloaded perf {perf}");
+    }
+
+    #[test]
+    fn long_latency_hurts_small_window_benchmarks_more() {
+        // canneal (window 4, cache-hostile) vs dedup (window 16).
+        let mut fast_can = subsystem("canneal");
+        run(&mut fast_can, 30_000, 50);
+        let mut slow_can = subsystem("canneal");
+        run(&mut slow_can, 30_000, 800);
+        let mut fast_dedup = subsystem("dedup");
+        run(&mut fast_dedup, 30_000, 50);
+        let mut slow_dedup = subsystem("dedup");
+        run(&mut slow_dedup, 30_000, 800);
+        let drop_can = fast_can.mean_performance() / slow_can.mean_performance();
+        let drop_dedup = fast_dedup.mean_performance() / slow_dedup.mean_performance();
+        assert!(
+            drop_can > drop_dedup,
+            "latency sensitivity inverted: canneal x{drop_can:.2} vs dedup x{drop_dedup:.2}"
+        );
+        assert!(drop_can > 1.2, "canneal barely affected: {drop_can:.2}");
+    }
+
+    #[test]
+    fn latency_is_measured() {
+        let mut s = subsystem("canneal");
+        run(&mut s, 10_000, 123);
+        let lat = s.mean_read_latency();
+        assert!(
+            (120.0..=130.0).contains(&lat),
+            "measured latency {lat} vs injected 123"
+        );
+    }
+
+    #[test]
+    fn window_limits_outstanding() {
+        let mut s = subsystem("canneal"); // window 4
+        let budget = vec![8usize; s.n_cores()];
+        // Never reply: outstanding must cap at the window.
+        let mut reads_per_core = vec![0usize; s.n_cores()];
+        for now in 0..50_000 {
+            let mut out = Vec::new();
+            s.tick(now, &budget, &mut out);
+            for (c, o) in out {
+                if matches!(o, CpuOut::Read { .. }) {
+                    reads_per_core[c.index()] += 1;
+                }
+            }
+        }
+        for (i, &r) in reads_per_core.iter().enumerate() {
+            assert!(r <= 4, "core {i} issued {r} reads with window 4");
+        }
+        assert!(s.stats(CoreId(0)).stall_cycles > 0);
+    }
+
+    #[test]
+    fn writes_do_not_block() {
+        let mut s = subsystem("dedup"); // 30% writes
+        let budget = vec![4usize; s.n_cores()];
+        let mut writes = 0;
+        for now in 0..50_000 {
+            let mut out = Vec::new();
+            s.tick(now, &budget, &mut out);
+            writes += out
+                .iter()
+                .filter(|(_, o)| matches!(o, CpuOut::Write { .. }))
+                .count();
+        }
+        assert!(writes > 0, "no writes from dedup");
+        assert!(s.stats(CoreId(0)).writes > 0);
+    }
+
+    #[test]
+    fn l1_filters_repeat_accesses() {
+        let mut s = subsystem("blackscholes"); // 80% sequential, small WS
+        run(&mut s, 200_000, 20);
+        let st = s.stats(CoreId(0));
+        assert!(
+            st.l1_hits > st.reads,
+            "sequential benchmark should mostly hit: {} hits vs {} reads",
+            st.l1_hits,
+            st.reads
+        );
+    }
+
+    #[test]
+    fn miss_completion_restores_window() {
+        let mut s = subsystem("canneal");
+        let budget = vec![4usize; s.n_cores()];
+        let mut first: Option<(CoreId, LineAddr)> = None;
+        for now in 0..10_000 {
+            let mut out = Vec::new();
+            s.tick(now, &budget, &mut out);
+            if let Some(&(c, CpuOut::Read { line })) = out.first() {
+                first = Some((c, line));
+                break;
+            }
+        }
+        let (c, line) = first.expect("a read");
+        assert_eq!(s.outstanding(c), 1);
+        s.deliver_data(c, line, 5_000);
+        assert_eq!(s.outstanding(c), 0);
+    }
+
+    #[test]
+    fn performance_is_one_without_traffic() {
+        let s = subsystem("vips");
+        assert_eq!(s.mean_performance(), 1.0);
+    }
+}

@@ -1,0 +1,33 @@
+use clognet_dram::{DramController, DramRequest};
+use clognet_proto::{DramConfig, LineAddr};
+
+fn main() {
+    let mut m = DramController::new(DramConfig::default(), 7);
+    let mut token = 0u64;
+    let mut done = 0u64;
+    let mut x = 12345u64;
+    for now in 0..20_000 {
+        while m.can_enqueue() {
+            token += 1;
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let _ = m.enqueue(
+                DramRequest {
+                    line: LineAddr(x >> 20),
+                    is_write: false,
+                    cpu: false,
+                    token,
+                },
+                now,
+            );
+        }
+        done += m.tick(now).len() as u64;
+    }
+    println!(
+        "random: {} lines / 20k cycles = {:.3}/cy rowhit {:.2}",
+        done,
+        done as f64 / 20000.0,
+        m.stats().row_hit_rate()
+    );
+}

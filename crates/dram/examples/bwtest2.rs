@@ -1,0 +1,49 @@
+use clognet_dram::{DramController, DramRequest};
+use clognet_proto::{AddressMap, DramConfig, LineAddr};
+
+fn main() {
+    // Replicate memory node 0's view of BT: random tile lines filtered to
+    // controller 0 under the system address map.
+    let map = AddressMap::new(8, 0x0C10_64E7);
+    let mut m = DramController::new(DramConfig::default(), 0x0C10_64E7);
+    let tile_base = 0x5000_0000_0000u64 / 128;
+    let mut x = 99u64;
+    let mut lines = vec![];
+    while lines.len() < 40_000 {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let l = LineAddr(tile_base + (x >> 33) % 36_000);
+        if map.controller_of(l).index() == 0 {
+            lines.push(l);
+        }
+    }
+    let mut it = lines.into_iter();
+    let mut token = 0u64;
+    let mut done = 0u64;
+    let mut bank_hist = [0u32; 16];
+    for now in 0..20_000 {
+        while m.can_enqueue() {
+            token += 1;
+            let l = it.next().unwrap();
+            bank_hist[m.bank_of(l)] += 1;
+            let _ = m.enqueue(
+                DramRequest {
+                    line: l,
+                    is_write: false,
+                    cpu: false,
+                    token,
+                },
+                now,
+            );
+        }
+        done += m.tick(now).len() as u64;
+    }
+    println!(
+        "m0-like: {} lines / 20k = {:.3}/cy rowhit {:.2}",
+        done,
+        done as f64 / 20000.0,
+        m.stats().row_hit_rate()
+    );
+    println!("bank histogram: {:?}", bank_hist);
+}

@@ -1,0 +1,719 @@
+//! # clognet-dram
+//!
+//! An FR-FCFS GDDR5 memory-controller model with per-bank row-buffer
+//! state and the Table-I timing constraints (tCL, tRP, tRC, tRAS, tRCD,
+//! tRRD, tCCD, tWR). One [`DramController`] sits behind each memory
+//! node's LLC slice; its data-bus burst occupancy (6 cycles per 128 B
+//! line at the 1.4 GHz system clock) yields ~29.5 GB/s per controller —
+//! 236 GB/s across the 8 controllers, matching the paper.
+//!
+//! First-Ready FCFS: among queued requests, one that hits an already-open
+//! row is served first; otherwise the oldest request wins and pays the
+//! precharge/activate penalty.
+//!
+//! ## Example
+//!
+//! ```
+//! use clognet_dram::{DramController, DramRequest};
+//! use clognet_proto::{DramConfig, LineAddr};
+//!
+//! let mut mc = DramController::new(DramConfig::default(), 0);
+//! mc.enqueue(DramRequest { line: LineAddr(0), is_write: false, cpu: false, token: 1 }, 0)
+//!     .unwrap();
+//! let mut done = Vec::new();
+//! for now in 0..100 {
+//!     done.extend(mc.tick(now));
+//! }
+//! assert_eq!(done, vec![1]);
+//! ```
+
+use clognet_proto::{AddressMap, Cycle, DramConfig, LineAddr};
+use std::collections::VecDeque;
+
+/// A request queued at a controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramRequest {
+    /// Line to access.
+    pub line: LineAddr,
+    /// Write (true) or read.
+    pub is_write: bool,
+    /// CPU-priority request: scheduled ahead of GPU requests within each
+    /// FR-FCFS class (the paper gives CPU traffic priority throughout
+    /// the memory system).
+    pub cpu: bool,
+    /// Caller-chosen tag returned on completion.
+    pub token: u64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Bank {
+    open_row: Option<u64>,
+    /// Earliest cycle the next column command may issue on this bank.
+    cas_ready: Cycle,
+    /// Earliest cycle a precharge may issue (tRAS / tWR protection).
+    pre_ready: Cycle,
+    /// Earliest cycle an activate may issue (tRC from last activate).
+    act_ready: Cycle,
+}
+
+/// Statistics for one controller.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DramStats {
+    /// Reads completed.
+    pub reads: u64,
+    /// Writes completed.
+    pub writes: u64,
+    /// Row-buffer hits.
+    pub row_hits: u64,
+    /// Row-buffer misses (precharge + activate paid).
+    pub row_misses: u64,
+    /// Cycles requests waited in the queue (sum over requests).
+    pub queue_wait_cycles: u64,
+    /// All-bank refreshes performed.
+    pub refreshes: u64,
+}
+
+impl DramStats {
+    /// Row-buffer hit rate in [0, 1].
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.row_hits + self.row_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    token: u64,
+    done_at: Cycle,
+}
+
+/// One FR-FCFS GDDR5 channel.
+#[derive(Debug, Clone)]
+pub struct DramController {
+    cfg: DramConfig,
+    map: AddressMap,
+    banks: Vec<Bank>,
+    queue: VecDeque<(DramRequest, Cycle)>,
+    bus_free: Cycle,
+    last_activate: Option<Cycle>,
+    next_refresh: Cycle,
+    in_flight: Vec<InFlight>,
+    stats: DramStats,
+}
+
+impl DramController {
+    /// Build a controller. `map_seed` seeds the bank/row hash (use the
+    /// same seed as the system's [`AddressMap`]).
+    pub fn new(cfg: DramConfig, map_seed: u64) -> Self {
+        let banks = cfg.banks;
+        let next_refresh = if cfg.t_refi == 0 {
+            Cycle::MAX
+        } else {
+            Cycle::from(cfg.t_refi)
+        };
+        DramController {
+            cfg,
+            map: AddressMap::new(1, map_seed),
+            banks: vec![Bank::default(); banks],
+            queue: VecDeque::new(),
+            bus_free: 0,
+            last_activate: None,
+            next_refresh,
+
+            in_flight: Vec::new(),
+            stats: DramStats::default(),
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> DramStats {
+        self.stats
+    }
+
+    /// Requests waiting or in flight.
+    pub fn pending(&self) -> usize {
+        self.queue.len() + self.in_flight.len()
+    }
+
+    /// Queue occupancy.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the queue can take another request.
+    pub fn can_enqueue(&self) -> bool {
+        self.queue.len() < self.cfg.queue
+    }
+
+    /// Free queue slots.
+    pub fn free_slots(&self) -> usize {
+        self.cfg.queue - self.queue.len()
+    }
+
+    /// The bank a line maps to (exposed for tests and bank-conflict
+    /// studies).
+    pub fn bank_of(&self, line: LineAddr) -> usize {
+        self.map.bank_of(line, self.cfg.banks)
+    }
+
+    /// The DRAM row a line maps to.
+    pub fn row_of(&self, line: LineAddr) -> u64 {
+        self.map.row_of(line, self.cfg.banks)
+    }
+
+    /// Queue a request.
+    ///
+    /// # Errors
+    ///
+    /// Returns the request back if the queue is full.
+    pub fn enqueue(&mut self, req: DramRequest, now: Cycle) -> Result<(), DramRequest> {
+        if !self.can_enqueue() {
+            return Err(req);
+        }
+        self.queue.push_back((req, now));
+        Ok(())
+    }
+
+    /// Advance one cycle; returns the tokens whose data completed.
+    pub fn tick(&mut self, now: Cycle) -> Vec<u64> {
+        let mut done = Vec::new();
+        self.in_flight.retain(|f| {
+            if f.done_at <= now {
+                done.push(f.token);
+                false
+            } else {
+                true
+            }
+        });
+        // All-bank refresh once per tREFI: closes every row and stalls
+        // the channel for tRFC.
+        if now >= self.next_refresh {
+            self.stats.refreshes += 1;
+            self.next_refresh = now + Cycle::from(self.cfg.t_refi);
+            let end = now + Cycle::from(self.cfg.t_rfc);
+            for b in &mut self.banks {
+                b.open_row = None;
+                b.cas_ready = b.cas_ready.max(end);
+                b.pre_ready = b.pre_ready.max(end);
+                b.act_ready = b.act_ready.max(end);
+            }
+        }
+        // One column command per cycle (shared command bus).
+        if let Some(pos) = self.pick(now) {
+            self.issue(pos, now);
+        }
+        done
+    }
+
+    /// FR-FCFS pick: first queued request whose bank row is open and can
+    /// issue now; otherwise the oldest request that can begin opening its
+    /// row.
+    fn pick(&self, now: Cycle) -> Option<usize> {
+        // Four passes: row-ready CPU, row-ready any, openable CPU,
+        // openable any — FR-FCFS with CPU priority inside each class.
+        let row_ready = |req: &DramRequest| {
+            let b = &self.banks[self.bank_of(req.line)];
+            b.open_row == Some(self.row_of(req.line)) && b.cas_ready <= now
+        };
+        // tRRD is enforced by *scheduling* the activate forward in
+        // `issue`, not by gating the issue decision — precharges of
+        // different banks overlap, as in a real controller.
+        let openable = |req: &DramRequest| {
+            let b = &self.banks[self.bank_of(req.line)];
+            b.pre_ready <= now && b.act_ready <= now
+        };
+        for cpu_only in [true, false] {
+            if let Some(i) = self
+                .queue
+                .iter()
+                .position(|(r, _)| (!cpu_only || r.cpu) && row_ready(r))
+            {
+                return Some(i);
+            }
+        }
+        for cpu_only in [true, false] {
+            if let Some(i) = self
+                .queue
+                .iter()
+                .position(|(r, _)| (!cpu_only || r.cpu) && openable(r))
+            {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    fn issue(&mut self, pos: usize, now: Cycle) {
+        let (req, enq_at) = self.queue.remove(pos).expect("picked index");
+        self.stats.queue_wait_cycles += now.saturating_sub(enq_at);
+        let bank_ix = self.bank_of(req.line);
+        let row = self.row_of(req.line);
+        let t_cl = Cycle::from(self.cfg.t_cl);
+        let t_rp = Cycle::from(self.cfg.t_rp);
+        let t_rcd = Cycle::from(self.cfg.t_rcd);
+        let t_ras = Cycle::from(self.cfg.t_ras);
+        let t_rc = Cycle::from(self.cfg.t_rc);
+        let t_ccd = Cycle::from(self.cfg.t_ccd);
+        let t_wr = Cycle::from(self.cfg.t_wr);
+        let burst = Cycle::from(self.cfg.burst);
+        let last_activate = &mut self.last_activate;
+        let bank = &mut self.banks[bank_ix];
+        let cas_at = if bank.open_row == Some(row) {
+            self.stats.row_hits += 1;
+            now.max(bank.cas_ready)
+        } else {
+            self.stats.row_misses += 1;
+            let pre_at = now.max(bank.pre_ready);
+            let mut act_at = if bank.open_row.is_some() {
+                (pre_at + t_rp).max(bank.act_ready)
+            } else {
+                pre_at.max(bank.act_ready)
+            };
+            // Activate-to-activate spacing across banks (tRRD).
+            if let Some(last) = *last_activate {
+                act_at = act_at.max(last + Cycle::from(self.cfg.t_rrd));
+            }
+            bank.open_row = Some(row);
+            bank.act_ready = act_at + t_rc;
+            bank.pre_ready = act_at + t_ras;
+            *last_activate = Some(act_at);
+            act_at + t_rcd
+        };
+        bank.cas_ready = cas_at + t_ccd;
+        // Data transfer occupies the shared data bus for `burst` cycles.
+        let data_start = (cas_at + t_cl).max(self.bus_free);
+        self.bus_free = data_start + burst;
+        if req.is_write {
+            // Write recovery counts from the end of the data burst.
+            bank.pre_ready = bank.pre_ready.max(data_start + burst + t_wr);
+            self.stats.writes += 1;
+        } else {
+            self.stats.reads += 1;
+        }
+        self.in_flight.push(InFlight {
+            token: req.token,
+            done_at: data_start + burst,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mc() -> DramController {
+        DramController::new(DramConfig::default(), 7)
+    }
+
+    #[test]
+    fn single_read_latency_matches_timing() {
+        let mut m = mc();
+        m.enqueue(
+            DramRequest {
+                line: LineAddr(0),
+                is_write: false,
+                cpu: false,
+                token: 9,
+            },
+            0,
+        )
+        .unwrap();
+        let mut done_at = None;
+        for now in 0..200 {
+            if let Some(&t) = m.tick(now).first() {
+                assert_eq!(t, 9);
+                done_at = Some(now);
+                break;
+            }
+        }
+        // Cold bank: tRCD + tCL + burst = 12 + 12 + 6 = 30 (+ a cycle of
+        // completion-scan slack).
+        let d = done_at.expect("completed");
+        assert!((30..=32).contains(&d), "completion at {d}");
+    }
+
+    fn same_bank_lines(m: &DramController) -> (LineAddr, LineAddr, LineAddr) {
+        let base = LineAddr(0);
+        let bank = m.bank_of(base);
+        let row = m.row_of(base);
+        let same_row = (1..100_000)
+            .map(LineAddr)
+            .find(|&l| m.bank_of(l) == bank && m.row_of(l) == row)
+            .expect("same-row line");
+        let other_row = (1..100_000)
+            .map(LineAddr)
+            .find(|&l| m.bank_of(l) == bank && m.row_of(l) != row)
+            .expect("other-row line");
+        (base, same_row, other_row)
+    }
+
+    #[test]
+    fn row_hits_are_faster_than_conflicts() {
+        let (base, same_row, other_row) = same_bank_lines(&mc());
+        let run = |lines: [LineAddr; 2]| -> Cycle {
+            let mut m = mc();
+            for (i, l) in lines.iter().enumerate() {
+                m.enqueue(
+                    DramRequest {
+                        line: *l,
+                        is_write: false,
+                        cpu: false,
+                        token: i as u64,
+                    },
+                    0,
+                )
+                .unwrap();
+            }
+            for now in 0..1000 {
+                if m.tick(now).contains(&1) {
+                    return now;
+                }
+            }
+            panic!("never completed");
+        };
+        let t_hit = run([base, same_row]);
+        let t_conf = run([base, other_row]);
+        assert!(
+            t_hit + 10 <= t_conf,
+            "row hit {t_hit} not faster than conflict {t_conf}"
+        );
+    }
+
+    #[test]
+    fn fr_fcfs_prefers_open_rows() {
+        let mut m = mc();
+        let (base, same_row, other_row) = same_bank_lines(&m);
+        // Queue order: open row (0), conflict (1), row hit (2).
+        // FR-FCFS must complete 2 before 1.
+        m.enqueue(
+            DramRequest {
+                line: base,
+                is_write: false,
+                cpu: false,
+                token: 0,
+            },
+            0,
+        )
+        .unwrap();
+        m.enqueue(
+            DramRequest {
+                line: other_row,
+                is_write: false,
+                cpu: false,
+                token: 1,
+            },
+            0,
+        )
+        .unwrap();
+        m.enqueue(
+            DramRequest {
+                line: same_row,
+                is_write: false,
+                cpu: false,
+                token: 2,
+            },
+            0,
+        )
+        .unwrap();
+        let mut order = Vec::new();
+        for now in 0..2000 {
+            order.extend(m.tick(now));
+            if order.len() == 3 {
+                break;
+            }
+        }
+        assert_eq!(order.len(), 3, "all requests complete");
+        let pos = |t: u64| order.iter().position(|&x| x == t).unwrap();
+        assert!(
+            pos(2) < pos(1),
+            "row hit must bypass older conflict: {order:?}"
+        );
+        assert_eq!(m.stats().row_hits, 1);
+    }
+
+    #[test]
+    fn bandwidth_approaches_burst_limit() {
+        // Saturate with row-friendly traffic: sustained rate should
+        // approach one line per `burst` cycles.
+        let mut m = mc();
+        let mut token = 0u64;
+        let mut completed = 0u64;
+        let horizon = 4000u64;
+        for now in 0..horizon {
+            while m.can_enqueue() {
+                token += 1;
+                m.enqueue(
+                    DramRequest {
+                        line: LineAddr(token / 4),
+                        is_write: false,
+                        cpu: false,
+                        token,
+                    },
+                    now,
+                )
+                .unwrap();
+            }
+            completed += m.tick(now).len() as u64;
+        }
+        let per_line = horizon as f64 / completed as f64;
+        assert!(
+            per_line < 9.0,
+            "sustained {per_line:.2} cycles/line is too slow (burst=6)"
+        );
+        assert!(m.stats().row_hit_rate() > 0.5);
+    }
+
+    #[test]
+    fn queue_full_rejects() {
+        let cfg = DramConfig {
+            queue: 2,
+            ..DramConfig::default()
+        };
+        let mut m = DramController::new(cfg, 0);
+        let rq = |t| DramRequest {
+            line: LineAddr(t),
+            is_write: false,
+            cpu: false,
+            token: t,
+        };
+        assert!(m.enqueue(rq(0), 0).is_ok());
+        assert!(m.enqueue(rq(1), 0).is_ok());
+        assert!(m.enqueue(rq(2), 0).is_err());
+        assert!(!m.can_enqueue());
+    }
+
+    #[test]
+    fn writes_complete_and_are_counted() {
+        let mut m = mc();
+        m.enqueue(
+            DramRequest {
+                line: LineAddr(5),
+                is_write: true,
+                cpu: false,
+                token: 1,
+            },
+            0,
+        )
+        .unwrap();
+        let mut got = false;
+        for now in 0..200 {
+            if !m.tick(now).is_empty() {
+                got = true;
+                break;
+            }
+        }
+        assert!(got);
+        assert_eq!(m.stats().writes, 1);
+        assert_eq!(m.pending(), 0);
+    }
+
+    #[test]
+    fn write_recovery_delays_precharge() {
+        let m = mc();
+        let (base, _, other_row) = same_bank_lines(&m);
+        // A write followed by a row conflict must respect tWR before the
+        // precharge: compare against read-then-conflict.
+        let run = |is_write: bool| -> Cycle {
+            let mut m = mc();
+            m.enqueue(
+                DramRequest {
+                    line: base,
+                    is_write,
+                    cpu: false,
+                    token: 0,
+                },
+                0,
+            )
+            .unwrap();
+            m.enqueue(
+                DramRequest {
+                    line: other_row,
+                    is_write: false,
+                    cpu: false,
+                    token: 1,
+                },
+                0,
+            )
+            .unwrap();
+            for now in 0..2000 {
+                if m.tick(now).contains(&1) {
+                    return now;
+                }
+            }
+            panic!("never completed");
+        };
+        let after_read = run(false);
+        let after_write = run(true);
+        assert!(
+            after_write > after_read,
+            "tWR ignored: write {after_write} <= read {after_read}"
+        );
+    }
+
+    #[test]
+    fn banks_overlap_their_latencies() {
+        let mut m = mc();
+        let mut lines = Vec::new();
+        let mut bank_seen = std::collections::HashSet::new();
+        for i in 0..100_000u64 {
+            let l = LineAddr(i * 131);
+            if bank_seen.insert(m.bank_of(l)) {
+                lines.push(l);
+                if lines.len() == 8 {
+                    break;
+                }
+            }
+        }
+        for (i, &l) in lines.iter().enumerate() {
+            m.enqueue(
+                DramRequest {
+                    line: l,
+                    is_write: false,
+                    cpu: false,
+                    token: i as u64,
+                },
+                0,
+            )
+            .unwrap();
+        }
+        let mut last = 0;
+        let mut n = 0;
+        for now in 0..2000 {
+            let d = m.tick(now);
+            if !d.is_empty() {
+                last = now;
+                n += d.len();
+            }
+            if n == 8 {
+                break;
+            }
+        }
+        assert_eq!(n, 8);
+        // Serial row-misses would take ~8 * 30 = 240 cycles; overlapped
+        // execution is bounded by bus serialization + tRRD spacing.
+        assert!(last < 120, "banks did not overlap: finished at {last}");
+    }
+
+    #[test]
+    fn cpu_requests_bypass_gpu_queue() {
+        let mut m = mc();
+        // Fill the queue with GPU traffic, then one CPU request; the CPU
+        // request must complete before most of the GPU backlog.
+        for t in 0..20u64 {
+            m.enqueue(
+                DramRequest {
+                    line: LineAddr(t * 997),
+                    is_write: false,
+                    cpu: false,
+                    token: t,
+                },
+                0,
+            )
+            .unwrap();
+        }
+        m.enqueue(
+            DramRequest {
+                line: LineAddr(123_456),
+                is_write: false,
+                cpu: true,
+                token: 99,
+            },
+            0,
+        )
+        .unwrap();
+        let mut order = Vec::new();
+        for now in 0..5_000 {
+            order.extend(m.tick(now));
+            if order.len() == 21 {
+                break;
+            }
+        }
+        let pos_cpu = order.iter().position(|&t| t == 99).unwrap();
+        assert!(pos_cpu <= 4, "CPU request served {pos_cpu}th of 21");
+    }
+
+    #[test]
+    fn refresh_closes_rows_and_stalls() {
+        let cfg = DramConfig {
+            t_refi: 100,
+            t_rfc: 50,
+            ..DramConfig::default()
+        };
+        let mut m = DramController::new(cfg, 7);
+        // Open a row well before the refresh.
+        m.enqueue(
+            DramRequest {
+                line: LineAddr(0),
+                is_write: false,
+                cpu: false,
+                token: 0,
+            },
+            0,
+        )
+        .unwrap();
+        for now in 0..95 {
+            m.tick(now);
+        }
+        // Request arriving at the refresh boundary pays tRFC even
+        // though it targets the previously open row.
+        m.enqueue(
+            DramRequest {
+                line: LineAddr(0),
+                is_write: false,
+                cpu: false,
+                token: 1,
+            },
+            100,
+        )
+        .unwrap();
+        let mut done_at = None;
+        for now in 100..500 {
+            if m.tick(now).contains(&1) {
+                done_at = Some(now);
+                break;
+            }
+        }
+        let d = done_at.expect("completed");
+        // Refresh at 100 + tRFC 50 + row reopen (tRCD 12) + tCL 12 + burst 6.
+        assert!(d >= 150, "refresh not honored: done at {d}");
+        assert!(m.stats().refreshes >= 1);
+    }
+
+    #[test]
+    fn refresh_disabled_with_zero_trefi() {
+        let cfg = DramConfig {
+            t_refi: 0,
+            ..DramConfig::default()
+        };
+        let mut m = DramController::new(cfg, 7);
+        for now in 0..50_000 {
+            m.tick(now);
+        }
+        assert_eq!(m.stats().refreshes, 0);
+    }
+
+    #[test]
+    fn queue_wait_is_accounted() {
+        let mut m = mc();
+        for t in 0..4 {
+            m.enqueue(
+                DramRequest {
+                    line: LineAddr(t * 1000),
+                    is_write: false,
+                    cpu: false,
+                    token: t,
+                },
+                0,
+            )
+            .unwrap();
+        }
+        for now in 0..500 {
+            m.tick(now);
+        }
+        assert!(m.stats().queue_wait_cycles > 0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests for the FR-FCFS controller: token conservation, bus
+//! bandwidth bounds, timing monotonicity, and CPU-priority legality.
+
+use clognet_dram::{DramController, DramRequest};
+use clognet_proto::{DramConfig, LineAddr};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    /// Every enqueued token completes exactly once, and never before the
+    /// minimum cold-access latency.
+    #[test]
+    fn tokens_conserved_and_latency_bounded(
+        lines in proptest::collection::vec(0u64..100_000, 1..80),
+        seed in 0u64..32,
+    ) {
+        let cfg = DramConfig::default();
+        let min_lat = (cfg.t_cl + cfg.burst) as u64; // row open, CAS only
+        let mut m = DramController::new(cfg, seed);
+        let mut pending: Vec<(u64, LineAddr)> = lines
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| (i as u64, LineAddr(l)))
+            .collect();
+        let mut issued_at: Vec<Option<u64>> = vec![None; pending.len()];
+        let mut done: HashSet<u64> = HashSet::new();
+        for now in 0..200_000u64 {
+            if let Some(&(tok, line)) = pending.last() {
+                if m
+                    .enqueue(DramRequest { line, is_write: false, cpu: false, token: tok }, now)
+                    .is_ok()
+                {
+                    issued_at[tok as usize] = Some(now);
+                    pending.pop();
+                }
+            }
+            for t in m.tick(now) {
+                prop_assert!(done.insert(t), "token {} completed twice", t);
+                let at = issued_at[t as usize].expect("completed before enqueue");
+                prop_assert!(now >= at + min_lat, "token {} too fast: {} < {}", t, now - at, min_lat);
+            }
+            if done.len() == lines.len() {
+                break;
+            }
+        }
+        prop_assert_eq!(done.len(), lines.len(), "requests lost");
+    }
+
+    /// Sustained data bandwidth never exceeds one line per `burst`
+    /// cycles (the data-bus serialization bound).
+    #[test]
+    fn bandwidth_never_exceeds_bus(seed in 0u64..16, stride in 1u64..64) {
+        let cfg = DramConfig::default();
+        let burst = cfg.burst as u64;
+        let mut m = DramController::new(cfg, seed);
+        let mut token = 0u64;
+        let mut completions: Vec<u64> = Vec::new();
+        for now in 0..5_000u64 {
+            while m.can_enqueue() {
+                token += 1;
+                let _ = m.enqueue(
+                    DramRequest {
+                        line: LineAddr(token * stride),
+                        is_write: false,
+                        cpu: false,
+                        token,
+                    },
+                    now,
+                );
+            }
+            for _ in m.tick(now) {
+                completions.push(now);
+            }
+        }
+        // In any window of W completions, the span must be >= (W-1)*burst.
+        let w = 20;
+        for win in completions.windows(w) {
+            let span = win[w - 1] - win[0];
+            prop_assert!(
+                span + 1 >= (w as u64 - 1) * burst,
+                "{} lines in {} cycles beats the bus", w, span
+            );
+        }
+    }
+
+    /// CPU requests always finish no later than they would have as GPU
+    /// requests in the same arrival order (priority is never harmful).
+    #[test]
+    fn cpu_priority_helps_or_is_neutral(
+        lines in proptest::collection::vec(0u64..50_000, 2..40),
+        cpu_ix in 0usize..40,
+    ) {
+        let cpu_ix = cpu_ix % lines.len();
+        let finish = |as_cpu: bool| -> u64 {
+            let mut m = DramController::new(DramConfig::default(), 3);
+            for (i, &l) in lines.iter().enumerate() {
+                m.enqueue(
+                    DramRequest {
+                        line: LineAddr(l),
+                        is_write: false,
+                        cpu: as_cpu && i == cpu_ix,
+                        token: i as u64,
+                    },
+                    0,
+                )
+                .unwrap();
+            }
+            for now in 0..500_000 {
+                if m.tick(now).contains(&(cpu_ix as u64)) {
+                    return now;
+                }
+            }
+            panic!("request never completed");
+        };
+        prop_assert!(finish(true) <= finish(false));
+    }
+}

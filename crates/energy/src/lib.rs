@@ -1,0 +1,286 @@
+//! # clognet-energy
+//!
+//! A DSENT/CACTI-style analytical area and energy model for the NoC and
+//! the Delegated-Replies hardware, calibrated at a 22 nm node to the
+//! paper's absolute figures:
+//!
+//! * baseline dual mesh (2 × 64 routers, 16 B channels, 2 VC × 4 flits):
+//!   **2.27 mm²**;
+//! * double-bandwidth mesh (32 B channels): **5.76 mm²** (2.5×, because
+//!   the router-internal crossbar is quadratic in channel width × port
+//!   count while buffers grow linearly);
+//! * 40 FRQs of 8 entries: **0.092 mm²**;
+//! * 6-bit core pointers in LLC tags + MSHRs: **0.08 mm²**;
+//! * total Delegated-Replies overhead: **0.172 mm²** (≈5 % of the extra
+//!   area a double-bandwidth NoC costs).
+//!
+//! Dynamic energy is charged per flit-hop (router traversal + 4.3 mm
+//! link); static/background power is proportional to area plus a fixed
+//! system term, so shorter execution time reduces total system energy —
+//! the paper's 13.6 % total-energy saving is mostly runtime-driven.
+
+use clognet_proto::{CacheGeometry, Topology};
+
+/// mm² per (port² · byte²): router crossbar, quadratic in both.
+const K_XBAR: f64 = 0.002_383 / 3_200.0;
+/// Fraction of the linear area term spent on buffers (rest is links).
+const LINEAR_BUF_SHARE: f64 = 0.6;
+/// Baseline linear area coefficient: mm² per channel byte for the dual
+/// mesh (buffers + links). Derived from the calibration pair.
+const K_LINEAR: f64 = 0.103_8;
+/// Baseline dual-mesh structural counts used to normalize the linear
+/// coefficients.
+const BASE_BUF_UNITS: f64 = 2.0 * 64.0 * 5.0 * 2.0 * 4.0; // nets*routers*ports*vcs*flits
+const BASE_LINK_UNITS: f64 = 2.0 * 224.0 * 4.3; // nets * directed links * mm
+
+/// SRAM density: mm² per bit at 22 nm (calibrated so 6-bit pointers over
+/// the 8 MB LLC's 65 536 lines cost 0.08 mm²).
+const K_SRAM_BIT: f64 = 0.08 / (6.0 * 65_536.0);
+/// FRQ queue cell: mm² per entry (40 cores × 8 entries = 0.092 mm²).
+const K_FRQ_ENTRY: f64 = 0.092 / 320.0;
+
+/// Dynamic energy per flit per router traversal, J/byte (22 nm ballpark:
+/// ~0.6 pJ/bit → 4.8 pJ/byte).
+const E_ROUTER_BYTE: f64 = 4.8e-12;
+/// Dynamic link energy, J/byte/mm (~0.15 pJ/bit/mm).
+const E_LINK_BYTE_MM: f64 = 1.2e-12;
+/// NoC link length in mm (Section VI).
+pub const LINK_MM: f64 = 4.3;
+/// Static NoC power per mm² (W/mm², leakage at 22 nm).
+const P_STATIC_MM2: f64 = 0.08;
+/// Fixed rest-of-system power (cores + caches + DRAM I/O), watts. Only
+/// relative energies matter; this sets how strongly runtime dominates.
+pub const P_SYSTEM_FIXED: f64 = 120.0;
+/// System clock (GPU clock, Table I).
+pub const CLOCK_HZ: f64 = 1.4e9;
+
+/// Structural description of one physical network for the area model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetShape {
+    /// Topology (determines router/port/link counts on the grid).
+    pub topology: Topology,
+    /// Grid width.
+    pub width: usize,
+    /// Grid height.
+    pub height: usize,
+    /// Channel width in bytes.
+    pub channel_bytes: u32,
+    /// VCs per port.
+    pub vcs: usize,
+    /// Buffer depth per VC in flits.
+    pub vc_buf_flits: usize,
+}
+
+impl NetShape {
+    /// (sum over routers of ports², total VC buffer units, directed-link
+    /// mm) for this network.
+    fn structure(&self) -> (f64, f64, f64) {
+        let (w, h) = (self.width as f64, self.height as f64);
+        let n = w * h;
+        match self.topology {
+            Topology::Mesh => {
+                let ports = 5.0;
+                let links = 2.0 * (w * (h - 1.0) + h * (w - 1.0));
+                (
+                    n * ports * ports,
+                    n * ports * self.vcs as f64 * self.vc_buf_flits as f64,
+                    links * LINK_MM,
+                )
+            }
+            Topology::Crossbar => {
+                let ports = n;
+                (
+                    ports * ports,
+                    ports * self.vcs as f64 * self.vc_buf_flits as f64,
+                    // Long global wires to every node: roughly a quarter
+                    // of the die perimeter each.
+                    n * (w + h) / 4.0 * LINK_MM,
+                )
+            }
+            Topology::FlattenedButterfly => {
+                let ports = 1.0 + (w - 1.0) + (h - 1.0);
+                // Row/column express links, average span (w+1)/3 hops.
+                let links = n * (ports - 1.0);
+                (
+                    n * ports * ports,
+                    n * ports * self.vcs as f64 * self.vc_buf_flits as f64,
+                    links * LINK_MM * (w + 1.0) / 3.0 / 2.0,
+                )
+            }
+            Topology::Dragonfly => {
+                let ports = 1.0 + (w - 1.0) + 1.0;
+                let intra = n * (w - 1.0);
+                let global = h * (h - 1.0);
+                (
+                    n * ports * ports,
+                    n * ports * self.vcs as f64 * self.vc_buf_flits as f64,
+                    (intra * LINK_MM + global * 2.5 * LINK_MM) / 2.0,
+                )
+            }
+        }
+    }
+
+    /// Area of this network in mm².
+    pub fn area_mm2(&self) -> f64 {
+        let (xbar_units, buf_units, link_mm) = self.structure();
+        let wb = self.channel_bytes as f64;
+        let xbar = K_XBAR * xbar_units * wb * wb;
+        let k_buf = K_LINEAR * LINEAR_BUF_SHARE / BASE_BUF_UNITS;
+        let k_link = K_LINEAR * (1.0 - LINEAR_BUF_SHARE) / BASE_LINK_UNITS;
+        let buf = k_buf * buf_units * wb;
+        let link = k_link * link_mm * wb;
+        xbar + buf + link
+    }
+}
+
+/// Delegated-Replies hardware overhead (Section IV).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DrArea {
+    /// Core pointers in LLC tags and MSHRs, mm².
+    pub pointers_mm2: f64,
+    /// Forwarded Request Queues, mm².
+    pub frqs_mm2: f64,
+}
+
+impl DrArea {
+    /// Compute the overhead for a system with `n_gpu` cores, `n_mem` LLC
+    /// slices of `llc_slice` geometry, and `frq_entries` FRQ slots.
+    pub fn compute(
+        n_gpu: usize,
+        n_mem: usize,
+        llc_slice: CacheGeometry,
+        frq_entries: usize,
+    ) -> Self {
+        let pointer_bits = (n_gpu as f64).log2().ceil().max(1.0);
+        let lines = llc_slice.lines() as f64 * n_mem as f64;
+        DrArea {
+            pointers_mm2: K_SRAM_BIT * pointer_bits * lines,
+            frqs_mm2: K_FRQ_ENTRY * (n_gpu * frq_entries) as f64,
+        }
+    }
+
+    /// Total overhead, mm².
+    pub fn total_mm2(&self) -> f64 {
+        self.pointers_mm2 + self.frqs_mm2
+    }
+}
+
+/// Dynamic + static energy accounting for a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyReport {
+    /// NoC dynamic energy, joules.
+    pub noc_dynamic_j: f64,
+    /// NoC static energy, joules.
+    pub noc_static_j: f64,
+    /// Rest-of-system energy (runtime-proportional), joules.
+    pub system_j: f64,
+}
+
+impl EnergyReport {
+    /// Total energy.
+    pub fn total_j(&self) -> f64 {
+        self.noc_dynamic_j + self.noc_static_j + self.system_j
+    }
+}
+
+/// Compute the energy of a run.
+///
+/// * `flit_hops` — total router traversals summed over all flits (the
+///   NoC stats' per-link flit counts are exactly this);
+/// * `channel_bytes` — flit width;
+/// * `noc_area_mm2` — from [`NetShape::area_mm2`] (sum both networks);
+/// * `cycles` — run length.
+pub fn energy(flit_hops: u64, channel_bytes: u32, noc_area_mm2: f64, cycles: u64) -> EnergyReport {
+    let t = cycles as f64 / CLOCK_HZ;
+    let per_hop = channel_bytes as f64 * (E_ROUTER_BYTE + E_LINK_BYTE_MM * LINK_MM);
+    EnergyReport {
+        noc_dynamic_j: flit_hops as f64 * per_hop,
+        noc_static_j: P_STATIC_MM2 * noc_area_mm2 * t,
+        system_j: P_SYSTEM_FIXED * t,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clognet_proto::LlcConfig;
+
+    fn mesh(channel: u32) -> NetShape {
+        NetShape {
+            topology: Topology::Mesh,
+            width: 8,
+            height: 8,
+            channel_bytes: channel,
+            vcs: 2,
+            vc_buf_flits: 4,
+        }
+    }
+
+    #[test]
+    fn baseline_dual_mesh_matches_paper() {
+        let a = 2.0 * mesh(16).area_mm2();
+        assert!((a - 2.27).abs() < 0.03, "baseline NoC {a:.3} mm² != 2.27");
+    }
+
+    #[test]
+    fn double_bandwidth_mesh_matches_paper() {
+        let a = 2.0 * mesh(32).area_mm2();
+        assert!((a - 5.76).abs() < 0.08, "2x NoC {a:.3} mm² != 5.76");
+        // The paper's headline: 2.5x the baseline.
+        let ratio = a / (2.0 * mesh(16).area_mm2());
+        assert!((ratio - 2.54).abs() < 0.1, "ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn dr_overhead_matches_paper() {
+        let llc = LlcConfig::default();
+        let dr = DrArea::compute(40, 8, llc.slice, 8);
+        assert!((dr.pointers_mm2 - 0.08).abs() < 0.005, "{dr:?}");
+        assert!((dr.frqs_mm2 - 0.092).abs() < 0.005, "{dr:?}");
+        assert!((dr.total_mm2() - 0.172).abs() < 0.01);
+        // ~5% of the double-bandwidth area *increase*.
+        let extra = 2.0 * (mesh(32).area_mm2() - mesh(16).area_mm2());
+        let share = dr.total_mm2() / extra;
+        assert!((0.03..0.08).contains(&share), "share {share:.3}");
+    }
+
+    #[test]
+    fn pointer_bits_follow_core_count() {
+        let llc = LlcConfig::default();
+        let small = DrArea::compute(32, 8, llc.slice, 8); // 5 bits
+        let big = DrArea::compute(64, 8, llc.slice, 8); // 6 bits
+        assert!(small.pointers_mm2 < big.pointers_mm2);
+    }
+
+    #[test]
+    fn energy_scales_with_traffic_and_time() {
+        let area = 2.0 * mesh(16).area_mm2();
+        let quiet = energy(1_000, 16, area, 100_000);
+        let busy = energy(10_000_000, 16, area, 100_000);
+        assert!(busy.noc_dynamic_j > 100.0 * quiet.noc_dynamic_j);
+        assert_eq!(busy.noc_static_j, quiet.noc_static_j);
+        let long = energy(1_000, 16, area, 200_000);
+        assert!((long.system_j / quiet.system_j - 2.0).abs() < 1e-9);
+        assert!(quiet.total_j() > 0.0);
+    }
+
+    #[test]
+    fn alternative_topologies_have_defined_area() {
+        for t in Topology::ALL {
+            let a = NetShape {
+                topology: t,
+                ..mesh(16)
+            }
+            .area_mm2();
+            assert!(a > 0.0, "{t:?}");
+        }
+        // A 64-port crossbar costs more than a mesh of the same width
+        // (its central switch is quadratic in port count).
+        let xbar = NetShape {
+            topology: Topology::Crossbar,
+            ..mesh(16)
+        }
+        .area_mm2();
+        assert!(xbar > mesh(16).area_mm2());
+    }
+}

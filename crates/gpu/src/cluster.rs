@@ -1,0 +1,282 @@
+//! Shared-L1 clusters: DC-L1 and DynEB (Fig. 15).
+//!
+//! DC-L1 (Ibrahim+ HPCA'21) statically shares one L1 of
+//! `cluster_slices` address-interleaved slices among `cluster_cores`
+//! GPU cores. Sharing deduplicates shared data (higher effective
+//! capacity — good for SC, LUD) but serializes bursts to the same hot
+//! line at the slice's single port (the NN/2DCON pathology the paper
+//! describes).
+//!
+//! DynEB (Ibrahim+ PACT'20) samples shared vs private organization in
+//! alternating epochs and commits to whichever served more accesses,
+//! re-sampling periodically.
+
+use clognet_cache::SetAssocCache;
+use clognet_proto::{CacheGeometry, Cycle, LineAddr};
+
+/// Current organization of a DynEB cluster (DC-L1 is always `Shared`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterMode {
+    /// Cores use the shared address-interleaved slices.
+    Shared,
+    /// Cores fall back to their private L1s.
+    Private,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Initial alternating measurement (epoch index 0..4).
+    Sampling(u8),
+    /// Committed to the better mode until the next re-sample.
+    Committed(u8),
+}
+
+/// One cluster of cores sharing L1 slices.
+#[derive(Debug)]
+pub struct Cluster {
+    slices: Vec<SetAssocCache<()>>,
+    /// Port uses per slice this cycle (1 port per slice).
+    used: Vec<u8>,
+    mode: ClusterMode,
+    dynamic: bool,
+    phase: Phase,
+    epoch_len: u64,
+    epoch_end: Cycle,
+    served_this_epoch: u64,
+    served_shared: u64,
+    served_private: u64,
+    /// Mode switches performed (stats).
+    pub switches: u64,
+}
+
+impl Cluster {
+    /// Build a cluster with `slices` slices of `slice_geom` each.
+    /// `dynamic` enables DynEB adaptation (otherwise static DC-L1).
+    pub fn new(slices: usize, slice_geom: CacheGeometry, dynamic: bool, epoch_len: u64) -> Self {
+        Cluster {
+            slices: (0..slices)
+                .map(|_| SetAssocCache::new(slice_geom))
+                .collect(),
+            used: vec![0; slices],
+            mode: ClusterMode::Shared,
+            dynamic,
+            phase: Phase::Sampling(0),
+            epoch_len,
+            epoch_end: epoch_len,
+            served_this_epoch: 0,
+            served_shared: 0,
+            served_private: 0,
+            switches: 0,
+        }
+    }
+
+    /// Current organization.
+    pub fn mode(&self) -> ClusterMode {
+        self.mode
+    }
+
+    /// The slice index a line maps to.
+    pub fn slice_of(&self, line: LineAddr) -> usize {
+        // Mix upper bits so hot consecutive lines spread over slices.
+        let x = line.0 ^ (line.0 >> 5);
+        (x % self.slices.len() as u64) as usize
+    }
+
+    /// Reset per-cycle port usage.
+    pub fn begin_cycle(&mut self) {
+        self.used.iter_mut().for_each(|u| *u = 0);
+    }
+
+    /// Try to claim the local port of the slice holding `line`. Returns
+    /// the slice index on success; `None` means a port-serialization
+    /// stall — the shared-L1 pathology: eight cores share four
+    /// single-ported slices (remote-request service uses a separate
+    /// snoop port).
+    pub fn claim_port(&mut self, line: LineAddr) -> Option<usize> {
+        let s = self.slice_of(line);
+        if self.used[s] >= 1 {
+            return None;
+        }
+        self.used[s] += 1;
+        self.served_this_epoch += 1;
+        Some(s)
+    }
+
+    /// Access the shared slice (LRU lookup).
+    pub fn access(&mut self, slice: usize, line: LineAddr) -> bool {
+        self.slices[slice].access(line)
+    }
+
+    /// Probe without side effects.
+    pub fn probe(&self, line: LineAddr) -> bool {
+        self.slices[self.slice_of(line)].probe(line)
+    }
+
+    /// Fill after a miss returns.
+    pub fn fill(&mut self, line: LineAddr) {
+        let s = self.slice_of(line);
+        self.slices[s].fill(line, ());
+    }
+
+    /// Invalidate a line (write-evict).
+    pub fn invalidate(&mut self, line: LineAddr) {
+        let s = self.slice_of(line);
+        self.slices[s].invalidate(line);
+    }
+
+    /// Flush all slices; returns lines dropped.
+    pub fn flush(&mut self) -> usize {
+        self.slices.iter_mut().map(|s| s.flush()).sum()
+    }
+
+    /// Count an access served in private mode (DynEB bookkeeping).
+    pub fn note_private_served(&mut self) {
+        self.served_this_epoch += 1;
+    }
+
+    /// Advance DynEB epochs; returns `true` when the cluster switched
+    /// organization (the caller must flush the affected caches).
+    pub fn maybe_adapt(&mut self, now: Cycle) -> bool {
+        if !self.dynamic || now < self.epoch_end {
+            return false;
+        }
+        let served = self.served_this_epoch;
+        self.served_this_epoch = 0;
+        self.epoch_end = now + self.epoch_len;
+        let prev = self.mode;
+        match self.phase {
+            Phase::Sampling(i) => {
+                match self.mode {
+                    ClusterMode::Shared => self.served_shared = served,
+                    ClusterMode::Private => self.served_private = served,
+                }
+                if i >= 1 {
+                    // One epoch of each organization measured: commit to
+                    // the one that served more accesses (DynEB's
+                    // effective-bandwidth criterion).
+                    self.mode = if self.served_shared >= self.served_private {
+                        ClusterMode::Shared
+                    } else {
+                        ClusterMode::Private
+                    };
+                    self.phase = Phase::Committed(0);
+                } else {
+                    self.mode = match self.mode {
+                        ClusterMode::Shared => ClusterMode::Private,
+                        ClusterMode::Private => ClusterMode::Shared,
+                    };
+                    self.phase = Phase::Sampling(i + 1);
+                }
+            }
+            Phase::Committed(age) => {
+                if age >= 60 {
+                    // Periodic re-sample (rare: switching costs a flush).
+                    self.served_shared = 0;
+                    self.served_private = 0;
+                    self.phase = Phase::Sampling(0);
+                    self.mode = ClusterMode::Shared;
+                } else {
+                    self.phase = Phase::Committed(age + 1);
+                }
+            }
+        }
+        if self.mode != prev {
+            self.switches += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> CacheGeometry {
+        CacheGeometry {
+            capacity_bytes: 48 * 1024,
+            ways: 4,
+            line_bytes: 128,
+        }
+    }
+
+    #[test]
+    fn slice_port_serializes_same_line() {
+        let mut c = Cluster::new(4, geom(), false, 4096);
+        c.begin_cycle();
+        let line = LineAddr(77);
+        assert!(c.claim_port(line).is_some());
+        // Second access to the same slice in the same cycle stalls.
+        assert!(c.claim_port(line).is_none(), "hot-line serialization");
+        c.begin_cycle();
+        assert!(c.claim_port(line).is_some());
+    }
+
+    #[test]
+    fn different_slices_proceed_in_parallel() {
+        let mut c = Cluster::new(4, geom(), false, 4096);
+        c.begin_cycle();
+        let l0 = LineAddr(0);
+        let mut claimed = 1;
+        assert!(c.claim_port(l0).is_some());
+        for i in 1..64u64 {
+            if c.slice_of(LineAddr(i)) != c.slice_of(l0) && c.claim_port(LineAddr(i)).is_some() {
+                claimed += 1;
+                if claimed == 4 {
+                    break;
+                }
+            }
+        }
+        assert_eq!(claimed, 4, "all four slices usable per cycle");
+    }
+
+    #[test]
+    fn fill_then_access_hits() {
+        let mut c = Cluster::new(4, geom(), false, 4096);
+        c.fill(LineAddr(5));
+        assert!(c.probe(LineAddr(5)));
+        let s = c.slice_of(LineAddr(5));
+        assert!(c.access(s, LineAddr(5)));
+        c.invalidate(LineAddr(5));
+        assert!(!c.probe(LineAddr(5)));
+    }
+
+    #[test]
+    fn static_cluster_never_adapts() {
+        let mut c = Cluster::new(4, geom(), false, 100);
+        for now in (0..10_000).step_by(100) {
+            assert!(!c.maybe_adapt(now));
+            assert_eq!(c.mode(), ClusterMode::Shared);
+        }
+    }
+
+    #[test]
+    fn dyneb_samples_then_commits() {
+        let mut c = Cluster::new(4, geom(), true, 100);
+        // Shared epochs serve poorly; private epochs serve well.
+        let mut modes = Vec::new();
+        for e in 0..4u64 {
+            let now = (e + 1) * 100;
+            let served = match c.mode() {
+                ClusterMode::Shared => 10,
+                ClusterMode::Private => 1000,
+            };
+            c.served_this_epoch = served;
+            c.maybe_adapt(now);
+            modes.push(c.mode());
+        }
+        // After the two sampling epochs it must commit to Private.
+        assert_eq!(*modes.last().unwrap(), ClusterMode::Private);
+        assert!(c.switches >= 1);
+    }
+
+    #[test]
+    fn flush_drops_lines() {
+        let mut c = Cluster::new(2, geom(), false, 100);
+        c.fill(LineAddr(1));
+        c.fill(LineAddr(2));
+        assert_eq!(c.flush(), 2);
+        assert!(!c.probe(LineAddr(1)));
+    }
+}

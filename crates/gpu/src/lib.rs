@@ -1,0 +1,39 @@
+//! # clognet-gpu
+//!
+//! The GPU side of the heterogeneous chip: SIMT cores running synthetic
+//! benchmark streams, private or clustered (DC-L1 / DynEB) L1 caches,
+//! MSHRs with cross-core forwarding targets, the Delegated-Replies
+//! Forwarded Request Queue (FRQ) with remote-over-local priority, and
+//! the Realistic-Probing predictor and prober.
+//!
+//! The subsystem is network-agnostic: it speaks [`GpuOut`] / [`GpuIn`]
+//! messages and is wired to the NoC by `clognet-core`.
+//!
+//! ## Example
+//!
+//! ```
+//! use clognet_gpu::{GpuSubsystem, GpuIn, GpuOut};
+//! use clognet_proto::{CoreId, CtaSched, GpuConfig, L1Org, Scheme};
+//! use clognet_workloads::gpu_benchmark;
+//!
+//! let mut gpu = GpuSubsystem::new(
+//!     GpuConfig::default(),
+//!     Scheme::DelegatedReplies,
+//!     L1Org::Private,
+//!     CtaSched::RoundRobin,
+//!     gpu_benchmark("HS").expect("Table II"),
+//!     40,
+//!     42,
+//! );
+//! let budget = vec![8; 40];
+//! let mut out = Vec::new();
+//! gpu.tick(0, &budget, &budget, &mut out); // cores start issuing reads
+//! ```
+
+pub mod cluster;
+pub mod msg;
+pub mod subsystem;
+
+pub use cluster::{Cluster, ClusterMode};
+pub use msg::{GpuIn, GpuOut};
+pub use subsystem::{GpuCoreStats, GpuSubsystem};

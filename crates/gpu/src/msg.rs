@@ -1,0 +1,123 @@
+//! Messages between the GPU subsystem and the rest of the system.
+//!
+//! The GPU crate is network-agnostic: it emits [`GpuOut`] values and
+//! consumes [`GpuIn`] values; the system assembler (clognet-core) turns
+//! them into packets on the right physical network.
+
+use clognet_proto::{CoreId, LineAddr};
+
+/// A message a GPU core wants to send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GpuOut {
+    /// Read request to the line's home LLC slice. `requester` is the core
+    /// that must receive the data — normally the sender itself, but for a
+    /// remote-miss resend it is the original requester and `dnf` is set
+    /// so the LLC answers directly (Section IV).
+    LlcRead {
+        /// Line to fetch.
+        line: LineAddr,
+        /// Do-Not-Forward: LLC must not delegate this reply again.
+        dnf: bool,
+        /// Core the data must reach.
+        requester: CoreId,
+    },
+    /// Write-through store to the home LLC slice.
+    LlcWrite {
+        /// Line being stored.
+        line: LineAddr,
+    },
+    /// Cache-line transfer to another GPU core (a served delegated reply
+    /// or RP probe hit).
+    CoreReply {
+        /// Receiving core.
+        to: CoreId,
+        /// Line carried.
+        line: LineAddr,
+    },
+    /// RP: probe another core's L1.
+    Probe {
+        /// Probed core.
+        to: CoreId,
+        /// Line sought.
+        line: LineAddr,
+    },
+    /// RP: negative probe/fetch response.
+    ProbeMiss {
+        /// The prober.
+        to: CoreId,
+        /// Line that missed.
+        line: LineAddr,
+    },
+    /// RP: positive probe response ("I have it"), 1 flit. The prober
+    /// follows up with a fetch to exactly one hitter.
+    ProbeHitAck {
+        /// The prober.
+        to: CoreId,
+        /// Line found.
+        line: LineAddr,
+    },
+    /// RP: fetch the line from a confirmed hitter.
+    Fetch {
+        /// The hitter.
+        to: CoreId,
+        /// Line to transfer.
+        line: LineAddr,
+    },
+    /// This core flushed its L1 (software coherence at a kernel
+    /// boundary); the LLC must invalidate all pointers naming it.
+    Flushed,
+}
+
+/// A message delivered to a GPU core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GpuIn {
+    /// A cache line arrived (LLC reply or remote core reply).
+    Data {
+        /// The line.
+        line: LineAddr,
+        /// The supplying GPU core, when the reply came core-to-core
+        /// (`None` for LLC replies). RP uses this to steer future probes
+        /// at proven suppliers.
+        from: Option<CoreId>,
+    },
+    /// Store acknowledgment from the LLC.
+    WriteAck {
+        /// The stored line.
+        line: LineAddr,
+    },
+    /// A delegated reply: this core is asked to supply `line` to
+    /// `requester`. Enters the FRQ (the system must check
+    /// [`crate::GpuSubsystem::frq_has_space`] before delivering).
+    Delegated {
+        /// Line to supply.
+        line: LineAddr,
+        /// Core awaiting the data.
+        requester: CoreId,
+    },
+    /// RP: another core probes our L1.
+    ProbeReq {
+        /// The prober.
+        from: CoreId,
+        /// Line sought.
+        line: LineAddr,
+    },
+    /// RP: one of our probes (or our fetch) missed remotely.
+    ProbeMissReply {
+        /// Line that missed.
+        line: LineAddr,
+    },
+    /// RP: a probe found the line at `from`.
+    ProbeHitReply {
+        /// The confirmed hitter.
+        from: CoreId,
+        /// Line found.
+        line: LineAddr,
+    },
+    /// RP: a confirmed hitter is asked to transfer the line.
+    FetchReq {
+        /// The prober to send data to.
+        from: CoreId,
+        /// Line to transfer.
+        line: LineAddr,
+    },
+}

@@ -1,0 +1,1496 @@
+//! The GPU subsystem: SIMT cores with warps, private (or clustered) L1
+//! caches, MSHRs, the Delegated-Replies Forwarded Request Queue, and the
+//! Realistic-Probing predictor/prober.
+//!
+//! Each core runs `warps_per_core` warps; a warp alternates
+//! `compute_per_mem` compute instructions with one memory instruction
+//! drawn from its benchmark stream. Up to `issue_width` warps issue per
+//! cycle (two GTO schedulers in Table I), which is what makes the cores
+//! latency-tolerant and bandwidth-hungry.
+//!
+//! The subsystem is network-agnostic: `tick` returns [`GpuOut`] messages
+//! bounded by a per-core outbox budget, and the system feeds packets
+//! back via `deliver`. Remote requests (FRQ entries) are served *before*
+//! local warps each cycle — the deadlock-avoidance priority of
+//! Section IV.
+
+use crate::cluster::{Cluster, ClusterMode};
+use crate::msg::{GpuIn, GpuOut};
+use clognet_cache::{MshrFile, MshrOutcome, SetAssocCache};
+use clognet_proto::{CoreId, CtaSched, Cycle, GpuConfig, L1Org, LineAddr, Scheme};
+use clognet_workloads::{GpuProfile, GpuStream, MemAccess};
+use std::collections::{HashMap, VecDeque};
+
+/// Per-core counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GpuCoreStats {
+    /// Warp instructions retired.
+    pub retired: u64,
+    /// Memory instructions issued.
+    pub mem_ops: u64,
+    /// Cycles a ready memory instruction could not issue (ports, MSHRs,
+    /// or outbox budget).
+    pub mem_stall_cycles: u64,
+    /// Delegated replies served with an L1 hit.
+    pub delegated_hits: u64,
+    /// Delegated replies attached to an outstanding miss (delayed hit).
+    pub delegated_delayed: u64,
+    /// Delegated replies that missed (re-sent to the LLC with DNF).
+    pub delegated_misses: u64,
+    /// FRQ entries that arrived while another entry for the same line
+    /// was queued (the paper's 4.8% merge-opportunity statistic).
+    pub frq_same_line: u64,
+    /// RP probes sent.
+    pub probes_sent: u64,
+    /// RP probes answered with data by this core.
+    pub probe_hits_served: u64,
+    /// RP probes this core answered negatively.
+    pub probe_misses_served: u64,
+    /// Primary read misses that went straight to the LLC.
+    pub llc_reads: u64,
+    /// Write-throughs sent.
+    pub writes: u64,
+    /// L1 flushes (kernel boundaries).
+    pub flushes: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WarpState {
+    /// Executing compute instructions; 0 left means the memory
+    /// instruction is next.
+    Compute(u32),
+    /// Blocked on an outstanding read.
+    WaitMem,
+}
+
+#[derive(Debug)]
+struct Warp {
+    state: WarpState,
+    pending: Option<MemAccess>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Target {
+    /// Wake a local warp.
+    Warp(u16),
+    /// Forward the line to a remote core (delayed delegated hit).
+    Remote(CoreId),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum FrqEntry {
+    Delegated { line: LineAddr, requester: CoreId },
+    Probe { line: LineAddr, from: CoreId },
+    Fetch { line: LineAddr, from: CoreId },
+}
+
+#[derive(Debug, Clone, Default)]
+struct ProbeWait {
+    /// Probe (and fetch) responses still expected.
+    outstanding: usize,
+    /// Data already arrived.
+    satisfied: bool,
+    /// A fetch was dispatched to a confirmed hitter.
+    fetch_sent: bool,
+    /// Probe targets not yet sent (outbox budget ran out).
+    to_send: Vec<CoreId>,
+}
+
+#[derive(Debug)]
+struct Core {
+    warps: Vec<Warp>,
+    stream: GpuStream,
+    mshr: MshrFile<Target>,
+    frq: VecDeque<FrqEntry>,
+    probe_wait: HashMap<LineAddr, ProbeWait>,
+    predictor: Vec<u8>,
+    probe_rr: usize,
+    /// RP: misses seen (drives epsilon re-probing so the predictor can
+    /// re-learn after cold-start failures).
+    probe_seq: u64,
+    /// RP: global probe-confidence score. Benchmarks where probing keeps
+    /// failing (no findable remote copies) throttle themselves back to
+    /// baseline behavior — the "best-performing configuration" knob.
+    probe_score: i32,
+    /// RP: cores that recently supplied data to us (probe steering).
+    suppliers: VecDeque<CoreId>,
+    next_flush: Option<Cycle>,
+    stats: GpuCoreStats,
+}
+
+/// The whole GPU side of the chip.
+#[derive(Debug)]
+pub struct GpuSubsystem {
+    cfg: GpuConfig,
+    scheme: Scheme,
+    org: L1Org,
+    /// Ablation: support the delayed-hit FRQ outcome (default true).
+    delayed_hits: bool,
+    cores: Vec<Core>,
+    l1s: Vec<SetAssocCache<()>>,
+    clusters: Vec<Cluster>,
+    /// Per-core L1 port uses this cycle (private mode).
+    port_used: Vec<u8>,
+}
+
+const PREDICTOR_ENTRIES: usize = 1024;
+
+impl GpuSubsystem {
+    /// Build `n_cores` GPU cores all running `profile` (the paper runs
+    /// one GPU benchmark at a time across all cores).
+    pub fn new(
+        cfg: GpuConfig,
+        scheme: Scheme,
+        org: L1Org,
+        cta: CtaSched,
+        profile: GpuProfile,
+        n_cores: usize,
+        seed: u64,
+    ) -> Self {
+        let profile = profile.with_cta_sched(cta);
+        let cores = (0..n_cores)
+            .map(|i| {
+                let id = CoreId(i as u16);
+                Core {
+                    warps: (0..cfg.warps_per_core)
+                        .map(|_| Warp {
+                            state: WarpState::Compute(0),
+                            pending: None,
+                        })
+                        .collect(),
+                    stream: GpuStream::new(profile.clone(), id, n_cores, seed),
+                    mshr: MshrFile::new(cfg.mshrs, 16),
+                    frq: VecDeque::new(),
+                    probe_wait: HashMap::new(),
+                    predictor: vec![2u8; PREDICTOR_ENTRIES],
+                    probe_rr: i, // de-correlate probe targets across cores
+                    probe_seq: i as u64,
+                    probe_score: 24,
+                    suppliers: VecDeque::new(),
+                    next_flush: cfg
+                        .flush_interval
+                        .map(|f| f + (i as u64 * f) / n_cores as u64),
+                    stats: GpuCoreStats::default(),
+                }
+            })
+            .collect();
+        let l1s = (0..n_cores).map(|_| SetAssocCache::new(cfg.l1)).collect();
+        let clusters = if org == L1Org::Private {
+            Vec::new()
+        } else {
+            let n_clusters = n_cores.div_ceil(cfg.cluster_cores);
+            (0..n_clusters)
+                .map(|_| {
+                    Cluster::new(
+                        cfg.cluster_slices,
+                        cfg.l1,
+                        org == L1Org::DynEB,
+                        cfg.dyneb_epoch,
+                    )
+                })
+                .collect()
+        };
+        GpuSubsystem {
+            scheme,
+            org,
+            delayed_hits: true,
+            cores,
+            l1s,
+            clusters,
+            port_used: vec![0; n_cores],
+            cfg,
+        }
+    }
+
+    /// Ablation: disable the delayed-hit outcome (hits to outstanding
+    /// lines become remote misses).
+    pub fn set_delayed_hits(&mut self, enabled: bool) {
+        self.delayed_hits = enabled;
+    }
+
+    /// Number of cores.
+    pub fn n_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Per-core statistics.
+    pub fn stats(&self, core: CoreId) -> GpuCoreStats {
+        self.cores[core.index()].stats
+    }
+
+    /// Zero every core's counters (warmup exclusion); caches, MSHRs and
+    /// FRQs keep their state.
+    pub fn reset_stats(&mut self) {
+        for c in &mut self.cores {
+            c.stats = GpuCoreStats::default();
+        }
+        for l1 in &mut self.l1s {
+            l1.reset_stats();
+        }
+    }
+
+    /// Total warp instructions retired (the GPU IPC numerator).
+    pub fn total_retired(&self) -> u64 {
+        self.cores.iter().map(|c| c.stats.retired).sum()
+    }
+
+    /// L1 tag-array stats aggregated over cores (private mode) or
+    /// cluster slices (shared mode).
+    pub fn l1_hits_misses(&self) -> (u64, u64) {
+        let mut h = 0;
+        let mut m = 0;
+        for c in &self.l1s {
+            h += c.stats().hits;
+            m += c.stats().misses;
+        }
+        // Shared-slice accesses are recorded in the slices themselves;
+        // fold them in through the cores' mem_ops minus private counts is
+        // unnecessary — the cluster slices are separate SetAssocCaches
+        // whose stats are inaccessible here, so private counters suffice
+        // for the Private org; shared orgs report through mem_ops.
+        (h, m)
+    }
+
+    /// Does the FRQ of `core` have room for another delegated reply or
+    /// probe? The system must check before delivering
+    /// [`GpuIn::Delegated`] / [`GpuIn::ProbeReq`].
+    pub fn frq_has_space(&self, core: CoreId) -> bool {
+        self.cores[core.index()].frq.len() < self.cfg.frq_entries
+    }
+
+    /// Oracle: is `line` resident in any L1 other than `requester`'s?
+    /// (The Fig.-2 inter-core-locality measurement.)
+    pub fn remote_l1_has(&self, requester: CoreId, line: LineAddr) -> bool {
+        match self.org {
+            L1Org::Private => self
+                .l1s
+                .iter()
+                .enumerate()
+                .any(|(i, l1)| i != requester.index() && l1.probe(line)),
+            _ => {
+                let my_cluster = requester.index() / self.cfg.cluster_cores;
+                self.clusters
+                    .iter()
+                    .enumerate()
+                    .any(|(ci, cl)| ci != my_cluster && cl.probe(line))
+                    || self
+                        .l1s
+                        .iter()
+                        .enumerate()
+                        .any(|(i, l1)| i != requester.index() && l1.probe(line))
+            }
+        }
+    }
+
+    fn cluster_of(&self, core: CoreId) -> usize {
+        core.index() / self.cfg.cluster_cores
+    }
+
+    /// Is `core` currently using its cluster's shared slices?
+    fn uses_shared(&self, core: CoreId) -> bool {
+        match self.org {
+            L1Org::Private => false,
+            L1Org::DcL1 => true,
+            L1Org::DynEB => self.clusters[self.cluster_of(core)].mode() == ClusterMode::Shared,
+        }
+    }
+
+    /// Claim an L1 port for `core` / `line`; returns false on a
+    /// structural port stall.
+    fn claim_port(&mut self, core: CoreId, line: LineAddr) -> bool {
+        if self.uses_shared(core) {
+            let cl = self.cluster_of(core);
+            self.clusters[cl].claim_port(line).is_some()
+        } else {
+            let u = &mut self.port_used[core.index()];
+            if (*u as usize) < self.cfg.l1_ports {
+                *u += 1;
+                let ci = self.cluster_of(core);
+                if let Some(cl) = self.clusters.get_mut(ci) {
+                    cl.note_private_served();
+                }
+                true
+            } else {
+                false
+            }
+        }
+    }
+
+    /// L1 lookup with LRU update (port must already be claimed).
+    fn l1_lookup(&mut self, core: CoreId, line: LineAddr) -> bool {
+        if self.uses_shared(core) {
+            let cl = self.cluster_of(core);
+            let s = self.clusters[cl].slice_of(line);
+            self.clusters[cl].access(s, line)
+        } else {
+            self.l1s[core.index()].access(line)
+        }
+    }
+
+    /// Side-effect-free presence check.
+    fn l1_probe(&self, core: CoreId, line: LineAddr) -> bool {
+        if self.uses_shared(core) {
+            self.clusters[self.cluster_of(core)].probe(line)
+        } else {
+            self.l1s[core.index()].probe(line)
+        }
+    }
+
+    fn l1_fill(&mut self, core: CoreId, line: LineAddr) {
+        if self.uses_shared(core) {
+            let cl = self.cluster_of(core);
+            self.clusters[cl].fill(line);
+        } else {
+            self.l1s[core.index()].fill(line, ());
+        }
+    }
+
+    fn l1_invalidate(&mut self, core: CoreId, line: LineAddr) {
+        if self.uses_shared(core) {
+            let cl = self.cluster_of(core);
+            self.clusters[cl].invalidate(line);
+        } else {
+            self.l1s[core.index()].invalidate(line);
+        }
+    }
+
+    fn predictor_ix(line: LineAddr) -> usize {
+        let x = line.0 >> 4;
+        ((x ^ (x >> 10) ^ (x >> 20)) as usize) % PREDICTOR_ENTRIES
+    }
+
+    /// Advance every core one cycle. `budget[i]` bounds how many new
+    /// *locally-initiated* messages core `i` may emit (its request-side
+    /// outbox space); `remote_budget[i]` independently bounds remote
+    /// (FRQ) service outputs. The separation is essential: coupling
+    /// remote service to local congestion recreates exactly the circular
+    /// wait the paper's remote-over-local priority is designed to break.
+    pub fn tick(
+        &mut self,
+        now: Cycle,
+        budget: &[usize],
+        remote_budget: &[usize],
+        out: &mut Vec<(CoreId, GpuOut)>,
+    ) {
+        self.port_used.iter_mut().for_each(|u| *u = 0);
+        for cl in &mut self.clusters {
+            cl.begin_cycle();
+        }
+        // DynEB adaptation at epoch boundaries. A mode switch flushes
+        // the affected caches, so the cores must also announce a flush —
+        // otherwise the LLC keeps stale core pointers and delegations
+        // bounce as remote misses.
+        for ci in 0..self.clusters.len() {
+            if self.clusters[ci].maybe_adapt(now) {
+                self.clusters[ci].flush();
+                let lo = ci * self.cfg.cluster_cores;
+                let hi = ((ci + 1) * self.cfg.cluster_cores).min(self.l1s.len());
+                for l1 in &mut self.l1s[lo..hi] {
+                    l1.flush();
+                }
+                for core in lo..hi.min(self.cores.len()) {
+                    out.push((CoreId(core as u16), GpuOut::Flushed));
+                }
+            }
+        }
+        for i in 0..self.cores.len() {
+            let mut b = budget[i];
+            let mut rb = remote_budget[i];
+            self.tick_core(i, now, &mut b, &mut rb, out);
+        }
+    }
+
+    fn tick_core(
+        &mut self,
+        i: usize,
+        now: Cycle,
+        budget: &mut usize,
+        remote_budget: &mut usize,
+        out: &mut Vec<(CoreId, GpuOut)>,
+    ) {
+        let id = CoreId(i as u16);
+        // Kernel-boundary flush (software coherence).
+        if let Some(at) = self.cores[i].next_flush {
+            if now >= at && *budget > 0 {
+                if self.uses_shared(id) {
+                    let cl = self.cluster_of(id);
+                    self.clusters[cl].flush();
+                } else {
+                    self.l1s[i].flush();
+                }
+                self.cores[i].next_flush =
+                    Some(at + self.cfg.flush_interval.expect("flush scheduled"));
+                self.cores[i].stats.flushes += 1;
+                out.push((id, GpuOut::Flushed));
+                *budget -= 1;
+            }
+        }
+        // 1. Remote service (FRQ) — strictly before local issue, on its
+        //    own budget (reply-lane outbox space). Under a shared L1 the
+        //    slices are the scarce resource, so remote service is paced
+        //    to one entry per cycle to avoid starving local warps.
+        let mut frq_served = 0usize;
+        let frq_cap = if self.uses_shared(id) { 1 } else { usize::MAX };
+        while *remote_budget > 0 && frq_served < frq_cap {
+            frq_served += 1;
+            let Some(&entry) = self.cores[i].frq.front() else {
+                break;
+            };
+            let line = match entry {
+                FrqEntry::Delegated { line, .. }
+                | FrqEntry::Probe { line, .. }
+                | FrqEntry::Fetch { line, .. } => line,
+            };
+            // Private L1s serve remote requests through their ports;
+            // shared slices expose a dedicated snoop port (paced to one
+            // remote request per cycle above).
+            if !self.uses_shared(id) && !self.claim_port(id, line) {
+                break; // port stall: retry next cycle
+            }
+            self.cores[i].frq.pop_front();
+            match entry {
+                FrqEntry::Delegated { line, requester } => {
+                    if self.l1_lookup(id, line) {
+                        self.cores[i].stats.delegated_hits += 1;
+                        out.push((
+                            id,
+                            GpuOut::CoreReply {
+                                to: requester,
+                                line,
+                            },
+                        ));
+                        *remote_budget -= 1;
+                    } else if self.delayed_hits && self.cores[i].mshr.contains(line) {
+                        // Delayed hit: forward when the miss returns.
+                        match self.cores[i].mshr.allocate(line, Target::Remote(requester)) {
+                            MshrOutcome::Merged => {
+                                self.cores[i].stats.delegated_delayed += 1;
+                            }
+                            _ => {
+                                // Target list full: treat as remote miss.
+                                self.cores[i].stats.delegated_misses += 1;
+                                out.push((
+                                    id,
+                                    GpuOut::LlcRead {
+                                        line,
+                                        dnf: true,
+                                        requester,
+                                    },
+                                ));
+                                *remote_budget -= 1;
+                            }
+                        }
+                    } else {
+                        // Remote miss: bounce to the LLC with DNF set.
+                        self.cores[i].stats.delegated_misses += 1;
+                        out.push((
+                            id,
+                            GpuOut::LlcRead {
+                                line,
+                                dnf: true,
+                                requester,
+                            },
+                        ));
+                        *remote_budget -= 1;
+                    }
+                }
+                FrqEntry::Probe { line, from } => {
+                    if self.l1_probe(id, line) {
+                        self.cores[i].stats.probe_hits_served += 1;
+                        out.push((id, GpuOut::ProbeHitAck { to: from, line }));
+                    } else {
+                        self.cores[i].stats.probe_misses_served += 1;
+                        out.push((id, GpuOut::ProbeMiss { to: from, line }));
+                    }
+                    *remote_budget -= 1;
+                }
+                FrqEntry::Fetch { line, from } => {
+                    if self.l1_probe(id, line) {
+                        out.push((id, GpuOut::CoreReply { to: from, line }));
+                    } else {
+                        // Evicted between the probe and the fetch.
+                        out.push((id, GpuOut::ProbeMiss { to: from, line }));
+                    }
+                    *remote_budget -= 1;
+                }
+            }
+        }
+        // 2. Flush deferred probe targets as budget allows.
+        if matches!(self.scheme, Scheme::RealisticProbing { .. }) {
+            let lines: Vec<LineAddr> = self.cores[i]
+                .probe_wait
+                .iter()
+                .filter(|(_, w)| !w.to_send.is_empty() && !w.satisfied)
+                .map(|(&l, _)| l)
+                .collect();
+            for line in lines {
+                if *budget == 0 {
+                    break;
+                }
+                let w = self.cores[i].probe_wait.get_mut(&line).expect("listed");
+                while *budget > 0 {
+                    let Some(t) = w.to_send.pop() else { break };
+                    w.outstanding += 1;
+                    out.push((id, GpuOut::Probe { to: t, line }));
+                    *budget -= 1;
+                }
+                self.cores[i].stats.probes_sent += 1; // approximate batch count
+            }
+        }
+        // 3. Local warp issue (up to issue_width).
+        let mut issued = 0;
+        let n_warps = self.cores[i].warps.len();
+        let mut stalled_mem = false;
+        for w in 0..n_warps {
+            if issued >= self.cfg.issue_width {
+                break;
+            }
+            match self.cores[i].warps[w].state {
+                WarpState::WaitMem => continue,
+                WarpState::Compute(left) if left > 0 => {
+                    self.cores[i].warps[w].state = WarpState::Compute(left - 1);
+                    self.cores[i].stats.retired += 1;
+                    issued += 1;
+                }
+                WarpState::Compute(_) => {
+                    // Memory instruction is next.
+                    if self.cores[i].warps[w].pending.is_none() {
+                        let a = self.cores[i].stream.next_access();
+                        self.cores[i].warps[w].pending = Some(a);
+                    }
+                    let access = self.cores[i].warps[w].pending.expect("set above");
+                    match self.try_mem(i, w, access, budget, out) {
+                        true => issued += 1,
+                        false => stalled_mem = true,
+                    }
+                }
+            }
+        }
+        if stalled_mem {
+            self.cores[i].stats.mem_stall_cycles += 1;
+        }
+    }
+
+    /// Attempt the memory instruction of warp `w`; returns true if it
+    /// issued (retiring one instruction).
+    fn try_mem(
+        &mut self,
+        i: usize,
+        w: usize,
+        access: MemAccess,
+        budget: &mut usize,
+        out: &mut Vec<(CoreId, GpuOut)>,
+    ) -> bool {
+        let id = CoreId(i as u16);
+        let line = access.addr.line(self.cfg.l1.line_bytes as u64);
+        let cpm = self.cores[i].stream.compute_per_mem();
+        if access.write {
+            // Write-through, write-evict, no-allocate; fire-and-forget.
+            if *budget == 0 || !self.claim_port(id, line) {
+                return false;
+            }
+            self.l1_invalidate(id, line);
+            out.push((id, GpuOut::LlcWrite { line }));
+            *budget -= 1;
+            let c = &mut self.cores[i];
+            c.stats.writes += 1;
+            c.stats.mem_ops += 1;
+            c.stats.retired += 1;
+            c.warps[w].pending = None;
+            c.warps[w].state = WarpState::Compute(cpm);
+            return true;
+        }
+        // Read. Probe first so a structurally-stalled retry does not
+        // pollute hit/miss statistics or burn an L1 port every cycle.
+        let hit = self.l1_probe(id, line);
+        let merged = !hit && self.cores[i].mshr.contains(line);
+        if !hit && !merged {
+            // A request must go out: check resources before committing.
+            if *budget == 0 || self.cores[i].mshr.available() == 0 {
+                return false;
+            }
+        }
+        if !self.claim_port(id, line) {
+            return false;
+        }
+        if merged {
+            // Hit to an outstanding line: merges into the MSHR without
+            // touching the tag array (GPGPU-sim's "hit_reserved" — not a
+            // demand miss, so it does not distort the miss rate).
+            match self.cores[i].mshr.allocate(line, Target::Warp(w as u16)) {
+                MshrOutcome::Merged => {
+                    let c = &mut self.cores[i];
+                    c.stats.mem_ops += 1;
+                    c.stats.retired += 1;
+                    c.warps[w].pending = None;
+                    c.warps[w].state = WarpState::WaitMem;
+                    return true;
+                }
+                // Target list full: structural stall, retry next cycle.
+                _ => return false,
+            }
+        }
+        if self.l1_lookup(id, line) {
+            let c = &mut self.cores[i];
+            c.stats.mem_ops += 1;
+            c.stats.retired += 1;
+            c.warps[w].pending = None;
+            c.warps[w].state = WarpState::Compute(cpm);
+            return true;
+        }
+        match self.cores[i].mshr.allocate(line, Target::Warp(w as u16)) {
+            MshrOutcome::Merged => {
+                let c = &mut self.cores[i];
+                c.stats.mem_ops += 1;
+                c.stats.retired += 1;
+                c.warps[w].pending = None;
+                c.warps[w].state = WarpState::WaitMem;
+                true
+            }
+            MshrOutcome::Primary => {
+                // RP: predict-and-probe; otherwise straight to the LLC.
+                let mut probed = false;
+                if let Scheme::RealisticProbing { fanout } = self.scheme {
+                    let fanout = fanout.min(self.cores.len() - 1);
+                    let ix = Self::predictor_ix(line);
+                    self.cores[i].probe_seq += 1;
+                    // Epsilon exploration: occasionally probe even for
+                    // predicted-private regions so the predictor can
+                    // recover once remote caches warm up.
+                    let confident =
+                        self.cores[i].predictor[ix] >= 2 && self.cores[i].probe_score > 4;
+                    let explore = self.cores[i].probe_seq.is_multiple_of(64);
+                    if fanout > 0 && *budget > 0 && (confident || explore) {
+                        let n = self.cores.len();
+                        // Probe CTA-adjacent cores first (round-robin CTA
+                        // scheduling puts stencil neighbors on adjacent
+                        // SMs), then recent suppliers, then rotate; send
+                        // what the outbox allows now, defer the rest.
+                        let mut targets: Vec<CoreId> = Vec::with_capacity(fanout);
+                        for d in [1usize, n - 1] {
+                            if targets.len() < fanout {
+                                targets.push(CoreId(((i + d) % n) as u16));
+                            }
+                        }
+                        for &s in &self.cores[i].suppliers {
+                            if targets.len() == fanout {
+                                break;
+                            }
+                            if s.index() != i && !targets.contains(&s) {
+                                targets.push(s);
+                            }
+                        }
+                        let start = self.cores[i].probe_rr;
+                        self.cores[i].probe_rr = (start + 1) % n;
+                        let mut t = start;
+                        while targets.len() < fanout {
+                            t = (t + 1) % n;
+                            let c = CoreId(t as u16);
+                            if t != i && !targets.contains(&c) {
+                                targets.push(c);
+                            }
+                        }
+                        let send_now = targets.len().min(*budget);
+                        let deferred: Vec<CoreId> = targets.split_off(send_now);
+                        let sent = targets.len();
+                        for c in targets {
+                            out.push((id, GpuOut::Probe { to: c, line }));
+                        }
+                        self.cores[i].stats.probes_sent += sent as u64;
+                        *budget -= sent;
+                        self.cores[i].probe_wait.insert(
+                            line,
+                            ProbeWait {
+                                outstanding: sent,
+                                satisfied: false,
+                                fetch_sent: false,
+                                to_send: deferred,
+                            },
+                        );
+                        probed = true;
+                    }
+                }
+                if !probed {
+                    out.push((
+                        id,
+                        GpuOut::LlcRead {
+                            line,
+                            dnf: false,
+                            requester: id,
+                        },
+                    ));
+                    self.cores[i].stats.llc_reads += 1;
+                    *budget -= 1;
+                }
+                let c = &mut self.cores[i];
+                c.stats.mem_ops += 1;
+                c.stats.retired += 1;
+                c.warps[w].pending = None;
+                c.warps[w].state = WarpState::WaitMem;
+                true
+            }
+            MshrOutcome::NoEntry | MshrOutcome::NoTarget => false,
+        }
+    }
+
+    /// Deliver a message to `core`; any responses are appended to `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`GpuIn::Delegated`] or [`GpuIn::ProbeReq`] arrives
+    /// while the FRQ is full (the system must gate on
+    /// [`Self::frq_has_space`]).
+    pub fn deliver(&mut self, core: CoreId, msg: GpuIn, out: &mut Vec<(CoreId, GpuOut)>) {
+        let i = core.index();
+        match msg {
+            GpuIn::Data { line, from } => {
+                self.l1_fill(core, line);
+                if let Some(supplier) = from {
+                    let c = &mut self.cores[i];
+                    c.suppliers.retain(|&s| s != supplier);
+                    c.suppliers.push_front(supplier);
+                    c.suppliers.truncate(8);
+                }
+                // RP bookkeeping: data may satisfy a probe burst.
+                if let Some(pw) = self.cores[i].probe_wait.get_mut(&line) {
+                    pw.satisfied = true;
+                    pw.to_send.clear();
+                    let ix = Self::predictor_ix(line);
+                    let p = &mut self.cores[i].predictor[ix];
+                    *p = (*p + 1).min(3);
+                    if self.cores[i].probe_wait[&line].outstanding == 0 {
+                        self.cores[i].probe_wait.remove(&line);
+                    }
+                }
+                let cpm = self.cores[i].stream.compute_per_mem();
+                for t in self.cores[i].mshr.complete(line) {
+                    match t {
+                        Target::Warp(w) => {
+                            self.cores[i].warps[w as usize].state = WarpState::Compute(cpm);
+                        }
+                        Target::Remote(requester) => {
+                            self.cores[i].stats.delegated_hits += 1;
+                            out.push((
+                                core,
+                                GpuOut::CoreReply {
+                                    to: requester,
+                                    line,
+                                },
+                            ));
+                        }
+                    }
+                }
+            }
+            GpuIn::WriteAck { .. } => {}
+            GpuIn::Delegated { line, requester } => {
+                assert!(
+                    self.frq_has_space(core),
+                    "FRQ overflow at {core}: gate deliveries on frq_has_space"
+                );
+                if self.cores[i]
+                    .frq
+                    .iter()
+                    .any(|e| matches!(e, FrqEntry::Delegated { line: l, .. } if *l == line))
+                {
+                    self.cores[i].stats.frq_same_line += 1;
+                }
+                self.cores[i]
+                    .frq
+                    .push_back(FrqEntry::Delegated { line, requester });
+            }
+            GpuIn::ProbeReq { from, line } => {
+                assert!(
+                    self.frq_has_space(core),
+                    "FRQ overflow at {core}: gate deliveries on frq_has_space"
+                );
+                self.cores[i].frq.push_back(FrqEntry::Probe { line, from });
+            }
+            GpuIn::FetchReq { from, line } => {
+                assert!(
+                    self.frq_has_space(core),
+                    "FRQ overflow at {core}: gate deliveries on frq_has_space"
+                );
+                self.cores[i].frq.push_back(FrqEntry::Fetch { line, from });
+            }
+            GpuIn::ProbeHitReply { from, line } => {
+                let Some(w) = self.cores[i].probe_wait.get_mut(&line) else {
+                    return;
+                };
+                w.outstanding -= 1;
+                if !w.satisfied && !w.fetch_sent {
+                    // Fetch from the first confirmed hitter; ignore the
+                    // later acks. No more probes needed either.
+                    w.fetch_sent = true;
+                    w.outstanding += 1; // the fetch response
+                    w.to_send.clear();
+                    let ix = Self::predictor_ix(line);
+                    let p = &mut self.cores[i].predictor[ix];
+                    *p = (*p + 1).min(3);
+                    self.cores[i].probe_score = (self.cores[i].probe_score + 8).min(64);
+                    out.push((core, GpuOut::Fetch { to: from, line }));
+                } else if w.outstanding == 0 {
+                    let satisfied = w.satisfied;
+                    let fetch_sent = w.fetch_sent;
+                    self.cores[i].probe_wait.remove(&line);
+                    if !satisfied && !fetch_sent {
+                        unreachable!("hit ack implies a fetch or data");
+                    }
+                }
+            }
+            GpuIn::ProbeMissReply { line } => {
+                let Some(pw) = self.cores[i].probe_wait.get_mut(&line) else {
+                    return;
+                };
+                pw.outstanding -= 1;
+                if pw.outstanding == 0 && pw.to_send.is_empty() {
+                    let satisfied = pw.satisfied;
+                    self.cores[i].probe_wait.remove(&line);
+                    if !satisfied {
+                        // Every probe missed (or the fetch bounced):
+                        // fall back to the LLC.
+                        let ix = Self::predictor_ix(line);
+                        let p = &mut self.cores[i].predictor[ix];
+                        *p = p.saturating_sub(1);
+                        self.cores[i].probe_score = (self.cores[i].probe_score - 1).max(0);
+                        self.cores[i].stats.llc_reads += 1;
+                        out.push((
+                            core,
+                            GpuOut::LlcRead {
+                                line,
+                                dnf: false,
+                                requester: core,
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clognet_workloads::gpu_benchmark;
+
+    fn subsystem(scheme: Scheme, org: L1Org) -> GpuSubsystem {
+        let cfg = GpuConfig {
+            flush_interval: None,
+            ..GpuConfig::default()
+        };
+        GpuSubsystem::new(
+            cfg,
+            scheme,
+            org,
+            CtaSched::RoundRobin,
+            gpu_benchmark("HS").unwrap(),
+            8,
+            42,
+        )
+    }
+
+    fn run_cycles(
+        g: &mut GpuSubsystem,
+        cycles: u64,
+        mut on_out: impl FnMut(&mut GpuSubsystem, Vec<(CoreId, GpuOut)>, Cycle),
+    ) {
+        let budget = vec![8usize; g.n_cores()];
+        for now in 0..cycles {
+            let mut out = Vec::new();
+            g.tick(now, &budget, &budget, &mut out);
+            on_out(g, out, now);
+        }
+    }
+
+    /// A zero-latency perfect memory: every LlcRead returns data next
+    /// call.
+    fn perfect_memory(g: &mut GpuSubsystem, out: Vec<(CoreId, GpuOut)>, _now: Cycle) {
+        let mut replies = Vec::new();
+        for (core, o) in out {
+            if let GpuOut::LlcRead {
+                line, requester, ..
+            } = o
+            {
+                let _ = core;
+                replies.push((requester, line));
+            }
+        }
+        let mut sink = Vec::new();
+        for (to, line) in replies {
+            g.deliver(to, GpuIn::Data { line, from: None }, &mut sink);
+        }
+        // Serve any forwards produced by delivery.
+        for (core, o) in sink {
+            let _ = (core, o);
+        }
+    }
+
+    #[test]
+    fn warps_make_progress_with_perfect_memory() {
+        let mut g = subsystem(Scheme::Baseline, L1Org::Private);
+        run_cycles(&mut g, 2000, perfect_memory);
+        let retired = g.total_retired();
+        // 8 cores x up to 2 IPC x 2000 cycles = 32000 max.
+        assert!(retired > 8_000, "retired {retired}");
+        assert!(retired <= 32_000);
+    }
+
+    #[test]
+    fn stalls_without_any_memory_replies() {
+        let mut g = subsystem(Scheme::Baseline, L1Org::Private);
+        run_cycles(&mut g, 3000, |_, _, _| {});
+        // All warps eventually block on memory (or MSHRs fill).
+        let s = g.stats(CoreId(0));
+        assert!(s.mem_stall_cycles > 0 || s.retired < 3000 * 2);
+        let before = g.total_retired();
+        let budget = vec![8usize; g.n_cores()];
+        let mut out = Vec::new();
+        g.tick(3000, &budget, &budget, &mut out);
+        assert_eq!(g.total_retired(), before, "no progress when starved");
+    }
+
+    #[test]
+    fn read_miss_emits_one_llc_read_with_merging() {
+        let mut g = subsystem(Scheme::Baseline, L1Org::Private);
+        let budget = vec![64usize; g.n_cores()];
+        let mut reads = 0;
+        let mut lines = std::collections::HashSet::new();
+        for now in 0..50 {
+            let mut out = Vec::new();
+            g.tick(now, &budget, &budget, &mut out);
+            for (_c, o) in out {
+                if let GpuOut::LlcRead { line, .. } = o {
+                    reads += 1;
+                    lines.insert(line);
+                }
+            }
+        }
+        assert!(reads > 0);
+        // Merging: outstanding lines are unique per core; with 8 cores
+        // sharing hot lines, some duplication across cores is expected
+        // but within a core reads == unique lines. Aggregate sanity:
+        assert!(
+            lines.len() * 8 >= reads,
+            "MSHR merging broken: {reads} reads, {} lines",
+            lines.len()
+        );
+    }
+
+    #[test]
+    fn delegated_hit_produces_core_reply() {
+        let mut g = subsystem(Scheme::DelegatedReplies, L1Org::Private);
+        // Warm core 0's L1 with a line.
+        let line = LineAddr(0x4000_0000_0000 / 128);
+        let mut out = Vec::new();
+        g.deliver(CoreId(0), GpuIn::Data { line, from: None }, &mut out);
+        assert!(g.l1_probe(CoreId(0), line));
+        // Delegate a reply for core 3 to core 0.
+        g.deliver(
+            CoreId(0),
+            GpuIn::Delegated {
+                line,
+                requester: CoreId(3),
+            },
+            &mut out,
+        );
+        let budget = vec![8usize; g.n_cores()];
+        let mut out = Vec::new();
+        g.tick(0, &budget, &budget, &mut out);
+        assert!(
+            out.iter().any(|(c, o)| *c == CoreId(0)
+                && *o
+                    == GpuOut::CoreReply {
+                        to: CoreId(3),
+                        line
+                    }),
+            "no CoreReply in {out:?}"
+        );
+        assert_eq!(g.stats(CoreId(0)).delegated_hits, 1);
+    }
+
+    #[test]
+    fn delegated_miss_bounces_to_llc_with_dnf() {
+        let mut g = subsystem(Scheme::DelegatedReplies, L1Org::Private);
+        let line = LineAddr(12345);
+        let mut out = Vec::new();
+        g.deliver(
+            CoreId(1),
+            GpuIn::Delegated {
+                line,
+                requester: CoreId(5),
+            },
+            &mut out,
+        );
+        let budget = vec![8usize; g.n_cores()];
+        let mut out = Vec::new();
+        g.tick(0, &budget, &budget, &mut out);
+        assert!(
+            out.iter().any(|(c, o)| *c == CoreId(1)
+                && *o
+                    == GpuOut::LlcRead {
+                        line,
+                        dnf: true,
+                        requester: CoreId(5)
+                    }),
+            "no DNF resend in {out:?}"
+        );
+        assert_eq!(g.stats(CoreId(1)).delegated_misses, 1);
+    }
+
+    #[test]
+    fn delegated_delayed_hit_forwards_on_fill() {
+        let mut g = subsystem(Scheme::DelegatedReplies, L1Org::Private);
+        // Create an outstanding miss on core 0 by running it without
+        // memory until it issues reads.
+        let budget = vec![8usize; g.n_cores()];
+        let mut first_line = None;
+        for now in 0..50 {
+            let mut out = Vec::new();
+            g.tick(now, &budget, &budget, &mut out);
+            for (c, o) in out {
+                if c == CoreId(0) {
+                    if let GpuOut::LlcRead { line, .. } = o {
+                        first_line.get_or_insert(line);
+                    }
+                }
+            }
+            if first_line.is_some() {
+                break;
+            }
+        }
+        let line = first_line.expect("core 0 issued a read");
+        // Delegate that same line to core 0 while its miss is in flight.
+        let mut out = Vec::new();
+        g.deliver(
+            CoreId(0),
+            GpuIn::Delegated {
+                line,
+                requester: CoreId(7),
+            },
+            &mut out,
+        );
+        let mut out = Vec::new();
+        g.tick(100, &budget, &budget, &mut out);
+        assert_eq!(g.stats(CoreId(0)).delegated_delayed, 1);
+        // Now the data arrives: the forward must go out.
+        let mut out = Vec::new();
+        g.deliver(CoreId(0), GpuIn::Data { line, from: None }, &mut out);
+        assert!(
+            out.iter().any(|(c, o)| *c == CoreId(0)
+                && *o
+                    == GpuOut::CoreReply {
+                        to: CoreId(7),
+                        line
+                    }),
+            "delayed forward missing: {out:?}"
+        );
+    }
+
+    #[test]
+    fn frq_capacity_is_enforced() {
+        let mut g = subsystem(Scheme::DelegatedReplies, L1Org::Private);
+        let mut out = Vec::new();
+        for k in 0..8 {
+            assert!(g.frq_has_space(CoreId(2)));
+            g.deliver(
+                CoreId(2),
+                GpuIn::Delegated {
+                    line: LineAddr(k),
+                    requester: CoreId(0),
+                },
+                &mut out,
+            );
+        }
+        assert!(!g.frq_has_space(CoreId(2)));
+    }
+
+    #[test]
+    fn rp_probes_fan_out_and_fall_back() {
+        let mut g = subsystem(Scheme::RealisticProbing { fanout: 4 }, L1Org::Private);
+        let budget = vec![16usize; g.n_cores()];
+        // Collect first probe burst from any core.
+        let mut probes: Vec<(CoreId, CoreId, LineAddr)> = Vec::new();
+        for now in 0..50 {
+            let mut out = Vec::new();
+            g.tick(now, &budget, &budget, &mut out);
+            for (c, o) in out {
+                if let GpuOut::Probe { to, line } = o {
+                    probes.push((c, to, line));
+                }
+            }
+            if !probes.is_empty() {
+                break;
+            }
+        }
+        assert!(!probes.is_empty(), "no probes under RP");
+        let (prober, _, line) = probes[0];
+        let burst: Vec<_> = probes
+            .iter()
+            .filter(|(c, _, l)| *c == prober && *l == line)
+            .collect();
+        assert_eq!(burst.len(), 4, "fanout respected");
+        assert!(burst.iter().all(|(c, to, _)| to != c));
+        // All probes miss -> fallback LlcRead.
+        let mut fallback = Vec::new();
+        for k in 0..4 {
+            let mut out = Vec::new();
+            g.deliver(prober, GpuIn::ProbeMissReply { line }, &mut out);
+            if k == 3 {
+                fallback = out;
+            } else {
+                assert!(out.is_empty(), "early fallback");
+            }
+        }
+        assert!(
+            fallback.iter().any(|(c, o)| *c == prober
+                && matches!(o, GpuOut::LlcRead { line: l, dnf: false, .. } if *l == line)),
+            "no fallback in {fallback:?}"
+        );
+    }
+
+    #[test]
+    fn probe_request_served_from_frq() {
+        let mut g = subsystem(Scheme::RealisticProbing { fanout: 4 }, L1Org::Private);
+        let line = LineAddr(0x4000_0000_0000 / 128);
+        let mut out = Vec::new();
+        g.deliver(CoreId(0), GpuIn::Data { line, from: None }, &mut out);
+        g.deliver(
+            CoreId(0),
+            GpuIn::ProbeReq {
+                from: CoreId(4),
+                line,
+            },
+            &mut out,
+        );
+        g.deliver(
+            CoreId(0),
+            GpuIn::ProbeReq {
+                from: CoreId(5),
+                line: LineAddr(999_999),
+            },
+            &mut out,
+        );
+        let budget = vec![8usize; g.n_cores()];
+        let mut out = Vec::new();
+        g.tick(0, &budget, &budget, &mut out);
+        assert!(out.contains(&(
+            CoreId(0),
+            GpuOut::ProbeHitAck {
+                to: CoreId(4),
+                line
+            }
+        )));
+        assert!(out.contains(&(
+            CoreId(0),
+            GpuOut::ProbeMiss {
+                to: CoreId(5),
+                line: LineAddr(999_999)
+            }
+        )));
+        // The confirmed hitter transfers the data on a fetch.
+        let mut out = Vec::new();
+        g.deliver(
+            CoreId(0),
+            GpuIn::FetchReq {
+                from: CoreId(4),
+                line,
+            },
+            &mut out,
+        );
+        let mut out = Vec::new();
+        g.tick(1, &budget, &budget, &mut out);
+        assert!(out.contains(&(
+            CoreId(0),
+            GpuOut::CoreReply {
+                to: CoreId(4),
+                line
+            }
+        )));
+    }
+
+    #[test]
+    fn writes_are_write_through_and_evict() {
+        let mut g = subsystem(Scheme::Baseline, L1Org::Private);
+        let budget = vec![32usize; g.n_cores()];
+        let mut wrote = false;
+        for now in 0..2000 {
+            let mut out = Vec::new();
+            g.tick(now, &budget, &budget, &mut out);
+            for (c, o) in &out {
+                if let GpuOut::LlcWrite { line } = o {
+                    wrote = true;
+                    assert!(!g.l1_probe(*c, *line), "write must evict the L1 copy");
+                }
+            }
+            perfect_memory(&mut g, out, now);
+            if wrote {
+                break;
+            }
+        }
+        assert!(wrote, "HS has a 10% write share; 2000 cycles must write");
+    }
+
+    #[test]
+    fn kernel_flush_emits_flushed_and_empties_l1() {
+        let cfg = GpuConfig {
+            flush_interval: Some(100),
+            ..GpuConfig::default()
+        };
+        let mut g = GpuSubsystem::new(
+            cfg,
+            Scheme::DelegatedReplies,
+            L1Org::Private,
+            CtaSched::RoundRobin,
+            gpu_benchmark("NN").unwrap(),
+            4,
+            1,
+        );
+        let budget = vec![8usize; 4];
+        let mut flushed = Vec::new();
+        for now in 0..500 {
+            let mut out = Vec::new();
+            g.tick(now, &budget, &budget, &mut out);
+            for (c, o) in &out {
+                if *o == GpuOut::Flushed {
+                    flushed.push(*c);
+                }
+            }
+            perfect_memory(&mut g, out, now);
+        }
+        assert!(
+            !flushed.is_empty(),
+            "no flushes in 500 cycles at interval 100"
+        );
+        assert!(g.stats(CoreId(0)).flushes >= 1);
+    }
+
+    #[test]
+    fn shared_org_serializes_hot_line() {
+        // All cores of one cluster hammering one line: DC-L1 serves at
+        // most 1 access/cycle for it, private serves cluster-wide.
+        let hot = LineAddr(0x4000_0000_0000 / 128);
+        let mk = |org| {
+            let cfg = GpuConfig {
+                flush_interval: None,
+                ..GpuConfig::default()
+            };
+            let mut g = GpuSubsystem::new(
+                cfg,
+                Scheme::Baseline,
+                org,
+                CtaSched::RoundRobin,
+                gpu_benchmark("NN").unwrap(),
+                8,
+                3,
+            );
+            let mut out = Vec::new();
+            for c in 0..8 {
+                g.deliver(
+                    CoreId(c),
+                    GpuIn::Data {
+                        line: hot,
+                        from: None,
+                    },
+                    &mut out,
+                );
+            }
+            g
+        };
+        let mut shared = mk(L1Org::DcL1);
+        let mut private = mk(L1Org::Private);
+        // Count L1 port grants for the hot line over some cycles.
+        let mut grants_shared = 0;
+        let mut grants_private = 0;
+        for _ in 0..100 {
+            shared.port_used.iter_mut().for_each(|u| *u = 0);
+            for cl in &mut shared.clusters {
+                cl.begin_cycle();
+            }
+            private.port_used.iter_mut().for_each(|u| *u = 0);
+            for c in 0..8 {
+                if shared.claim_port(CoreId(c), hot) {
+                    grants_shared += 1;
+                }
+                if private.claim_port(CoreId(c), hot) {
+                    grants_private += 1;
+                }
+            }
+        }
+        assert_eq!(grants_shared, 100, "one slice port per cycle");
+        assert_eq!(grants_private, 800, "private L1s all proceed");
+    }
+
+    #[test]
+    fn delayed_hits_ablation_turns_them_into_remote_misses() {
+        let mut g = subsystem(Scheme::DelegatedReplies, L1Org::Private);
+        g.set_delayed_hits(false);
+        // Create an outstanding miss on core 0.
+        let budget = vec![8usize; g.n_cores()];
+        let mut line = None;
+        for now in 0..50 {
+            let mut out = Vec::new();
+            g.tick(now, &budget, &budget, &mut out);
+            for (c, o) in out {
+                if c == CoreId(0) {
+                    if let GpuOut::LlcRead { line: l, .. } = o {
+                        line.get_or_insert(l);
+                    }
+                }
+            }
+            if line.is_some() {
+                break;
+            }
+        }
+        let line = line.expect("core 0 issued a read");
+        let mut out = Vec::new();
+        g.deliver(
+            CoreId(0),
+            GpuIn::Delegated {
+                line,
+                requester: CoreId(7),
+            },
+            &mut out,
+        );
+        let mut out = Vec::new();
+        g.tick(100, &budget, &budget, &mut out);
+        assert_eq!(g.stats(CoreId(0)).delegated_delayed, 0);
+        assert_eq!(g.stats(CoreId(0)).delegated_misses, 1);
+        assert!(out.iter().any(|(c, o)| *c == CoreId(0)
+            && matches!(o, GpuOut::LlcRead { dnf: true, requester, .. } if *requester == CoreId(7))));
+    }
+
+    #[test]
+    fn deferred_probe_targets_flush_over_cycles() {
+        // A probe burst bigger than the cycle budget must trickle out
+        // over later cycles instead of being dropped.
+        let mut g = subsystem(Scheme::RealisticProbing { fanout: 6 }, L1Org::Private);
+        // Tiny budget: one message per cycle.
+        let budget = vec![1usize; g.n_cores()];
+        let mut probes = 0;
+        for now in 0..400 {
+            let mut out = Vec::new();
+            g.tick(now, &budget, &budget, &mut out);
+            probes += out
+                .iter()
+                .filter(|(c, o)| *c == CoreId(0) && matches!(o, GpuOut::Probe { .. }))
+                .count();
+        }
+        assert!(
+            probes >= 6,
+            "deferred probes never flushed: only {probes} sent"
+        );
+    }
+
+    #[test]
+    fn probe_confidence_throttles_hopeless_probing() {
+        // Feed core 0 nothing but probe failures; its global confidence
+        // must collapse and probing must (mostly) stop.
+        let mut g = subsystem(Scheme::RealisticProbing { fanout: 2 }, L1Org::Private);
+        let budget = vec![16usize; g.n_cores()];
+        let mut outstanding: Vec<(CoreId, LineAddr)> = Vec::new();
+        let mut sent_late = 0usize;
+        for now in 0..6_000u64 {
+            let mut out = Vec::new();
+            g.tick(now, &budget, &budget, &mut out);
+            let mut sink = Vec::new();
+            for (c, o) in out {
+                match o {
+                    GpuOut::Probe { line, .. } => {
+                        outstanding.push((c, line));
+                        if now > 4_000 {
+                            sent_late += 1;
+                        }
+                    }
+                    GpuOut::LlcRead { line, requester, .. } => {
+                        // Perfect memory keeps the cores alive.
+                        g.deliver(requester, GpuIn::Data { line, from: None }, &mut sink);
+                    }
+                    _ => {}
+                }
+            }
+            // Every probe misses.
+            for (c, line) in outstanding.drain(..) {
+                g.deliver(c, GpuIn::ProbeMissReply { line }, &mut sink);
+                g.deliver(c, GpuIn::ProbeMissReply { line }, &mut sink);
+                for (cc, oo) in sink.drain(..) {
+                    if let GpuOut::LlcRead { line, .. } = oo {
+                        let mut s2 = Vec::new();
+                        g.deliver(cc, GpuIn::Data { line, from: None }, &mut s2);
+                    }
+                }
+            }
+        }
+        // Only the epsilon trickle (1/64 misses) may still probe.
+        let total: u64 = (0..8).map(|i| g.stats(CoreId(i)).probes_sent).sum();
+        assert!(total > 0, "never probed at all");
+        assert!(
+            sent_late < 200,
+            "throttle failed: {sent_late} probes after confidence collapse"
+        );
+    }
+
+    #[test]
+    fn dyneb_clusters_adapt_at_epochs() {
+        let cfg = GpuConfig {
+            flush_interval: None,
+            dyneb_epoch: 64,
+            ..GpuConfig::default()
+        };
+        let mut g = GpuSubsystem::new(
+            cfg,
+            Scheme::Baseline,
+            L1Org::DynEB,
+            CtaSched::RoundRobin,
+            gpu_benchmark("NN").unwrap(),
+            8,
+            5,
+        );
+        // Run with perfect memory long enough to cross several epochs;
+        // the cluster must settle into SOME mode and keep retiring.
+        let budget = vec![8usize; 8];
+        for now in 0..2_000 {
+            let mut out = Vec::new();
+            g.tick(now, &budget, &budget, &mut out);
+            perfect_memory(&mut g, out, now);
+        }
+        assert!(g.total_retired() > 2_000, "DynEB stalled the cores");
+    }
+
+    #[test]
+    fn dcl1_dedups_shared_capacity() {
+        // Fill the same shared lines via all cores; the cluster stores
+        // each once, while private mode stores 8 copies.
+        let cfg = GpuConfig {
+            flush_interval: None,
+            ..GpuConfig::default()
+        };
+        let mut g = GpuSubsystem::new(
+            cfg,
+            Scheme::Baseline,
+            L1Org::DcL1,
+            CtaSched::RoundRobin,
+            gpu_benchmark("SC").unwrap(),
+            8,
+            3,
+        );
+        let mut out = Vec::new();
+        for c in 0..8 {
+            for l in 0..100u64 {
+                g.deliver(
+                    CoreId(c),
+                    GpuIn::Data {
+                        line: LineAddr(l),
+                        from: None,
+                    },
+                    &mut out,
+                );
+            }
+        }
+        let total: usize = g
+            .clusters
+            .iter()
+            .map(|cl| (0..100u64).filter(|&l| cl.probe(LineAddr(l))).count())
+            .sum();
+        assert_eq!(total, 100, "each line stored once in the cluster");
+    }
+}

@@ -1,0 +1,1222 @@
+//! The cycle-driven network: packet slab, network interfaces, and the
+//! VA → SA → ST pipeline over all routers.
+//!
+//! One [`Network`] simulates one physical network. The baseline system
+//! instantiates two (request + reply); the virtual-network configuration
+//! instantiates a single shared one with per-class VC partitions.
+
+use crate::flit::{Flit, Slot};
+use crate::router::{Alloc, Router};
+use crate::routing;
+use crate::stats::{class_ix, NocStats};
+use crate::topology::{PortLink, TopologyGraph};
+use clognet_proto::{Cycle, NodeId, Packet, Priority, RoutingPolicy, Topology, TrafficClass};
+use std::collections::{HashMap, VecDeque};
+
+/// How traffic classes map onto this physical network's VCs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClassAssignment {
+    /// The network carries a single class with `vcs` virtual channels
+    /// (the baseline's physically-separate request/reply networks).
+    Single(TrafficClass, usize),
+    /// Both classes share the physical network on disjoint VC sets
+    /// (Section VII "virtual networks"; AVCP varies the split).
+    Shared {
+        /// VCs for request-class traffic.
+        request_vcs: usize,
+        /// VCs for reply-class traffic.
+        reply_vcs: usize,
+    },
+}
+
+impl ClassAssignment {
+    /// The VC index range for `class`, or `None` if this network does not
+    /// carry it.
+    pub fn vc_range(&self, class: TrafficClass) -> Option<std::ops::Range<usize>> {
+        match *self {
+            ClassAssignment::Single(c, v) => (c == class).then_some(0..v),
+            ClassAssignment::Shared {
+                request_vcs,
+                reply_vcs,
+            } => match class {
+                TrafficClass::Request => Some(0..request_vcs),
+                TrafficClass::Reply => Some(request_vcs..request_vcs + reply_vcs),
+            },
+        }
+    }
+
+    /// Total VCs per port.
+    pub fn total_vcs(&self) -> usize {
+        match *self {
+            ClassAssignment::Single(_, v) => v,
+            ClassAssignment::Shared {
+                request_vcs,
+                reply_vcs,
+            } => request_vcs + reply_vcs,
+        }
+    }
+}
+
+/// Construction parameters for one physical network.
+#[derive(Debug, Clone)]
+pub struct NetParams {
+    /// Topology family.
+    pub topology: Topology,
+    /// Node-grid width.
+    pub width: usize,
+    /// Node-grid height.
+    pub height: usize,
+    /// Class → VC mapping.
+    pub classes: ClassAssignment,
+    /// Buffer depth per VC, in flits.
+    pub vc_buf_flits: u8,
+    /// Router pipeline depth in cycles (>= 2).
+    pub pipeline: u32,
+    /// Routing policy for request-class packets.
+    pub routing_request: RoutingPolicy,
+    /// Routing policy for reply-class packets.
+    pub routing_reply: RoutingPolicy,
+    /// Per-node ejection (reassembly) buffer, in flits. Must hold at
+    /// least one maximum-size packet.
+    pub eject_buf_flits: usize,
+    /// iSLIP iterations per cycle (1 = the classic single-iteration
+    /// separable allocator; more iterations fill in the matching and
+    /// raise crossbar utilization at higher allocator cost).
+    pub sa_iterations: usize,
+}
+
+impl NetParams {
+    fn policy_for(&self, class: TrafficClass) -> RoutingPolicy {
+        match class {
+            TrafficClass::Request => self.routing_request,
+            TrafficClass::Reply => self.routing_reply,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct InjSlot {
+    slot: Slot,
+    next_idx: u8,
+    total: u8,
+}
+
+#[derive(Debug)]
+struct Ni {
+    router: usize,
+    port: usize,
+    /// One streaming slot per VC index (only indices within a carried
+    /// class's range are ever used).
+    inj: Vec<Option<InjSlot>>,
+    /// Per-VC: did a flit stream into the router on this VC last tick?
+    progress: Vec<bool>,
+    /// Round-robin pointer over injection VCs (one flit per cycle total:
+    /// a node has a single physical injection channel per network,
+    /// regardless of topology — the premise behind the paper's
+    /// "each memory node has a single reply network link").
+    inj_rr: usize,
+    /// Did `try_inject` fail for this class since the last tick?
+    want: [bool; 2],
+    /// Per-packet received-flit counts for reassembly.
+    eject_pending: HashMap<Slot, u8>,
+    /// Flits currently held by the ejection buffer (including flits of
+    /// packets already assembled but not yet taken by the node).
+    eject_used: usize,
+    /// Fully reassembled packets awaiting the node.
+    ejected: VecDeque<Packet>,
+}
+
+#[derive(Debug, Default)]
+struct PacketSlab {
+    v: Vec<Option<Packet>>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl PacketSlab {
+    fn insert(&mut self, p: Packet) -> Slot {
+        self.live += 1;
+        if let Some(i) = self.free.pop() {
+            self.v[i as usize] = Some(p);
+            i
+        } else {
+            self.v.push(Some(p));
+            (self.v.len() - 1) as u32
+        }
+    }
+
+    fn get(&self, s: Slot) -> &Packet {
+        self.v[s as usize].as_ref().expect("live packet")
+    }
+
+    fn remove(&mut self, s: Slot) -> Packet {
+        self.live -= 1;
+        self.free.push(s);
+        self.v[s as usize].take().expect("live packet")
+    }
+}
+
+/// A cycle-accurate wormhole network with virtual channels, credit-based
+/// flow control, and iSLIP switch allocation with CPU priority.
+///
+/// # Example
+///
+/// ```
+/// use clognet_noc::{ClassAssignment, NetParams, Network};
+/// use clognet_proto::*;
+///
+/// let mut net = Network::new(NetParams {
+///     topology: Topology::Mesh,
+///     width: 4,
+///     height: 4,
+///     classes: ClassAssignment::Single(TrafficClass::Request, 2),
+///     vc_buf_flits: 4,
+///     pipeline: 4,
+///     routing_request: RoutingPolicy::DorXY,
+///     routing_reply: RoutingPolicy::DorXY,
+///     eject_buf_flits: 32,
+///     sa_iterations: 1,
+/// });
+/// let pkt = Packet::new(
+///     PacketId(1), NodeId(0), NodeId(15), MsgKind::ReadReq,
+///     Priority::Gpu, Addr::new(0x100), 128, 16, 0,
+/// );
+/// net.try_inject(pkt).unwrap();
+/// for _ in 0..100 { net.tick(); }
+/// let out = net.take_ejected(NodeId(15), usize::MAX);
+/// assert_eq!(out.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Network {
+    params: NetParams,
+    topo: TopologyGraph,
+    routers: Vec<Router>,
+    nis: Vec<Ni>,
+    packets: PacketSlab,
+    now: Cycle,
+    stats: NocStats,
+    credit_returns: Vec<(usize, usize, usize)>,
+    transfers: Vec<(usize, usize, usize, Flit)>,
+    total_vcs: usize,
+    stats_epoch: Cycle,
+}
+
+impl Network {
+    /// Build the network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ejection buffer cannot hold a maximum-size packet or
+    /// the VC assignment is empty.
+    pub fn new(params: NetParams) -> Self {
+        let total_vcs = params.classes.total_vcs();
+        assert!(total_vcs > 0, "need at least one VC");
+        assert!(params.pipeline >= 2, "pipeline must be at least 2 stages");
+        let topo = TopologyGraph::build(params.topology, params.width, params.height);
+        let routers = (0..topo.routers())
+            .map(|r| Router::new(topo.port_count(r), total_vcs, params.vc_buf_flits))
+            .collect();
+        let nis = (0..topo.nodes())
+            .map(|n| {
+                let (router, port) = topo.attach_of(NodeId(n as u16));
+                Ni {
+                    router,
+                    port,
+                    inj: (0..total_vcs).map(|_| None).collect(),
+                    progress: vec![false; total_vcs],
+                    inj_rr: 0,
+                    want: [false; 2],
+                    eject_pending: HashMap::new(),
+                    eject_used: 0,
+                    ejected: VecDeque::new(),
+                }
+            })
+            .collect();
+        let stats = NocStats::new(topo.routers(), |r| topo.port_count(r), topo.nodes());
+        Network {
+            params,
+            routers,
+            nis,
+            packets: PacketSlab::default(),
+            now: 0,
+            stats,
+            credit_returns: Vec::new(),
+            transfers: Vec::new(),
+            total_vcs,
+            stats_epoch: 0,
+            topo,
+        }
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// The topology graph (for layout-aware statistics).
+    pub fn topo(&self) -> &TopologyGraph {
+        &self.topo
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &NocStats {
+        &self.stats
+    }
+
+    /// Zero all statistics (warmup exclusion). The clock keeps running;
+    /// latency means and rates computed afterwards cover only the
+    /// post-reset window.
+    pub fn reset_stats(&mut self) {
+        let nodes = self.nis.len();
+        let routers = self.routers.len();
+        let mut fresh = NocStats::new(routers, |r| self.topo.port_count(r), nodes);
+        fresh.cycles = 0;
+        self.stats = fresh;
+        self.stats_epoch = self.now;
+    }
+
+    /// Packets currently inside the network (including reassembled ones
+    /// not yet taken).
+    pub fn in_flight(&self) -> usize {
+        self.packets.live + self.nis.iter().map(|ni| ni.ejected.len()).sum::<usize>()
+    }
+
+    /// Flits buffered inside router input VCs (congestion diagnostic).
+    pub fn buffered_flits(&self) -> usize {
+        self.routers.iter().map(|r| r.buffered_flits()).sum()
+    }
+
+    /// Whether a new packet of (`class`, `prio`) could start streaming at
+    /// `node` right now (a free injection VC in its partition exists).
+    pub fn can_inject(&self, node: NodeId, class: TrafficClass, prio: Priority) -> bool {
+        if self.params.classes.vc_range(class).is_none() {
+            return false;
+        }
+        let slots = self.vc_partition(class, prio);
+        let ni = &self.nis[node.index()];
+        slots.clone().any(|v| ni.inj[v].is_none())
+    }
+
+    /// True when `node` could not inject (`class`, `prio`) traffic: every
+    /// streaming slot of the partition is busy and none of them made
+    /// progress during the last tick. This is the paper's trigger for
+    /// speculative delegation ("only ... when memory nodes cannot inject
+    /// reply traffic into the NoC").
+    pub fn inject_blocked(&self, node: NodeId, class: TrafficClass, prio: Priority) -> bool {
+        if self.params.classes.vc_range(class).is_none() {
+            return true;
+        }
+        let slots = self.vc_partition(class, prio);
+        let ni = &self.nis[node.index()];
+        slots
+            .clone()
+            .all(|v| ni.inj[v].is_some() && !ni.progress[v])
+    }
+
+    /// Hand a packet to the node's network interface.
+    ///
+    /// # Errors
+    ///
+    /// Returns the packet back if no injection VC of its class is free;
+    /// the caller keeps it queued (this is exactly how memory-node
+    /// injection buffers back up and block).
+    ///
+    /// # Panics
+    ///
+    /// Panics if this network does not carry the packet's class, or if
+    /// `src == dst`.
+    pub fn try_inject(&mut self, pkt: Packet) -> Result<(), Packet> {
+        assert_ne!(pkt.src, pkt.dst, "self-send: {pkt}");
+        let class = pkt.class();
+        let range = self
+            .params
+            .classes
+            .vc_range(class)
+            .unwrap_or_else(|| panic!("network does not carry {class}"));
+        let _class_carried = range;
+        let slots = self.vc_partition(class, pkt.prio);
+        let ni = &mut self.nis[pkt.src.index()];
+        let Some(vc) = slots.clone().find(|&v| ni.inj[v].is_none()) else {
+            ni.want[class_ix(class)] = true;
+            return Err(pkt);
+        };
+        self.stats.injected_pkts[class_ix(class)] += 1;
+        self.stats.injected_flits[class_ix(class)] += pkt.flits as u64;
+        let total = pkt.flits;
+        let slot = self.packets.insert(pkt);
+        ni.inj[vc] = Some(InjSlot {
+            slot,
+            next_idx: 0,
+            total,
+        });
+        Ok(())
+    }
+
+    /// Take up to `max` fully-reassembled packets destined to `node`.
+    /// Taking a packet frees its flits' worth of ejection-buffer space;
+    /// a node that stops taking (a blocked memory node) back-pressures
+    /// the network.
+    pub fn take_ejected(&mut self, node: NodeId, max: usize) -> Vec<Packet> {
+        let ni = &mut self.nis[node.index()];
+        let n = ni.ejected.len().min(max);
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let p = ni.ejected.pop_front().expect("counted");
+            ni.eject_used -= p.flits as usize;
+            out.push(p);
+        }
+        out
+    }
+
+    /// Take up to `max` reassembled packets at `node`, serving CPU
+    /// packets anywhere in the queue first (the memory-system CPU
+    /// priority of Table I applied at the ejection interface).
+    pub fn take_ejected_cpu_first(&mut self, node: NodeId, max: usize) -> Vec<Packet> {
+        let ni = &mut self.nis[node.index()];
+        let mut out = Vec::new();
+        while out.len() < max {
+            let ix = ni
+                .ejected
+                .iter()
+                .position(|p| p.prio == Priority::Cpu)
+                .unwrap_or(0);
+            let Some(p) = ni.ejected.remove(ix) else {
+                break;
+            };
+            ni.eject_used -= p.flits as usize;
+            out.push(p);
+        }
+        out
+    }
+
+    /// Peek the first reassembled packet waiting at `node`.
+    pub fn peek_ejected(&self, node: NodeId) -> Option<&Packet> {
+        self.nis[node.index()].ejected.front()
+    }
+
+    /// Number of reassembled packets waiting at `node`.
+    pub fn ejected_len(&self, node: NodeId) -> usize {
+        self.nis[node.index()].ejected.len()
+    }
+
+    fn proc_delay(&self, class: TrafficClass) -> Cycle {
+        // RC + VA occupy pipeline-2 of the pipeline stages; SA and ST
+        // are explicit in the tick loop. Adaptive routing pays one extra
+        // stage for the heavier route computation / switch allocation
+        // (the crossbar-congestion overhead of Dally & Aoki cited by the
+        // paper as the reason adaptive schemes lose to CDR).
+        let adaptive = matches!(
+            self.params.policy_for(class),
+            RoutingPolicy::DyXY | RoutingPolicy::Footprint | RoutingPolicy::Hare
+        );
+        (self.params.pipeline - 2) as Cycle + Cycle::from(adaptive)
+    }
+
+    /// The VC sub-range a packet of (`class`, `prio`) may occupy.
+    ///
+    /// On the reply network the top VC of the class range is reserved for
+    /// CPU packets (and CPU packets use only it): this is how "higher
+    /// priority to CPU packets in the VC allocator" (Table I / Zhan+
+    /// OSCAR) becomes effective despite FIFO VC buffers — a CPU reply is
+    /// never stuck behind a wormholing GPU reply. The request network
+    /// keeps shared VCs: 1-flit requests cause no wormhole head-of-line
+    /// blocking worth a dedicated VC, and halving the GPU request VCs
+    /// measurably hurts both classes. Dragonfly needs its second VC for
+    /// deadlock avoidance, so no reservation there.
+    fn vc_partition(&self, class: TrafficClass, prio: Priority) -> std::ops::Range<usize> {
+        let range = self.params.classes.vc_range(class).expect("carried class");
+        if class == TrafficClass::Reply
+            && range.len() >= 2
+            && self.params.topology != Topology::Dragonfly
+        {
+            match prio {
+                Priority::Cpu => range.end - 1..range.end,
+                Priority::Gpu => range.start..range.end - 1,
+            }
+        } else {
+            range
+        }
+    }
+
+    /// Advance the network by one cycle.
+    pub fn tick(&mut self) {
+        // Reset per-tick NI progress flags.
+        for ni in &mut self.nis {
+            ni.progress.iter_mut().for_each(|p| *p = false);
+        }
+        self.update_adaptive_state();
+        for r in 0..self.routers.len() {
+            self.va_router(r);
+        }
+        for r in 0..self.routers.len() {
+            self.sa_st_router(r);
+        }
+        // Apply link transfers (arrivals become visible next tick).
+        let transfers = std::mem::take(&mut self.transfers);
+        for (r, p, vc, f) in transfers {
+            let buf = &mut self.routers[r].inputs[p][vc].buf;
+            assert!(
+                buf.len() < self.params.vc_buf_flits as usize,
+                "VC overflow at router {r} port {p} vc {vc}: credits violated"
+            );
+            buf.push_back(f);
+        }
+        self.ni_injection();
+        // Apply credit returns (one-cycle credit latency).
+        let returns = std::mem::take(&mut self.credit_returns);
+        for (r, p, vc) in returns {
+            let c = &mut self.routers[r].credits[p][vc];
+            *c += 1;
+            assert!(
+                *c <= self.params.vc_buf_flits,
+                "credit overflow at router {r} port {p} vc {vc}"
+            );
+        }
+        // Injection-stall accounting.
+        for (n, ni) in self.nis.iter_mut().enumerate() {
+            if ni.want.iter().any(|&w| w) {
+                self.stats.node_inj_stall_cycles[n] += 1;
+            }
+            ni.want = [false; 2];
+        }
+        self.now += 1;
+        self.stats.cycles = self.now - self.stats_epoch;
+    }
+
+    fn update_adaptive_state(&mut self) {
+        // HARE keeps an EWMA of per-port free credits; cheap enough to
+        // update only when an adaptive policy is configured.
+        let adaptive = matches!(self.params.routing_request, RoutingPolicy::Hare)
+            || matches!(self.params.routing_reply, RoutingPolicy::Hare);
+        if !adaptive {
+            return;
+        }
+        for r in &mut self.routers {
+            for p in 0..r.hare_score.len() {
+                let free: u32 = r.credits[p].iter().map(|&c| c as u32).sum();
+                r.hare_score[p] = 0.9 * r.hare_score[p] + 0.1 * free as f64;
+            }
+        }
+    }
+
+    /// VC allocation: give head flits at the front of their input VC an
+    /// output port + output VC.
+    fn va_router(&mut self, r: usize) {
+        let n_ports = self.routers[r].inputs.len();
+        for i in 0..n_ports {
+            for v in 0..self.total_vcs {
+                if self.routers[r].inputs[i][v].alloc.is_some() {
+                    continue;
+                }
+                let Some(&f) = self.routers[r].inputs[i][v].buf.front() else {
+                    continue;
+                };
+                debug_assert!(f.is_head(), "body flit at VC head without allocation");
+                if f.eligible > self.now {
+                    continue;
+                }
+                let pkt = self.packets.get(f.slot);
+                let class = pkt.class();
+                let prio = pkt.prio;
+                let dst = pkt.dst;
+                let policy = self.params.policy_for(class);
+                let cand = routing::candidates(&self.topo, r, dst, policy);
+                if let Some(alloc) = self.choose_output(r, class, prio, dst, policy, &cand) {
+                    if !alloc.eject {
+                        self.routers[r].out_owner[alloc.port as usize][alloc.vc as usize] =
+                            Some((i as u8, v as u8));
+                    }
+                    self.routers[r].inputs[i][v].alloc = Some(alloc);
+                }
+            }
+        }
+    }
+
+    /// Pick (port, out VC) among the routing candidates according to the
+    /// policy's congestion preference; `None` if nothing is free.
+    #[allow(clippy::too_many_arguments)]
+    fn choose_output(
+        &self,
+        r: usize,
+        class: TrafficClass,
+        prio: Priority,
+        dst: NodeId,
+        policy: RoutingPolicy,
+        cand: &routing::Candidates,
+    ) -> Option<Alloc> {
+        // Ejection port: no VC ownership, gated by the NI buffer in SA.
+        let first = cand.escape_port();
+        if let PortLink::Node(_) = self.topo.link(r, first) {
+            return Some(Alloc {
+                port: first as u8,
+                vc: 0,
+                eject: true,
+            });
+        }
+        let range = self.params.classes.vc_range(class).expect("carried class");
+        let part = self.vc_partition(class, prio);
+        let floor = routing::vc_floor(&self.topo, r, dst);
+        let router = &self.routers[r];
+        // Order candidates by the policy's preference.
+        let mut ports: Vec<usize> = cand.ports().to_vec();
+        match policy {
+            RoutingPolicy::DorXY | RoutingPolicy::DorYX => {}
+            RoutingPolicy::DyXY => {
+                // Most free credits first; escape wins ties.
+                ports.sort_by_key(|&p| {
+                    (
+                        u32::MAX - router.free_credits(p, range.clone()),
+                        !cand.is_escape(p) as u8,
+                    )
+                });
+            }
+            RoutingPolicy::Footprint => {
+                // Escape first unless the adaptive port was recently
+                // profitable or the escape route is out of credits.
+                let escape = cand.escape_port();
+                let escape_starved = router.free_credits(escape, range.clone()) == 0;
+                ports.sort_by_key(|&p| {
+                    if cand.is_escape(p) {
+                        u8::from(escape_starved)
+                    } else {
+                        let fresh = self.now.saturating_sub(router.footprint[p]) < 64;
+                        if escape_starved || fresh {
+                            0
+                        } else {
+                            2
+                        }
+                    }
+                });
+            }
+            RoutingPolicy::Hare => {
+                ports.sort_by(|&a, &b| {
+                    router.hare_score[b]
+                        .partial_cmp(&router.hare_score[a])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+            }
+        }
+        for &p in &ports {
+            // Escape VC (first VC of the class range) is reserved for the
+            // dimension-order port under adaptive mesh policies.
+            let adaptive_policy = matches!(
+                policy,
+                RoutingPolicy::DyXY | RoutingPolicy::Footprint | RoutingPolicy::Hare
+            ) && self.topo.kind() == Topology::Mesh;
+            let start_off = if adaptive_policy && !cand.is_escape(p) {
+                1
+            } else {
+                0
+            };
+            let lo = (range.start + start_off.max(floor)).max(part.start);
+            for vc in lo..part.end {
+                if self.routers[r].out_owner[p][vc].is_none() {
+                    return Some(Alloc {
+                        port: p as u8,
+                        vc: vc as u8,
+                        eject: false,
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    /// Switch allocation (iterative iSLIP with strict CPU priority)
+    /// followed by switch/link traversal for the winners.
+    #[allow(clippy::needless_range_loop)] // indices drive router state arrays
+    fn sa_st_router(&mut self, r: usize) {
+        let n_ports = self.routers[r].inputs.len();
+        // Gather requests: (out_port, in_port, in_vc, prio).
+        let mut requests: Vec<(usize, usize, usize, Priority)> = Vec::new();
+        for i in 0..n_ports {
+            for v in 0..self.total_vcs {
+                let ivc = &self.routers[r].inputs[i][v];
+                let Some(alloc) = ivc.alloc else { continue };
+                let Some(&f) = ivc.buf.front() else { continue };
+                if f.eligible > self.now {
+                    continue;
+                }
+                let ok = if alloc.eject {
+                    let node = match self.topo.link(r, alloc.port as usize) {
+                        PortLink::Node(n) => n,
+                        other => panic!("eject alloc to {other:?}"),
+                    };
+                    let ni = &self.nis[node.index()];
+                    // Head flits reserve the whole packet's reassembly
+                    // space up front so interleaved partial packets can
+                    // never wedge the ejection buffer.
+                    if f.is_head() {
+                        ni.eject_used + f.total as usize <= self.params.eject_buf_flits
+                    } else {
+                        true
+                    }
+                } else {
+                    self.routers[r].credits[alloc.port as usize][alloc.vc as usize] > 0
+                };
+                if ok {
+                    let prio = self.packets.get(f.slot).prio;
+                    requests.push((alloc.port as usize, i, v, prio));
+                }
+            }
+        }
+        if requests.is_empty() {
+            return;
+        }
+        let n_out = self.routers[r].out_owner.len();
+        let mut out_taken = vec![false; n_out];
+        let mut in_taken = vec![false; n_ports];
+        let mut accepted: Vec<(usize, usize, usize)> = Vec::new();
+        // Iterative separable matching: each round runs a grant pass per
+        // free output and an accept pass per free input; matched pairs
+        // are removed and the next round fills in the matching.
+        for round in 0..self.params.sa_iterations.max(1) {
+            // Grant: one request per free output port (CPU first, then
+            // rotating).
+            let mut grants: Vec<(usize, usize, usize)> = Vec::new(); // (out, in, vc)
+            for op in 0..n_out {
+                if out_taken[op] {
+                    continue;
+                }
+                let mut best: Option<(usize, usize, Priority, usize)> = None;
+                let ptr = self.routers[r].grant_ptr[op];
+                let id_space = n_ports * self.total_vcs;
+                for &(o, i, v, prio) in &requests {
+                    if o != op || in_taken[i] {
+                        continue;
+                    }
+                    let id = i * self.total_vcs + v;
+                    let dist = (id + id_space - ptr) % id_space;
+                    let better = match best {
+                        None => true,
+                        Some((_, _, bp, bd)) => (prio, dist) < (bp, bd),
+                    };
+                    if better {
+                        best = Some((i, v, prio, dist));
+                    }
+                }
+                if let Some((i, v, _, _)) = best {
+                    grants.push((op, i, v));
+                }
+            }
+            if grants.is_empty() {
+                break;
+            }
+            // Accept: one grant per free input port (CPU first, then
+            // rotating).
+            let mut progress = false;
+            for i in 0..n_ports {
+                if in_taken[i] {
+                    continue;
+                }
+                let mut best: Option<(usize, usize, Priority, usize)> = None;
+                let ptr = self.routers[r].accept_ptr[i];
+                for &(op, gi, v) in &grants {
+                    if gi != i {
+                        continue;
+                    }
+                    let f = self.routers[r].inputs[i][v].buf.front().expect("requested");
+                    let prio = self.packets.get(f.slot).prio;
+                    let dist = (v + self.total_vcs - ptr) % self.total_vcs;
+                    let better = match best {
+                        None => true,
+                        Some((_, _, bp, bd)) => (prio, dist) < (bp, bd),
+                    };
+                    if better {
+                        best = Some((op, v, prio, dist));
+                    }
+                }
+                if let Some((op, v, _, _)) = best {
+                    accepted.push((i, v, op));
+                    in_taken[i] = true;
+                    out_taken[op] = true;
+                    progress = true;
+                    // iSLIP pointer updates only on first-iteration
+                    // accepts (the classic desynchronization rule).
+                    if round == 0 {
+                        self.routers[r].grant_ptr[op] =
+                            (i * self.total_vcs + v + 1) % (n_ports * self.total_vcs);
+                        self.routers[r].accept_ptr[i] = (v + 1) % self.total_vcs;
+                    }
+                }
+            }
+            if !progress {
+                break;
+            }
+        }
+        // ST for the winners.
+        for (i, v, op) in accepted {
+            self.traverse(r, i, v, op);
+        }
+    }
+
+    /// Move the head-of-VC flit of (router `r`, input `i`, VC `v`) out of
+    /// output port `op`.
+    fn traverse(&mut self, r: usize, i: usize, v: usize, op: usize) {
+        let alloc = self.routers[r].inputs[i][v].alloc.expect("allocated");
+        debug_assert_eq!(alloc.port as usize, op);
+        let f = self.routers[r].inputs[i][v]
+            .buf
+            .pop_front()
+            .expect("requested flit");
+        self.stats.link_flits[r][op] += 1;
+        // Credit return towards whoever feeds this input VC.
+        if let PortLink::Router { router: s, port: q } = self.topo.link(r, i) {
+            self.credit_returns.push((s, q, v));
+        }
+        let tail = f.is_tail();
+        match self.topo.link(r, op) {
+            PortLink::Node(node) => {
+                // Ejection into the NI reassembly buffer. Space for the
+                // whole packet was reserved when the head ejected.
+                let ni = &mut self.nis[node.index()];
+                if f.is_head() {
+                    ni.eject_used += f.total as usize;
+                }
+                let cnt = ni.eject_pending.entry(f.slot).or_insert(0);
+                *cnt += 1;
+                if *cnt == f.total {
+                    ni.eject_pending.remove(&f.slot);
+                    let pkt = self.packets.remove(f.slot);
+                    let latency = self.now - pkt.created;
+                    self.stats.record_ejection(
+                        pkt.class(),
+                        pkt.prio,
+                        latency,
+                        node.index(),
+                        pkt.flits,
+                    );
+                    self.nis[node.index()].ejected.push_back(pkt);
+                }
+            }
+            PortLink::Router { router: s, port: q } => {
+                let out_vc = alloc.vc as usize;
+                let c = &mut self.routers[r].credits[op][out_vc];
+                debug_assert!(*c > 0);
+                *c -= 1;
+                // Footprint: taking a non-escape port while it had credit
+                // marks it profitable.
+                self.routers[r].footprint[op] = self.now;
+                let class = self.packets.get(f.slot).class();
+                let arrival = Flit {
+                    eligible: self.now + 1 + self.proc_delay(class),
+                    ..f
+                };
+                self.transfers.push((s, q, out_vc, arrival));
+                if tail {
+                    self.routers[r].out_owner[op][out_vc] = None;
+                }
+            }
+            PortLink::Unused => panic!("routed into an unwired port"),
+        }
+        if tail {
+            self.routers[r].inputs[i][v].alloc = None;
+        }
+    }
+
+    /// Stream flits from NI injection slots into the local input VCs:
+    /// at most ONE flit per node per cycle — the node's single physical
+    /// injection channel, whatever the topology.
+    fn ni_injection(&mut self) {
+        for n in 0..self.nis.len() {
+            let (router, port) = (self.nis[n].router, self.nis[n].port);
+            let start = self.nis[n].inj_rr;
+            for k in 0..self.total_vcs {
+                let vc = (start + k) % self.total_vcs;
+                let Some(slot) = self.nis[n].inj[vc].as_ref() else {
+                    continue;
+                };
+                let buf_len = self.routers[router].inputs[port][vc].buf.len();
+                if buf_len >= self.params.vc_buf_flits as usize {
+                    continue;
+                }
+                let (s, idx, total) = (slot.slot, slot.next_idx, slot.total);
+                let class = self.packets.get(s).class();
+                let f = Flit {
+                    slot: s,
+                    idx,
+                    total,
+                    eligible: self.now + 1 + self.proc_delay(class),
+                };
+                self.routers[router].inputs[port][vc].buf.push_back(f);
+                self.stats.node_tx_flits[n] += 1;
+                self.nis[n].progress[vc] = true;
+                let slot = self.nis[n].inj[vc].as_mut().expect("checked");
+                slot.next_idx += 1;
+                if slot.next_idx == total {
+                    self.nis[n].inj[vc] = None;
+                }
+                self.nis[n].inj_rr = (vc + 1) % self.total_vcs;
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clognet_proto::{Addr, MsgKind, PacketId};
+
+    fn params(topology: Topology) -> NetParams {
+        NetParams {
+            topology,
+            width: 8,
+            height: 8,
+            classes: ClassAssignment::Single(TrafficClass::Request, 2),
+            vc_buf_flits: 4,
+            pipeline: 4,
+            routing_request: RoutingPolicy::DorXY,
+            routing_reply: RoutingPolicy::DorXY,
+            eject_buf_flits: 32,
+            sa_iterations: 1,
+        }
+    }
+
+    fn mk_pkt(id: u64, src: u16, dst: u16, kind: MsgKind, now: Cycle) -> Packet {
+        Packet::new(
+            PacketId(id),
+            NodeId(src),
+            NodeId(dst),
+            kind,
+            Priority::Gpu,
+            Addr::new(id * 128),
+            128,
+            16,
+            now,
+        )
+    }
+
+    #[test]
+    fn single_packet_delivery() {
+        let mut net = Network::new(params(Topology::Mesh));
+        net.try_inject(mk_pkt(1, 0, 63, MsgKind::ReadReq, 0))
+            .unwrap();
+        for _ in 0..200 {
+            net.tick();
+        }
+        let out = net.take_ejected(NodeId(63), usize::MAX);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].id, PacketId(1));
+        assert_eq!(net.in_flight(), 0);
+    }
+
+    #[test]
+    fn latency_scales_with_hops() {
+        // 14-hop corner-to-corner vs 1-hop neighbor.
+        let mut net = Network::new(params(Topology::Mesh));
+        net.try_inject(mk_pkt(1, 0, 63, MsgKind::ReadReq, 0))
+            .unwrap();
+        // Single-flit packet: the injection slot frees after one tick.
+        let mut second = Some(mk_pkt(2, 0, 1, MsgKind::ReadReq, 0));
+        for _ in 0..300 {
+            if let Some(p) = second.take() {
+                second = net.try_inject(p).err();
+            }
+            net.tick();
+        }
+        assert!(second.is_none(), "second packet never injected");
+        let far = net.stats().latency[0][1].max_cycles;
+        assert!(net.take_ejected(NodeId(1), 1).len() == 1);
+        assert!(net.take_ejected(NodeId(63), 1).len() == 1);
+        // Far packet needs at least 14 hops * ~4 cycles.
+        assert!(far >= 14 * 3, "far latency {far}");
+        assert!(far <= 200, "far latency {far}");
+    }
+
+    #[test]
+    fn multi_flit_packet_reassembles_once() {
+        let mut net = Network::new(NetParams {
+            classes: ClassAssignment::Single(TrafficClass::Reply, 2),
+            ..params(Topology::Mesh)
+        });
+        net.try_inject(mk_pkt(7, 10, 53, MsgKind::ReadReply, 0))
+            .unwrap();
+        for _ in 0..300 {
+            net.tick();
+        }
+        let out = net.take_ejected(NodeId(53), usize::MAX);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].flits, 9);
+        assert_eq!(net.stats().node_rx_flits[53], 9);
+    }
+
+    #[test]
+    fn all_topologies_deliver_all_to_all() {
+        for topology in Topology::ALL {
+            let mut net = Network::new(params(topology));
+            let mut id = 0;
+            let mut expected = vec![0usize; 64];
+            for s in (0..64u16).step_by(5) {
+                for d in (1..64u16).step_by(7) {
+                    if s == d {
+                        continue;
+                    }
+                    id += 1;
+                    net.try_inject(mk_pkt(id, s, d, MsgKind::ReadReq, 0))
+                        .unwrap_or_else(|_| panic!("{topology:?} inject"));
+                    expected[d as usize] += 1;
+                    // Let the NI drain so injection slots free up.
+                    for _ in 0..4 {
+                        net.tick();
+                    }
+                }
+            }
+            for _ in 0..2000 {
+                net.tick();
+            }
+            for (d, &want) in expected.iter().enumerate() {
+                let got = net.take_ejected(NodeId(d as u16), usize::MAX).len();
+                assert_eq!(got, want, "{topology:?} node {d}");
+            }
+            assert_eq!(net.in_flight(), 0, "{topology:?} leftover");
+        }
+    }
+
+    #[test]
+    fn inject_blocked_reflects_backpressure() {
+        let mut net = Network::new(NetParams {
+            classes: ClassAssignment::Single(TrafficClass::Reply, 2),
+            ..params(Topology::Mesh)
+        });
+        // Flood node 0's reply NI with far-destination 9-flit packets and
+        // never let destination 63 take them; with a full pipe, injection
+        // eventually blocks.
+        let mut id = 0;
+        let mut blocked_seen = false;
+        for _ in 0..400 {
+            id += 1;
+            let _ = net.try_inject(mk_pkt(id, 0, 63, MsgKind::ReadReply, net.now()));
+            net.tick();
+            if net.inject_blocked(NodeId(0), TrafficClass::Reply, Priority::Gpu) {
+                blocked_seen = true;
+            }
+        }
+        assert!(blocked_seen, "backpressure never reached the source NI");
+        // The destination's ejection buffer is full (nobody takes).
+        assert!(net.ejected_len(NodeId(63)) >= 1);
+    }
+
+    #[test]
+    fn take_ejected_frees_buffer_space() {
+        let mut net = Network::new(NetParams {
+            classes: ClassAssignment::Single(TrafficClass::Reply, 2),
+            eject_buf_flits: 9,
+            sa_iterations: 1,
+            ..params(Topology::Mesh)
+        });
+        net.try_inject(mk_pkt(1, 0, 1, MsgKind::ReadReply, 0))
+            .unwrap();
+        let mut second = Some(mk_pkt(2, 0, 1, MsgKind::ReadReply, 0));
+        for _ in 0..100 {
+            if let Some(pkt) = second.take() {
+                second = net.try_inject(pkt).err();
+            }
+            net.tick();
+        }
+        assert!(second.is_none(), "second packet never injected");
+        // Only one packet fits in the 9-flit eject buffer.
+        assert_eq!(net.ejected_len(NodeId(1)), 1);
+        let got = net.take_ejected(NodeId(1), usize::MAX);
+        assert_eq!(got.len(), 1);
+        for _ in 0..100 {
+            net.tick();
+        }
+        assert_eq!(net.take_ejected(NodeId(1), usize::MAX).len(), 1);
+    }
+
+    #[test]
+    fn cpu_priority_wins_contention() {
+        // Saturate the reply network with many-to-one 9-flit GPU replies,
+        // then send occasional CPU replies along the same path; the
+        // CPU-reserved VC plus strict SA priority must keep CPU latency
+        // well below GPU latency.
+        let mut net = Network::new(NetParams {
+            classes: ClassAssignment::Single(TrafficClass::Reply, 2),
+            ..params(Topology::Mesh)
+        });
+        let mut id = 0;
+        for t in 0..1500u64 {
+            for s in [0u16, 1, 2] {
+                id += 1;
+                let _ = net.try_inject(mk_pkt(id, s, 7, MsgKind::ReadReply, net.now()));
+            }
+            if t % 50 == 10 {
+                id += 1;
+                let mut p = mk_pkt(id, 3, 7, MsgKind::ReadReply, net.now());
+                p.prio = Priority::Cpu;
+                let _ = net.try_inject(p);
+            }
+            net.tick();
+            net.take_ejected(NodeId(7), usize::MAX);
+        }
+        for _ in 0..1000 {
+            net.tick();
+            net.take_ejected(NodeId(7), usize::MAX);
+        }
+        let cpu = net.stats().mean_latency(TrafficClass::Reply, Priority::Cpu);
+        let gpu = net.stats().mean_latency(TrafficClass::Reply, Priority::Gpu);
+        assert!(cpu > 0.0 && gpu > 0.0);
+        assert!(
+            cpu < gpu * 0.7,
+            "CPU priority too weak: cpu {cpu:.1} vs gpu {gpu:.1}"
+        );
+    }
+
+    #[test]
+    fn virtual_networks_carry_both_classes() {
+        let mut net = Network::new(NetParams {
+            classes: ClassAssignment::Shared {
+                request_vcs: 2,
+                reply_vcs: 2,
+            },
+            ..params(Topology::Mesh)
+        });
+        net.try_inject(mk_pkt(1, 0, 63, MsgKind::ReadReq, 0))
+            .unwrap();
+        net.try_inject(mk_pkt(2, 63, 0, MsgKind::ReadReply, 0))
+            .unwrap();
+        for _ in 0..300 {
+            net.tick();
+        }
+        assert_eq!(net.take_ejected(NodeId(63), 9).len(), 1);
+        assert_eq!(net.take_ejected(NodeId(0), 9).len(), 1);
+    }
+
+    #[test]
+    fn more_islip_iterations_never_slow_delivery() {
+        // Heavy many-to-many load; a 3-iteration allocator must deliver
+        // everything at least as fast as the single-iteration one.
+        let run = |iters: usize| -> u64 {
+            let mut net = Network::new(NetParams {
+                sa_iterations: iters,
+                ..params(Topology::Mesh)
+            });
+            let mut queue: Vec<Packet> = (0..120u64)
+                .map(|i| {
+                    let s = (i * 7 % 64) as u16;
+                    let d = (i * 13 % 64) as u16;
+                    let d = if d == s { (d + 1) % 64 } else { d };
+                    mk_pkt(i, s, d, MsgKind::ReadReq, 0)
+                })
+                .collect();
+            let mut delivered = 0u64;
+            for now in 0..6_000u64 {
+                if let Some(p) = queue.pop() {
+                    if let Err(back) = net.try_inject(p) {
+                        queue.push(back);
+                    }
+                }
+                net.tick();
+                for d in 0..64 {
+                    delivered += net.take_ejected(NodeId(d), usize::MAX).len() as u64;
+                }
+                if delivered == 120 && queue.is_empty() {
+                    return now;
+                }
+            }
+            panic!("never delivered everything with {iters} iterations");
+        };
+        let one = run(1);
+        let three = run(3);
+        assert!(
+            three <= one + 8,
+            "3-iteration iSLIP slower: {three} vs {one}"
+        );
+    }
+
+    #[test]
+    fn take_ejected_cpu_first_reorders() {
+        let mut net = Network::new(NetParams {
+            classes: ClassAssignment::Single(TrafficClass::Reply, 2),
+            ..params(Topology::Mesh)
+        });
+        let mut gpu = mk_pkt(1, 0, 1, MsgKind::ReadReply, 0);
+        gpu.prio = Priority::Gpu;
+        let mut cpu = mk_pkt(2, 8, 1, MsgKind::ReadReply, 0);
+        cpu.prio = Priority::Cpu;
+        net.try_inject(gpu).unwrap();
+        net.try_inject(cpu).unwrap();
+        for _ in 0..200 {
+            net.tick();
+        }
+        assert_eq!(net.ejected_len(NodeId(1)), 2);
+        let got = net.take_ejected_cpu_first(NodeId(1), 2);
+        assert_eq!(got[0].prio, Priority::Cpu, "CPU packet must come first");
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not carry")]
+    fn wrong_class_injection_panics() {
+        let mut net = Network::new(params(Topology::Mesh));
+        let _ = net.try_inject(mk_pkt(1, 0, 1, MsgKind::ReadReply, 0));
+    }
+
+    #[test]
+    fn adaptive_policies_deliver() {
+        for policy in [
+            RoutingPolicy::DyXY,
+            RoutingPolicy::Footprint,
+            RoutingPolicy::Hare,
+        ] {
+            let mut net = Network::new(NetParams {
+                routing_request: policy,
+                ..params(Topology::Mesh)
+            });
+            let mut id = 0;
+            for s in 0..16u16 {
+                for d in 48..64u16 {
+                    id += 1;
+                    while net
+                        .try_inject(mk_pkt(id, s, d, MsgKind::ReadReq, net.now()))
+                        .is_err()
+                    {
+                        net.tick();
+                    }
+                }
+            }
+            for _ in 0..3000 {
+                net.tick();
+            }
+            let total: usize = (0..64)
+                .map(|d| net.take_ejected(NodeId(d), usize::MAX).len())
+                .sum();
+            assert_eq!(total, 16 * 16, "{policy:?}");
+            assert_eq!(net.in_flight(), 0, "{policy:?} stuck packets");
+        }
+    }
+
+    #[test]
+    fn wormhole_packets_never_interleave_within_vc() {
+        // Heavy many-to-one reply traffic; ejection counts must always
+        // complete exactly (the assembler panics on slot confusion, and
+        // in_flight returning to zero proves no flit was lost).
+        let mut net = Network::new(NetParams {
+            classes: ClassAssignment::Single(TrafficClass::Reply, 2),
+            ..params(Topology::Mesh)
+        });
+        let mut id = 0;
+        let mut sent = 0;
+        for _ in 0..300 {
+            for s in [8u16, 16, 24, 32] {
+                id += 1;
+                if net
+                    .try_inject(mk_pkt(id, s, 0, MsgKind::ReadReply, net.now()))
+                    .is_ok()
+                {
+                    sent += 1;
+                }
+            }
+            net.tick();
+            // Keep draining the sink.
+            net.take_ejected(NodeId(0), usize::MAX);
+        }
+        for _ in 0..3000 {
+            net.tick();
+            net.take_ejected(NodeId(0), usize::MAX);
+        }
+        assert_eq!(net.in_flight(), 0);
+        assert_eq!(net.stats().ejected_pkts[1], sent);
+    }
+}

@@ -1,0 +1,113 @@
+//! Per-router state: input VC buffers, output-VC ownership, credits, and
+//! the rotating iSLIP arbitration pointers.
+//!
+//! The switch-allocation and VC-allocation *algorithms* live in
+//! [`crate::network`], which has access to the packet slab and the
+//! neighbor routers; this module only defines the state they operate on.
+
+use crate::flit::Flit;
+use clognet_proto::Cycle;
+use std::collections::VecDeque;
+
+/// One virtual channel on an input port.
+#[derive(Debug, Default)]
+pub(crate) struct InputVc {
+    /// Buffered flits, in arrival order. Packets are contiguous: the
+    /// upstream output-VC ownership discipline guarantees no interleaving
+    /// within one VC.
+    pub buf: VecDeque<Flit>,
+    /// Route + output VC allocated to the packet currently at the head
+    /// (set by VA when its head flit reaches the front, cleared when its
+    /// tail flit departs).
+    pub alloc: Option<Alloc>,
+}
+
+/// An output allocation held by an input VC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Alloc {
+    /// Output port.
+    pub port: u8,
+    /// Output VC on that port (meaningless for ejection ports).
+    pub vc: u8,
+    /// True when the output port is the router's locally attached node
+    /// (ejection): no output-VC ownership or credits apply, the NI eject
+    /// buffer gates transfer instead.
+    pub eject: bool,
+}
+
+/// Router state.
+#[derive(Debug)]
+pub(crate) struct Router {
+    /// `inputs[port][vc]`.
+    pub inputs: Vec<Vec<InputVc>>,
+    /// `out_owner[port][vc]` — which (input port, input vc) currently owns
+    /// the downstream VC (None = free). Ejection ports never take owners.
+    pub out_owner: Vec<Vec<Option<(u8, u8)>>>,
+    /// `credits[port][vc]` — free buffer slots in the downstream input VC.
+    pub credits: Vec<Vec<u8>>,
+    /// iSLIP grant pointer per output port (rotates over input-VC ids).
+    pub grant_ptr: Vec<usize>,
+    /// iSLIP accept pointer per input port (rotates over its VCs).
+    pub accept_ptr: Vec<usize>,
+    /// HARE: per-output-port congestion history (EWMA of free credits).
+    pub hare_score: Vec<f64>,
+    /// Footprint: per-output-port cycle of the last profitable adaptive
+    /// use.
+    pub footprint: Vec<Cycle>,
+}
+
+impl Router {
+    /// Create a router with `ports` ports, `vcs` VCs per port, and
+    /// `buf` flits of credit per VC towards each downstream neighbor.
+    pub fn new(ports: usize, vcs: usize, buf: u8) -> Self {
+        Router {
+            inputs: (0..ports)
+                .map(|_| (0..vcs).map(|_| InputVc::default()).collect())
+                .collect(),
+            out_owner: vec![vec![None; vcs]; ports],
+            credits: vec![vec![buf; vcs]; ports],
+            grant_ptr: vec![0; ports],
+            accept_ptr: vec![0; ports],
+            hare_score: vec![0.0; ports],
+            footprint: vec![0; ports],
+        }
+    }
+
+    /// Total free credits over a VC range of an output port (the DyXY
+    /// congestion metric).
+    pub fn free_credits(&self, port: usize, vcs: std::ops::Range<usize>) -> u32 {
+        vcs.map(|v| self.credits[port][v] as u32).sum()
+    }
+
+    /// Total flits buffered in this router (for quiescence checks).
+    pub fn buffered_flits(&self) -> usize {
+        self.inputs
+            .iter()
+            .flat_map(|p| p.iter())
+            .map(|vc| vc.buf.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_router_is_empty_with_full_credits() {
+        let r = Router::new(5, 4, 4);
+        assert_eq!(r.inputs.len(), 5);
+        assert_eq!(r.inputs[0].len(), 4);
+        assert_eq!(r.buffered_flits(), 0);
+        assert_eq!(r.free_credits(2, 0..4), 16);
+    }
+
+    #[test]
+    fn free_credits_respects_range() {
+        let mut r = Router::new(5, 4, 4);
+        r.credits[1][0] = 0;
+        r.credits[1][1] = 2;
+        assert_eq!(r.free_credits(1, 0..2), 2);
+        assert_eq!(r.free_credits(1, 2..4), 8);
+    }
+}

@@ -1,0 +1,324 @@
+//! Routing functions for every topology and policy.
+//!
+//! Routing is *relational*: [`candidates`] returns the set of legal
+//! output ports (minimal paths only), distinguishing the deadlock-free
+//! *escape* port (dimension-order on the mesh) from optional adaptive
+//! alternatives. The router's VC allocator picks among candidates using
+//! the policy's congestion metric; VC 0 of each class is reserved for the
+//! escape route so the adaptive schemes (DyXY, Footprint, HARE) remain
+//! deadlock-free by Duato's criterion.
+
+use crate::topology::{mesh_port, TopologyGraph};
+use clognet_proto::{NodeId, RoutingPolicy, Topology};
+
+/// Legal output ports for one hop, escape route first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candidates {
+    ports: [usize; 3],
+    len: u8,
+    /// Index into `ports` of the escape (dimension-order) choice.
+    escape: u8,
+}
+
+impl Candidates {
+    fn single(port: usize) -> Self {
+        Candidates {
+            ports: [port, 0, 0],
+            len: 1,
+            escape: 0,
+        }
+    }
+
+    fn pair(escape: usize, alt: usize) -> Self {
+        Candidates {
+            ports: [escape, alt, 0],
+            len: 2,
+            escape: 0,
+        }
+    }
+
+    /// All candidate ports (escape first).
+    pub fn ports(&self) -> &[usize] {
+        &self.ports[..self.len as usize]
+    }
+
+    /// The escape (dimension-order) port.
+    pub fn escape_port(&self) -> usize {
+        self.ports[self.escape as usize]
+    }
+
+    /// Whether `port` is the escape choice.
+    pub fn is_escape(&self, port: usize) -> bool {
+        self.escape_port() == port
+    }
+}
+
+/// Compute the legal output ports at `router` for a packet headed to
+/// `dst` under `policy`.
+///
+/// # Panics
+///
+/// Panics if `dst` is not attached to the topology.
+pub fn candidates(
+    topo: &TopologyGraph,
+    router: usize,
+    dst: NodeId,
+    policy: RoutingPolicy,
+) -> Candidates {
+    let (dst_router, dst_port) = topo.attach_of(dst);
+    if router == dst_router {
+        return Candidates::single(dst_port);
+    }
+    match topo.kind() {
+        Topology::Mesh => mesh_candidates(topo, router, dst_router, policy),
+        Topology::Crossbar => unreachable!("crossbar: every node is on the single router"),
+        Topology::FlattenedButterfly => Candidates::single(fbfly_port(topo, router, dst_router)),
+        Topology::Dragonfly => Candidates::single(dragonfly_port(topo, router, dst_router)),
+    }
+}
+
+fn mesh_candidates(
+    topo: &TopologyGraph,
+    router: usize,
+    dst_router: usize,
+    policy: RoutingPolicy,
+) -> Candidates {
+    let (x, y) = topo.coords(router);
+    let (dx, dy) = topo.coords(dst_router);
+    let xport = if dx > x {
+        Some(mesh_port::EAST)
+    } else if dx < x {
+        Some(mesh_port::WEST)
+    } else {
+        None
+    };
+    let yport = if dy > y {
+        Some(mesh_port::SOUTH)
+    } else if dy < y {
+        Some(mesh_port::NORTH)
+    } else {
+        None
+    };
+    match (xport, yport) {
+        (Some(xp), None) => Candidates::single(xp),
+        (None, Some(yp)) => Candidates::single(yp),
+        (Some(xp), Some(yp)) => match policy {
+            RoutingPolicy::DorXY => Candidates::single(xp),
+            RoutingPolicy::DorYX => Candidates::single(yp),
+            // Adaptive schemes: either minimal direction; the escape
+            // (VC0) route is XY dimension-order.
+            RoutingPolicy::DyXY | RoutingPolicy::Footprint | RoutingPolicy::Hare => {
+                Candidates::pair(xp, yp)
+            }
+        },
+        (None, None) => unreachable!("router == dst_router handled above"),
+    }
+}
+
+/// Flattened butterfly: row hop first (to the destination's column), then
+/// column hop — the 2-hop analogue of XY, deadlock-free.
+fn fbfly_port(topo: &TopologyGraph, router: usize, dst_router: usize) -> usize {
+    let w = topo.width();
+    let (x, y) = topo.coords(router);
+    let (dx, dy) = topo.coords(dst_router);
+    if dx != x {
+        // row peer dx: ports 1..w ordered by peer x skipping self
+        1 + if dx < x { dx } else { dx - 1 }
+    } else {
+        debug_assert_ne!(dy, y);
+        w + if dy < y { dy } else { dy - 1 }
+    }
+}
+
+/// Dragonfly minimal routing: intra hop to the router owning the global
+/// link to the destination group, global hop, intra hop to the
+/// destination router.
+fn dragonfly_port(topo: &TopologyGraph, router: usize, dst_router: usize) -> usize {
+    let w = topo.group_size();
+    let h = topo.routers() / w;
+    let global_port = w;
+    let g = topo.group_of(router);
+    let dg = topo.group_of(dst_router);
+    let intra_port =
+        |me: usize, peer: usize| -> usize { 1 + if peer < me { peer } else { peer - 1 } };
+    let r = router % w;
+    if g == dg {
+        // final intra-group hop
+        intra_port(r, dst_router % w)
+    } else {
+        // router in my group owning the global link to dg
+        let owner = (dg + h - g - 1) % h;
+        if owner == r {
+            global_port
+        } else {
+            intra_port(r, owner)
+        }
+    }
+}
+
+/// The VC floor for deadlock avoidance: dragonfly packets must switch to
+/// VC >= 1 for hops inside the destination group (ascending VC classes
+/// break the local→global→local cycle). All other topologies/hops use
+/// floor 0.
+pub fn vc_floor(topo: &TopologyGraph, router: usize, dst: NodeId) -> usize {
+    if topo.kind() == Topology::Dragonfly {
+        let (dst_router, _) = topo.attach_of(dst);
+        if topo.group_of(router) == topo.group_of(dst_router) {
+            return 1;
+        }
+    }
+    0
+}
+
+/// Number of hops a minimal route takes (for latency sanity checks and
+/// the energy model).
+pub fn min_hops(topo: &TopologyGraph, src: NodeId, dst: NodeId) -> usize {
+    let (mut r, _) = topo.attach_of(src);
+    let (dst_router, _) = topo.attach_of(dst);
+    let mut hops = 0;
+    while r != dst_router {
+        let c = candidates(topo, r, dst, RoutingPolicy::DorXY);
+        let p = c.escape_port();
+        match topo.link(r, p) {
+            crate::topology::PortLink::Router { router, .. } => r = router,
+            other => panic!("route step hit {other:?}"),
+        }
+        hops += 1;
+        assert!(hops <= topo.routers(), "routing loop {src}->{dst}");
+    }
+    hops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clognet_proto::Topology;
+
+    fn walk(topo: &TopologyGraph, src: NodeId, dst: NodeId, policy: RoutingPolicy) -> usize {
+        // Follow escape ports until delivery; returns hop count.
+        let (mut r, _) = topo.attach_of(src);
+        let (dst_r, dst_p) = topo.attach_of(dst);
+        let mut hops = 0;
+        loop {
+            let c = candidates(topo, r, dst, policy);
+            if r == dst_r {
+                assert_eq!(c.escape_port(), dst_p, "must deliver locally");
+                return hops;
+            }
+            match topo.link(r, c.escape_port()) {
+                crate::topology::PortLink::Router { router, .. } => r = router,
+                other => panic!("step into {other:?}"),
+            }
+            hops += 1;
+            assert!(hops <= 4 * topo.routers(), "loop {src}->{dst}");
+        }
+    }
+
+    #[test]
+    fn mesh_dor_is_minimal_everywhere() {
+        let t = TopologyGraph::build(Topology::Mesh, 8, 8);
+        for s in 0..64u16 {
+            for d in 0..64u16 {
+                if s == d {
+                    continue;
+                }
+                let (sx, sy) = t.coords(s as usize);
+                let (dx, dy) = t.coords(d as usize);
+                let manhattan = sx.abs_diff(dx) + sy.abs_diff(dy);
+                for pol in [RoutingPolicy::DorXY, RoutingPolicy::DorYX] {
+                    assert_eq!(walk(&t, NodeId(s), NodeId(d), pol), manhattan);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_xy_and_yx_differ_on_diagonals() {
+        let t = TopologyGraph::build(Topology::Mesh, 8, 8);
+        // From (0,0) to (3,3): XY goes east first, YX goes south first.
+        let r0 = 0;
+        let dst = NodeId(3 * 8 + 3);
+        assert_eq!(
+            candidates(&t, r0, dst, RoutingPolicy::DorXY).escape_port(),
+            mesh_port::EAST
+        );
+        assert_eq!(
+            candidates(&t, r0, dst, RoutingPolicy::DorYX).escape_port(),
+            mesh_port::SOUTH
+        );
+    }
+
+    #[test]
+    fn adaptive_offers_both_minimal_dims() {
+        let t = TopologyGraph::build(Topology::Mesh, 8, 8);
+        let c = candidates(&t, 0, NodeId(3 * 8 + 3), RoutingPolicy::DyXY);
+        assert_eq!(c.ports().len(), 2);
+        assert!(c.ports().contains(&mesh_port::EAST));
+        assert!(c.ports().contains(&mesh_port::SOUTH));
+        assert_eq!(c.escape_port(), mesh_port::EAST, "escape is XY order");
+        // Aligned destinations leave no adaptivity.
+        let c = candidates(&t, 0, NodeId(7), RoutingPolicy::DyXY);
+        assert_eq!(c.ports().len(), 1);
+    }
+
+    #[test]
+    fn fbfly_delivers_in_two_hops_max() {
+        let t = TopologyGraph::build(Topology::FlattenedButterfly, 8, 8);
+        for s in (0..64).step_by(7) {
+            for d in 0..64 {
+                if s == d {
+                    continue;
+                }
+                let hops = walk(&t, NodeId(s as u16), NodeId(d as u16), RoutingPolicy::DorXY);
+                assert!(hops <= 2, "{s}->{d} took {hops}");
+            }
+        }
+    }
+
+    #[test]
+    fn dragonfly_delivers_in_three_hops_max() {
+        let t = TopologyGraph::build(Topology::Dragonfly, 8, 8);
+        for s in 0..64 {
+            for d in 0..64 {
+                if s == d {
+                    continue;
+                }
+                let hops = walk(&t, NodeId(s as u16), NodeId(d as u16), RoutingPolicy::DorXY);
+                assert!(hops <= 3, "{s}->{d} took {hops}");
+            }
+        }
+    }
+
+    #[test]
+    fn dragonfly_vc_floor_rises_in_destination_group() {
+        let t = TopologyGraph::build(Topology::Dragonfly, 8, 8);
+        // dst node 0 is in group 0; router 1 is in group 0, router 8 not.
+        assert_eq!(vc_floor(&t, 1, NodeId(0)), 1);
+        assert_eq!(vc_floor(&t, 8, NodeId(0)), 0);
+        // Mesh never raises the floor.
+        let m = TopologyGraph::build(Topology::Mesh, 8, 8);
+        assert_eq!(vc_floor(&m, 5, NodeId(60)), 0);
+    }
+
+    #[test]
+    fn min_hops_matches_walk() {
+        for kind in [
+            Topology::Mesh,
+            Topology::FlattenedButterfly,
+            Topology::Dragonfly,
+        ] {
+            let t = TopologyGraph::build(kind, 8, 8);
+            for (s, d) in [(0u16, 63u16), (5, 42), (17, 17)] {
+                if s == d {
+                    assert_eq!(min_hops(&t, NodeId(s), NodeId(d)), 0);
+                } else {
+                    assert_eq!(
+                        min_hops(&t, NodeId(s), NodeId(d)),
+                        walk(&t, NodeId(s), NodeId(d), RoutingPolicy::DorXY),
+                        "{kind:?} {s}->{d}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Network statistics: link utilization, packet latency, per-node
+//! traffic, and injection-stall accounting.
+
+use clognet_proto::{Cycle, Priority, TrafficClass};
+
+/// Accumulated latency statistics for one (class, priority) bin.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencyBin {
+    /// Packets completed.
+    pub count: u64,
+    /// Sum of end-to-end latencies (inject → full ejection) in cycles.
+    pub total_cycles: u64,
+    /// Maximum observed latency.
+    pub max_cycles: u64,
+}
+
+impl LatencyBin {
+    fn record(&mut self, lat: Cycle) {
+        self.count += 1;
+        self.total_cycles += lat;
+        self.max_cycles = self.max_cycles.max(lat);
+    }
+
+    /// Mean latency in cycles (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_cycles as f64 / self.count as f64
+        }
+    }
+}
+
+/// Statistics collected by a [`crate::Network`].
+#[derive(Debug, Clone, Default)]
+pub struct NocStats {
+    /// Cycles simulated.
+    pub cycles: Cycle,
+    /// `link_flits[router][port]` — flits that traversed each output.
+    pub link_flits: Vec<Vec<u64>>,
+    /// Packets injected, by class.
+    pub injected_pkts: [u64; 2],
+    /// Flits injected, by class.
+    pub injected_flits: [u64; 2],
+    /// Packets fully ejected, by class.
+    pub ejected_pkts: [u64; 2],
+    /// Latency bins indexed by `[class][priority]`.
+    pub latency: [[LatencyBin; 2]; 2],
+    /// Per-node flits received (ejected), for the Fig.-11 data-rate
+    /// metric.
+    pub node_rx_flits: Vec<u64>,
+    /// Per-node flits sent.
+    pub node_tx_flits: Vec<u64>,
+    /// Per-node cycles in which the NI wanted to start a packet but no
+    /// injection slot was free (clog visibility).
+    pub node_inj_stall_cycles: Vec<u64>,
+}
+
+pub(crate) fn class_ix(c: TrafficClass) -> usize {
+    match c {
+        TrafficClass::Request => 0,
+        TrafficClass::Reply => 1,
+    }
+}
+
+pub(crate) fn prio_ix(p: Priority) -> usize {
+    match p {
+        Priority::Cpu => 0,
+        Priority::Gpu => 1,
+    }
+}
+
+impl NocStats {
+    pub(crate) fn new(routers: usize, ports_of: impl Fn(usize) -> usize, nodes: usize) -> Self {
+        NocStats {
+            cycles: 0,
+            link_flits: (0..routers).map(|r| vec![0; ports_of(r)]).collect(),
+            injected_pkts: [0; 2],
+            injected_flits: [0; 2],
+            ejected_pkts: [0; 2],
+            latency: Default::default(),
+            node_rx_flits: vec![0; nodes],
+            node_tx_flits: vec![0; nodes],
+            node_inj_stall_cycles: vec![0; nodes],
+        }
+    }
+
+    pub(crate) fn record_ejection(
+        &mut self,
+        class: TrafficClass,
+        prio: Priority,
+        latency: Cycle,
+        node: usize,
+        flits: u8,
+    ) {
+        self.ejected_pkts[class_ix(class)] += 1;
+        self.latency[class_ix(class)][prio_ix(prio)].record(latency);
+        self.node_rx_flits[node] += flits as u64;
+    }
+
+    /// Utilization of a router output link in [0, 1].
+    pub fn link_utilization(&self, router: usize, port: usize) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.link_flits[router][port] as f64 / self.cycles as f64
+        }
+    }
+
+    /// Mean latency for a class/priority bin.
+    pub fn mean_latency(&self, class: TrafficClass, prio: Priority) -> f64 {
+        self.latency[class_ix(class)][prio_ix(prio)].mean()
+    }
+
+    /// Received data rate of a node in flits/cycle (Fig. 11 metric).
+    pub fn rx_rate(&self, node: usize) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.node_rx_flits[node] as f64 / self.cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_bin_mean_and_max() {
+        let mut b = LatencyBin::default();
+        assert_eq!(b.mean(), 0.0);
+        b.record(10);
+        b.record(30);
+        assert_eq!(b.count, 2);
+        assert_eq!(b.mean(), 20.0);
+        assert_eq!(b.max_cycles, 30);
+    }
+
+    #[test]
+    fn record_ejection_updates_bins() {
+        let mut s = NocStats::new(2, |_| 5, 4);
+        s.cycles = 100;
+        s.record_ejection(TrafficClass::Reply, Priority::Cpu, 42, 3, 9);
+        assert_eq!(s.ejected_pkts[1], 1);
+        assert_eq!(s.mean_latency(TrafficClass::Reply, Priority::Cpu), 42.0);
+        assert_eq!(s.node_rx_flits[3], 9);
+        assert!((s.rx_rate(3) - 0.09).abs() < 1e-9);
+    }
+
+    #[test]
+    fn link_utilization_bounds() {
+        let mut s = NocStats::new(1, |_| 3, 1);
+        s.cycles = 10;
+        s.link_flits[0][1] = 5;
+        assert_eq!(s.link_utilization(0, 1), 0.5);
+        assert_eq!(s.link_utilization(0, 0), 0.0);
+    }
+}

@@ -1,0 +1,435 @@
+//! Topology graphs: mesh, crossbar, flattened butterfly, dragonfly.
+//!
+//! A [`TopologyGraph`] describes routers, their ports, and the links
+//! between them. Port 0 of a router is by convention reserved for
+//! locally attached nodes on all topologies except the crossbar (where
+//! one central router hosts every node on its own port).
+//!
+//! Link directions are modeled explicitly: a bidirectional physical
+//! channel is two opposed unidirectional links, each with its own VC
+//! buffers and credits, as in BookSim.
+
+use clognet_proto::{NodeId, Topology};
+
+/// What a router output port connects to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortLink {
+    /// The port faces a locally attached node (injection/ejection).
+    Node(NodeId),
+    /// The port faces another router's input port.
+    Router {
+        /// Neighbor router index.
+        router: usize,
+        /// Input-port index on the neighbor that this link feeds.
+        port: usize,
+    },
+    /// The port is not wired (edge of the mesh).
+    Unused,
+}
+
+/// A resolved topology: the router/port/link graph plus the metadata the
+/// routing functions need (mesh dimensions, dragonfly group size, ...).
+#[derive(Debug, Clone)]
+pub struct TopologyGraph {
+    kind: Topology,
+    width: usize,
+    height: usize,
+    /// `ports[r][p]` — what router `r`'s port `p` connects to.
+    ports: Vec<Vec<PortLink>>,
+    /// `node_attach[n]` — (router, port) where node `n` attaches.
+    node_attach: Vec<(usize, usize)>,
+    /// Dragonfly: routers per group.
+    group_size: usize,
+}
+
+/// Mesh port numbering (after the local port 0).
+pub mod mesh_port {
+    /// Local injection/ejection port.
+    pub const LOCAL: usize = 0;
+    /// Towards smaller y (up).
+    pub const NORTH: usize = 1;
+    /// Towards larger x (right).
+    pub const EAST: usize = 2;
+    /// Towards larger y (down).
+    pub const SOUTH: usize = 3;
+    /// Towards smaller x (left).
+    pub const WEST: usize = 4;
+}
+
+impl TopologyGraph {
+    /// Build the graph for `kind` over a `width × height` node grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dragonfly cannot be formed (requires `height` groups
+    /// of `width` routers with `width >= height`), or on a degenerate
+    /// grid.
+    pub fn build(kind: Topology, width: usize, height: usize) -> Self {
+        assert!(width >= 2 && height >= 2, "degenerate grid");
+        match kind {
+            Topology::Mesh => Self::build_mesh(width, height),
+            Topology::Crossbar => Self::build_crossbar(width * height),
+            Topology::FlattenedButterfly => Self::build_fbfly(width, height),
+            Topology::Dragonfly => Self::build_dragonfly(width, height),
+        }
+    }
+
+    #[allow(clippy::needless_range_loop)] // r indexes ports and node_attach together
+    fn build_mesh(w: usize, h: usize) -> Self {
+        let n = w * h;
+        let mut ports = vec![vec![PortLink::Unused; 5]; n];
+        let mut node_attach = Vec::with_capacity(n);
+        for r in 0..n {
+            let (x, y) = (r % w, r / w);
+            ports[r][mesh_port::LOCAL] = PortLink::Node(NodeId(r as u16));
+            node_attach.push((r, mesh_port::LOCAL));
+            if y > 0 {
+                ports[r][mesh_port::NORTH] = PortLink::Router {
+                    router: r - w,
+                    port: mesh_port::SOUTH,
+                };
+            }
+            if x + 1 < w {
+                ports[r][mesh_port::EAST] = PortLink::Router {
+                    router: r + 1,
+                    port: mesh_port::WEST,
+                };
+            }
+            if y + 1 < h {
+                ports[r][mesh_port::SOUTH] = PortLink::Router {
+                    router: r + w,
+                    port: mesh_port::NORTH,
+                };
+            }
+            if x > 0 {
+                ports[r][mesh_port::WEST] = PortLink::Router {
+                    router: r - 1,
+                    port: mesh_port::EAST,
+                };
+            }
+        }
+        TopologyGraph {
+            kind: Topology::Mesh,
+            width: w,
+            height: h,
+            ports,
+            node_attach,
+            group_size: 0,
+        }
+    }
+
+    fn build_crossbar(n: usize) -> Self {
+        // One central router; node i attaches at port i.
+        let ports = vec![(0..n).map(|i| PortLink::Node(NodeId(i as u16))).collect()];
+        let node_attach = (0..n).map(|i| (0usize, i)).collect();
+        TopologyGraph {
+            kind: Topology::Crossbar,
+            width: n,
+            height: 1,
+            ports,
+            node_attach,
+            group_size: 0,
+        }
+    }
+
+    /// Flattened butterfly: a router per node; each router is directly
+    /// linked to every other router in its row and in its column.
+    /// Port layout: 0 = local, 1..w = row peers (by peer x, skipping
+    /// self), w..w+h-1 = column peers (by peer y, skipping self).
+    #[allow(clippy::needless_range_loop)] // r indexes ports and node_attach together
+    fn build_fbfly(w: usize, h: usize) -> Self {
+        let n = w * h;
+        let p_per_router = 1 + (w - 1) + (h - 1);
+        let mut ports = vec![vec![PortLink::Unused; p_per_router]; n];
+        let mut node_attach = Vec::with_capacity(n);
+        let row_port = |x: usize, peer_x: usize| -> usize {
+            // ports 1..w for the w-1 row peers, ordered by peer_x
+            1 + if peer_x < x { peer_x } else { peer_x - 1 }
+        };
+        let col_port = |y: usize, peer_y: usize, w: usize| -> usize {
+            w + if peer_y < y { peer_y } else { peer_y - 1 }
+        };
+        for r in 0..n {
+            let (x, y) = (r % w, r / w);
+            ports[r][0] = PortLink::Node(NodeId(r as u16));
+            node_attach.push((r, 0));
+            for px in 0..w {
+                if px == x {
+                    continue;
+                }
+                ports[r][row_port(x, px)] = PortLink::Router {
+                    router: y * w + px,
+                    port: row_port(px, x),
+                };
+            }
+            for py in 0..h {
+                if py == y {
+                    continue;
+                }
+                ports[r][col_port(y, py, w)] = PortLink::Router {
+                    router: py * w + x,
+                    port: col_port(py, y, w),
+                };
+            }
+        }
+        TopologyGraph {
+            kind: Topology::FlattenedButterfly,
+            width: w,
+            height: h,
+            ports,
+            node_attach,
+            group_size: 0,
+        }
+    }
+
+    /// Dragonfly: `height` groups of `width` routers. Within a group the
+    /// routers are fully connected; router `r` of group `g` owns one
+    /// global link, connected in a palm-tree arrangement so every pair
+    /// of groups is joined by exactly one global channel (requires
+    /// `width + 1 >= height`).
+    ///
+    /// Port layout: 0 = local, 1..width = intra-group peers (by peer
+    /// index, skipping self), `width` = global.
+    fn build_dragonfly(w: usize, h: usize) -> Self {
+        assert!(
+            w >= h,
+            "dragonfly needs at least as many routers per group as groups ({w} routers, {h} groups)"
+        );
+        let n = w * h;
+        let p_per_router = 1 + (w - 1) + 1;
+        let global_port = w;
+        let mut ports = vec![vec![PortLink::Unused; p_per_router]; n];
+        let mut node_attach = Vec::with_capacity(n);
+        let intra_port =
+            |r: usize, peer: usize| -> usize { 1 + if peer < r { peer } else { peer - 1 } };
+        for g in 0..h {
+            for r in 0..w {
+                let me = g * w + r;
+                ports[me][0] = PortLink::Node(NodeId(me as u16));
+                node_attach.push((me, 0));
+                for peer in 0..w {
+                    if peer == r {
+                        continue;
+                    }
+                    ports[me][intra_port(r, peer)] = PortLink::Router {
+                        router: g * w + peer,
+                        port: intra_port(peer, r),
+                    };
+                }
+            }
+        }
+        // Palm-tree global wiring: router r of group g links to group
+        // dg = (g + r + 1) mod h, attaching to the router in dg whose own
+        // formula points back at g.
+        for g in 0..h {
+            for r in 0..(h - 1) {
+                let me = g * w + r;
+                let dg = (g + r + 1) % h;
+                // peer router index r' in dg with (dg + r' + 1) % h == g
+                let rp = (g + h - dg - 1) % h;
+                ports[me][global_port] = PortLink::Router {
+                    router: dg * w + rp,
+                    port: global_port,
+                };
+            }
+        }
+        TopologyGraph {
+            kind: Topology::Dragonfly,
+            width: w,
+            height: h,
+            ports,
+            node_attach,
+            group_size: w,
+        }
+    }
+
+    /// The topology family.
+    pub fn kind(&self) -> Topology {
+        self.kind
+    }
+
+    /// Grid width used to build the graph.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Grid height used to build the graph.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Number of routers.
+    pub fn routers(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Number of attached nodes.
+    pub fn nodes(&self) -> usize {
+        self.node_attach.len()
+    }
+
+    /// Ports on router `r`.
+    pub fn port_count(&self, r: usize) -> usize {
+        self.ports[r].len()
+    }
+
+    /// What router `r` port `p` connects to.
+    pub fn link(&self, r: usize, p: usize) -> PortLink {
+        self.ports[r][p]
+    }
+
+    /// Where node `n` attaches: `(router, port)`.
+    pub fn attach_of(&self, n: NodeId) -> (usize, usize) {
+        self.node_attach[n.index()]
+    }
+
+    /// Dragonfly group of a router (`0` elsewhere).
+    pub fn group_of(&self, router: usize) -> usize {
+        router.checked_div(self.group_size).unwrap_or(0)
+    }
+
+    /// Dragonfly group size (0 unless dragonfly).
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+
+    /// Mesh coordinates of a router (row-major).
+    pub fn coords(&self, router: usize) -> (usize, usize) {
+        (router % self.width, router / self.width)
+    }
+
+    /// Iterate all directed router-to-router links as
+    /// `(router, port, neighbor)`.
+    pub fn router_links(&self) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
+        self.ports.iter().enumerate().flat_map(|(r, ps)| {
+            ps.iter().enumerate().filter_map(move |(p, l)| match l {
+                PortLink::Router { router, .. } => Some((r, p, *router)),
+                _ => None,
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every router-to-router link must be symmetric: if r.p feeds s.q,
+    /// then s.q feeds r.p.
+    fn check_symmetry(t: &TopologyGraph) {
+        for r in 0..t.routers() {
+            for p in 0..t.port_count(r) {
+                if let PortLink::Router { router: s, port: q } = t.link(r, p) {
+                    match t.link(s, q) {
+                        PortLink::Router { router, port } => {
+                            assert_eq!((router, port), (r, p), "asymmetric link {r}.{p}<->{s}.{q}");
+                        }
+                        other => panic!("{r}.{p} -> {s}.{q} but reverse is {other:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_is_symmetric_and_complete() {
+        let t = TopologyGraph::build(Topology::Mesh, 8, 8);
+        assert_eq!(t.routers(), 64);
+        assert_eq!(t.nodes(), 64);
+        check_symmetry(&t);
+        // Interior router has 4 router links; corner has 2.
+        let deg = |r: usize| {
+            (0..5)
+                .filter(|&p| matches!(t.link(r, p), PortLink::Router { .. }))
+                .count()
+        };
+        assert_eq!(deg(0), 2);
+        assert_eq!(deg(9), 4);
+    }
+
+    #[test]
+    fn crossbar_hosts_every_node() {
+        let t = TopologyGraph::build(Topology::Crossbar, 8, 8);
+        assert_eq!(t.routers(), 1);
+        assert_eq!(t.nodes(), 64);
+        for n in 0..64 {
+            let (r, p) = t.attach_of(NodeId(n as u16));
+            assert_eq!(r, 0);
+            assert_eq!(t.link(0, p), PortLink::Node(NodeId(n as u16)));
+        }
+    }
+
+    #[test]
+    fn fbfly_rows_and_columns_fully_connected() {
+        let t = TopologyGraph::build(Topology::FlattenedButterfly, 8, 8);
+        assert_eq!(t.routers(), 64);
+        check_symmetry(&t);
+        // Each router reaches all 7 row peers and 7 column peers.
+        for r in 0..64 {
+            let mut peers: Vec<usize> = (0..t.port_count(r))
+                .filter_map(|p| match t.link(r, p) {
+                    PortLink::Router { router, .. } => Some(router),
+                    _ => None,
+                })
+                .collect();
+            peers.sort_unstable();
+            peers.dedup();
+            assert_eq!(peers.len(), 14, "router {r}");
+            let (x, y) = t.coords(r);
+            for peer in peers {
+                let (px, py) = t.coords(peer);
+                assert!(
+                    px == x || py == y,
+                    "router {r} linked off-row/col to {peer}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dragonfly_groups_fully_connected_with_global_pairs() {
+        let t = TopologyGraph::build(Topology::Dragonfly, 8, 8);
+        assert_eq!(t.routers(), 64);
+        check_symmetry(&t);
+        assert_eq!(t.group_size(), 8);
+        // Every ordered pair of groups joined by exactly one global link.
+        let mut pair_links = std::collections::HashMap::new();
+        for (r, _p, s) in t.router_links() {
+            let (gr, gs) = (t.group_of(r), t.group_of(s));
+            if gr != gs {
+                *pair_links.entry((gr, gs)).or_insert(0usize) += 1;
+            }
+        }
+        for a in 0..8 {
+            for b in 0..8 {
+                if a != b {
+                    assert_eq!(
+                        pair_links.get(&(a, b)).copied().unwrap_or(0),
+                        1,
+                        "groups {a}->{b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn attachments_are_unique() {
+        for kind in Topology::ALL {
+            let t = TopologyGraph::build(kind, 8, 8);
+            let mut seen = std::collections::HashSet::new();
+            for n in 0..t.nodes() {
+                assert!(seen.insert(t.attach_of(NodeId(n as u16))), "{kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_meshes_build() {
+        for (w, h) in [(10, 10), (12, 12)] {
+            let t = TopologyGraph::build(Topology::Mesh, w, h);
+            assert_eq!(t.routers(), w * h);
+            check_symmetry(&t);
+        }
+    }
+}

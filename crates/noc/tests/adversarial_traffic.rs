@@ -1,0 +1,190 @@
+//! Adversarial traffic patterns: hotspot sinks, permutation storms, and
+//! bursty on/off sources. The network must stay live (every packet
+//! delivered, credits conserved) even when the pattern is chosen to
+//! maximize head-of-line blocking and back-pressure — the regime the
+//! whole paper lives in.
+
+use clognet_noc::{ClassAssignment, NetParams, Network};
+use clognet_proto::*;
+
+fn net(classes: ClassAssignment) -> Network {
+    Network::new(NetParams {
+        topology: Topology::Mesh,
+        width: 8,
+        height: 8,
+        classes,
+        vc_buf_flits: 4,
+        pipeline: 4,
+        routing_request: RoutingPolicy::DorYX,
+        routing_reply: RoutingPolicy::DorXY,
+        eject_buf_flits: 36,
+        sa_iterations: 1,
+    })
+}
+
+fn pkt(id: u64, src: u16, dst: u16, kind: MsgKind) -> Packet {
+    Packet::new(
+        PacketId(id),
+        NodeId(src),
+        NodeId(dst),
+        kind,
+        Priority::Gpu,
+        Addr::new(id * 128),
+        128,
+        16,
+        0,
+    )
+}
+
+/// Every node floods one hotspot with 9-flit replies; with the sink
+/// draining, every packet must eventually arrive and the network must
+/// fully empty.
+#[test]
+fn hotspot_flood_stays_live() {
+    let mut n = net(ClassAssignment::Single(TrafficClass::Reply, 2));
+    let hotspot = 27u16;
+    let mut id = 0;
+    let mut sent = 0u64;
+    let mut got = 0u64;
+    for _ in 0..2_000 {
+        for s in (0..64u16).step_by(3) {
+            if s == hotspot {
+                continue;
+            }
+            id += 1;
+            if n.try_inject(pkt(id, s, hotspot, MsgKind::ReadReply))
+                .is_ok()
+            {
+                sent += 1;
+            }
+        }
+        n.tick();
+        got += n.take_ejected(NodeId(hotspot), usize::MAX).len() as u64;
+    }
+    for _ in 0..20_000 {
+        n.tick();
+        got += n.take_ejected(NodeId(hotspot), usize::MAX).len() as u64;
+        if n.in_flight() == 0 {
+            break;
+        }
+    }
+    assert_eq!(got, sent, "hotspot lost packets");
+    assert_eq!(n.in_flight(), 0, "hotspot wedged the network");
+}
+
+/// Bit-reverse permutation (a classic adversarial pattern for DOR):
+/// every node sends to its bit-reversed partner simultaneously.
+#[test]
+fn bit_reverse_permutation_delivers() {
+    let mut n = net(ClassAssignment::Single(TrafficClass::Request, 2));
+    let rev = |x: u16| -> u16 {
+        let mut r = 0;
+        for b in 0..6 {
+            r |= ((x >> b) & 1) << (5 - b);
+        }
+        r
+    };
+    let mut expected = vec![0usize; 64];
+    let mut queued: Vec<Packet> = (0..64u16)
+        .filter(|&s| rev(s) != s)
+        .enumerate()
+        .map(|(i, s)| {
+            expected[rev(s) as usize] += 1;
+            pkt(i as u64, s, rev(s), MsgKind::ReadReq)
+        })
+        .collect();
+    let mut received = vec![0usize; 64];
+    for _ in 0..4_000 {
+        let mut still = Vec::new();
+        for p in queued.drain(..) {
+            if let Err(back) = n.try_inject(p) {
+                still.push(back);
+            }
+        }
+        queued = still;
+        n.tick();
+        for (d, r) in received.iter_mut().enumerate() {
+            *r += n.take_ejected(NodeId(d as u16), usize::MAX).len();
+        }
+        if queued.is_empty() && n.in_flight() == 0 {
+            break;
+        }
+    }
+    assert_eq!(received, expected);
+}
+
+/// On/off bursty sources with a stalled consumer: the destination takes
+/// nothing for long stretches; back-pressure must hold the packets in
+/// the network and release them all once the consumer resumes.
+#[test]
+fn stalled_consumer_backpressure_releases_cleanly() {
+    let mut n = net(ClassAssignment::Single(TrafficClass::Reply, 2));
+    let dst = 63u16;
+    let mut id = 0;
+    let mut sent = 0u64;
+    // Phase 1: sources burst while the consumer is stalled.
+    for _ in 0..600 {
+        for s in [0u16, 8, 16] {
+            id += 1;
+            if n.try_inject(pkt(id, s, dst, MsgKind::ReadReply)).is_ok() {
+                sent += 1;
+            }
+        }
+        n.tick(); // nobody calls take_ejected(dst)
+    }
+    assert!(n.in_flight() > 0, "nothing in flight during the stall?");
+    // Phase 2: consumer resumes; everything must drain.
+    let mut got = 0u64;
+    for _ in 0..30_000 {
+        n.tick();
+        got += n.take_ejected(NodeId(dst), usize::MAX).len() as u64;
+        if n.in_flight() == 0 {
+            break;
+        }
+    }
+    assert_eq!(got, sent);
+    assert_eq!(n.in_flight(), 0);
+}
+
+/// Shared-network class mixing under adversarial load: 9-flit replies
+/// hammer one sink while 1-flit requests cross the same column; both
+/// classes complete on their disjoint VC partitions.
+#[test]
+fn shared_net_classes_survive_cross_pressure() {
+    let mut n = net(ClassAssignment::Shared {
+        request_vcs: 1,
+        reply_vcs: 3,
+    });
+    let mut id = 0;
+    let (mut sent_req, mut sent_rep) = (0u64, 0u64);
+    for _ in 0..800 {
+        id += 1;
+        if n.try_inject(pkt(id, (id % 32) as u16, 39, MsgKind::ReadReply))
+            .is_ok()
+        {
+            sent_rep += 1;
+        }
+        id += 1;
+        if n.try_inject(pkt(id, 7, 56, MsgKind::ReadReq)).is_ok() {
+            sent_req += 1;
+        }
+        n.tick();
+        n.take_ejected(NodeId(39), usize::MAX);
+        n.take_ejected(NodeId(56), usize::MAX);
+    }
+    let stats = n.stats();
+    let injected = stats.injected_pkts[0] + stats.injected_pkts[1];
+    assert_eq!(injected, sent_req + sent_rep);
+    for _ in 0..20_000 {
+        n.tick();
+        n.take_ejected(NodeId(39), usize::MAX);
+        n.take_ejected(NodeId(56), usize::MAX);
+        if n.in_flight() == 0 {
+            break;
+        }
+    }
+    assert_eq!(n.in_flight(), 0, "shared classes deadlocked");
+    let s = n.stats();
+    assert_eq!(s.ejected_pkts[0], sent_req);
+    assert_eq!(s.ejected_pkts[1], sent_rep);
+}

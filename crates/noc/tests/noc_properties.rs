@@ -1,0 +1,212 @@
+//! Property tests for the NoC: delivery latency lower bounds, credit
+//! conservation under load, class isolation on shared physical networks,
+//! and CPU-priority legality.
+
+use clognet_noc::{routing, ClassAssignment, NetParams, Network, TopologyGraph};
+use clognet_proto::*;
+use proptest::prelude::*;
+
+fn params(topology: Topology, classes: ClassAssignment) -> NetParams {
+    NetParams {
+        topology,
+        width: 8,
+        height: 8,
+        classes,
+        vc_buf_flits: 4,
+        pipeline: 4,
+        routing_request: RoutingPolicy::DorYX,
+        routing_reply: RoutingPolicy::DorXY,
+        eject_buf_flits: 36,
+        sa_iterations: 1,
+    }
+}
+
+proptest! {
+    /// A lone packet's latency is at least hops * (per-hop pipeline) and,
+    /// on an idle network, within a small constant of it.
+    #[test]
+    fn lone_packet_latency_is_tight(
+        topo_ix in 0usize..4,
+        src in 0u16..64,
+        dst in 0u16..64,
+    ) {
+        prop_assume!(src != dst);
+        let topology = Topology::ALL[topo_ix];
+        let mut net = Network::new(params(
+            topology,
+            ClassAssignment::Single(TrafficClass::Request, 2),
+        ));
+        let pkt = Packet::new(
+            PacketId(1), NodeId(src), NodeId(dst), MsgKind::ReadReq,
+            Priority::Gpu, Addr::new(0x100), 128, 16, 0,
+        );
+        net.try_inject(pkt).unwrap();
+        let mut done = None;
+        for now in 0..1_000 {
+            net.tick();
+            if !net.take_ejected(NodeId(dst), 1).is_empty() {
+                done = Some(now + 1);
+                break;
+            }
+        }
+        let lat = done.expect("delivered") as usize;
+        let topo = TopologyGraph::build(topology, 8, 8);
+        let hops = routing::min_hops(&topo, NodeId(src), NodeId(dst));
+        prop_assert!(lat >= 3 * hops, "{topology:?} {src}->{dst}: {lat} < 3*{hops}");
+        prop_assert!(
+            lat <= 5 * hops + 12,
+            "{topology:?} {src}->{dst}: idle latency {lat} too high for {hops} hops"
+        );
+    }
+
+    /// On a shared physical network, request-class congestion must not
+    /// lose reply packets (and vice versa): both classes fully deliver.
+    #[test]
+    fn shared_network_classes_both_deliver(
+        req_vcs in 1usize..3,
+        rep_vcs in 1usize..3,
+        n_req in 1usize..40,
+        n_rep in 1usize..12,
+    ) {
+        let mut net = Network::new(params(
+            Topology::Mesh,
+            ClassAssignment::Shared { request_vcs: req_vcs, reply_vcs: rep_vcs },
+        ));
+        let mut queue: Vec<Packet> = Vec::new();
+        for i in 0..n_req {
+            queue.push(Packet::new(
+                PacketId(i as u64), NodeId((i % 32) as u16), NodeId(63),
+                MsgKind::ReadReq, Priority::Gpu, Addr::new(i as u64 * 128), 128, 16, 0,
+            ));
+        }
+        for i in 0..n_rep {
+            queue.push(Packet::new(
+                PacketId(1000 + i as u64), NodeId((i % 16) as u16), NodeId(62),
+                MsgKind::ReadReply, Priority::Gpu, Addr::new(i as u64 * 128), 128, 16, 0,
+            ));
+        }
+        let (mut got_req, mut got_rep) = (0, 0);
+        for _ in 0..8_000 {
+            if let Some(p) = queue.pop() {
+                if let Err(back) = net.try_inject(p) {
+                    queue.push(back);
+                }
+            }
+            net.tick();
+            got_req += net.take_ejected(NodeId(63), usize::MAX).len();
+            got_rep += net.take_ejected(NodeId(62), usize::MAX).len();
+            if got_req == n_req && got_rep == n_rep {
+                break;
+            }
+        }
+        prop_assert_eq!((got_req, got_rep), (n_req, n_rep));
+        prop_assert_eq!(net.in_flight(), 0);
+    }
+
+    /// Link utilization statistics are physical: no link ever carries
+    /// more than one flit per cycle.
+    #[test]
+    fn link_utilization_is_physical(n_pkts in 1usize..80, seed in 0u64..16) {
+        let mut net = Network::new(params(
+            Topology::Mesh,
+            ClassAssignment::Single(TrafficClass::Reply, 2),
+        ));
+        let mut state = seed.wrapping_add(1);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u16 % 64
+        };
+        let mut queue: Vec<Packet> = (0..n_pkts)
+            .map(|i| {
+                let (mut s, mut d) = (next(), next());
+                if s == d {
+                    d = (d + 1) % 64;
+                    s = s.min(63);
+                }
+                Packet::new(
+                    PacketId(i as u64), NodeId(s), NodeId(d), MsgKind::ReadReply,
+                    Priority::Gpu, Addr::new(i as u64 * 128), 128, 16, 0,
+                )
+            })
+            .collect();
+        for _ in 0..4_000 {
+            if let Some(p) = queue.pop() {
+                if let Err(back) = net.try_inject(p) {
+                    queue.push(back);
+                }
+            }
+            net.tick();
+            for d in 0..64 {
+                net.take_ejected(NodeId(d), usize::MAX);
+            }
+        }
+        let st = net.stats();
+        for r in 0..64 {
+            for p in 0..5 {
+                let u = st.link_utilization(r, p);
+                prop_assert!((0.0..=1.0).contains(&u), "util {u} at {r}.{p}");
+            }
+        }
+    }
+}
+
+/// CPU packets must never be starved: even under saturating GPU load, a
+/// CPU packet injected later finishes within a bounded horizon.
+#[test]
+fn cpu_packets_are_never_starved() {
+    let mut net = Network::new(params(
+        Topology::Mesh,
+        ClassAssignment::Single(TrafficClass::Reply, 2),
+    ));
+    let mut id = 0u64;
+    // Saturate with GPU replies toward node 7 for a while.
+    for _ in 0..500 {
+        for s in [0u16, 1, 2, 8, 9] {
+            id += 1;
+            let _ = net.try_inject(Packet::new(
+                PacketId(id),
+                NodeId(s),
+                NodeId(7),
+                MsgKind::ReadReply,
+                Priority::Gpu,
+                Addr::new(id * 128),
+                128,
+                16,
+                net.now(),
+            ));
+        }
+        net.tick();
+        net.take_ejected(NodeId(7), usize::MAX);
+    }
+    // Now inject one CPU reply along the saturated row.
+    let mut cpu = Packet::new(
+        PacketId(999_999),
+        NodeId(3),
+        NodeId(7),
+        MsgKind::ReadReply,
+        Priority::Cpu,
+        Addr::new(64),
+        64,
+        16,
+        net.now(),
+    );
+    cpu.prio = Priority::Cpu;
+    while net.try_inject(cpu.clone()).is_err() {
+        net.tick();
+        net.take_ejected(NodeId(7), usize::MAX);
+    }
+    let start = net.now();
+    loop {
+        net.tick();
+        if net
+            .take_ejected(NodeId(7), usize::MAX)
+            .iter()
+            .any(|p| p.id == PacketId(999_999))
+        {
+            break;
+        }
+        assert!(net.now() - start < 2_000, "CPU packet starved");
+    }
+    let lat = net.now() - start;
+    assert!(lat < 400, "CPU latency {lat} under GPU saturation");
+}

@@ -1,0 +1,147 @@
+//! Randomized memory-controller address mapping.
+//!
+//! The paper partitions memory across the 8 memory controllers following
+//! PAE's randomized address mapping (Liu+ ISCA'18), which XOR-folds
+//! higher address bits into the controller-select bits so that strided
+//! access patterns spread evenly over the controllers (avoiding the
+//! "valley" pathology of plain modulo interleaving).
+
+use crate::ids::{LineAddr, MemId};
+
+/// Maps cache-line addresses to memory controllers (and to DRAM banks
+/// within a controller) using an XOR-fold of the line address, seeded so
+/// different experiments can de-correlate mappings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddressMap {
+    n_mem: usize,
+    seed: u64,
+}
+
+impl AddressMap {
+    /// Create a map over `n_mem` controllers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_mem` is zero.
+    pub fn new(n_mem: usize, seed: u64) -> Self {
+        assert!(n_mem > 0, "need at least one memory controller");
+        AddressMap { n_mem, seed }
+    }
+
+    /// Number of controllers.
+    pub fn controllers(&self) -> usize {
+        self.n_mem
+    }
+
+    /// PAE-style XOR-fold hash of a line address.
+    fn fold(&self, line: LineAddr) -> u64 {
+        let mut x = line.0 ^ self.seed;
+        // xor-fold 48 bits down, mixing strides of common power-of-two
+        // sizes into the low bits.
+        x ^= x >> 7;
+        x ^= x >> 13;
+        x ^= x >> 23;
+        // final avalanche (splitmix-style) for statistical balance
+        x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 31;
+        x
+    }
+
+    /// The home memory controller of a line.
+    pub fn controller_of(&self, line: LineAddr) -> MemId {
+        MemId((self.fold(line) % self.n_mem as u64) as u16)
+    }
+
+    /// The DRAM bank (within the home controller) of a line.
+    pub fn bank_of(&self, line: LineAddr, banks: usize) -> usize {
+        ((self.fold(line) / self.n_mem as u64) % banks as u64) as usize
+    }
+
+    /// The DRAM row of a line: consecutive lines of the same bank share a
+    /// row (rows hold 2 KB = 16 lines of 128 B), which FR-FCFS exploits.
+    pub fn row_of(&self, line: LineAddr, banks: usize) -> u64 {
+        // Row locality: strip the controller/bank selection implied by
+        // low-order locality, keep upper bits as the row id.
+        let per_row_lines = 16;
+        (line.0 / per_row_lines) / banks as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn controller_in_range_and_deterministic() {
+        let m = AddressMap::new(8, 42);
+        for i in 0..10_000u64 {
+            let l = LineAddr(i * 37 + 5);
+            let c = m.controller_of(l);
+            assert!(c.index() < 8);
+            assert_eq!(c, m.controller_of(l), "deterministic");
+        }
+    }
+
+    #[test]
+    fn sequential_lines_spread_evenly() {
+        let m = AddressMap::new(8, 7);
+        let mut counts = [0usize; 8];
+        let n = 64 * 1024;
+        for i in 0..n {
+            counts[m.controller_of(LineAddr(i)).index()] += 1;
+        }
+        let expect = n as usize / 8;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                c > expect * 9 / 10 && c < expect * 11 / 10,
+                "controller {i} got {c}, expected ~{expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn power_of_two_strides_spread_evenly() {
+        // The reason for PAE-style randomization: strided streams must
+        // not camp on one controller.
+        let m = AddressMap::new(8, 7);
+        for stride_log in [3u64, 6, 10] {
+            let stride = 1 << stride_log;
+            let mut counts = [0usize; 8];
+            let n = 8 * 1024;
+            for i in 0..n {
+                counts[m.controller_of(LineAddr(i * stride)).index()] += 1;
+            }
+            let expect = n as usize / 8;
+            for &c in &counts {
+                assert!(
+                    c > expect / 2 && c < expect * 2,
+                    "stride {stride}: count {c} vs expected {expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn banks_in_range() {
+        let m = AddressMap::new(8, 1);
+        for i in 0..1000u64 {
+            assert!(m.bank_of(LineAddr(i * 11), 16) < 16);
+        }
+    }
+
+    #[test]
+    fn row_groups_consecutive_lines() {
+        let m = AddressMap::new(8, 1);
+        // Lines 0..16 belong to at most 2 distinct rows (row size 16
+        // lines before bank division).
+        let rows: std::collections::HashSet<u64> =
+            (0..16).map(|i| m.row_of(LineAddr(i), 16)).collect();
+        assert!(rows.len() <= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_controllers_panics() {
+        AddressMap::new(0, 0);
+    }
+}

@@ -1,0 +1,647 @@
+//! Configuration structures.
+//!
+//! [`SystemConfig::default`] reproduces Table I of the paper: 40 GPU
+//! cores, 16 CPU cores, 8 memory nodes on an 8×8 mesh; 48 KB 4-way L1
+//! with 128 B lines per GPU core; 8 MB 16-way LLC; FR-FCFS GDDR5 DRAM;
+//! 128-bit channels, 2 VCs × 4 flits, iSLIP allocation with CPU priority.
+
+use crate::layout::Layout;
+
+/// Which Figure-1 layout to instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayoutKind {
+    /// Fig. 1a — memory column between CPUs and GPUs (the paper's
+    /// baseline; isolates CPU/GPU traffic).
+    Baseline,
+    /// Fig. 1b — memory nodes at the die edge (top row).
+    EdgeB,
+    /// Fig. 1c — clustered CPU cores.
+    ClusteredC,
+    /// Fig. 1d — node types spread to distribute traffic.
+    DistributedD,
+}
+
+impl LayoutKind {
+    /// All layouts, in Figure-1 order.
+    pub const ALL: [LayoutKind; 4] = [
+        LayoutKind::Baseline,
+        LayoutKind::EdgeB,
+        LayoutKind::ClusteredC,
+        LayoutKind::DistributedD,
+    ];
+
+    /// Short label used in figures ("Baseline", "B", "C", "D").
+    pub fn label(self) -> &'static str {
+        match self {
+            LayoutKind::Baseline => "Baseline",
+            LayoutKind::EdgeB => "B",
+            LayoutKind::ClusteredC => "C",
+            LayoutKind::DistributedD => "D",
+        }
+    }
+}
+
+/// NoC topology (Section VII evaluates all four).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Topology {
+    /// 2D mesh (baseline).
+    Mesh,
+    /// Single-stage crossbar with core-to-core links.
+    Crossbar,
+    /// Flattened butterfly (Kim+ MICRO'07): routers fully connected along
+    /// each row and column.
+    FlattenedButterfly,
+    /// Dragonfly (Kim+ ISCA'08): fully-connected groups, one global link
+    /// per router.
+    Dragonfly,
+}
+
+impl Topology {
+    /// All topologies, mesh first.
+    pub const ALL: [Topology; 4] = [
+        Topology::Mesh,
+        Topology::Crossbar,
+        Topology::FlattenedButterfly,
+        Topology::Dragonfly,
+    ];
+
+    /// Figure label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Topology::Mesh => "Mesh",
+            Topology::Crossbar => "Crossbar",
+            Topology::FlattenedButterfly => "FButterfly",
+            Topology::Dragonfly => "Dragonfly",
+        }
+    }
+}
+
+/// Per-class routing policy (mesh only; other topologies route minimally).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RoutingPolicy {
+    /// Dimension-order, X first.
+    DorXY,
+    /// Dimension-order, Y first.
+    DorYX,
+    /// DyXY (Li+ DAC'06): minimal adaptive by neighbor congestion, with
+    /// a dimension-order escape VC.
+    DyXY,
+    /// Footprint (Fu & Kim, ISCA'17): adaptivity regulated to
+    /// recently-profitable output choices.
+    Footprint,
+    /// HARE (Jin+ 2019): history-aware endpoint-congestion adaptive
+    /// routing.
+    Hare,
+}
+
+impl RoutingPolicy {
+    /// Figure label.
+    pub fn label(self) -> &'static str {
+        match self {
+            RoutingPolicy::DorXY => "XY",
+            RoutingPolicy::DorYX => "YX",
+            RoutingPolicy::DyXY => "DyXY",
+            RoutingPolicy::Footprint => "Footprint",
+            RoutingPolicy::Hare => "HARE",
+        }
+    }
+}
+
+/// Ablation knobs for the Delegated-Replies mechanism (defaults match
+/// the paper's design; the ablation benches flip them one at a time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrKnobs {
+    /// Delegate whenever a reply is delegatable, instead of only when
+    /// the reply network is blocked. The paper argues against this: it
+    /// exposes latency with no bandwidth benefit when the reply network
+    /// has headroom (the G_E example of Fig. 4).
+    pub delegate_always: bool,
+    /// Support the *delayed hit* outcome (attach the remote request to
+    /// the local MSHR). Disabling turns hits-under-miss into remote
+    /// misses that bounce back to the LLC.
+    pub delayed_hits: bool,
+    /// Maximum delegations a memory node performs per cycle.
+    pub max_per_cycle: usize,
+}
+
+impl Default for DrKnobs {
+    fn default() -> Self {
+        DrKnobs {
+            delegate_always: false,
+            delayed_hits: true,
+            max_per_cycle: 2,
+        }
+    }
+}
+
+/// The architectural scheme under evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// The carefully-designed baseline (CDR routing, CPU priority,
+    /// traffic-isolating layout) with no remote-L1 mechanism.
+    Baseline,
+    /// The paper's contribution: speculative delegation of LLC-hit
+    /// replies to the last-accessor core, triggered by reply-network
+    /// back-pressure.
+    DelegatedReplies,
+    /// Realistic Probing (Ibrahim+ PACT'19): predict-and-probe remote
+    /// L1s before going to the LLC. `fanout` is the number of remote L1s
+    /// probed on a predicted-shared miss (the paper uses the authors'
+    /// best configuration; probing all other cores guarantees finding a
+    /// cached copy).
+    RealisticProbing {
+        /// Remote caches probed per predicted-shared miss.
+        fanout: usize,
+    },
+}
+
+impl Scheme {
+    /// Figure label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scheme::Baseline => "Baseline",
+            Scheme::DelegatedReplies => "DR",
+            Scheme::RealisticProbing { .. } => "RP",
+        }
+    }
+
+    /// The paper's RP comparison point (the authors' best-performing
+    /// configuration). Probing all 39 other caches would guarantee
+    /// finding a copy but drowns the request network in probe traffic —
+    /// the paper's "rock and a hard place"; four supplier-steered probes
+    /// is the sweet spot in this implementation.
+    pub fn rp_default() -> Scheme {
+        Scheme::RealisticProbing { fanout: 4 }
+    }
+}
+
+/// GPU L1 organization (Fig. 15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum L1Org {
+    /// Conventional private L1 per SM (baseline).
+    Private,
+    /// DC-L1 (Ibrahim+ HPCA'21): clusters of 8 cores share 4
+    /// address-interleaved L1 slices.
+    DcL1,
+    /// DynEB (Ibrahim+ PACT'20): epoch-based dynamic choice between
+    /// shared and private organization by delivered effective bandwidth.
+    DynEB,
+}
+
+impl L1Org {
+    /// Figure label.
+    pub fn label(self) -> &'static str {
+        match self {
+            L1Org::Private => "Private",
+            L1Org::DcL1 => "DC-L1",
+            L1Org::DynEB => "DynEB",
+        }
+    }
+}
+
+/// CTA (thread-block) scheduling policy (Fig. 15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CtaSched {
+    /// Round-robin CTA issue across SMs (baseline, Table I).
+    RoundRobin,
+    /// Distributed/locality-aware CTA scheduling: consecutive CTAs go to
+    /// neighboring SMs of the same cluster.
+    Distributed,
+}
+
+impl CtaSched {
+    /// Figure label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CtaSched::RoundRobin => "RR",
+            CtaSched::Distributed => "Dist",
+        }
+    }
+}
+
+/// Geometry of a set-associative cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheGeometry {
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: u32,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u32,
+}
+
+impl CacheGeometry {
+    /// Number of sets. Set counts need not be a power of two (the 48 KB
+    /// 4-way 128 B GPU L1 has 96 sets); indexing uses modulo.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide evenly.
+    pub fn sets(&self) -> u64 {
+        let lines = self.capacity_bytes / self.line_bytes as u64;
+        assert!(
+            lines.is_multiple_of(self.ways as u64),
+            "capacity must divide into ways"
+        );
+        lines / self.ways as u64
+    }
+
+    /// Total number of lines.
+    pub fn lines(&self) -> u64 {
+        self.capacity_bytes / self.line_bytes as u64
+    }
+}
+
+/// GPU core parameters (Table I).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuConfig {
+    /// Concurrent warps per SM (48 in Table I).
+    pub warps_per_core: usize,
+    /// Warp instructions issued per cycle (2 GTO schedulers per core in
+    /// Table I).
+    pub issue_width: usize,
+    /// Threads per warp (32).
+    pub threads_per_warp: usize,
+    /// Private L1 geometry (48 KB, 4-way, 128 B lines).
+    pub l1: CacheGeometry,
+    /// L1 MSHR entries.
+    pub mshrs: usize,
+    /// Forwarded Request Queue entries (Section IV: 8).
+    pub frq_entries: usize,
+    /// L1 hit latency in cycles.
+    pub l1_hit_latency: u32,
+    /// Maximum L1 lookups per cycle (one bank).
+    pub l1_ports: usize,
+    /// DC-L1/DynEB cluster size (8 cores share 4 slices).
+    pub cluster_cores: usize,
+    /// Shared-L1 slices per cluster.
+    pub cluster_slices: usize,
+    /// DynEB adaptation epoch in cycles.
+    pub dyneb_epoch: u64,
+    /// Software-coherence L1 flush interval in cycles (kernel
+    /// boundaries), staggered per core; `None` disables flushes.
+    pub flush_interval: Option<u64>,
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        GpuConfig {
+            warps_per_core: 48,
+            issue_width: 2,
+            threads_per_warp: 32,
+            l1: CacheGeometry {
+                capacity_bytes: 48 * 1024,
+                ways: 4,
+                line_bytes: 128,
+            },
+            mshrs: 64,
+            frq_entries: 8,
+            l1_hit_latency: 4,
+            l1_ports: 2,
+            cluster_cores: 8,
+            cluster_slices: 4,
+            dyneb_epoch: 4096,
+            flush_interval: Some(30_000),
+        }
+    }
+}
+
+/// CPU core parameters (Table I) and trace-replayer knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuConfig {
+    /// Private L1 geometry (32 KB, 4-way, 64 B lines).
+    pub l1: CacheGeometry,
+    /// In-flight memory request window of the replayer (models MLP).
+    pub window: usize,
+    /// L1 hit latency in cycles.
+    pub l1_hit_latency: u32,
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        CpuConfig {
+            l1: CacheGeometry {
+                capacity_bytes: 32 * 1024,
+                ways: 4,
+                line_bytes: 64,
+            },
+            window: 8,
+            l1_hit_latency: 2,
+        }
+    }
+}
+
+/// Shared LLC parameters (Table I: 8 MB total, 1 MB per memory node).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LlcConfig {
+    /// Geometry of one slice (1 MB, 16-way, 128 B lines).
+    pub slice: CacheGeometry,
+    /// LLC access latency in cycles.
+    pub latency: u32,
+    /// Lookups per cycle per slice.
+    pub ports: usize,
+}
+
+impl Default for LlcConfig {
+    fn default() -> Self {
+        LlcConfig {
+            slice: CacheGeometry {
+                capacity_bytes: 1024 * 1024,
+                ways: 16,
+                line_bytes: 128,
+            },
+            latency: 20,
+            ports: 1,
+        }
+    }
+}
+
+/// GDDR5 timing and controller parameters (Table I, in DRAM command
+/// cycles at the interface clock).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DramConfig {
+    /// Banks per memory controller (16).
+    pub banks: usize,
+    /// CAS latency.
+    pub t_cl: u32,
+    /// Precharge.
+    pub t_rp: u32,
+    /// Row cycle.
+    pub t_rc: u32,
+    /// Row active.
+    pub t_ras: u32,
+    /// RAS-to-CAS.
+    pub t_rcd: u32,
+    /// Activate-to-activate (different banks).
+    pub t_rrd: u32,
+    /// Column-to-column.
+    pub t_ccd: u32,
+    /// Write recovery.
+    pub t_wr: u32,
+    /// Average refresh interval (all-bank refresh is issued once per
+    /// tREFI; 0 disables refresh).
+    pub t_refi: u32,
+    /// Refresh cycle time: the channel is unavailable for tRFC after a
+    /// refresh is issued.
+    pub t_rfc: u32,
+    /// Data-bus cycles per 128 B line burst; together with `t_ccd` this
+    /// sets per-controller bandwidth (~29.5 GB/s each, 236 GB/s total).
+    pub burst: u32,
+    /// Controller read queue capacity.
+    pub queue: usize,
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        DramConfig {
+            banks: 16,
+            t_cl: 12,
+            t_rp: 12,
+            t_rc: 40,
+            t_ras: 28,
+            t_rcd: 12,
+            t_rrd: 6,
+            t_ccd: 2,
+            t_wr: 12,
+            t_refi: 5_460, // ~3.9 us at 1.4 GHz
+            t_rfc: 180,    // ~130 ns
+            burst: 6,
+            queue: 64,
+        }
+    }
+}
+
+/// Virtual-network configuration for the shared-physical-network mode
+/// (Section VII "Virtual networks" and the AVCP study of Fig. 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VirtualNetConfig {
+    /// VCs assigned to the (virtual) request network.
+    pub request_vcs: usize,
+    /// VCs assigned to the (virtual) reply network.
+    pub reply_vcs: usize,
+}
+
+/// NoC parameters (Table I) plus the study knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NocConfig {
+    /// Topology.
+    pub topology: Topology,
+    /// Routing used by request-class packets (CDR: YX for requests).
+    pub routing_request: RoutingPolicy,
+    /// Routing used by reply-class packets (CDR: XY for replies).
+    pub routing_reply: RoutingPolicy,
+    /// Channel (flit) width in bytes (16 = 128-bit).
+    pub channel_bytes: u32,
+    /// Virtual channels per class per input port (2 in Table I).
+    pub vcs: usize,
+    /// Buffer depth per VC in flits (4 in Table I).
+    pub vc_buf_flits: usize,
+    /// Router pipeline depth in cycles (4-stage: RC, VA, SA, ST).
+    pub pipeline: u32,
+    /// `Some` = single physical network with per-class virtual networks;
+    /// `None` = physically separate request and reply networks (baseline).
+    pub virtual_nets: Option<VirtualNetConfig>,
+    /// Memory-node injection buffer capacity in packets; when full, the
+    /// node blocks (stops accepting requests) — the clogging mechanism.
+    pub mem_inj_buf_pkts: usize,
+    /// Core-side network-interface injection queue in packets.
+    pub core_inj_buf_pkts: usize,
+    /// iSLIP switch-allocation iterations per cycle (1 in Table I's
+    /// class of routers; more iterations densify the crossbar matching).
+    pub sa_iterations: usize,
+}
+
+impl Default for NocConfig {
+    fn default() -> Self {
+        NocConfig {
+            topology: Topology::Mesh,
+            // The baseline uses CDR: YX-order requests, XY-order replies.
+            routing_request: RoutingPolicy::DorYX,
+            routing_reply: RoutingPolicy::DorXY,
+            channel_bytes: 16,
+            vcs: 2,
+            vc_buf_flits: 4,
+            pipeline: 4,
+            virtual_nets: None,
+            mem_inj_buf_pkts: 16,
+            core_inj_buf_pkts: 16,
+            sa_iterations: 1,
+        }
+    }
+}
+
+/// The complete simulated-system configuration (Table I defaults).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// Chip layout family.
+    pub layout: LayoutKind,
+    /// Mesh width.
+    pub mesh_width: usize,
+    /// Mesh height.
+    pub mesh_height: usize,
+    /// GPU core count (40).
+    pub n_gpu: usize,
+    /// CPU core count (16).
+    pub n_cpu: usize,
+    /// Memory node count (8).
+    pub n_mem: usize,
+    /// GPU core parameters.
+    pub gpu: GpuConfig,
+    /// CPU core parameters.
+    pub cpu: CpuConfig,
+    /// LLC parameters.
+    pub llc: LlcConfig,
+    /// DRAM parameters.
+    pub dram: DramConfig,
+    /// NoC parameters.
+    pub noc: NocConfig,
+    /// Scheme under test.
+    pub scheme: Scheme,
+    /// Delegated-Replies ablation knobs.
+    pub dr: DrKnobs,
+    /// GPU L1 organization.
+    pub l1_org: L1Org,
+    /// CTA scheduling policy.
+    pub cta_sched: CtaSched,
+    /// Random seed for the address-mapping hash and workloads.
+    pub seed: u64,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            layout: LayoutKind::Baseline,
+            mesh_width: 8,
+            mesh_height: 8,
+            n_gpu: 40,
+            n_cpu: 16,
+            n_mem: 8,
+            gpu: GpuConfig::default(),
+            cpu: CpuConfig::default(),
+            llc: LlcConfig::default(),
+            dram: DramConfig::default(),
+            noc: NocConfig::default(),
+            scheme: Scheme::Baseline,
+            dr: DrKnobs::default(),
+            l1_org: L1Org::Private,
+            cta_sched: CtaSched::RoundRobin,
+            seed: 0x0C10_64E7,
+        }
+    }
+}
+
+impl SystemConfig {
+    /// Resolve the configured [`Layout`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node counts do not tile the mesh.
+    pub fn layout(&self) -> Layout {
+        Layout::build(
+            self.layout,
+            self.mesh_width,
+            self.mesh_height,
+            self.n_gpu,
+            self.n_cpu,
+            self.n_mem,
+        )
+    }
+
+    /// Total node count.
+    pub fn nodes(&self) -> usize {
+        self.mesh_width * self.mesh_height
+    }
+
+    /// Set CDR routing orders `(request, reply)`.
+    pub fn with_routing(mut self, request: RoutingPolicy, reply: RoutingPolicy) -> Self {
+        self.noc.routing_request = request;
+        self.noc.routing_reply = reply;
+        self
+    }
+
+    /// Set the scheme under test.
+    pub fn with_scheme(mut self, scheme: Scheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Per-layout best routing, as established in Section V: the
+    /// baseline uses YX-XY CDR; layouts B and C use XY-YX; layout D uses
+    /// XY-XY (different orders do not help when traffic is not
+    /// separable).
+    pub fn best_routing_for(layout: LayoutKind) -> (RoutingPolicy, RoutingPolicy) {
+        match layout {
+            LayoutKind::Baseline => (RoutingPolicy::DorYX, RoutingPolicy::DorXY),
+            LayoutKind::EdgeB | LayoutKind::ClusteredC => {
+                (RoutingPolicy::DorXY, RoutingPolicy::DorYX)
+            }
+            LayoutKind::DistributedD => (RoutingPolicy::DorXY, RoutingPolicy::DorXY),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_defaults() {
+        let c = SystemConfig::default();
+        assert_eq!(c.n_gpu, 40);
+        assert_eq!(c.n_cpu, 16);
+        assert_eq!(c.n_mem, 8);
+        assert_eq!(c.gpu.warps_per_core, 48);
+        assert_eq!(c.gpu.mshrs, 64);
+        assert_eq!(c.gpu.l1.capacity_bytes, 48 * 1024);
+        assert_eq!(c.gpu.l1.ways, 4);
+        assert_eq!(c.gpu.l1.line_bytes, 128);
+        assert_eq!(c.cpu.l1.line_bytes, 64);
+        assert_eq!(c.llc.slice.capacity_bytes, 1024 * 1024);
+        assert_eq!(c.llc.slice.ways, 16);
+        assert_eq!(c.dram.banks, 16);
+        assert_eq!(c.dram.t_cl, 12);
+        assert_eq!(c.dram.t_rc, 40);
+        assert_eq!(c.noc.channel_bytes, 16);
+        assert_eq!(c.noc.vcs, 2);
+        assert_eq!(c.noc.vc_buf_flits, 4);
+        // CDR baseline: YX requests, XY replies.
+        assert_eq!(c.noc.routing_request, RoutingPolicy::DorYX);
+        assert_eq!(c.noc.routing_reply, RoutingPolicy::DorXY);
+    }
+
+    #[test]
+    fn cache_geometry_sets() {
+        let g = CacheGeometry {
+            capacity_bytes: 48 * 1024,
+            ways: 4,
+            line_bytes: 128,
+        };
+        assert_eq!(g.lines(), 384);
+        assert_eq!(g.sets(), 96);
+    }
+
+    #[test]
+    fn llc_geometry_is_power_of_two_sets() {
+        let c = LlcConfig::default();
+        assert_eq!(c.slice.sets(), 512);
+    }
+
+    #[test]
+    fn builder_methods() {
+        let c = SystemConfig::default()
+            .with_scheme(Scheme::DelegatedReplies)
+            .with_routing(RoutingPolicy::DorXY, RoutingPolicy::DorYX);
+        assert_eq!(c.scheme, Scheme::DelegatedReplies);
+        assert_eq!(c.noc.routing_request, RoutingPolicy::DorXY);
+    }
+
+    #[test]
+    fn labels_are_short() {
+        assert_eq!(Scheme::DelegatedReplies.label(), "DR");
+        assert_eq!(Topology::Mesh.label(), "Mesh");
+        assert_eq!(LayoutKind::EdgeB.label(), "B");
+        assert_eq!(RoutingPolicy::Hare.label(), "HARE");
+        assert_eq!(L1Org::DcL1.label(), "DC-L1");
+        assert_eq!(CtaSched::RoundRobin.label(), "RR");
+    }
+}

@@ -1,0 +1,163 @@
+//! Strongly-typed identifiers used throughout the simulator.
+//!
+//! Newtypes keep node indices, core indices, memory-controller indices,
+//! byte addresses, and cache-line addresses from being confused with one
+//! another (C-NEWTYPE).
+
+use std::fmt;
+
+/// A simulation cycle count. The whole chip runs in a single clock domain
+/// (the GPU clock, 1.4 GHz in the paper's Table I).
+pub type Cycle = u64;
+
+/// Index of a node (router endpoint) on the chip. The baseline
+/// architecture is an 8×8 grid, so node ids run 0..64 in row-major order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// The node's numeric index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(v: usize) -> Self {
+        NodeId(v as u16)
+    }
+}
+
+/// Index of a compute core (CPU or GPU), dense within its own kind:
+/// GPU cores are `CoreId(0..40)`, CPU cores `CoreId(0..16)` in the
+/// baseline. The pairing with a [`NodeId`] is defined by the chip layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CoreId(pub u16);
+
+impl CoreId {
+    /// The core's numeric index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Index of a memory node (LLC slice + memory controller), `0..8` in the
+/// baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct MemId(pub u16);
+
+impl MemId {
+    /// The memory node's numeric index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for MemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// A 48-bit physical byte address (the paper assumes a 48-bit address
+/// space, following Rogers et al., MICRO 2012).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// Mask to 48 bits on construction.
+    pub fn new(raw: u64) -> Self {
+        Addr(raw & 0xFFFF_FFFF_FFFF)
+    }
+
+    /// The cache-line address for a given line size (must be a power of
+    /// two).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `line_bytes` is not a power of two.
+    pub fn line(self, line_bytes: u64) -> LineAddr {
+        debug_assert!(line_bytes.is_power_of_two());
+        LineAddr(self.0 >> line_bytes.trailing_zeros())
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// A cache-line-granular address (byte address divided by the line size).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(pub u64);
+
+impl LineAddr {
+    /// Convert back to the byte address of the first byte in the line.
+    pub fn to_addr(self, line_bytes: u64) -> Addr {
+        Addr::new(self.0 << line_bytes.trailing_zeros())
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_masks_to_48_bits() {
+        let a = Addr::new(u64::MAX);
+        assert_eq!(a.0, 0xFFFF_FFFF_FFFF);
+    }
+
+    #[test]
+    fn line_addr_round_trip() {
+        let a = Addr::new(0x1234_5680);
+        let l = a.line(128);
+        assert_eq!(l.to_addr(128).0, 0x1234_5680 & !127);
+    }
+
+    #[test]
+    fn line_strips_offset_bits() {
+        assert_eq!(Addr::new(0x100).line(128), Addr::new(0x17f).line(128));
+        assert_ne!(Addr::new(0x100).line(128), Addr::new(0x180).line(128));
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(CoreId(7).to_string(), "c7");
+        assert_eq!(MemId(1).to_string(), "m1");
+        assert_eq!(Addr::new(16).to_string(), "0x10");
+        assert_eq!(LineAddr(2).to_string(), "L0x2");
+    }
+
+    #[test]
+    fn node_id_from_usize() {
+        let n: NodeId = 12usize.into();
+        assert_eq!(n.index(), 12);
+    }
+}

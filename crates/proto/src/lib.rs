@@ -1,0 +1,40 @@
+//! # clognet-proto
+//!
+//! Shared vocabulary for the `clognet` simulator: node/core identifiers,
+//! physical addresses, network packets and message kinds, the chip layouts
+//! of the paper's Figure 1, the randomized memory-controller address
+//! mapping, and the configuration structures mirroring Table I of
+//! *Delegated Replies: Alleviating Network Clogging in Heterogeneous
+//! Architectures* (HPCA 2022).
+//!
+//! Every other crate in the workspace depends on this one; it has no
+//! dependencies of its own.
+//!
+//! ## Example
+//!
+//! ```
+//! use clognet_proto::{SystemConfig, NodeKind};
+//!
+//! let cfg = SystemConfig::default(); // Table I configuration
+//! let layout = cfg.layout();
+//! assert_eq!(layout.gpu_nodes().count(), 40);
+//! assert_eq!(layout.cpu_nodes().count(), 16);
+//! assert_eq!(layout.mem_nodes().count(), 8);
+//! assert!(matches!(layout.kind_of(layout.mem_nodes().next().unwrap()),
+//!                  NodeKind::Mem(_)));
+//! ```
+
+pub mod addr_map;
+pub mod config;
+pub mod ids;
+pub mod layout;
+pub mod packet;
+
+pub use addr_map::AddressMap;
+pub use config::{
+    CacheGeometry, CpuConfig, CtaSched, DrKnobs, DramConfig, GpuConfig, L1Org, LayoutKind,
+    LlcConfig, NocConfig, RoutingPolicy, Scheme, SystemConfig, Topology, VirtualNetConfig,
+};
+pub use ids::{Addr, CoreId, Cycle, LineAddr, MemId, NodeId};
+pub use layout::{Layout, NodeKind};
+pub use packet::{MsgKind, Packet, PacketId, Priority, TrafficClass};

@@ -1,0 +1,290 @@
+//! Network packets and message kinds.
+//!
+//! A [`Packet`] is the unit of end-to-end communication; inside the NoC it
+//! is serialized into flits (one 16-byte flit per channel-width chunk,
+//! plus a head flit). The message vocabulary covers the baseline
+//! protocol, Delegated Replies, and the Realistic Probing baseline.
+
+use crate::ids::{Addr, Cycle, NodeId};
+use std::fmt;
+
+/// Globally unique packet identifier (monotonically assigned by the
+/// component that creates the packet).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PacketId(pub u64);
+
+impl fmt::Display for PacketId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Which (physical or virtual) network a packet travels on.
+///
+/// The baseline uses physically separate request and reply networks;
+/// the virtual-network configuration multiplexes both classes onto one
+/// physical network using disjoint VC sets (Section VII).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrafficClass {
+    /// Requests, probes and *delegated replies* (metadata-only, 1 flit).
+    Request,
+    /// Data-carrying replies (head + 8 data flits for a 128 B line).
+    Reply,
+}
+
+impl TrafficClass {
+    /// All classes, in scheduling order.
+    pub const ALL: [TrafficClass; 2] = [TrafficClass::Request, TrafficClass::Reply];
+}
+
+impl fmt::Display for TrafficClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrafficClass::Request => write!(f, "req"),
+            TrafficClass::Reply => write!(f, "rep"),
+        }
+    }
+}
+
+/// Arbitration priority. CPU traffic is prioritized over GPU traffic
+/// throughout the memory system, including the NoC switch allocators
+/// (Section II of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Latency-sensitive CPU traffic: always wins arbitration.
+    Cpu,
+    /// Bandwidth-hungry, latency-tolerant GPU traffic.
+    Gpu,
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Priority::Cpu => write!(f, "CPU"),
+            Priority::Gpu => write!(f, "GPU"),
+        }
+    }
+}
+
+/// The protocol-level meaning of a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MsgKind {
+    /// Core → memory node: load a cache line (1 flit).
+    ReadReq,
+    /// Core → memory node: write-through store, carries the line
+    /// (head + data flits).
+    WriteReq,
+    /// Memory node or remote core → requester: the cache line
+    /// (head + data flits).
+    ReadReply,
+    /// Memory node → writer: store acknowledgment (1 flit).
+    WriteAck,
+    /// Memory node → pointer core, on the *request* network: "you answer
+    /// this one" (1 flit). `Packet::requester` holds the core that must
+    /// receive the data; the sender id is overwritten with the requester
+    /// id as described in Section IV ("NoC modifications").
+    DelegatedReply,
+    /// RP: core → remote L1, "do you have this line?" (1 flit).
+    ProbeReq,
+    /// RP: remote L1 → prober, probe miss (1 flit).
+    ProbeMiss,
+    /// RP: remote L1 → prober, "I have it" (1 flit); the prober follows
+    /// up with a [`MsgKind::FetchReq`] to exactly one hitter, avoiding
+    /// duplicate cache-line transfers.
+    ProbeHit,
+    /// RP: prober → chosen hitter, "send me the line" (1 flit).
+    FetchReq,
+}
+
+impl MsgKind {
+    /// The traffic class this kind travels on.
+    pub fn class(self) -> TrafficClass {
+        match self {
+            MsgKind::ReadReq
+            | MsgKind::WriteReq
+            | MsgKind::DelegatedReply
+            | MsgKind::FetchReq
+            | MsgKind::ProbeReq => TrafficClass::Request,
+            MsgKind::ReadReply | MsgKind::WriteAck | MsgKind::ProbeMiss | MsgKind::ProbeHit => {
+                TrafficClass::Reply
+            }
+        }
+    }
+
+    /// Whether this packet carries a full cache line of data.
+    pub fn carries_data(self) -> bool {
+        matches!(self, MsgKind::WriteReq | MsgKind::ReadReply)
+    }
+
+    /// Number of flits for a given line size and channel width.
+    ///
+    /// Metadata-only messages are a single flit (a read request is 8 bytes,
+    /// smaller than the 16-byte channel). Data messages add
+    /// `line_bytes / channel_bytes` body flits: 9 flits for a 128 B line on
+    /// 16 B channels, matching the paper's 9× bandwidth-demand reduction
+    /// per delegated reply.
+    pub fn flits(self, line_bytes: u32, channel_bytes: u32) -> u8 {
+        if self.carries_data() {
+            (1 + line_bytes.div_ceil(channel_bytes)) as u8
+        } else {
+            1
+        }
+    }
+}
+
+impl fmt::Display for MsgKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MsgKind::ReadReq => "ReadReq",
+            MsgKind::WriteReq => "WriteReq",
+            MsgKind::ReadReply => "ReadReply",
+            MsgKind::WriteAck => "WriteAck",
+            MsgKind::DelegatedReply => "DelegatedReply",
+            MsgKind::ProbeReq => "ProbeReq",
+            MsgKind::ProbeMiss => "ProbeMiss",
+            MsgKind::ProbeHit => "ProbeHit",
+            MsgKind::FetchReq => "FetchReq",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An end-to-end message. Flit-level state lives inside the NoC; the
+/// packet itself is stored once and referenced by its flits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Unique id.
+    pub id: PacketId,
+    /// Injecting node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Protocol meaning.
+    pub kind: MsgKind,
+    /// Arbitration priority (CPU wins).
+    pub prio: Priority,
+    /// The (line-aligned) address the message concerns.
+    pub addr: Addr,
+    /// Serialized length in flits.
+    pub flits: u8,
+    /// Cycle the packet was handed to the network interface.
+    pub created: Cycle,
+    /// The node that ultimately needs the data. Equal to `src` for
+    /// ordinary requests; for a [`MsgKind::DelegatedReply`] it names the
+    /// core the remote L1 must reply to; for re-sent remote misses it is
+    /// preserved so the LLC can repoint the line.
+    pub requester: NodeId,
+    /// Do-Not-Forward bit (Section IV): tells the LLC slice to answer
+    /// directly instead of delegating again.
+    pub dnf: bool,
+}
+
+impl Packet {
+    /// Build a packet, deriving class and flit count from `kind`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        id: PacketId,
+        src: NodeId,
+        dst: NodeId,
+        kind: MsgKind,
+        prio: Priority,
+        addr: Addr,
+        line_bytes: u32,
+        channel_bytes: u32,
+        created: Cycle,
+    ) -> Self {
+        Packet {
+            id,
+            src,
+            dst,
+            kind,
+            prio,
+            addr,
+            flits: kind.flits(line_bytes, channel_bytes),
+            created,
+            requester: src,
+            dnf: false,
+        }
+    }
+
+    /// The traffic class this packet travels on.
+    pub fn class(&self) -> TrafficClass {
+        self.kind.class()
+    }
+}
+
+impl fmt::Display for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{} {}->{} {} {} x{}]",
+            self.id, self.kind, self.src, self.dst, self.prio, self.addr, self.flits
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reply_is_nine_flits_on_table1_config() {
+        // 128 B lines, 16 B channels: 1 head + 8 data flits.
+        assert_eq!(MsgKind::ReadReply.flits(128, 16), 9);
+        assert_eq!(MsgKind::WriteReq.flits(128, 16), 9);
+    }
+
+    #[test]
+    fn cpu_reply_is_five_flits() {
+        // 64 B CPU lines: 1 head + 4 data flits, as in the paper's
+        // Section II ("8 (4) data flits ... 128 (64) byte lines").
+        assert_eq!(MsgKind::ReadReply.flits(64, 16), 5);
+    }
+
+    #[test]
+    fn metadata_messages_are_single_flit() {
+        for k in [
+            MsgKind::ReadReq,
+            MsgKind::DelegatedReply,
+            MsgKind::ProbeReq,
+            MsgKind::ProbeMiss,
+            MsgKind::ProbeHit,
+            MsgKind::FetchReq,
+            MsgKind::WriteAck,
+        ] {
+            assert_eq!(k.flits(128, 16), 1, "{k} should be 1 flit");
+        }
+    }
+
+    #[test]
+    fn classes_match_paper_networks() {
+        // Delegated replies ride the *request* network (the key trick).
+        assert_eq!(MsgKind::DelegatedReply.class(), TrafficClass::Request);
+        assert_eq!(MsgKind::ReadReply.class(), TrafficClass::Reply);
+        assert_eq!(MsgKind::WriteReq.class(), TrafficClass::Request);
+    }
+
+    #[test]
+    fn packet_new_derives_fields() {
+        let p = Packet::new(
+            PacketId(1),
+            NodeId(2),
+            NodeId(3),
+            MsgKind::ReadReq,
+            Priority::Gpu,
+            Addr::new(0x80),
+            128,
+            16,
+            5,
+        );
+        assert_eq!(p.flits, 1);
+        assert_eq!(p.requester, NodeId(2));
+        assert!(!p.dnf);
+        assert_eq!(p.class(), TrafficClass::Request);
+    }
+
+    #[test]
+    fn cpu_priority_orders_before_gpu() {
+        assert!(Priority::Cpu < Priority::Gpu);
+    }
+}

@@ -1,0 +1,34 @@
+use clognet_cache::SetAssocCache;
+use clognet_proto::{CacheGeometry, CoreId};
+use clognet_workloads::{gpu_benchmark, GpuStream};
+
+fn main() {
+    for name in ["HS", "NN", "3DCON", "BP"] {
+        let p = gpu_benchmark(name).unwrap();
+        let mut s = GpuStream::new(p, CoreId(5), 40, 42);
+        let mut l1: SetAssocCache<()> = SetAssocCache::new(CacheGeometry {
+            capacity_bytes: 48 * 1024,
+            ways: 4,
+            line_bytes: 128,
+        });
+        let mut miss = 0;
+        let mut reads = 0;
+        for _ in 0..100_000 {
+            let a = s.next_access();
+            let line = a.addr.line(128);
+            if a.write {
+                l1.invalidate(line);
+                continue;
+            }
+            reads += 1;
+            if !l1.access(line) {
+                miss += 1;
+                l1.fill(line, ());
+            }
+        }
+        println!(
+            "{name}: ideal read miss rate {:.3} ({miss}/{reads})",
+            miss as f64 / reads as f64
+        );
+    }
+}

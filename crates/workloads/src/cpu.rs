@@ -1,0 +1,247 @@
+//! Synthetic PARSEC CPU traffic generators (the Netrace substitute).
+//!
+//! Netrace injects dependency-annotated CPU memory traces and translates
+//! network latency into CPU performance. We model each PARSEC benchmark
+//! as a deterministic generator with an intrinsic request rate
+//! (the paper reports 0.013–0.084 flits/cycle/core across the CPU
+//! workloads), a working-set size (which sets the L1 miss rate), a
+//! dependency window (how many requests may be outstanding — small
+//! windows make the benchmark latency-*sensitive*, like `vips`; large
+//! windows make it latency-*tolerant*, like `dedup`), and a write share.
+
+use crate::gpu::MemAccess;
+use clognet_proto::{Addr, CoreId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Base of the CPU data region (disjoint from all GPU regions).
+const CPU_BASE: u64 = 0x0000_8000_0000;
+/// Bytes reserved per CPU core.
+const CPU_SPAN: u64 = 0x0000_4000_0000;
+/// CPU line size.
+const LINE: u64 = 64;
+
+/// Tuning knobs describing one PARSEC benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuProfile {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Intrinsic memory-request rate per core (requests/cycle when never
+    /// stalled). Single-flit requests make this also the request-network
+    /// injection rate in flits/cycle.
+    pub req_rate: f64,
+    /// Working-set size in 64 B lines; sets the L1 miss rate.
+    pub working_set_lines: u64,
+    /// Maximum outstanding L1 misses before the core stalls. Low =
+    /// latency-sensitive.
+    pub window: usize,
+    /// Fraction of requests that are stores.
+    pub write_fraction: f64,
+    /// Fraction of accesses that walk sequentially (rest are random in
+    /// the working set).
+    pub sequential: f64,
+}
+
+/// The PARSEC benchmarks used in Table II (medium inputs; large for
+/// bodytrack and swaptions).
+pub fn cpu_benchmarks() -> Vec<CpuProfile> {
+    vec![
+        CpuProfile {
+            name: "blackscholes",
+            req_rate: 0.015,
+            working_set_lines: 400,
+            window: 6,
+            write_fraction: 0.10,
+            sequential: 0.80,
+        },
+        CpuProfile {
+            name: "bodytrack",
+            req_rate: 0.030,
+            working_set_lines: 10_000,
+            window: 6,
+            write_fraction: 0.20,
+            sequential: 0.50,
+        },
+        CpuProfile {
+            name: "canneal",
+            req_rate: 0.084,
+            working_set_lines: 400_000,
+            window: 4,
+            write_fraction: 0.10,
+            sequential: 0.05,
+        },
+        CpuProfile {
+            name: "dedup",
+            req_rate: 0.070,
+            working_set_lines: 60_000,
+            window: 16,
+            write_fraction: 0.30,
+            sequential: 0.60,
+        },
+        CpuProfile {
+            name: "ferret",
+            req_rate: 0.050,
+            working_set_lines: 40_000,
+            window: 8,
+            write_fraction: 0.20,
+            sequential: 0.40,
+        },
+        CpuProfile {
+            name: "fluidanimate",
+            req_rate: 0.040,
+            working_set_lines: 25_000,
+            window: 8,
+            write_fraction: 0.30,
+            sequential: 0.50,
+        },
+        CpuProfile {
+            name: "swaptions",
+            req_rate: 0.018,
+            working_set_lines: 450,
+            window: 6,
+            write_fraction: 0.10,
+            sequential: 0.70,
+        },
+        CpuProfile {
+            name: "vips",
+            req_rate: 0.060,
+            working_set_lines: 30_000,
+            window: 3,
+            write_fraction: 0.25,
+            sequential: 0.60,
+        },
+        CpuProfile {
+            name: "x264",
+            req_rate: 0.050,
+            working_set_lines: 20_000,
+            window: 5,
+            write_fraction: 0.30,
+            sequential: 0.55,
+        },
+    ]
+}
+
+/// Look a benchmark up by name.
+pub fn cpu_benchmark(name: &str) -> Option<CpuProfile> {
+    cpu_benchmarks().into_iter().find(|p| p.name == name)
+}
+
+/// Deterministic per-core CPU access generator.
+#[derive(Debug, Clone)]
+pub struct CpuStream {
+    profile: CpuProfile,
+    core: CoreId,
+    rng: SmallRng,
+    cursor: u64,
+}
+
+impl CpuStream {
+    /// Build the stream for `core`, deterministic in
+    /// `(profile, core, seed)`.
+    pub fn new(profile: CpuProfile, core: CoreId, seed: u64) -> Self {
+        let rng = SmallRng::seed_from_u64(seed ^ 0xCAFE ^ ((core.index() as u64) << 40));
+        CpuStream {
+            profile,
+            core,
+            rng,
+            cursor: 0,
+        }
+    }
+
+    /// The benchmark profile.
+    pub fn profile(&self) -> &CpuProfile {
+        &self.profile
+    }
+
+    /// Should the core issue a request this cycle? (Bernoulli at the
+    /// intrinsic rate; the replayer gates this on the dependency window.)
+    pub fn wants_issue(&mut self) -> bool {
+        self.rng.gen_bool(self.profile.req_rate)
+    }
+
+    /// Generate the next access.
+    pub fn next_access(&mut self) -> MemAccess {
+        let ws = self.profile.working_set_lines;
+        let line_off = if self.rng.gen_bool(self.profile.sequential) {
+            self.cursor = (self.cursor + 1) % ws;
+            self.cursor
+        } else {
+            self.rng.gen_range(0..ws)
+        };
+        let base_line = (CPU_BASE + self.core.index() as u64 * CPU_SPAN) / LINE;
+        MemAccess {
+            addr: Addr::new((base_line + line_off) * LINE),
+            write: self.rng.gen_bool(self.profile.write_fraction),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_parsec_benchmarks() {
+        let b = cpu_benchmarks();
+        assert_eq!(b.len(), 9);
+        let names: std::collections::HashSet<_> = b.iter().map(|p| p.name).collect();
+        assert_eq!(names.len(), 9);
+    }
+
+    #[test]
+    fn rates_span_the_paper_range() {
+        // Paper: CPU injection rates 0.013 to 0.084 flits/cycle.
+        for p in cpu_benchmarks() {
+            assert!(
+                (0.013..=0.084).contains(&p.req_rate),
+                "{} rate {}",
+                p.name,
+                p.req_rate
+            );
+        }
+    }
+
+    #[test]
+    fn vips_is_latency_sensitive_dedup_is_not() {
+        let vips = cpu_benchmark("vips").unwrap();
+        let dedup = cpu_benchmark("dedup").unwrap();
+        assert!(vips.window < dedup.window);
+    }
+
+    #[test]
+    fn issue_rate_approximates_profile() {
+        let p = cpu_benchmark("canneal").unwrap();
+        let expect = p.req_rate;
+        let mut s = CpuStream::new(p, CoreId(0), 9);
+        let n = 200_000;
+        let issued = (0..n).filter(|_| s.wants_issue()).count();
+        let f = issued as f64 / n as f64;
+        assert!((f - expect).abs() < 0.005, "rate {f} vs {expect}");
+    }
+
+    #[test]
+    fn streams_deterministic_and_disjoint_across_cores() {
+        let p = cpu_benchmark("ferret").unwrap();
+        let mut a1 = CpuStream::new(p.clone(), CoreId(0), 3);
+        let mut a2 = CpuStream::new(p.clone(), CoreId(0), 3);
+        for _ in 0..500 {
+            assert_eq!(a1.next_access(), a2.next_access());
+        }
+        let mut b = CpuStream::new(p, CoreId(1), 3);
+        let la: std::collections::HashSet<u64> =
+            (0..2000).map(|_| a1.next_access().addr.0).collect();
+        let lb: std::collections::HashSet<u64> =
+            (0..2000).map(|_| b.next_access().addr.0).collect();
+        assert!(la.is_disjoint(&lb), "CPU cores must not share data");
+    }
+
+    #[test]
+    fn cpu_addresses_disjoint_from_gpu_regions() {
+        let p = cpu_benchmark("canneal").unwrap();
+        let mut s = CpuStream::new(p, CoreId(15), 1);
+        for _ in 0..5000 {
+            let a = s.next_access().addr.0;
+            assert!(a < 0x2000_0000_0000, "CPU address in GPU region: {a:#x}");
+        }
+    }
+}

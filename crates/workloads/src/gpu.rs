@@ -1,0 +1,550 @@
+//! Synthetic GPU benchmark generators.
+//!
+//! The paper's evaluation uses eleven CUDA benchmarks (Table II) drawn
+//! from the CUDA SDK, GPGPU-sim, Rodinia and PolyBench. Their binaries
+//! cannot run here, so each benchmark is modeled by a deterministic
+//! address-stream generator parameterized to reproduce the *statistical*
+//! properties the paper reports for it:
+//!
+//! * inter-core locality (Fig. 2: >57% of L1 misses resident in remote
+//!   L1s on average; 2DCON/HS/NN above 60%),
+//! * L1 miss-stream composition (Fig. 14: 3DCON/BT/LPS show many remote
+//!   misses because their shared tiles exceed what the owning core's L1
+//!   retains),
+//! * write share (BP is write-heavy — the reason AVCP hurts it),
+//! * memory intensity.
+//!
+//! The generator mirrors how these kernels actually touch memory. The
+//! shared data set is split into **per-CTA tiles**, one per core (the
+//! round-robin CTA scheduler of Table I maps consecutive CTAs to
+//! consecutive SMs). An access is one of:
+//!
+//! * a **hot** access — Zipf over a small kernel-wide set (stencil
+//!   coefficients, NN weights, MM's broadcast tiles) that every core
+//!   touches;
+//! * a **tile** access — uniform over the core's own tile;
+//! * a **halo** access — uniform over an *adjacent core's* tile, the
+//!   stencil-boundary exchange that creates the paper's inter-core
+//!   locality (the neighbor holds its own tile in its L1);
+//! * a **private stream** access — streaming with short-distance reuse
+//!   (registers spills, thread-local arrays).
+
+use crate::zipf::Zipf;
+use clognet_proto::{Addr, CoreId, CtaSched};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Base of the hot (kernel-wide) shared region.
+const HOT_BASE: u64 = 0x4000_0000_0000;
+/// Base of the tiled shared region.
+const TILE_BASE: u64 = 0x5000_0000_0000;
+/// Base of the per-core private regions.
+const PRIVATE_BASE: u64 = 0x2000_0000_0000;
+/// Base of the per-core output regions (kernels write their own output
+/// tile; shared data is effectively read-only, as the paper notes).
+const OUTPUT_BASE: u64 = 0x3000_0000_0000;
+/// Bytes reserved per core for its private stream.
+const PRIVATE_SPAN: u64 = 0x1_0000_0000;
+/// GPU line size used for address generation.
+const LINE: u64 = 128;
+
+/// One memory operation produced by a generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Byte address (line-aligned).
+    pub addr: Addr,
+    /// Store (write-through) rather than load.
+    pub write: bool,
+}
+
+/// Tuning knobs describing one GPU benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuProfile {
+    /// Benchmark name (Table II).
+    pub name: &'static str,
+    /// Kernel grid dimensions (Table II; descriptive metadata).
+    pub grid_dim: (u32, u32, u32),
+    /// Fraction of accesses that target shared data (hot + tile + halo).
+    pub shared_fraction: f64,
+    /// Total tiled shared-data size in cache lines, split evenly into
+    /// per-core tiles. Tiles that exceed what a core's L1 retains produce
+    /// the paper's *remote miss* pattern (3DCON, BT, LPS).
+    pub shared_lines: u64,
+    /// Of shared accesses, the fraction going to the hot set.
+    pub hot_fraction: f64,
+    /// Hot-set size in lines.
+    pub hot_lines: u64,
+    /// Zipf exponent of hot-set popularity.
+    pub zipf_s: f64,
+    /// Of non-hot shared accesses, the fraction that reach into an
+    /// adjacent core's tile (stencil halo exchange).
+    pub halo_fraction: f64,
+    /// Private working-set size in lines (streamed cyclically).
+    pub private_lines: u64,
+    /// Probability that a private access re-references a recently used
+    /// private line instead of advancing the stream.
+    pub private_reuse: f64,
+    /// Fraction of accesses that are stores.
+    pub write_fraction: f64,
+    /// Warp compute cycles between consecutive memory operations.
+    pub compute_per_mem: u32,
+}
+
+impl GpuProfile {
+    /// Apply the CTA scheduling policy. Distributed (locality-aware) CTA
+    /// scheduling keeps adjacent CTAs on the same SM, so halo exchanges
+    /// become core-local: fewer L1 misses, but the clogging itself is not
+    /// removed (Fig. 15).
+    pub fn with_cta_sched(mut self, sched: CtaSched) -> Self {
+        if sched == CtaSched::Distributed {
+            self.halo_fraction *= 0.45;
+            self.private_reuse = 1.0 - (1.0 - self.private_reuse) * 0.75;
+        }
+        self
+    }
+}
+
+/// The eleven Table-II GPU benchmarks.
+pub fn gpu_benchmarks() -> Vec<GpuProfile> {
+    vec![
+        GpuProfile {
+            name: "2DCON",
+            grid_dim: (128, 512, 1),
+            shared_fraction: 0.70,
+            shared_lines: 2_400,
+            hot_fraction: 0.15,
+            hot_lines: 64,
+            zipf_s: 0.9,
+            halo_fraction: 0.55,
+            private_lines: 4_000,
+            private_reuse: 0.70,
+            write_fraction: 0.10,
+            compute_per_mem: 6,
+        },
+        GpuProfile {
+            name: "3DCON",
+            grid_dim: (8, 32, 1),
+            shared_fraction: 0.70,
+            shared_lines: 48_000,
+            hot_fraction: 0.10,
+            hot_lines: 64,
+            zipf_s: 0.9,
+            halo_fraction: 0.50,
+            private_lines: 6_000,
+            private_reuse: 0.60,
+            write_fraction: 0.12,
+            compute_per_mem: 6,
+        },
+        GpuProfile {
+            name: "BT",
+            grid_dim: (60_000, 1, 1),
+            shared_fraction: 0.55,
+            shared_lines: 16_000,
+            hot_fraction: 0.10,
+            hot_lines: 128,
+            zipf_s: 0.8,
+            halo_fraction: 0.45,
+            private_lines: 8_000,
+            private_reuse: 0.60,
+            write_fraction: 0.15,
+            compute_per_mem: 8,
+        },
+        GpuProfile {
+            name: "SC",
+            grid_dim: (1_954, 1, 1),
+            shared_fraction: 0.35,
+            shared_lines: 1_600,
+            hot_fraction: 0.50,
+            hot_lines: 48,
+            zipf_s: 1.0,
+            halo_fraction: 0.20,
+            private_lines: 3_000,
+            private_reuse: 0.75,
+            write_fraction: 0.20,
+            compute_per_mem: 10,
+        },
+        GpuProfile {
+            name: "HS",
+            grid_dim: (342, 342, 1),
+            shared_fraction: 0.80,
+            shared_lines: 2_400,
+            hot_fraction: 0.20,
+            hot_lines: 64,
+            zipf_s: 0.9,
+            halo_fraction: 0.60,
+            private_lines: 3_000,
+            private_reuse: 0.70,
+            write_fraction: 0.10,
+            compute_per_mem: 5,
+        },
+        GpuProfile {
+            name: "LPS",
+            grid_dim: (63, 500, 1),
+            shared_fraction: 0.55,
+            shared_lines: 30_000,
+            hot_fraction: 0.10,
+            hot_lines: 64,
+            zipf_s: 0.9,
+            halo_fraction: 0.45,
+            private_lines: 6_000,
+            private_reuse: 0.60,
+            write_fraction: 0.15,
+            compute_per_mem: 7,
+        },
+        GpuProfile {
+            name: "LUD",
+            grid_dim: (127, 127, 1),
+            shared_fraction: 0.40,
+            shared_lines: 2_000,
+            hot_fraction: 0.45,
+            hot_lines: 64,
+            zipf_s: 1.0,
+            halo_fraction: 0.25,
+            private_lines: 2_500,
+            private_reuse: 0.75,
+            write_fraction: 0.15,
+            compute_per_mem: 9,
+        },
+        GpuProfile {
+            name: "MM",
+            grid_dim: (1_000, 2_000, 1),
+            shared_fraction: 0.65,
+            shared_lines: 6_000,
+            hot_fraction: 0.35,
+            hot_lines: 256,
+            zipf_s: 0.7,
+            halo_fraction: 0.30,
+            private_lines: 8_000,
+            private_reuse: 0.60,
+            write_fraction: 0.05,
+            compute_per_mem: 6,
+        },
+        GpuProfile {
+            name: "NN",
+            grid_dim: (6, 6_000, 1),
+            shared_fraction: 0.80,
+            shared_lines: 1_200,
+            hot_fraction: 0.70,
+            hot_lines: 96,
+            zipf_s: 0.8,
+            halo_fraction: 0.30,
+            private_lines: 1_500,
+            private_reuse: 0.85,
+            write_fraction: 0.05,
+            compute_per_mem: 12,
+        },
+        GpuProfile {
+            name: "SRAD",
+            grid_dim: (128, 128, 1),
+            shared_fraction: 0.60,
+            shared_lines: 4_000,
+            hot_fraction: 0.15,
+            hot_lines: 64,
+            zipf_s: 0.9,
+            halo_fraction: 0.50,
+            private_lines: 5_000,
+            private_reuse: 0.60,
+            write_fraction: 0.20,
+            compute_per_mem: 7,
+        },
+        GpuProfile {
+            name: "BP",
+            grid_dim: (1, 16_384, 1),
+            shared_fraction: 0.30,
+            shared_lines: 3_000,
+            hot_fraction: 0.30,
+            hot_lines: 64,
+            zipf_s: 0.9,
+            halo_fraction: 0.30,
+            private_lines: 4_000,
+            private_reuse: 0.65,
+            write_fraction: 0.45,
+            compute_per_mem: 7,
+        },
+    ]
+}
+
+/// Look a benchmark up by name.
+pub fn gpu_benchmark(name: &str) -> Option<GpuProfile> {
+    gpu_benchmarks().into_iter().find(|p| p.name == name)
+}
+
+/// Deterministic per-core address-stream generator for one benchmark.
+#[derive(Debug, Clone)]
+pub struct GpuStream {
+    profile: GpuProfile,
+    core: CoreId,
+    n_cores: usize,
+    tile_lines: u64,
+    rng: SmallRng,
+    zipf: Zipf,
+    stream_pos: u64,
+    /// Stencil sweep position within the tile: cores process their tiles
+    /// front-to-back at similar rates, so halo accesses target the part
+    /// of the neighbor's tile the neighbor touched recently.
+    sweep_pos: u64,
+    sweep_count: u32,
+    out_pos: u64,
+    recent: [u64; 16],
+    recent_len: usize,
+    recent_cursor: usize,
+}
+
+impl GpuStream {
+    /// Build the stream for `core` of an `n_cores`-core system,
+    /// deterministic in `(profile, core, n_cores, seed)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range or `n_cores` is zero.
+    pub fn new(profile: GpuProfile, core: CoreId, n_cores: usize, seed: u64) -> Self {
+        assert!(n_cores > 0 && core.index() < n_cores);
+        let zipf = Zipf::new(profile.hot_lines as usize, profile.zipf_s);
+        let tile_lines = (profile.shared_lines / n_cores as u64).max(1);
+        let rng =
+            SmallRng::seed_from_u64(seed ^ (core.index() as u64) << 32 ^ fxhash(profile.name));
+        GpuStream {
+            profile,
+            core,
+            n_cores,
+            tile_lines,
+            rng,
+            zipf,
+            stream_pos: 0,
+            sweep_pos: 0,
+            sweep_count: 0,
+            out_pos: 0,
+            recent: [0; 16],
+            recent_len: 0,
+            recent_cursor: 0,
+        }
+    }
+
+    /// The benchmark profile.
+    pub fn profile(&self) -> &GpuProfile {
+        &self.profile
+    }
+
+    /// Lines per per-core tile.
+    pub fn tile_lines(&self) -> u64 {
+        self.tile_lines
+    }
+
+    /// Compute cycles a warp spends between memory operations.
+    pub fn compute_per_mem(&self) -> u32 {
+        self.profile.compute_per_mem
+    }
+
+    /// Generate the next memory access of a warp on this core.
+    pub fn next_access(&mut self) -> MemAccess {
+        if self.rng.gen_bool(self.profile.write_fraction) {
+            // Stores stream into the core's own output tile: shared data
+            // is read-only (Section IV: "shared read-only data ... is
+            // much more common than shared read-write data").
+            self.out_pos = (self.out_pos + 1) % self.profile.private_lines;
+            let line =
+                (OUTPUT_BASE + self.core.index() as u64 * PRIVATE_SPAN) / LINE + self.out_pos;
+            return MemAccess {
+                addr: Addr::new(line * LINE),
+                write: true,
+            };
+        }
+        let write = false;
+        let line = if self.rng.gen_bool(self.profile.shared_fraction) {
+            if self.rng.gen_bool(self.profile.hot_fraction) {
+                // Kernel-wide hot data.
+                let rank = self.zipf.sample(&mut self.rng) as u64;
+                HOT_BASE / LINE + rank
+            } else {
+                // Tile or halo access.
+                let tile = if self.rng.gen_bool(self.profile.halo_fraction) {
+                    // Stencil halo: an adjacent CTA tile (wrapping).
+                    let delta = if self.rng.gen_bool(0.5) {
+                        1
+                    } else {
+                        self.n_cores - 1
+                    };
+                    (self.core.index() + delta) % self.n_cores
+                } else {
+                    self.core.index()
+                };
+                // Wavefront sweep: accesses concentrate in a window that
+                // slides through the tile, as a stencil kernel walks its
+                // rows. Cores advance at similar rates, so a neighbor's
+                // current window is resident in the neighbor's L1 even
+                // when the whole tile is not.
+                let window = 64.min(self.tile_lines);
+                self.sweep_count += 1;
+                if self.sweep_count >= 24 {
+                    self.sweep_count = 0;
+                    self.sweep_pos = (self.sweep_pos + 1) % self.tile_lines;
+                }
+                let off = (self.sweep_pos + self.rng.gen_range(0..window)) % self.tile_lines;
+                TILE_BASE / LINE + tile as u64 * self.tile_lines + off
+            }
+        } else if self.recent_len > 0 && self.rng.gen_bool(self.profile.private_reuse) {
+            self.recent[self.rng.gen_range(0..self.recent_len)]
+        } else {
+            self.stream_pos = (self.stream_pos + 1) % self.profile.private_lines;
+            let line =
+                (PRIVATE_BASE + self.core.index() as u64 * PRIVATE_SPAN) / LINE + self.stream_pos;
+            self.recent[self.recent_cursor] = line;
+            self.recent_cursor = (self.recent_cursor + 1) % self.recent.len();
+            self.recent_len = (self.recent_len + 1).min(self.recent.len());
+            line
+        };
+        MemAccess {
+            addr: Addr::new(line * LINE),
+            write,
+        }
+    }
+}
+
+fn fxhash(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N: usize = 40;
+
+    #[test]
+    fn eleven_benchmarks_with_unique_names() {
+        let b = gpu_benchmarks();
+        assert_eq!(b.len(), 11);
+        let names: std::collections::HashSet<_> = b.iter().map(|p| p.name).collect();
+        assert_eq!(names.len(), 11);
+        assert!(gpu_benchmark("HS").is_some());
+        assert!(gpu_benchmark("nope").is_none());
+    }
+
+    #[test]
+    fn bp_is_write_heavy() {
+        let bp = gpu_benchmark("BP").unwrap();
+        for other in gpu_benchmarks() {
+            if other.name != "BP" {
+                assert!(bp.write_fraction > other.write_fraction, "{}", other.name);
+            }
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        let p = gpu_benchmark("MM").unwrap();
+        let mut a = GpuStream::new(p.clone(), CoreId(3), N, 42);
+        let mut b = GpuStream::new(p, CoreId(3), N, 42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_access(), b.next_access());
+        }
+    }
+
+    #[test]
+    fn halo_accesses_reach_adjacent_tiles_only() {
+        let p = gpu_benchmark("HS").unwrap();
+        let mut s = GpuStream::new(p, CoreId(5), N, 7);
+        let tl = s.tile_lines();
+        let base = TILE_BASE / LINE;
+        for _ in 0..20_000 {
+            let l = s.next_access().addr.0 / LINE;
+            if (base..base + N as u64 * tl).contains(&l) {
+                let tile = ((l - base) / tl) as usize;
+                assert!(
+                    tile == 5 || tile == 4 || tile == 6,
+                    "core 5 touched tile {tile}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hot_set_is_shared_by_all_cores() {
+        let p = gpu_benchmark("NN").unwrap();
+        let hot = |core: u16| -> std::collections::HashSet<u64> {
+            let mut s = GpuStream::new(gpu_benchmark("NN").unwrap(), CoreId(core), N, 7);
+            (0..5000)
+                .map(|_| s.next_access().addr.0 / LINE)
+                .filter(|l| *l >= HOT_BASE / LINE && *l < HOT_BASE / LINE + p.hot_lines)
+                .collect()
+        };
+        let a = hot(0);
+        let b = hot(20);
+        assert!(a.intersection(&b).count() > 10, "hot sets must overlap");
+    }
+
+    #[test]
+    fn shared_fraction_is_respected() {
+        // Reads split shared/private by `shared_fraction`; writes always
+        // stream to the core's output tile.
+        let p = gpu_benchmark("HS").unwrap();
+        let expect = p.shared_fraction;
+        let mut s = GpuStream::new(p, CoreId(0), N, 1);
+        let n = 20_000;
+        let (mut shared, mut reads) = (0usize, 0usize);
+        for _ in 0..n {
+            let a = s.next_access();
+            if a.write {
+                assert!(
+                    (0x3000_0000_0000..0x4000_0000_0000).contains(&a.addr.0),
+                    "write outside output region: {:#x}",
+                    a.addr.0
+                );
+                continue;
+            }
+            reads += 1;
+            if a.addr.0 >= HOT_BASE {
+                shared += 1;
+            }
+        }
+        let f = shared as f64 / reads as f64;
+        assert!((f - expect).abs() < 0.03, "shared fraction {f} vs {expect}");
+    }
+
+    #[test]
+    fn write_fraction_is_respected() {
+        let p = gpu_benchmark("BP").unwrap();
+        let expect = p.write_fraction;
+        let mut s = GpuStream::new(p, CoreId(0), N, 1);
+        let n = 20_000;
+        let w = (0..n).filter(|_| s.next_access().write).count();
+        let f = w as f64 / n as f64;
+        assert!((f - expect).abs() < 0.03, "write fraction {f} vs {expect}");
+    }
+
+    #[test]
+    fn addresses_are_line_aligned() {
+        let p = gpu_benchmark("SRAD").unwrap();
+        let mut s = GpuStream::new(p, CoreId(9), N, 5);
+        for _ in 0..1000 {
+            assert_eq!(s.next_access().addr.0 % LINE, 0);
+        }
+    }
+
+    #[test]
+    fn big_pools_have_big_tiles() {
+        // 3DCON's per-core tile must exceed the 384-line L1 (the remote
+        // miss driver); HS's must fit comfortably.
+        let p3 = gpu_benchmark("3DCON").unwrap();
+        let s3 = GpuStream::new(p3, CoreId(0), N, 1);
+        assert!(s3.tile_lines() > 384, "3DCON tile {}", s3.tile_lines());
+        let ph = gpu_benchmark("HS").unwrap();
+        let sh = GpuStream::new(ph, CoreId(0), N, 1);
+        assert!(sh.tile_lines() < 128, "HS tile {}", sh.tile_lines());
+    }
+
+    #[test]
+    fn distributed_cta_reduces_halo_traffic() {
+        let p = gpu_benchmark("2DCON").unwrap();
+        let d = p.clone().with_cta_sched(CtaSched::Distributed);
+        assert!(d.halo_fraction < p.halo_fraction);
+        assert!(d.private_reuse > p.private_reuse);
+        let r = p.clone().with_cta_sched(CtaSched::RoundRobin);
+        assert_eq!(r, p);
+    }
+}

@@ -1,0 +1,31 @@
+//! # clognet-workloads
+//!
+//! Deterministic synthetic workload generators standing in for the
+//! paper's benchmark suites (CUDA SDK / GPGPU-sim / Rodinia / PolyBench
+//! on the GPU side, PARSEC via Netrace on the CPU side), parameterized
+//! per benchmark to reproduce the statistical properties the paper
+//! reports: inter-core locality, miss-stream composition, write share,
+//! injection intensity, and latency sensitivity. See `DESIGN.md` for the
+//! substitution rationale.
+//!
+//! ## Example
+//!
+//! ```
+//! use clognet_workloads::{gpu_benchmark, GpuStream};
+//! use clognet_proto::CoreId;
+//!
+//! let hs = gpu_benchmark("HS").expect("Table II benchmark");
+//! let mut stream = GpuStream::new(hs, CoreId(0), 40, 42);
+//! let access = stream.next_access();
+//! assert_eq!(access.addr.0 % 128, 0); // line-aligned
+//! ```
+
+pub mod cpu;
+pub mod gpu;
+pub mod pairings;
+pub mod zipf;
+
+pub use cpu::{cpu_benchmark, cpu_benchmarks, CpuProfile, CpuStream};
+pub use gpu::{gpu_benchmark, gpu_benchmarks, GpuProfile, GpuStream, MemAccess};
+pub use pairings::{all_workloads, Pairing, TABLE2};
+pub use zipf::Zipf;

@@ -1,0 +1,102 @@
+//! The heterogeneous CPU–GPU workload pairings of Table II.
+//!
+//! Each of the 11 GPU benchmarks co-runs with 3 CPU benchmarks, giving
+//! the paper's 33 heterogeneous workloads. All 16 CPU cores run the same
+//! CPU benchmark in a given workload ("we allocate all CPU cores to the
+//! CPU benchmark").
+
+/// One GPU benchmark with its three CPU co-runners (Table II rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pairing {
+    /// GPU benchmark name.
+    pub gpu: &'static str,
+    /// The three CPU co-runners.
+    pub cpus: [&'static str; 3],
+}
+
+/// Table II verbatim.
+pub const TABLE2: [Pairing; 11] = [
+    Pairing {
+        gpu: "2DCON",
+        cpus: ["blackscholes", "canneal", "dedup"],
+    },
+    Pairing {
+        gpu: "3DCON",
+        cpus: ["bodytrack", "dedup", "fluidanimate"],
+    },
+    Pairing {
+        gpu: "BT",
+        cpus: ["dedup", "fluidanimate", "vips"],
+    },
+    Pairing {
+        gpu: "SC",
+        cpus: ["bodytrack", "ferret", "swaptions"],
+    },
+    Pairing {
+        gpu: "HS",
+        cpus: ["bodytrack", "ferret", "x264"],
+    },
+    Pairing {
+        gpu: "LPS",
+        cpus: ["fluidanimate", "vips", "x264"],
+    },
+    Pairing {
+        gpu: "LUD",
+        cpus: ["ferret", "blackscholes", "swaptions"],
+    },
+    Pairing {
+        gpu: "MM",
+        cpus: ["canneal", "fluidanimate", "vips"],
+    },
+    Pairing {
+        gpu: "NN",
+        cpus: ["blackscholes", "fluidanimate", "swaptions"],
+    },
+    Pairing {
+        gpu: "SRAD",
+        cpus: ["fluidanimate", "ferret", "x264"],
+    },
+    Pairing {
+        gpu: "BP",
+        cpus: ["blackscholes", "bodytrack", "ferret"],
+    },
+];
+
+/// All 33 (GPU, CPU) heterogeneous workloads of the evaluation.
+pub fn all_workloads() -> Vec<(&'static str, &'static str)> {
+    TABLE2
+        .iter()
+        .flat_map(|p| p.cpus.iter().map(move |c| (p.gpu, *c)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::cpu_benchmark;
+    use crate::gpu::gpu_benchmark;
+
+    #[test]
+    fn thirty_three_workloads() {
+        assert_eq!(all_workloads().len(), 33);
+    }
+
+    #[test]
+    fn every_name_resolves() {
+        for p in &TABLE2 {
+            assert!(gpu_benchmark(p.gpu).is_some(), "missing GPU {}", p.gpu);
+            for c in &p.cpus {
+                assert!(cpu_benchmark(c).is_some(), "missing CPU {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn pairings_are_distinct_per_row() {
+        for p in &TABLE2 {
+            assert_ne!(p.cpus[0], p.cpus[1]);
+            assert_ne!(p.cpus[1], p.cpus[2]);
+            assert_ne!(p.cpus[0], p.cpus[2]);
+        }
+    }
+}

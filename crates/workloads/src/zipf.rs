@@ -1,0 +1,110 @@
+//! Exact Zipf sampling over a finite pool via cumulative-weight
+//! inversion.
+//!
+//! Shared-data accesses in the GPU benchmark generators follow a Zipf
+//! distribution: a few hot lines (kernel-wide constants, matrix tiles,
+//! stencil halos) absorb most of the shared traffic, which is what makes
+//! remote L1 copies likely — the inter-core-locality engine of the paper.
+
+use rand::Rng;
+use std::sync::Arc;
+
+/// A sampled Zipf distribution over ranks `0..n` with exponent `s`.
+/// Cheap to clone (the cumulative table is shared).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cum: Arc<Vec<f64>>,
+}
+
+impl Zipf {
+    /// Build the table for `n` items with exponent `s` (`s = 0` is
+    /// uniform; larger is more skewed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is negative/non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "empty pool");
+        assert!(s >= 0.0 && s.is_finite(), "bad exponent {s}");
+        let mut cum = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 0..n {
+            total += 1.0 / ((k + 1) as f64).powf(s);
+            cum.push(total);
+        }
+        Zipf { cum: Arc::new(cum) }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cum.len()
+    }
+
+    /// Always false (the constructor rejects empty pools); provided for
+    /// API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.cum.is_empty()
+    }
+
+    /// Draw a rank in `0..len()`, rank 0 being the most popular.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cum.last().expect("non-empty");
+        let x = rng.gen_range(0.0..total);
+        self.cum.partition_point(|&c| c < x).min(self.cum.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_in_range() {
+        let z = Zipf::new(100, 0.8);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn skew_prefers_low_ranks() {
+        let z = Zipf::new(1000, 1.0);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let n = 100_000;
+        let hot = (0..n).filter(|_| z.sample(&mut rng) < 10).count();
+        // With s=1 over 1000 items, top-10 mass is ~39%.
+        assert!(hot as f64 / n as f64 > 0.25, "top-10 mass {hot}/{n}");
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut counts = [0usize; 10];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            let f = c as f64 / n as f64;
+            assert!((f - 0.1).abs() < 0.02, "uniform bucket off: {f}");
+        }
+    }
+
+    #[test]
+    fn clone_shares_table() {
+        let z = Zipf::new(16, 0.5);
+        let z2 = z.clone();
+        assert_eq!(z.len(), z2.len());
+        assert!(Arc::ptr_eq(&z.cum, &z2.cum));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty pool")]
+    fn empty_pool_panics() {
+        Zipf::new(0, 1.0);
+    }
+}

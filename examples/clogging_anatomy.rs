@@ -1,0 +1,80 @@
+//! The anatomy of network clogging (Section II of the paper).
+//!
+//! Runs the baseline system and dissects where the pressure builds:
+//! per-memory-node blocking rates, the utilization of each memory node's
+//! reply-network links, request-vs-reply network latencies, and what
+//! happens to CPU packets caught in the jam.
+//!
+//! ```sh
+//! cargo run --release --example clogging_anatomy
+//! ```
+
+use clognet_core::System;
+use clognet_proto::{Priority, SystemConfig, TrafficClass};
+
+fn main() {
+    let cfg = SystemConfig::default(); // baseline scheme
+    let mut sys = System::new(cfg, "2DCON", "canneal");
+    sys.run(5_000);
+    sys.reset_stats();
+    sys.run(20_000);
+    let r = sys.report();
+
+    println!("=== network clogging anatomy: 2DCON + canneal, baseline ===\n");
+    println!("chip layout (C=CPU, M=memory node, G=GPU):");
+    println!("{}", sys.layout().ascii());
+
+    println!("per-memory-node state over {} measured cycles:", r.cycles);
+    println!(
+        "{:>4} {:>10} {:>9} {:>9} {:>9} {:>10}",
+        "node", "requests", "llc-hit%", "blocked%", "injected", "replyUtil"
+    );
+    let reply_net = sys.nets().net(TrafficClass::Reply);
+    let topo = reply_net.topo();
+    for m in sys.mems() {
+        let s = m.stats;
+        let (router, local) = topo.attach_of(m.node);
+        let util = (0..topo.port_count(router))
+            .filter(|&p| p != local)
+            .map(|p| reply_net.stats().link_utilization(router, p))
+            .fold(0.0f64, f64::max);
+        println!(
+            "{:>4} {:>10} {:>8.1}% {:>8.1}% {:>9} {:>9.1}%",
+            m.id.to_string(),
+            s.requests,
+            s.llc_hits as f64 / (s.llc_hits + s.llc_misses).max(1) as f64 * 100.0,
+            s.blocked_cycles as f64 / r.cycles as f64 * 100.0,
+            s.injected_replies,
+            util * 100.0
+        );
+    }
+
+    let req = sys.nets().net(TrafficClass::Request).stats();
+    let rep = sys.nets().net(TrafficClass::Reply).stats();
+    println!("\nnetwork asymmetry (the paper's key observation):");
+    println!(
+        "  request net: {:>8} packets injected, GPU latency {:>7.1} cycles",
+        req.injected_pkts[0],
+        req.mean_latency(TrafficClass::Request, Priority::Gpu)
+    );
+    println!(
+        "  reply net  : {:>8} packets injected, GPU latency {:>7.1} cycles",
+        rep.injected_pkts[1],
+        rep.mean_latency(TrafficClass::Reply, Priority::Gpu)
+    );
+    println!(
+        "  a read request is 1 flit; a reply is 9 — the reply links of the {} memory",
+        sys.mems().len()
+    );
+    println!("  nodes are the bottleneck, and the back-pressure (blocked% above) denies");
+    println!("  even prioritized CPU requests entry to the memory nodes:");
+    println!(
+        "  CPU network latency {:.1} cycles, CPU performance {:.3} (1.0 = unloaded)",
+        r.cpu_net_latency, r.cpu_performance
+    );
+    println!(
+        "\noracle inter-core locality: {:.1}% of L1 misses were resident in a remote L1",
+        r.oracle_locality * 100.0
+    );
+    println!("=> the data to deflect the clog is already on-chip; Delegated Replies uses it.");
+}

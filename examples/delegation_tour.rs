@@ -1,0 +1,87 @@
+//! A guided tour of the Delegated Replies mechanism (Sections II & IV).
+//!
+//! Walks the protocol at API level — core pointers, delegatable replies,
+//! the DNF bit — then runs the full system and breaks every L1 miss into
+//! the three Figure-14 outcomes: LLC-direct, remote hit (including
+//! delayed hits), and remote miss.
+//!
+//! ```sh
+//! cargo run --release --example delegation_tour
+//! ```
+
+use clognet_cache::{LlcAccess, LlcSlice};
+use clognet_core::System;
+use clognet_proto::{CoreId, LineAddr, LlcConfig, Scheme, SystemConfig};
+
+fn main() {
+    println!("=== part 1: the core pointer, in isolation ===\n");
+    let mut llc = LlcSlice::new(LlcConfig::default().slice);
+    let line = LineAddr(0x42);
+    llc.fill(line, Some(CoreId(7)));
+    println!("fill line {line} pointing at core 7 (the core that fetched it)");
+    match llc.read_gpu(line, CoreId(12)) {
+        LlcAccess::Hit(Some(prev)) => println!(
+            "core 12 reads -> LLC hit; previous accessor was {prev}: the reply is\n  \
+             DELEGATABLE to {prev} (it likely still caches the line), and the\n  \
+             pointer now names core 12"
+        ),
+        other => println!("unexpected: {other:?}"),
+    }
+    match llc.read_gpu(line, CoreId(12)) {
+        LlcAccess::Hit(Some(CoreId(12))) => println!(
+            "core 12 reads again -> pointer names itself: NOT delegatable\n  \
+             (it must have evicted the line; the LLC answers directly)"
+        ),
+        other => println!("unexpected: {other:?}"),
+    }
+    llc.write(line);
+    println!(
+        "a write invalidates the pointer (coherence, Section IV): {:?}",
+        llc.pointer(line)
+    );
+
+    println!("\n=== part 2: the mechanism at full-system scale ===\n");
+    let cfg = SystemConfig::default().with_scheme(Scheme::DelegatedReplies);
+    let mut sys = System::new(cfg, "HS", "ferret");
+    sys.run(6_000);
+    sys.reset_stats();
+    sys.run(20_000);
+    let r = sys.report();
+    let b = r.breakdown;
+    let t = b.total().max(1) as f64;
+    println!("HS + ferret, {} measured cycles:", r.cycles);
+    println!("  L1 miss outcomes (Figure 14):");
+    println!(
+        "    LLC direct : {:>6}  ({:.1}%)",
+        b.llc_direct,
+        b.llc_direct as f64 / t * 100.0
+    );
+    println!(
+        "    remote hit : {:>6}  ({:.1}%)  <- delegated, data served core-to-core",
+        b.remote_hit,
+        b.remote_hit as f64 / t * 100.0
+    );
+    println!(
+        "    remote miss: {:>6}  ({:.1}%)  <- delegated, bounced back with the DNF bit",
+        b.remote_miss,
+        b.remote_miss as f64 / t * 100.0
+    );
+    println!(
+        "  pointer accuracy: {:.1}% of delegations found the line remotely (paper: 74.4%)",
+        b.remote_hit_rate() * 100.0
+    );
+    println!(
+        "  FRQ same-line arrivals: {:.1}% (paper: 4.8% — why the FRQ does not merge)",
+        r.frq_same_line_fraction * 100.0
+    );
+    println!(
+        "  delegations only fire when reply injection is blocked: {} delegations,\n  \
+         memory nodes blocked {:.1}% of cycles",
+        r.delegations,
+        r.mem_blocked_rate * 100.0
+    );
+    println!(
+        "  GPU IPC {:.2}, received data rate {:.3} flits/cycle/core",
+        r.gpu_ipc, r.gpu_rx_rate
+    );
+}

@@ -1,0 +1,157 @@
+//! Behavioral tests for the clogging mechanics the paper builds on:
+//! back-pressure, blocking, the delegation trigger, and the protocol's
+//! corner cases at system scale.
+
+use clognet_core::System;
+use clognet_proto::{Scheme, SystemConfig};
+
+#[test]
+fn delegation_reduces_blocking_per_unit_of_work() {
+    // Figure 4's point: delegating frees the injection buffer. In steady
+    // state DR also *raises throughput*, which feeds more requests back
+    // into the memory nodes — so the robust form of the claim is
+    // blocking per retired instruction, not the raw blocked rate.
+    let measure = |scheme| {
+        let mut sys = System::new(SystemConfig::default().with_scheme(scheme), "SC", "ferret");
+        sys.run(4_000);
+        sys.reset_stats();
+        sys.run(10_000);
+        let r = sys.report();
+        (r.mem_blocked_rate, r.gpu_ipc)
+    };
+    let (blocked_b, ipc_b) = measure(Scheme::Baseline);
+    let (blocked_d, ipc_d) = measure(Scheme::DelegatedReplies);
+    assert!(ipc_d > ipc_b, "DR must raise throughput");
+    let per_work_b = blocked_b / ipc_b;
+    let per_work_d = blocked_d / ipc_d;
+    assert!(
+        per_work_d < per_work_b,
+        "DR blocking/IPC {per_work_d:.4} >= baseline {per_work_b:.4}"
+    );
+}
+
+#[test]
+fn delegation_moves_traffic_off_memory_reply_links() {
+    let measure = |scheme| {
+        let mut sys = System::new(SystemConfig::default().with_scheme(scheme), "HS", "x264");
+        sys.run(4_000);
+        sys.reset_stats();
+        sys.run(10_000);
+        let r = sys.report();
+        (r.gpu_rx_rate, r.mem_reply_link_util, r.delegations)
+    };
+    let (rx_b, _util_b, del_b) = measure(Scheme::Baseline);
+    let (rx_d, _util_d, del_d) = measure(Scheme::DelegatedReplies);
+    assert_eq!(del_b, 0);
+    assert!(del_d > 100, "delegation barely fired: {del_d}");
+    // The received data rate must rise: remote cores add reply bandwidth
+    // beyond what the memory-node links can supply.
+    assert!(
+        rx_d > rx_b * 1.05,
+        "rx rate DR {rx_d:.3} vs baseline {rx_b:.3}"
+    );
+}
+
+#[test]
+fn smaller_injection_buffers_mean_more_blocking() {
+    let blocked = |pkts| {
+        let mut cfg = SystemConfig::default();
+        cfg.noc.mem_inj_buf_pkts = pkts;
+        let mut sys = System::new(cfg, "2DCON", "blackscholes");
+        sys.run(3_000);
+        sys.reset_stats();
+        sys.run(8_000);
+        sys.report().mem_blocked_rate
+    };
+    let small = blocked(4);
+    let large = blocked(64);
+    assert!(
+        small > large,
+        "blocking should shrink with buffer size: {small:.3} vs {large:.3}"
+    );
+}
+
+#[test]
+fn dnf_requests_are_answered_not_redelegated() {
+    let mut sys = System::new(
+        SystemConfig::default().with_scheme(Scheme::DelegatedReplies),
+        "3DCON",
+        "bodytrack",
+    );
+    sys.run(15_000);
+    let r = sys.report();
+    // 3DCON's big tiles produce remote misses; every one must round-trip
+    // through the DNF path and still complete (IPC > 0 with remote
+    // misses present proves no livelock).
+    assert!(
+        r.breakdown.remote_miss > 0,
+        "3DCON should produce remote misses"
+    );
+    let dnf: u64 = sys.mems().iter().map(|m| m.stats.dnf_requests).sum();
+    assert!(dnf > 0, "DNF requests never reached the LLC");
+    assert!(r.gpu_ipc > 0.0);
+}
+
+#[test]
+fn pointer_accuracy_is_high_on_stencils() {
+    // The paper's heuristic quality claim (74.5% average hit rate).
+    let mut sys = System::new(
+        SystemConfig::default().with_scheme(Scheme::DelegatedReplies),
+        "HS",
+        "ferret",
+    );
+    sys.run(4_000);
+    sys.reset_stats();
+    sys.run(10_000);
+    let r = sys.report();
+    assert!(
+        r.breakdown.remote_hit_rate() > 0.6,
+        "pointer accuracy {:.3}",
+        r.breakdown.remote_hit_rate()
+    );
+}
+
+#[test]
+fn no_packets_leak_after_drain() {
+    // Stop generating new work (by just ticking the networks via the
+    // system with cores idle once streams stall on MSHRs) and verify
+    // conservation: nothing in flight grows without bound.
+    let mut sys = System::new(
+        SystemConfig::default().with_scheme(Scheme::DelegatedReplies),
+        "MM",
+        "vips",
+    );
+    sys.run(10_000);
+    let flight_a = sys.nets().in_flight();
+    sys.run(10_000);
+    let flight_b = sys.nets().in_flight();
+    // In-flight population is bounded by MSHRs + buffers, far below the
+    // packet count issued; equality isn't expected, explosion is the bug.
+    assert!(
+        flight_a < 4_000 && flight_b < 4_000,
+        "{flight_a} {flight_b}"
+    );
+}
+
+#[test]
+fn double_bandwidth_relieves_clogging() {
+    // The Figure-5 control: doubling channel width must cut blocking and
+    // raise GPU throughput (that is why it is the expensive alternative).
+    let run = |bytes| {
+        let mut cfg = SystemConfig::default();
+        cfg.noc.channel_bytes = bytes;
+        let mut sys = System::new(cfg, "2DCON", "canneal");
+        sys.run(4_000);
+        sys.reset_stats();
+        sys.run(10_000);
+        let r = sys.report();
+        (r.gpu_ipc, r.mem_blocked_rate)
+    };
+    let (ipc_1x, blocked_1x) = run(16);
+    let (ipc_2x, blocked_2x) = run(32);
+    assert!(ipc_2x > ipc_1x * 1.1, "2x BW: {ipc_2x:.2} vs {ipc_1x:.2}");
+    assert!(
+        blocked_2x < blocked_1x,
+        "{blocked_2x:.3} vs {blocked_1x:.3}"
+    );
+}

@@ -1,0 +1,149 @@
+//! Property-based tests (proptest) over the full system and its
+//! substrates: conservation, determinism, and configuration robustness
+//! under randomized parameters.
+
+use clognet_core::System;
+use clognet_noc::{ClassAssignment, NetParams, Network};
+use clognet_proto::*;
+use proptest::prelude::*;
+
+fn arb_scheme() -> impl Strategy<Value = Scheme> {
+    prop_oneof![
+        Just(Scheme::Baseline),
+        Just(Scheme::DelegatedReplies),
+        (1usize..8).prop_map(|fanout| Scheme::RealisticProbing { fanout }),
+    ]
+}
+
+fn arb_layout() -> impl Strategy<Value = LayoutKind> {
+    prop_oneof![
+        Just(LayoutKind::Baseline),
+        Just(LayoutKind::EdgeB),
+        Just(LayoutKind::ClusteredC),
+        Just(LayoutKind::DistributedD),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any (scheme, layout, workload, seed) combination runs without
+    /// panics, makes progress, and keeps in-flight packets bounded.
+    #[test]
+    fn random_configurations_are_live(
+        scheme in arb_scheme(),
+        layout in arb_layout(),
+        bench_ix in 0usize..11,
+        cpu_ix in 0usize..9,
+        seed in 0u64..1_000,
+    ) {
+        let gpu = clognet_workloads::gpu_benchmarks()[bench_ix].name;
+        let cpu = clognet_workloads::cpu_benchmarks()[cpu_ix].name;
+        let (req, rep) = SystemConfig::best_routing_for(layout);
+        let mut cfg = SystemConfig::default()
+            .with_scheme(scheme)
+            .with_routing(req, rep);
+        cfg.layout = layout;
+        cfg.seed = seed;
+        let mut sys = System::new(cfg, gpu, cpu);
+        sys.run(2_500);
+        let r = sys.report();
+        prop_assert!(r.gpu_ipc > 0.0, "GPU made no progress");
+        prop_assert!(sys.nets().in_flight() < 5_000, "packet explosion");
+    }
+
+    /// The network conserves packets under random traffic on every
+    /// topology: everything injected is eventually ejected exactly once.
+    #[test]
+    fn network_conserves_packets(
+        topo_ix in 0usize..4,
+        sends in proptest::collection::vec((0u16..64, 0u16..64), 1..60),
+        reply_class in any::<bool>(),
+    ) {
+        let topology = Topology::ALL[topo_ix];
+        let class = if reply_class { TrafficClass::Reply } else { TrafficClass::Request };
+        let kind = if reply_class { MsgKind::ReadReply } else { MsgKind::ReadReq };
+        let mut net = Network::new(NetParams {
+            topology,
+            width: 8,
+            height: 8,
+            classes: ClassAssignment::Single(class, 2),
+            vc_buf_flits: 4,
+            pipeline: 4,
+            routing_request: RoutingPolicy::DorYX,
+            routing_reply: RoutingPolicy::DorXY,
+            eject_buf_flits: 36,
+            sa_iterations: 1,
+        });
+        let mut expected = vec![0usize; 64];
+        let mut queued: Vec<Packet> = sends
+            .iter()
+            .filter(|(s, d)| s != d)
+            .enumerate()
+            .map(|(i, &(s, d))| {
+                expected[d as usize] += 1;
+                Packet::new(
+                    PacketId(i as u64),
+                    NodeId(s),
+                    NodeId(d),
+                    kind,
+                    Priority::Gpu,
+                    Addr::new(i as u64 * 128),
+                    128,
+                    16,
+                    0,
+                )
+            })
+            .collect();
+        let mut received = vec![0usize; 64];
+        for _ in 0..6_000 {
+            if let Some(p) = queued.pop() {
+                if let Err(back) = net.try_inject(p) {
+                    queued.push(back);
+                }
+            }
+            net.tick();
+            for (d, r) in received.iter_mut().enumerate() {
+                *r += net.take_ejected(NodeId(d as u16), usize::MAX).len();
+            }
+            if queued.is_empty() && net.in_flight() == 0 {
+                break;
+            }
+        }
+        prop_assert_eq!(received, expected, "{:?} lost or duplicated packets", topology);
+        prop_assert_eq!(net.in_flight(), 0);
+    }
+
+    /// Same seed, same result — the simulator is deterministic under
+    /// every scheme.
+    #[test]
+    fn determinism_across_schemes(scheme in arb_scheme(), seed in 0u64..50) {
+        let mk = || {
+            let mut cfg = SystemConfig::default().with_scheme(scheme);
+            cfg.seed = seed;
+            let mut sys = System::new(cfg, "NN", "swaptions");
+            sys.run(2_000);
+            let r = sys.report();
+            (r.gpu_ipc.to_bits(), r.flit_hops, r.delegations, r.probes_sent)
+        };
+        prop_assert_eq!(mk(), mk());
+    }
+
+    /// Mesh sizes and node mixes tile correctly and run.
+    #[test]
+    fn node_mix_variants_run(
+        gpu_extra in 0usize..3,
+        mem_choice in 0usize..3,
+    ) {
+        let n_mem = [4usize, 8, 16][mem_choice];
+        let n_cpu = 8 + gpu_extra * 8;
+        let n_gpu = 64 - n_mem - n_cpu;
+        let mut cfg = SystemConfig::default().with_scheme(Scheme::DelegatedReplies);
+        cfg.n_gpu = n_gpu;
+        cfg.n_cpu = n_cpu;
+        cfg.n_mem = n_mem;
+        let mut sys = System::new(cfg, "HS", "ferret");
+        sys.run(2_000);
+        prop_assert!(sys.report().gpu_ipc > 0.0);
+    }
+}

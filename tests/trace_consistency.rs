@@ -1,0 +1,79 @@
+//! The event trace must agree with the aggregate statistics: delegation
+//! events equal the delegation counter, remote hits/misses match the
+//! breakdown, and blocking episodes reconstruct the blocked rate.
+
+use clognet_core::{Event, System};
+use clognet_proto::{Scheme, SystemConfig};
+
+#[test]
+fn trace_counts_match_report() {
+    let cfg = SystemConfig::default().with_scheme(Scheme::DelegatedReplies);
+    let mut sys = System::new(cfg, "HS", "ferret");
+    sys.run(4_000);
+    sys.reset_stats();
+    sys.enable_trace(1_000_000);
+    sys.run(8_000);
+    let r = sys.report();
+    let trace = sys.trace();
+    let count = |k: &str| trace.of_kind(k).count() as u64;
+    assert_eq!(count("delegate"), r.delegations, "delegation events");
+    // Remote hits are traced when the CoreReply leaves the server;
+    // events may trail the stats by the handful still in outboxes.
+    let hits = count("remote-hit");
+    assert!(
+        hits <= r.breakdown.remote_hit && hits + 64 >= r.breakdown.remote_hit,
+        "remote hits: {} events vs {} stat",
+        hits,
+        r.breakdown.remote_hit
+    );
+    let misses = count("remote-miss");
+    assert!(
+        misses <= r.breakdown.remote_miss && misses + 64 >= r.breakdown.remote_miss,
+        "remote misses: {} events vs {} stat",
+        misses,
+        r.breakdown.remote_miss
+    );
+    // Blocking episodes close or stay open; counts differ by at most the
+    // number of memory nodes.
+    let enters = count("blocked");
+    let exits = count("unblocked");
+    assert!(enters >= exits && enters - exits <= 8);
+}
+
+#[test]
+fn blocked_durations_reconstruct_rate() {
+    let cfg = SystemConfig::default();
+    let mut sys = System::new(cfg, "2DCON", "canneal");
+    sys.run(4_000);
+    sys.reset_stats();
+    sys.enable_trace(1_000_000);
+    sys.run(8_000);
+    let r = sys.report();
+    let mut blocked_cycles = 0u64;
+    for t in sys.trace().events() {
+        if let Event::BlockedExit { for_cycles, .. } = t.event {
+            blocked_cycles += for_cycles;
+        }
+    }
+    // Closed episodes undercount (open episodes at the end are missing),
+    // so the reconstruction is a lower bound on the reported rate.
+    let reconstructed = blocked_cycles as f64 / (8.0 * r.cycles as f64);
+    assert!(
+        reconstructed <= r.mem_blocked_rate + 0.02,
+        "reconstructed {reconstructed:.3} vs reported {:.3}",
+        r.mem_blocked_rate
+    );
+    assert!(r.mem_blocked_rate > 0.05, "no clogging to reconstruct");
+    assert!(reconstructed > 0.0, "no blocking episodes traced");
+}
+
+#[test]
+fn flush_events_appear_at_kernel_boundaries() {
+    let mut cfg = SystemConfig::default().with_scheme(Scheme::DelegatedReplies);
+    cfg.gpu.flush_interval = Some(2_000);
+    let mut sys = System::new(cfg, "NN", "vips");
+    sys.enable_trace(1_000_000);
+    sys.run(9_000);
+    let flushes = sys.trace().of_kind("flush").count();
+    assert!(flushes >= 40, "expected many flushes, saw {flushes}");
+}
