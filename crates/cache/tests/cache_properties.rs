@@ -1,9 +1,12 @@
-//! Property-based tests: the set-associative cache against a reference
-//! model, LRU ordering, and MSHR invariants.
+//! Randomized model-based tests: the set-associative cache against a
+//! reference model, LRU ordering, and MSHR invariants.
+//!
+//! Seeded with `clognet-rng` so every run explores the same cases —
+//! deterministic, offline-friendly property coverage.
 
 use clognet_cache::{MshrFile, MshrOutcome, SetAssocCache};
 use clognet_proto::{CacheGeometry, LineAddr};
-use proptest::prelude::*;
+use clognet_rng::{Rng, SeedableRng, SmallRng};
 use std::collections::HashMap;
 
 /// A trivially-correct reference: per-set vectors ordered by recency.
@@ -68,39 +71,56 @@ enum Op {
     Flush,
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        8 => (0u64..256).prop_map(Op::Access),
-        8 => (0u64..256).prop_map(Op::Fill),
-        2 => (0u64..256).prop_map(Op::Invalidate),
-        1 => Just(Op::Flush),
-    ]
+/// Draw an op with the same 8:8:2:1 weighting the old proptest
+/// strategy used.
+fn arb_op(rng: &mut SmallRng) -> Op {
+    match rng.gen_range(0..19u32) {
+        0..=7 => Op::Access(rng.gen_range(0..256u64)),
+        8..=15 => Op::Fill(rng.gen_range(0..256u64)),
+        16..=17 => Op::Invalidate(rng.gen_range(0..256u64)),
+        _ => Op::Flush,
+    }
 }
 
-proptest! {
-    /// The tag array agrees with the reference model on every hit/miss
-    /// and every eviction, under arbitrary operation sequences.
-    #[test]
-    fn matches_reference_model(ops in proptest::collection::vec(arb_op(), 1..400)) {
+fn arb_ops(rng: &mut SmallRng, min: usize, max: usize) -> Vec<Op> {
+    let n = rng.gen_range(min..max);
+    (0..n).map(|_| arb_op(rng)).collect()
+}
+
+/// The tag array agrees with the reference model on every hit/miss and
+/// every eviction, under arbitrary operation sequences.
+#[test]
+fn matches_reference_model() {
+    let mut rng = SmallRng::seed_from_u64(0xCACE_0001);
+    for case in 0..40 {
+        let ops = arb_ops(&mut rng, 1, 400);
         // 16 sets x 4 ways of 64 B lines.
-        let geom = CacheGeometry { capacity_bytes: 4096, ways: 4, line_bytes: 64 };
+        let geom = CacheGeometry {
+            capacity_bytes: 4096,
+            ways: 4,
+            line_bytes: 64,
+        };
         let mut dut: SetAssocCache<()> = SetAssocCache::new(geom);
         let mut reference = RefCache::new(geom.sets(), 4);
         for op in ops {
             match op {
                 Op::Access(l) => {
-                    prop_assert_eq!(dut.access(LineAddr(l)), reference.access(l), "access {}", l);
+                    assert_eq!(
+                        dut.access(LineAddr(l)),
+                        reference.access(l),
+                        "case {case}: access {l}"
+                    );
                 }
                 Op::Fill(l) => {
                     let ev_dut = dut.fill(LineAddr(l), ()).map(|e| e.line.0);
                     let ev_ref = reference.fill(l);
-                    prop_assert_eq!(ev_dut, ev_ref, "fill {}", l);
+                    assert_eq!(ev_dut, ev_ref, "case {case}: fill {l}");
                 }
                 Op::Invalidate(l) => {
-                    prop_assert_eq!(
+                    assert_eq!(
                         dut.invalidate(LineAddr(l)).is_some(),
                         reference.invalidate(l),
-                        "invalidate {}", l
+                        "case {case}: invalidate {l}"
                     );
                 }
                 Op::Flush => {
@@ -110,22 +130,30 @@ proptest! {
             }
             // Presence must agree everywhere after every step.
             for l in 0..256u64 {
-                prop_assert_eq!(
+                assert_eq!(
                     dut.probe(LineAddr(l)),
                     reference
                         .sets
                         .get(&(l % reference.n_sets))
                         .is_some_and(|s| s.contains(&l)),
-                    "presence of {} diverged", l
+                    "case {case}: presence of {l} diverged"
                 );
             }
         }
     }
+}
 
-    /// Occupancy never exceeds capacity, and hits+misses equals accesses.
-    #[test]
-    fn capacity_and_counters(ops in proptest::collection::vec(arb_op(), 1..300)) {
-        let geom = CacheGeometry { capacity_bytes: 2048, ways: 2, line_bytes: 64 };
+/// Occupancy never exceeds capacity, and hits+misses equals accesses.
+#[test]
+fn capacity_and_counters() {
+    let mut rng = SmallRng::seed_from_u64(0xCACE_0002);
+    for _case in 0..40 {
+        let ops = arb_ops(&mut rng, 1, 300);
+        let geom = CacheGeometry {
+            capacity_bytes: 2048,
+            ways: 2,
+            line_bytes: 64,
+        };
         let mut c: SetAssocCache<u32> = SetAssocCache::new(geom);
         let mut accesses = 0u64;
         for op in ops {
@@ -144,50 +172,53 @@ proptest! {
                     c.flush();
                 }
             }
-            prop_assert!(c.occupancy() as u64 <= geom.lines());
+            assert!(c.occupancy() as u64 <= geom.lines());
         }
         let s = c.stats();
-        prop_assert_eq!(s.hits + s.misses, accesses);
+        assert_eq!(s.hits + s.misses, accesses);
     }
+}
 
-    /// MSHR: outstanding entries never exceed capacity; merged targets
-    /// come back in insertion order; completion empties the entry.
-    #[test]
-    fn mshr_invariants(
-        lines in proptest::collection::vec(0u64..16, 1..120),
-        cap in 1usize..8,
-        max_targets in 1usize..6,
-    ) {
+/// MSHR: outstanding entries never exceed capacity; merged targets come
+/// back in insertion order; completion empties the entry.
+#[test]
+fn mshr_invariants() {
+    let mut rng = SmallRng::seed_from_u64(0xCACE_0003);
+    for case in 0..60 {
+        let n_lines = rng.gen_range(1..120usize);
+        let lines: Vec<u64> = (0..n_lines).map(|_| rng.gen_range(0..16u64)).collect();
+        let cap = rng.gen_range(1..8usize);
+        let max_targets = rng.gen_range(1..6usize);
         let mut m: MshrFile<usize> = MshrFile::new(cap, max_targets);
         let mut model: HashMap<u64, Vec<usize>> = HashMap::new();
         for (i, l) in lines.iter().enumerate() {
             let line = LineAddr(*l);
             match m.allocate(line, i) {
                 MshrOutcome::Primary => {
-                    prop_assert!(!model.contains_key(l));
-                    prop_assert!(model.len() < cap);
+                    assert!(!model.contains_key(l), "case {case}");
+                    assert!(model.len() < cap, "case {case}");
                     model.insert(*l, vec![i]);
                 }
                 MshrOutcome::Merged => {
                     let t = model.get_mut(l).expect("merged into existing");
-                    prop_assert!(t.len() < max_targets);
+                    assert!(t.len() < max_targets, "case {case}");
                     t.push(i);
                 }
                 MshrOutcome::NoEntry => {
-                    prop_assert!(model.len() >= cap);
-                    prop_assert!(!model.contains_key(l));
+                    assert!(model.len() >= cap, "case {case}");
+                    assert!(!model.contains_key(l), "case {case}");
                 }
                 MshrOutcome::NoTarget => {
-                    prop_assert_eq!(model.get(l).map(Vec::len), Some(max_targets));
+                    assert_eq!(model.get(l).map(Vec::len), Some(max_targets), "case {case}");
                 }
             }
-            prop_assert_eq!(m.len(), model.len());
+            assert_eq!(m.len(), model.len());
             // Occasionally complete the oldest line.
             if i % 7 == 6 {
                 if let Some(&k) = model.keys().next() {
                     let got = m.complete(LineAddr(k));
                     let want = model.remove(&k).expect("tracked");
-                    prop_assert_eq!(got, want, "targets must preserve order");
+                    assert_eq!(got, want, "targets must preserve order");
                 }
             }
         }

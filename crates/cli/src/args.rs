@@ -13,6 +13,10 @@ pub struct Args {
     opts: BTreeMap<String, String>,
 }
 
+/// Option keys that are boolean flags: `--json` takes no value
+/// (`--json=false` still works to switch one off explicitly).
+const FLAG_KEYS: &[&str] = &["json"];
+
 /// A parse failure with a user-facing message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseArgsError(pub String);
@@ -46,6 +50,8 @@ impl Args {
             };
             if let Some((k, v)) = body.split_once('=') {
                 opts.insert(k.to_string(), v.to_string());
+            } else if FLAG_KEYS.contains(&body) {
+                opts.insert(body.to_string(), "true".to_string());
             } else {
                 let v = it
                     .next()
@@ -64,6 +70,11 @@ impl Args {
     /// Fetch with a default.
     pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
         self.get(key).unwrap_or(default)
+    }
+
+    /// Whether a boolean flag is set (`--json`, `--json=true`, ...).
+    pub fn flag(&self, key: &str) -> bool {
+        matches!(self.get(key), Some("true" | "1" | "yes"))
     }
 
     /// Fetch and parse a number.
@@ -149,5 +160,16 @@ mod tests {
     fn bad_numbers_error() {
         let a = parse("run --cycles ten").unwrap();
         assert!(a.get_num("cycles", 0u64).is_err());
+    }
+
+    #[test]
+    fn boolean_flags_take_no_value() {
+        let a = parse("run --json --gpu HS").unwrap();
+        assert!(a.flag("json"));
+        assert_eq!(a.get("gpu"), Some("HS"));
+        assert!(!parse("run").unwrap().flag("json"));
+        assert!(!parse("run --json=false").unwrap().flag("json"));
+        // Trailing flag must not eat a value.
+        assert!(parse("run --json").unwrap().flag("json"));
     }
 }

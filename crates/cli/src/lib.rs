@@ -7,6 +7,7 @@
 pub mod args;
 pub mod config;
 pub mod report;
+pub mod timeline;
 
 pub use args::{Args, ParseArgsError};
 pub use config::{config_from, parse_layout, parse_scheme, CONFIG_KEYS};

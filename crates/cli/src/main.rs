@@ -3,17 +3,20 @@
 //! HPCA 2022).
 //!
 //! ```text
-//! clognet run     --gpu HS --cpu bodytrack --scheme dr [--cycles N] [--warm N] ...
-//! clognet compare --gpu HS --cpu bodytrack             # baseline vs RP vs DR
-//! clognet sweep   --param width --values 8,16,24 ...   # config sweeps
-//! clognet list                                         # benchmarks & options
+//! clognet run      --gpu HS --cpu bodytrack --scheme dr [--cycles N] [--warm N]
+//!                  [--metrics out.json] [--csv out.csv] [--sample N] [--json] ...
+//! clognet compare  --gpu HS --cpu bodytrack [--json]    # baseline vs RP vs DR
+//! clognet sweep    --param width --values 8,16,24 [--json] ...  # config sweeps
+//! clognet timeline --gpu NN --cpu canneal --scheme baseline     # ASCII clog timeline
+//! clognet trace    --gpu HS --cpu bodytrack [--last N] [--kind k]  # protocol events
+//! clognet list                                          # benchmarks & options
 //! clognet help
 //! ```
 
 use clognet_cli::args::{Args, ParseArgsError};
 use clognet_cli::config::{config_from, CONFIG_KEYS};
-use clognet_cli::report;
-use clognet_core::System;
+use clognet_cli::{report, timeline};
+use clognet_core::{System, TelemetryConfig};
 use clognet_proto::{Scheme, SystemConfig};
 
 fn main() {
@@ -29,17 +32,16 @@ fn main() {
 }
 
 fn dispatch(raw: Vec<String>) -> Result<(), ParseArgsError> {
-    let args = match Args::parse(raw) {
-        Ok(a) => a,
-        Err(_) => {
-            print_help();
-            return Ok(());
-        }
-    };
+    if raw.is_empty() {
+        print_help();
+        return Ok(());
+    }
+    let args = Args::parse(raw)?;
     match args.command.as_str() {
         "run" => cmd_run(&args),
         "compare" => cmd_compare(&args),
         "sweep" => cmd_sweep(&args),
+        "timeline" => cmd_timeline(&args),
         "trace" => cmd_trace(&args),
         "list" => {
             cmd_list();
@@ -61,6 +63,15 @@ fn run_keys() -> Vec<&'static str> {
     keys
 }
 
+/// Telemetry epoch length from `--sample` (default 500 cycles).
+fn sample_len(args: &Args) -> Result<u64, ParseArgsError> {
+    let n = args.get_num("sample", 500u64)?;
+    if n == 0 {
+        return Err(ParseArgsError("--sample must be at least 1".into()));
+    }
+    Ok(n)
+}
+
 fn measure(
     cfg: SystemConfig,
     gpu: &str,
@@ -76,25 +87,103 @@ fn measure(
 }
 
 fn cmd_run(args: &Args) -> Result<(), ParseArgsError> {
-    args.reject_unknown(&run_keys())?;
+    let mut keys = run_keys();
+    keys.extend_from_slice(&["metrics", "csv", "sample", "json"]);
+    args.reject_unknown(&keys)?;
     let gpu = args.get_or("gpu", "HS");
     let cpu = args.get_or("cpu", "bodytrack");
     let warm = args.get_num("warm", 6_000u64)?;
     let cycles = args.get_num("cycles", 15_000u64)?;
     let cfg = config_from(args)?;
     let scheme = cfg.scheme;
-    let r = measure(cfg, gpu, cpu, warm, cycles);
-    report::print_report(scheme, &r);
+    let metrics_path = args.get("metrics");
+    let csv_path = args.get("csv");
+    let want_telemetry =
+        metrics_path.is_some() || csv_path.is_some() || args.get("sample").is_some();
+    let mut sys = System::new(cfg, gpu, cpu);
+    if want_telemetry {
+        sys.enable_telemetry(TelemetryConfig {
+            epoch_len: sample_len(args)?,
+            ..TelemetryConfig::default()
+        });
+    }
+    sys.run(warm);
+    sys.reset_stats();
+    sys.run(cycles);
+    let r = sys.report();
+    if args.flag("json") {
+        println!("{}", report::report_json(scheme, &r));
+    } else {
+        report::print_report(scheme, &r);
+    }
+    if let Some(path) = metrics_path {
+        let doc = sys.export_metrics_json().expect("telemetry enabled");
+        write_file(path, &doc)?;
+        eprintln!("wrote metrics to {path}");
+    }
+    if let Some(path) = csv_path {
+        let doc = sys.export_series_csv().expect("telemetry enabled");
+        write_file(path, &doc)?;
+        eprintln!("wrote per-epoch series to {path}");
+    }
+    Ok(())
+}
+
+fn write_file(path: &str, contents: &str) -> Result<(), ParseArgsError> {
+    std::fs::write(path, contents).map_err(|e| ParseArgsError(format!("writing {path}: {e}")))
+}
+
+fn cmd_timeline(args: &Args) -> Result<(), ParseArgsError> {
+    let mut keys = run_keys();
+    keys.extend_from_slice(&["sample", "width-cols", "metrics"]);
+    args.reject_unknown(&keys)?;
+    let gpu = args.get_or("gpu", "NN");
+    let cpu = args.get_or("cpu", "canneal");
+    let warm = args.get_num("warm", 2_000u64)?;
+    let cycles = args.get_num("cycles", 20_000u64)?;
+    let cols = args.get_num("width-cols", 72usize)?;
+    let cfg = config_from(args)?;
+    let scheme = cfg.scheme;
+    let mut sys = System::new(cfg, gpu, cpu);
+    sys.enable_telemetry(TelemetryConfig {
+        epoch_len: sample_len(args)?,
+        ..TelemetryConfig::default()
+    });
+    sys.run(warm + cycles);
+    sys.finish_telemetry();
+    let t = sys.telemetry().expect("telemetry enabled");
+    println!(
+        "{gpu} + {cpu} under {} — per-epoch clog timeline\n",
+        scheme.label()
+    );
+    print!(
+        "{}",
+        timeline::render(
+            t.sampler(),
+            t.session.episodes.episodes(),
+            t.session.config.epoch_len,
+            cols,
+        )
+    );
+    if let Some(path) = args.get("metrics") {
+        let doc = sys.export_metrics_json().expect("telemetry enabled");
+        write_file(path, &doc)?;
+        eprintln!("wrote metrics to {path}");
+    }
     Ok(())
 }
 
 fn cmd_compare(args: &Args) -> Result<(), ParseArgsError> {
-    args.reject_unknown(&run_keys())?;
+    let mut keys = run_keys();
+    keys.push("json");
+    args.reject_unknown(&keys)?;
     let gpu = args.get_or("gpu", "HS");
     let cpu = args.get_or("cpu", "bodytrack");
     let warm = args.get_num("warm", 6_000u64)?;
     let cycles = args.get_num("cycles", 15_000u64)?;
-    println!("comparing schemes on {gpu}+{cpu} ({warm} warm + {cycles} measured cycles)\n");
+    if !args.flag("json") {
+        println!("comparing schemes on {gpu}+{cpu} ({warm} warm + {cycles} measured cycles)\n");
+    }
     let mut rows = Vec::new();
     for scheme in [
         Scheme::Baseline,
@@ -105,13 +194,17 @@ fn cmd_compare(args: &Args) -> Result<(), ParseArgsError> {
         cfg.scheme = scheme;
         rows.push((scheme, measure(cfg, gpu, cpu, warm, cycles)));
     }
-    report::print_comparison(&rows);
+    if args.flag("json") {
+        print!("{}", report::comparison_json(&rows));
+    } else {
+        report::print_comparison(&rows);
+    }
     Ok(())
 }
 
 fn cmd_sweep(args: &Args) -> Result<(), ParseArgsError> {
     let mut keys = run_keys();
-    keys.extend_from_slice(&["param", "values"]);
+    keys.extend_from_slice(&["param", "values", "json"]);
     args.reject_unknown(&keys)?;
     let gpu = args.get_or("gpu", "HS");
     let cpu = args.get_or("cpu", "bodytrack");
@@ -130,10 +223,17 @@ fn cmd_sweep(args: &Args) -> Result<(), ParseArgsError> {
                 .map_err(|_| ParseArgsError(format!("bad sweep value `{v}`")))
         })
         .collect::<Result<_, _>>()?;
-    println!(
-        "{:<10} {:>10} {:>10} {:>10} {:>10}",
-        param, "base IPC", "DR IPC", "DR/base", "blocked%"
-    );
+    if !matches!(param, "width" | "l1kb" | "llcmb" | "injbuf") {
+        return Err(ParseArgsError(format!(
+            "unknown sweep param `{param}` (width|l1kb|llcmb|injbuf)"
+        )));
+    }
+    if !args.flag("json") {
+        println!(
+            "{:<10} {:>10} {:>10} {:>10} {:>13} {:>11}",
+            param, "base IPC", "DR IPC", "DR/base", "base blocked%", "DR blocked%"
+        );
+    }
     for &v in &values {
         let apply = |cfg: &mut SystemConfig| -> Result<(), ParseArgsError> {
             match param {
@@ -161,14 +261,24 @@ fn cmd_sweep(args: &Args) -> Result<(), ParseArgsError> {
         apply(&mut dr_cfg)?;
         let b = measure(base_cfg, gpu, cpu, warm, cycles);
         let d = measure(dr_cfg, gpu, cpu, warm, cycles);
-        println!(
-            "{:<10} {:>10.2} {:>10.2} {:>10.3} {:>9.1}%",
-            v,
-            b.gpu_ipc,
-            d.gpu_ipc,
-            d.gpu_ipc / b.gpu_ipc,
-            b.mem_blocked_rate * 100.0
-        );
+        if args.flag("json") {
+            // One NDJSON object per sweep point: both scheme reports.
+            println!(
+                "{{\"param\":\"{param}\",\"value\":{v},\"baseline\":{},\"dr\":{}}}",
+                report::report_json(Scheme::Baseline, &b),
+                report::report_json(Scheme::DelegatedReplies, &d)
+            );
+        } else {
+            println!(
+                "{:<10} {:>10.2} {:>10.2} {:>10.3} {:>12.1}% {:>10.1}%",
+                v,
+                b.gpu_ipc,
+                d.gpu_ipc,
+                d.gpu_ipc / b.gpu_ipc,
+                b.mem_blocked_rate * 100.0,
+                d.mem_blocked_rate * 100.0
+            );
+        }
     }
     Ok(())
 }
@@ -260,6 +370,8 @@ fn print_help() {
          \x20 run      simulate one workload under one configuration\n\
          \x20 compare  baseline vs Realistic Probing vs Delegated Replies\n\
          \x20 sweep    sweep one parameter with and without Delegated Replies\n\
+         \x20 timeline ASCII per-epoch clog timeline + detected clog episodes\n\
+         \x20 trace    protocol-event trace (delegations, blocking, probes)\n\
          \x20 list     available benchmarks and option values\n\
          \x20 help     this text\n\n\
          COMMON OPTIONS:\n\
@@ -276,9 +388,37 @@ fn print_help() {
          \x20 --mesh <w>x<h>     scale the chip (node mix kept proportional)\n\
          \x20 --warm/--cycles    warmup / measured cycles (6000 / 15000)\n\
          \x20 --seed <n>         workload + mapping seed\n\n\
+         TELEMETRY OPTIONS:\n\
+         \x20 --metrics <path>   run/timeline: write the telemetry session as JSON\n\
+         \x20 --csv <path>       run: write per-epoch series as CSV\n\
+         \x20 --sample <n>       telemetry epoch length in cycles (default 500)\n\
+         \x20 --json             run/compare/sweep: machine-readable stdout\n\n\
          EXAMPLES:\n\
          \x20 clognet compare --gpu MM --cpu canneal\n\
          \x20 clognet run --gpu BP --cpu ferret --scheme dr --layout d\n\
+         \x20 clognet run --gpu NN --cpu canneal --metrics m.json --sample 500\n\
+         \x20 clognet timeline --gpu NN --cpu canneal --scheme baseline\n\
          \x20 clognet sweep --param width --values 8,16,24,32 --gpu HS --cpu x264"
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bad_invocations_error_instead_of_printing_help() {
+        // A dangling option must propagate as an error (exit code 2),
+        // not silently print help and exit 0.
+        assert!(dispatch(vec!["run".into(), "--gpu".into()]).is_err());
+        // Unknown options and commands likewise.
+        assert!(dispatch(vec!["run".into(), "--bogus".into(), "x".into()]).is_err());
+        assert!(dispatch(vec!["frobnicate".into()]).is_err());
+    }
+
+    #[test]
+    fn empty_invocation_prints_help_and_succeeds() {
+        assert!(dispatch(Vec::new()).is_ok());
+        assert!(dispatch(vec!["help".into()]).is_ok());
+    }
 }

@@ -1,0 +1,173 @@
+//! ASCII rendering of the per-epoch clog timeline (`clognet timeline`).
+//!
+//! Each telemetry series becomes one sparkline row; time runs left to
+//! right, one column per epoch (max-pooled down when the run has more
+//! epochs than the terminal has columns). The point is to make Fig. 5b
+//! legible in a terminal: clog episodes show up as dark bands on the
+//! `blocked` rows that delegation visibly shortens.
+
+use clognet_telemetry::{Episode, EpochSampler};
+
+/// Shade ramp from idle to saturated.
+const SHADES: [char; 10] = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+
+/// Map `v` in `[0, max]` onto the shade ramp (saturating).
+fn shade(v: f64, max: f64) -> char {
+    // NaN or non-positive inputs render as idle.
+    if v.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater)
+        || max.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater)
+    {
+        return SHADES[0];
+    }
+    let i = ((v / max) * (SHADES.len() - 1) as f64).ceil() as usize;
+    SHADES[i.min(SHADES.len() - 1)]
+}
+
+/// Downsample `values` to at most `width` columns by max-pooling, then
+/// shade each column against `max` (pass the natural ceiling for rates
+/// in `[0, 1]`, or the row maximum for unbounded series).
+pub fn spark_row(values: &[f64], width: usize, max: f64) -> String {
+    if values.is_empty() || width == 0 {
+        return String::new();
+    }
+    let cols = width.min(values.len());
+    let mut out = String::with_capacity(cols);
+    for c in 0..cols {
+        let lo = c * values.len() / cols;
+        let hi = ((c + 1) * values.len() / cols).max(lo + 1);
+        let pooled = values[lo..hi].iter().copied().fold(0.0f64, f64::max);
+        out.push(shade(pooled, max));
+    }
+    out
+}
+
+/// One labelled sparkline line, annotated with the row's peak value.
+fn row(label: &str, values: &[f64], width: usize, cap: Option<f64>) -> String {
+    let peak = values.iter().copied().fold(0.0f64, f64::max);
+    let max = cap.unwrap_or(peak);
+    format!(
+        "{label:<22} |{}| peak {peak:.2}",
+        spark_row(values, width, max)
+    )
+}
+
+/// Render the whole timeline: chip-wide rows, per-memory-node blocked
+/// fractions, and the detected clog-episode list.
+pub fn render(
+    sampler: &EpochSampler,
+    episodes: &[Episode],
+    epoch_len: u64,
+    width: usize,
+) -> String {
+    let mut out = String::new();
+    let retained = sampler.retained();
+    let first = sampler.first_epoch();
+    out.push_str(&format!(
+        "epochs {first}..{} ({epoch_len} cycles each; {} committed)\n\n",
+        first + retained as u64,
+        sampler.epochs_committed()
+    ));
+    // Chip-wide rows first: rates get a natural [0,1] ceiling, counts
+    // are scaled to their own peak.
+    let chip: [(&str, Option<f64>); 7] = [
+        ("blocked_nodes", None),
+        ("mem_reply_link_util_max", Some(1.0)),
+        ("delegated", None),
+        ("dram_row_hit_rate", Some(1.0)),
+        ("gpu_ipc", None),
+        ("cpu_ipc", None),
+        ("dnf_bounce", None),
+    ];
+    for (name, cap) in chip {
+        if let Some(id) = sampler.find(name) {
+            out.push_str(&row(name, &sampler.values(id), width, cap));
+            out.push('\n');
+        }
+    }
+    out.push('\n');
+    // Per-memory-node blocked fraction: the clog bands of Fig. 5b.
+    for i in 0.. {
+        let Some(id) = sampler.find(&format!("mem{i}_blocked_frac")) else {
+            break;
+        };
+        out.push_str(&row(
+            &format!("mem{i} blocked"),
+            &sampler.values(id),
+            width,
+            Some(1.0),
+        ));
+        out.push('\n');
+    }
+    out.push('\n');
+    out.push_str(&render_episodes(episodes));
+    out
+}
+
+/// The detected clog-episode list, longest first (top 12).
+pub fn render_episodes(episodes: &[Episode]) -> String {
+    if episodes.is_empty() {
+        return "no clog episodes detected\n".to_string();
+    }
+    let mut by_len: Vec<&Episode> = episodes.iter().collect();
+    by_len.sort_by_key(|e| std::cmp::Reverse(e.duration()));
+    let total: u64 = episodes.iter().map(Episode::duration).sum();
+    let mut out = format!(
+        "{} clog episodes detected ({} blocked cycles total); longest first:\n",
+        episodes.len(),
+        total
+    );
+    for e in by_len.iter().take(12) {
+        out.push_str(&format!(
+            "  mem{:<3} @ cycle {:<8} {:>6} cycles, peak depth {:>3}, {:>5} flits shed\n",
+            e.node,
+            e.start,
+            e.duration(),
+            e.peak_depth,
+            e.flits_shed
+        ));
+    }
+    if by_len.len() > 12 {
+        out.push_str(&format!("  ... and {} more\n", by_len.len() - 12));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clognet_telemetry::EpisodeDetector;
+
+    #[test]
+    fn spark_row_pools_and_shades() {
+        let v: Vec<f64> = (0..100).map(|i| i as f64 / 99.0).collect();
+        let s = spark_row(&v, 10, 1.0);
+        assert_eq!(s.chars().count(), 10);
+        // Monotone input → non-decreasing shades, ending saturated.
+        assert_eq!(s.chars().last(), Some('@'));
+        let ranks: Vec<usize> = s
+            .chars()
+            .map(|c| SHADES.iter().position(|&x| x == c).unwrap())
+            .collect();
+        assert!(ranks.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn zero_series_renders_blank() {
+        let s = spark_row(&[0.0; 16], 8, 1.0);
+        assert!(s.chars().all(|c| c == ' '));
+    }
+
+    #[test]
+    fn episode_list_is_longest_first() {
+        let mut d = EpisodeDetector::new();
+        d.enter(0, 10);
+        d.exit(0, 15);
+        d.enter(1, 100);
+        d.exit(1, 400);
+        let text = render_episodes(d.episodes());
+        let pos_long = text.find("mem1").unwrap();
+        let pos_short = text.find("mem0").unwrap();
+        assert!(pos_long < pos_short);
+        assert!(text.contains("2 clog episodes"));
+    }
+}

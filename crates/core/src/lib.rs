@@ -25,10 +25,13 @@ pub mod memnode;
 pub mod nets;
 pub mod report;
 pub mod system;
+pub mod telemetry;
 pub mod trace;
 
+pub use clognet_telemetry::TelemetryConfig;
 pub use memnode::{MemNode, MemNodeStats, PendingReply};
 pub use nets::Nets;
 pub use report::{MissBreakdown, Report};
 pub use system::System;
+pub use telemetry::SystemTelemetry;
 pub use trace::{Event, TraceLog, Traced};

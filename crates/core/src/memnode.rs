@@ -160,6 +160,13 @@ impl MemNode {
         self.inj_buf.len() + self.llc_pipe.len() + self.fill_ready.len()
     }
 
+    /// Injection-buffer occupancy counted against capacity (buffered
+    /// replies + in-flight LLC lookups + fills awaiting space) — the
+    /// depth the clog-episode detector tracks.
+    pub fn inj_depth(&self) -> usize {
+        self.committed()
+    }
+
     /// Is the node blocked (unable to accept another request)?
     pub fn blocked(&self) -> bool {
         self.committed() >= self.cap || !self.dram.can_enqueue()
@@ -727,7 +734,11 @@ mod tests {
     #[test]
     fn reply_sizes_follow_requester_domain() {
         let mut m = node();
-        m.process_request(&read_pkt(0x40, NodeId(30), Priority::Gpu, false), 0, core_of);
+        m.process_request(
+            &read_pkt(0x40, NodeId(30), Priority::Gpu, false),
+            0,
+            core_of,
+        );
         m.process_request(&read_pkt(0x80, NodeId(3), Priority::Cpu, false), 0, core_of);
         let mut sizes = std::collections::HashMap::new();
         for now in 0..300 {
@@ -744,7 +755,11 @@ mod tests {
     fn pending_counts_all_outstanding_work() {
         let mut m = node();
         assert_eq!(m.pending(), 0);
-        m.process_request(&read_pkt(0x40, NodeId(30), Priority::Gpu, false), 0, core_of);
+        m.process_request(
+            &read_pkt(0x40, NodeId(30), Priority::Gpu, false),
+            0,
+            core_of,
+        );
         assert!(m.pending() > 0);
         for now in 0..300 {
             m.tick_memory(now);

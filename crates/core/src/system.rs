@@ -10,6 +10,7 @@
 use crate::memnode::MemNode;
 use crate::nets::Nets;
 use crate::report::{MissBreakdown, Report};
+use crate::telemetry::SystemTelemetry;
 use crate::trace::{Event, TraceLog};
 use clognet_cpu::{CpuOut, CpuSubsystem};
 use clognet_gpu::{GpuIn, GpuOut, GpuSubsystem};
@@ -18,6 +19,7 @@ use clognet_proto::{
     AddressMap, CoreId, Cycle, Layout, LineAddr, MsgKind, NodeId, NodeKind, Packet, PacketId,
     Priority, Scheme, SystemConfig, TrafficClass,
 };
+use clognet_telemetry::TelemetryConfig;
 use clognet_workloads::{cpu_benchmark, gpu_benchmark};
 use std::collections::VecDeque;
 
@@ -50,6 +52,7 @@ pub struct System {
     delegations_sent: u64,
     stats_epoch: Cycle,
     trace: TraceLog,
+    telemetry: Option<Box<SystemTelemetry>>,
     blocked_since: Vec<Option<Cycle>>,
     /// Scratch buffers reused across ticks.
     gpu_out: Vec<(CoreId, GpuOut)>,
@@ -109,6 +112,7 @@ impl System {
             delegations_sent: 0,
             stats_epoch: 0,
             trace: TraceLog::new(4096),
+            telemetry: None,
             blocked_since: vec![None; cfg.n_mem],
             gpu_out: Vec::new(),
             cpu_out: Vec::new(),
@@ -150,6 +154,19 @@ impl System {
         self.drain_outboxes();
         self.nets.tick();
         self.now += 1;
+        // Telemetry epoch roll: a single branch when disabled, ring
+        // pushes only on epoch boundaries when enabled.
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            if self.now.is_multiple_of(t.epoch_len()) {
+                t.roll_epoch(
+                    &self.mems,
+                    &self.nets,
+                    &self.gpu,
+                    &self.cpu,
+                    self.delegations_sent,
+                );
+            }
+        }
     }
 
     /// Run for `cycles` cycles.
@@ -170,6 +187,57 @@ impl System {
         &self.trace
     }
 
+    /// Enable time-series telemetry: per-epoch sampling of clogging
+    /// signals plus clog-episode detection. Off by default; when off,
+    /// the cycle loop pays one branch and allocates nothing.
+    pub fn enable_telemetry(&mut self, cfg: TelemetryConfig) {
+        self.telemetry = Some(Box::new(SystemTelemetry::new(cfg, self.mems.len())));
+    }
+
+    /// The telemetry state, if [`Self::enable_telemetry`] was called.
+    pub fn telemetry(&self) -> Option<&SystemTelemetry> {
+        self.telemetry.as_deref()
+    }
+
+    /// Seal open clog episodes and fill the metric registry from a
+    /// fresh [`Report`]. Returns the populated telemetry, or `None`
+    /// when telemetry was never enabled. Idempotent.
+    pub fn finish_telemetry(&mut self) -> Option<&SystemTelemetry> {
+        let report = self.report();
+        let now = self.now;
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.populate_registry(&report, &self.nets, now);
+        }
+        self.telemetry.as_deref()
+    }
+
+    /// Export the whole telemetry session (registry + per-epoch series +
+    /// clog episodes) as a JSON document. `None` if telemetry is off.
+    pub fn export_metrics_json(&mut self) -> Option<String> {
+        let scheme = format!("{:?}", self.cfg.scheme);
+        let seed = self.cfg.seed;
+        let gpu_bench = self.gpu_bench.clone();
+        let cpu_bench = self.cpu_bench.clone();
+        let cycles = self.now;
+        self.finish_telemetry()?;
+        let t = self.telemetry.as_deref()?;
+        Some(t.session.to_json(&[
+            ("gpu_bench", gpu_bench),
+            ("cpu_bench", cpu_bench),
+            ("scheme", scheme),
+            ("seed", seed.to_string()),
+            ("cycles", cycles.to_string()),
+        ]))
+    }
+
+    /// Export the per-epoch series as CSV (one row per epoch). `None`
+    /// if telemetry is off.
+    pub fn export_series_csv(&self) -> Option<String> {
+        self.telemetry
+            .as_deref()
+            .map(|t| clognet_telemetry::export::series_to_csv(&t.session.sampler))
+    }
+
     /// Zero all statistics while keeping architectural state (caches,
     /// MSHRs, predictors, queues). Call after a warmup run so reports
     /// cover only the measured window — the standard methodology for
@@ -185,6 +253,9 @@ impl System {
         self.oracle_remote = 0;
         self.delegations_sent = 0;
         self.stats_epoch = self.now;
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.on_stats_reset();
+        }
     }
 
     /// Deliver everything the networks ejected to GPU/CPU endpoints.
@@ -489,7 +560,7 @@ impl System {
             }
             // 2. Memory-side progress.
             self.mems[mi].tick_memory(now);
-            if self.trace.enabled() {
+            if self.trace.enabled() || self.telemetry.is_some() {
                 let blocked = self.mems[mi].blocked();
                 match (self.blocked_since[mi], blocked) {
                     (None, true) => {
@@ -500,6 +571,9 @@ impl System {
                                 mem: self.mems[mi].id,
                             },
                         );
+                        if let Some(t) = self.telemetry.as_deref_mut() {
+                            t.session.episodes.enter(mi, now);
+                        }
                     }
                     (Some(since), false) => {
                         self.blocked_since[mi] = None;
@@ -510,8 +584,18 @@ impl System {
                                 for_cycles: now - since,
                             },
                         );
+                        if let Some(t) = self.telemetry.as_deref_mut() {
+                            t.session.episodes.exit(mi, now);
+                        }
                     }
                     _ => {}
+                }
+                if blocked {
+                    if let Some(t) = self.telemetry.as_deref_mut() {
+                        t.session
+                            .episodes
+                            .observe_depth(mi, self.mems[mi].inj_depth());
+                    }
                 }
             }
             // 3. Delegation: only when GPU reply injection is blocked
@@ -551,6 +635,12 @@ impl System {
                     self.nets.try_inject(pkt).expect("can_inject checked above");
                     self.mems[mi].stats.delegations += 1;
                     self.delegations_sent += 1;
+                    if let Some(t) = self.telemetry.as_deref_mut() {
+                        // Flits this delegation keeps off the clogged
+                        // reply network: the GPU read reply it replaces.
+                        let shed = MsgKind::ReadReply.flits(128, self.cfg.noc.channel_bytes);
+                        t.session.episodes.add_shed(mi, u64::from(shed));
+                    }
                     self.trace.push(
                         now,
                         Event::Delegated {

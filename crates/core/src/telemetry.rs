@@ -1,0 +1,294 @@
+//! System-level telemetry wiring: per-epoch sampling of the clogging
+//! signals (Figs. 5b/11/12), clog-episode folding, and registry export.
+//!
+//! Everything here lives behind `System`'s `Option<Box<SystemTelemetry>>`
+//! so a disabled system pays one branch per cycle and allocates nothing
+//! on the hot path.
+
+use crate::memnode::MemNode;
+use crate::nets::Nets;
+use crate::report::Report;
+use clognet_cpu::CpuSubsystem;
+use clognet_gpu::GpuSubsystem;
+use clognet_proto::{Cycle, Priority, TrafficClass};
+use clognet_telemetry::{EpochSampler, SeriesId, Telemetry, TelemetryConfig};
+
+/// Cumulative counters snapshotted at each epoch boundary so the
+/// sampler records per-epoch deltas, not run-to-date totals.
+#[derive(Debug, Clone, Default)]
+struct Snapshot {
+    /// Per memory node: reply-network flits over its router's busiest
+    /// observation, summed over all non-local output ports.
+    mem_reply_link_flits: Vec<Vec<u64>>,
+    blocked_cycles: Vec<u64>,
+    delegations: u64,
+    remote_hits: u64,
+    delayed_hits: u64,
+    dnf_bounces: u64,
+    row_hits: u64,
+    row_misses: u64,
+    gpu_retired: u64,
+    cpu_processed: u64,
+}
+
+/// Telemetry state owned by a [`crate::System`].
+#[derive(Debug)]
+pub struct SystemTelemetry {
+    /// The underlying session (registry + sampler + episodes).
+    pub session: Telemetry,
+    prev: Snapshot,
+    // Chip-wide series.
+    s_link_util_max: SeriesId,
+    s_link_util_mean: SeriesId,
+    s_delegated: SeriesId,
+    s_remote_hit: SeriesId,
+    s_delayed_hit: SeriesId,
+    s_dnf_bounce: SeriesId,
+    s_row_hit_rate: SeriesId,
+    s_gpu_ipc: SeriesId,
+    s_cpu_ipc: SeriesId,
+    s_blocked_nodes: SeriesId,
+    // Per-memory-node series (indexed by dense mem id).
+    s_inj_depth: Vec<SeriesId>,
+    s_blocked_frac: Vec<SeriesId>,
+}
+
+impl SystemTelemetry {
+    /// Register every series up front so the per-epoch roll does no
+    /// string work or allocation beyond the ring pushes.
+    pub fn new(cfg: TelemetryConfig, n_mem: usize) -> Self {
+        let mut session = Telemetry::new(cfg);
+        let s = &mut session.sampler;
+        let s_link_util_max = s.series("mem_reply_link_util_max");
+        let s_link_util_mean = s.series("mem_reply_link_util_mean");
+        let s_delegated = s.series("delegated");
+        let s_remote_hit = s.series("remote_hit");
+        let s_delayed_hit = s.series("delayed_hit");
+        let s_dnf_bounce = s.series("dnf_bounce");
+        let s_row_hit_rate = s.series("dram_row_hit_rate");
+        let s_gpu_ipc = s.series("gpu_ipc");
+        let s_cpu_ipc = s.series("cpu_ipc");
+        let s_blocked_nodes = s.series("blocked_nodes");
+        let s_inj_depth = (0..n_mem)
+            .map(|i| s.series(&format!("mem{i}_inj_depth")))
+            .collect();
+        let s_blocked_frac = (0..n_mem)
+            .map(|i| s.series(&format!("mem{i}_blocked_frac")))
+            .collect();
+        SystemTelemetry {
+            session,
+            prev: Snapshot {
+                mem_reply_link_flits: Vec::new(),
+                blocked_cycles: vec![0; n_mem],
+                ..Snapshot::default()
+            },
+            s_link_util_max,
+            s_link_util_mean,
+            s_delegated,
+            s_remote_hit,
+            s_delayed_hit,
+            s_dnf_bounce,
+            s_row_hit_rate,
+            s_gpu_ipc,
+            s_cpu_ipc,
+            s_blocked_nodes,
+            s_inj_depth,
+            s_blocked_frac,
+        }
+    }
+
+    /// Cycles per epoch.
+    pub fn epoch_len(&self) -> u64 {
+        self.session.config.epoch_len
+    }
+
+    /// Seal one epoch: difference every cumulative counter against the
+    /// last snapshot and push the per-epoch values into the rings.
+    #[allow(clippy::too_many_arguments)]
+    pub fn roll_epoch(
+        &mut self,
+        mems: &[MemNode],
+        nets: &Nets,
+        gpu: &GpuSubsystem,
+        cpu: &CpuSubsystem,
+        delegations_sent: u64,
+    ) {
+        let epoch = self.epoch_len() as f64;
+        let sampler = &mut self.session.sampler;
+
+        // Reply-link flit deltas at each memory node's router: the
+        // clogged GPU-side links of Fig. 5b.
+        let reply_net = nets.net(TrafficClass::Reply);
+        let topo = reply_net.topo();
+        let stats = reply_net.stats();
+        if self.prev.mem_reply_link_flits.len() != mems.len() {
+            self.prev.mem_reply_link_flits = mems
+                .iter()
+                .map(|m| {
+                    let (r, _) = topo.attach_of(m.node);
+                    vec![0; topo.port_count(r)]
+                })
+                .collect();
+        }
+        let (mut util_max, mut util_sum) = (0.0f64, 0.0f64);
+        for (mi, m) in mems.iter().enumerate() {
+            let (r, local) = topo.attach_of(m.node);
+            let mut node_max = 0.0f64;
+            for p in 0..topo.port_count(r) {
+                let cum = stats.link_flits[r][p];
+                let delta = cum.saturating_sub(self.prev.mem_reply_link_flits[mi][p]);
+                self.prev.mem_reply_link_flits[mi][p] = cum;
+                if p != local {
+                    node_max = node_max.max(delta as f64 / epoch);
+                }
+            }
+            util_max = util_max.max(node_max);
+            util_sum += node_max;
+        }
+        sampler.set(self.s_link_util_max, util_max);
+        sampler.set(self.s_link_util_mean, util_sum / mems.len().max(1) as f64);
+
+        // Per-node injection depth (instantaneous) and blocked fraction
+        // (delta of blocked_cycles over the epoch).
+        let mut blocked_nodes = 0u32;
+        for (mi, m) in mems.iter().enumerate() {
+            sampler.set(self.s_inj_depth[mi], m.inj_depth() as f64);
+            let cum = m.stats.blocked_cycles;
+            let frac = cum.saturating_sub(self.prev.blocked_cycles[mi]) as f64 / epoch;
+            self.prev.blocked_cycles[mi] = cum;
+            sampler.set(self.s_blocked_frac[mi], frac);
+            if m.blocked() {
+                blocked_nodes += 1;
+            }
+        }
+        sampler.set(self.s_blocked_nodes, f64::from(blocked_nodes));
+
+        // Delegation outcomes this epoch.
+        let (rh, dh, dnf) = gpu.delegation_outcomes();
+        sampler.set(
+            self.s_delegated,
+            delegations_sent.saturating_sub(self.prev.delegations) as f64,
+        );
+        sampler.set(
+            self.s_remote_hit,
+            rh.saturating_sub(self.prev.remote_hits) as f64,
+        );
+        sampler.set(
+            self.s_delayed_hit,
+            dh.saturating_sub(self.prev.delayed_hits) as f64,
+        );
+        sampler.set(
+            self.s_dnf_bounce,
+            dnf.saturating_sub(self.prev.dnf_bounces) as f64,
+        );
+        self.prev.delegations = delegations_sent;
+        self.prev.remote_hits = rh;
+        self.prev.delayed_hits = dh;
+        self.prev.dnf_bounces = dnf;
+
+        // DRAM row hit rate across all controllers this epoch.
+        let (mut hits, mut misses) = (0u64, 0u64);
+        for m in mems {
+            let d = m.dram_stats();
+            hits += d.row_hits;
+            misses += d.row_misses;
+        }
+        let dh_epoch = hits.saturating_sub(self.prev.row_hits);
+        let dm_epoch = misses.saturating_sub(self.prev.row_misses);
+        self.prev.row_hits = hits;
+        self.prev.row_misses = misses;
+        let total = dh_epoch + dm_epoch;
+        sampler.set(
+            self.s_row_hit_rate,
+            if total == 0 {
+                0.0
+            } else {
+                dh_epoch as f64 / total as f64
+            },
+        );
+
+        // Throughput: GPU warp-instructions and CPU ops per cycle.
+        let retired = gpu.total_retired();
+        let processed = cpu.total_processed();
+        sampler.set(
+            self.s_gpu_ipc,
+            retired.saturating_sub(self.prev.gpu_retired) as f64 / epoch,
+        );
+        sampler.set(
+            self.s_cpu_ipc,
+            processed.saturating_sub(self.prev.cpu_processed) as f64 / epoch,
+        );
+        self.prev.gpu_retired = retired;
+        self.prev.cpu_processed = processed;
+
+        sampler.commit_epoch();
+    }
+
+    /// Fill the registry from a finished [`Report`] plus the network
+    /// latency histograms, so exports and `--json` output read every
+    /// end-of-run metric from one typed store.
+    pub fn populate_registry(&mut self, report: &Report, nets: &Nets, now: Cycle) {
+        self.session.episodes.finish(now);
+        let reg = &mut self.session.registry;
+        let counters: [(&str, u64); 5] = [
+            ("delegations", report.delegations),
+            ("probes_sent", report.probes_sent),
+            ("request_packets", report.request_packets),
+            ("flit_hops", report.flit_hops),
+            ("cycles", report.cycles),
+        ];
+        for (name, v) in counters {
+            let id = reg.counter(name);
+            let have = reg.counter_value(id);
+            reg.add(id, v - have.min(v));
+        }
+        let gauges: [(&str, f64); 12] = [
+            ("gpu_ipc", report.gpu_ipc),
+            ("cpu_performance", report.cpu_performance),
+            ("cpu_mem_latency", report.cpu_mem_latency),
+            ("cpu_net_latency", report.cpu_net_latency),
+            ("gpu_rx_rate", report.gpu_rx_rate),
+            ("gpu_tx_rate", report.gpu_tx_rate),
+            ("mem_blocked_rate", report.mem_blocked_rate),
+            ("mem_reply_link_util", report.mem_reply_link_util),
+            ("oracle_locality", report.oracle_locality),
+            ("l1_miss_rate", report.l1_miss_rate),
+            ("frq_same_line_fraction", report.frq_same_line_fraction),
+            ("remote_hit_rate", report.breakdown.remote_hit_rate()),
+        ];
+        for (name, v) in gauges {
+            let id = reg.gauge(name);
+            reg.set(id, v);
+        }
+        for (name, class, prio) in [
+            (
+                "cpu_request_net_latency",
+                TrafficClass::Request,
+                Priority::Cpu,
+            ),
+            ("cpu_reply_net_latency", TrafficClass::Reply, Priority::Cpu),
+            ("gpu_reply_net_latency", TrafficClass::Reply, Priority::Gpu),
+        ] {
+            let id = reg.histogram(name);
+            let src = nets.net(class).stats().latency_histogram(class, prio);
+            let dst = reg.hist_mut(id);
+            *dst = clognet_telemetry::Histogram::new();
+            dst.merge(src);
+        }
+    }
+
+    /// Forget all delta baselines; call when the underlying cumulative
+    /// statistics are zeroed (warmup exclusion), so the next epoch's
+    /// deltas restart from zero instead of underflowing.
+    pub(crate) fn on_stats_reset(&mut self) {
+        self.prev = Snapshot {
+            blocked_cycles: vec![0; self.s_inj_depth.len()],
+            ..Snapshot::default()
+        };
+    }
+
+    /// The per-epoch sampler (read-only).
+    pub fn sampler(&self) -> &EpochSampler {
+        &self.session.sampler
+    }
+}

@@ -173,6 +173,12 @@ impl CpuSubsystem {
             / n
     }
 
+    /// Total operations processed over all cores (the CPU throughput
+    /// numerator the telemetry sampler differences per epoch).
+    pub fn total_processed(&self) -> u64 {
+        self.cores.iter().map(|c| c.stats.processed).sum()
+    }
+
     /// Mean read latency over all cores (cycles).
     pub fn mean_read_latency(&self) -> f64 {
         let (sum, n) = self.cores.iter().fold((0u64, 0u64), |(s, n), c| {

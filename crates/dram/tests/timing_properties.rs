@@ -1,19 +1,23 @@
-//! Property tests for the FR-FCFS controller: token conservation, bus
-//! bandwidth bounds, timing monotonicity, and CPU-priority legality.
+//! Randomized tests for the FR-FCFS controller: token conservation,
+//! bus bandwidth bounds, timing monotonicity, and CPU-priority
+//! legality.
+//!
+//! Seeded with `clognet-rng` so every run explores the same cases.
 
 use clognet_dram::{DramController, DramRequest};
 use clognet_proto::{DramConfig, LineAddr};
-use proptest::prelude::*;
+use clognet_rng::{Rng, SeedableRng, SmallRng};
 use std::collections::HashSet;
 
-proptest! {
-    /// Every enqueued token completes exactly once, and never before the
-    /// minimum cold-access latency.
-    #[test]
-    fn tokens_conserved_and_latency_bounded(
-        lines in proptest::collection::vec(0u64..100_000, 1..80),
-        seed in 0u64..32,
-    ) {
+/// Every enqueued token completes exactly once, and never before the
+/// minimum cold-access latency.
+#[test]
+fn tokens_conserved_and_latency_bounded() {
+    let mut rng = SmallRng::seed_from_u64(0xD4A_0001);
+    for case in 0..24 {
+        let n = rng.gen_range(1..80usize);
+        let lines: Vec<u64> = (0..n).map(|_| rng.gen_range(0..100_000u64)).collect();
+        let seed = rng.gen_range(0..32u64);
         let cfg = DramConfig::default();
         let min_lat = (cfg.t_cl + cfg.burst) as u64; // row open, CAS only
         let mut m = DramController::new(cfg, seed);
@@ -26,30 +30,46 @@ proptest! {
         let mut done: HashSet<u64> = HashSet::new();
         for now in 0..200_000u64 {
             if let Some(&(tok, line)) = pending.last() {
-                if m
-                    .enqueue(DramRequest { line, is_write: false, cpu: false, token: tok }, now)
-                    .is_ok()
+                if m.enqueue(
+                    DramRequest {
+                        line,
+                        is_write: false,
+                        cpu: false,
+                        token: tok,
+                    },
+                    now,
+                )
+                .is_ok()
                 {
                     issued_at[tok as usize] = Some(now);
                     pending.pop();
                 }
             }
             for t in m.tick(now) {
-                prop_assert!(done.insert(t), "token {} completed twice", t);
+                assert!(done.insert(t), "case {case}: token {t} completed twice");
                 let at = issued_at[t as usize].expect("completed before enqueue");
-                prop_assert!(now >= at + min_lat, "token {} too fast: {} < {}", t, now - at, min_lat);
+                assert!(
+                    now >= at + min_lat,
+                    "case {case}: token {t} too fast: {} < {min_lat}",
+                    now - at
+                );
             }
             if done.len() == lines.len() {
                 break;
             }
         }
-        prop_assert_eq!(done.len(), lines.len(), "requests lost");
+        assert_eq!(done.len(), lines.len(), "case {case}: requests lost");
     }
+}
 
-    /// Sustained data bandwidth never exceeds one line per `burst`
-    /// cycles (the data-bus serialization bound).
-    #[test]
-    fn bandwidth_never_exceeds_bus(seed in 0u64..16, stride in 1u64..64) {
+/// Sustained data bandwidth never exceeds one line per `burst` cycles
+/// (the data-bus serialization bound).
+#[test]
+fn bandwidth_never_exceeds_bus() {
+    let mut rng = SmallRng::seed_from_u64(0xD4A_0002);
+    for _case in 0..16 {
+        let seed = rng.gen_range(0..16u64);
+        let stride = rng.gen_range(1..64u64);
         let cfg = DramConfig::default();
         let burst = cfg.burst as u64;
         let mut m = DramController::new(cfg, seed);
@@ -76,21 +96,23 @@ proptest! {
         let w = 20;
         for win in completions.windows(w) {
             let span = win[w - 1] - win[0];
-            prop_assert!(
+            assert!(
                 span + 1 >= (w as u64 - 1) * burst,
-                "{} lines in {} cycles beats the bus", w, span
+                "{w} lines in {span} cycles beats the bus"
             );
         }
     }
+}
 
-    /// CPU requests always finish no later than they would have as GPU
-    /// requests in the same arrival order (priority is never harmful).
-    #[test]
-    fn cpu_priority_helps_or_is_neutral(
-        lines in proptest::collection::vec(0u64..50_000, 2..40),
-        cpu_ix in 0usize..40,
-    ) {
-        let cpu_ix = cpu_ix % lines.len();
+/// CPU requests always finish no later than they would have as GPU
+/// requests in the same arrival order (priority is never harmful).
+#[test]
+fn cpu_priority_helps_or_is_neutral() {
+    let mut rng = SmallRng::seed_from_u64(0xD4A_0003);
+    for _case in 0..16 {
+        let n = rng.gen_range(2..40usize);
+        let lines: Vec<u64> = (0..n).map(|_| rng.gen_range(0..50_000u64)).collect();
+        let cpu_ix = rng.gen_range(0..40usize) % lines.len();
         let finish = |as_cpu: bool| -> u64 {
             let mut m = DramController::new(DramConfig::default(), 3);
             for (i, &l) in lines.iter().enumerate() {
@@ -112,6 +134,6 @@ proptest! {
             }
             panic!("request never completed");
         };
-        prop_assert!(finish(true) <= finish(false));
+        assert!(finish(true) <= finish(false));
     }
 }

@@ -234,6 +234,19 @@ impl GpuSubsystem {
         self.cores.iter().map(|c| c.stats.retired).sum()
     }
 
+    /// Aggregate delegation outcomes over all cores:
+    /// `(remote hits, delayed hits, remote misses / DNF bounces)` — the
+    /// per-epoch outcome series the telemetry sampler differences.
+    pub fn delegation_outcomes(&self) -> (u64, u64, u64) {
+        self.cores.iter().fold((0, 0, 0), |(h, d, m), c| {
+            (
+                h + c.stats.delegated_hits,
+                d + c.stats.delegated_delayed,
+                m + c.stats.delegated_misses,
+            )
+        })
+    }
+
     /// L1 tag-array stats aggregated over cores (private mode) or
     /// cluster slices (shared mode).
     pub fn l1_hits_misses(&self) -> (u64, u64) {
@@ -1401,7 +1414,9 @@ mod tests {
                             sent_late += 1;
                         }
                     }
-                    GpuOut::LlcRead { line, requester, .. } => {
+                    GpuOut::LlcRead {
+                        line, requester, ..
+                    } => {
                         // Perfect memory keeps the cores alive.
                         g.deliver(requester, GpuIn::Data { line, from: None }, &mut sink);
                     }

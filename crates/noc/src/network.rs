@@ -286,6 +286,12 @@ impl Network {
         self.routers.iter().map(|r| r.buffered_flits()).sum()
     }
 
+    /// Flits buffered inside one router's input VCs — the per-router VC
+    /// occupancy hook the telemetry sampler reads to find hot spots.
+    pub fn router_buffered_flits(&self, router: usize) -> usize {
+        self.routers[router].buffered_flits()
+    }
+
     /// Whether a new packet of (`class`, `prio`) could start streaming at
     /// `node` right now (a free injection VC in its partition exists).
     pub fn can_inject(&self, node: NodeId, class: TrafficClass, prio: Priority) -> bool {

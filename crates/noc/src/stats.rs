@@ -2,6 +2,7 @@
 //! traffic, and injection-stall accounting.
 
 use clognet_proto::{Cycle, Priority, TrafficClass};
+use clognet_telemetry::Histogram;
 
 /// Accumulated latency statistics for one (class, priority) bin.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -46,6 +47,10 @@ pub struct NocStats {
     pub ejected_pkts: [u64; 2],
     /// Latency bins indexed by `[class][priority]`.
     pub latency: [[LatencyBin; 2]; 2],
+    /// Full latency distributions indexed by `[class][priority]` —
+    /// log2-bucket histograms with p50/p95/p99, the tail-latency story
+    /// the mean/max-only [`LatencyBin`] cannot tell.
+    pub latency_hist: [[Histogram; 2]; 2],
     /// Per-node flits received (ejected), for the Fig.-11 data-rate
     /// metric.
     pub node_rx_flits: Vec<u64>,
@@ -79,6 +84,7 @@ impl NocStats {
             injected_flits: [0; 2],
             ejected_pkts: [0; 2],
             latency: Default::default(),
+            latency_hist: Default::default(),
             node_rx_flits: vec![0; nodes],
             node_tx_flits: vec![0; nodes],
             node_inj_stall_cycles: vec![0; nodes],
@@ -95,6 +101,7 @@ impl NocStats {
     ) {
         self.ejected_pkts[class_ix(class)] += 1;
         self.latency[class_ix(class)][prio_ix(prio)].record(latency);
+        self.latency_hist[class_ix(class)][prio_ix(prio)].record(latency);
         self.node_rx_flits[node] += flits as u64;
     }
 
@@ -110,6 +117,11 @@ impl NocStats {
     /// Mean latency for a class/priority bin.
     pub fn mean_latency(&self, class: TrafficClass, prio: Priority) -> f64 {
         self.latency[class_ix(class)][prio_ix(prio)].mean()
+    }
+
+    /// Full latency distribution for a class/priority bin.
+    pub fn latency_histogram(&self, class: TrafficClass, prio: Priority) -> &Histogram {
+        &self.latency_hist[class_ix(class)][prio_ix(prio)]
     }
 
     /// Received data rate of a node in flits/cycle (Fig. 11 metric).
@@ -144,6 +156,9 @@ mod tests {
         s.record_ejection(TrafficClass::Reply, Priority::Cpu, 42, 3, 9);
         assert_eq!(s.ejected_pkts[1], 1);
         assert_eq!(s.mean_latency(TrafficClass::Reply, Priority::Cpu), 42.0);
+        let h = s.latency_histogram(TrafficClass::Reply, Priority::Cpu);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.p99(), 42);
         assert_eq!(s.node_rx_flits[3], 9);
         assert!((s.rx_rate(3) - 0.09).abs() < 1e-9);
     }

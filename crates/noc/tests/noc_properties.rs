@@ -1,10 +1,12 @@
-//! Property tests for the NoC: delivery latency lower bounds, credit
-//! conservation under load, class isolation on shared physical networks,
-//! and CPU-priority legality.
+//! Randomized tests for the NoC: delivery latency lower bounds, credit
+//! conservation under load, class isolation on shared physical
+//! networks, and CPU-priority legality.
+//!
+//! Seeded with `clognet-rng` so every run explores the same cases.
 
 use clognet_noc::{routing, ClassAssignment, NetParams, Network, TopologyGraph};
 use clognet_proto::*;
-use proptest::prelude::*;
+use clognet_rng::{Rng, SeedableRng, SmallRng};
 
 fn params(topology: Topology, classes: ClassAssignment) -> NetParams {
     NetParams {
@@ -21,24 +23,32 @@ fn params(topology: Topology, classes: ClassAssignment) -> NetParams {
     }
 }
 
-proptest! {
-    /// A lone packet's latency is at least hops * (per-hop pipeline) and,
-    /// on an idle network, within a small constant of it.
-    #[test]
-    fn lone_packet_latency_is_tight(
-        topo_ix in 0usize..4,
-        src in 0u16..64,
-        dst in 0u16..64,
-    ) {
-        prop_assume!(src != dst);
-        let topology = Topology::ALL[topo_ix];
+/// A lone packet's latency is at least hops * (per-hop pipeline) and,
+/// on an idle network, within a small constant of it.
+#[test]
+fn lone_packet_latency_is_tight() {
+    let mut rng = SmallRng::seed_from_u64(0x0C_0001);
+    for _case in 0..48 {
+        let topology = Topology::ALL[rng.gen_range(0..4usize)];
+        let src = rng.gen_range(0..64u16);
+        let mut dst = rng.gen_range(0..64u16);
+        if src == dst {
+            dst = (dst + 1) % 64;
+        }
         let mut net = Network::new(params(
             topology,
             ClassAssignment::Single(TrafficClass::Request, 2),
         ));
         let pkt = Packet::new(
-            PacketId(1), NodeId(src), NodeId(dst), MsgKind::ReadReq,
-            Priority::Gpu, Addr::new(0x100), 128, 16, 0,
+            PacketId(1),
+            NodeId(src),
+            NodeId(dst),
+            MsgKind::ReadReq,
+            Priority::Gpu,
+            Addr::new(0x100),
+            128,
+            16,
+            0,
         );
         net.try_inject(pkt).unwrap();
         let mut done = None;
@@ -52,37 +62,59 @@ proptest! {
         let lat = done.expect("delivered") as usize;
         let topo = TopologyGraph::build(topology, 8, 8);
         let hops = routing::min_hops(&topo, NodeId(src), NodeId(dst));
-        prop_assert!(lat >= 3 * hops, "{topology:?} {src}->{dst}: {lat} < 3*{hops}");
-        prop_assert!(
+        assert!(
+            lat >= 3 * hops,
+            "{topology:?} {src}->{dst}: {lat} < 3*{hops}"
+        );
+        assert!(
             lat <= 5 * hops + 12,
             "{topology:?} {src}->{dst}: idle latency {lat} too high for {hops} hops"
         );
     }
+}
 
-    /// On a shared physical network, request-class congestion must not
-    /// lose reply packets (and vice versa): both classes fully deliver.
-    #[test]
-    fn shared_network_classes_both_deliver(
-        req_vcs in 1usize..3,
-        rep_vcs in 1usize..3,
-        n_req in 1usize..40,
-        n_rep in 1usize..12,
-    ) {
+/// On a shared physical network, request-class congestion must not lose
+/// reply packets (and vice versa): both classes fully deliver.
+#[test]
+fn shared_network_classes_both_deliver() {
+    let mut rng = SmallRng::seed_from_u64(0x0C_0002);
+    for _case in 0..24 {
+        let req_vcs = rng.gen_range(1..3usize);
+        let rep_vcs = rng.gen_range(1..3usize);
+        let n_req = rng.gen_range(1..40usize);
+        let n_rep = rng.gen_range(1..12usize);
         let mut net = Network::new(params(
             Topology::Mesh,
-            ClassAssignment::Shared { request_vcs: req_vcs, reply_vcs: rep_vcs },
+            ClassAssignment::Shared {
+                request_vcs: req_vcs,
+                reply_vcs: rep_vcs,
+            },
         ));
         let mut queue: Vec<Packet> = Vec::new();
         for i in 0..n_req {
             queue.push(Packet::new(
-                PacketId(i as u64), NodeId((i % 32) as u16), NodeId(63),
-                MsgKind::ReadReq, Priority::Gpu, Addr::new(i as u64 * 128), 128, 16, 0,
+                PacketId(i as u64),
+                NodeId((i % 32) as u16),
+                NodeId(63),
+                MsgKind::ReadReq,
+                Priority::Gpu,
+                Addr::new(i as u64 * 128),
+                128,
+                16,
+                0,
             ));
         }
         for i in 0..n_rep {
             queue.push(Packet::new(
-                PacketId(1000 + i as u64), NodeId((i % 16) as u16), NodeId(62),
-                MsgKind::ReadReply, Priority::Gpu, Addr::new(i as u64 * 128), 128, 16, 0,
+                PacketId(1000 + i as u64),
+                NodeId((i % 16) as u16),
+                NodeId(62),
+                MsgKind::ReadReply,
+                Priority::Gpu,
+                Addr::new(i as u64 * 128),
+                128,
+                16,
+                0,
             ));
         }
         let (mut got_req, mut got_rep) = (0, 0);
@@ -99,21 +131,28 @@ proptest! {
                 break;
             }
         }
-        prop_assert_eq!((got_req, got_rep), (n_req, n_rep));
-        prop_assert_eq!(net.in_flight(), 0);
+        assert_eq!((got_req, got_rep), (n_req, n_rep));
+        assert_eq!(net.in_flight(), 0);
     }
+}
 
-    /// Link utilization statistics are physical: no link ever carries
-    /// more than one flit per cycle.
-    #[test]
-    fn link_utilization_is_physical(n_pkts in 1usize..80, seed in 0u64..16) {
+/// Link utilization statistics are physical: no link ever carries more
+/// than one flit per cycle.
+#[test]
+fn link_utilization_is_physical() {
+    let mut outer = SmallRng::seed_from_u64(0x0C_0003);
+    for _case in 0..16 {
+        let n_pkts = outer.gen_range(1..80usize);
+        let seed = outer.gen_range(0..16u64);
         let mut net = Network::new(params(
             Topology::Mesh,
             ClassAssignment::Single(TrafficClass::Reply, 2),
         ));
         let mut state = seed.wrapping_add(1);
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u16 % 64
         };
         let mut queue: Vec<Packet> = (0..n_pkts)
@@ -124,8 +163,15 @@ proptest! {
                     s = s.min(63);
                 }
                 Packet::new(
-                    PacketId(i as u64), NodeId(s), NodeId(d), MsgKind::ReadReply,
-                    Priority::Gpu, Addr::new(i as u64 * 128), 128, 16, 0,
+                    PacketId(i as u64),
+                    NodeId(s),
+                    NodeId(d),
+                    MsgKind::ReadReply,
+                    Priority::Gpu,
+                    Addr::new(i as u64 * 128),
+                    128,
+                    16,
+                    0,
                 )
             })
             .collect();
@@ -144,7 +190,7 @@ proptest! {
         for r in 0..64 {
             for p in 0..5 {
                 let u = st.link_utilization(r, p);
-                prop_assert!((0.0..=1.0).contains(&u), "util {u} at {r}.{p}");
+                assert!((0.0..=1.0).contains(&u), "util {u} at {r}.{p}");
             }
         }
     }

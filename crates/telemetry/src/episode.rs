@@ -1,0 +1,202 @@
+//! Clog-episode detector: folds per-node blocked enter/exit
+//! transitions into discrete episodes.
+
+/// One contiguous interval during which a memory node's injection
+/// buffer was blocked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Episode {
+    /// Memory node (flat index) the episode happened at.
+    pub node: usize,
+    /// Cycle the node entered the blocked state.
+    pub start: u64,
+    /// Cycle the node exited the blocked state (`end >= start`).
+    pub end: u64,
+    /// Deepest injection-buffer occupancy observed while blocked.
+    pub peak_depth: usize,
+    /// Reply flits not injected here because Delegated Replies sent
+    /// the data over the request network instead (0 under baseline).
+    pub flits_shed: u64,
+}
+
+impl Episode {
+    /// Duration in cycles (inclusive of the entry cycle).
+    pub fn duration(&self) -> u64 {
+        self.end - self.start
+    }
+}
+
+/// Folds `BlockedEnter`/`BlockedExit` transitions into [`Episode`]s.
+///
+/// The instrumented simulator calls [`enter`](Self::enter) /
+/// [`exit`](Self::exit) on the transitions it already tracks for the
+/// trace log, [`observe_depth`](Self::observe_depth) each blocked
+/// cycle, and [`add_shed`](Self::add_shed) when a delegation avoids a
+/// reply injection. [`finish`](Self::finish) closes episodes still
+/// open at end of run.
+#[derive(Debug, Clone, Default)]
+pub struct EpisodeDetector {
+    open: Vec<Option<Episode>>, // indexed by node
+    closed: Vec<Episode>,
+}
+
+impl EpisodeDetector {
+    /// An empty detector.
+    pub fn new() -> Self {
+        EpisodeDetector::default()
+    }
+
+    fn slot(&mut self, node: usize) -> &mut Option<Episode> {
+        if node >= self.open.len() {
+            self.open.resize(node + 1, None);
+        }
+        &mut self.open[node]
+    }
+
+    /// A node entered the blocked state. A second enter without an
+    /// intervening exit is ignored (idempotent).
+    pub fn enter(&mut self, node: usize, now: u64) {
+        let slot = self.slot(node);
+        if slot.is_none() {
+            *slot = Some(Episode {
+                node,
+                start: now,
+                end: now,
+                peak_depth: 0,
+                flits_shed: 0,
+            });
+        }
+    }
+
+    /// A node exited the blocked state, closing its open episode.
+    pub fn exit(&mut self, node: usize, now: u64) {
+        if let Some(mut ep) = self.slot(node).take() {
+            ep.end = now.max(ep.start);
+            self.closed.push(ep);
+        }
+    }
+
+    /// Record the node's injection-buffer depth for this blocked cycle.
+    pub fn observe_depth(&mut self, node: usize, depth: usize) {
+        if let Some(ep) = self.slot(node) {
+            ep.peak_depth = ep.peak_depth.max(depth);
+        }
+    }
+
+    /// Credit reply flits shed by delegation during the open episode.
+    pub fn add_shed(&mut self, node: usize, flits: u64) {
+        if let Some(ep) = self.slot(node) {
+            ep.flits_shed += flits;
+        }
+    }
+
+    /// Whether the node currently has an open episode.
+    pub fn is_open(&self, node: usize) -> bool {
+        self.open.get(node).is_some_and(Option::is_some)
+    }
+
+    /// Close all still-open episodes at `now` (end of run).
+    pub fn finish(&mut self, now: u64) {
+        for node in 0..self.open.len() {
+            self.exit(node, now);
+        }
+    }
+
+    /// All closed episodes, in close order.
+    pub fn episodes(&self) -> &[Episode] {
+        &self.closed
+    }
+
+    /// Closed episodes at one node.
+    pub fn episodes_at(&self, node: usize) -> impl Iterator<Item = &Episode> {
+        self.closed.iter().filter(move |e| e.node == node)
+    }
+
+    /// Longest closed episode, if any.
+    pub fn longest(&self) -> Option<&Episode> {
+        self.closed.iter().max_by_key(|e| e.duration())
+    }
+
+    /// Total blocked cycles across all closed episodes.
+    pub fn total_blocked_cycles(&self) -> u64 {
+        self.closed.iter().map(Episode::duration).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripted_sequence_folds_into_episodes() {
+        let mut d = EpisodeDetector::new();
+        // Node 2: blocked 100..350 peaking at depth 7, shedding 12.
+        d.enter(2, 100);
+        d.observe_depth(2, 3);
+        d.observe_depth(2, 7);
+        d.add_shed(2, 12);
+        d.observe_depth(2, 5);
+        d.exit(2, 350);
+        // Node 0 interleaved: short episode, no shedding.
+        d.enter(0, 200);
+        d.observe_depth(0, 2);
+        d.exit(0, 210);
+        // Node 2 again.
+        d.enter(2, 400);
+        d.exit(2, 460);
+
+        let eps = d.episodes();
+        assert_eq!(eps.len(), 3);
+        assert_eq!(
+            eps[0],
+            Episode {
+                node: 2,
+                start: 100,
+                end: 350,
+                peak_depth: 7,
+                flits_shed: 12
+            }
+        );
+        assert_eq!(eps[0].duration(), 250);
+        assert_eq!(eps[1].node, 0);
+        assert_eq!(d.episodes_at(2).count(), 2);
+        assert_eq!(d.total_blocked_cycles(), 250 + 10 + 60);
+        assert_eq!(d.longest().unwrap().start, 100);
+    }
+
+    #[test]
+    fn double_enter_is_idempotent_and_exit_without_enter_is_noop() {
+        let mut d = EpisodeDetector::new();
+        d.enter(1, 10);
+        d.enter(1, 20); // ignored
+        d.exit(1, 30);
+        d.exit(1, 40); // no open episode: no-op
+        assert_eq!(d.episodes().len(), 1);
+        assert_eq!(d.episodes()[0].start, 10);
+        assert_eq!(d.episodes()[0].end, 30);
+    }
+
+    #[test]
+    fn finish_closes_open_episodes() {
+        let mut d = EpisodeDetector::new();
+        d.enter(3, 500);
+        d.observe_depth(3, 9);
+        assert!(d.is_open(3));
+        d.finish(900);
+        assert!(!d.is_open(3));
+        assert_eq!(d.episodes().len(), 1);
+        assert_eq!(d.episodes()[0].end, 900);
+        assert_eq!(d.episodes()[0].peak_depth, 9);
+    }
+
+    #[test]
+    fn depth_and_shed_outside_episode_are_ignored() {
+        let mut d = EpisodeDetector::new();
+        d.observe_depth(5, 100);
+        d.add_shed(5, 100);
+        assert_eq!(d.episodes().len(), 0);
+        d.enter(5, 1);
+        d.exit(5, 2);
+        assert_eq!(d.episodes()[0].peak_depth, 0);
+        assert_eq!(d.episodes()[0].flits_shed, 0);
+    }
+}

@@ -1,0 +1,287 @@
+//! Hand-rolled JSON / CSV / NDJSON writers.
+//!
+//! The workspace takes no external dependencies, so serialization is
+//! written out longhand. Output is deterministic: iteration order is
+//! registration order, and floats are formatted through one shared
+//! routine, so same-seed runs export byte-identical files.
+
+use crate::episode::Episode;
+use crate::registry::Registry;
+use crate::sampler::EpochSampler;
+use crate::Telemetry;
+
+/// Escape a string for inclusion inside JSON quotes.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format a float as a JSON-legal number (non-finite values become 0).
+pub fn json_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "0".to_string();
+    }
+    format!("{v}")
+}
+
+/// Escape a CSV field: quote when it contains a comma, quote, or
+/// newline; double embedded quotes.
+pub fn csv_escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+fn push_kv(out: &mut String, key: &str, value: &str, first: &mut bool) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    out.push('"');
+    out.push_str(&json_escape(key));
+    out.push_str("\":");
+    out.push_str(value);
+}
+
+/// Serialize the registry as a JSON object with `counters`, `gauges`,
+/// and `histograms` (each histogram as count/sum/min/max/mean/p50/p95/p99).
+pub fn registry_to_json(reg: &Registry) -> String {
+    let mut out = String::from("{\"counters\":{");
+    let mut first = true;
+    for (name, v) in reg.counters() {
+        push_kv(&mut out, name, &v.to_string(), &mut first);
+    }
+    out.push_str("},\"gauges\":{");
+    let mut first = true;
+    for (name, v) in reg.gauges() {
+        push_kv(&mut out, name, &json_f64(v), &mut first);
+    }
+    out.push_str("},\"histograms\":{");
+    let mut first = true;
+    for (name, h) in reg.histograms() {
+        let body = format!(
+            "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+            h.count(),
+            h.sum(),
+            h.min(),
+            h.max(),
+            json_f64(h.mean()),
+            h.p50(),
+            h.p95(),
+            h.p99()
+        );
+        push_kv(&mut out, name, &body, &mut first);
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Serialize the sampler as a JSON object: epoch bookkeeping plus a
+/// `series` map of name → value array (oldest epoch first).
+pub fn sampler_to_json(s: &EpochSampler, epoch_len: u64) -> String {
+    let mut out = format!(
+        "{{\"epoch_len\":{},\"epochs\":{},\"first_epoch\":{},\"series\":{{",
+        epoch_len,
+        s.epochs_committed(),
+        s.first_epoch()
+    );
+    let mut first = true;
+    for (name, values) in s.all_series() {
+        let arr: Vec<String> = values.iter().map(|&v| json_f64(v)).collect();
+        push_kv(&mut out, name, &format!("[{}]", arr.join(",")), &mut first);
+    }
+    out.push_str("}}");
+    out
+}
+
+fn episode_to_json(e: &Episode) -> String {
+    format!(
+        "{{\"node\":{},\"start\":{},\"end\":{},\"duration\":{},\"peak_depth\":{},\"flits_shed\":{}}}",
+        e.node,
+        e.start,
+        e.end,
+        e.duration(),
+        e.peak_depth,
+        e.flits_shed
+    )
+}
+
+/// Serialize episodes as a JSON array.
+pub fn episodes_to_json(eps: &[Episode]) -> String {
+    let items: Vec<String> = eps.iter().map(episode_to_json).collect();
+    format!("[{}]", items.join(","))
+}
+
+/// Serialize episodes as NDJSON: one JSON object per line.
+pub fn episodes_to_ndjson(eps: &[Episode]) -> String {
+    let mut out = String::new();
+    for e in eps {
+        out.push_str(&episode_to_json(e));
+        out.push('\n');
+    }
+    out
+}
+
+/// Serialize the sampler as CSV: an `epoch` column followed by one
+/// column per series; rows are retained epochs, oldest first.
+pub fn series_to_csv(s: &EpochSampler) -> String {
+    let series: Vec<(String, Vec<f64>)> = s.all_series().map(|(n, v)| (n.to_string(), v)).collect();
+    let mut out = String::from("epoch");
+    for (name, _) in &series {
+        out.push(',');
+        out.push_str(&csv_escape(name));
+    }
+    out.push('\n');
+    let rows = series.iter().map(|(_, v)| v.len()).max().unwrap_or(0);
+    let first_epoch = s.first_epoch();
+    for r in 0..rows {
+        out.push_str(&(first_epoch + r as u64).to_string());
+        for (_, values) in &series {
+            out.push(',');
+            // A series registered late is shorter; align from the end.
+            let pad = rows - values.len();
+            if r >= pad {
+                out.push_str(&json_f64(values[r - pad]));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Serialize a whole telemetry session (meta + registry + sampler +
+/// episodes) as one JSON document.
+pub fn session_to_json(t: &Telemetry, meta: &[(&str, String)]) -> String {
+    let mut out = String::from("{\"meta\":{");
+    let mut first = true;
+    for (k, v) in meta {
+        push_kv(&mut out, k, &format!("\"{}\"", json_escape(v)), &mut first);
+    }
+    out.push_str("},\"registry\":");
+    out.push_str(&registry_to_json(&t.registry));
+    out.push_str(",\"sampler\":");
+    out.push_str(&sampler_to_json(&t.sampler, t.config.epoch_len));
+    out.push_str(",\"episodes\":");
+    out.push_str(&episodes_to_json(t.episodes.episodes()));
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TelemetryConfig;
+
+    #[test]
+    fn json_escaping_covers_specials() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b"), "a\\\"b");
+        assert_eq!(json_escape("a\\b"), "a\\\\b");
+        assert_eq!(json_escape("a\nb\tc"), "a\\nb\\tc");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn csv_escaping_quotes_when_needed() {
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_escape("two\nlines"), "\"two\nlines\"");
+    }
+
+    #[test]
+    fn non_finite_floats_become_zero() {
+        assert_eq!(json_f64(f64::NAN), "0");
+        assert_eq!(json_f64(f64::INFINITY), "0");
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(2.0), "2");
+    }
+
+    #[test]
+    fn registry_json_shape() {
+        let mut r = Registry::new();
+        let c = r.counter("hits");
+        r.add(c, 4);
+        let g = r.gauge("util");
+        r.set(g, 0.25);
+        let h = r.histogram("lat");
+        r.record(h, 8);
+        let j = registry_to_json(&r);
+        assert_eq!(
+            j,
+            "{\"counters\":{\"hits\":4},\"gauges\":{\"util\":0.25},\
+             \"histograms\":{\"lat\":{\"count\":1,\"sum\":8,\"min\":8,\"max\":8,\
+             \"mean\":8,\"p50\":8,\"p95\":8,\"p99\":8}}}"
+        );
+    }
+
+    #[test]
+    fn csv_rows_align_by_epoch() {
+        let mut s = EpochSampler::new(8);
+        let a = s.series("a");
+        s.set(a, 1.0);
+        s.commit_epoch();
+        let b = s.series("with,comma");
+        s.set(a, 2.0);
+        s.set(b, 9.0);
+        s.commit_epoch();
+        let csv = series_to_csv(&s);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "epoch,a,\"with,comma\"");
+        assert_eq!(lines[1], "0,1,");
+        assert_eq!(lines[2], "1,2,9");
+    }
+
+    #[test]
+    fn ndjson_one_object_per_line() {
+        let eps = vec![
+            Episode {
+                node: 0,
+                start: 1,
+                end: 5,
+                peak_depth: 2,
+                flits_shed: 0,
+            },
+            Episode {
+                node: 1,
+                start: 7,
+                end: 9,
+                peak_depth: 1,
+                flits_shed: 3,
+            },
+        ];
+        let nd = episodes_to_ndjson(&eps);
+        assert_eq!(nd.lines().count(), 2);
+        assert!(nd.starts_with("{\"node\":0,\"start\":1,\"end\":5,"));
+    }
+
+    #[test]
+    fn session_json_is_deterministic() {
+        let build = || {
+            let mut t = Telemetry::new(TelemetryConfig::default());
+            let c = t.registry.counter("n");
+            t.registry.add(c, 1);
+            let s = t.sampler.series("v");
+            t.sampler.set(s, 0.5);
+            t.sampler.commit_epoch();
+            t.to_json(&[("k", "v\"esc".to_string())])
+        };
+        assert_eq!(build(), build());
+        assert!(build().contains("\\\"esc"));
+    }
+}

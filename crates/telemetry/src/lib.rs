@@ -1,0 +1,116 @@
+//! # clognet-telemetry
+//!
+//! Time-series observability for the simulator: a typed metric registry
+//! (counters, gauges, log2-bucket [`Histogram`]s), an [`EpochSampler`]
+//! that captures per-epoch series into bounded ring buffers, a
+//! [`EpisodeDetector`] that folds memory-node blocked transitions into
+//! clog episodes, and hand-rolled JSON/CSV/NDJSON writers (the
+//! workspace takes no external dependencies).
+//!
+//! The paper's argument is temporal — clogging is a transient pile-up
+//! at memory-node reply links (Figs. 5b/11/12) — so end-of-run
+//! aggregates cannot show a clog forming, peaking, and draining. This
+//! crate is the substrate every figure harness and the `clognet
+//! timeline` command read from.
+//!
+//! Everything here is plain data + arithmetic: deterministic for a
+//! given input sequence, so two same-seed simulations export
+//! byte-identical files.
+
+#![warn(missing_docs)]
+
+mod episode;
+pub mod export;
+mod hist;
+mod registry;
+mod sampler;
+
+pub use episode::{Episode, EpisodeDetector};
+pub use hist::Histogram;
+pub use registry::{CounterId, GaugeId, HistId, Registry};
+pub use sampler::{EpochSampler, SeriesId};
+
+/// Configuration for a telemetry session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Cycles per sampling epoch (default 500).
+    pub epoch_len: u64,
+    /// Maximum epochs retained per series; older epochs are evicted
+    /// (bounded memory for arbitrarily long runs).
+    pub ring_cap: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            epoch_len: 500,
+            ring_cap: 4096,
+        }
+    }
+}
+
+/// A complete telemetry session: registry + sampler + episode detector.
+///
+/// Owners embed this behind an `Option<Box<Telemetry>>` so the disabled
+/// path costs one branch and zero allocation per cycle.
+#[derive(Debug, Clone)]
+pub struct Telemetry {
+    /// Session configuration.
+    pub config: TelemetryConfig,
+    /// End-of-run scalar metrics and latency histograms.
+    pub registry: Registry,
+    /// Per-epoch time series.
+    pub sampler: EpochSampler,
+    /// Clog-episode fold over blocked enter/exit transitions.
+    pub episodes: EpisodeDetector,
+}
+
+impl Telemetry {
+    /// Create a session with the given config.
+    pub fn new(config: TelemetryConfig) -> Self {
+        Telemetry {
+            config,
+            registry: Registry::new(),
+            sampler: EpochSampler::new(config.ring_cap),
+            episodes: EpisodeDetector::new(),
+        }
+    }
+
+    /// Serialize the whole session as a JSON document.
+    ///
+    /// `meta` is a list of `(key, value)` strings recorded under
+    /// `"meta"` (workload names, scheme, seed, ...).
+    pub fn to_json(&self, meta: &[(&str, String)]) -> String {
+        export::session_to_json(self, meta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_matches_paper_epoch() {
+        let c = TelemetryConfig::default();
+        assert_eq!(c.epoch_len, 500);
+        assert!(c.ring_cap > 0);
+    }
+
+    #[test]
+    fn session_roundtrip_is_well_formed() {
+        let mut t = Telemetry::new(TelemetryConfig::default());
+        let c = t.registry.counter("delegations");
+        t.registry.add(c, 3);
+        let s = t.sampler.series("gpu_ipc");
+        t.sampler.set(s, 1.25);
+        t.sampler.commit_epoch();
+        t.episodes.enter(0, 100);
+        t.episodes.observe_depth(0, 7);
+        t.episodes.exit(0, 400);
+        let json = t.to_json(&[("scheme", "baseline".into())]);
+        assert!(json.contains("\"delegations\""));
+        assert!(json.contains("\"gpu_ipc\""));
+        assert!(json.contains("\"episodes\""));
+        assert!(json.contains("\"scheme\""));
+    }
+}

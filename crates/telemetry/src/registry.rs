@@ -1,0 +1,161 @@
+//! Typed metric registry: named counters, gauges, and histograms
+//! behind cheap index handles.
+
+use crate::hist::Histogram;
+
+/// Handle to a registered counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a registered gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to a registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistId(usize);
+
+/// A flat store of named metrics. Registration returns an id; updates
+/// are O(1) vector indexing with no hashing on the hot path.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    counter_names: Vec<String>,
+    counters: Vec<u64>,
+    gauge_names: Vec<String>,
+    gauges: Vec<f64>,
+    hist_names: Vec<String>,
+    hists: Vec<Histogram>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Register (or look up) a counter by name.
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        if let Some(ix) = self.counter_names.iter().position(|n| n == name) {
+            return CounterId(ix);
+        }
+        self.counter_names.push(name.to_string());
+        self.counters.push(0);
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Register (or look up) a gauge by name.
+    pub fn gauge(&mut self, name: &str) -> GaugeId {
+        if let Some(ix) = self.gauge_names.iter().position(|n| n == name) {
+            return GaugeId(ix);
+        }
+        self.gauge_names.push(name.to_string());
+        self.gauges.push(0.0);
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    /// Register (or look up) a histogram by name.
+    pub fn histogram(&mut self, name: &str) -> HistId {
+        if let Some(ix) = self.hist_names.iter().position(|n| n == name) {
+            return HistId(ix);
+        }
+        self.hist_names.push(name.to_string());
+        self.hists.push(Histogram::new());
+        HistId(self.hists.len() - 1)
+    }
+
+    /// Increment a counter.
+    pub fn add(&mut self, id: CounterId, by: u64) {
+        self.counters[id.0] += by;
+    }
+
+    /// Read a counter.
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        self.counters[id.0]
+    }
+
+    /// Set a gauge.
+    pub fn set(&mut self, id: GaugeId, v: f64) {
+        self.gauges[id.0] = v;
+    }
+
+    /// Read a gauge.
+    pub fn gauge_value(&self, id: GaugeId) -> f64 {
+        self.gauges[id.0]
+    }
+
+    /// Record a sample into a histogram.
+    pub fn record(&mut self, id: HistId, v: u64) {
+        self.hists[id.0].record(v);
+    }
+
+    /// Read a histogram.
+    pub fn hist(&self, id: HistId) -> &Histogram {
+        &self.hists[id.0]
+    }
+
+    /// Mutable access to a histogram (for merging external ones in).
+    pub fn hist_mut(&mut self, id: HistId) -> &mut Histogram {
+        &mut self.hists[id.0]
+    }
+
+    /// Iterate `(name, value)` over all counters.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counter_names
+            .iter()
+            .map(String::as_str)
+            .zip(self.counters.iter().copied())
+    }
+
+    /// Iterate `(name, value)` over all gauges.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauge_names
+            .iter()
+            .map(String::as_str)
+            .zip(self.gauges.iter().copied())
+    }
+
+    /// Iterate `(name, histogram)` over all histograms.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.hist_names
+            .iter()
+            .map(String::as_str)
+            .zip(self.hists.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reregister_dedupes() {
+        let mut r = Registry::new();
+        let a = r.counter("delegations");
+        let b = r.counter("delegations");
+        assert_eq!(a, b);
+        r.add(a, 2);
+        r.add(b, 3);
+        assert_eq!(r.counter_value(a), 5);
+        assert_eq!(r.counters().count(), 1);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let mut r = Registry::new();
+        let g = r.gauge("gpu_ipc");
+        r.set(g, 1.5);
+        r.set(g, 2.5);
+        assert_eq!(r.gauge_value(g), 2.5);
+    }
+
+    #[test]
+    fn histograms_record_through_registry() {
+        let mut r = Registry::new();
+        let h = r.histogram("cpu_net_latency");
+        r.record(h, 10);
+        r.record(h, 20);
+        assert_eq!(r.hist(h).count(), 2);
+        let names: Vec<_> = r.histograms().map(|(n, _)| n.to_string()).collect();
+        assert_eq!(names, vec!["cpu_net_latency"]);
+    }
+}

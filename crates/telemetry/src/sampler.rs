@@ -1,0 +1,214 @@
+//! Epoch sampler: named per-epoch series stored in bounded ring
+//! buffers.
+
+/// Handle to a registered series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeriesId(usize);
+
+/// A fixed-capacity ring of `f64` samples; old epochs are evicted once
+/// the ring is full, so memory stays bounded for arbitrarily long runs.
+#[derive(Debug, Clone)]
+struct Ring {
+    buf: Vec<f64>,
+    head: usize, // index of the oldest element
+    len: usize,
+    cap: usize,
+}
+
+impl Ring {
+    fn new(cap: usize) -> Self {
+        Ring {
+            buf: Vec::new(),
+            head: 0,
+            len: 0,
+            cap: cap.max(1),
+        }
+    }
+
+    fn push(&mut self, v: f64) {
+        if self.buf.len() < self.cap {
+            self.buf.push(v);
+            self.len += 1;
+        } else {
+            // Full: overwrite the oldest.
+            self.buf[self.head] = v;
+            self.head = (self.head + 1) % self.cap;
+        }
+    }
+
+    fn get(&self, i: usize) -> f64 {
+        debug_assert!(i < self.len);
+        self.buf[(self.head + i) % self.buf.len()]
+    }
+}
+
+/// Collects one value per registered series per epoch.
+///
+/// Usage per epoch: `set()` each series, then `commit_epoch()`. Series
+/// not set in an epoch record 0.0 for it, so all series stay aligned
+/// by epoch index.
+#[derive(Debug, Clone)]
+pub struct EpochSampler {
+    names: Vec<String>,
+    rings: Vec<Ring>,
+    pending: Vec<f64>,
+    epochs_committed: u64,
+    ring_cap: usize,
+}
+
+impl EpochSampler {
+    /// A sampler whose series each retain at most `ring_cap` epochs.
+    pub fn new(ring_cap: usize) -> Self {
+        EpochSampler {
+            names: Vec::new(),
+            rings: Vec::new(),
+            pending: Vec::new(),
+            epochs_committed: 0,
+            ring_cap,
+        }
+    }
+
+    /// Register (or look up) a series by name.
+    pub fn series(&mut self, name: &str) -> SeriesId {
+        if let Some(ix) = self.names.iter().position(|n| n == name) {
+            return SeriesId(ix);
+        }
+        self.names.push(name.to_string());
+        self.rings.push(Ring::new(self.ring_cap));
+        self.pending.push(0.0);
+        SeriesId(self.names.len() - 1)
+    }
+
+    /// Stage this epoch's value for a series.
+    pub fn set(&mut self, id: SeriesId, v: f64) {
+        self.pending[id.0] = v;
+    }
+
+    /// Seal the current epoch: push every staged value and reset the
+    /// staging area to zeros.
+    pub fn commit_epoch(&mut self) {
+        for (ring, v) in self.rings.iter_mut().zip(self.pending.iter_mut()) {
+            ring.push(*v);
+            *v = 0.0;
+        }
+        self.epochs_committed += 1;
+    }
+
+    /// Total epochs committed (including any evicted from the rings).
+    pub fn epochs_committed(&self) -> u64 {
+        self.epochs_committed
+    }
+
+    /// Epochs currently retained (same for every series).
+    pub fn retained(&self) -> usize {
+        self.rings.first().map_or(0, |r| r.len)
+    }
+
+    /// Index of the first retained epoch (0 unless eviction happened).
+    pub fn first_epoch(&self) -> u64 {
+        self.epochs_committed - self.retained() as u64
+    }
+
+    /// Number of registered series.
+    pub fn n_series(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Name of a series.
+    pub fn name(&self, id: SeriesId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Look up a series id by name without registering.
+    pub fn find(&self, name: &str) -> Option<SeriesId> {
+        self.names.iter().position(|n| n == name).map(SeriesId)
+    }
+
+    /// The retained values of a series, oldest first.
+    pub fn values(&self, id: SeriesId) -> Vec<f64> {
+        let ring = &self.rings[id.0];
+        (0..ring.len).map(|i| ring.get(i)).collect()
+    }
+
+    /// Iterate `(name, values)` over all series, oldest epoch first.
+    pub fn all_series(&self) -> impl Iterator<Item = (&str, Vec<f64>)> {
+        self.names.iter().map(String::as_str).zip(
+            self.rings
+                .iter()
+                .map(|r| (0..r.len).map(|i| r.get(i)).collect()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn staged_values_commit_and_reset() {
+        let mut s = EpochSampler::new(16);
+        let a = s.series("a");
+        let b = s.series("b");
+        s.set(a, 1.0);
+        s.set(b, 2.0);
+        s.commit_epoch();
+        s.set(a, 3.0); // b left unset -> 0.0
+        s.commit_epoch();
+        assert_eq!(s.values(a), vec![1.0, 3.0]);
+        assert_eq!(s.values(b), vec![2.0, 0.0]);
+        assert_eq!(s.epochs_committed(), 2);
+        assert_eq!(s.first_epoch(), 0);
+    }
+
+    #[test]
+    fn ring_wraparound_keeps_newest() {
+        let mut s = EpochSampler::new(4);
+        let a = s.series("a");
+        for i in 0..10 {
+            s.set(a, i as f64);
+            s.commit_epoch();
+        }
+        assert_eq!(s.values(a), vec![6.0, 7.0, 8.0, 9.0]);
+        assert_eq!(s.retained(), 4);
+        assert_eq!(s.epochs_committed(), 10);
+        assert_eq!(s.first_epoch(), 6);
+    }
+
+    #[test]
+    fn wraparound_exact_boundary() {
+        let mut s = EpochSampler::new(3);
+        let a = s.series("x");
+        for i in 0..3 {
+            s.set(a, i as f64);
+            s.commit_epoch();
+        }
+        assert_eq!(s.values(a), vec![0.0, 1.0, 2.0]);
+        s.set(a, 3.0);
+        s.commit_epoch();
+        assert_eq!(s.values(a), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn series_registered_late_still_aligns_by_index() {
+        let mut s = EpochSampler::new(8);
+        let a = s.series("a");
+        s.set(a, 5.0);
+        s.commit_epoch();
+        let b = s.series("b");
+        s.set(b, 6.0);
+        s.commit_epoch();
+        // b missed epoch 0; its ring is one shorter, so callers align
+        // from the end. Retention reports the longest ring.
+        assert_eq!(s.values(a), vec![5.0, 0.0]);
+        assert_eq!(s.values(b), vec![6.0]);
+    }
+
+    #[test]
+    fn find_does_not_register() {
+        let mut s = EpochSampler::new(8);
+        assert!(s.find("nope").is_none());
+        let a = s.series("yes");
+        assert_eq!(s.find("yes"), Some(a));
+        assert_eq!(s.n_series(), 1);
+    }
+}

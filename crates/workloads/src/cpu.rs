@@ -11,8 +11,7 @@
 
 use crate::gpu::MemAccess;
 use clognet_proto::{Addr, CoreId};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use clognet_rng::{Rng, SeedableRng, SmallRng};
 
 /// Base of the CPU data region (disjoint from all GPU regions).
 const CPU_BASE: u64 = 0x0000_8000_0000;

@@ -31,8 +31,7 @@
 
 use crate::zipf::Zipf;
 use clognet_proto::{Addr, CoreId, CtaSched};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use clognet_rng::{Rng, SeedableRng, SmallRng};
 
 /// Base of the hot (kernel-wide) shared region.
 const HOT_BASE: u64 = 0x4000_0000_0000;

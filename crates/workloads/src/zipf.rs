@@ -6,7 +6,7 @@
 //! stencil halos) absorb most of the shared traffic, which is what makes
 //! remote L1 copies likely — the inter-core-locality engine of the paper.
 
-use rand::Rng;
+use clognet_rng::Rng;
 use std::sync::Arc;
 
 /// A sampled Zipf distribution over ranks `0..n` with exponent `s`.
@@ -57,8 +57,7 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use clognet_rng::{SeedableRng, SmallRng};
 
     #[test]
     fn samples_in_range() {

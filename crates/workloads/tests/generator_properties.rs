@@ -1,89 +1,96 @@
-//! Property tests for the workload generators: determinism, address
+//! Randomized tests for the workload generators: determinism, address
 //! hygiene, region separation, and statistical targets.
+//!
+//! Seeded with `clognet-rng` so every run explores the same cases.
 
 use clognet_proto::{CoreId, CtaSched};
+use clognet_rng::{Rng, SeedableRng, SmallRng};
 use clognet_workloads::{cpu_benchmarks, gpu_benchmarks, CpuStream, GpuStream, Zipf};
-use proptest::prelude::*;
 
-proptest! {
-    /// Every GPU stream is deterministic in (bench, core, n_cores, seed)
-    /// and emits line-aligned addresses inside known regions.
-    #[test]
-    fn gpu_streams_deterministic_and_hygienic(
-        bench_ix in 0usize..11,
-        core in 0u16..40,
-        seed in 0u64..64,
-    ) {
+/// Every GPU stream is deterministic in (bench, core, n_cores, seed)
+/// and emits line-aligned addresses inside known regions.
+#[test]
+fn gpu_streams_deterministic_and_hygienic() {
+    let mut rng = SmallRng::seed_from_u64(0x6E4_0001);
+    for _case in 0..33 {
+        let bench_ix = rng.gen_range(0..11usize);
+        let core = rng.gen_range(0..40u16);
+        let seed = rng.gen_range(0..64u64);
         let p = gpu_benchmarks()[bench_ix].clone();
         let mut a = GpuStream::new(p.clone(), CoreId(core), 40, seed);
         let mut b = GpuStream::new(p, CoreId(core), 40, seed);
         for _ in 0..300 {
             let x = a.next_access();
             let y = b.next_access();
-            prop_assert_eq!(x, y);
-            prop_assert_eq!(x.addr.0 % 128, 0, "unaligned {}", x.addr);
+            assert_eq!(x, y);
+            assert_eq!(x.addr.0 % 128, 0, "unaligned {}", x.addr);
             // Addresses stay inside the defined regions.
             let ad = x.addr.0;
             let in_private = (0x2000_0000_0000..0x3000_0000_0000).contains(&ad);
             let in_output = (0x3000_0000_0000..0x4000_0000_0000).contains(&ad);
             let in_hot = (0x4000_0000_0000..0x5000_0000_0000).contains(&ad);
             let in_tile = (0x5000_0000_0000..0x6000_0000_0000).contains(&ad);
-            prop_assert!(in_private || in_output || in_hot || in_tile, "{:#x}", ad);
+            assert!(in_private || in_output || in_hot || in_tile, "{ad:#x}");
             if x.write {
-                prop_assert!(in_output, "write outside output region: {:#x}", ad);
+                assert!(in_output, "write outside output region: {ad:#x}");
             }
         }
     }
+}
 
-    /// CPU streams never wander into GPU regions and respect per-core
-    /// separation.
-    #[test]
-    fn cpu_streams_stay_in_their_lane(
-        bench_ix in 0usize..9,
-        core_a in 0u16..16,
-        core_b in 0u16..16,
-        seed in 0u64..64,
-    ) {
-        prop_assume!(core_a != core_b);
+/// CPU streams never wander into GPU regions and respect per-core
+/// separation.
+#[test]
+fn cpu_streams_stay_in_their_lane() {
+    let mut rng = SmallRng::seed_from_u64(0x6E4_0002);
+    for _case in 0..27 {
+        let bench_ix = rng.gen_range(0..9usize);
+        let core_a = rng.gen_range(0..16u16);
+        let mut core_b = rng.gen_range(0..16u16);
+        if core_a == core_b {
+            core_b = (core_b + 1) % 16;
+        }
+        let seed = rng.gen_range(0..64u64);
         let p = cpu_benchmarks()[bench_ix].clone();
         let mut a = CpuStream::new(p.clone(), CoreId(core_a), seed);
         let mut b = CpuStream::new(p, CoreId(core_b), seed);
-        let la: std::collections::HashSet<u64> =
-            (0..500).map(|_| a.next_access().addr.0).collect();
-        let lb: std::collections::HashSet<u64> =
-            (0..500).map(|_| b.next_access().addr.0).collect();
-        prop_assert!(la.is_disjoint(&lb), "CPU cores share addresses");
+        let la: std::collections::HashSet<u64> = (0..500).map(|_| a.next_access().addr.0).collect();
+        let lb: std::collections::HashSet<u64> = (0..500).map(|_| b.next_access().addr.0).collect();
+        assert!(la.is_disjoint(&lb), "CPU cores share addresses");
         for &ad in la.iter().chain(lb.iter()) {
-            prop_assert!(ad < 0x2000_0000_0000, "CPU address in GPU region {:#x}", ad);
-            prop_assert_eq!(ad % 64, 0, "unaligned CPU access");
+            assert!(ad < 0x2000_0000_0000, "CPU address in GPU region {ad:#x}");
+            assert_eq!(ad % 64, 0, "unaligned CPU access");
         }
     }
+}
 
-    /// Distributed CTA scheduling never increases halo traffic and never
-    /// decreases private reuse, for any benchmark.
-    #[test]
-    fn distributed_cta_is_locality_monotone(bench_ix in 0usize..11) {
+/// Distributed CTA scheduling never increases halo traffic and never
+/// decreases private reuse, for any benchmark.
+#[test]
+fn distributed_cta_is_locality_monotone() {
+    for bench_ix in 0..11 {
         let p = gpu_benchmarks()[bench_ix].clone();
         let d = p.clone().with_cta_sched(CtaSched::Distributed);
-        prop_assert!(d.halo_fraction <= p.halo_fraction);
-        prop_assert!(d.private_reuse >= p.private_reuse);
-        prop_assert_eq!(
-            p.clone().with_cta_sched(CtaSched::RoundRobin),
-            p
-        );
+        assert!(d.halo_fraction <= p.halo_fraction);
+        assert!(d.private_reuse >= p.private_reuse);
+        assert_eq!(p.clone().with_cta_sched(CtaSched::RoundRobin), p);
     }
+}
 
-    /// The Zipf sampler is in-range and monotone: lower ranks are drawn
-    /// at least as often as (significantly) higher ranks.
-    #[test]
-    fn zipf_is_ranked(n in 2usize..200, s in 0.3f64..1.4) {
+/// The Zipf sampler is in-range and monotone: lower ranks are drawn at
+/// least as often as (significantly) higher ranks.
+#[test]
+fn zipf_is_ranked() {
+    let mut outer = SmallRng::seed_from_u64(0x6E4_0003);
+    for _case in 0..12 {
+        let n = outer.gen_range(2..200usize);
+        let s = outer.gen_range(0.3..1.4);
         let z = Zipf::new(n, s);
-        let mut rng = rand::SeedableRng::seed_from_u64(9);
-        let rng: &mut rand::rngs::SmallRng = &mut rng;
+        let mut rng = SmallRng::seed_from_u64(9);
         let mut counts = vec![0u32; n];
         for _ in 0..20_000 {
-            let k = z.sample(rng);
-            prop_assert!(k < n);
+            let k = z.sample(&mut rng);
+            assert!(k < n);
             counts[k] += 1;
         }
         // Head beats deep tail (allow sampling noise by comparing rank 0
@@ -93,11 +100,10 @@ proptest! {
             .map(|&c| c as f64)
             .sum::<f64>()
             / (n - (3 * n / 4).max(1)) as f64;
-        prop_assert!(
+        assert!(
             counts[0] as f64 >= tail_avg,
-            "rank0 {} < tail {}",
-            counts[0],
-            tail_avg
+            "rank0 {} < tail {tail_avg}",
+            counts[0]
         );
     }
 }

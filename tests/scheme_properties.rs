@@ -1,44 +1,44 @@
-//! Property-based tests (proptest) over the full system and its
-//! substrates: conservation, determinism, and configuration robustness
-//! under randomized parameters.
+//! Randomized tests over the full system and its substrates:
+//! conservation, determinism, and configuration robustness under
+//! randomized parameters.
+//!
+//! Seeded with `clognet-rng` so every run explores the same cases.
 
 use clognet_core::System;
 use clognet_noc::{ClassAssignment, NetParams, Network};
 use clognet_proto::*;
-use proptest::prelude::*;
+use clognet_rng::{Rng, SeedableRng, SmallRng};
 
-fn arb_scheme() -> impl Strategy<Value = Scheme> {
-    prop_oneof![
-        Just(Scheme::Baseline),
-        Just(Scheme::DelegatedReplies),
-        (1usize..8).prop_map(|fanout| Scheme::RealisticProbing { fanout }),
-    ]
+fn arb_scheme(rng: &mut SmallRng) -> Scheme {
+    match rng.gen_range(0..3u32) {
+        0 => Scheme::Baseline,
+        1 => Scheme::DelegatedReplies,
+        _ => Scheme::RealisticProbing {
+            fanout: rng.gen_range(1..8usize),
+        },
+    }
 }
 
-fn arb_layout() -> impl Strategy<Value = LayoutKind> {
-    prop_oneof![
-        Just(LayoutKind::Baseline),
-        Just(LayoutKind::EdgeB),
-        Just(LayoutKind::ClusteredC),
-        Just(LayoutKind::DistributedD),
-    ]
+fn arb_layout(rng: &mut SmallRng) -> LayoutKind {
+    [
+        LayoutKind::Baseline,
+        LayoutKind::EdgeB,
+        LayoutKind::ClusteredC,
+        LayoutKind::DistributedD,
+    ][rng.gen_range(0..4usize)]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Any (scheme, layout, workload, seed) combination runs without
-    /// panics, makes progress, and keeps in-flight packets bounded.
-    #[test]
-    fn random_configurations_are_live(
-        scheme in arb_scheme(),
-        layout in arb_layout(),
-        bench_ix in 0usize..11,
-        cpu_ix in 0usize..9,
-        seed in 0u64..1_000,
-    ) {
-        let gpu = clognet_workloads::gpu_benchmarks()[bench_ix].name;
-        let cpu = clognet_workloads::cpu_benchmarks()[cpu_ix].name;
+/// Any (scheme, layout, workload, seed) combination runs without
+/// panics, makes progress, and keeps in-flight packets bounded.
+#[test]
+fn random_configurations_are_live() {
+    let mut rng = SmallRng::seed_from_u64(0x5C_0001);
+    for _case in 0..12 {
+        let scheme = arb_scheme(&mut rng);
+        let layout = arb_layout(&mut rng);
+        let gpu = clognet_workloads::gpu_benchmarks()[rng.gen_range(0..11usize)].name;
+        let cpu = clognet_workloads::cpu_benchmarks()[rng.gen_range(0..9usize)].name;
+        let seed = rng.gen_range(0..1_000u64);
         let (req, rep) = SystemConfig::best_routing_for(layout);
         let mut cfg = SystemConfig::default()
             .with_scheme(scheme)
@@ -48,21 +48,33 @@ proptest! {
         let mut sys = System::new(cfg, gpu, cpu);
         sys.run(2_500);
         let r = sys.report();
-        prop_assert!(r.gpu_ipc > 0.0, "GPU made no progress");
-        prop_assert!(sys.nets().in_flight() < 5_000, "packet explosion");
+        assert!(r.gpu_ipc > 0.0, "GPU made no progress");
+        assert!(sys.nets().in_flight() < 5_000, "packet explosion");
     }
+}
 
-    /// The network conserves packets under random traffic on every
-    /// topology: everything injected is eventually ejected exactly once.
-    #[test]
-    fn network_conserves_packets(
-        topo_ix in 0usize..4,
-        sends in proptest::collection::vec((0u16..64, 0u16..64), 1..60),
-        reply_class in any::<bool>(),
-    ) {
-        let topology = Topology::ALL[topo_ix];
-        let class = if reply_class { TrafficClass::Reply } else { TrafficClass::Request };
-        let kind = if reply_class { MsgKind::ReadReply } else { MsgKind::ReadReq };
+/// The network conserves packets under random traffic on every
+/// topology: everything injected is eventually ejected exactly once.
+#[test]
+fn network_conserves_packets() {
+    let mut rng = SmallRng::seed_from_u64(0x5C_0002);
+    for _case in 0..12 {
+        let topology = Topology::ALL[rng.gen_range(0..4usize)];
+        let n_sends = rng.gen_range(1..60usize);
+        let sends: Vec<(u16, u16)> = (0..n_sends)
+            .map(|_| (rng.gen_range(0..64u16), rng.gen_range(0..64u16)))
+            .collect();
+        let reply_class = rng.gen_bool(0.5);
+        let class = if reply_class {
+            TrafficClass::Reply
+        } else {
+            TrafficClass::Request
+        };
+        let kind = if reply_class {
+            MsgKind::ReadReply
+        } else {
+            MsgKind::ReadReq
+        };
         let mut net = Network::new(NetParams {
             topology,
             width: 8,
@@ -110,40 +122,53 @@ proptest! {
                 break;
             }
         }
-        prop_assert_eq!(received, expected, "{:?} lost or duplicated packets", topology);
-        prop_assert_eq!(net.in_flight(), 0);
+        assert_eq!(
+            received, expected,
+            "{topology:?} lost or duplicated packets"
+        );
+        assert_eq!(net.in_flight(), 0);
     }
+}
 
-    /// Same seed, same result — the simulator is deterministic under
-    /// every scheme.
-    #[test]
-    fn determinism_across_schemes(scheme in arb_scheme(), seed in 0u64..50) {
+/// Same seed, same result — the simulator is deterministic under every
+/// scheme.
+#[test]
+fn determinism_across_schemes() {
+    let mut rng = SmallRng::seed_from_u64(0x5C_0003);
+    for _case in 0..6 {
+        let scheme = arb_scheme(&mut rng);
+        let seed = rng.gen_range(0..50u64);
         let mk = || {
             let mut cfg = SystemConfig::default().with_scheme(scheme);
             cfg.seed = seed;
             let mut sys = System::new(cfg, "NN", "swaptions");
             sys.run(2_000);
             let r = sys.report();
-            (r.gpu_ipc.to_bits(), r.flit_hops, r.delegations, r.probes_sent)
+            (
+                r.gpu_ipc.to_bits(),
+                r.flit_hops,
+                r.delegations,
+                r.probes_sent,
+            )
         };
-        prop_assert_eq!(mk(), mk());
+        assert_eq!(mk(), mk());
     }
+}
 
-    /// Mesh sizes and node mixes tile correctly and run.
-    #[test]
-    fn node_mix_variants_run(
-        gpu_extra in 0usize..3,
-        mem_choice in 0usize..3,
-    ) {
-        let n_mem = [4usize, 8, 16][mem_choice];
-        let n_cpu = 8 + gpu_extra * 8;
-        let n_gpu = 64 - n_mem - n_cpu;
-        let mut cfg = SystemConfig::default().with_scheme(Scheme::DelegatedReplies);
-        cfg.n_gpu = n_gpu;
-        cfg.n_cpu = n_cpu;
-        cfg.n_mem = n_mem;
-        let mut sys = System::new(cfg, "HS", "ferret");
-        sys.run(2_000);
-        prop_assert!(sys.report().gpu_ipc > 0.0);
+/// Mesh sizes and node mixes tile correctly and run.
+#[test]
+fn node_mix_variants_run() {
+    for gpu_extra in 0..3usize {
+        for n_mem in [4usize, 8, 16] {
+            let n_cpu = 8 + gpu_extra * 8;
+            let n_gpu = 64 - n_mem - n_cpu;
+            let mut cfg = SystemConfig::default().with_scheme(Scheme::DelegatedReplies);
+            cfg.n_gpu = n_gpu;
+            cfg.n_cpu = n_cpu;
+            cfg.n_mem = n_mem;
+            let mut sys = System::new(cfg, "HS", "ferret");
+            sys.run(2_000);
+            assert!(sys.report().gpu_ipc > 0.0);
+        }
     }
 }

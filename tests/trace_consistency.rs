@@ -18,17 +18,20 @@ fn trace_counts_match_report() {
     let count = |k: &str| trace.of_kind(k).count() as u64;
     assert_eq!(count("delegate"), r.delegations, "delegation events");
     // Remote hits are traced when the CoreReply leaves the server;
-    // events may trail the stats by the handful still in outboxes.
+    // the stats count FRQ service, so events trail the stats by the
+    // replies still queued core-side. Each of the 40 GPU cores can hold
+    // a 16-entry reply outbox plus FRQ work, so allow that much slack.
+    let slack = 40 * 16;
     let hits = count("remote-hit");
     assert!(
-        hits <= r.breakdown.remote_hit && hits + 64 >= r.breakdown.remote_hit,
+        hits <= r.breakdown.remote_hit && hits + slack >= r.breakdown.remote_hit,
         "remote hits: {} events vs {} stat",
         hits,
         r.breakdown.remote_hit
     );
     let misses = count("remote-miss");
     assert!(
-        misses <= r.breakdown.remote_miss && misses + 64 >= r.breakdown.remote_miss,
+        misses <= r.breakdown.remote_miss && misses + slack >= r.breakdown.remote_miss,
         "remote misses: {} events vs {} stat",
         misses,
         r.breakdown.remote_miss
