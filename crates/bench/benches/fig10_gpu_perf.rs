@@ -2,6 +2,7 @@
 //! vs Realistic Probing vs the baseline, per benchmark with min/avg/max
 //! over the three CPU co-runners.
 
+use clognet_bench::runner::{default_threads, run_jobs};
 use clognet_bench::{banner, geomean, run_workload};
 use clognet_proto::{Scheme, SystemConfig};
 use clognet_workloads::TABLE2;
@@ -16,24 +17,38 @@ fn main() {
         "{:<7} {:>22} {:>22}",
         "bench", "DR/base (min avg max)", "RP/base (min avg max)"
     );
+    // All (pair, co-runner, scheme) simulations are independent: run the
+    // whole matrix through the job runner and consume results in order.
+    let mut jobs = Vec::new();
+    for p in TABLE2.iter() {
+        for cpu in p.cpus {
+            jobs.push((SystemConfig::default(), p.gpu, cpu));
+            jobs.push((
+                SystemConfig::default().with_scheme(Scheme::DelegatedReplies),
+                p.gpu,
+                cpu,
+            ));
+            jobs.push((
+                SystemConfig::default().with_scheme(Scheme::rp_default()),
+                p.gpu,
+                cpu,
+            ));
+        }
+    }
+    let reports = run_jobs(jobs, default_threads(), |(cfg, gpu, cpu)| {
+        run_workload(cfg, gpu, cpu)
+    });
+    let mut it = reports.into_iter();
     let mut dr_all = Vec::new();
     let mut rp_all = Vec::new();
     let mut req_inflation = Vec::new();
     for p in TABLE2.iter() {
         let mut dr = Vec::new();
         let mut rp = Vec::new();
-        for cpu in p.cpus {
-            let b = run_workload(SystemConfig::default(), p.gpu, cpu);
-            let d = run_workload(
-                SystemConfig::default().with_scheme(Scheme::DelegatedReplies),
-                p.gpu,
-                cpu,
-            );
-            let r = run_workload(
-                SystemConfig::default().with_scheme(Scheme::rp_default()),
-                p.gpu,
-                cpu,
-            );
+        for _ in p.cpus {
+            let b = it.next().unwrap();
+            let d = it.next().unwrap();
+            let r = it.next().unwrap();
             dr.push(d.gpu_ipc / b.gpu_ipc);
             rp.push(r.gpu_ipc / b.gpu_ipc);
             req_inflation.push(r.request_packets as f64 / b.request_packets as f64);

@@ -2,6 +2,7 @@
 //! Replies raises effective NoC bandwidth by moving reply traffic onto
 //! inter-GPU links.
 
+use clognet_bench::runner::{default_threads, run_jobs};
 use clognet_bench::{banner, run_workload};
 use clognet_proto::{Scheme, SystemConfig};
 use clognet_workloads::TABLE2;
@@ -15,19 +16,29 @@ fn main() {
         "{:<7} {:>8} {:>8} {:>8} {:>8} {:>8}",
         "bench", "base", "DR", "RP", "DR/b", "RP/b"
     );
-    let (mut dsum, mut rsum) = (0.0, 0.0);
+    let mut jobs = Vec::new();
     for p in TABLE2.iter() {
-        let b = run_workload(SystemConfig::default(), p.gpu, p.cpus[0]);
-        let d = run_workload(
+        jobs.push((SystemConfig::default(), p.gpu, p.cpus[0]));
+        jobs.push((
             SystemConfig::default().with_scheme(Scheme::DelegatedReplies),
             p.gpu,
             p.cpus[0],
-        );
-        let r = run_workload(
+        ));
+        jobs.push((
             SystemConfig::default().with_scheme(Scheme::rp_default()),
             p.gpu,
             p.cpus[0],
-        );
+        ));
+    }
+    let reports = run_jobs(jobs, default_threads(), |(cfg, gpu, cpu)| {
+        run_workload(cfg, gpu, cpu)
+    });
+    let mut it = reports.into_iter();
+    let (mut dsum, mut rsum) = (0.0, 0.0);
+    for p in TABLE2.iter() {
+        let b = it.next().unwrap();
+        let d = it.next().unwrap();
+        let r = it.next().unwrap();
         println!(
             "{:<7} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
             p.gpu,

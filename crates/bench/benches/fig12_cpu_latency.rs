@@ -2,6 +2,7 @@
 //! memory-node injection buffers lets CPU requests enter and be
 //! prioritized.
 
+use clognet_bench::runner::{default_threads, run_jobs};
 use clognet_bench::{banner, run_workload};
 use clognet_proto::{Scheme, SystemConfig};
 use clognet_workloads::{cpu_benchmarks, TABLE2};
@@ -15,19 +16,30 @@ fn main() {
         "{:<14} {:>9} {:>9} {:>9} {:>9}",
         "cpu bench", "base", "DR", "min", "max"
     );
+    let mut jobs = Vec::new();
+    for cb in cpu_benchmarks() {
+        for p in TABLE2.iter().filter(|p| p.cpus.contains(&cb.name)) {
+            jobs.push((SystemConfig::default(), p.gpu, cb.name));
+            jobs.push((
+                SystemConfig::default().with_scheme(Scheme::DelegatedReplies),
+                p.gpu,
+                cb.name,
+            ));
+        }
+    }
+    let reports = run_jobs(jobs, default_threads(), |(cfg, gpu, cpu)| {
+        run_workload(cfg, gpu, cpu)
+    });
+    let mut it = reports.into_iter();
     for cb in cpu_benchmarks() {
         // Aggregate over the GPU workloads this CPU benchmark co-runs
         // with in Table II.
         let mut ratios = Vec::new();
         let mut base_lat = Vec::new();
         let mut dr_lat = Vec::new();
-        for p in TABLE2.iter().filter(|p| p.cpus.contains(&cb.name)) {
-            let b = run_workload(SystemConfig::default(), p.gpu, cb.name);
-            let d = run_workload(
-                SystemConfig::default().with_scheme(Scheme::DelegatedReplies),
-                p.gpu,
-                cb.name,
-            );
+        for _ in TABLE2.iter().filter(|p| p.cpus.contains(&cb.name)) {
+            let b = it.next().unwrap();
+            let d = it.next().unwrap();
             base_lat.push(b.cpu_net_latency);
             dr_lat.push(d.cpu_net_latency);
             ratios.push(d.cpu_net_latency / b.cpu_net_latency);

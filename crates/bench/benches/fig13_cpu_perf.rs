@@ -2,6 +2,7 @@
 //! traffic clogs the memory nodes, DR improves CPU performance by
 //! freeing the blocked injection buffers.
 
+use clognet_bench::runner::{default_threads, run_jobs};
 use clognet_bench::{banner, run_workload};
 use clognet_proto::{Scheme, SystemConfig};
 use clognet_workloads::{cpu_benchmarks, TABLE2};
@@ -15,17 +16,28 @@ fn main() {
         "{:<14} {:>10} {:>10} {:>10}",
         "cpu bench", "DR/base", "min", "max"
     );
+    let mut jobs = Vec::new();
+    for cb in cpu_benchmarks() {
+        for p in TABLE2.iter().filter(|p| p.cpus.contains(&cb.name)) {
+            jobs.push((SystemConfig::default(), p.gpu, cb.name));
+            jobs.push((
+                SystemConfig::default().with_scheme(Scheme::DelegatedReplies),
+                p.gpu,
+                cb.name,
+            ));
+        }
+    }
+    let reports = run_jobs(jobs, default_threads(), |(cfg, gpu, cpu)| {
+        run_workload(cfg, gpu, cpu)
+    });
+    let mut it = reports.into_iter();
     let mut clogged = Vec::new();
     let mut all = Vec::new();
     for cb in cpu_benchmarks() {
         let mut ratios = Vec::new();
-        for p in TABLE2.iter().filter(|p| p.cpus.contains(&cb.name)) {
-            let b = run_workload(SystemConfig::default(), p.gpu, cb.name);
-            let d = run_workload(
-                SystemConfig::default().with_scheme(Scheme::DelegatedReplies),
-                p.gpu,
-                cb.name,
-            );
+        for _ in TABLE2.iter().filter(|p| p.cpus.contains(&cb.name)) {
+            let b = it.next().unwrap();
+            let d = it.next().unwrap();
             let ratio = d.cpu_performance / b.cpu_performance;
             ratios.push(ratio);
             all.push(ratio);

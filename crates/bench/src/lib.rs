@@ -19,6 +19,8 @@
 use clognet_core::{Report, System};
 use clognet_proto::SystemConfig;
 
+pub mod runner;
+
 /// Warmup cycles (statistics excluded), from `CLOGNET_WARM`.
 pub fn warm_cycles() -> u64 {
     std::env::var("CLOGNET_WARM")

@@ -1,0 +1,317 @@
+//! In-process drivers for the multi-run subcommands (`compare`, `sweep`,
+//! `bench`): job construction, parallel execution on the
+//! [`clognet_bench::runner`], and output assembly.
+//!
+//! This lives in the library (not `main.rs`) so tests can assert the
+//! exact bytes an invocation produces — in particular that `--json`
+//! output is identical between `--threads 1` and `--threads N`. Each
+//! job builds its own [`System`] from an owned config and the runner
+//! returns results in submission order, so thread count can never
+//! change what gets printed.
+
+use crate::args::ParseArgsError;
+use crate::report;
+use clognet_bench::runner::run_jobs;
+use clognet_core::{Report, System};
+use clognet_proto::{AddressMap, Scheme, SystemConfig};
+
+/// Build, warm, measure, and report one workload under one config.
+pub fn measure(cfg: SystemConfig, gpu: &str, cpu: &str, warm: u64, cycles: u64) -> Report {
+    let mut sys = System::new(cfg, gpu, cpu);
+    sys.run(warm);
+    sys.reset_stats();
+    sys.run(cycles);
+    sys.report()
+}
+
+/// The three schemes `compare` pits against each other, in table order.
+pub fn compare_schemes() -> [Scheme; 3] {
+    [
+        Scheme::Baseline,
+        Scheme::rp_default(),
+        Scheme::DelegatedReplies,
+    ]
+}
+
+/// Run the scheme comparison across `threads` workers; rows come back
+/// in scheme order regardless of which finishes first.
+pub fn run_compare(
+    base: &SystemConfig,
+    gpu: &str,
+    cpu: &str,
+    warm: u64,
+    cycles: u64,
+    threads: usize,
+) -> Vec<(Scheme, Report)> {
+    let jobs: Vec<(Scheme, SystemConfig)> = compare_schemes()
+        .into_iter()
+        .map(|scheme| {
+            let mut cfg = base.clone();
+            cfg.scheme = scheme;
+            (scheme, cfg)
+        })
+        .collect();
+    run_jobs(jobs, threads, |(scheme, cfg)| {
+        (scheme, measure(cfg, gpu, cpu, warm, cycles))
+    })
+}
+
+/// One sweep point: the swept value and both scheme reports.
+pub struct SweepPoint {
+    /// The swept parameter's value at this point.
+    pub value: u64,
+    /// Report under [`Scheme::Baseline`].
+    pub baseline: Report,
+    /// Report under [`Scheme::DelegatedReplies`].
+    pub dr: Report,
+}
+
+/// Parse a `--values v1,v2,...` list once, up front.
+///
+/// # Errors
+///
+/// Fails on any non-numeric entry.
+pub fn parse_sweep_values(s: &str) -> Result<Vec<u64>, ParseArgsError> {
+    s.split(',')
+        .map(|v| {
+            v.trim()
+                .parse()
+                .map_err(|_| ParseArgsError(format!("bad sweep value `{v}`")))
+        })
+        .collect()
+}
+
+/// Apply one sweep parameter to a config.
+///
+/// Every supported parameter leaves node placement and address
+/// interleaving untouched — that is what lets [`run_sweep`] derive the
+/// [`Layout`](clognet_proto::Layout) and [`AddressMap`] once and clone
+/// them into every point.
+///
+/// # Errors
+///
+/// Fails on an unknown parameter name.
+pub fn apply_sweep_param(
+    cfg: &mut SystemConfig,
+    param: &str,
+    v: u64,
+) -> Result<(), ParseArgsError> {
+    match param {
+        "width" => cfg.noc.channel_bytes = v as u32,
+        "l1kb" => cfg.gpu.l1.capacity_bytes = v * 1024,
+        "llcmb" => cfg.llc.slice.capacity_bytes = v * 1024 * 1024 / cfg.n_mem as u64,
+        "injbuf" => cfg.noc.mem_inj_buf_pkts = v as usize,
+        other => {
+            return Err(ParseArgsError(format!(
+                "unknown sweep param `{other}` (width|l1kb|llcmb|injbuf)"
+            )))
+        }
+    }
+    Ok(())
+}
+
+/// Run a parameter sweep (each point under baseline and DR) across
+/// `threads` workers, reusing one pre-derived layout/address map.
+///
+/// # Errors
+///
+/// Fails on an unknown parameter name.
+#[allow(clippy::too_many_arguments)] // mirrors the CLI surface 1:1
+pub fn run_sweep(
+    base: &SystemConfig,
+    param: &str,
+    values: &[u64],
+    gpu: &str,
+    cpu: &str,
+    warm: u64,
+    cycles: u64,
+    threads: usize,
+) -> Result<Vec<SweepPoint>, ParseArgsError> {
+    // None of the sweep parameters move nodes or re-interleave
+    // addresses, so derive both once instead of per (point, scheme).
+    let layout = base.layout();
+    let map = AddressMap::new(base.n_mem, base.seed);
+    let mut jobs = Vec::with_capacity(values.len() * 2);
+    for &v in values {
+        for scheme in [Scheme::Baseline, Scheme::DelegatedReplies] {
+            let mut cfg = base.clone();
+            cfg.scheme = scheme;
+            apply_sweep_param(&mut cfg, param, v)?;
+            jobs.push(cfg);
+        }
+    }
+    let reports = run_jobs(jobs, threads, |cfg| {
+        let mut sys = System::new_prebuilt(cfg, gpu, cpu, layout.clone(), map);
+        sys.run(warm);
+        sys.reset_stats();
+        sys.run(cycles);
+        sys.report()
+    });
+    let mut it = reports.into_iter();
+    Ok(values
+        .iter()
+        .map(|&value| SweepPoint {
+            value,
+            baseline: it.next().expect("one report per job"),
+            dr: it.next().expect("one report per job"),
+        })
+        .collect())
+}
+
+/// Render one sweep point as its NDJSON line (without trailing newline).
+pub fn sweep_point_json(param: &str, p: &SweepPoint) -> String {
+    format!(
+        "{{\"param\":\"{param}\",\"value\":{},\"baseline\":{},\"dr\":{}}}",
+        p.value,
+        report::report_json(Scheme::Baseline, &p.baseline),
+        report::report_json(Scheme::DelegatedReplies, &p.dr)
+    )
+}
+
+/// One timed leg of the throughput benchmark.
+pub struct BenchLeg {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock seconds for the whole batch.
+    pub wall_s: f64,
+    /// Aggregate simulated cycles per wall-clock second.
+    pub sim_cycles_per_s: f64,
+}
+
+/// Result of `clognet bench`: the job matrix and both timed legs.
+pub struct BenchResult {
+    /// Number of (config, workload, scheme) jobs in the matrix.
+    pub jobs: usize,
+    /// Simulated cycles per job (warm + measured).
+    pub cycles_per_job: u64,
+    /// Single-threaded leg.
+    pub single: BenchLeg,
+    /// Multi-threaded leg.
+    pub multi: BenchLeg,
+}
+
+impl BenchResult {
+    /// Multi-threaded speedup over single-threaded (wall-clock).
+    pub fn speedup(&self) -> f64 {
+        if self.multi.wall_s > 0.0 {
+            self.single.wall_s / self.multi.wall_s
+        } else {
+            0.0
+        }
+    }
+
+    /// The `BENCH_*.json` document: a flat object matching the schema
+    /// EXPERIMENTS.md records perf data points in.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"harness\":\"clognet bench\",\"jobs\":{},\"cycles_per_job\":{},\
+             \"threads_single\":{},\"wall_s_single\":{:.6},\"sim_cycles_per_s_single\":{:.1},\
+             \"threads_multi\":{},\"wall_s_multi\":{:.6},\"sim_cycles_per_s_multi\":{:.1},\
+             \"speedup\":{:.3}}}",
+            self.jobs,
+            self.cycles_per_job,
+            self.single.threads,
+            self.single.wall_s,
+            self.single.sim_cycles_per_s,
+            self.multi.threads,
+            self.multi.wall_s,
+            self.multi.sim_cycles_per_s,
+            self.speedup()
+        )
+    }
+}
+
+/// The fixed `compare`-shaped workload matrix the benchmark times:
+/// every scheme over a small, diverse set of Table-II pairings.
+pub fn bench_matrix() -> Vec<(SystemConfig, &'static str, &'static str)> {
+    let pairs = [("HS", "bodytrack"), ("MM", "canneal"), ("BP", "ferret")];
+    let mut jobs = Vec::new();
+    for (gpu, cpu) in pairs {
+        for scheme in compare_schemes() {
+            jobs.push((SystemConfig::default().with_scheme(scheme), gpu, cpu));
+        }
+    }
+    jobs
+}
+
+fn time_leg(
+    jobs: Vec<(SystemConfig, &str, &str)>,
+    threads: usize,
+    warm: u64,
+    cycles: u64,
+) -> BenchLeg {
+    let n = jobs.len() as f64;
+    let start = std::time::Instant::now();
+    let reports = run_jobs(jobs, threads, |(cfg, gpu, cpu)| {
+        measure(cfg, gpu, cpu, warm, cycles)
+    });
+    let wall_s = start.elapsed().as_secs_f64();
+    assert_eq!(reports.len() as f64, n, "runner dropped a job");
+    let sim_cycles = n * (warm + cycles) as f64;
+    BenchLeg {
+        threads,
+        wall_s,
+        sim_cycles_per_s: if wall_s > 0.0 {
+            sim_cycles / wall_s
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Time the fixed matrix single- and multi-threaded.
+pub fn run_bench(threads: usize, warm: u64, cycles: u64) -> BenchResult {
+    let matrix = bench_matrix();
+    let jobs = matrix.len();
+    let single = time_leg(matrix.clone(), 1, warm, cycles);
+    let multi = time_leg(matrix, threads.max(2), warm, cycles);
+    BenchResult {
+        jobs,
+        cycles_per_job: warm + cycles,
+        single,
+        multi,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_values_parse_and_reject() {
+        assert_eq!(parse_sweep_values("8, 16,24").unwrap(), vec![8, 16, 24]);
+        assert!(parse_sweep_values("8,x").is_err());
+    }
+
+    #[test]
+    fn sweep_param_application() {
+        let mut cfg = SystemConfig::default();
+        apply_sweep_param(&mut cfg, "width", 32).unwrap();
+        assert_eq!(cfg.noc.channel_bytes, 32);
+        apply_sweep_param(&mut cfg, "l1kb", 64).unwrap();
+        assert_eq!(cfg.gpu.l1.capacity_bytes, 64 * 1024);
+        assert!(apply_sweep_param(&mut cfg, "bogus", 1).is_err());
+    }
+
+    #[test]
+    fn bench_json_is_flat_and_balanced() {
+        let r = BenchResult {
+            jobs: 9,
+            cycles_per_job: 100,
+            single: BenchLeg {
+                threads: 1,
+                wall_s: 2.0,
+                sim_cycles_per_s: 450.0,
+            },
+            multi: BenchLeg {
+                threads: 4,
+                wall_s: 0.5,
+                sim_cycles_per_s: 1800.0,
+            },
+        };
+        let j = r.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"speedup\":4.000"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+}

@@ -6,6 +6,7 @@
 
 pub mod args;
 pub mod config;
+pub mod driver;
 pub mod report;
 pub mod timeline;
 

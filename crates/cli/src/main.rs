@@ -5,19 +5,21 @@
 //! ```text
 //! clognet run      --gpu HS --cpu bodytrack --scheme dr [--cycles N] [--warm N]
 //!                  [--metrics out.json] [--csv out.csv] [--sample N] [--json] ...
-//! clognet compare  --gpu HS --cpu bodytrack [--json]    # baseline vs RP vs DR
-//! clognet sweep    --param width --values 8,16,24 [--json] ...  # config sweeps
+//! clognet compare  --gpu HS --cpu bodytrack [--threads N] [--json]  # baseline vs RP vs DR
+//! clognet sweep    --param width --values 8,16,24 [--threads N] [--json] ...
+//! clognet bench    [--threads N] [--quick] [--out BENCH_x.json]  # throughput harness
 //! clognet timeline --gpu NN --cpu canneal --scheme baseline     # ASCII clog timeline
 //! clognet trace    --gpu HS --cpu bodytrack [--last N] [--kind k]  # protocol events
 //! clognet list                                          # benchmarks & options
 //! clognet help
 //! ```
 
+use clognet_bench::runner::default_threads;
 use clognet_cli::args::{Args, ParseArgsError};
 use clognet_cli::config::{config_from, CONFIG_KEYS};
-use clognet_cli::{report, timeline};
+use clognet_cli::{driver, report, timeline};
 use clognet_core::{System, TelemetryConfig};
-use clognet_proto::{Scheme, SystemConfig};
+use clognet_proto::Scheme;
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -41,6 +43,7 @@ fn dispatch(raw: Vec<String>) -> Result<(), ParseArgsError> {
         "run" => cmd_run(&args),
         "compare" => cmd_compare(&args),
         "sweep" => cmd_sweep(&args),
+        "bench" => cmd_bench(&args),
         "timeline" => cmd_timeline(&args),
         "trace" => cmd_trace(&args),
         "list" => {
@@ -72,18 +75,14 @@ fn sample_len(args: &Args) -> Result<u64, ParseArgsError> {
     Ok(n)
 }
 
-fn measure(
-    cfg: SystemConfig,
-    gpu: &str,
-    cpu: &str,
-    warm: u64,
-    cycles: u64,
-) -> clognet_core::Report {
-    let mut sys = System::new(cfg, gpu, cpu);
-    sys.run(warm);
-    sys.reset_stats();
-    sys.run(cycles);
-    sys.report()
+/// Worker threads from `--threads` (default: available parallelism, or
+/// `CLOGNET_THREADS`).
+fn thread_count(args: &Args) -> Result<usize, ParseArgsError> {
+    let n = args.get_num("threads", default_threads())?;
+    if n == 0 {
+        return Err(ParseArgsError("--threads must be at least 1".into()));
+    }
+    Ok(n)
 }
 
 fn cmd_run(args: &Args) -> Result<(), ParseArgsError> {
@@ -175,25 +174,18 @@ fn cmd_timeline(args: &Args) -> Result<(), ParseArgsError> {
 
 fn cmd_compare(args: &Args) -> Result<(), ParseArgsError> {
     let mut keys = run_keys();
-    keys.push("json");
+    keys.extend_from_slice(&["json", "threads"]);
     args.reject_unknown(&keys)?;
     let gpu = args.get_or("gpu", "HS");
     let cpu = args.get_or("cpu", "bodytrack");
     let warm = args.get_num("warm", 6_000u64)?;
     let cycles = args.get_num("cycles", 15_000u64)?;
+    let threads = thread_count(args)?;
     if !args.flag("json") {
         println!("comparing schemes on {gpu}+{cpu} ({warm} warm + {cycles} measured cycles)\n");
     }
-    let mut rows = Vec::new();
-    for scheme in [
-        Scheme::Baseline,
-        Scheme::rp_default(),
-        Scheme::DelegatedReplies,
-    ] {
-        let mut cfg = config_from(args)?;
-        cfg.scheme = scheme;
-        rows.push((scheme, measure(cfg, gpu, cpu, warm, cycles)));
-    }
+    let base = config_from(args)?;
+    let rows = driver::run_compare(&base, gpu, cpu, warm, cycles, threads);
     if args.flag("json") {
         print!("{}", report::comparison_json(&rows));
     } else {
@@ -204,25 +196,20 @@ fn cmd_compare(args: &Args) -> Result<(), ParseArgsError> {
 
 fn cmd_sweep(args: &Args) -> Result<(), ParseArgsError> {
     let mut keys = run_keys();
-    keys.extend_from_slice(&["param", "values", "json"]);
+    keys.extend_from_slice(&["param", "values", "json", "threads"]);
     args.reject_unknown(&keys)?;
     let gpu = args.get_or("gpu", "HS");
     let cpu = args.get_or("cpu", "bodytrack");
     let warm = args.get_num("warm", 6_000u64)?;
     let cycles = args.get_num("cycles", 15_000u64)?;
+    let threads = thread_count(args)?;
     let param = args
         .get("param")
         .ok_or_else(|| ParseArgsError("sweep needs --param (width|l1kb|llcmb|injbuf)".into()))?;
-    let values: Vec<u64> = args
-        .get("values")
-        .ok_or_else(|| ParseArgsError("sweep needs --values v1,v2,...".into()))?
-        .split(',')
-        .map(|v| {
-            v.trim()
-                .parse()
-                .map_err(|_| ParseArgsError(format!("bad sweep value `{v}`")))
-        })
-        .collect::<Result<_, _>>()?;
+    let values = driver::parse_sweep_values(
+        args.get("values")
+            .ok_or_else(|| ParseArgsError("sweep needs --values v1,v2,...".into()))?,
+    )?;
     if !matches!(param, "width" | "l1kb" | "llcmb" | "injbuf") {
         return Err(ParseArgsError(format!(
             "unknown sweep param `{param}` (width|l1kb|llcmb|injbuf)"
@@ -234,51 +221,58 @@ fn cmd_sweep(args: &Args) -> Result<(), ParseArgsError> {
             param, "base IPC", "DR IPC", "DR/base", "base blocked%", "DR blocked%"
         );
     }
-    for &v in &values {
-        let apply = |cfg: &mut SystemConfig| -> Result<(), ParseArgsError> {
-            match param {
-                "width" => cfg.noc.channel_bytes = v as u32,
-                "l1kb" => {
-                    cfg.gpu.l1.capacity_bytes = v * 1024;
-                }
-                "llcmb" => {
-                    cfg.llc.slice.capacity_bytes = v * 1024 * 1024 / cfg.n_mem as u64;
-                }
-                "injbuf" => cfg.noc.mem_inj_buf_pkts = v as usize,
-                other => {
-                    return Err(ParseArgsError(format!(
-                        "unknown sweep param `{other}` (width|l1kb|llcmb|injbuf)"
-                    )))
-                }
-            }
-            Ok(())
-        };
-        let mut base_cfg = config_from(args)?;
-        base_cfg.scheme = Scheme::Baseline;
-        apply(&mut base_cfg)?;
-        let mut dr_cfg = config_from(args)?;
-        dr_cfg.scheme = Scheme::DelegatedReplies;
-        apply(&mut dr_cfg)?;
-        let b = measure(base_cfg, gpu, cpu, warm, cycles);
-        let d = measure(dr_cfg, gpu, cpu, warm, cycles);
+    let base = config_from(args)?;
+    let points = driver::run_sweep(&base, param, &values, gpu, cpu, warm, cycles, threads)?;
+    for p in &points {
         if args.flag("json") {
             // One NDJSON object per sweep point: both scheme reports.
-            println!(
-                "{{\"param\":\"{param}\",\"value\":{v},\"baseline\":{},\"dr\":{}}}",
-                report::report_json(Scheme::Baseline, &b),
-                report::report_json(Scheme::DelegatedReplies, &d)
-            );
+            println!("{}", driver::sweep_point_json(param, p));
         } else {
             println!(
                 "{:<10} {:>10.2} {:>10.2} {:>10.3} {:>12.1}% {:>10.1}%",
-                v,
-                b.gpu_ipc,
-                d.gpu_ipc,
-                d.gpu_ipc / b.gpu_ipc,
-                b.mem_blocked_rate * 100.0,
-                d.mem_blocked_rate * 100.0
+                p.value,
+                p.baseline.gpu_ipc,
+                p.dr.gpu_ipc,
+                p.dr.gpu_ipc / p.baseline.gpu_ipc,
+                p.baseline.mem_blocked_rate * 100.0,
+                p.dr.mem_blocked_rate * 100.0
             );
         }
+    }
+    Ok(())
+}
+
+fn cmd_bench(args: &Args) -> Result<(), ParseArgsError> {
+    args.reject_unknown(&["threads", "quick", "warm", "cycles", "out", "json"])?;
+    // Quick mode: just enough cycles to prove the harness works (CI
+    // smoke); default mode is long enough for meaningful rates.
+    let (dwarm, dcycles) = if args.flag("quick") {
+        (200u64, 800u64)
+    } else {
+        (4_000, 10_000)
+    };
+    let warm = args.get_num("warm", dwarm)?;
+    let cycles = args.get_num("cycles", dcycles)?;
+    let threads = thread_count(args)?;
+    let r = driver::run_bench(threads, warm, cycles);
+    let doc = r.to_json();
+    if args.flag("json") || args.get("out").is_none() {
+        println!("{doc}");
+    }
+    if let Some(path) = args.get("out") {
+        write_file(path, &format!("{doc}\n"))?;
+        eprintln!("wrote benchmark report to {path}");
+    }
+    if !args.flag("json") {
+        eprintln!(
+            "{} jobs x {} cycles: {:.2}s at --threads 1, {:.2}s at --threads {} ({:.2}x)",
+            r.jobs,
+            r.cycles_per_job,
+            r.single.wall_s,
+            r.multi.wall_s,
+            r.multi.threads,
+            r.speedup()
+        );
     }
     Ok(())
 }
@@ -370,6 +364,7 @@ fn print_help() {
          \x20 run      simulate one workload under one configuration\n\
          \x20 compare  baseline vs Realistic Probing vs Delegated Replies\n\
          \x20 sweep    sweep one parameter with and without Delegated Replies\n\
+         \x20 bench    time a fixed workload matrix 1- vs N-threaded (JSON report)\n\
          \x20 timeline ASCII per-epoch clog timeline + detected clog episodes\n\
          \x20 trace    protocol-event trace (delegations, blocking, probes)\n\
          \x20 list     available benchmarks and option values\n\
@@ -387,7 +382,8 @@ fn print_help() {
          \x20 --vnets <a>+<b>    shared physical net with a/b VCs per class\n\
          \x20 --mesh <w>x<h>     scale the chip (node mix kept proportional)\n\
          \x20 --warm/--cycles    warmup / measured cycles (6000 / 15000)\n\
-         \x20 --seed <n>         workload + mapping seed\n\n\
+         \x20 --seed <n>         workload + mapping seed\n\
+         \x20 --threads <n>      compare/sweep/bench worker threads (default: all cores)\n\n\
          TELEMETRY OPTIONS:\n\
          \x20 --metrics <path>   run/timeline: write the telemetry session as JSON\n\
          \x20 --csv <path>       run: write per-epoch series as CSV\n\
@@ -398,7 +394,8 @@ fn print_help() {
          \x20 clognet run --gpu BP --cpu ferret --scheme dr --layout d\n\
          \x20 clognet run --gpu NN --cpu canneal --metrics m.json --sample 500\n\
          \x20 clognet timeline --gpu NN --cpu canneal --scheme baseline\n\
-         \x20 clognet sweep --param width --values 8,16,24,32 --gpu HS --cpu x264"
+         \x20 clognet sweep --param width --values 8,16,24,32 --gpu HS --cpu x264\n\
+         \x20 clognet bench --quick --out BENCH_smoke.json"
     );
 }
 

@@ -94,6 +94,9 @@ pub struct MemNode {
     line_tokens: HashMap<LineAddr, u64>,
     /// Dirty LLC victims awaiting a DRAM write slot.
     wb_pending: VecDeque<LineAddr>,
+    /// Scratch buffer for DRAM completion tokens, reused every cycle so
+    /// `tick_memory` stays allocation-free in steady state.
+    dram_done: Vec<u64>,
     token_seq: u64,
     cap: usize,
     llc_latency: u32,
@@ -123,6 +126,7 @@ impl MemNode {
             dram_waiters: HashMap::new(),
             line_tokens: HashMap::new(),
             wb_pending: VecDeque::new(),
+            dram_done: Vec::new(),
             token_seq: 0,
             cap: cfg.noc.mem_inj_buf_pkts,
             llc_latency: cfg.llc.latency,
@@ -309,8 +313,13 @@ impl MemNode {
                 Err(_) => break,
             }
         }
-        // DRAM completions fill the LLC and wake waiters.
-        for tok in self.dram.tick(now) {
+        // DRAM completions fill the LLC and wake waiters. The token
+        // buffer is owned scratch (taken/restored around the loop so the
+        // borrow checker allows LLC/waiter mutation inside).
+        let mut done = std::mem::take(&mut self.dram_done);
+        done.clear();
+        self.dram.tick_into(now, &mut done);
+        for &tok in &done {
             let Some((line, waiters)) = self.dram_waiters.remove(&tok) else {
                 continue; // a writeback completing
             };
@@ -335,6 +344,7 @@ impl MemNode {
                 });
             }
         }
+        self.dram_done = done;
         // Fills move into the injection buffer as space allows (they were
         // already counted against capacity via `committed`).
         while let Some(r) = self.fill_ready.pop_front() {

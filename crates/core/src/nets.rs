@@ -96,6 +96,18 @@ impl Nets {
         self.net(class).can_inject(node, class, prio)
     }
 
+    /// Enable/disable the idle-router fast path on all physical networks
+    /// (reference mode for equivalence testing).
+    pub fn set_idle_skip(&mut self, on: bool) {
+        match self {
+            Nets::Separate { request, reply } => {
+                request.set_idle_skip(on);
+                reply.set_idle_skip(on);
+            }
+            Nets::Shared(n) => n.set_idle_skip(on),
+        }
+    }
+
     /// Zero all network statistics (warmup exclusion).
     pub fn reset_stats(&mut self) {
         match self {

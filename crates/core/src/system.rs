@@ -57,6 +57,10 @@ pub struct System {
     /// Scratch buffers reused across ticks.
     gpu_out: Vec<(CoreId, GpuOut)>,
     cpu_out: Vec<(CoreId, CpuOut)>,
+    gpu_budgets: Vec<usize>,
+    gpu_remote_budgets: Vec<usize>,
+    cpu_budgets: Vec<usize>,
+    gpu_forwards: Vec<(CoreId, GpuOut)>,
 }
 
 impl System {
@@ -70,6 +74,34 @@ impl System {
     pub fn new(cfg: SystemConfig, gpu_bench: &str, cpu_bench: &str) -> Self {
         let layout = cfg.layout();
         let map = AddressMap::new(cfg.n_mem, cfg.seed);
+        Self::new_prebuilt(cfg, gpu_bench, cpu_bench, layout, map)
+    }
+
+    /// Build a system from a pre-derived [`Layout`] and [`AddressMap`].
+    ///
+    /// Sweeps that vary a parameter which does not affect node placement
+    /// or address interleaving (channel width, cache capacities, buffer
+    /// depths) derive both once and clone them per point instead of
+    /// re-deriving them for every (scheme, point) pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a benchmark name is unknown, the configuration is
+    /// inconsistent, or `layout`/`map` do not match `cfg` (they must
+    /// come from `cfg.layout()` / `AddressMap::new(cfg.n_mem, cfg.seed)`
+    /// on an equivalent configuration).
+    pub fn new_prebuilt(
+        cfg: SystemConfig,
+        gpu_bench: &str,
+        cpu_bench: &str,
+        layout: Layout,
+        map: AddressMap,
+    ) -> Self {
+        assert_eq!(
+            layout.node_count(),
+            cfg.nodes(),
+            "prebuilt layout does not match the configuration"
+        );
         let nets = Nets::new(&cfg);
         let gpu_profile =
             gpu_benchmark(gpu_bench).unwrap_or_else(|| panic!("unknown GPU benchmark {gpu_bench}"));
@@ -116,6 +148,10 @@ impl System {
             blocked_since: vec![None; cfg.n_mem],
             gpu_out: Vec::new(),
             cpu_out: Vec::new(),
+            gpu_budgets: Vec::new(),
+            gpu_remote_budgets: Vec::new(),
+            cpu_budgets: Vec::new(),
+            gpu_forwards: Vec::new(),
             cfg,
         }
     }
@@ -258,11 +294,18 @@ impl System {
         }
     }
 
+    /// Enable/disable the NoC's idle-router fast path (on by default).
+    /// Turning it off forces every router through full VA/SA each cycle —
+    /// the reference mode equivalence tests compare against.
+    pub fn set_noc_idle_skip(&mut self, on: bool) {
+        self.nets.set_idle_skip(on);
+    }
+
     /// Deliver everything the networks ejected to GPU/CPU endpoints.
     /// (Memory nodes pull their requests themselves, gated on blocking.)
     fn deliver_ejections(&mut self) {
         let now = self.now;
-        let mut forwards: Vec<(CoreId, GpuOut)> = Vec::new();
+        let mut forwards = std::mem::take(&mut self.gpu_forwards);
         for node in 0..self.layout.node_count() {
             let node = NodeId(node as u16);
             match self.layout.kind_of(node) {
@@ -291,7 +334,7 @@ impl System {
                 },
                 NodeKind::Cpu(core) => {
                     let net = self.nets.net_mut(TrafficClass::Reply);
-                    for pkt in net.take_ejected(node, usize::MAX) {
+                    while let Some(pkt) = net.pop_ejected(node) {
                         match pkt.kind {
                             MsgKind::ReadReply => {
                                 self.cpu.deliver_data(core, pkt.addr.line(64), now);
@@ -306,26 +349,34 @@ impl System {
                 NodeKind::Mem(_) => {}
             }
         }
-        for (core, out) in forwards {
+        for (core, out) in forwards.drain(..) {
             self.route_gpu_out(core, out);
         }
+        self.gpu_forwards = forwards;
     }
 
     fn tick_gpu(&mut self) {
-        let mut budgets = Vec::with_capacity(self.gpu.n_cores());
-        let mut remote_budgets = Vec::with_capacity(self.gpu.n_cores());
+        self.gpu_budgets.clear();
+        self.gpu_remote_budgets.clear();
         for i in 0..self.gpu.n_cores() {
             let node = self.layout.gpu_node(CoreId(i as u16));
             let ob = &self.outboxes[node.index()];
-            budgets.push(OUTBOX_CAP.saturating_sub(ob.request.len().max(ob.reply.len())));
+            self.gpu_budgets
+                .push(OUTBOX_CAP.saturating_sub(ob.request.len().max(ob.reply.len())));
             // Remote (FRQ) service drains into the reply lane, which the
             // reply network always sinks — independent of local request
             // congestion.
-            remote_budgets.push(OUTBOX_CAP.saturating_sub(ob.reply.len()));
+            self.gpu_remote_budgets
+                .push(OUTBOX_CAP.saturating_sub(ob.reply.len()));
         }
         let mut out = std::mem::take(&mut self.gpu_out);
         out.clear();
-        self.gpu.tick(self.now, &budgets, &remote_budgets, &mut out);
+        self.gpu.tick(
+            self.now,
+            &self.gpu_budgets,
+            &self.gpu_remote_budgets,
+            &mut out,
+        );
         for (core, o) in out.drain(..) {
             self.route_gpu_out(core, o);
         }
@@ -502,16 +553,16 @@ impl System {
     }
 
     fn tick_cpu(&mut self) {
-        let budgets: Vec<usize> = (0..self.cpu.n_cores())
-            .map(|i| {
-                let node = self.layout.cpu_node(CoreId(i as u16));
-                let ob = &self.outboxes[node.index()];
-                OUTBOX_CAP.saturating_sub(ob.request.len())
-            })
-            .collect();
+        self.cpu_budgets.clear();
+        for i in 0..self.cpu.n_cores() {
+            let node = self.layout.cpu_node(CoreId(i as u16));
+            let ob = &self.outboxes[node.index()];
+            self.cpu_budgets
+                .push(OUTBOX_CAP.saturating_sub(ob.request.len()));
+        }
         let mut out = std::mem::take(&mut self.cpu_out);
         out.clear();
-        self.cpu.tick(self.now, &budgets, &mut out);
+        self.cpu.tick(self.now, &self.cpu_budgets, &mut out);
         for (core, o) in out.drain(..) {
             let node = self.layout.cpu_node(core);
             let (kind, line) = match o {
@@ -544,12 +595,7 @@ impl System {
             // 1. Accept requests while unblocked (up to 2 per cycle).
             let budget = self.mems[mi].accept_budget().min(2);
             for _ in 0..budget {
-                let Some(pkt) = self
-                    .nets
-                    .net_mut(TrafficClass::Request)
-                    .take_ejected(node, 1)
-                    .pop()
-                else {
+                let Some(pkt) = self.nets.net_mut(TrafficClass::Request).pop_ejected(node) else {
                     break;
                 };
                 let layout = &self.layout;
@@ -867,7 +913,7 @@ fn drain_gpu(
                 // them instead of wedging the request network behind an
                 // unserviced probe (the prober falls back to the LLC).
                 _ => {
-                    let pkt = net.take_ejected(node, 1).pop().expect("peeked");
+                    let pkt = net.pop_ejected(node).expect("peeked");
                     let line = pkt.addr.line(128);
                     let to = match layout.kind_of(pkt.src) {
                         NodeKind::Gpu(c) => c,
@@ -878,7 +924,7 @@ fn drain_gpu(
                 }
             }
         }
-        let pkt = net.take_ejected(node, 1).pop().expect("peeked");
+        let pkt = net.pop_ejected(node).expect("peeked");
         let line = pkt.addr.line(128);
         let msg = match pkt.kind {
             MsgKind::ReadReply => GpuIn::Data {

@@ -1,0 +1,31 @@
+//! System-level check that the NoC's idle-router fast path does not
+//! change simulation results: a full run with the skip disabled
+//! (reference mode via [`System::set_noc_idle_skip`]) produces a
+//! [`Report`](clognet_core::Report) equal field-for-field to the
+//! default fast-path run.
+
+use clognet_core::System;
+use clognet_proto::{Scheme, SystemConfig};
+
+fn run(cfg: SystemConfig, idle_skip: bool) -> clognet_core::Report {
+    let mut sys = System::new(cfg, "HS", "bodytrack");
+    sys.set_noc_idle_skip(idle_skip);
+    sys.run(1_000);
+    sys.reset_stats();
+    sys.run(3_000);
+    sys.report()
+}
+
+#[test]
+fn idle_skip_report_matches_reference() {
+    for scheme in [Scheme::Baseline, Scheme::DelegatedReplies] {
+        let cfg = SystemConfig::default().with_scheme(scheme);
+        let fast = run(cfg.clone(), true);
+        let reference = run(cfg, false);
+        assert!(fast.gpu_ipc > 0.0, "simulation never ran");
+        assert_eq!(
+            fast, reference,
+            "idle-skip fast path changed the {scheme:?} report"
+        );
+    }
+}

@@ -179,8 +179,18 @@ impl DramController {
     }
 
     /// Advance one cycle; returns the tokens whose data completed.
+    /// Convenience wrapper over [`Self::tick_into`] for tests and
+    /// examples — per-cycle simulation loops use `tick_into` with a
+    /// reused buffer to avoid a heap allocation every cycle.
     pub fn tick(&mut self, now: Cycle) -> Vec<u64> {
         let mut done = Vec::new();
+        self.tick_into(now, &mut done);
+        done
+    }
+
+    /// Advance one cycle, appending the tokens whose data completed
+    /// onto `done` (which is NOT cleared).
+    pub fn tick_into(&mut self, now: Cycle, done: &mut Vec<u64>) {
         self.in_flight.retain(|f| {
             if f.done_at <= now {
                 done.push(f.token);
@@ -206,7 +216,6 @@ impl DramController {
         if let Some(pos) = self.pick(now) {
             self.issue(pos, now);
         }
-        done
     }
 
     /// FR-FCFS pick: first queued request whose bank row is open and can

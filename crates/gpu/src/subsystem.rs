@@ -131,6 +131,10 @@ pub struct GpuSubsystem {
     clusters: Vec<Cluster>,
     /// Per-core L1 port uses this cycle (private mode).
     port_used: Vec<u8>,
+    /// Scratch: probe-wait lines pending a deferred flush (RP only),
+    /// reused across ticks so the per-core service loop stays
+    /// allocation-free.
+    flush_lines: Vec<LineAddr>,
 }
 
 const PREDICTOR_ENTRIES: usize = 1024;
@@ -198,6 +202,7 @@ impl GpuSubsystem {
             l1s,
             clusters,
             port_used: vec![0; n_cores],
+            flush_lines: Vec::new(),
             cfg,
         }
     }
@@ -530,13 +535,16 @@ impl GpuSubsystem {
         }
         // 2. Flush deferred probe targets as budget allows.
         if matches!(self.scheme, Scheme::RealisticProbing { .. }) {
-            let lines: Vec<LineAddr> = self.cores[i]
-                .probe_wait
-                .iter()
-                .filter(|(_, w)| !w.to_send.is_empty() && !w.satisfied)
-                .map(|(&l, _)| l)
-                .collect();
-            for line in lines {
+            let mut lines = std::mem::take(&mut self.flush_lines);
+            lines.clear();
+            lines.extend(
+                self.cores[i]
+                    .probe_wait
+                    .iter()
+                    .filter(|(_, w)| !w.to_send.is_empty() && !w.satisfied)
+                    .map(|(&l, _)| l),
+            );
+            for &line in &lines {
                 if *budget == 0 {
                     break;
                 }
@@ -549,6 +557,7 @@ impl GpuSubsystem {
                 }
                 self.cores[i].stats.probes_sent += 1; // approximate batch count
             }
+            self.flush_lines = lines;
         }
         // 3. Local warp issue (up to issue_width).
         let mut issued = 0;

@@ -199,6 +199,25 @@ pub struct Network {
     transfers: Vec<(usize, usize, usize, Flit)>,
     total_vcs: usize,
     stats_epoch: Cycle,
+    /// Flits buffered in each router's input VCs, maintained on every
+    /// push/pop. `active[r] == 0` means router `r` has nothing to do in
+    /// VA/SA this cycle and the tick loop skips it entirely.
+    active: Vec<u32>,
+    /// Reference mode: when `false`, the idle-router fast path is
+    /// disabled and every router runs VA/SA each cycle (for equivalence
+    /// tests; results must be identical either way).
+    idle_skip: bool,
+    /// SA scratch, reused across routers and cycles: requests
+    /// (out_port, in_port, in_vc, prio).
+    sa_requests: Vec<(usize, usize, usize, Priority)>,
+    /// SA scratch: per-round grants (out, in, vc).
+    sa_grants: Vec<(usize, usize, usize)>,
+    /// SA scratch: accepted matches (in, vc, out).
+    sa_accepted: Vec<(usize, usize, usize)>,
+    /// SA scratch: output ports already matched this cycle.
+    sa_out_taken: Vec<bool>,
+    /// SA scratch: input ports already matched this cycle.
+    sa_in_taken: Vec<bool>,
 }
 
 impl Network {
@@ -233,6 +252,7 @@ impl Network {
             })
             .collect();
         let stats = NocStats::new(topo.routers(), |r| topo.port_count(r), topo.nodes());
+        let n_routers = topo.routers();
         Network {
             params,
             routers,
@@ -244,8 +264,23 @@ impl Network {
             transfers: Vec::new(),
             total_vcs,
             stats_epoch: 0,
+            active: vec![0; n_routers],
+            idle_skip: true,
+            sa_requests: Vec::new(),
+            sa_grants: Vec::new(),
+            sa_accepted: Vec::new(),
+            sa_out_taken: Vec::new(),
+            sa_in_taken: Vec::new(),
             topo,
         }
+    }
+
+    /// Toggle the idle-router fast path (on by default). Turning it off
+    /// forces every router through VA/SA each cycle — a reference mode
+    /// for equivalence tests; simulated behavior is identical either
+    /// way, only wall-clock differs.
+    pub fn set_idle_skip(&mut self, on: bool) {
+        self.idle_skip = on;
     }
 
     /// Current cycle.
@@ -298,9 +333,9 @@ impl Network {
         if self.params.classes.vc_range(class).is_none() {
             return false;
         }
-        let slots = self.vc_partition(class, prio);
+        let mut slots = self.vc_partition(class, prio);
         let ni = &self.nis[node.index()];
-        slots.clone().any(|v| ni.inj[v].is_none())
+        slots.any(|v| ni.inj[v].is_none())
     }
 
     /// True when `node` could not inject (`class`, `prio`) traffic: every
@@ -312,11 +347,9 @@ impl Network {
         if self.params.classes.vc_range(class).is_none() {
             return true;
         }
-        let slots = self.vc_partition(class, prio);
+        let mut slots = self.vc_partition(class, prio);
         let ni = &self.nis[node.index()];
-        slots
-            .clone()
-            .all(|v| ni.inj[v].is_some() && !ni.progress[v])
+        slots.all(|v| ni.inj[v].is_some() && !ni.progress[v])
     }
 
     /// Hand a packet to the node's network interface.
@@ -334,15 +367,12 @@ impl Network {
     pub fn try_inject(&mut self, pkt: Packet) -> Result<(), Packet> {
         assert_ne!(pkt.src, pkt.dst, "self-send: {pkt}");
         let class = pkt.class();
-        let range = self
-            .params
-            .classes
-            .vc_range(class)
-            .unwrap_or_else(|| panic!("network does not carry {class}"));
-        let _class_carried = range;
-        let slots = self.vc_partition(class, pkt.prio);
+        if self.params.classes.vc_range(class).is_none() {
+            panic!("network does not carry {class}");
+        }
+        let mut slots = self.vc_partition(class, pkt.prio);
         let ni = &mut self.nis[pkt.src.index()];
-        let Some(vc) = slots.clone().find(|&v| ni.inj[v].is_none()) else {
+        let Some(vc) = slots.find(|&v| ni.inj[v].is_none()) else {
             ni.want[class_ix(class)] = true;
             return Err(pkt);
         };
@@ -358,29 +388,58 @@ impl Network {
         Ok(())
     }
 
-    /// Take up to `max` fully-reassembled packets destined to `node`.
-    /// Taking a packet frees its flits' worth of ejection-buffer space;
-    /// a node that stops taking (a blocked memory node) back-pressures
-    /// the network.
-    pub fn take_ejected(&mut self, node: NodeId, max: usize) -> Vec<Packet> {
+    /// Take the oldest fully-reassembled packet destined to `node`, if
+    /// any. Taking a packet frees its flits' worth of ejection-buffer
+    /// space; a node that stops taking (a blocked memory node)
+    /// back-pressures the network. This is the allocation-free primitive
+    /// behind [`Self::take_ejected`]; hot loops call it directly.
+    pub fn pop_ejected(&mut self, node: NodeId) -> Option<Packet> {
+        let ni = &mut self.nis[node.index()];
+        let p = ni.ejected.pop_front()?;
+        ni.eject_used -= p.flits as usize;
+        Some(p)
+    }
+
+    /// Append up to `max` fully-reassembled packets destined to `node`
+    /// onto `out` (which is NOT cleared), returning how many were moved.
+    /// The fill-into-caller-buffer form of [`Self::take_ejected`]: the
+    /// caller reuses one buffer across cycles instead of allocating a
+    /// fresh `Vec` per call.
+    pub fn take_ejected_into(&mut self, node: NodeId, max: usize, out: &mut Vec<Packet>) -> usize {
         let ni = &mut self.nis[node.index()];
         let n = ni.ejected.len().min(max);
-        let mut out = Vec::with_capacity(n);
+        out.reserve(n);
         for _ in 0..n {
             let p = ni.ejected.pop_front().expect("counted");
             ni.eject_used -= p.flits as usize;
             out.push(p);
         }
+        n
+    }
+
+    /// Take up to `max` fully-reassembled packets destined to `node`.
+    /// Convenience wrapper over [`Self::take_ejected_into`] for tests
+    /// and examples; per-cycle code paths use the `_into`/`pop` variants
+    /// to stay allocation-free.
+    pub fn take_ejected(&mut self, node: NodeId, max: usize) -> Vec<Packet> {
+        let mut out = Vec::new();
+        self.take_ejected_into(node, max, &mut out);
         out
     }
 
-    /// Take up to `max` reassembled packets at `node`, serving CPU
-    /// packets anywhere in the queue first (the memory-system CPU
-    /// priority of Table I applied at the ejection interface).
-    pub fn take_ejected_cpu_first(&mut self, node: NodeId, max: usize) -> Vec<Packet> {
+    /// Append up to `max` reassembled packets at `node` onto `out`,
+    /// serving CPU packets anywhere in the queue first (the
+    /// memory-system CPU priority of Table I applied at the ejection
+    /// interface). Returns how many were moved.
+    pub fn take_ejected_cpu_first_into(
+        &mut self,
+        node: NodeId,
+        max: usize,
+        out: &mut Vec<Packet>,
+    ) -> usize {
         let ni = &mut self.nis[node.index()];
-        let mut out = Vec::new();
-        while out.len() < max {
+        let mut n = 0;
+        while n < max {
             let ix = ni
                 .ejected
                 .iter()
@@ -391,7 +450,16 @@ impl Network {
             };
             ni.eject_used -= p.flits as usize;
             out.push(p);
+            n += 1;
         }
+        n
+    }
+
+    /// Take up to `max` reassembled packets at `node`, CPU first.
+    /// Convenience wrapper over [`Self::take_ejected_cpu_first_into`].
+    pub fn take_ejected_cpu_first(&mut self, node: NodeId, max: usize) -> Vec<Packet> {
+        let mut out = Vec::new();
+        self.take_ejected_cpu_first_into(node, max, &mut out);
         out
     }
 
@@ -445,6 +513,12 @@ impl Network {
     }
 
     /// Advance the network by one cycle.
+    ///
+    /// Steady-state ticks perform zero heap allocations: all per-cycle
+    /// working sets (SA requests/grants/matches, link transfers, credit
+    /// returns) live in scratch buffers on `self` that are drained in
+    /// place, and routers with no buffered flits (`active[r] == 0`) skip
+    /// VA/SA entirely.
     pub fn tick(&mut self) {
         // Reset per-tick NI progress flags.
         for ni in &mut self.nis {
@@ -452,25 +526,33 @@ impl Network {
         }
         self.update_adaptive_state();
         for r in 0..self.routers.len() {
+            if self.idle_skip && self.active[r] == 0 {
+                continue;
+            }
             self.va_router(r);
         }
         for r in 0..self.routers.len() {
+            if self.idle_skip && self.active[r] == 0 {
+                continue;
+            }
             self.sa_st_router(r);
         }
         // Apply link transfers (arrivals become visible next tick).
-        let transfers = std::mem::take(&mut self.transfers);
-        for (r, p, vc, f) in transfers {
+        // Drained in place: capacity is retained across cycles and
+        // nothing pushes to `transfers` during the apply loop.
+        for (r, p, vc, f) in self.transfers.drain(..) {
             let buf = &mut self.routers[r].inputs[p][vc].buf;
             assert!(
                 buf.len() < self.params.vc_buf_flits as usize,
                 "VC overflow at router {r} port {p} vc {vc}: credits violated"
             );
             buf.push_back(f);
+            self.active[r] += 1;
         }
         self.ni_injection();
-        // Apply credit returns (one-cycle credit latency).
-        let returns = std::mem::take(&mut self.credit_returns);
-        for (r, p, vc) in returns {
+        // Apply credit returns (one-cycle credit latency), drained in
+        // place like the transfers above.
+        for (r, p, vc) in self.credit_returns.drain(..) {
             let c = &mut self.routers[r].credits[p][vc];
             *c += 1;
             assert!(
@@ -563,15 +645,20 @@ impl Network {
         let part = self.vc_partition(class, prio);
         let floor = routing::vc_floor(&self.topo, r, dst);
         let router = &self.routers[r];
-        // Order candidates by the policy's preference.
-        let mut ports: Vec<usize> = cand.ports().to_vec();
+        // Order candidates by the policy's preference. At most 3
+        // candidates exist (escape + adaptive alternatives), so a stack
+        // array replaces the former per-call `Vec`.
+        let n_cand = cand.ports().len();
+        let mut port_buf = [0usize; 3];
+        port_buf[..n_cand].copy_from_slice(cand.ports());
+        let ports = &mut port_buf[..n_cand];
         match policy {
             RoutingPolicy::DorXY | RoutingPolicy::DorYX => {}
             RoutingPolicy::DyXY => {
                 // Most free credits first; escape wins ties.
                 ports.sort_by_key(|&p| {
                     (
-                        u32::MAX - router.free_credits(p, range.clone()),
+                        u32::MAX - router.free_credits(p, range.start, range.end),
                         !cand.is_escape(p) as u8,
                     )
                 });
@@ -580,7 +667,7 @@ impl Network {
                 // Escape first unless the adaptive port was recently
                 // profitable or the escape route is out of credits.
                 let escape = cand.escape_port();
-                let escape_starved = router.free_credits(escape, range.clone()) == 0;
+                let escape_starved = router.free_credits(escape, range.start, range.end) == 0;
                 ports.sort_by_key(|&p| {
                     if cand.is_escape(p) {
                         u8::from(escape_starved)
@@ -602,7 +689,7 @@ impl Network {
                 });
             }
         }
-        for &p in &ports {
+        for &p in ports.iter() {
             // Escape VC (first VC of the class range) is reserved for the
             // dimension-order port under adaptive mesh policies.
             let adaptive_policy = matches!(
@@ -630,11 +717,15 @@ impl Network {
 
     /// Switch allocation (iterative iSLIP with strict CPU priority)
     /// followed by switch/link traversal for the winners.
+    ///
+    /// All working sets live in `sa_*` scratch buffers on `self`:
+    /// cleared (not reallocated) per router, so steady-state cycles
+    /// never touch the heap.
     #[allow(clippy::needless_range_loop)] // indices drive router state arrays
     fn sa_st_router(&mut self, r: usize) {
         let n_ports = self.routers[r].inputs.len();
         // Gather requests: (out_port, in_port, in_vc, prio).
-        let mut requests: Vec<(usize, usize, usize, Priority)> = Vec::new();
+        self.sa_requests.clear();
         for i in 0..n_ports {
             for v in 0..self.total_vcs {
                 let ivc = &self.routers[r].inputs[i][v];
@@ -662,33 +753,35 @@ impl Network {
                 };
                 if ok {
                     let prio = self.packets.get(f.slot).prio;
-                    requests.push((alloc.port as usize, i, v, prio));
+                    self.sa_requests.push((alloc.port as usize, i, v, prio));
                 }
             }
         }
-        if requests.is_empty() {
+        if self.sa_requests.is_empty() {
             return;
         }
         let n_out = self.routers[r].out_owner.len();
-        let mut out_taken = vec![false; n_out];
-        let mut in_taken = vec![false; n_ports];
-        let mut accepted: Vec<(usize, usize, usize)> = Vec::new();
+        self.sa_out_taken.clear();
+        self.sa_out_taken.resize(n_out, false);
+        self.sa_in_taken.clear();
+        self.sa_in_taken.resize(n_ports, false);
+        self.sa_accepted.clear();
         // Iterative separable matching: each round runs a grant pass per
         // free output and an accept pass per free input; matched pairs
         // are removed and the next round fills in the matching.
         for round in 0..self.params.sa_iterations.max(1) {
             // Grant: one request per free output port (CPU first, then
             // rotating).
-            let mut grants: Vec<(usize, usize, usize)> = Vec::new(); // (out, in, vc)
+            self.sa_grants.clear(); // (out, in, vc)
             for op in 0..n_out {
-                if out_taken[op] {
+                if self.sa_out_taken[op] {
                     continue;
                 }
                 let mut best: Option<(usize, usize, Priority, usize)> = None;
                 let ptr = self.routers[r].grant_ptr[op];
                 let id_space = n_ports * self.total_vcs;
-                for &(o, i, v, prio) in &requests {
-                    if o != op || in_taken[i] {
+                for &(o, i, v, prio) in &self.sa_requests {
+                    if o != op || self.sa_in_taken[i] {
                         continue;
                     }
                     let id = i * self.total_vcs + v;
@@ -702,22 +795,22 @@ impl Network {
                     }
                 }
                 if let Some((i, v, _, _)) = best {
-                    grants.push((op, i, v));
+                    self.sa_grants.push((op, i, v));
                 }
             }
-            if grants.is_empty() {
+            if self.sa_grants.is_empty() {
                 break;
             }
             // Accept: one grant per free input port (CPU first, then
             // rotating).
             let mut progress = false;
             for i in 0..n_ports {
-                if in_taken[i] {
+                if self.sa_in_taken[i] {
                     continue;
                 }
                 let mut best: Option<(usize, usize, Priority, usize)> = None;
                 let ptr = self.routers[r].accept_ptr[i];
-                for &(op, gi, v) in &grants {
+                for &(op, gi, v) in &self.sa_grants {
                     if gi != i {
                         continue;
                     }
@@ -733,9 +826,9 @@ impl Network {
                     }
                 }
                 if let Some((op, v, _, _)) = best {
-                    accepted.push((i, v, op));
-                    in_taken[i] = true;
-                    out_taken[op] = true;
+                    self.sa_accepted.push((i, v, op));
+                    self.sa_in_taken[i] = true;
+                    self.sa_out_taken[op] = true;
                     progress = true;
                     // iSLIP pointer updates only on first-iteration
                     // accepts (the classic desynchronization rule).
@@ -750,8 +843,9 @@ impl Network {
                 break;
             }
         }
-        // ST for the winners.
-        for (i, v, op) in accepted {
+        // ST for the winners (indexed: traverse needs `&mut self`).
+        for k in 0..self.sa_accepted.len() {
+            let (i, v, op) = self.sa_accepted[k];
             self.traverse(r, i, v, op);
         }
     }
@@ -765,6 +859,7 @@ impl Network {
             .buf
             .pop_front()
             .expect("requested flit");
+        self.active[r] -= 1;
         self.stats.link_flits[r][op] += 1;
         // Credit return towards whoever feeds this input VC.
         if let PortLink::Router { router: s, port: q } = self.topo.link(r, i) {
@@ -845,6 +940,7 @@ impl Network {
                     eligible: self.now + 1 + self.proc_delay(class),
                 };
                 self.routers[router].inputs[port][vc].buf.push_back(f);
+                self.active[router] += 1;
                 self.stats.node_tx_flits[n] += 1;
                 self.nis[n].progress[vc] = true;
                 let slot = self.nis[n].inj[vc].as_mut().expect("checked");

@@ -73,10 +73,11 @@ impl Router {
         }
     }
 
-    /// Total free credits over a VC range of an output port (the DyXY
-    /// congestion metric).
-    pub fn free_credits(&self, port: usize, vcs: std::ops::Range<usize>) -> u32 {
-        vcs.map(|v| self.credits[port][v] as u32).sum()
+    /// Total free credits over the VC index range `[lo, hi)` of an
+    /// output port (the DyXY congestion metric). Takes plain bounds so
+    /// callers holding a `Range` don't clone it per call.
+    pub fn free_credits(&self, port: usize, lo: usize, hi: usize) -> u32 {
+        self.credits[port][lo..hi].iter().map(|&c| c as u32).sum()
     }
 
     /// Total flits buffered in this router (for quiescence checks).
@@ -99,7 +100,7 @@ mod tests {
         assert_eq!(r.inputs.len(), 5);
         assert_eq!(r.inputs[0].len(), 4);
         assert_eq!(r.buffered_flits(), 0);
-        assert_eq!(r.free_credits(2, 0..4), 16);
+        assert_eq!(r.free_credits(2, 0, 4), 16);
     }
 
     #[test]
@@ -107,7 +108,7 @@ mod tests {
         let mut r = Router::new(5, 4, 4);
         r.credits[1][0] = 0;
         r.credits[1][1] = 2;
-        assert_eq!(r.free_credits(1, 0..2), 2);
-        assert_eq!(r.free_credits(1, 2..4), 8);
+        assert_eq!(r.free_credits(1, 0, 2), 2);
+        assert_eq!(r.free_credits(1, 2, 4), 8);
     }
 }

@@ -256,3 +256,79 @@ fn cpu_packets_are_never_starved() {
     let lat = net.now() - start;
     assert!(lat < 400, "CPU latency {lat} under GPU saturation");
 }
+
+/// The idle-router fast path is a pure optimization: with the skip
+/// disabled (reference mode), identical traffic must produce identical
+/// per-cycle ejections and identical final statistics.
+#[test]
+fn idle_skip_matches_full_iteration_reference() {
+    let mut rng = SmallRng::seed_from_u64(0x0C_0005);
+    let mut fast = Network::new(params(
+        Topology::Mesh,
+        ClassAssignment::Single(TrafficClass::Request, 2),
+    ));
+    let mut refr = Network::new(params(
+        Topology::Mesh,
+        ClassAssignment::Single(TrafficClass::Request, 2),
+    ));
+    refr.set_idle_skip(false);
+    let mut seq = 0u64;
+    for cycle in 0..3_000 {
+        // Bursty traffic with quiet gaps so plenty of routers go idle.
+        let burst = if cycle % 97 < 40 {
+            rng.gen_range(0..6usize)
+        } else {
+            0
+        };
+        for _ in 0..burst {
+            let src = rng.gen_range(0..64u16);
+            let dst = rng.gen_range(0..64u16);
+            if src == dst {
+                continue;
+            }
+            seq += 1;
+            let mk = || {
+                Packet::new(
+                    PacketId(seq),
+                    NodeId(src),
+                    NodeId(dst),
+                    MsgKind::ReadReq,
+                    Priority::Gpu,
+                    Addr::new(seq * 64),
+                    128,
+                    16,
+                    cycle,
+                )
+            };
+            let a = fast.try_inject(mk());
+            let b = refr.try_inject(mk());
+            assert_eq!(a.is_ok(), b.is_ok(), "injection diverged at {cycle}");
+        }
+        fast.tick();
+        refr.tick();
+        for d in 0..64u16 {
+            loop {
+                let a = fast.pop_ejected(NodeId(d));
+                let b = refr.pop_ejected(NodeId(d));
+                assert_eq!(
+                    a.as_ref().map(|p| p.id),
+                    b.as_ref().map(|p| p.id),
+                    "ejection diverged at cycle {cycle} node {d}"
+                );
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+    assert_eq!(fast.in_flight(), refr.in_flight());
+    assert_eq!(
+        format!("{:?}", fast.stats()),
+        format!("{:?}", refr.stats()),
+        "statistics diverged between fast path and reference"
+    );
+    assert!(
+        fast.stats().ejected_pkts.iter().sum::<u64>() > 100,
+        "test never exercised real traffic"
+    );
+}
