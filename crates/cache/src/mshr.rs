@@ -6,8 +6,7 @@
 //! remote target to the local MSHR's list (Section IV, outcome ii), and
 //! the LLC core pointers are also kept for in-flight MSHR entries.
 
-use clognet_proto::LineAddr;
-use std::collections::HashMap;
+use clognet_proto::{FxHashMap, LineAddr};
 
 /// Outcome of [`MshrFile::allocate`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,7 +37,7 @@ pub enum MshrOutcome {
 /// ```
 #[derive(Debug, Clone)]
 pub struct MshrFile<T> {
-    entries: HashMap<LineAddr, Vec<T>>,
+    entries: FxHashMap<LineAddr, Vec<T>>,
     capacity: usize,
     max_targets: usize,
 }
@@ -51,8 +50,10 @@ impl<T> MshrFile<T> {
     /// Panics if `capacity` or `max_targets` is zero.
     pub fn new(capacity: usize, max_targets: usize) -> Self {
         assert!(capacity > 0 && max_targets > 0);
+        let mut entries = FxHashMap::default();
+        entries.reserve(capacity);
         MshrFile {
-            entries: HashMap::with_capacity(capacity),
+            entries,
             capacity,
             max_targets,
         }
@@ -76,6 +77,15 @@ impl<T> MshrFile<T> {
     /// Is a miss to `line` already outstanding?
     pub fn contains(&self, line: LineAddr) -> bool {
         self.entries.contains_key(&line)
+    }
+
+    /// Would [`Self::allocate`] for `line` merge rather than stall with
+    /// [`MshrOutcome::NoTarget`]? Only meaningful when the entry exists;
+    /// non-mutating (used by the fast-forward quiescence check).
+    pub fn can_merge(&self, line: LineAddr) -> bool {
+        self.entries
+            .get(&line)
+            .is_some_and(|targets| targets.len() < self.max_targets)
     }
 
     /// Try to track a miss to `line` for `target`.
@@ -148,6 +158,17 @@ mod tests {
         assert!(m.contains(LineAddr(5)));
         assert!(!m.contains(LineAddr(6)));
         assert_eq!(m.lines().collect::<Vec<_>>(), vec![LineAddr(5)]);
+    }
+
+    #[test]
+    fn can_merge_tracks_target_space() {
+        let mut m: MshrFile<u8> = MshrFile::new(4, 2);
+        assert!(!m.can_merge(LineAddr(1)), "no entry yet");
+        m.allocate(LineAddr(1), 0);
+        assert!(m.can_merge(LineAddr(1)));
+        m.allocate(LineAddr(1), 1);
+        assert!(!m.can_merge(LineAddr(1)), "target list full");
+        assert_eq!(m.allocate(LineAddr(1), 2), MshrOutcome::NoTarget);
     }
 
     #[test]

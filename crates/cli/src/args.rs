@@ -13,9 +13,10 @@ pub struct Args {
     opts: BTreeMap<String, String>,
 }
 
-/// Option keys that are boolean flags: `--json` / `--quick` take no
-/// value (`--json=false` still works to switch one off explicitly).
-const FLAG_KEYS: &[&str] = &["json", "quick"];
+/// Option keys that are boolean flags: `--json` / `--quick` / `--no-ff`
+/// take no value (`--json=false` still works to switch one off
+/// explicitly).
+const FLAG_KEYS: &[&str] = &["json", "quick", "no-ff"];
 
 /// A parse failure with a user-facing message.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -16,8 +16,19 @@ use clognet_core::{Report, System};
 use clognet_proto::{AddressMap, Scheme, SystemConfig};
 
 /// Build, warm, measure, and report one workload under one config.
-pub fn measure(cfg: SystemConfig, gpu: &str, cpu: &str, warm: u64, cycles: u64) -> Report {
+/// `ff` selects event-horizon fast-forward (the default) or the
+/// per-cycle reference loop (`--no-ff`); reports are identical either
+/// way — that equivalence is what the CI smoke step asserts.
+pub fn measure(
+    cfg: SystemConfig,
+    gpu: &str,
+    cpu: &str,
+    warm: u64,
+    cycles: u64,
+    ff: bool,
+) -> Report {
     let mut sys = System::new(cfg, gpu, cpu);
+    sys.set_fast_forward(ff);
     sys.run(warm);
     sys.reset_stats();
     sys.run(cycles);
@@ -42,6 +53,7 @@ pub fn run_compare(
     warm: u64,
     cycles: u64,
     threads: usize,
+    ff: bool,
 ) -> Vec<(Scheme, Report)> {
     let jobs: Vec<(Scheme, SystemConfig)> = compare_schemes()
         .into_iter()
@@ -52,7 +64,7 @@ pub fn run_compare(
         })
         .collect();
     run_jobs(jobs, threads, |(scheme, cfg)| {
-        (scheme, measure(cfg, gpu, cpu, warm, cycles))
+        (scheme, measure(cfg, gpu, cpu, warm, cycles, ff))
     })
 }
 
@@ -126,6 +138,7 @@ pub fn run_sweep(
     warm: u64,
     cycles: u64,
     threads: usize,
+    ff: bool,
 ) -> Result<Vec<SweepPoint>, ParseArgsError> {
     // None of the sweep parameters move nodes or re-interleave
     // addresses, so derive both once instead of per (point, scheme).
@@ -142,6 +155,7 @@ pub fn run_sweep(
     }
     let reports = run_jobs(jobs, threads, |cfg| {
         let mut sys = System::new_prebuilt(cfg, gpu, cpu, layout.clone(), map);
+        sys.set_fast_forward(ff);
         sys.run(warm);
         sys.reset_stats();
         sys.run(cycles);
@@ -178,7 +192,17 @@ pub struct BenchLeg {
     pub sim_cycles_per_s: f64,
 }
 
-/// Result of `clognet bench`: the job matrix and both timed legs.
+/// One timed leg of the fast-forward benchmark: the low-intensity
+/// matrix run single-threaded with fast-forward on or off.
+pub struct FfLeg {
+    /// Wall-clock seconds for the measured span (warmup excluded).
+    pub wall_s: f64,
+    /// Total cycles the measured span skipped (0 with fast-forward off).
+    pub skipped: u64,
+}
+
+/// Result of `clognet bench`: the job matrix and both timed legs, plus
+/// the low-intensity fast-forward legs.
 pub struct BenchResult {
     /// Number of (config, workload, scheme) jobs in the matrix.
     pub jobs: usize,
@@ -188,6 +212,14 @@ pub struct BenchResult {
     pub single: BenchLeg,
     /// Multi-threaded leg.
     pub multi: BenchLeg,
+    /// Jobs in the low-intensity fast-forward matrix.
+    pub low_jobs: usize,
+    /// Measured (timed) cycles per low-intensity job.
+    pub low_cycles_per_job: u64,
+    /// Low-intensity leg with fast-forward engaged.
+    pub ff_on: FfLeg,
+    /// Low-intensity leg on the per-cycle reference loop.
+    pub ff_off: FfLeg,
 }
 
 impl BenchResult {
@@ -200,6 +232,27 @@ impl BenchResult {
         }
     }
 
+    /// Fast-forward speedup over the per-cycle loop (wall-clock, on the
+    /// low-intensity matrix).
+    pub fn ff_speedup(&self) -> f64 {
+        if self.ff_on.wall_s > 0.0 {
+            self.ff_off.wall_s / self.ff_on.wall_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of the low-intensity measured cycles fast-forward
+    /// skipped instead of ticking.
+    pub fn skipped_ratio(&self) -> f64 {
+        let total = self.low_jobs as u64 * self.low_cycles_per_job;
+        if total > 0 {
+            self.ff_on.skipped as f64 / total as f64
+        } else {
+            0.0
+        }
+    }
+
     /// The `BENCH_*.json` document: a flat object matching the schema
     /// EXPERIMENTS.md records perf data points in.
     pub fn to_json(&self) -> String {
@@ -207,7 +260,10 @@ impl BenchResult {
             "{{\"harness\":\"clognet bench\",\"jobs\":{},\"cycles_per_job\":{},\
              \"threads_single\":{},\"wall_s_single\":{:.6},\"sim_cycles_per_s_single\":{:.1},\
              \"threads_multi\":{},\"wall_s_multi\":{:.6},\"sim_cycles_per_s_multi\":{:.1},\
-             \"speedup\":{:.3}}}",
+             \"speedup\":{:.3},\
+             \"low_jobs\":{},\"low_cycles_per_job\":{},\
+             \"wall_s_ff_on\":{:.6},\"wall_s_ff_off\":{:.6},\
+             \"skipped_cycles\":{},\"skipped_ratio\":{:.3},\"ff_speedup\":{:.3}}}",
             self.jobs,
             self.cycles_per_job,
             self.single.threads,
@@ -216,7 +272,14 @@ impl BenchResult {
             self.multi.threads,
             self.multi.wall_s,
             self.multi.sim_cycles_per_s,
-            self.speedup()
+            self.speedup(),
+            self.low_jobs,
+            self.low_cycles_per_job,
+            self.ff_on.wall_s,
+            self.ff_off.wall_s,
+            self.ff_on.skipped,
+            self.skipped_ratio(),
+            self.ff_speedup()
         )
     }
 }
@@ -234,6 +297,73 @@ pub fn bench_matrix() -> Vec<(SystemConfig, &'static str, &'static str)> {
     jobs
 }
 
+/// Dead-cycle-dominated matrix for the fast-forward legs: a 2x2 mesh
+/// with one single-warp GPU core whose working set is fully L1-resident
+/// (large L1, periodic flush off) and an L1-resident CPU workload
+/// leaves the NoC drained most cycles, so the quiescence engine is the
+/// dominant factor in wall-clock time.
+pub fn low_intensity_matrix() -> Vec<(SystemConfig, &'static str, &'static str)> {
+    let pairs = [("NN", "blackscholes"), ("NN", "swaptions")];
+    let mut jobs = Vec::new();
+    for (gpu, cpu) in pairs {
+        for scheme in compare_schemes() {
+            let mut cfg = SystemConfig::default().with_scheme(scheme);
+            cfg.mesh_width = 2;
+            cfg.mesh_height = 2;
+            cfg.n_gpu = 1;
+            cfg.n_cpu = 1;
+            cfg.n_mem = 2;
+            cfg.gpu.warps_per_core = 1;
+            cfg.gpu.issue_width = 1;
+            cfg.gpu.l1.capacity_bytes = 1024 * 1024;
+            cfg.gpu.flush_interval = None;
+            jobs.push((cfg, gpu, cpu));
+        }
+    }
+    jobs
+}
+
+/// Time the low-intensity matrix with fast-forward on or off. Systems
+/// are built and warmed *outside* the timer — the cold-miss-dominated
+/// warmup is identical in both modes (both warm fast-forwarded), so
+/// the timed span compares steady-state throughput only. The leg runs
+/// [`FF_REPS`] times on freshly built systems (the simulation is
+/// deterministic, so every rep does identical work) and reports the
+/// minimum wall time, the standard microbenchmark defense against
+/// scheduler noise.
+fn time_ff_leg(
+    jobs: &[(SystemConfig, &'static str, &'static str)],
+    ff: bool,
+    warm: u64,
+    cycles: u64,
+) -> FfLeg {
+    const FF_REPS: usize = 3;
+    let mut best = f64::INFINITY;
+    let mut skipped = 0;
+    for _ in 0..FF_REPS {
+        let mut systems: Vec<System> = jobs
+            .iter()
+            .map(|(cfg, gpu, cpu)| {
+                let mut sys = System::new(cfg.clone(), gpu, cpu);
+                sys.run(warm);
+                sys.reset_stats();
+                sys.set_fast_forward(ff);
+                sys
+            })
+            .collect();
+        let start = std::time::Instant::now();
+        for sys in &mut systems {
+            sys.run(cycles);
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+        skipped = systems.iter().map(System::skipped_cycles).sum();
+    }
+    FfLeg {
+        wall_s: best,
+        skipped,
+    }
+}
+
 fn time_leg(
     jobs: Vec<(SystemConfig, &str, &str)>,
     threads: usize,
@@ -243,7 +373,7 @@ fn time_leg(
     let n = jobs.len() as f64;
     let start = std::time::Instant::now();
     let reports = run_jobs(jobs, threads, |(cfg, gpu, cpu)| {
-        measure(cfg, gpu, cpu, warm, cycles)
+        measure(cfg, gpu, cpu, warm, cycles, true)
     });
     let wall_s = start.elapsed().as_secs_f64();
     assert_eq!(reports.len() as f64, n, "runner dropped a job");
@@ -259,17 +389,31 @@ fn time_leg(
     }
 }
 
-/// Time the fixed matrix single- and multi-threaded.
+/// Warmup for the fast-forward legs: small chips tick fast but need a
+/// long warmup before their L1-resident workloads stop missing cold —
+/// only then do dead cycles dominate.
+const LOW_WARM: u64 = 20_000;
+
+/// Time the fixed matrix single- and multi-threaded, then the
+/// low-intensity matrix with fast-forward on vs off.
 pub fn run_bench(threads: usize, warm: u64, cycles: u64) -> BenchResult {
     let matrix = bench_matrix();
     let jobs = matrix.len();
     let single = time_leg(matrix.clone(), 1, warm, cycles);
     let multi = time_leg(matrix, threads.max(2), warm, cycles);
+    let low = low_intensity_matrix();
+    let low_cycles = 12 * cycles;
+    let ff_off = time_ff_leg(&low, false, LOW_WARM, low_cycles);
+    let ff_on = time_ff_leg(&low, true, LOW_WARM, low_cycles);
     BenchResult {
         jobs,
         cycles_per_job: warm + cycles,
         single,
         multi,
+        low_jobs: low.len(),
+        low_cycles_per_job: low_cycles,
+        ff_on,
+        ff_off,
     }
 }
 
@@ -308,10 +452,33 @@ mod tests {
                 wall_s: 0.5,
                 sim_cycles_per_s: 1800.0,
             },
+            low_jobs: 6,
+            low_cycles_per_job: 1000,
+            ff_on: FfLeg {
+                wall_s: 0.25,
+                skipped: 3000,
+            },
+            ff_off: FfLeg {
+                wall_s: 1.0,
+                skipped: 0,
+            },
         };
         let j = r.to_json();
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains("\"speedup\":4.000"));
+        assert!(j.contains("\"ff_speedup\":4.000"));
+        assert!(j.contains("\"skipped_ratio\":0.500"));
+        assert!(j.contains("\"skipped_cycles\":3000"));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn low_intensity_matrix_is_tiny_and_schemed() {
+        let m = low_intensity_matrix();
+        assert_eq!(m.len() % 2, 0, "each pairing runs under both schemes");
+        for (cfg, _, _) in &m {
+            assert_eq!(cfg.nodes(), 4, "low-intensity chips stay 2x2");
+            assert_eq!(cfg.n_gpu + cfg.n_cpu + cfg.n_mem, cfg.nodes());
+        }
     }
 }

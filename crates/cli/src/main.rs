@@ -62,7 +62,7 @@ fn dispatch(raw: Vec<String>) -> Result<(), ParseArgsError> {
 
 fn run_keys() -> Vec<&'static str> {
     let mut keys = CONFIG_KEYS.to_vec();
-    keys.extend_from_slice(&["cycles", "warm"]);
+    keys.extend_from_slice(&["cycles", "warm", "no-ff"]);
     keys
 }
 
@@ -100,6 +100,7 @@ fn cmd_run(args: &Args) -> Result<(), ParseArgsError> {
     let want_telemetry =
         metrics_path.is_some() || csv_path.is_some() || args.get("sample").is_some();
     let mut sys = System::new(cfg, gpu, cpu);
+    sys.set_fast_forward(!args.flag("no-ff"));
     if want_telemetry {
         sys.enable_telemetry(TelemetryConfig {
             epoch_len: sample_len(args)?,
@@ -144,6 +145,7 @@ fn cmd_timeline(args: &Args) -> Result<(), ParseArgsError> {
     let cfg = config_from(args)?;
     let scheme = cfg.scheme;
     let mut sys = System::new(cfg, gpu, cpu);
+    sys.set_fast_forward(!args.flag("no-ff"));
     sys.enable_telemetry(TelemetryConfig {
         epoch_len: sample_len(args)?,
         ..TelemetryConfig::default()
@@ -185,7 +187,7 @@ fn cmd_compare(args: &Args) -> Result<(), ParseArgsError> {
         println!("comparing schemes on {gpu}+{cpu} ({warm} warm + {cycles} measured cycles)\n");
     }
     let base = config_from(args)?;
-    let rows = driver::run_compare(&base, gpu, cpu, warm, cycles, threads);
+    let rows = driver::run_compare(&base, gpu, cpu, warm, cycles, threads, !args.flag("no-ff"));
     if args.flag("json") {
         print!("{}", report::comparison_json(&rows));
     } else {
@@ -222,7 +224,17 @@ fn cmd_sweep(args: &Args) -> Result<(), ParseArgsError> {
         );
     }
     let base = config_from(args)?;
-    let points = driver::run_sweep(&base, param, &values, gpu, cpu, warm, cycles, threads)?;
+    let points = driver::run_sweep(
+        &base,
+        param,
+        &values,
+        gpu,
+        cpu,
+        warm,
+        cycles,
+        threads,
+        !args.flag("no-ff"),
+    )?;
     for p in &points {
         if args.flag("json") {
             // One NDJSON object per sweep point: both scheme reports.
@@ -273,6 +285,16 @@ fn cmd_bench(args: &Args) -> Result<(), ParseArgsError> {
             r.multi.threads,
             r.speedup()
         );
+        eprintln!(
+            "fast-forward: {} low-intensity jobs x {} cycles: {:.2}s per-cycle, {:.2}s \
+             fast-forwarded ({:.2}x, {:.0}% of cycles skipped)",
+            r.low_jobs,
+            r.low_cycles_per_job,
+            r.ff_off.wall_s,
+            r.ff_on.wall_s,
+            r.ff_speedup(),
+            r.skipped_ratio() * 100.0
+        );
     }
     Ok(())
 }
@@ -291,6 +313,7 @@ fn cmd_trace(args: &Args) -> Result<(), ParseArgsError> {
         cfg.scheme = Scheme::DelegatedReplies;
     }
     let mut sys = System::new(cfg, gpu, cpu);
+    sys.set_fast_forward(!args.flag("no-ff"));
     sys.run(warm);
     sys.enable_trace(65_536);
     sys.run(cycles);
@@ -382,6 +405,7 @@ fn print_help() {
          \x20 --vnets <a>+<b>    shared physical net with a/b VCs per class\n\
          \x20 --mesh <w>x<h>     scale the chip (node mix kept proportional)\n\
          \x20 --warm/--cycles    warmup / measured cycles (6000 / 15000)\n\
+         \x20 --no-ff            disable event-horizon fast-forward (reference loop)\n\
          \x20 --seed <n>         workload + mapping seed\n\
          \x20 --threads <n>      compare/sweep/bench worker threads (default: all cores)\n\n\
          TELEMETRY OPTIONS:\n\

@@ -3,7 +3,7 @@
 //! (Section VII; AVCP in Fig. 6 varies the VC split).
 
 use clognet_noc::{ClassAssignment, NetParams, Network};
-use clognet_proto::{NodeId, Packet, Priority, SystemConfig, TrafficClass};
+use clognet_proto::{Cycle, NodeId, Packet, Priority, SystemConfig, TrafficClass};
 
 /// The system's physical network(s).
 #[allow(clippy::large_enum_variant)] // one-per-system; boxing buys nothing
@@ -127,6 +127,34 @@ impl Nets {
                 reply.tick();
             }
             Nets::Shared(n) => n.tick(),
+        }
+    }
+
+    /// Earliest future cycle any physical network can change state
+    /// absent new injections (see the fast-forward contract in
+    /// DESIGN.md). `Some(now)` means same-cycle work remains.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let merge = |a: Option<Cycle>, b: Option<Cycle>| match (a, b) {
+            (Some(x), Some(y)) => Some(x.min(y)),
+            (x, None) => x,
+            (None, y) => y,
+        };
+        match self {
+            Nets::Separate { request, reply } => {
+                merge(request.next_event(now), reply.next_event(now))
+            }
+            Nets::Shared(n) => n.next_event(now),
+        }
+    }
+
+    /// Jump all quiescent networks' clocks forward to `cycle`.
+    pub fn advance_to(&mut self, cycle: Cycle) {
+        match self {
+            Nets::Separate { request, reply } => {
+                request.advance_to(cycle);
+                reply.advance_to(cycle);
+            }
+            Nets::Shared(n) => n.advance_to(cycle),
         }
     }
 

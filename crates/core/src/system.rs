@@ -51,6 +51,8 @@ pub struct System {
     oracle_remote: u64,
     delegations_sent: u64,
     stats_epoch: Cycle,
+    fast_forward: bool,
+    skipped_cycles: u64,
     trace: TraceLog,
     telemetry: Option<Box<SystemTelemetry>>,
     blocked_since: Vec<Option<Cycle>>,
@@ -143,6 +145,8 @@ impl System {
             oracle_remote: 0,
             delegations_sent: 0,
             stats_epoch: 0,
+            fast_forward: true,
+            skipped_cycles: 0,
             trace: TraceLog::new(4096),
             telemetry: None,
             blocked_since: vec![None; cfg.n_mem],
@@ -206,9 +210,123 @@ impl System {
     }
 
     /// Run for `cycles` cycles.
+    ///
+    /// When fast-forward is enabled (the default) and the whole chip is
+    /// quiescent — no packets in flight, no queued outbox traffic, and
+    /// every component reports no same-cycle work — the clock jumps
+    /// straight to the earliest component event horizon instead of
+    /// ticking through dead cycles. Results are bit-identical either
+    /// way (see the `next_event` contract in DESIGN.md).
     pub fn run(&mut self, cycles: u64) {
-        for _ in 0..cycles {
+        let end = self.now + cycles;
+        while self.now < end {
+            if self.fast_forward {
+                if let Some((target, at_horizon)) = self.quiescent_horizon(end) {
+                    self.advance_span(target - self.now);
+                    // Landing on a component's reported horizon means
+                    // that component (almost) always has same-cycle
+                    // work there — tick straight away instead of
+                    // paying for a quiescence check that would fail.
+                    // (Ticking is always valid; at worst a re-peek
+                    // horizon wastes one tick.)
+                    if at_horizon && self.now < end {
+                        self.tick();
+                    }
+                    continue;
+                }
+            }
             self.tick();
+        }
+    }
+
+    /// Enable/disable event-horizon fast-forward (on by default).
+    /// Turning it off forces the per-cycle reference loop the
+    /// equivalence tests compare against.
+    pub fn set_fast_forward(&mut self, on: bool) {
+        self.fast_forward = on;
+    }
+
+    /// Cycles skipped by fast-forward since construction or the last
+    /// [`reset_stats`](Self::reset_stats) (warmup exclusion applies,
+    /// like every other counter).
+    pub fn skipped_cycles(&self) -> u64 {
+        self.skipped_cycles
+    }
+
+    /// If the whole chip is quiescent at `self.now`, the cycle to jump
+    /// to: the minimum component event horizon, clamped to the next
+    /// telemetry epoch boundary and to `end`. The flag is true when the
+    /// jump lands on a component horizon rather than a clamp (i.e. the
+    /// landing cycle has component work). `None` when any component
+    /// still has same-cycle work — the caller must tick normally.
+    fn quiescent_horizon(&mut self, end: Cycle) -> Option<(Cycle, bool)> {
+        // Undelivered packets — in flight or parked in an ejection
+        // queue — and queued outbox packets are same-cycle work.
+        if self.nets.in_flight() > 0
+            || self
+                .outboxes
+                .iter()
+                .any(|ob| !ob.request.is_empty() || !ob.reply.is_empty())
+        {
+            return None;
+        }
+        let now = self.now;
+        let mut horizon = Cycle::MAX;
+        let mut clamp = |ev: Option<Cycle>| -> bool {
+            match ev {
+                Some(t) if t <= now => false,
+                Some(t) => {
+                    horizon = horizon.min(t);
+                    true
+                }
+                None => true,
+            }
+        };
+        if !clamp(self.nets.next_event(now)) || !clamp(self.gpu.next_event(now)) {
+            return None;
+        }
+        let cpu_ev = self.cpu.next_event(now);
+        if !clamp(cpu_ev) {
+            return None;
+        }
+        for m in &self.mems {
+            if !clamp(m.next_event(now)) {
+                return None;
+            }
+        }
+        let mut bound = end;
+        if let Some(t) = self.telemetry.as_deref() {
+            let len = t.epoch_len();
+            bound = bound.min((now / len + 1) * len);
+        }
+        let target = horizon.min(bound);
+        debug_assert!(target > now, "quiescent horizon must be in the future");
+        Some((target, horizon <= bound))
+    }
+
+    /// Jump the clock across `span` provably-dead cycles, integrating
+    /// the skipped span into every per-cycle accumulator.
+    fn advance_span(&mut self, span: u64) {
+        debug_assert!(span > 0);
+        self.cpu.advance(span);
+        self.gpu.advance(span);
+        self.now += span;
+        self.nets.advance_to(self.now);
+        self.skipped_cycles += span;
+        // Memory nodes need no integration: a blocked or busy node
+        // reports same-cycle work, so skipped spans never overlap
+        // cycles where `blocked_cycles` (or any other per-cycle memory
+        // counter) would advance.
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            if self.now.is_multiple_of(t.epoch_len()) {
+                t.roll_epoch(
+                    &self.mems,
+                    &self.nets,
+                    &self.gpu,
+                    &self.cpu,
+                    self.delegations_sent,
+                );
+            }
         }
     }
 
@@ -288,6 +406,7 @@ impl System {
         self.oracle_total = 0;
         self.oracle_remote = 0;
         self.delegations_sent = 0;
+        self.skipped_cycles = 0;
         self.stats_epoch = self.now;
         if let Some(t) = self.telemetry.as_deref_mut() {
             t.on_stats_reset();

@@ -41,9 +41,8 @@
 //! ```
 
 use clognet_cache::SetAssocCache;
-use clognet_proto::{CoreId, CpuConfig, Cycle, LineAddr};
+use clognet_proto::{CoreId, CpuConfig, Cycle, FxHashMap, LineAddr};
 use clognet_workloads::{CpuProfile, CpuStream, MemAccess};
-use std::collections::HashMap;
 
 /// A message a CPU core sends to the memory system.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,7 +60,7 @@ pub enum CpuOut {
 }
 
 /// Per-core counters.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CpuCoreStats {
     /// Accesses processed (hits + issued misses + issued writes).
     pub processed: u64,
@@ -107,7 +106,7 @@ struct Core {
     stream: CpuStream,
     l1: SetAssocCache<()>,
     outstanding: usize,
-    pending: HashMap<LineAddr, Vec<Cycle>>,
+    pending: FxHashMap<LineAddr, Vec<Cycle>>,
     deferred: Option<MemAccess>,
     stats: CpuCoreStats,
 }
@@ -128,7 +127,7 @@ impl CpuSubsystem {
                 stream: CpuStream::new(profile.clone(), CoreId(i as u16), seed),
                 l1: SetAssocCache::new(cfg.l1),
                 outstanding: 0,
-                pending: HashMap::new(),
+                pending: FxHashMap::default(),
                 deferred: None,
                 stats: CpuCoreStats::default(),
             })
@@ -225,6 +224,17 @@ impl CpuSubsystem {
                 core.deferred = None;
                 continue;
             }
+            // Stall test first, via the non-mutating `probe`: a stalled
+            // cycle must leave the cache untouched (no LRU/stat update)
+            // so the fast-forward engine can integrate skipped stall
+            // cycles without replaying them.
+            if (core.outstanding >= window || b == 0)
+                && !core.l1.probe(line)
+                && !core.pending.contains_key(&line)
+            {
+                core.stats.stall_cycles += 1;
+                continue;
+            }
             if core.l1.access(line) {
                 core.stats.l1_hits += 1;
                 core.stats.processed += 1;
@@ -237,16 +247,71 @@ impl CpuSubsystem {
                 core.deferred = None;
                 continue;
             }
-            if core.outstanding >= window || b == 0 {
-                core.stats.stall_cycles += 1;
-                continue;
-            }
             core.outstanding += 1;
             core.pending.entry(line).or_default().push(now);
             out.push((id, CpuOut::Read { line }));
             core.stats.reads += 1;
             core.stats.processed += 1;
             core.deferred = None;
+        }
+    }
+
+    /// Earliest future cycle at which this subsystem can spontaneously
+    /// change state, absent new input (replies).
+    ///
+    /// - `Some(now)` — some core has same-cycle work: a deferred access
+    ///   that can proceed, or an issue draw landing this cycle.
+    /// - `Some(t > now)` — all cores idle or stalled until `t`, when the
+    ///   first idle core's next issue draw comes up `true`.
+    /// - `None` — every core is window-stalled; only a reply can wake
+    ///   the subsystem.
+    ///
+    /// Callers must guarantee nonzero emission budgets over the skipped
+    /// span (the fast-forward engine only engages with empty outboxes);
+    /// budget-zero stalls are therefore not modeled here. Peeked issue
+    /// draws are buffered inside each [`CpuStream`], so calling this
+    /// never perturbs the random stream.
+    pub fn next_event(&mut self, now: Cycle) -> Option<Cycle> {
+        /// How many issue draws to verify ahead; a core with no `true`
+        /// draw in this window reports `now + PEEK_CAP` as a
+        /// conservative horizon and is re-peeked there.
+        const PEEK_CAP: u64 = 1024;
+        let window = self.profile.window;
+        let mut horizon: Option<Cycle> = None;
+        for core in &mut self.cores {
+            if let Some(access) = core.deferred {
+                let line = access.addr.line(self.cfg.l1.line_bytes as u64);
+                let stalled = !access.write
+                    && !core.l1.probe(line)
+                    && !core.pending.contains_key(&line)
+                    && core.outstanding >= window;
+                if stalled {
+                    // Unblocks only when a reply restores the window.
+                    continue;
+                }
+                return Some(now);
+            }
+            let gap = core.stream.peek_issue_gap(PEEK_CAP);
+            if gap == 0 {
+                return Some(now);
+            }
+            let t = now + gap;
+            horizon = Some(horizon.map_or(t, |h: Cycle| h.min(t)));
+        }
+        horizon
+    }
+
+    /// Integrate `span` skipped cycles: consume each core's issue draws
+    /// (accruing intrinsic-rate opportunities exactly as `span` calls of
+    /// `tick` would) and account stall cycles for window-stalled cores.
+    /// Only valid over a span where [`Self::next_event`] reported no
+    /// event strictly inside it.
+    pub fn advance(&mut self, span: u64) {
+        for core in &mut self.cores {
+            core.stats.opportunities += core.stream.consume_issues(span);
+            if core.deferred.is_some() {
+                core.stats.stall_cycles += span;
+            }
         }
     }
 
@@ -305,6 +370,74 @@ mod tests {
                 if let CpuOut::Read { line } = o {
                     in_flight.push((now + lat, c, line));
                 }
+            }
+        }
+    }
+
+    /// Like `run`, but jump over quiescent spans with
+    /// `next_event`/`advance` instead of ticking every cycle.
+    fn run_ff(sub: &mut CpuSubsystem, cycles: u64, lat: u64) {
+        let budget = vec![4usize; sub.n_cores()];
+        let mut in_flight: Vec<(u64, CoreId, LineAddr)> = Vec::new();
+        let mut now = 0u64;
+        while now < cycles {
+            let next_reply = in_flight.iter().map(|&(t, _, _)| t).min();
+            if next_reply != Some(now) {
+                let horizon = match sub.next_event(now) {
+                    Some(t) if t == now => None,
+                    Some(t) => Some(t),
+                    None => Some(cycles),
+                };
+                if let Some(h) = horizon {
+                    let mut h = h.min(cycles);
+                    if let Some(t) = next_reply {
+                        h = h.min(t);
+                    }
+                    if h > now {
+                        sub.advance(h - now);
+                        now = h;
+                        continue;
+                    }
+                }
+            }
+            let mut due = Vec::new();
+            in_flight.retain(|&(t, c, l)| {
+                if t <= now {
+                    due.push((c, l));
+                    false
+                } else {
+                    true
+                }
+            });
+            for (c, l) in due {
+                sub.deliver_data(c, l, now);
+            }
+            let mut out = Vec::new();
+            sub.tick(now, &budget, &mut out);
+            for (c, o) in out {
+                if let CpuOut::Read { line } = o {
+                    in_flight.push((now + lat, c, line));
+                }
+            }
+            now += 1;
+        }
+    }
+
+    #[test]
+    fn fast_forward_integration_matches_per_cycle_reference() {
+        // Long reply latencies create window-stall spans; low rates
+        // create idle spans. Both must integrate exactly.
+        for (name, lat) in [("blackscholes", 200), ("canneal", 500)] {
+            let mut reference = subsystem(name);
+            run(&mut reference, 30_000, lat);
+            let mut ff = subsystem(name);
+            run_ff(&mut ff, 30_000, lat);
+            for i in 0..4 {
+                assert_eq!(
+                    ff.stats(CoreId(i)),
+                    reference.stats(CoreId(i)),
+                    "{name} core {i} diverged under fast-forward"
+                );
             }
         }
     }

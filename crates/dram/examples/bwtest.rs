@@ -6,6 +6,7 @@ fn main() {
     let mut token = 0u64;
     let mut done = 0u64;
     let mut x = 12345u64;
+    let mut completed = Vec::new();
     for now in 0..20_000 {
         while m.can_enqueue() {
             token += 1;
@@ -22,7 +23,9 @@ fn main() {
                 now,
             );
         }
-        done += m.tick(now).len() as u64;
+        completed.clear();
+        m.tick_into(now, &mut completed);
+        done += completed.len() as u64;
     }
     println!(
         "random: {} lines / 20k cycles = {:.3}/cy rowhit {:.2}",

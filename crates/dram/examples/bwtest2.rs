@@ -22,6 +22,7 @@ fn main() {
     let mut token = 0u64;
     let mut done = 0u64;
     let mut bank_hist = [0u32; 16];
+    let mut completed = Vec::new();
     for now in 0..20_000 {
         while m.can_enqueue() {
             token += 1;
@@ -37,7 +38,9 @@ fn main() {
                 now,
             );
         }
-        done += m.tick(now).len() as u64;
+        completed.clear();
+        m.tick_into(now, &mut completed);
+        done += completed.len() as u64;
     }
     println!(
         "m0-like: {} lines / 20k = {:.3}/cy rowhit {:.2}",

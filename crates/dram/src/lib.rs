@@ -22,7 +22,7 @@
 //!     .unwrap();
 //! let mut done = Vec::new();
 //! for now in 0..100 {
-//!     done.extend(mc.tick(now));
+//!     mc.tick_into(now, &mut done);
 //! }
 //! assert_eq!(done, vec![1]);
 //! ```
@@ -178,14 +178,29 @@ impl DramController {
         Ok(())
     }
 
-    /// Advance one cycle; returns the tokens whose data completed.
-    /// Convenience wrapper over [`Self::tick_into`] for tests and
-    /// examples — per-cycle simulation loops use `tick_into` with a
-    /// reused buffer to avoid a heap allocation every cycle.
-    pub fn tick(&mut self, now: Cycle) -> Vec<u64> {
-        let mut done = Vec::new();
-        self.tick_into(now, &mut done);
-        done
+    /// Earliest future cycle at which [`Self::tick_into`] can make
+    /// progress or mutate state, absent new [`Self::enqueue`] calls:
+    ///
+    /// - `Some(now)` — the queue is non-empty (a command can issue this
+    ///   cycle, or at least the scheduler must be consulted);
+    /// - `Some(t > now)` — idle until the first in-flight data burst
+    ///   completes or the next all-bank refresh fires, whichever is
+    ///   sooner (refresh mutates bank timers even on an idle channel);
+    /// - `None` — empty queue, nothing in flight, refresh disabled.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if !self.queue.is_empty() {
+            return Some(now);
+        }
+        let mut horizon: Option<Cycle> = None;
+        for f in &self.in_flight {
+            let t = f.done_at.max(now);
+            horizon = Some(horizon.map_or(t, |h: Cycle| h.min(t)));
+        }
+        if self.next_refresh != Cycle::MAX {
+            let t = self.next_refresh.max(now);
+            horizon = Some(horizon.map_or(t, |h: Cycle| h.min(t)));
+        }
+        horizon
     }
 
     /// Advance one cycle, appending the tokens whose data completed
@@ -318,6 +333,14 @@ mod tests {
         DramController::new(DramConfig::default(), 7)
     }
 
+    /// Test shorthand for one `tick_into` with a fresh buffer (the
+    /// production loop reuses a buffer; tests prefer the return value).
+    fn tick(m: &mut DramController, now: Cycle) -> Vec<u64> {
+        let mut done = Vec::new();
+        m.tick_into(now, &mut done);
+        done
+    }
+
     #[test]
     fn single_read_latency_matches_timing() {
         let mut m = mc();
@@ -333,7 +356,7 @@ mod tests {
         .unwrap();
         let mut done_at = None;
         for now in 0..200 {
-            if let Some(&t) = m.tick(now).first() {
+            if let Some(&t) = tick(&mut m, now).first() {
                 assert_eq!(t, 9);
                 done_at = Some(now);
                 break;
@@ -378,7 +401,7 @@ mod tests {
                 .unwrap();
             }
             for now in 0..1000 {
-                if m.tick(now).contains(&1) {
+                if tick(&mut m, now).contains(&1) {
                     return now;
                 }
             }
@@ -430,7 +453,7 @@ mod tests {
         .unwrap();
         let mut order = Vec::new();
         for now in 0..2000 {
-            order.extend(m.tick(now));
+            order.extend(tick(&mut m, now));
             if order.len() == 3 {
                 break;
             }
@@ -466,7 +489,7 @@ mod tests {
                 )
                 .unwrap();
             }
-            completed += m.tick(now).len() as u64;
+            completed += tick(&mut m, now).len() as u64;
         }
         let per_line = horizon as f64 / completed as f64;
         assert!(
@@ -510,7 +533,7 @@ mod tests {
         .unwrap();
         let mut got = false;
         for now in 0..200 {
-            if !m.tick(now).is_empty() {
+            if !tick(&mut m, now).is_empty() {
                 got = true;
                 break;
             }
@@ -549,7 +572,7 @@ mod tests {
             )
             .unwrap();
             for now in 0..2000 {
-                if m.tick(now).contains(&1) {
+                if tick(&mut m, now).contains(&1) {
                     return now;
                 }
             }
@@ -592,7 +615,7 @@ mod tests {
         let mut last = 0;
         let mut n = 0;
         for now in 0..2000 {
-            let d = m.tick(now);
+            let d = tick(&mut m, now);
             if !d.is_empty() {
                 last = now;
                 n += d.len();
@@ -636,7 +659,7 @@ mod tests {
         .unwrap();
         let mut order = Vec::new();
         for now in 0..5_000 {
-            order.extend(m.tick(now));
+            order.extend(tick(&mut m, now));
             if order.len() == 21 {
                 break;
             }
@@ -665,7 +688,7 @@ mod tests {
         )
         .unwrap();
         for now in 0..95 {
-            m.tick(now);
+            tick(&mut m, now);
         }
         // Request arriving at the refresh boundary pays tRFC even
         // though it targets the previously open row.
@@ -681,7 +704,7 @@ mod tests {
         .unwrap();
         let mut done_at = None;
         for now in 100..500 {
-            if m.tick(now).contains(&1) {
+            if tick(&mut m, now).contains(&1) {
                 done_at = Some(now);
                 break;
             }
@@ -700,9 +723,53 @@ mod tests {
         };
         let mut m = DramController::new(cfg, 7);
         for now in 0..50_000 {
-            m.tick(now);
+            tick(&mut m, now);
         }
         assert_eq!(m.stats().refreshes, 0);
+    }
+
+    #[test]
+    fn next_event_tracks_completions_and_refresh() {
+        let cfg = DramConfig {
+            t_refi: 100,
+            ..DramConfig::default()
+        };
+        let mut m = DramController::new(cfg, 7);
+        // Queued work is always same-cycle work.
+        m.enqueue(
+            DramRequest {
+                line: LineAddr(0),
+                is_write: false,
+                cpu: false,
+                token: 0,
+            },
+            0,
+        )
+        .unwrap();
+        assert_eq!(m.next_event(0), Some(0));
+        // After issue: horizon is the in-flight completion; no event may
+        // fire strictly before it.
+        tick(&mut m, 0);
+        let h = m.next_event(1).expect("in-flight work");
+        assert!(h > 1, "in-flight completion is in the future");
+        for now in 1..h {
+            assert!(tick(&mut m, now).is_empty(), "overshoot at {now}");
+        }
+        assert_eq!(tick(&mut m, h), vec![0]);
+        // Idle channel: only the refresh timer remains.
+        let h2 = m.next_event(h + 1).expect("refresh pending");
+        assert!(h2 >= 100 && m.queue_len() == 0);
+        // Refresh disabled: a drained controller reports None.
+        let mut quiet = DramController::new(
+            DramConfig {
+                t_refi: 0,
+                ..DramConfig::default()
+            },
+            7,
+        );
+        assert_eq!(quiet.next_event(0), None);
+        tick(&mut quiet, 0);
+        assert_eq!(quiet.next_event(1), None);
     }
 
     #[test]
@@ -721,7 +788,7 @@ mod tests {
             .unwrap();
         }
         for now in 0..500 {
-            m.tick(now);
+            tick(&mut m, now);
         }
         assert!(m.stats().queue_wait_cycles > 0);
     }

@@ -9,6 +9,13 @@ use clognet_proto::{DramConfig, LineAddr};
 use clognet_rng::{Rng, SeedableRng, SmallRng};
 use std::collections::HashSet;
 
+/// Test shorthand for one `tick_into` with a fresh buffer.
+fn tick(m: &mut DramController, now: u64) -> Vec<u64> {
+    let mut done = Vec::new();
+    m.tick_into(now, &mut done);
+    done
+}
+
 /// Every enqueued token completes exactly once, and never before the
 /// minimum cold-access latency.
 #[test]
@@ -45,7 +52,7 @@ fn tokens_conserved_and_latency_bounded() {
                     pending.pop();
                 }
             }
-            for t in m.tick(now) {
+            for t in tick(&mut m, now) {
                 assert!(done.insert(t), "case {case}: token {t} completed twice");
                 let at = issued_at[t as usize].expect("completed before enqueue");
                 assert!(
@@ -88,7 +95,7 @@ fn bandwidth_never_exceeds_bus() {
                     now,
                 );
             }
-            for _ in m.tick(now) {
+            for _ in tick(&mut m, now) {
                 completions.push(now);
             }
         }
@@ -128,7 +135,7 @@ fn cpu_priority_helps_or_is_neutral() {
                 .unwrap();
             }
             for now in 0..500_000 {
-                if m.tick(now).contains(&(cpu_ix as u64)) {
+                if tick(&mut m, now).contains(&(cpu_ix as u64)) {
                     return now;
                 }
             }

@@ -134,6 +134,14 @@ impl Cluster {
         self.served_this_epoch += 1;
     }
 
+    /// The next cycle at which [`Self::maybe_adapt`] mutates state, or
+    /// `None` for static (DC-L1) clusters. DynEB clusters advance their
+    /// phase machine at every epoch boundary even with zero traffic, so
+    /// the fast-forward engine must never skip past this cycle.
+    pub fn next_epoch_end(&self) -> Option<Cycle> {
+        self.dynamic.then_some(self.epoch_end)
+    }
+
     /// Advance DynEB epochs; returns `true` when the cluster switched
     /// organization (the caller must flush the affected caches).
     pub fn maybe_adapt(&mut self, now: Cycle) -> bool {

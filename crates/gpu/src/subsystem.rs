@@ -17,12 +17,12 @@
 use crate::cluster::{Cluster, ClusterMode};
 use crate::msg::{GpuIn, GpuOut};
 use clognet_cache::{MshrFile, MshrOutcome, SetAssocCache};
-use clognet_proto::{CoreId, CtaSched, Cycle, GpuConfig, L1Org, LineAddr, Scheme};
+use clognet_proto::{CoreId, CtaSched, Cycle, FxHashMap, GpuConfig, L1Org, LineAddr, Scheme};
 use clognet_workloads::{GpuProfile, GpuStream, MemAccess};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Per-core counters.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct GpuCoreStats {
     /// Warp instructions retired.
     pub retired: u64,
@@ -102,7 +102,7 @@ struct Core {
     stream: GpuStream,
     mshr: MshrFile<Target>,
     frq: VecDeque<FrqEntry>,
-    probe_wait: HashMap<LineAddr, ProbeWait>,
+    probe_wait: FxHashMap<LineAddr, ProbeWait>,
     predictor: Vec<u8>,
     probe_rr: usize,
     /// RP: misses seen (drives epsilon re-probing so the predictor can
@@ -165,7 +165,7 @@ impl GpuSubsystem {
                     stream: GpuStream::new(profile.clone(), id, n_cores, seed),
                     mshr: MshrFile::new(cfg.mshrs, 16),
                     frq: VecDeque::new(),
-                    probe_wait: HashMap::new(),
+                    probe_wait: FxHashMap::default(),
                     predictor: vec![2u8; PREDICTOR_ENTRIES],
                     probe_rr: i, // de-correlate probe targets across cores
                     probe_seq: i as u64,
@@ -375,6 +375,137 @@ impl GpuSubsystem {
     fn predictor_ix(line: LineAddr) -> usize {
         let x = line.0 >> 4;
         ((x ^ (x >> 10) ^ (x >> 20)) as usize) % PREDICTOR_ENTRIES
+    }
+
+    /// The earliest future cycle at which [`Self::tick`] could change
+    /// observable state absent new input, assuming nonzero outbox
+    /// budgets (the system only fast-forwards when every outbox is
+    /// empty, so budgets are at their maximum).
+    ///
+    /// `Some(now)` means same-cycle work: a warp can issue a memory
+    /// instruction, an FRQ entry or deferred probe is queued, or a
+    /// flush / DynEB epoch boundary is due. `Some(t > now)` is a timed
+    /// horizon (next kernel flush, DynEB epoch end, or the pure-compute
+    /// countdown below). `None` means nothing will ever happen without
+    /// a delivery.
+    ///
+    /// A core whose only runnable warps are mid-compute counts down
+    /// deterministically — every such warp decrements and retires once
+    /// per cycle — so the countdown is a *timed horizon* (`now +
+    /// min(left)`), not same-cycle work, provided the arbitration is
+    /// trivial: no more computing warps than `issue_width` (all are
+    /// guaranteed an issue slot every cycle) and no warp stuck on a
+    /// stalled memory retry (whose `mem_stall_cycles` accounting
+    /// depends on issue order once slots run out).
+    /// [`Self::advance`] integrates the skipped decrements and retires.
+    ///
+    /// A warp holding a pending read contributes no work only when the
+    /// per-cycle retry provably mutates nothing: the line misses, and
+    /// either the MSHR file is full (the retry bails before claiming a
+    /// port) or the line's entry has a full target list — the latter
+    /// only under [`L1Org::Private`], because with clusters present the
+    /// port claim bumps DynEB's served counter even on a failed retry.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let mut horizon: Option<Cycle> = None;
+        let mut bump = |t: Cycle| match horizon {
+            Some(h) if h <= t => {}
+            _ => horizon = Some(t),
+        };
+        for cl in &self.clusters {
+            if let Some(e) = cl.next_epoch_end() {
+                if e <= now {
+                    return Some(now);
+                }
+                bump(e);
+            }
+        }
+        for (i, core) in self.cores.iter().enumerate() {
+            if let Some(at) = core.next_flush {
+                if at <= now {
+                    return Some(now);
+                }
+                bump(at);
+            }
+            if !core.frq.is_empty() {
+                return Some(now);
+            }
+            if core
+                .probe_wait
+                .values()
+                .any(|w| !w.to_send.is_empty() && !w.satisfied)
+            {
+                return Some(now);
+            }
+            let id = CoreId(i as u16);
+            let mut computing = 0usize;
+            let mut min_left = u32::MAX;
+            let mut stalled = false;
+            for w in &core.warps {
+                match w.state {
+                    WarpState::WaitMem => {}
+                    WarpState::Compute(left) if left > 0 => {
+                        computing += 1;
+                        min_left = min_left.min(left);
+                    }
+                    WarpState::Compute(_) => {
+                        let Some(access) = w.pending else {
+                            // Would draw the next access this cycle.
+                            return Some(now);
+                        };
+                        if access.write {
+                            return Some(now);
+                        }
+                        let line = access.addr.line(self.cfg.l1.line_bytes as u64);
+                        if self.l1_probe(id, line) {
+                            return Some(now);
+                        }
+                        if core.mshr.contains(line) {
+                            if core.mshr.can_merge(line) || self.org != L1Org::Private {
+                                return Some(now);
+                            }
+                        } else if core.mshr.available() > 0 {
+                            return Some(now);
+                        }
+                        // Provably stalled: the retry mutates nothing.
+                        stalled = true;
+                    }
+                }
+            }
+            if computing > 0 {
+                if computing > self.cfg.issue_width || stalled {
+                    return Some(now);
+                }
+                bump(now + u64::from(min_left));
+            }
+        }
+        horizon
+    }
+
+    /// Integrate `span` skipped cycles into per-cycle accumulators. Only
+    /// valid after [`Self::next_event`] reported no work before
+    /// `now + span`: over such a span the per-cycle side effects are
+    /// (a) the one `mem_stall_cycles` increment a core takes whenever
+    /// at least one warp retries a provably-stalled memory instruction,
+    /// and (b) one decrement + retire per computing warp (next_event
+    /// guarantees every computing warp had an issue slot and that
+    /// `span <= min(left)` for its core).
+    pub fn advance(&mut self, span: u64) {
+        for core in &mut self.cores {
+            if core.warps.iter().any(|w| w.pending.is_some()) {
+                core.stats.mem_stall_cycles += span;
+            }
+            let mut retired = 0;
+            for w in &mut core.warps {
+                if let WarpState::Compute(left) = w.state {
+                    if left > 0 {
+                        debug_assert!(u64::from(left) >= span, "overshot compute countdown");
+                        w.state = WarpState::Compute(left - span as u32);
+                        retired += span;
+                    }
+                }
+            }
+            core.stats.retired += retired;
+        }
     }
 
     /// Advance every core one cycle. `budget[i]` bounds how many new
@@ -1478,6 +1609,89 @@ mod tests {
             perfect_memory(&mut g, out, now);
         }
         assert!(g.total_retired() > 2_000, "DynEB stalled the cores");
+    }
+
+    #[test]
+    fn quiescent_ticks_equal_advance_integration() {
+        // Starve two identical GPUs until next_event stops reporting
+        // same-cycle work, then walk one through 500 dead cycles while
+        // the other integrates them with advance(): stats must match.
+        let mut a = subsystem(Scheme::Baseline, L1Org::Private);
+        let mut b = subsystem(Scheme::Baseline, L1Org::Private);
+        let budget = vec![16usize; a.n_cores()];
+        let mut out = Vec::new();
+        let mut now = 0u64;
+        while a.next_event(now) == Some(now) {
+            out.clear();
+            a.tick(now, &budget, &budget, &mut out);
+            out.clear();
+            b.tick(now, &budget, &budget, &mut out);
+            now += 1;
+            assert!(now < 10_000, "starved GPU never quiesced");
+        }
+        assert_eq!(a.next_event(now), None, "no flush scheduled, no horizon");
+        for t in now..now + 500 {
+            out.clear();
+            a.tick(t, &budget, &budget, &mut out);
+            assert!(out.is_empty(), "quiescent GPU emitted {out:?}");
+        }
+        b.advance(500);
+        for i in 0..a.n_cores() {
+            let c = CoreId(i as u16);
+            assert_eq!(a.stats(c), b.stats(c), "core {i} diverged");
+        }
+        assert_eq!(a.next_event(now + 500), None, "still quiescent");
+    }
+
+    #[test]
+    fn next_event_reports_flush_and_epoch_horizons() {
+        // Kernel flushes and DynEB epoch ends are timed horizons that
+        // fast-forward must clamp to.
+        let cfg = GpuConfig {
+            flush_interval: Some(1000),
+            ..GpuConfig::default()
+        };
+        let g = GpuSubsystem::new(
+            cfg,
+            Scheme::Baseline,
+            L1Org::Private,
+            CtaSched::RoundRobin,
+            gpu_benchmark("HS").unwrap(),
+            4,
+            7,
+        );
+        // Fresh cores have same-cycle work (warps want to issue).
+        assert_eq!(g.next_event(0), Some(0));
+        let cfg = GpuConfig {
+            flush_interval: None,
+            dyneb_epoch: 64,
+            ..GpuConfig::default()
+        };
+        let mut g = GpuSubsystem::new(
+            cfg,
+            Scheme::Baseline,
+            L1Org::DynEB,
+            CtaSched::RoundRobin,
+            gpu_benchmark("HS").unwrap(),
+            4,
+            7,
+        );
+        let budget = vec![16usize; 4];
+        let mut out = Vec::new();
+        let mut now = 0u64;
+        while g.next_event(now) == Some(now) {
+            out.clear();
+            g.tick(now, &budget, &budget, &mut out);
+            now += 1;
+            assert!(now < 10_000, "starved GPU never quiesced");
+        }
+        // A DynEB cluster always has a bounded horizon: at the latest
+        // its epoch end (a lingering pure-compute countdown may report
+        // an even earlier cycle, but never one past the boundary).
+        let h = g.next_event(now).expect("DynEB keeps a horizon");
+        assert!(h > now);
+        let boundary = (now / 64 + 1) * 64;
+        assert!(h <= boundary, "horizon {h} skips the epoch end {boundary}");
     }
 
     #[test]

@@ -11,7 +11,7 @@ use crate::routing;
 use crate::stats::{class_ix, NocStats};
 use crate::topology::{PortLink, TopologyGraph};
 use clognet_proto::{Cycle, NodeId, Packet, Priority, RoutingPolicy, Topology, TrafficClass};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// How traffic classes map onto this physical network's VCs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,8 +117,6 @@ struct Ni {
     inj_rr: usize,
     /// Did `try_inject` fail for this class since the last tick?
     want: [bool; 2],
-    /// Per-packet received-flit counts for reassembly.
-    eject_pending: HashMap<Slot, u8>,
     /// Flits currently held by the ejection buffer (including flits of
     /// packets already assembled but not yet taken by the node).
     eject_used: usize,
@@ -218,6 +216,16 @@ pub struct Network {
     sa_out_taken: Vec<bool>,
     /// SA scratch: input ports already matched this cycle.
     sa_in_taken: Vec<bool>,
+    /// Per-slot received-flit counts for ejection reassembly, indexed by
+    /// packet slot (a packet ejects at exactly one node, so one shared
+    /// flat array replaces the former per-NI `HashMap<Slot, u8>`). Grows
+    /// with the packet slab; a free slot's count is always zero.
+    eject_counts: Vec<u8>,
+    /// Per-class precomputed next-hop tables
+    /// (`table[router * nodes + dst]`), present when the class's routing
+    /// policy is deterministic on this topology; adaptive policies keep
+    /// evaluating [`routing::candidates`] dynamically.
+    route_tables: [Option<Vec<u8>>; 2],
 }
 
 impl Network {
@@ -245,7 +253,6 @@ impl Network {
                     progress: vec![false; total_vcs],
                     inj_rr: 0,
                     want: [false; 2],
-                    eject_pending: HashMap::new(),
                     eject_used: 0,
                     ejected: VecDeque::new(),
                 }
@@ -253,6 +260,10 @@ impl Network {
             .collect();
         let stats = NocStats::new(topo.routers(), |r| topo.port_count(r), topo.nodes());
         let n_routers = topo.routers();
+        let route_tables = [
+            topo.route_table(params.policy_for(TrafficClass::Request)),
+            topo.route_table(params.policy_for(TrafficClass::Reply)),
+        ];
         Network {
             params,
             routers,
@@ -271,6 +282,8 @@ impl Network {
             sa_accepted: Vec::new(),
             sa_out_taken: Vec::new(),
             sa_in_taken: Vec::new(),
+            eject_counts: Vec::new(),
+            route_tables,
             topo,
         }
     }
@@ -512,6 +525,38 @@ impl Network {
         }
     }
 
+    /// The earliest future cycle at which [`Self::tick`] could change
+    /// observable state absent new injections.
+    ///
+    /// `Some(now)` whenever any packet is live inside the network (a
+    /// flit could move every cycle) or a HARE policy is configured (its
+    /// per-port credit EWMA decays every cycle even when idle, so the
+    /// network never quiesces). `None` means ticking is a pure clock
+    /// increment and the caller may [`Self::advance_to`] instead.
+    /// Reassembled packets waiting in ejection queues do not count: they
+    /// are passive until the node takes them.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        debug_assert_eq!(now, self.now, "network clock out of sync");
+        let hare = matches!(self.params.routing_request, RoutingPolicy::Hare)
+            || matches!(self.params.routing_reply, RoutingPolicy::Hare);
+        if self.packets.live > 0 || hare {
+            return Some(now);
+        }
+        None
+    }
+
+    /// Jump the network clock to `cycle` without ticking, integrating
+    /// the skipped span into the cycle counter. Only valid when
+    /// [`Self::next_event`] returned `None`: with no live packets the
+    /// per-cycle work of [`Self::tick`] reduces to exactly this clock
+    /// update.
+    pub fn advance_to(&mut self, cycle: Cycle) {
+        debug_assert!(cycle >= self.now, "clock must not run backwards");
+        debug_assert_eq!(self.packets.live, 0, "advance_to with live packets");
+        self.now = cycle;
+        self.stats.cycles = self.now - self.stats_epoch;
+    }
+
     /// Advance the network by one cycle.
     ///
     /// Steady-state ticks perform zero heap allocations: all per-cycle
@@ -608,7 +653,15 @@ impl Network {
                 let prio = pkt.prio;
                 let dst = pkt.dst;
                 let policy = self.params.policy_for(class);
-                let cand = routing::candidates(&self.topo, r, dst, policy);
+                // Deterministic policies read the precomputed next-hop
+                // table; adaptive ones evaluate the routing relation per
+                // head flit.
+                let cand = match &self.route_tables[class_ix(class)] {
+                    Some(t) => {
+                        routing::Candidates::single(t[r * self.nis.len() + dst.index()] as usize)
+                    }
+                    None => routing::candidates(&self.topo, r, dst, policy),
+                };
                 if let Some(alloc) = self.choose_output(r, class, prio, dst, policy, &cand) {
                     if !alloc.eject {
                         self.routers[r].out_owner[alloc.port as usize][alloc.vc as usize] =
@@ -870,14 +923,16 @@ impl Network {
             PortLink::Node(node) => {
                 // Ejection into the NI reassembly buffer. Space for the
                 // whole packet was reserved when the head ejected.
-                let ni = &mut self.nis[node.index()];
                 if f.is_head() {
-                    ni.eject_used += f.total as usize;
+                    self.nis[node.index()].eject_used += f.total as usize;
                 }
-                let cnt = ni.eject_pending.entry(f.slot).or_insert(0);
-                *cnt += 1;
-                if *cnt == f.total {
-                    ni.eject_pending.remove(&f.slot);
+                let s = f.slot as usize;
+                if self.eject_counts.len() <= s {
+                    self.eject_counts.resize(s + 1, 0);
+                }
+                self.eject_counts[s] += 1;
+                if self.eject_counts[s] == f.total {
+                    self.eject_counts[s] = 0;
                     let pkt = self.packets.remove(f.slot);
                     let latency = self.now - pkt.created;
                     self.stats.record_ejection(
@@ -1287,6 +1342,56 @@ mod tests {
             assert_eq!(total, 16 * 16, "{policy:?}");
             assert_eq!(net.in_flight(), 0, "{policy:?} stuck packets");
         }
+    }
+
+    #[test]
+    fn advance_to_equals_idle_ticks() {
+        // An empty network ticked for N dead cycles must be
+        // indistinguishable from one that jumped its clock by N.
+        let mut a = Network::new(params(Topology::Mesh));
+        let mut b = Network::new(params(Topology::Mesh));
+        for net in [&mut a, &mut b] {
+            net.try_inject(mk_pkt(1, 0, 63, MsgKind::ReadReq, 0))
+                .unwrap();
+            for _ in 0..200 {
+                net.tick();
+            }
+            // Live flits drained; the waiting ejected packet is passive.
+            assert_eq!(net.next_event(net.now()), None);
+        }
+        for _ in 0..1000 {
+            a.tick();
+        }
+        let to = b.now() + 1000;
+        b.advance_to(to);
+        assert_eq!(a.now(), b.now());
+        assert_eq!(a.stats().cycles, b.stats().cycles);
+        // Resuming identical traffic produces identical outcomes.
+        a.try_inject(mk_pkt(2, 5, 60, MsgKind::ReadReq, a.now()))
+            .unwrap();
+        b.try_inject(mk_pkt(2, 5, 60, MsgKind::ReadReq, b.now()))
+            .unwrap();
+        for _ in 0..300 {
+            a.tick();
+            b.tick();
+        }
+        let pa = a.take_ejected(NodeId(60), 9);
+        let pb = b.take_ejected(NodeId(60), 9);
+        assert_eq!(pa.len(), 1);
+        assert_eq!(pa[0].id, pb[0].id);
+        let la = a.stats().mean_latency(TrafficClass::Request, Priority::Gpu);
+        let lb = b.stats().mean_latency(TrafficClass::Request, Priority::Gpu);
+        assert_eq!(la, lb, "latency diverged after fast-forward");
+    }
+
+    #[test]
+    fn hare_never_reports_quiescence() {
+        let net = Network::new(NetParams {
+            routing_request: RoutingPolicy::Hare,
+            ..params(Topology::Mesh)
+        });
+        // HARE's EWMA mutates every cycle, so the horizon is always now.
+        assert_eq!(net.next_event(0), Some(0));
     }
 
     #[test]

@@ -21,7 +21,10 @@ pub struct Candidates {
 }
 
 impl Candidates {
-    fn single(port: usize) -> Self {
+    /// A single forced port (used both internally and by the network's
+    /// precomputed route-table fast path, which reconstructs the
+    /// candidate set from a table lookup for deterministic policies).
+    pub fn single(port: usize) -> Self {
         Candidates {
             ports: [port, 0, 0],
             len: 1,

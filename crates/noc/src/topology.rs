@@ -9,7 +9,7 @@
 //! channel is two opposed unidirectional links, each with its own VC
 //! buffers and credits, as in BookSim.
 
-use clognet_proto::{NodeId, Topology};
+use clognet_proto::{NodeId, RoutingPolicy, Topology};
 
 /// What a router output port connects to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -298,6 +298,33 @@ impl TopologyGraph {
         (router % self.width, router / self.width)
     }
 
+    /// Precompute the per-(router, destination) next-hop port table for
+    /// `policy`, or `None` when routing under `policy` is adaptive on
+    /// this topology (more than one candidate port exists somewhere) and
+    /// must stay dynamic.
+    ///
+    /// Layout: `table[router * nodes + dst]` holds the output-port index
+    /// (`u8`; port counts never exceed the crossbar's node count). For
+    /// deterministic routes the table lookup replaces the per-head-flit
+    /// [`crate::routing::candidates`] evaluation in VC allocation —
+    /// built once per network, read on every route computation.
+    pub fn route_table(&self, policy: RoutingPolicy) -> Option<Vec<u8>> {
+        let nodes = self.nodes();
+        let mut table = vec![0u8; self.routers() * nodes];
+        for r in 0..self.routers() {
+            for n in 0..nodes {
+                let c = crate::routing::candidates(self, r, NodeId(n as u16), policy);
+                if c.ports().len() != 1 {
+                    return None;
+                }
+                let p = c.escape_port();
+                debug_assert!(p <= u8::MAX as usize);
+                table[r * nodes + n] = p as u8;
+            }
+        }
+        Some(table)
+    }
+
     /// Iterate all directed router-to-router links as
     /// `(router, port, neighbor)`.
     pub fn router_links(&self) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
@@ -421,6 +448,45 @@ mod tests {
             for n in 0..t.nodes() {
                 assert!(seen.insert(t.attach_of(NodeId(n as u16))), "{kind:?}");
             }
+        }
+    }
+
+    #[test]
+    fn route_tables_match_dynamic_candidates() {
+        use clognet_proto::RoutingPolicy;
+        for kind in Topology::ALL {
+            for policy in [RoutingPolicy::DorXY, RoutingPolicy::DorYX] {
+                let t = TopologyGraph::build(kind, 8, 8);
+                let table = t.route_table(policy).expect("DOR is deterministic");
+                assert_eq!(table.len(), t.routers() * t.nodes());
+                for r in 0..t.routers() {
+                    for n in 0..t.nodes() {
+                        let c = crate::routing::candidates(&t, r, NodeId(n as u16), policy);
+                        assert_eq!(
+                            table[r * t.nodes() + n] as usize,
+                            c.escape_port(),
+                            "{kind:?} {policy:?} router {r} dst {n}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_mesh_policies_have_no_table() {
+        use clognet_proto::RoutingPolicy;
+        let mesh = TopologyGraph::build(Topology::Mesh, 8, 8);
+        for policy in [
+            RoutingPolicy::DyXY,
+            RoutingPolicy::Footprint,
+            RoutingPolicy::Hare,
+        ] {
+            assert!(mesh.route_table(policy).is_none(), "{policy:?} on mesh");
+            // Off-mesh, the same policies degenerate to single-candidate
+            // routing and the table applies.
+            let fb = TopologyGraph::build(Topology::FlattenedButterfly, 8, 8);
+            assert!(fb.route_table(policy).is_some(), "{policy:?} on fbfly");
         }
     }
 

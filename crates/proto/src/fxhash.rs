@@ -1,0 +1,158 @@
+//! A hand-rolled FxHash-style 64-bit hasher for the simulator's hot-path
+//! maps.
+//!
+//! `std::collections::HashMap` defaults to SipHash-1-3 with a random
+//! per-process key. That is the right default for hash-flooding
+//! resistance, but the simulator's per-cycle paths (MSHR lookups, CPU
+//! pending-miss merges, memory-node waiter tables) hash trusted,
+//! simulator-generated `LineAddr`/`u64` keys millions of times per run —
+//! there is no adversary, and SipHash's per-lookup cost is pure
+//! overhead. [`FxHasher`] is the multiply-xor scheme popularized by the
+//! Firefox/rustc `FxHashMap`: one wrapping multiply and a rotate per
+//! 8-byte word, deterministic across processes (which also makes map
+//! iteration order reproducible between runs — a property the
+//! fast-forward equivalence tests rely on).
+//!
+//! No new dependency: this is ~30 lines of `std`-only code.
+//!
+//! ## Example
+//!
+//! ```
+//! use clognet_proto::FxHashMap;
+//!
+//! let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+//! m.insert(7, "seven");
+//! assert_eq!(m[&7], "seven");
+//! ```
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The Fx multiplier: `2^64 / phi`, the 64-bit golden-ratio constant
+/// used by Fibonacci hashing.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+/// Rotation applied after each multiply; spreads the (weak) low-bit
+/// entropy of small integer keys into the bits `HashMap` uses for
+/// bucket selection.
+const ROTATE: u32 = 5;
+
+/// A fast, deterministic, non-cryptographic 64-bit hasher
+/// (multiply-xor, FxHash style). Not DoS-resistant — use only on
+/// trusted keys.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_to_hash(v);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_to_hash(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add_to_hash(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_to_hash(u64::from(v));
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_to_hash(v as u64);
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s (zero-sized, `Default`).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed through [`FxHasher`] — drop-in replacement for
+/// `std::collections::HashMap` on hot paths with trusted keys.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` hashed through [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_hasher_instances() {
+        assert_eq!(hash_of(&0xDEAD_BEEFu64), hash_of(&0xDEAD_BEEFu64));
+        assert_eq!(hash_of(&"line"), hash_of(&"line"));
+    }
+
+    #[test]
+    fn distinct_keys_rarely_collide() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            seen.insert(hash_of(&i));
+        }
+        assert_eq!(seen.len(), 10_000, "sequential u64 keys must not collide");
+    }
+
+    #[test]
+    fn small_keys_spread_into_high_bits() {
+        // HashMap uses the top 7 bits for its SIMD tag; tiny keys must
+        // not all share them.
+        let tags: std::collections::HashSet<u64> = (0..128u64).map(|i| hash_of(&i) >> 57).collect();
+        assert!(tags.len() > 32, "only {} distinct tags", tags.len());
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+        m.insert(1, 10);
+        m.insert(2, 20);
+        assert_eq!(m.get(&1), Some(&10));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(5));
+        assert!(!s.insert(5));
+    }
+
+    #[test]
+    fn unaligned_byte_tails_hash_differently() {
+        assert_ne!(hash_of(&[1u8, 2, 3]), hash_of(&[1u8, 2, 4]));
+        assert_ne!(hash_of(&[0u8; 9]), hash_of(&[0u8; 8]));
+    }
+}

@@ -26,6 +26,7 @@
 
 pub mod addr_map;
 pub mod config;
+pub mod fxhash;
 pub mod ids;
 pub mod layout;
 pub mod packet;
@@ -35,6 +36,7 @@ pub use config::{
     CacheGeometry, CpuConfig, CtaSched, DrKnobs, DramConfig, GpuConfig, L1Org, LayoutKind,
     LlcConfig, NocConfig, RoutingPolicy, Scheme, SystemConfig, Topology, VirtualNetConfig,
 };
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{Addr, CoreId, Cycle, LineAddr, MemId, NodeId};
 pub use layout::{Layout, NodeKind};
 pub use packet::{MsgKind, Packet, PacketId, Priority, TrafficClass};

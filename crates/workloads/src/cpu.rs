@@ -12,6 +12,7 @@
 use crate::gpu::MemAccess;
 use clognet_proto::{Addr, CoreId};
 use clognet_rng::{Rng, SeedableRng, SmallRng};
+use std::collections::VecDeque;
 
 /// Base of the CPU data region (disjoint from all GPU regions).
 const CPU_BASE: u64 = 0x0000_8000_0000;
@@ -126,12 +127,22 @@ pub fn cpu_benchmark(name: &str) -> Option<CpuProfile> {
 }
 
 /// Deterministic per-core CPU access generator.
+///
+/// The issue draws can be *peeked* ahead of time ([`Self::peek_issue_gap`])
+/// without disturbing the stream: peeked draws are buffered and replayed
+/// by later [`Self::wants_issue`]/[`Self::consume_issues`] calls, so the
+/// total sequence of RNG draws is identical whether or not anything ever
+/// peeks. The buffer never extends past the first `true` draw — a `true`
+/// is always the last buffered element — so [`Self::next_access`] (which
+/// draws from the same RNG) always runs with an empty buffer, in the
+/// same stream position as a never-peeked run.
 #[derive(Debug, Clone)]
 pub struct CpuStream {
     profile: CpuProfile,
     core: CoreId,
     rng: SmallRng,
     cursor: u64,
+    lookahead: VecDeque<bool>,
 }
 
 impl CpuStream {
@@ -144,6 +155,7 @@ impl CpuStream {
             core,
             rng,
             cursor: 0,
+            lookahead: VecDeque::new(),
         }
     }
 
@@ -155,7 +167,58 @@ impl CpuStream {
     /// Should the core issue a request this cycle? (Bernoulli at the
     /// intrinsic rate; the replayer gates this on the dependency window.)
     pub fn wants_issue(&mut self) -> bool {
-        self.rng.gen_bool(self.profile.req_rate)
+        match self.lookahead.pop_front() {
+            Some(v) => v,
+            None => self.rng.gen_bool(self.profile.req_rate),
+        }
+    }
+
+    /// Cycles until the next `true` issue draw, peeking at most `cap`
+    /// draws ahead. Returns the 0-based offset of the first `true`
+    /// (0 = this cycle's draw), or `cap` if the next `cap` draws are all
+    /// `false` — in that case the caller knows the core stays idle for
+    /// at least `cap` cycles and may re-peek afterwards.
+    ///
+    /// Peeked draws are buffered and later replayed by
+    /// [`Self::wants_issue`]/[`Self::consume_issues`]; the buffer never
+    /// grows past the first `true`.
+    pub fn peek_issue_gap(&mut self, cap: u64) -> u64 {
+        // A `true` can only sit at the back of the buffer (extension
+        // stops on the first `true`; replay pops off the front), so the
+        // first-`true` scan collapses to a single back() probe — this
+        // runs on every fast-forward horizon query.
+        debug_assert!(
+            self.lookahead.iter().rev().skip(1).all(|&v| !v),
+            "lookahead holds a true before its back"
+        );
+        if self.lookahead.back() == Some(&true) {
+            return (self.lookahead.len() as u64 - 1).min(cap);
+        }
+        while (self.lookahead.len() as u64) < cap {
+            let v = self.rng.gen_bool(self.profile.req_rate);
+            self.lookahead.push_back(v);
+            if v {
+                return self.lookahead.len() as u64 - 1;
+            }
+        }
+        cap
+    }
+
+    /// Consume `n` issue draws at once (the fast-forward integral of `n`
+    /// consecutive [`Self::wants_issue`] calls) and return how many were
+    /// `true`.
+    pub fn consume_issues(&mut self, n: u64) -> u64 {
+        let mut trues = 0;
+        for _ in 0..n {
+            let v = match self.lookahead.pop_front() {
+                Some(v) => v,
+                None => self.rng.gen_bool(self.profile.req_rate),
+            };
+            if v {
+                trues += 1;
+            }
+        }
+        trues
     }
 
     /// Generate the next access.
@@ -232,6 +295,48 @@ mod tests {
         let lb: std::collections::HashSet<u64> =
             (0..2000).map(|_| b.next_access().addr.0).collect();
         assert!(la.is_disjoint(&lb), "CPU cores must not share data");
+    }
+
+    #[test]
+    fn peeking_never_disturbs_the_stream() {
+        // A stream that peeks/consumes must produce the exact same
+        // (wants_issue, next_access) sequence as a never-peeked twin.
+        let p = cpu_benchmark("canneal").unwrap();
+        let mut plain = CpuStream::new(p.clone(), CoreId(2), 11);
+        let mut peeky = CpuStream::new(p, CoreId(2), 11);
+        let mut cycle = 0u64;
+        while cycle < 50_000 {
+            let gap = peeky.peek_issue_gap(256);
+            // Fast-forward over the idle gap in one consume...
+            assert_eq!(peeky.consume_issues(gap), 0, "gap draws must be false");
+            // ...while the twin walks it cycle by cycle.
+            for _ in 0..gap {
+                assert!(!plain.wants_issue());
+            }
+            cycle += gap;
+            if gap == 256 {
+                continue; // cap hit: no true within the window, re-peek
+            }
+            assert!(peeky.wants_issue(), "draw at the peeked offset is true");
+            assert!(plain.wants_issue());
+            assert_eq!(peeky.next_access(), plain.next_access());
+            cycle += 1;
+        }
+    }
+
+    #[test]
+    fn peek_gap_offsets_match_wants_issue() {
+        let p = cpu_benchmark("blackscholes").unwrap();
+        let mut a = CpuStream::new(p.clone(), CoreId(0), 5);
+        let mut b = CpuStream::new(p, CoreId(0), 5);
+        for _ in 0..200 {
+            let gap = a.peek_issue_gap(4096);
+            for i in 0..=gap.min(4095) {
+                let want = b.wants_issue();
+                assert_eq!(want, i == gap, "offset {i} of gap {gap}");
+                assert_eq!(a.wants_issue(), want);
+            }
+        }
     }
 
     #[test]
