@@ -10,12 +10,18 @@
 //! threads is bit-identical to running with one (each job carries its
 //! own seeded PRNG; threads share nothing).
 //!
-//! Built on `std::thread::scope` only — no external crates. Jobs are
+//! Built on `std::thread` only — no external crates. Batch jobs are
 //! claimed from a shared atomic counter (work stealing by index), so a
 //! slow job never stalls the queue behind it.
+//!
+//! Two faces share the module: [`run_jobs`] for one-shot batches
+//! (`compare`, `sweep`, the figure harnesses) and [`WorkerPool`] for
+//! long-lived services (`clognet-serve`) that need a bounded queue,
+//! admission control, and graceful drain.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Instant;
 
 /// Run `f` over every element of `jobs`, using up to `threads` worker
 /// threads, and return the results **in input order**.
@@ -69,6 +75,143 @@ where
         .collect()
 }
 
+/// A job queued into a [`WorkerPool`]: the payload plus the one-shot
+/// channel its result is delivered on.
+type PooledJob<J, R> = (J, mpsc::Sender<R>);
+
+/// Rejection returned by [`WorkerPool::try_submit`] when the bounded
+/// queue is full — the admission-control signal a service layers its
+/// `overloaded` response on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull;
+
+/// A persistent, bounded worker pool for long-lived services.
+///
+/// [`run_jobs`] is the batch face of this module: spawn, drain, join.
+/// A service like `clognet-serve` instead needs workers that outlive
+/// any one request, a **bounded** queue whose overflow is observable
+/// (admission control, not back-pressure by blocking), and per-worker
+/// utilization accounting. Jobs are closed over by a shared handler
+/// function fixed at construction; each submission returns a one-shot
+/// receiver for that job's result, so results route back to the
+/// submitting connection rather than to a batch collector.
+///
+/// Determinism: workers share nothing but the handler, and every job
+/// carries its own seeded state (a `System` is built per job), so a
+/// result is a pure function of its job — identical to running the
+/// same job inline, regardless of queue position or worker count.
+pub struct WorkerPool<J: Send + 'static, R: Send + 'static> {
+    tx: Option<mpsc::SyncSender<PooledJob<J, R>>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    /// Jobs accepted but not yet finished (queued + running).
+    depth: Arc<AtomicUsize>,
+    /// Per-worker busy time in nanoseconds.
+    busy_ns: Arc<Vec<AtomicU64>>,
+    started: Instant,
+}
+
+impl<J: Send + 'static, R: Send + 'static> WorkerPool<J, R> {
+    /// Spawn `threads` workers that run `handler` over submitted jobs;
+    /// at most `queue_cap` jobs may be queued awaiting a worker (jobs
+    /// already claimed by a worker do not count against the cap).
+    pub fn new<F>(threads: usize, queue_cap: usize, handler: F) -> Self
+    where
+        F: Fn(J) -> R + Send + Sync + 'static,
+    {
+        let threads = threads.max(1);
+        let (tx, rx) = mpsc::sync_channel::<PooledJob<J, R>>(queue_cap.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let handler = Arc::new(handler);
+        let depth = Arc::new(AtomicUsize::new(0));
+        let busy_ns: Arc<Vec<AtomicU64>> =
+            Arc::new((0..threads).map(|_| AtomicU64::new(0)).collect());
+        let workers = (0..threads)
+            .map(|w| {
+                let rx = Arc::clone(&rx);
+                let handler = Arc::clone(&handler);
+                let depth = Arc::clone(&depth);
+                let busy_ns = Arc::clone(&busy_ns);
+                std::thread::spawn(move || loop {
+                    // Hold the receiver lock only while claiming.
+                    let claimed = rx.lock().expect("pool receiver poisoned").recv();
+                    let Ok((job, reply)) = claimed else {
+                        break; // Pool dropped its sender: drain complete.
+                    };
+                    let start = Instant::now();
+                    let result = handler(job);
+                    busy_ns[w].fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    depth.fetch_sub(1, Ordering::Relaxed);
+                    // The submitter may have given up (timeout); a dead
+                    // receiver is not the pool's problem.
+                    let _ = reply.send(result);
+                })
+            })
+            .collect();
+        WorkerPool {
+            tx: Some(tx),
+            workers,
+            depth,
+            busy_ns,
+            started: Instant::now(),
+        }
+    }
+
+    /// Submit a job without blocking. On acceptance returns the
+    /// receiver the result will arrive on; on a full queue returns
+    /// [`QueueFull`] immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueFull`] when `queue_cap` jobs are already waiting.
+    pub fn try_submit(&self, job: J) -> Result<mpsc::Receiver<R>, QueueFull> {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let tx = self.tx.as_ref().expect("pool already shut down");
+        self.depth.fetch_add(1, Ordering::Relaxed);
+        match tx.try_send((job, reply_tx)) {
+            Ok(()) => Ok(reply_rx),
+            Err(mpsc::TrySendError::Full(_)) | Err(mpsc::TrySendError::Disconnected(_)) => {
+                self.depth.fetch_sub(1, Ordering::Relaxed);
+                Err(QueueFull)
+            }
+        }
+    }
+
+    /// Jobs accepted but not yet finished (queued plus running).
+    pub fn depth(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Per-worker utilization since the pool started: fraction of
+    /// wall-clock time each worker spent executing jobs, in `[0, 1]`.
+    pub fn utilization(&self) -> Vec<f64> {
+        let elapsed = self.started.elapsed().as_nanos() as f64;
+        self.busy_ns
+            .iter()
+            .map(|b| {
+                if elapsed > 0.0 {
+                    (b.load(Ordering::Relaxed) as f64 / elapsed).min(1.0)
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
+    /// Graceful drain: stop accepting, finish every queued job, join
+    /// all workers. Queued jobs still deliver their results.
+    pub fn shutdown(mut self) {
+        drop(self.tx.take()); // Workers exit once the queue runs dry.
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
 /// Thread count for parallel harnesses: `CLOGNET_THREADS` if set,
 /// otherwise the machine's available parallelism (1 if unknown).
 pub fn default_threads() -> usize {
@@ -116,5 +259,79 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn pool_runs_jobs_and_routes_results_back() {
+        let pool: WorkerPool<u64, u64> = WorkerPool::new(4, 32, |j| j * 3);
+        let rxs: Vec<_> = (0..32u64)
+            .map(|j| pool.try_submit(j).expect("queue has room"))
+            .collect();
+        for (j, rx) in rxs.into_iter().enumerate() {
+            assert_eq!(rx.recv().unwrap(), j as u64 * 3);
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn pool_rejects_when_queue_is_full() {
+        // One worker stuck on a slow job; capacity-1 queue fills after
+        // one more submission.
+        let claimed = Arc::new(AtomicUsize::new(0));
+        let release = Arc::new(AtomicUsize::new(0));
+        let (c, r) = (Arc::clone(&claimed), Arc::clone(&release));
+        let pool: WorkerPool<u64, u64> = WorkerPool::new(1, 1, move |j| {
+            if j == 0 {
+                c.store(1, Ordering::SeqCst);
+                while r.load(Ordering::SeqCst) == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+            }
+            j
+        });
+        let first = pool.try_submit(0).expect("accepted");
+        // Wait until the worker has claimed job 0, emptying the queue.
+        while claimed.load(Ordering::SeqCst) == 0 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let second = pool.try_submit(1).expect("queued");
+        // Queue now holds job 1; the next submission must bounce.
+        assert!(matches!(pool.try_submit(2), Err(QueueFull)));
+        release.store(1, Ordering::SeqCst);
+        assert_eq!(first.recv().unwrap(), 0);
+        assert_eq!(second.recv().unwrap(), 1);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn pool_drains_queued_jobs_on_shutdown() {
+        let pool: WorkerPool<u64, u64> = WorkerPool::new(2, 64, |j| {
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            j + 1
+        });
+        let rxs: Vec<_> = (0..20u64)
+            .map(|j| pool.try_submit(j).expect("queue has room"))
+            .collect();
+        pool.shutdown();
+        // Every accepted job produced a result even though shutdown
+        // raced the queue.
+        for (j, rx) in rxs.into_iter().enumerate() {
+            assert_eq!(rx.recv().unwrap(), j as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn pool_reports_depth_and_utilization_shape() {
+        let pool: WorkerPool<u64, u64> = WorkerPool::new(3, 8, |j| j);
+        assert_eq!(pool.threads(), 3);
+        let u = pool.utilization();
+        assert_eq!(u.len(), 3);
+        assert!(u.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        let rx = pool.try_submit(9).unwrap();
+        assert_eq!(rx.recv().unwrap(), 9);
+        while pool.depth() > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        pool.shutdown();
     }
 }

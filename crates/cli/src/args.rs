@@ -16,7 +16,7 @@ pub struct Args {
 /// Option keys that are boolean flags: `--json` / `--quick` / `--no-ff`
 /// take no value (`--json=false` still works to switch one off
 /// explicitly).
-const FLAG_KEYS: &[&str] = &["json", "quick", "no-ff"];
+const FLAG_KEYS: &[&str] = &["json", "quick", "no-ff", "canonical"];
 
 /// A parse failure with a user-facing message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,6 +61,16 @@ impl Args {
             }
         }
         Ok(Args { command, opts })
+    }
+
+    /// Build an `Args` directly from a command and an option map — the
+    /// entry point for options that arrive over the wire (a service
+    /// job spec) rather than from a command line.
+    pub fn from_opts(command: &str, opts: &BTreeMap<String, String>) -> Self {
+        Args {
+            command: command.to_string(),
+            opts: opts.clone(),
+        }
     }
 
     /// Fetch an option as a string.
@@ -111,6 +121,33 @@ impl Args {
                         .map(|a| format!("--{a}"))
                         .collect::<Vec<_>>()
                         .join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Error when both options of any listed pair are present —
+    /// mutually exclusive output selectors like `--json` vs `--csv`.
+    ///
+    /// A boolean flag explicitly switched off (`--json=false`) does not
+    /// count as present.
+    ///
+    /// # Errors
+    ///
+    /// Names the conflicting pair.
+    pub fn reject_conflicts(&self, pairs: &[(&str, &str)]) -> Result<(), ParseArgsError> {
+        let present = |key: &str| {
+            if FLAG_KEYS.contains(&key) {
+                self.flag(key)
+            } else {
+                self.get(key).is_some()
+            }
+        };
+        for &(a, b) in pairs {
+            if present(a) && present(b) {
+                return Err(ParseArgsError(format!(
+                    "--{a} and --{b} are mutually exclusive; pick one"
                 )));
             }
         }
@@ -172,5 +209,47 @@ mod tests {
         assert!(!parse("run --json=false").unwrap().flag("json"));
         // Trailing flag must not eat a value.
         assert!(parse("run --json").unwrap().flag("json"));
+    }
+
+    #[test]
+    fn conflicting_output_options_are_rejected() {
+        let a = parse("run --json --csv out.csv").unwrap();
+        let err = a.reject_conflicts(&[("json", "csv")]).unwrap_err();
+        assert!(err.0.contains("--json"), "names the pair: {err}");
+        assert!(err.0.contains("--csv"), "names the pair: {err}");
+        assert!(err.0.contains("mutually exclusive"), "clear error: {err}");
+    }
+
+    #[test]
+    fn non_conflicting_invocations_pass() {
+        assert!(parse("run --json")
+            .unwrap()
+            .reject_conflicts(&[("json", "csv")])
+            .is_ok());
+        assert!(parse("run --csv out.csv")
+            .unwrap()
+            .reject_conflicts(&[("json", "csv")])
+            .is_ok());
+        assert!(parse("run")
+            .unwrap()
+            .reject_conflicts(&[("json", "csv")])
+            .is_ok());
+        // A flag switched off explicitly is not present.
+        assert!(parse("run --json=false --csv out.csv")
+            .unwrap()
+            .reject_conflicts(&[("json", "csv")])
+            .is_ok());
+    }
+
+    #[test]
+    fn from_opts_round_trips_the_option_map() {
+        let mut opts = BTreeMap::new();
+        opts.insert("gpu".to_string(), "MM".to_string());
+        opts.insert("scheme".to_string(), "dr".to_string());
+        let a = Args::from_opts("run", &opts);
+        assert_eq!(a.command, "run");
+        assert_eq!(a.get("gpu"), Some("MM"));
+        assert_eq!(a.get("scheme"), Some("dr"));
+        assert_eq!(a.get("cpu"), None);
     }
 }

@@ -182,21 +182,45 @@ pub fn sweep_point_json(param: &str, p: &SweepPoint) -> String {
     )
 }
 
+/// Repetitions per timed leg. The minimum is the headline number (the
+/// standard microbenchmark defense against scheduler noise); the mean
+/// and standard deviation across reps are reported alongside so a
+/// noisy host is visible in the data rather than silently folded away.
+pub const LEG_REPS: usize = 3;
+
+/// Min / mean / population standard deviation of a rep sample.
+fn rep_stats(samples: &[f64]) -> (f64, f64, f64) {
+    let n = samples.len() as f64;
+    let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n;
+    (min, mean, var.sqrt())
+}
+
 /// One timed leg of the throughput benchmark.
 pub struct BenchLeg {
     /// Worker threads used.
     pub threads: usize,
-    /// Wall-clock seconds for the whole batch.
+    /// Wall-clock seconds for the whole batch (minimum over reps).
     pub wall_s: f64,
-    /// Aggregate simulated cycles per wall-clock second.
+    /// Mean wall-clock seconds across reps.
+    pub wall_s_mean: f64,
+    /// Standard deviation of wall-clock seconds across reps.
+    pub wall_s_stddev: f64,
+    /// Aggregate simulated cycles per wall-clock second (best rep).
     pub sim_cycles_per_s: f64,
 }
 
 /// One timed leg of the fast-forward benchmark: the low-intensity
 /// matrix run single-threaded with fast-forward on or off.
 pub struct FfLeg {
-    /// Wall-clock seconds for the measured span (warmup excluded).
+    /// Wall-clock seconds for the measured span (minimum over reps,
+    /// warmup excluded).
     pub wall_s: f64,
+    /// Mean wall-clock seconds across reps.
+    pub wall_s_mean: f64,
+    /// Standard deviation of wall-clock seconds across reps.
+    pub wall_s_stddev: f64,
     /// Total cycles the measured span skipped (0 with fast-forward off).
     pub skipped: u64,
 }
@@ -257,26 +281,40 @@ impl BenchResult {
     /// EXPERIMENTS.md records perf data points in.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"harness\":\"clognet bench\",\"jobs\":{},\"cycles_per_job\":{},\
-             \"threads_single\":{},\"wall_s_single\":{:.6},\"sim_cycles_per_s_single\":{:.1},\
-             \"threads_multi\":{},\"wall_s_multi\":{:.6},\"sim_cycles_per_s_multi\":{:.1},\
+            "{{\"harness\":\"clognet bench\",\"jobs\":{},\"cycles_per_job\":{},\"reps\":{},\
+             \"threads_single\":{},\"wall_s_single\":{:.6},\
+             \"wall_s_single_mean\":{:.6},\"wall_s_single_stddev\":{:.6},\
+             \"sim_cycles_per_s_single\":{:.1},\
+             \"threads_multi\":{},\"wall_s_multi\":{:.6},\
+             \"wall_s_multi_mean\":{:.6},\"wall_s_multi_stddev\":{:.6},\
+             \"sim_cycles_per_s_multi\":{:.1},\
              \"speedup\":{:.3},\
              \"low_jobs\":{},\"low_cycles_per_job\":{},\
-             \"wall_s_ff_on\":{:.6},\"wall_s_ff_off\":{:.6},\
+             \"wall_s_ff_on\":{:.6},\"wall_s_ff_on_mean\":{:.6},\"wall_s_ff_on_stddev\":{:.6},\
+             \"wall_s_ff_off\":{:.6},\"wall_s_ff_off_mean\":{:.6},\"wall_s_ff_off_stddev\":{:.6},\
              \"skipped_cycles\":{},\"skipped_ratio\":{:.3},\"ff_speedup\":{:.3}}}",
             self.jobs,
             self.cycles_per_job,
+            LEG_REPS,
             self.single.threads,
             self.single.wall_s,
+            self.single.wall_s_mean,
+            self.single.wall_s_stddev,
             self.single.sim_cycles_per_s,
             self.multi.threads,
             self.multi.wall_s,
+            self.multi.wall_s_mean,
+            self.multi.wall_s_stddev,
             self.multi.sim_cycles_per_s,
             self.speedup(),
             self.low_jobs,
             self.low_cycles_per_job,
             self.ff_on.wall_s,
+            self.ff_on.wall_s_mean,
+            self.ff_on.wall_s_stddev,
             self.ff_off.wall_s,
+            self.ff_off.wall_s_mean,
+            self.ff_off.wall_s_stddev,
             self.ff_on.skipped,
             self.skipped_ratio(),
             self.ff_speedup()
@@ -327,20 +365,18 @@ pub fn low_intensity_matrix() -> Vec<(SystemConfig, &'static str, &'static str)>
 /// are built and warmed *outside* the timer — the cold-miss-dominated
 /// warmup is identical in both modes (both warm fast-forwarded), so
 /// the timed span compares steady-state throughput only. The leg runs
-/// [`FF_REPS`] times on freshly built systems (the simulation is
+/// [`LEG_REPS`] times on freshly built systems (the simulation is
 /// deterministic, so every rep does identical work) and reports the
-/// minimum wall time, the standard microbenchmark defense against
-/// scheduler noise.
+/// minimum wall time alongside the mean and standard deviation.
 fn time_ff_leg(
     jobs: &[(SystemConfig, &'static str, &'static str)],
     ff: bool,
     warm: u64,
     cycles: u64,
 ) -> FfLeg {
-    const FF_REPS: usize = 3;
-    let mut best = f64::INFINITY;
+    let mut samples = Vec::with_capacity(LEG_REPS);
     let mut skipped = 0;
-    for _ in 0..FF_REPS {
+    for _ in 0..LEG_REPS {
         let mut systems: Vec<System> = jobs
             .iter()
             .map(|(cfg, gpu, cpu)| {
@@ -355,11 +391,14 @@ fn time_ff_leg(
         for sys in &mut systems {
             sys.run(cycles);
         }
-        best = best.min(start.elapsed().as_secs_f64());
+        samples.push(start.elapsed().as_secs_f64());
         skipped = systems.iter().map(System::skipped_cycles).sum();
     }
+    let (wall_s, wall_s_mean, wall_s_stddev) = rep_stats(&samples);
     FfLeg {
-        wall_s: best,
+        wall_s,
+        wall_s_mean,
+        wall_s_stddev,
         skipped,
     }
 }
@@ -371,16 +410,23 @@ fn time_leg(
     cycles: u64,
 ) -> BenchLeg {
     let n = jobs.len() as f64;
-    let start = std::time::Instant::now();
-    let reports = run_jobs(jobs, threads, |(cfg, gpu, cpu)| {
-        measure(cfg, gpu, cpu, warm, cycles, true)
-    });
-    let wall_s = start.elapsed().as_secs_f64();
-    assert_eq!(reports.len() as f64, n, "runner dropped a job");
+    let mut samples = Vec::with_capacity(LEG_REPS);
+    for _ in 0..LEG_REPS {
+        let rep_jobs = jobs.clone();
+        let start = std::time::Instant::now();
+        let reports = run_jobs(rep_jobs, threads, |(cfg, gpu, cpu)| {
+            measure(cfg, gpu, cpu, warm, cycles, true)
+        });
+        samples.push(start.elapsed().as_secs_f64());
+        assert_eq!(reports.len() as f64, n, "runner dropped a job");
+    }
+    let (wall_s, wall_s_mean, wall_s_stddev) = rep_stats(&samples);
     let sim_cycles = n * (warm + cycles) as f64;
     BenchLeg {
         threads,
         wall_s,
+        wall_s_mean,
+        wall_s_stddev,
         sim_cycles_per_s: if wall_s > 0.0 {
             sim_cycles / wall_s
         } else {
@@ -445,21 +491,29 @@ mod tests {
             single: BenchLeg {
                 threads: 1,
                 wall_s: 2.0,
+                wall_s_mean: 2.125,
+                wall_s_stddev: 0.25,
                 sim_cycles_per_s: 450.0,
             },
             multi: BenchLeg {
                 threads: 4,
                 wall_s: 0.5,
+                wall_s_mean: 0.5,
+                wall_s_stddev: 0.0,
                 sim_cycles_per_s: 1800.0,
             },
             low_jobs: 6,
             low_cycles_per_job: 1000,
             ff_on: FfLeg {
                 wall_s: 0.25,
+                wall_s_mean: 0.3,
+                wall_s_stddev: 0.05,
                 skipped: 3000,
             },
             ff_off: FfLeg {
                 wall_s: 1.0,
+                wall_s_mean: 1.0,
+                wall_s_stddev: 0.0,
                 skipped: 0,
             },
         };
@@ -469,7 +523,27 @@ mod tests {
         assert!(j.contains("\"ff_speedup\":4.000"));
         assert!(j.contains("\"skipped_ratio\":0.500"));
         assert!(j.contains("\"skipped_cycles\":3000"));
+        // Per-leg rep statistics (min is the headline wall_s).
+        assert!(j.contains("\"reps\":3"));
+        assert!(j.contains("\"wall_s_single\":2.000000"));
+        assert!(j.contains("\"wall_s_single_mean\":2.125000"));
+        assert!(j.contains("\"wall_s_single_stddev\":0.250000"));
+        assert!(j.contains("\"wall_s_multi_mean\":0.500000"));
+        assert!(j.contains("\"wall_s_multi_stddev\":0.000000"));
+        assert!(j.contains("\"wall_s_ff_on_mean\":0.300000"));
+        assert!(j.contains("\"wall_s_ff_on_stddev\":0.050000"));
+        assert!(j.contains("\"wall_s_ff_off_mean\":1.000000"));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn rep_stats_min_mean_stddev() {
+        let (min, mean, stddev) = rep_stats(&[2.0, 4.0, 6.0]);
+        assert_eq!(min, 2.0);
+        assert_eq!(mean, 4.0);
+        assert!((stddev - (8.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        let (min, mean, stddev) = rep_stats(&[1.5]);
+        assert_eq!((min, mean, stddev), (1.5, 1.5, 0.0));
     }
 
     #[test]

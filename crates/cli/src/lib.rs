@@ -8,6 +8,7 @@ pub mod args;
 pub mod config;
 pub mod driver;
 pub mod report;
+pub mod serve_cmd;
 pub mod timeline;
 
 pub use args::{Args, ParseArgsError};

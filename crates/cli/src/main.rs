@@ -10,6 +10,10 @@
 //! clognet bench    [--threads N] [--quick] [--out BENCH_x.json]  # throughput harness
 //! clognet timeline --gpu NN --cpu canneal --scheme baseline     # ASCII clog timeline
 //! clognet trace    --gpu HS --cpu bodytrack [--last N] [--kind k]  # protocol events
+//! clognet serve    [--addr HOST:PORT] [--workers N] [--queue N]  # persistent service
+//! clognet submit   [--addr HOST:PORT] [--op run|ping|stats|shutdown] [job opts]
+//! clognet batch    --file jobs.ndjson [--addr HOST:PORT] [--out r.ndjson]
+//! clognet fingerprint [--canonical] [job opts]          # content-address of a job
 //! clognet list                                          # benchmarks & options
 //! clognet help
 //! ```
@@ -17,7 +21,7 @@
 use clognet_bench::runner::default_threads;
 use clognet_cli::args::{Args, ParseArgsError};
 use clognet_cli::config::{config_from, CONFIG_KEYS};
-use clognet_cli::{driver, report, timeline};
+use clognet_cli::{driver, report, serve_cmd, timeline};
 use clognet_core::{System, TelemetryConfig};
 use clognet_proto::Scheme;
 
@@ -46,6 +50,10 @@ fn dispatch(raw: Vec<String>) -> Result<(), ParseArgsError> {
         "bench" => cmd_bench(&args),
         "timeline" => cmd_timeline(&args),
         "trace" => cmd_trace(&args),
+        "serve" => serve_cmd::cmd_serve(&args),
+        "submit" => serve_cmd::cmd_submit(&args),
+        "batch" => serve_cmd::cmd_batch(&args),
+        "fingerprint" => serve_cmd::cmd_fingerprint(&args),
         "list" => {
             cmd_list();
             Ok(())
@@ -89,6 +97,7 @@ fn cmd_run(args: &Args) -> Result<(), ParseArgsError> {
     let mut keys = run_keys();
     keys.extend_from_slice(&["metrics", "csv", "sample", "json"]);
     args.reject_unknown(&keys)?;
+    args.reject_conflicts(&[("json", "csv")])?;
     let gpu = args.get_or("gpu", "HS");
     let cpu = args.get_or("cpu", "bodytrack");
     let warm = args.get_num("warm", 6_000u64)?;
@@ -390,6 +399,10 @@ fn print_help() {
          \x20 bench    time a fixed workload matrix 1- vs N-threaded (JSON report)\n\
          \x20 timeline ASCII per-epoch clog timeline + detected clog episodes\n\
          \x20 trace    protocol-event trace (delegations, blocking, probes)\n\
+         \x20 serve    persistent simulation service (job queue + result cache)\n\
+         \x20 submit   send one job/request to a running service\n\
+         \x20 batch    submit an NDJSON job file to a running service\n\
+         \x20 fingerprint  print a job's canonical content-address\n\
          \x20 list     available benchmarks and option values\n\
          \x20 help     this text\n\n\
          COMMON OPTIONS:\n\
@@ -413,13 +426,27 @@ fn print_help() {
          \x20 --csv <path>       run: write per-epoch series as CSV\n\
          \x20 --sample <n>       telemetry epoch length in cycles (default 500)\n\
          \x20 --json             run/compare/sweep: machine-readable stdout\n\n\
+         SERVICE OPTIONS:\n\
+         \x20 --addr <h:p>       serve/submit/batch endpoint (default 127.0.0.1:9347)\n\
+         \x20 --workers <n>      serve: simulation worker threads (default 2)\n\
+         \x20 --queue <n>        serve: job-queue depth before `overloaded` (default 16)\n\
+         \x20 --cache <n>        serve: reports kept in the result cache (default 1024)\n\
+         \x20 --max-cycles <n>   serve: per-job cycle-budget ceiling\n\
+         \x20 --timeout-ms <n>   serve: per-job wall-time limit\n\
+         \x20 --op <o>           submit: run | ping | stats | shutdown (default run)\n\
+         \x20 --file <path>      batch: NDJSON job file (one job object per line)\n\
+         \x20 --retries <n>      submit/batch: connect attempts (default 8)\n\
+         \x20 --canonical        fingerprint: also print the canonical serialization\n\n\
          EXAMPLES:\n\
          \x20 clognet compare --gpu MM --cpu canneal\n\
          \x20 clognet run --gpu BP --cpu ferret --scheme dr --layout d\n\
          \x20 clognet run --gpu NN --cpu canneal --metrics m.json --sample 500\n\
          \x20 clognet timeline --gpu NN --cpu canneal --scheme baseline\n\
          \x20 clognet sweep --param width --values 8,16,24,32 --gpu HS --cpu x264\n\
-         \x20 clognet bench --quick --out BENCH_smoke.json"
+         \x20 clognet bench --quick --out BENCH_smoke.json\n\
+         \x20 clognet serve --workers 4 &\n\
+         \x20 clognet submit --gpu MM --cpu canneal --scheme dr\n\
+         \x20 clognet fingerprint --gpu MM --cpu canneal --scheme dr --canonical"
     );
 }
 

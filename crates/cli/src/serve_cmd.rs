@@ -1,0 +1,386 @@
+//! The service-side subcommands: `serve`, `submit`, `batch`, and
+//! `fingerprint`.
+//!
+//! [`SimHandler`] is the bridge between `clognet-serve` (which knows
+//! nothing about simulators) and `clognet-core`: it resolves a wire
+//! [`JobSpec`] through the same option vocabulary as `clognet run`,
+//! fingerprints the *resolved* configuration (so `--scheme dr` and
+//! `--scheme delegated-replies` share a cache entry), and renders
+//! reports through [`report::report_json`] — which is what guarantees a
+//! `submit` prints byte-identical output to an inline `clognet run
+//! --json` of the same job.
+
+use crate::args::{Args, ParseArgsError};
+use crate::config::{config_from, CONFIG_KEYS};
+use crate::report;
+use clognet_core::System;
+use clognet_proto::{canonical_job, fingerprint_hex, job_fingerprint, SystemConfig};
+use clognet_serve::client::{Client, RetryPolicy};
+use clognet_serve::json::Json;
+use clognet_serve::server::{JobError, JobHandler, ServeConfig, Server};
+use clognet_serve::wire::{ErrorCode, JobSpec};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Default service endpoint shared by `serve`, `submit`, and `batch`.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:9347";
+
+/// Option keys a job may carry (the `clognet run` configuration
+/// vocabulary, minus the workload names which travel as dedicated
+/// fields, plus `no-ff`).
+fn job_opt_keys() -> Vec<&'static str> {
+    let mut keys: Vec<&'static str> = CONFIG_KEYS
+        .iter()
+        .copied()
+        .filter(|k| !matches!(*k, "gpu" | "cpu"))
+        .collect();
+    keys.push("no-ff");
+    keys
+}
+
+/// Cycles simulated between deadline checks while a job runs.
+const DEADLINE_CHUNK: u64 = 2_000;
+
+/// The real simulation behind the service.
+pub struct SimHandler;
+
+impl SimHandler {
+    /// Resolve a wire spec into a validated `(config, fast-forward)`
+    /// pair, rejecting unknown benchmarks and options.
+    fn resolve(spec: &JobSpec) -> Result<(SystemConfig, bool), JobError> {
+        if clognet_workloads::gpu_benchmark(&spec.gpu).is_none() {
+            return Err(JobError::bad_request(format!(
+                "unknown GPU benchmark `{}` (see `clognet list`)",
+                spec.gpu
+            )));
+        }
+        if clognet_workloads::cpu_benchmark(&spec.cpu).is_none() {
+            return Err(JobError::bad_request(format!(
+                "unknown CPU benchmark `{}` (see `clognet list`)",
+                spec.cpu
+            )));
+        }
+        let args = Args::from_opts("run", &spec.opts);
+        args.reject_unknown(&job_opt_keys())
+            .map_err(|e| JobError::bad_request(e.0))?;
+        let cfg = config_from(&args).map_err(|e| JobError::bad_request(e.0))?;
+        Ok((cfg, !args.flag("no-ff")))
+    }
+}
+
+impl JobHandler for SimHandler {
+    fn fingerprint(&self, spec: &JobSpec) -> Result<u64, JobError> {
+        let (cfg, _) = Self::resolve(spec)?;
+        // Fast-forward mode is deliberately excluded: reports are
+        // identical with it on or off (the CI equivalence smoke), so
+        // both spellings should share one cache entry.
+        Ok(job_fingerprint(
+            &cfg,
+            &spec.gpu,
+            &spec.cpu,
+            spec.warm,
+            spec.cycles,
+        ))
+    }
+
+    fn run(&self, spec: &JobSpec, deadline: Instant) -> Result<String, JobError> {
+        let (cfg, ff) = Self::resolve(spec)?;
+        let scheme = cfg.scheme;
+        let mut sys = System::new(cfg, &spec.gpu, &spec.cpu);
+        sys.set_fast_forward(ff);
+        fn chunked(sys: &mut System, total: u64, deadline: Instant) -> Result<(), JobError> {
+            let mut remaining = total;
+            while remaining > 0 {
+                if Instant::now() >= deadline {
+                    return Err(JobError {
+                        code: ErrorCode::Timeout,
+                        message: "job exceeded its wall-time limit".into(),
+                    });
+                }
+                let step = remaining.min(DEADLINE_CHUNK);
+                sys.run(step);
+                remaining -= step;
+            }
+            Ok(())
+        }
+        chunked(&mut sys, spec.warm, deadline)?;
+        sys.reset_stats();
+        chunked(&mut sys, spec.cycles, deadline)?;
+        Ok(report::report_json(scheme, &sys.report()))
+    }
+}
+
+/// Build a [`JobSpec`] from `submit`-style CLI options.
+fn spec_from_args(args: &Args) -> Result<JobSpec, ParseArgsError> {
+    let mut spec = JobSpec::new(args.get_or("gpu", "HS"), args.get_or("cpu", "bodytrack"));
+    spec.warm = args.get_num("warm", spec.warm)?;
+    spec.cycles = args.get_num("cycles", spec.cycles)?;
+    for key in job_opt_keys() {
+        if let Some(v) = args.get(key) {
+            spec.opts.insert(key.to_string(), v.to_string());
+        }
+    }
+    Ok(spec)
+}
+
+/// Connect-retry policy from `--retries` / `--retry-ms` / `--seed`.
+fn policy_from_args(args: &Args) -> Result<RetryPolicy, ParseArgsError> {
+    let default = RetryPolicy::default();
+    Ok(RetryPolicy {
+        attempts: args.get_num("retries", default.attempts)?,
+        base_ms: args.get_num("retry-ms", default.base_ms)?,
+        cap_ms: default.cap_ms,
+        seed: args.get_num("seed", default.seed)?,
+    })
+}
+
+fn connect(args: &Args) -> Result<Client, ParseArgsError> {
+    let addr = args.get_or("addr", DEFAULT_ADDR);
+    Client::connect(addr, &policy_from_args(args)?)
+        .map_err(|e| ParseArgsError(format!("connecting to {addr}: {e}")))
+}
+
+/// `clognet serve`: run the service in the foreground until a client
+/// sends `shutdown`.
+///
+/// # Errors
+///
+/// Bad options or a failed bind.
+pub fn cmd_serve(args: &Args) -> Result<(), ParseArgsError> {
+    args.reject_unknown(&[
+        "addr",
+        "workers",
+        "queue",
+        "cache",
+        "max-cycles",
+        "timeout-ms",
+        "drain-ms",
+    ])?;
+    let default = ServeConfig::default();
+    let cfg = ServeConfig {
+        addr: args.get_or("addr", DEFAULT_ADDR).to_string(),
+        workers: args.get_num("workers", default.workers)?.max(1),
+        queue_cap: args.get_num("queue", default.queue_cap)?.max(1),
+        cache_cap: args.get_num("cache", default.cache_cap)?,
+        max_job_cycles: args.get_num("max-cycles", default.max_job_cycles)?,
+        job_timeout: Duration::from_millis(
+            args.get_num("timeout-ms", default.job_timeout.as_millis() as u64)?,
+        ),
+        drain_timeout: Duration::from_millis(
+            args.get_num("drain-ms", default.drain_timeout.as_millis() as u64)?,
+        ),
+    };
+    let workers = cfg.workers;
+    let server = Server::bind(cfg, Arc::new(SimHandler))
+        .map_err(|e| ParseArgsError(format!("binding service socket: {e}")))?;
+    eprintln!(
+        "clognet-serve listening on {} ({} workers); stop with \
+         `clognet submit --op shutdown`",
+        server.local_addr(),
+        workers
+    );
+    server
+        .run()
+        .map_err(|e| ParseArgsError(format!("serve loop failed: {e}")))
+}
+
+/// `clognet submit`: send one request to a running service. `--op run`
+/// (the default) prints the report to stdout byte-identically to an
+/// inline `clognet run --json`; the cache verdict goes to stderr.
+///
+/// # Errors
+///
+/// Bad options, connection failure, or a server-side rejection.
+pub fn cmd_submit(args: &Args) -> Result<(), ParseArgsError> {
+    let mut keys = job_opt_keys();
+    keys.extend_from_slice(&[
+        "gpu", "cpu", "warm", "cycles", "addr", "op", "retries", "retry-ms",
+    ]);
+    args.reject_unknown(&keys)?;
+    let mut client = connect(args)?;
+    match args.get_or("op", "run") {
+        "run" => {
+            let spec = spec_from_args(args)?;
+            let result = client
+                .submit(&spec)
+                .map_err(|e| ParseArgsError(e.to_string()))?;
+            eprintln!(
+                "fingerprint {} (cache {})",
+                result.fingerprint,
+                if result.cache_hit { "hit" } else { "miss" }
+            );
+            println!("{}", result.report);
+        }
+        "ping" => {
+            client.ping().map_err(|e| ParseArgsError(e.to_string()))?;
+            println!("pong");
+        }
+        "stats" => {
+            let stats = client.stats().map_err(|e| ParseArgsError(e.to_string()))?;
+            println!("{stats}");
+        }
+        "shutdown" => {
+            client
+                .shutdown()
+                .map_err(|e| ParseArgsError(e.to_string()))?;
+            eprintln!("server is draining");
+        }
+        other => {
+            return Err(ParseArgsError(format!(
+                "unknown --op `{other}` (run|ping|stats|shutdown)"
+            )))
+        }
+    }
+    Ok(())
+}
+
+/// `clognet batch`: submit every job in an NDJSON file (one job object
+/// per line, `clognet run` option vocabulary) over one connection and
+/// emit one response line per job — to stdout, or to `--out`.
+///
+/// # Errors
+///
+/// Bad options, an unreadable/unparseable job file, or transport
+/// failure. Per-job server rejections are *not* errors; they appear as
+/// their structured error lines in the output.
+pub fn cmd_batch(args: &Args) -> Result<(), ParseArgsError> {
+    args.reject_unknown(&["addr", "file", "out", "retries", "retry-ms"])?;
+    let path = args
+        .get("file")
+        .ok_or_else(|| ParseArgsError("batch needs --file <jobs.ndjson>".into()))?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| ParseArgsError(format!("reading {path}: {e}")))?;
+    let mut specs = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = Json::parse(line).map_err(|e| ParseArgsError(format!("{path}:{}: {e}", i + 1)))?;
+        let spec =
+            JobSpec::from_json(&v).map_err(|e| ParseArgsError(format!("{path}:{}: {e}", i + 1)))?;
+        specs.push(spec);
+    }
+    let mut client = connect(args)?;
+    let mut out = String::new();
+    let mut hits = 0usize;
+    for spec in &specs {
+        let line = client
+            .request_line(&spec.to_request_line())
+            .map_err(|e| ParseArgsError(e.to_string()))?;
+        if line.contains("\"cache\":\"hit\"") {
+            hits += 1;
+        }
+        out.push_str(&line);
+        out.push('\n');
+    }
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, &out)
+                .map_err(|e| ParseArgsError(format!("writing {path}: {e}")))?;
+            eprintln!("wrote {} responses to {path}", specs.len());
+        }
+        None => print!("{out}"),
+    }
+    eprintln!("{} jobs, {hits} cache hits", specs.len());
+    Ok(())
+}
+
+/// `clognet fingerprint`: print the canonical content-address of a job
+/// without running it. `--canonical` also prints the canonical
+/// serialization the hash is computed over.
+///
+/// # Errors
+///
+/// Bad options.
+pub fn cmd_fingerprint(args: &Args) -> Result<(), ParseArgsError> {
+    let mut keys = job_opt_keys();
+    keys.extend_from_slice(&["gpu", "cpu", "warm", "cycles", "canonical"]);
+    args.reject_unknown(&keys)?;
+    let gpu = args.get_or("gpu", "HS");
+    let cpu = args.get_or("cpu", "bodytrack");
+    let warm = args.get_num("warm", 6_000u64)?;
+    let cycles = args.get_num("cycles", 15_000u64)?;
+    let cfg = config_from(args)?;
+    if args.flag("canonical") {
+        println!("{}", canonical_job(&cfg, gpu, cpu, warm, cycles));
+    }
+    println!(
+        "{}",
+        fingerprint_hex(job_fingerprint(&cfg, gpu, cpu, warm, cycles))
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handler_rejects_unknown_workloads_and_options() {
+        let h = SimHandler;
+        let bad_gpu = JobSpec::new("NOPE", "bodytrack");
+        assert!(h.fingerprint(&bad_gpu).is_err());
+        let bad_cpu = JobSpec::new("HS", "nope");
+        assert!(h.fingerprint(&bad_cpu).is_err());
+        let mut bad_opt = JobSpec::new("HS", "bodytrack");
+        bad_opt.opts.insert("gpuu".into(), "HS".into());
+        let err = h.fingerprint(&bad_opt).unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+        assert!(err.message.contains("gpuu"));
+    }
+
+    #[test]
+    fn scheme_spellings_share_a_fingerprint() {
+        let h = SimHandler;
+        let mut a = JobSpec::new("HS", "bodytrack");
+        a.opts.insert("scheme".into(), "dr".into());
+        let mut b = a.clone();
+        b.opts.insert("scheme".into(), "delegated-replies".into());
+        assert_eq!(h.fingerprint(&a).unwrap(), h.fingerprint(&b).unwrap());
+        let mut c = a.clone();
+        c.opts.insert("scheme".into(), "baseline".into());
+        assert_ne!(h.fingerprint(&a).unwrap(), h.fingerprint(&c).unwrap());
+    }
+
+    #[test]
+    fn fast_forward_mode_does_not_change_the_fingerprint() {
+        let h = SimHandler;
+        let a = JobSpec::new("HS", "bodytrack");
+        let mut b = a.clone();
+        b.opts.insert("no-ff".into(), "true".into());
+        assert_eq!(h.fingerprint(&a).unwrap(), h.fingerprint(&b).unwrap());
+    }
+
+    #[test]
+    fn spec_from_args_collects_only_job_options() {
+        let args = Args::parse(
+            "submit --gpu MM --cpu canneal --warm 100 --cycles 400 --scheme dr \
+             --seed 9 --addr 127.0.0.1:1 --op run"
+                .split_whitespace()
+                .map(String::from),
+        )
+        .unwrap();
+        let spec = spec_from_args(&args).unwrap();
+        assert_eq!(spec.gpu, "MM");
+        assert_eq!(spec.cpu, "canneal");
+        assert_eq!(spec.warm, 100);
+        assert_eq!(spec.cycles, 400);
+        assert_eq!(spec.opts.get("scheme").map(String::as_str), Some("dr"));
+        assert_eq!(spec.opts.get("seed").map(String::as_str), Some("9"));
+        assert!(
+            !spec.opts.contains_key("addr"),
+            "transport options stay out"
+        );
+        assert!(!spec.opts.contains_key("op"));
+    }
+
+    #[test]
+    fn deadline_in_the_past_times_out_without_simulating_far() {
+        let h = SimHandler;
+        let mut spec = JobSpec::new("HS", "bodytrack");
+        spec.warm = 100_000;
+        spec.cycles = 100_000;
+        let err = h.run(&spec, Instant::now()).unwrap_err();
+        assert_eq!(err.code, ErrorCode::Timeout);
+    }
+}

@@ -1,0 +1,273 @@
+//! Canonical configuration serialization and job fingerprints.
+//!
+//! The simulator is deterministic: a (configuration, workload, cycle
+//! budget) triple fully determines the report it produces, byte for
+//! byte. That makes deterministic runs memoizable — `clognet-serve`
+//! keys its content-addressed result cache on a **fingerprint** of the
+//! job, and a byte-identical report for a given fingerprint never needs
+//! to be simulated twice.
+//!
+//! The fingerprint is [`FxHasher`](crate::fxhash::FxHasher) run over a
+//! *canonical serialization*: every field of [`SystemConfig`] written
+//! as `key=value;` in a fixed order, prefixed with a format-version
+//! tag. Canonicalizing the resolved config (rather than the raw CLI
+//! options) means spelling variants — `--scheme dr` vs
+//! `--scheme delegated-replies`, `--layout b` vs `--layout edge` —
+//! collapse to the same fingerprint.
+//!
+//! The version tag **must** be bumped whenever the simulation's
+//! behavior changes (new config fields, algorithmic changes that move
+//! reports): a stale cache entry served under a new behavior would
+//! silently violate the cache's byte-identity contract.
+
+use crate::config::{
+    CacheGeometry, CtaSched, L1Org, LayoutKind, RoutingPolicy, Scheme, SystemConfig, Topology,
+};
+use crate::fxhash::FxHasher;
+use std::fmt::Write as _;
+use std::hash::Hasher;
+
+/// Bump on any change to the canonical format *or* to simulation
+/// behavior that alters reports for an unchanged config.
+pub const FINGERPRINT_VERSION: u32 = 1;
+
+fn push_kv(out: &mut String, key: &str, value: impl std::fmt::Display) {
+    let _ = write!(out, "{key}={value};");
+}
+
+fn push_geometry(out: &mut String, prefix: &str, g: &CacheGeometry) {
+    push_kv(out, &format!("{prefix}.capacity"), g.capacity_bytes);
+    push_kv(out, &format!("{prefix}.ways"), g.ways);
+    push_kv(out, &format!("{prefix}.line"), g.line_bytes);
+}
+
+fn scheme_tag(s: Scheme) -> String {
+    match s {
+        Scheme::Baseline => "baseline".to_string(),
+        Scheme::DelegatedReplies => "dr".to_string(),
+        Scheme::RealisticProbing { fanout } => format!("rp:{fanout}"),
+    }
+}
+
+fn layout_tag(l: LayoutKind) -> &'static str {
+    match l {
+        LayoutKind::Baseline => "a",
+        LayoutKind::EdgeB => "b",
+        LayoutKind::ClusteredC => "c",
+        LayoutKind::DistributedD => "d",
+    }
+}
+
+fn topology_tag(t: Topology) -> &'static str {
+    match t {
+        Topology::Mesh => "mesh",
+        Topology::Crossbar => "crossbar",
+        Topology::FlattenedButterfly => "fbfly",
+        Topology::Dragonfly => "dragonfly",
+    }
+}
+
+fn routing_tag(r: RoutingPolicy) -> &'static str {
+    match r {
+        RoutingPolicy::DorXY => "xy",
+        RoutingPolicy::DorYX => "yx",
+        RoutingPolicy::DyXY => "dyxy",
+        RoutingPolicy::Footprint => "footprint",
+        RoutingPolicy::Hare => "hare",
+    }
+}
+
+/// Serialize a [`SystemConfig`] canonically: every field, fixed order,
+/// `key=value;` pairs, version-tagged. Two configs serialize to the
+/// same string iff they are `==`.
+pub fn canonical_config(cfg: &SystemConfig) -> String {
+    let mut out = format!("clognet-fp-v{FINGERPRINT_VERSION};");
+    push_kv(&mut out, "layout", layout_tag(cfg.layout));
+    push_kv(&mut out, "mesh_width", cfg.mesh_width);
+    push_kv(&mut out, "mesh_height", cfg.mesh_height);
+    push_kv(&mut out, "n_gpu", cfg.n_gpu);
+    push_kv(&mut out, "n_cpu", cfg.n_cpu);
+    push_kv(&mut out, "n_mem", cfg.n_mem);
+    // GPU core parameters.
+    push_kv(&mut out, "gpu.warps", cfg.gpu.warps_per_core);
+    push_kv(&mut out, "gpu.issue", cfg.gpu.issue_width);
+    push_kv(&mut out, "gpu.tpw", cfg.gpu.threads_per_warp);
+    push_geometry(&mut out, "gpu.l1", &cfg.gpu.l1);
+    push_kv(&mut out, "gpu.mshrs", cfg.gpu.mshrs);
+    push_kv(&mut out, "gpu.frq", cfg.gpu.frq_entries);
+    push_kv(&mut out, "gpu.l1_lat", cfg.gpu.l1_hit_latency);
+    push_kv(&mut out, "gpu.l1_ports", cfg.gpu.l1_ports);
+    push_kv(&mut out, "gpu.cluster_cores", cfg.gpu.cluster_cores);
+    push_kv(&mut out, "gpu.cluster_slices", cfg.gpu.cluster_slices);
+    push_kv(&mut out, "gpu.dyneb_epoch", cfg.gpu.dyneb_epoch);
+    match cfg.gpu.flush_interval {
+        Some(v) => push_kv(&mut out, "gpu.flush", v),
+        None => push_kv(&mut out, "gpu.flush", "none"),
+    }
+    // CPU core parameters.
+    push_geometry(&mut out, "cpu.l1", &cfg.cpu.l1);
+    push_kv(&mut out, "cpu.window", cfg.cpu.window);
+    push_kv(&mut out, "cpu.l1_lat", cfg.cpu.l1_hit_latency);
+    // LLC.
+    push_geometry(&mut out, "llc.slice", &cfg.llc.slice);
+    push_kv(&mut out, "llc.lat", cfg.llc.latency);
+    push_kv(&mut out, "llc.ports", cfg.llc.ports);
+    // DRAM.
+    push_kv(&mut out, "dram.banks", cfg.dram.banks);
+    push_kv(&mut out, "dram.t_cl", cfg.dram.t_cl);
+    push_kv(&mut out, "dram.t_rp", cfg.dram.t_rp);
+    push_kv(&mut out, "dram.t_rc", cfg.dram.t_rc);
+    push_kv(&mut out, "dram.t_ras", cfg.dram.t_ras);
+    push_kv(&mut out, "dram.t_rcd", cfg.dram.t_rcd);
+    push_kv(&mut out, "dram.t_rrd", cfg.dram.t_rrd);
+    push_kv(&mut out, "dram.t_ccd", cfg.dram.t_ccd);
+    push_kv(&mut out, "dram.t_wr", cfg.dram.t_wr);
+    push_kv(&mut out, "dram.t_refi", cfg.dram.t_refi);
+    push_kv(&mut out, "dram.t_rfc", cfg.dram.t_rfc);
+    push_kv(&mut out, "dram.burst", cfg.dram.burst);
+    push_kv(&mut out, "dram.queue", cfg.dram.queue);
+    // NoC.
+    push_kv(&mut out, "noc.topology", topology_tag(cfg.noc.topology));
+    push_kv(
+        &mut out,
+        "noc.route_req",
+        routing_tag(cfg.noc.routing_request),
+    );
+    push_kv(
+        &mut out,
+        "noc.route_rep",
+        routing_tag(cfg.noc.routing_reply),
+    );
+    push_kv(&mut out, "noc.channel", cfg.noc.channel_bytes);
+    push_kv(&mut out, "noc.vcs", cfg.noc.vcs);
+    push_kv(&mut out, "noc.vc_buf", cfg.noc.vc_buf_flits);
+    push_kv(&mut out, "noc.pipeline", cfg.noc.pipeline);
+    match cfg.noc.virtual_nets {
+        Some(v) => push_kv(
+            &mut out,
+            "noc.vnets",
+            format_args!("{}+{}", v.request_vcs, v.reply_vcs),
+        ),
+        None => push_kv(&mut out, "noc.vnets", "none"),
+    }
+    push_kv(&mut out, "noc.mem_inj", cfg.noc.mem_inj_buf_pkts);
+    push_kv(&mut out, "noc.core_inj", cfg.noc.core_inj_buf_pkts);
+    push_kv(&mut out, "noc.sa_iters", cfg.noc.sa_iterations);
+    // Scheme and knobs.
+    push_kv(&mut out, "scheme", scheme_tag(cfg.scheme));
+    push_kv(&mut out, "dr.always", cfg.dr.delegate_always);
+    push_kv(&mut out, "dr.delayed", cfg.dr.delayed_hits);
+    push_kv(&mut out, "dr.max_per_cycle", cfg.dr.max_per_cycle);
+    push_kv(
+        &mut out,
+        "l1_org",
+        match cfg.l1_org {
+            L1Org::Private => "private",
+            L1Org::DcL1 => "dcl1",
+            L1Org::DynEB => "dyneb",
+        },
+    );
+    push_kv(
+        &mut out,
+        "cta",
+        match cfg.cta_sched {
+            CtaSched::RoundRobin => "rr",
+            CtaSched::Distributed => "dist",
+        },
+    );
+    push_kv(&mut out, "seed", cfg.seed);
+    out
+}
+
+/// Serialize a complete job — config plus workload pairing and cycle
+/// budget — canonically. This string *is* the cache key's preimage.
+pub fn canonical_job(cfg: &SystemConfig, gpu: &str, cpu: &str, warm: u64, cycles: u64) -> String {
+    let mut out = canonical_config(cfg);
+    push_kv(&mut out, "job.gpu", gpu);
+    push_kv(&mut out, "job.cpu", cpu);
+    push_kv(&mut out, "job.warm", warm);
+    push_kv(&mut out, "job.cycles", cycles);
+    out
+}
+
+fn hash_str(s: &str) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(s.as_bytes());
+    h.finish()
+}
+
+/// 64-bit fingerprint of a job: FxHash over [`canonical_job`].
+pub fn job_fingerprint(cfg: &SystemConfig, gpu: &str, cpu: &str, warm: u64, cycles: u64) -> u64 {
+    hash_str(&canonical_job(cfg, gpu, cpu, warm, cycles))
+}
+
+/// Render a fingerprint the way the wire protocol and CLI print it:
+/// 16 lowercase hex digits.
+pub fn fingerprint_hex(fp: u64) -> String {
+    format!("{fp:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_configs_fingerprint_identically() {
+        let a = SystemConfig::default();
+        let b = SystemConfig::default();
+        assert_eq!(canonical_config(&a), canonical_config(&b));
+        assert_eq!(
+            job_fingerprint(&a, "HS", "bodytrack", 500, 2000),
+            job_fingerprint(&b, "HS", "bodytrack", 500, 2000)
+        );
+    }
+
+    #[test]
+    fn every_job_dimension_moves_the_fingerprint() {
+        let base = SystemConfig::default();
+        let fp = job_fingerprint(&base, "HS", "bodytrack", 500, 2000);
+        assert_ne!(fp, job_fingerprint(&base, "MM", "bodytrack", 500, 2000));
+        assert_ne!(fp, job_fingerprint(&base, "HS", "canneal", 500, 2000));
+        assert_ne!(fp, job_fingerprint(&base, "HS", "bodytrack", 501, 2000));
+        assert_ne!(fp, job_fingerprint(&base, "HS", "bodytrack", 500, 2001));
+        let mut cfg = base.clone();
+        cfg.scheme = Scheme::DelegatedReplies;
+        assert_ne!(fp, job_fingerprint(&cfg, "HS", "bodytrack", 500, 2000));
+        let mut cfg = base.clone();
+        cfg.seed = 7;
+        assert_ne!(fp, job_fingerprint(&cfg, "HS", "bodytrack", 500, 2000));
+        let mut cfg = base.clone();
+        cfg.noc.channel_bytes = 32;
+        assert_ne!(fp, job_fingerprint(&cfg, "HS", "bodytrack", 500, 2000));
+    }
+
+    #[test]
+    fn canonical_string_is_versioned_and_covers_options() {
+        let mut cfg = SystemConfig::default();
+        cfg.noc.virtual_nets = Some(crate::config::VirtualNetConfig {
+            request_vcs: 1,
+            reply_vcs: 3,
+        });
+        cfg.gpu.flush_interval = None;
+        let s = canonical_config(&cfg);
+        assert!(s.starts_with("clognet-fp-v1;"));
+        assert!(s.contains("noc.vnets=1+3;"));
+        assert!(s.contains("gpu.flush=none;"));
+        assert!(s.contains("scheme=baseline;"));
+        // Optional fields must differ from their `none` spellings.
+        assert_ne!(s, canonical_config(&SystemConfig::default()));
+    }
+
+    #[test]
+    fn rp_fanout_is_part_of_the_scheme_tag() {
+        let a = SystemConfig::default().with_scheme(Scheme::RealisticProbing { fanout: 4 });
+        let b = SystemConfig::default().with_scheme(Scheme::RealisticProbing { fanout: 8 });
+        assert_ne!(canonical_config(&a), canonical_config(&b));
+    }
+
+    #[test]
+    fn hex_rendering_is_fixed_width() {
+        assert_eq!(fingerprint_hex(0xAB), "00000000000000ab");
+        assert_eq!(fingerprint_hex(u64::MAX), "ffffffffffffffff");
+    }
+}

@@ -26,6 +26,7 @@
 
 pub mod addr_map;
 pub mod config;
+pub mod fingerprint;
 pub mod fxhash;
 pub mod ids;
 pub mod layout;
@@ -35,6 +36,9 @@ pub use addr_map::AddressMap;
 pub use config::{
     CacheGeometry, CpuConfig, CtaSched, DrKnobs, DramConfig, GpuConfig, L1Org, LayoutKind,
     LlcConfig, NocConfig, RoutingPolicy, Scheme, SystemConfig, Topology, VirtualNetConfig,
+};
+pub use fingerprint::{
+    canonical_config, canonical_job, fingerprint_hex, job_fingerprint, FINGERPRINT_VERSION,
 };
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{Addr, CoreId, Cycle, LineAddr, MemId, NodeId};

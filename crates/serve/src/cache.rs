@@ -1,0 +1,140 @@
+//! Content-addressed result cache.
+//!
+//! The simulator is deterministic, so a report is fully determined by
+//! its job fingerprint ([`clognet_proto::fingerprint`]): the cache maps
+//! `fingerprint -> report bytes` and a hit returns the *identical*
+//! bytes a fresh simulation would produce. Eviction is FIFO by
+//! insertion order — entries are equally cheap to regenerate, so a
+//! simple bound on resident entries beats LRU bookkeeping on the
+//! request path.
+
+use clognet_proto::FxHashMap;
+use std::collections::VecDeque;
+
+/// A bounded fingerprint-addressed store of report documents.
+#[derive(Debug)]
+pub struct ResultCache {
+    map: FxHashMap<u64, String>,
+    /// Insertion order, for FIFO eviction.
+    order: VecDeque<u64>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` reports (minimum 1).
+    pub fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            map: FxHashMap::default(),
+            order: VecDeque::new(),
+            capacity: capacity.max(1),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Look up a fingerprint, recording a hit or miss.
+    pub fn lookup(&mut self, fp: u64) -> Option<String> {
+        match self.map.get(&fp) {
+            Some(report) => {
+                self.hits += 1;
+                Some(report.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a report. Re-inserting an existing fingerprint is a
+    /// no-op: determinism guarantees the bytes match, and keeping the
+    /// first copy keeps the eviction order honest when concurrent
+    /// misses on the same job race to insert.
+    pub fn insert(&mut self, fp: u64, report: String) {
+        if self.map.contains_key(&fp) {
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            if let Some(oldest) = self.order.pop_front() {
+                self.map.remove(&oldest);
+            }
+        }
+        self.map.insert(fp, report);
+        self.order.push_back(fp);
+    }
+
+    /// Resident entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate over all lookups (0 before any lookup).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_miss_then_hit() {
+        let mut c = ResultCache::new(8);
+        assert_eq!(c.lookup(1), None);
+        c.insert(1, "report-1".into());
+        assert_eq!(c.lookup(1).as_deref(), Some("report-1"));
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+        assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fifo_eviction_respects_capacity() {
+        let mut c = ResultCache::new(2);
+        c.insert(1, "a".into());
+        c.insert(2, "b".into());
+        c.insert(3, "c".into());
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.lookup(1), None, "oldest entry evicted");
+        assert_eq!(c.lookup(2).as_deref(), Some("b"));
+        assert_eq!(c.lookup(3).as_deref(), Some("c"));
+    }
+
+    #[test]
+    fn duplicate_insert_is_a_no_op() {
+        let mut c = ResultCache::new(2);
+        c.insert(1, "a".into());
+        c.insert(1, "different".into());
+        assert_eq!(c.lookup(1).as_deref(), Some("a"));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut c = ResultCache::new(0);
+        c.insert(1, "a".into());
+        assert_eq!(c.lookup(1).as_deref(), Some("a"));
+    }
+}

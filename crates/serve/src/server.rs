@@ -1,0 +1,441 @@
+//! The persistent simulation server.
+//!
+//! A TCP listener accepts connections and speaks the NDJSON protocol of
+//! [`crate::wire`]; `run` requests are admitted into a **bounded**
+//! queue on a [`WorkerPool`], memoized through the content-addressed
+//! [`ResultCache`], and subject to per-job cycle and wall-time limits.
+//! Robustness contract:
+//!
+//! * **Admission control** — a full queue yields a structured
+//!   `overloaded` rejection immediately, never a hang.
+//! * **Limits** — a job whose cycle budget exceeds `max_job_cycles` is
+//!   rejected up front (`cycle_limit`); a job that outlives its
+//!   wall-time deadline is cut off (`timeout`).
+//! * **Graceful drain** — a `shutdown` request stops admissions, lets
+//!   every in-flight job finish and deliver its response, then joins
+//!   the workers.
+//! * **Observability** — a `stats` request exposes queue depth, cache
+//!   hit rate, and per-worker utilization through a
+//!   [`clognet_telemetry`] registry.
+//!
+//! The simulation itself is injected as a [`JobHandler`], keeping this
+//! crate independent of `clognet-core`: the CLI installs a handler that
+//! builds a `System` per job, and the tests install stubs that fail,
+//! stall, or count invocations on demand.
+
+use crate::cache::ResultCache;
+use crate::json::Json;
+use crate::wire::{error_response, ok_response, run_response, ErrorCode, JobSpec};
+use clognet_bench::runner::WorkerPool;
+use clognet_proto::fingerprint_hex;
+use clognet_telemetry::export::{json_f64, registry_to_json};
+use clognet_telemetry::Registry;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A job failure produced by a [`JobHandler`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobError {
+    /// Wire error code the failure maps to.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl JobError {
+    /// A `bad_request` failure.
+    pub fn bad_request(message: impl Into<String>) -> JobError {
+        JobError {
+            code: ErrorCode::BadRequest,
+            message: message.into(),
+        }
+    }
+}
+
+/// The simulation behind the service: fingerprinting (for the cache
+/// key) and execution (for misses). Implementations must be
+/// deterministic — `run` must return byte-identical output for
+/// fingerprint-equal specs — or the cache contract is void.
+pub trait JobHandler: Send + Sync + 'static {
+    /// The canonical fingerprint of a spec (resolving option spelling
+    /// variants), or a `bad_request` explaining what is invalid.
+    ///
+    /// # Errors
+    ///
+    /// Invalid benchmark names or configuration options.
+    fn fingerprint(&self, spec: &JobSpec) -> Result<u64, JobError>;
+
+    /// Execute the job, checking `deadline` at reasonable intervals
+    /// and returning a `timeout` failure when exceeded.
+    ///
+    /// # Errors
+    ///
+    /// Invalid specs or an exceeded deadline.
+    fn run(&self, spec: &JobSpec, deadline: Instant) -> Result<String, JobError>;
+}
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; use port 0 to let the OS pick (tests).
+    pub addr: String,
+    /// Worker threads simulating jobs.
+    pub workers: usize,
+    /// Jobs that may wait for a worker before admission control
+    /// rejects with `overloaded`.
+    pub queue_cap: usize,
+    /// Reports retained by the content-addressed cache.
+    pub cache_cap: usize,
+    /// Per-job cycle budget (`warm + cycles`) ceiling.
+    pub max_job_cycles: u64,
+    /// Per-job end-to-end wall-time limit (queue wait + simulation).
+    pub job_timeout: Duration,
+    /// How long `shutdown` waits for in-flight requests to finish.
+    pub drain_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_cap: 16,
+            cache_cap: 1024,
+            max_job_cycles: 10_000_000,
+            job_timeout: Duration::from_secs(120),
+            drain_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+type PoolResult = Result<String, JobError>;
+
+struct Inner {
+    cfg: ServeConfig,
+    handler: Arc<dyn JobHandler>,
+    /// `None` once draining has begun.
+    pool: Mutex<Option<WorkerPool<(JobSpec, Instant), PoolResult>>>,
+    cache: Mutex<ResultCache>,
+    metrics: Mutex<Registry>,
+    shutdown: AtomicBool,
+    /// `run` requests admitted but not yet answered.
+    inflight: AtomicUsize,
+    local_addr: SocketAddr,
+}
+
+/// The server: bind with [`Server::bind`], then either block in
+/// [`Server::run`] (the CLI) or detach with [`Server::spawn`] (tests,
+/// embedding).
+pub struct Server {
+    listener: TcpListener,
+    inner: Arc<Inner>,
+}
+
+/// Handle to a spawned server thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    thread: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolved port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Wait for the server to drain and exit.
+    ///
+    /// # Errors
+    ///
+    /// The accept loop's I/O error, if it died on one.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from the server thread.
+    pub fn join(self) -> std::io::Result<()> {
+        self.thread.join().expect("server thread panicked")
+    }
+}
+
+impl Server {
+    /// Bind the listener and start the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Socket bind failures.
+    pub fn bind(cfg: ServeConfig, handler: Arc<dyn JobHandler>) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        let pool_handler = Arc::clone(&handler);
+        let pool = WorkerPool::new(
+            cfg.workers,
+            cfg.queue_cap,
+            move |(spec, deadline): (JobSpec, Instant)| pool_handler.run(&spec, deadline),
+        );
+        let cache = ResultCache::new(cfg.cache_cap);
+        let inner = Arc::new(Inner {
+            cfg,
+            handler,
+            pool: Mutex::new(Some(pool)),
+            cache: Mutex::new(cache),
+            metrics: Mutex::new(Registry::new()),
+            shutdown: AtomicBool::new(false),
+            inflight: AtomicUsize::new(0),
+            local_addr,
+        });
+        Ok(Server { listener, inner })
+    }
+
+    /// The bound address (resolved port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.inner.local_addr
+    }
+
+    /// Accept and serve connections until a `shutdown` request, then
+    /// drain and return. Each connection gets its own thread; requests
+    /// within a connection are answered in order.
+    ///
+    /// # Errors
+    ///
+    /// A fatal accept-loop I/O error.
+    pub fn run(self) -> std::io::Result<()> {
+        for stream in self.listener.incoming() {
+            if self.inner.shutdown.load(Ordering::SeqCst) {
+                break; // Woken by the shutdown self-connect.
+            }
+            let Ok(stream) = stream else {
+                continue; // Transient accept error; keep serving.
+            };
+            let inner = Arc::clone(&self.inner);
+            std::thread::spawn(move || handle_connection(&inner, stream));
+        }
+        drop(self.listener); // Closed before the drain, not after.
+        drain(&self.inner);
+        Ok(())
+    }
+
+    /// Run on a background thread; returns once the socket is bound
+    /// (it already is) so clients can connect immediately.
+    ///
+    /// # Errors
+    ///
+    /// This call itself cannot fail; the handle's `join` reports the
+    /// serve loop's outcome.
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
+        let addr = self.local_addr();
+        let thread = std::thread::spawn(move || self.run());
+        Ok(ServerHandle { addr, thread })
+    }
+}
+
+/// Wait (bounded) for in-flight requests, then drain the pool.
+fn drain(inner: &Inner) {
+    let deadline = Instant::now() + inner.cfg.drain_timeout;
+    while inner.inflight.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let pool = inner.pool.lock().expect("pool lock poisoned").take();
+    if let Some(pool) = pool {
+        pool.shutdown();
+    }
+}
+
+fn handle_connection(inner: &Arc<Inner>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return, // Peer closed or died.
+            Ok(_) => {}
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = dispatch(inner, line.trim());
+        if writer
+            .write_all(response.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            return;
+        }
+    }
+}
+
+fn count(inner: &Inner, name: &str) {
+    let mut m = inner.metrics.lock().expect("metrics lock poisoned");
+    let id = m.counter(name);
+    m.add(id, 1);
+}
+
+fn dispatch(inner: &Arc<Inner>, line: &str) -> String {
+    count(inner, "requests_total");
+    let parsed = match Json::parse(line) {
+        Ok(v) => v,
+        Err(e) => {
+            count(inner, "bad_requests");
+            return error_response(ErrorCode::BadRequest, &format!("malformed JSON: {e}"));
+        }
+    };
+    match parsed.get("op").and_then(Json::as_str) {
+        Some("ping") => ok_response("ping"),
+        Some("run") => handle_run(inner, &parsed),
+        Some("stats") => stats_response(inner),
+        Some("shutdown") => {
+            inner.shutdown.store(true, Ordering::SeqCst);
+            // Wake the acceptor so it notices the flag.
+            let _ = TcpStream::connect(inner.local_addr);
+            ok_response("shutdown")
+        }
+        Some(other) => {
+            count(inner, "bad_requests");
+            error_response(
+                ErrorCode::BadRequest,
+                &format!("unknown op `{other}` (ping|run|stats|shutdown)"),
+            )
+        }
+        None => {
+            count(inner, "bad_requests");
+            error_response(ErrorCode::BadRequest, "request missing string `op`")
+        }
+    }
+}
+
+fn handle_run(inner: &Arc<Inner>, request: &Json) -> String {
+    if inner.shutdown.load(Ordering::SeqCst) {
+        return error_response(ErrorCode::ShuttingDown, "server is draining");
+    }
+    let spec = match JobSpec::from_json(request) {
+        Ok(s) => s,
+        Err(e) => {
+            count(inner, "bad_requests");
+            return error_response(ErrorCode::BadRequest, &e);
+        }
+    };
+    let budget = spec.warm.saturating_add(spec.cycles);
+    if budget > inner.cfg.max_job_cycles {
+        count(inner, "jobs_rejected_cycle_limit");
+        return error_response(
+            ErrorCode::CycleLimit,
+            &format!(
+                "job wants {budget} cycles; per-job limit is {}",
+                inner.cfg.max_job_cycles
+            ),
+        );
+    }
+    let fp = match inner.handler.fingerprint(&spec) {
+        Ok(fp) => fp,
+        Err(e) => {
+            count(inner, "bad_requests");
+            return error_response(e.code, &e.message);
+        }
+    };
+    let hex = fingerprint_hex(fp);
+    if let Some(report) = inner.cache.lock().expect("cache lock poisoned").lookup(fp) {
+        count(inner, "cache_hits");
+        return run_response(&hex, true, &report);
+    }
+    count(inner, "cache_misses");
+    // Miss: admit into the bounded queue.
+    let deadline = Instant::now() + inner.cfg.job_timeout;
+    let submitted = {
+        let pool = inner.pool.lock().expect("pool lock poisoned");
+        match pool.as_ref() {
+            None => return error_response(ErrorCode::ShuttingDown, "server is draining"),
+            Some(p) => p.try_submit((spec, deadline)),
+        }
+    };
+    let rx = match submitted {
+        Ok(rx) => rx,
+        Err(_) => {
+            count(inner, "jobs_rejected_overload");
+            return error_response(
+                ErrorCode::Overloaded,
+                &format!(
+                    "job queue full ({} waiting, {} workers); retry later",
+                    inner.cfg.queue_cap, inner.cfg.workers
+                ),
+            );
+        }
+    };
+    count(inner, "jobs_admitted");
+    inner.inflight.fetch_add(1, Ordering::SeqCst);
+    // Grace past the deadline so a handler that honors it always wins
+    // the race against this receive timeout.
+    let wait = inner.cfg.job_timeout + Duration::from_secs(2);
+    let outcome = rx.recv_timeout(wait);
+    inner.inflight.fetch_sub(1, Ordering::SeqCst);
+    match outcome {
+        Ok(Ok(report)) => {
+            count(inner, "jobs_completed");
+            inner
+                .cache
+                .lock()
+                .expect("cache lock poisoned")
+                .insert(fp, report.clone());
+            run_response(&hex, false, &report)
+        }
+        Ok(Err(e)) => {
+            count(inner, "jobs_failed");
+            error_response(e.code, &e.message)
+        }
+        Err(_) => {
+            count(inner, "jobs_timed_out");
+            error_response(
+                ErrorCode::Timeout,
+                &format!(
+                    "no result within {:.1}s (per-job wall-time limit)",
+                    wait.as_secs_f64()
+                ),
+            )
+        }
+    }
+}
+
+fn stats_response(inner: &Arc<Inner>) -> String {
+    let (depth, workers, utilization) = {
+        let pool = inner.pool.lock().expect("pool lock poisoned");
+        match pool.as_ref() {
+            Some(p) => (p.depth(), p.threads(), p.utilization()),
+            None => (0, 0, Vec::new()),
+        }
+    };
+    let (entries, hit_rate, hits, misses) = {
+        let c = inner.cache.lock().expect("cache lock poisoned");
+        (c.len(), c.hit_rate(), c.hits(), c.misses())
+    };
+    let registry_json = {
+        let mut m = inner.metrics.lock().expect("metrics lock poisoned");
+        // Mirror the instantaneous values into gauges so exported
+        // registries are self-contained.
+        let g = m.gauge("queue_depth");
+        m.set(g, depth as f64);
+        let g = m.gauge("cache_hit_rate");
+        m.set(g, hit_rate);
+        let g = m.gauge("cache_entries");
+        m.set(g, entries as f64);
+        for (w, u) in utilization.iter().enumerate() {
+            let g = m.gauge(&format!("worker{w}_utilization"));
+            m.set(g, *u);
+        }
+        registry_to_json(&m)
+    };
+    let util_arr: Vec<String> = utilization.iter().map(|&u| json_f64(u)).collect();
+    format!(
+        "{{\"ok\":true,\"op\":\"stats\",\"queue_depth\":{depth},\"workers\":{workers},\
+         \"utilization\":[{}],\"cache_entries\":{entries},\"cache_hits\":{hits},\
+         \"cache_misses\":{misses},\"cache_hit_rate\":{},\"registry\":{registry_json}}}",
+        util_arr.join(","),
+        json_f64(hit_rate)
+    )
+}

@@ -1,0 +1,342 @@
+//! Wire protocol: newline-delimited JSON requests and responses.
+//!
+//! One request per line, one response per line, over a plain TCP
+//! stream. Requests are flat objects with an `op` discriminator:
+//!
+//! ```text
+//! {"op":"ping"}
+//! {"op":"run","gpu":"HS","cpu":"bodytrack","warm":500,"cycles":2000,"scheme":"dr"}
+//! {"op":"stats"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! Responses always carry `"ok"`: `{"ok":true,...}` on success,
+//! `{"ok":false,"error":"<code>","message":"..."}` on failure. A `run`
+//! success carries the job's `fingerprint` (16 hex digits), a `cache`
+//! marker (`"hit"` or `"miss"`), and the full report document as a JSON
+//! **string** — escaping and unescaping through the shared routines is
+//! lossless, which is what lets the client reprint a cached report
+//! byte-identically to an inline `clognet run --json`.
+//!
+//! Any request key other than `op`/`gpu`/`cpu`/`warm`/`cycles` is
+//! treated as a configuration option, exactly as if passed to
+//! `clognet run --key value`; the server-side handler validates them.
+
+use crate::json::Json;
+use clognet_telemetry::export::json_escape;
+use std::collections::BTreeMap;
+
+/// Wire error codes (the `error` field of a failure response).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Malformed JSON, unknown op, missing/invalid fields, unknown
+    /// benchmark or configuration option.
+    BadRequest,
+    /// Admission control: the job queue is full. Retry later.
+    Overloaded,
+    /// The job's cycle budget exceeds the server's per-job limit.
+    CycleLimit,
+    /// The job exceeded the server's per-job wall-time limit.
+    Timeout,
+    /// The server is draining; no new jobs are accepted.
+    ShuttingDown,
+    /// The worker pool failed to deliver a result (should not happen).
+    Internal,
+}
+
+impl ErrorCode {
+    /// The wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::CycleLimit => "cycle_limit",
+            ErrorCode::Timeout => "timeout",
+            ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    /// Parse the wire spelling.
+    pub fn from_wire(s: &str) -> Option<ErrorCode> {
+        Some(match s {
+            "bad_request" => ErrorCode::BadRequest,
+            "overloaded" => ErrorCode::Overloaded,
+            "cycle_limit" => ErrorCode::CycleLimit,
+            "timeout" => ErrorCode::Timeout,
+            "shutting_down" => ErrorCode::ShuttingDown,
+            "internal" => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// A simulation job as it travels on the wire: the workload pairing,
+/// the cycle budget, and free-form configuration options (the same
+/// `--key value` vocabulary as `clognet run`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSpec {
+    /// GPU benchmark name (Table II).
+    pub gpu: String,
+    /// CPU benchmark name (PARSEC).
+    pub cpu: String,
+    /// Warmup cycles (statistics excluded).
+    pub warm: u64,
+    /// Measured cycles.
+    pub cycles: u64,
+    /// Configuration options: `scheme`, `layout`, `seed`, ...
+    pub opts: BTreeMap<String, String>,
+}
+
+impl JobSpec {
+    /// A spec with the `clognet run` defaults for everything but the
+    /// workload pairing.
+    pub fn new(gpu: &str, cpu: &str) -> JobSpec {
+        JobSpec {
+            gpu: gpu.to_string(),
+            cpu: cpu.to_string(),
+            warm: 6_000,
+            cycles: 15_000,
+            opts: BTreeMap::new(),
+        }
+    }
+
+    /// Build from a parsed request (or batch-file) object. Workload
+    /// names default like `clognet run` (HS + bodytrack); unknown keys
+    /// become options, with numeric values rendered back to strings.
+    ///
+    /// # Errors
+    ///
+    /// Non-object input, non-string workload names, non-integer cycle
+    /// counts, or option values that are not scalars.
+    pub fn from_json(v: &Json) -> Result<JobSpec, String> {
+        let obj = v.as_obj().ok_or("job must be a JSON object")?;
+        let mut spec = JobSpec::new("HS", "bodytrack");
+        for (k, val) in obj {
+            match k.as_str() {
+                "op" => {}
+                "gpu" => spec.gpu = val.as_str().ok_or("`gpu` must be a string")?.to_string(),
+                "cpu" => spec.cpu = val.as_str().ok_or("`cpu` must be a string")?.to_string(),
+                "warm" => {
+                    spec.warm = val
+                        .as_u64()
+                        .ok_or("`warm` must be a non-negative integer")?
+                }
+                "cycles" => {
+                    spec.cycles = val
+                        .as_u64()
+                        .ok_or("`cycles` must be a non-negative integer")?
+                }
+                _ => {
+                    let s = match val {
+                        Json::Str(s) => s.clone(),
+                        Json::Bool(b) => b.to_string(),
+                        Json::Num(n) if n.fract() == 0.0 => format!("{}", *n as i64),
+                        Json::Num(n) => format!("{n}"),
+                        _ => return Err(format!("option `{k}` must be a scalar")),
+                    };
+                    spec.opts.insert(k.clone(), s);
+                }
+            }
+        }
+        Ok(spec)
+    }
+
+    /// Serialize as a `run` request line (no trailing newline).
+    pub fn to_request_line(&self) -> String {
+        let mut out = format!(
+            "{{\"op\":\"run\",\"gpu\":\"{}\",\"cpu\":\"{}\",\"warm\":{},\"cycles\":{}",
+            json_escape(&self.gpu),
+            json_escape(&self.cpu),
+            self.warm,
+            self.cycles
+        );
+        for (k, v) in &self.opts {
+            out.push_str(&format!(",\"{}\":\"{}\"", json_escape(k), json_escape(v)));
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// A successful `run` response, decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunResult {
+    /// The job fingerprint, 16 hex digits.
+    pub fingerprint: String,
+    /// Whether the report came from the content-addressed cache.
+    pub cache_hit: bool,
+    /// The report document, byte-identical to `clognet run --json`.
+    pub report: String,
+}
+
+/// Build a successful `run` response line.
+pub fn run_response(fingerprint: &str, cache_hit: bool, report: &str) -> String {
+    format!(
+        "{{\"ok\":true,\"op\":\"run\",\"fingerprint\":\"{}\",\"cache\":\"{}\",\"report\":\"{}\"}}",
+        json_escape(fingerprint),
+        if cache_hit { "hit" } else { "miss" },
+        json_escape(report)
+    )
+}
+
+/// Build a failure response line.
+pub fn error_response(code: ErrorCode, message: &str) -> String {
+    format!(
+        "{{\"ok\":false,\"error\":\"{}\",\"message\":\"{}\"}}",
+        code.as_str(),
+        json_escape(message)
+    )
+}
+
+/// Build a trivial success response (`ping`, `shutdown`).
+pub fn ok_response(op: &str) -> String {
+    format!("{{\"ok\":true,\"op\":\"{}\"}}", json_escape(op))
+}
+
+/// A decoded response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// `run` success.
+    Run(RunResult),
+    /// Any other success, with the parsed body for field access.
+    Ok(Json),
+    /// Failure.
+    Error {
+        /// The error code.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// Decode one response line.
+///
+/// # Errors
+///
+/// Malformed JSON or a response missing its required fields.
+pub fn parse_response(line: &str) -> Result<Response, String> {
+    let v = Json::parse(line)?;
+    match v.get("ok").and_then(Json::as_bool) {
+        Some(true) => {}
+        Some(false) => {
+            let code = v
+                .get("error")
+                .and_then(Json::as_str)
+                .and_then(ErrorCode::from_wire)
+                .ok_or("error response without a known `error` code")?;
+            let message = v
+                .get("message")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string();
+            return Ok(Response::Error { code, message });
+        }
+        None => return Err("response missing boolean `ok`".into()),
+    }
+    if v.get("op").and_then(Json::as_str) == Some("run") {
+        let fingerprint = v
+            .get("fingerprint")
+            .and_then(Json::as_str)
+            .ok_or("run response missing `fingerprint`")?
+            .to_string();
+        let cache_hit = match v.get("cache").and_then(Json::as_str) {
+            Some("hit") => true,
+            Some("miss") => false,
+            _ => return Err("run response missing `cache`".into()),
+        };
+        let report = v
+            .get("report")
+            .and_then(Json::as_str)
+            .ok_or("run response missing `report`")?
+            .to_string();
+        return Ok(Response::Run(RunResult {
+            fingerprint,
+            cache_hit,
+            report,
+        }));
+    }
+    Ok(Response::Ok(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_spec_round_trips_through_its_request_line() {
+        let mut spec = JobSpec::new("MM", "canneal");
+        spec.warm = 100;
+        spec.cycles = 400;
+        spec.opts.insert("scheme".into(), "dr".into());
+        spec.opts.insert("seed".into(), "7".into());
+        let line = spec.to_request_line();
+        let parsed = JobSpec::from_json(&Json::parse(&line).unwrap()).unwrap();
+        assert_eq!(parsed, spec);
+    }
+
+    #[test]
+    fn job_spec_defaults_match_clognet_run() {
+        let spec = JobSpec::from_json(&Json::parse("{}").unwrap()).unwrap();
+        assert_eq!(spec.gpu, "HS");
+        assert_eq!(spec.cpu, "bodytrack");
+        assert_eq!(spec.warm, 6_000);
+        assert_eq!(spec.cycles, 15_000);
+        assert!(spec.opts.is_empty());
+    }
+
+    #[test]
+    fn numeric_and_boolean_options_become_strings() {
+        let v = Json::parse(r#"{"gpu":"HS","seed":9,"no-ff":true}"#).unwrap();
+        let spec = JobSpec::from_json(&v).unwrap();
+        assert_eq!(spec.opts.get("seed").map(String::as_str), Some("9"));
+        assert_eq!(spec.opts.get("no-ff").map(String::as_str), Some("true"));
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        assert!(JobSpec::from_json(&Json::parse("[1]").unwrap()).is_err());
+        assert!(JobSpec::from_json(&Json::parse(r#"{"gpu":3}"#).unwrap()).is_err());
+        assert!(JobSpec::from_json(&Json::parse(r#"{"warm":-1}"#).unwrap()).is_err());
+        assert!(JobSpec::from_json(&Json::parse(r#"{"x":[1]}"#).unwrap()).is_err());
+    }
+
+    #[test]
+    fn run_response_round_trips_reports_byte_identically() {
+        let report = "{\"scheme\":\"DR\",\"weird\":\"a\\\"b\\\\c\",\"gpu_ipc\":12.25}";
+        let line = run_response("00ff00ff00ff00ff", true, report);
+        match parse_response(&line).unwrap() {
+            Response::Run(r) => {
+                assert!(r.cache_hit);
+                assert_eq!(r.fingerprint, "00ff00ff00ff00ff");
+                assert_eq!(r.report, report);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_responses_carry_codes() {
+        let line = error_response(ErrorCode::Overloaded, "queue full (8 deep)");
+        match parse_response(&line).unwrap() {
+            Response::Error { code, message } => {
+                assert_eq!(code, ErrorCode::Overloaded);
+                assert!(message.contains("queue full"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            ErrorCode::from_wire("cycle_limit"),
+            Some(ErrorCode::CycleLimit)
+        );
+        assert_eq!(ErrorCode::from_wire("bogus"), None);
+    }
+
+    #[test]
+    fn plain_ok_responses_parse_as_ok() {
+        match parse_response(&ok_response("ping")).unwrap() {
+            Response::Ok(v) => assert_eq!(v.get("op").unwrap().as_str(), Some("ping")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

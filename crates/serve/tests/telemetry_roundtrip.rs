@@ -1,0 +1,213 @@
+//! Export round-trip tests (satellite of the service PR): telemetry
+//! documents emitted from a real sampled run must survive re-parsing
+//! exactly. `clognet-telemetry` writes with shortest-round-trip float
+//! formatting and this crate's [`Json`] parser reads numbers back with
+//! `str::parse::<f64>`, so every value should compare bit-equal.
+
+use clognet_core::{System, TelemetryConfig};
+use clognet_proto::{Scheme, SystemConfig};
+use clognet_serve::json::Json;
+use clognet_telemetry::export::{episodes_to_ndjson, registry_to_json, series_to_csv};
+
+/// A short instrumented baseline run that is guaranteed to produce
+/// episodes (NN + canneal clogs; see tests/telemetry_integration.rs).
+fn sampled_run() -> System {
+    let mut cfg = SystemConfig::default().with_scheme(Scheme::Baseline);
+    cfg.seed = 7;
+    let mut sys = System::new(cfg, "NN", "canneal");
+    sys.enable_telemetry(TelemetryConfig::default());
+    sys.run(20_000);
+    sys.finish_telemetry();
+    sys
+}
+
+#[test]
+fn session_json_round_trips_every_sampled_value() {
+    let sys = sampled_run();
+    let t = sys.telemetry().expect("telemetry enabled");
+    let doc = t
+        .session
+        .to_json(&[("scheme", "baseline".into()), ("seed", "7".into())]);
+    let v = Json::parse(&doc).expect("session JSON parses");
+
+    // Meta strings survive.
+    assert_eq!(
+        v.get("meta").unwrap().get("scheme").unwrap().as_str(),
+        Some("baseline")
+    );
+
+    // Every sampler series survives value-for-value, bit-exactly.
+    let series = v.get("sampler").unwrap().get("series").unwrap();
+    let mut seen = 0usize;
+    for (name, values) in t.sampler().all_series() {
+        let arr = series
+            .get(name)
+            .unwrap_or_else(|| panic!("series `{name}` missing from JSON"))
+            .as_arr()
+            .expect("series is an array");
+        assert_eq!(arr.len(), values.len(), "series `{name}` length");
+        for (i, (parsed, expected)) in arr.iter().zip(&values).enumerate() {
+            let parsed = parsed.as_f64().expect("series value is a number");
+            assert!(
+                parsed.to_bits() == expected.to_bits(),
+                "series `{name}`[{i}]: {parsed} != {expected}"
+            );
+        }
+        seen += 1;
+    }
+    assert!(seen > 0, "the run sampled at least one series");
+    assert_eq!(
+        series.as_obj().unwrap().len(),
+        seen,
+        "JSON has no extra series"
+    );
+
+    // Epoch bookkeeping survives.
+    let sampler = v.get("sampler").unwrap();
+    assert_eq!(
+        sampler.get("epochs").unwrap().as_u64(),
+        Some(t.sampler().epochs_committed())
+    );
+    assert_eq!(sampler.get("epoch_len").unwrap().as_u64(), Some(500));
+
+    // Every registry counter survives exactly.
+    let counters = v.get("registry").unwrap().get("counters").unwrap();
+    let mut n = 0usize;
+    for (name, value) in t.session.registry.counters() {
+        assert_eq!(
+            counters.get(name).and_then(Json::as_u64),
+            Some(value),
+            "counter `{name}`"
+        );
+        n += 1;
+    }
+    assert_eq!(counters.as_obj().unwrap().len(), n);
+
+    // Every gauge survives bit-exactly (non-finite exports as 0).
+    let gauges = v.get("registry").unwrap().get("gauges").unwrap();
+    for (name, value) in t.session.registry.gauges() {
+        let expected = if value.is_finite() { value } else { 0.0 };
+        let parsed = gauges.get(name).and_then(Json::as_f64).unwrap();
+        assert!(
+            parsed.to_bits() == expected.to_bits(),
+            "gauge `{name}`: {parsed} != {expected}"
+        );
+    }
+
+    // Episodes survive field-for-field.
+    let eps_json = v.get("episodes").unwrap().as_arr().unwrap();
+    let eps = t.session.episodes.episodes();
+    assert!(!eps.is_empty(), "baseline NN+canneal must clog");
+    assert_eq!(eps_json.len(), eps.len());
+    for (j, e) in eps_json.iter().zip(eps) {
+        assert_eq!(j.get("node").unwrap().as_u64(), Some(e.node as u64));
+        assert_eq!(j.get("start").unwrap().as_u64(), Some(e.start));
+        assert_eq!(j.get("end").unwrap().as_u64(), Some(e.end));
+        assert_eq!(j.get("duration").unwrap().as_u64(), Some(e.duration()));
+        assert_eq!(
+            j.get("peak_depth").unwrap().as_u64(),
+            Some(e.peak_depth as u64)
+        );
+        assert_eq!(j.get("flits_shed").unwrap().as_u64(), Some(e.flits_shed));
+    }
+}
+
+#[test]
+fn registry_json_round_trips_histogram_summaries() {
+    let sys = sampled_run();
+    let t = sys.telemetry().expect("telemetry enabled");
+    let v = Json::parse(&registry_to_json(&t.session.registry)).unwrap();
+    let hists = v.get("histograms").unwrap();
+    let mut n = 0usize;
+    for (name, h) in t.session.registry.histograms() {
+        let j = hists
+            .get(name)
+            .unwrap_or_else(|| panic!("histogram `{name}` missing"));
+        assert_eq!(j.get("count").unwrap().as_u64(), Some(h.count()));
+        assert_eq!(j.get("sum").unwrap().as_u64(), Some(h.sum()));
+        assert_eq!(j.get("min").unwrap().as_u64(), Some(h.min()));
+        assert_eq!(j.get("max").unwrap().as_u64(), Some(h.max()));
+        assert_eq!(j.get("p50").unwrap().as_u64(), Some(h.p50()));
+        assert_eq!(j.get("p95").unwrap().as_u64(), Some(h.p95()));
+        assert_eq!(j.get("p99").unwrap().as_u64(), Some(h.p99()));
+        let mean = j.get("mean").unwrap().as_f64().unwrap();
+        let expected = if h.mean().is_finite() { h.mean() } else { 0.0 };
+        assert!(
+            mean.to_bits() == expected.to_bits(),
+            "histogram `{name}` mean"
+        );
+        n += 1;
+    }
+    assert_eq!(hists.as_obj().unwrap().len(), n);
+}
+
+#[test]
+fn series_csv_round_trips_every_cell() {
+    let sys = sampled_run();
+    let t = sys.telemetry().expect("telemetry enabled");
+    let sampler = t.sampler();
+    let csv = series_to_csv(sampler);
+    let mut lines = csv.lines();
+
+    // Header: `epoch` then one column per series, in iteration order.
+    let header: Vec<&str> = lines.next().expect("header").split(',').collect();
+    assert_eq!(header[0], "epoch");
+    let series: Vec<(String, Vec<f64>)> = sampler
+        .all_series()
+        .map(|(n, v)| (n.to_string(), v))
+        .collect();
+    assert_eq!(header.len(), series.len() + 1);
+    for (h, (name, _)) in header[1..].iter().zip(&series) {
+        // None of the simulator's series names need CSV quoting.
+        assert_eq!(h, name);
+    }
+
+    // Body: every cell parses back to the exact sampled value. A
+    // series registered after epoch 0 is right-aligned; its missing
+    // leading epochs are empty cells.
+    let rows: Vec<Vec<&str>> = lines.map(|l| l.split(',').collect()).collect();
+    let n_rows = rows.len();
+    assert_eq!(n_rows, series.iter().map(|(_, v)| v.len()).max().unwrap());
+    for (r, row) in rows.iter().enumerate() {
+        assert_eq!(row.len(), series.len() + 1, "row {r} arity");
+        assert_eq!(
+            row[0].parse::<u64>().unwrap(),
+            sampler.first_epoch() + r as u64
+        );
+        for (cell, (name, values)) in row[1..].iter().zip(&series) {
+            let pad = n_rows - values.len();
+            if r < pad {
+                assert!(cell.is_empty(), "series `{name}` row {r} should be padding");
+            } else {
+                let parsed: f64 = cell.parse().unwrap();
+                assert!(
+                    parsed.to_bits() == values[r - pad].to_bits(),
+                    "series `{name}` row {r}: {parsed} != {}",
+                    values[r - pad]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn episodes_ndjson_round_trips_line_by_line() {
+    let sys = sampled_run();
+    let t = sys.telemetry().expect("telemetry enabled");
+    let eps = t.session.episodes.episodes();
+    assert!(!eps.is_empty(), "baseline NN+canneal must clog");
+    let nd = episodes_to_ndjson(eps);
+    let lines: Vec<&str> = nd.lines().collect();
+    assert_eq!(lines.len(), eps.len());
+    for (line, e) in lines.iter().zip(eps) {
+        let j = Json::parse(line).expect("each NDJSON line parses alone");
+        assert_eq!(j.get("node").unwrap().as_u64(), Some(e.node as u64));
+        assert_eq!(j.get("start").unwrap().as_u64(), Some(e.start));
+        assert_eq!(j.get("end").unwrap().as_u64(), Some(e.end));
+        assert_eq!(
+            j.get("peak_depth").unwrap().as_u64(),
+            Some(e.peak_depth as u64)
+        );
+        assert_eq!(j.get("flits_shed").unwrap().as_u64(), Some(e.flits_shed));
+    }
+}
