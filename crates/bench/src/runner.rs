@@ -212,6 +212,15 @@ impl<J: Send + 'static, R: Send + 'static> WorkerPool<J, R> {
     }
 }
 
+/// Run `f` once and return its result with the wall-clock seconds it
+/// took — the timing idiom every throughput leg (bench, serve smoke,
+/// cluster-bench) shares.
+pub fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
 /// Thread count for parallel harnesses: `CLOGNET_THREADS` if set,
 /// otherwise the machine's available parallelism (1 if unknown).
 pub fn default_threads() -> usize {

@@ -11,9 +11,11 @@
 //! clognet timeline --gpu NN --cpu canneal --scheme baseline     # ASCII clog timeline
 //! clognet trace    --gpu HS --cpu bodytrack [--last N] [--kind k]  # protocol events
 //! clognet serve    [--addr HOST:PORT] [--workers N] [--queue N]  # persistent service
-//! clognet submit   [--addr HOST:PORT] [--op run|ping|stats|shutdown] [job opts]
+//! clognet cluster  --addr H:P --peers H:P,... [--replicas N]  # sharded service node
+//! clognet cluster-bench [--nodes N] [--quick] [--out BENCH_cluster.json]
+//! clognet submit   [--addr HOST:PORT] [--peers H:P,...] [--op run|ping|stats|cluster-stats|shutdown]
 //! clognet batch    --file jobs.ndjson [--addr HOST:PORT] [--out r.ndjson]
-//! clognet fingerprint [--canonical] [job opts]          # content-address of a job
+//! clognet fingerprint [--canonical] [--peers H:P,... [--owner]] [job opts]
 //! clognet list                                          # benchmarks & options
 //! clognet help
 //! ```
@@ -21,7 +23,7 @@
 use clognet_bench::runner::default_threads;
 use clognet_cli::args::{Args, ParseArgsError};
 use clognet_cli::config::{config_from, CONFIG_KEYS};
-use clognet_cli::{driver, report, serve_cmd, timeline};
+use clognet_cli::{cluster_cmd, driver, report, serve_cmd, timeline};
 use clognet_core::{System, TelemetryConfig};
 use clognet_proto::Scheme;
 
@@ -51,6 +53,8 @@ fn dispatch(raw: Vec<String>) -> Result<(), ParseArgsError> {
         "timeline" => cmd_timeline(&args),
         "trace" => cmd_trace(&args),
         "serve" => serve_cmd::cmd_serve(&args),
+        "cluster" => cluster_cmd::cmd_cluster(&args),
+        "cluster-bench" => cluster_cmd::cmd_cluster_bench(&args),
         "submit" => serve_cmd::cmd_submit(&args),
         "batch" => serve_cmd::cmd_batch(&args),
         "fingerprint" => serve_cmd::cmd_fingerprint(&args),
@@ -400,9 +404,11 @@ fn print_help() {
          \x20 timeline ASCII per-epoch clog timeline + detected clog episodes\n\
          \x20 trace    protocol-event trace (delegations, blocking, probes)\n\
          \x20 serve    persistent simulation service (job queue + result cache)\n\
+         \x20 cluster  one node of a sharded multi-node service (serve --peers works too)\n\
+         \x20 cluster-bench  1-node vs N-node cluster throughput (JSON report)\n\
          \x20 submit   send one job/request to a running service\n\
          \x20 batch    submit an NDJSON job file to a running service\n\
-         \x20 fingerprint  print a job's canonical content-address\n\
+         \x20 fingerprint  print a job's canonical content-address (and ring placement)\n\
          \x20 list     available benchmarks and option values\n\
          \x20 help     this text\n\n\
          COMMON OPTIONS:\n\
@@ -433,10 +439,17 @@ fn print_help() {
          \x20 --cache <n>        serve: reports kept in the result cache (default 1024)\n\
          \x20 --max-cycles <n>   serve: per-job cycle-budget ceiling\n\
          \x20 --timeout-ms <n>   serve: per-job wall-time limit\n\
-         \x20 --op <o>           submit: run | ping | stats | shutdown (default run)\n\
+         \x20 --op <o>           submit: run | ping | stats | cluster-stats | shutdown\n\
          \x20 --file <path>      batch: NDJSON job file (one job object per line)\n\
          \x20 --retries <n>      submit/batch: connect attempts (default 8)\n\
          \x20 --canonical        fingerprint: also print the canonical serialization\n\n\
+         CLUSTER OPTIONS:\n\
+         \x20 --peers <h:p,...>  cluster/serve: seed peers; submit/batch: failover list\n\
+         \x20 --replicas <n>     cluster: cache copies on ring successors (default 1)\n\
+         \x20 --advertise <h:p>  cluster: address peers should dial back (default --addr)\n\
+         \x20 --vnodes <n>       cluster/fingerprint: virtual nodes per peer (default 64)\n\
+         \x20 --heartbeat-ms <n> cluster: peer probe interval (default 250)\n\
+         \x20 --owner            fingerprint: print only the owning node's address\n\n\
          EXAMPLES:\n\
          \x20 clognet compare --gpu MM --cpu canneal\n\
          \x20 clognet run --gpu BP --cpu ferret --scheme dr --layout d\n\
@@ -446,6 +459,8 @@ fn print_help() {
          \x20 clognet bench --quick --out BENCH_smoke.json\n\
          \x20 clognet serve --workers 4 &\n\
          \x20 clognet submit --gpu MM --cpu canneal --scheme dr\n\
+         \x20 clognet serve --addr 127.0.0.1:9401 --peers 127.0.0.1:9402,127.0.0.1:9403 &\n\
+         \x20 clognet submit --peers 127.0.0.1:9401,127.0.0.1:9402 --op cluster-stats\n\
          \x20 clognet fingerprint --gpu MM --cpu canneal --scheme dr --canonical"
     );
 }

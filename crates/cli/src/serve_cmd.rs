@@ -11,10 +11,11 @@
 //! --json` of the same job.
 
 use crate::args::{Args, ParseArgsError};
+use crate::cluster_cmd::{parse_peers, CLUSTER_KEYS};
 use crate::config::{config_from, CONFIG_KEYS};
 use crate::report;
 use clognet_core::System;
-use clognet_proto::{canonical_job, fingerprint_hex, job_fingerprint, SystemConfig};
+use clognet_proto::{canonical_job, fingerprint_hex, job_fingerprint, HashRing, SystemConfig};
 use clognet_serve::client::{Client, RetryPolicy};
 use clognet_serve::json::Json;
 use clognet_serve::server::{JobError, JobHandler, ServeConfig, Server};
@@ -134,10 +135,30 @@ fn policy_from_args(args: &Args) -> Result<RetryPolicy, ParseArgsError> {
     })
 }
 
-fn connect(args: &Args) -> Result<Client, ParseArgsError> {
-    let addr = args.get_or("addr", DEFAULT_ADDR);
-    Client::connect(addr, &policy_from_args(args)?)
-        .map_err(|e| ParseArgsError(format!("connecting to {addr}: {e}")))
+/// Connect to `--addr`, or to the first reachable node in a `--peers`
+/// failover list. `fp` (when the request is a job) seeds per-connection
+/// retry jitter so a thundering herd of resubmits spreads out.
+fn connect(args: &Args, fp: Option<u64>) -> Result<Client, ParseArgsError> {
+    let base = policy_from_args(args)?;
+    let policy = match fp {
+        Some(fp) => base.for_fingerprint(fp),
+        None => base,
+    };
+    let mut targets: Vec<String> = args.get("peers").map(parse_peers).unwrap_or_default();
+    if let Some(addr) = args.get("addr") {
+        targets.insert(0, addr.to_string());
+    }
+    if targets.is_empty() {
+        targets.push(DEFAULT_ADDR.to_string());
+    }
+    let mut last_err = String::new();
+    for addr in &targets {
+        match Client::connect(addr, &policy) {
+            Ok(client) => return Ok(client),
+            Err(e) => last_err = format!("connecting to {addr}: {e}"),
+        }
+    }
+    Err(ParseArgsError(last_err))
 }
 
 /// `clognet serve`: run the service in the foreground until a client
@@ -147,6 +168,13 @@ fn connect(args: &Args) -> Result<Client, ParseArgsError> {
 ///
 /// Bad options or a failed bind.
 pub fn cmd_serve(args: &Args) -> Result<(), ParseArgsError> {
+    // A service asked to join peers (or to keep replicas) is a cluster
+    // node: same wire protocol, plus membership, sharding, and
+    // replication. One flag turns a single-node deployment into a mesh.
+    if args.get("peers").is_some() || args.get("replicas").is_some() {
+        args.reject_unknown(CLUSTER_KEYS)?;
+        return crate::cluster_cmd::cmd_cluster(args);
+    }
     args.reject_unknown(&[
         "addr",
         "workers",
@@ -194,13 +222,18 @@ pub fn cmd_serve(args: &Args) -> Result<(), ParseArgsError> {
 pub fn cmd_submit(args: &Args) -> Result<(), ParseArgsError> {
     let mut keys = job_opt_keys();
     keys.extend_from_slice(&[
-        "gpu", "cpu", "warm", "cycles", "addr", "op", "retries", "retry-ms",
+        "gpu", "cpu", "warm", "cycles", "addr", "peers", "op", "retries", "retry-ms",
     ]);
     args.reject_unknown(&keys)?;
-    let mut client = connect(args)?;
     match args.get_or("op", "run") {
         "run" => {
             let spec = spec_from_args(args)?;
+            // Fingerprint client-side (when the spec resolves) so retry
+            // jitter is derived from the job, not shared by every
+            // client; an unresolvable spec still travels to the server
+            // for its authoritative structured error.
+            let fp = SimHandler.fingerprint(&spec).ok();
+            let mut client = connect(args, fp)?;
             let result = client
                 .submit(&spec)
                 .map_err(|e| ParseArgsError(e.to_string()))?;
@@ -212,22 +245,32 @@ pub fn cmd_submit(args: &Args) -> Result<(), ParseArgsError> {
             println!("{}", result.report);
         }
         "ping" => {
-            client.ping().map_err(|e| ParseArgsError(e.to_string()))?;
+            connect(args, None)?
+                .ping()
+                .map_err(|e| ParseArgsError(e.to_string()))?;
             println!("pong");
         }
         "stats" => {
-            let stats = client.stats().map_err(|e| ParseArgsError(e.to_string()))?;
+            let stats = connect(args, None)?
+                .stats()
+                .map_err(|e| ParseArgsError(e.to_string()))?;
             println!("{stats}");
         }
+        "cluster-stats" => {
+            let line = connect(args, None)?
+                .request_line("{\"op\":\"cluster-stats\"}")
+                .map_err(|e| ParseArgsError(e.to_string()))?;
+            println!("{line}");
+        }
         "shutdown" => {
-            client
+            connect(args, None)?
                 .shutdown()
                 .map_err(|e| ParseArgsError(e.to_string()))?;
             eprintln!("server is draining");
         }
         other => {
             return Err(ParseArgsError(format!(
-                "unknown --op `{other}` (run|ping|stats|shutdown)"
+                "unknown --op `{other}` (run|ping|stats|cluster-stats|shutdown)"
             )))
         }
     }
@@ -244,7 +287,7 @@ pub fn cmd_submit(args: &Args) -> Result<(), ParseArgsError> {
 /// failure. Per-job server rejections are *not* errors; they appear as
 /// their structured error lines in the output.
 pub fn cmd_batch(args: &Args) -> Result<(), ParseArgsError> {
-    args.reject_unknown(&["addr", "file", "out", "retries", "retry-ms"])?;
+    args.reject_unknown(&["addr", "peers", "file", "out", "retries", "retry-ms"])?;
     let path = args
         .get("file")
         .ok_or_else(|| ParseArgsError("batch needs --file <jobs.ndjson>".into()))?;
@@ -260,7 +303,7 @@ pub fn cmd_batch(args: &Args) -> Result<(), ParseArgsError> {
             JobSpec::from_json(&v).map_err(|e| ParseArgsError(format!("{path}:{}: {e}", i + 1)))?;
         specs.push(spec);
     }
-    let mut client = connect(args)?;
+    let mut client = connect(args, None)?;
     let mut out = String::new();
     let mut hits = 0usize;
     for spec in &specs {
@@ -287,27 +330,70 @@ pub fn cmd_batch(args: &Args) -> Result<(), ParseArgsError> {
 
 /// `clognet fingerprint`: print the canonical content-address of a job
 /// without running it. `--canonical` also prints the canonical
-/// serialization the hash is computed over.
+/// serialization the hash is computed over. With `--peers` the job is
+/// placed on the cluster's consistent-hash ring: `--owner` prints only
+/// the owning node's address to stdout (for scripting), otherwise the
+/// owner and replica holders go to stderr alongside the fingerprint.
 ///
 /// # Errors
 ///
-/// Bad options.
+/// Bad options, or `--owner` without `--peers`.
 pub fn cmd_fingerprint(args: &Args) -> Result<(), ParseArgsError> {
     let mut keys = job_opt_keys();
-    keys.extend_from_slice(&["gpu", "cpu", "warm", "cycles", "canonical"]);
+    keys.extend_from_slice(&[
+        "gpu",
+        "cpu",
+        "warm",
+        "cycles",
+        "canonical",
+        "peers",
+        "owner",
+        "replicas",
+        "vnodes",
+    ]);
     args.reject_unknown(&keys)?;
     let gpu = args.get_or("gpu", "HS");
     let cpu = args.get_or("cpu", "bodytrack");
     let warm = args.get_num("warm", 6_000u64)?;
     let cycles = args.get_num("cycles", 15_000u64)?;
     let cfg = config_from(args)?;
+    let fp = job_fingerprint(&cfg, gpu, cpu, warm, cycles);
+    let peers = args.get("peers").map(parse_peers).unwrap_or_default();
+    if peers.is_empty() {
+        if args.flag("owner") {
+            return Err(ParseArgsError(
+                "--owner needs --peers <addr,...> to build the ring".into(),
+            ));
+        }
+        if args.flag("canonical") {
+            println!("{}", canonical_job(&cfg, gpu, cpu, warm, cycles));
+        }
+        println!("{}", fingerprint_hex(fp));
+        return Ok(());
+    }
+    let vnodes = args
+        .get_num("vnodes", clognet_proto::DEFAULT_VNODES)?
+        .max(1);
+    let replicas: usize = args.get_num("replicas", 1usize)?;
+    let ring = HashRing::with_nodes(peers.iter().map(String::as_str), vnodes);
+    let placement = ring.placement(fp, replicas + 1);
+    let owner = placement
+        .first()
+        .copied()
+        .ok_or_else(|| ParseArgsError("empty ring: no peers to place the job on".into()))?;
+    if args.flag("owner") {
+        // Bare address on stdout so shell scripts can capture it.
+        println!("{owner}");
+        return Ok(());
+    }
     if args.flag("canonical") {
         println!("{}", canonical_job(&cfg, gpu, cpu, warm, cycles));
     }
-    println!(
-        "{}",
-        fingerprint_hex(job_fingerprint(&cfg, gpu, cpu, warm, cycles))
-    );
+    println!("{}", fingerprint_hex(fp));
+    eprintln!("owner {owner}");
+    for replica in &placement[1..] {
+        eprintln!("replica {replica}");
+    }
     Ok(())
 }
 

@@ -1,0 +1,342 @@
+//! Peer membership: static seeds, heartbeat lifecycle, gossip merge.
+//!
+//! Every node keeps a local table of its peers. A peer starts out
+//! **suspect** — placed on the ring immediately (so routing works from
+//! the first request) but not yet trusted for delegation — and is
+//! promoted to **alive** by its first successful heartbeat. Repeated
+//! probe failures demote it back to suspect and eventually to **dead**,
+//! at which point it leaves the ring; dead peers keep being probed (at
+//! a capped backoff) so a restarted node rejoins without operator
+//! action.
+//!
+//! Probe scheduling uses capped exponential backoff with jitter drawn
+//! from a [`clognet_rng::SmallRng`] seeded by the node's own address:
+//! deterministic run to run, desynchronized node to node, matching the
+//! client-side retry discipline of `clognet_serve::client`.
+
+use clognet_proto::FxHasher;
+use clognet_rng::{Rng, SeedableRng, SmallRng};
+use std::collections::BTreeMap;
+use std::hash::Hasher;
+use std::time::{Duration, Instant};
+
+/// A peer's lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerStatus {
+    /// Heartbeats are succeeding; eligible for delegation.
+    Alive,
+    /// Newly added or missing heartbeats; still on the ring.
+    Suspect,
+    /// Failed too many probes in a row; off the ring until it answers.
+    Dead,
+}
+
+impl PeerStatus {
+    /// The wire/stats spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PeerStatus::Alive => "alive",
+            PeerStatus::Suspect => "suspect",
+            PeerStatus::Dead => "dead",
+        }
+    }
+}
+
+/// A read-only view of one peer, for stats reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeerView {
+    /// The peer's advertised address.
+    pub addr: String,
+    /// Lifecycle state.
+    pub status: PeerStatus,
+    /// Last reported load (queued jobs per worker).
+    pub load: f64,
+    /// Consecutive probe failures.
+    pub failures: u32,
+}
+
+struct Peer {
+    status: PeerStatus,
+    load: f64,
+    failures: u32,
+    next_probe: Instant,
+}
+
+/// The membership table: who this node believes its peers are, what
+/// state they are in, and when each is next due a heartbeat probe.
+pub struct Membership {
+    self_addr: String,
+    peers: BTreeMap<String, Peer>,
+    heartbeat: Duration,
+    suspect_after: u32,
+    dead_after: u32,
+    backoff_cap: Duration,
+    rng: SmallRng,
+}
+
+impl Membership {
+    /// An empty table for the node advertising `self_addr`.
+    ///
+    /// `suspect_after` / `dead_after` are consecutive-failure
+    /// thresholds; `heartbeat` is the steady-state probe interval and
+    /// the backoff base; `backoff_cap` bounds the probe interval for
+    /// dead peers.
+    pub fn new(
+        self_addr: &str,
+        heartbeat: Duration,
+        suspect_after: u32,
+        dead_after: u32,
+        backoff_cap: Duration,
+    ) -> Membership {
+        let mut h = FxHasher::default();
+        h.write(self_addr.as_bytes());
+        Membership {
+            self_addr: self_addr.to_string(),
+            peers: BTreeMap::new(),
+            heartbeat,
+            suspect_after: suspect_after.max(1),
+            dead_after: dead_after.max(2),
+            backoff_cap,
+            rng: SmallRng::seed_from_u64(h.finish()),
+        }
+    }
+
+    /// The node's own advertised address.
+    pub fn self_addr(&self) -> &str {
+        &self.self_addr
+    }
+
+    /// Add a peer (suspect until its first heartbeat answers, due for
+    /// a probe immediately). Self and duplicates are no-ops; returns
+    /// whether the peer was new.
+    pub fn add_peer(&mut self, addr: &str, now: Instant) -> bool {
+        if addr == self.self_addr || self.peers.contains_key(addr) {
+            return false;
+        }
+        self.peers.insert(
+            addr.to_string(),
+            Peer {
+                status: PeerStatus::Suspect,
+                load: 0.0,
+                failures: 0,
+                next_probe: now,
+            },
+        );
+        true
+    }
+
+    /// Gossip merge: adopt every address we have not seen before.
+    pub fn merge_known(&mut self, addrs: &[String], now: Instant) {
+        for a in addrs {
+            self.add_peer(a, now);
+        }
+    }
+
+    /// A heartbeat to `addr` answered, reporting `load`.
+    pub fn record_success(&mut self, addr: &str, load: f64, now: Instant) {
+        let jitter = self.jitter();
+        if let Some(p) = self.peers.get_mut(addr) {
+            p.status = PeerStatus::Alive;
+            p.failures = 0;
+            p.load = load;
+            p.next_probe = now + self.heartbeat.mul_f64(jitter);
+        }
+    }
+
+    /// A heartbeat to `addr` failed: bump the failure count, demote per
+    /// the thresholds, and back off the next probe exponentially (cap
+    /// applied, jitter applied).
+    pub fn record_failure(&mut self, addr: &str, now: Instant) {
+        let jitter = self.jitter();
+        let (heartbeat, cap) = (self.heartbeat, self.backoff_cap);
+        let (suspect_after, dead_after) = (self.suspect_after, self.dead_after);
+        if let Some(p) = self.peers.get_mut(addr) {
+            p.failures = p.failures.saturating_add(1);
+            if p.failures >= dead_after {
+                p.status = PeerStatus::Dead;
+            } else if p.failures >= suspect_after {
+                p.status = PeerStatus::Suspect;
+            }
+            let exp = heartbeat
+                .saturating_mul(1u32 << p.failures.saturating_sub(1).min(16))
+                .min(cap);
+            p.next_probe = now + exp.mul_f64(jitter);
+        }
+    }
+
+    fn jitter(&mut self) -> f64 {
+        0.5 + 0.5 * self.rng.next_f64()
+    }
+
+    /// Every peer whose probe timer has expired (dead ones included —
+    /// that is how a restarted node rejoins).
+    pub fn due_probes(&self, now: Instant) -> Vec<String> {
+        self.peers
+            .iter()
+            .filter(|(_, p)| p.next_probe <= now)
+            .map(|(a, _)| a.clone())
+            .collect()
+    }
+
+    /// The addresses that belong on the hash ring right now: self plus
+    /// every non-dead peer, sorted (so all nodes build identical rings
+    /// from identical beliefs).
+    pub fn ring_members(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .peers
+            .iter()
+            .filter(|(_, p)| p.status != PeerStatus::Dead)
+            .map(|(a, _)| a.clone())
+            .collect();
+        out.push(self.self_addr.clone());
+        out.sort();
+        out
+    }
+
+    /// The alive peer with the lowest reported load, if any — the
+    /// delegation target for a saturated owner.
+    pub fn least_loaded_alive(&self) -> Option<String> {
+        self.peers
+            .iter()
+            .filter(|(_, p)| p.status == PeerStatus::Alive)
+            .min_by(|a, b| {
+                a.1.load
+                    .partial_cmp(&b.1.load)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.0.cmp(b.0))
+            })
+            .map(|(a, _)| a.clone())
+    }
+
+    /// Every peer address we know (the gossip payload).
+    pub fn known(&self) -> Vec<String> {
+        self.peers.keys().cloned().collect()
+    }
+
+    /// A stats-ready copy of the table.
+    pub fn snapshot(&self) -> Vec<PeerView> {
+        self.peers
+            .iter()
+            .map(|(a, p)| PeerView {
+                addr: a.clone(),
+                status: p.status,
+                load: p.load,
+                failures: p.failures,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Membership {
+        Membership::new(
+            "127.0.0.1:9401",
+            Duration::from_millis(100),
+            2,
+            4,
+            Duration::from_secs(2),
+        )
+    }
+
+    #[test]
+    fn peers_start_suspect_and_on_the_ring() {
+        let mut m = table();
+        let now = Instant::now();
+        assert!(m.add_peer("127.0.0.1:9402", now));
+        assert!(!m.add_peer("127.0.0.1:9402", now), "duplicate is a no-op");
+        assert!(!m.add_peer("127.0.0.1:9401", now), "self is a no-op");
+        assert_eq!(m.snapshot()[0].status, PeerStatus::Suspect);
+        assert_eq!(
+            m.ring_members(),
+            vec!["127.0.0.1:9401".to_string(), "127.0.0.1:9402".to_string()]
+        );
+        assert_eq!(m.due_probes(now), vec!["127.0.0.1:9402".to_string()]);
+        assert_eq!(m.least_loaded_alive(), None, "suspect peers not delegable");
+    }
+
+    #[test]
+    fn lifecycle_alive_suspect_dead_and_rejoin() {
+        let mut m = table();
+        let now = Instant::now();
+        m.add_peer("p", now);
+        m.record_success("p", 0.25, now);
+        assert_eq!(m.snapshot()[0].status, PeerStatus::Alive);
+        assert_eq!(m.least_loaded_alive().as_deref(), Some("p"));
+
+        m.record_failure("p", now);
+        assert_eq!(
+            m.snapshot()[0].status,
+            PeerStatus::Alive,
+            "one miss is noise"
+        );
+        m.record_failure("p", now);
+        assert_eq!(m.snapshot()[0].status, PeerStatus::Suspect);
+        assert!(m.ring_members().contains(&"p".to_string()));
+        m.record_failure("p", now);
+        m.record_failure("p", now);
+        assert_eq!(m.snapshot()[0].status, PeerStatus::Dead);
+        assert!(!m.ring_members().contains(&"p".to_string()));
+
+        // Dead peers still get probed, and one success resurrects.
+        assert!(m
+            .due_probes(now + Duration::from_secs(10))
+            .contains(&"p".to_string()));
+        m.record_success("p", 0.0, now);
+        assert_eq!(m.snapshot()[0].status, PeerStatus::Alive);
+        assert!(m.ring_members().contains(&"p".to_string()));
+    }
+
+    #[test]
+    fn failure_backoff_grows_and_is_capped() {
+        let mut m = table();
+        let now = Instant::now();
+        m.add_peer("p", now);
+        for k in 1..=10u32 {
+            m.record_failure("p", now);
+            let next = m.peers["p"].next_probe - now;
+            let exp = Duration::from_millis(100)
+                .saturating_mul(1 << (k - 1).min(16))
+                .min(Duration::from_secs(2));
+            assert!(
+                next >= exp.mul_f64(0.5) && next <= exp,
+                "failure {k}: probe in {next:?} vs envelope {exp:?}"
+            );
+            if k > 5 {
+                // Past the cap the envelope stops growing.
+                assert!(next <= Duration::from_secs(2));
+            }
+        }
+    }
+
+    #[test]
+    fn gossip_merge_adds_only_strangers() {
+        let mut m = table();
+        let now = Instant::now();
+        m.add_peer("a", now);
+        m.merge_known(
+            &[
+                "a".to_string(),
+                "b".to_string(),
+                "127.0.0.1:9401".to_string(),
+            ],
+            now,
+        );
+        assert_eq!(m.known(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn least_loaded_breaks_ties_by_address() {
+        let mut m = table();
+        let now = Instant::now();
+        m.add_peer("b", now);
+        m.add_peer("a", now);
+        m.record_success("a", 0.5, now);
+        m.record_success("b", 0.5, now);
+        assert_eq!(m.least_loaded_alive().as_deref(), Some("a"));
+        m.record_success("b", 0.25, now);
+        assert_eq!(m.least_loaded_alive().as_deref(), Some("b"));
+    }
+}

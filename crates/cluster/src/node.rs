@@ -1,0 +1,814 @@
+//! A cluster node: one simulation service sharing a sharded cache.
+//!
+//! Each [`ClusterNode`] is a full `clognet-serve`-style server (same
+//! NDJSON wire protocol, same bounded worker pool, same
+//! content-addressed cache) plus the cluster machinery:
+//!
+//! * **Routing** — a `run` received by any node is served from the
+//!   local cache when possible, executed locally when this node owns
+//!   the fingerprint on the consistent-hash ring
+//!   ([`clognet_proto::HashRing`]), and otherwise forwarded to the
+//!   owner (falling back through the replica set, then to local
+//!   execution) with the owner's response line relayed **verbatim** —
+//!   which is what keeps reports byte-identical no matter which node a
+//!   client asks.
+//! * **Replication** — after computing a miss, a node synchronously
+//!   copies the cache entry to the fingerprint's other placement
+//!   members (`replicas` successors), so a resubmission survives the
+//!   owner's death.
+//! * **Delegation** — an owner whose queue is full does not bounce the
+//!   job back as `overloaded`; with hops remaining (`ttl > 0`) it
+//!   delegates to the least-loaded alive peer, and only a saturated
+//!   delegate (`ttl == 0`) rejects.
+//! * **Membership** — a background heartbeat thread probes peers with
+//!   `peers` frames, gossips the member list, and walks them through
+//!   the [`PeerStatus`] lifecycle.
+//!
+//! The response a client sees is always one of the standard
+//! [`clognet_serve::wire`] responses; clusters and single nodes are
+//! indistinguishable on the wire except for the extra ops.
+
+use crate::membership::{Membership, PeerView};
+use clognet_bench::runner::WorkerPool;
+use clognet_proto::{fingerprint_hex, FxHasher, HashRing, DEFAULT_VNODES};
+use clognet_serve::client::{Client, RetryPolicy};
+use clognet_serve::json::Json;
+use clognet_serve::server::{serve_frames, JobHandler, ServeConfig};
+use clognet_serve::wire::{
+    error_response, ok_response, parse_forward, parse_peers, parse_replicate, parse_response,
+    peers_line, peers_response, replicate_line, run_response, ErrorCode, JobSpec,
+};
+use clognet_serve::ResultCache;
+use clognet_telemetry::export::{json_escape, json_f64};
+use std::collections::VecDeque;
+use std::hash::Hasher;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Fingerprints remembered in the delegation log exposed by
+/// `cluster-stats`.
+const DELEGATION_LOG_CAP: usize = 32;
+
+/// Cluster tuning knobs, wrapping the single-node [`ServeConfig`].
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// The embedded single-node server configuration (bind address,
+    /// workers, queue and cache capacity, job limits).
+    pub serve: ServeConfig,
+    /// The address peers should use to reach this node — its ring
+    /// identity. Defaults to the bound address, which is only correct
+    /// when everyone shares a loopback/LAN view of it.
+    pub advertise: Option<String>,
+    /// Peers to contact on startup (any subset of the cluster; gossip
+    /// fills in the rest).
+    pub seeds: Vec<String>,
+    /// Cache copies held *besides* the owner's (1 = owner + successor).
+    pub replicas: usize,
+    /// Virtual nodes per member on the hash ring; every node and every
+    /// ring-aware client must agree.
+    pub vnodes: usize,
+    /// Steady-state heartbeat probe interval.
+    pub heartbeat: Duration,
+    /// Consecutive probe failures before a peer turns suspect.
+    pub suspect_after: u32,
+    /// Consecutive probe failures before a peer turns dead (leaves the
+    /// ring).
+    pub dead_after: u32,
+    /// Probe backoff ceiling for unresponsive peers.
+    pub backoff_cap: Duration,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            serve: ServeConfig::default(),
+            advertise: None,
+            seeds: Vec::new(),
+            replicas: 1,
+            vnodes: DEFAULT_VNODES,
+            heartbeat: Duration::from_millis(250),
+            suspect_after: 2,
+            dead_after: 4,
+            backoff_cap: Duration::from_secs(2),
+        }
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    forwards_out: AtomicU64,
+    forwards_in: AtomicU64,
+    delegations_out: AtomicU64,
+    delegations_in: AtomicU64,
+    replications_sent: AtomicU64,
+    replication_failures: AtomicU64,
+    replicas_stored: AtomicU64,
+    forward_cache_hits: AtomicU64,
+    fallback_local: AtomicU64,
+    jobs_completed: AtomicU64,
+}
+
+type PoolResult = Result<String, clognet_serve::JobError>;
+
+struct NodeInner {
+    cfg: ClusterConfig,
+    advertise: String,
+    handler: Arc<dyn JobHandler>,
+    pool: Mutex<Option<WorkerPool<(JobSpec, Instant), PoolResult>>>,
+    cache: Mutex<ResultCache>,
+    members: Mutex<Membership>,
+    counters: Counters,
+    recent_delegations: Mutex<VecDeque<u64>>,
+    shutdown: AtomicBool,
+    inflight: AtomicUsize,
+    local_addr: SocketAddr,
+}
+
+/// A bound-but-not-yet-serving cluster node. Bind with
+/// [`ClusterNode::bind`], optionally [`ClusterNode::add_peer`], then
+/// block in [`ClusterNode::run`] or detach with [`ClusterNode::spawn`].
+pub struct ClusterNode {
+    listener: TcpListener,
+    inner: Arc<NodeInner>,
+}
+
+/// Handle to a spawned cluster node thread.
+pub struct ClusterHandle {
+    addr: SocketAddr,
+    advertise: String,
+    thread: std::thread::JoinHandle<io::Result<()>>,
+}
+
+impl ClusterHandle {
+    /// The bound address (resolved port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The node's ring identity.
+    pub fn advertise(&self) -> &str {
+        &self.advertise
+    }
+
+    /// Wait for the node to drain and exit.
+    ///
+    /// # Errors
+    ///
+    /// The accept loop's I/O error, if it died on one.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from the node thread.
+    pub fn join(self) -> io::Result<()> {
+        self.thread.join().expect("cluster node thread panicked")
+    }
+}
+
+impl ClusterNode {
+    /// Bind the listener, start the worker pool, and seed the
+    /// membership table.
+    ///
+    /// # Errors
+    ///
+    /// Socket bind failures.
+    pub fn bind(cfg: ClusterConfig, handler: Arc<dyn JobHandler>) -> io::Result<ClusterNode> {
+        let listener = TcpListener::bind(&cfg.serve.addr)?;
+        let local_addr = listener.local_addr()?;
+        let advertise = cfg
+            .advertise
+            .clone()
+            .unwrap_or_else(|| local_addr.to_string());
+        let pool_handler = Arc::clone(&handler);
+        let pool = WorkerPool::new(
+            cfg.serve.workers,
+            cfg.serve.queue_cap,
+            move |(spec, deadline): (JobSpec, Instant)| pool_handler.run(&spec, deadline),
+        );
+        let mut members = Membership::new(
+            &advertise,
+            cfg.heartbeat,
+            cfg.suspect_after,
+            cfg.dead_after,
+            cfg.backoff_cap,
+        );
+        let now = Instant::now();
+        for seed in &cfg.seeds {
+            members.add_peer(seed, now);
+        }
+        let cache = ResultCache::new(cfg.serve.cache_cap);
+        let inner = Arc::new(NodeInner {
+            cfg,
+            advertise,
+            handler,
+            pool: Mutex::new(Some(pool)),
+            cache: Mutex::new(cache),
+            members: Mutex::new(members),
+            counters: Counters::default(),
+            recent_delegations: Mutex::new(VecDeque::new()),
+            shutdown: AtomicBool::new(false),
+            inflight: AtomicUsize::new(0),
+            local_addr,
+        });
+        Ok(ClusterNode { listener, inner })
+    }
+
+    /// The bound address (resolved port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.inner.local_addr
+    }
+
+    /// The node's ring identity.
+    pub fn advertise(&self) -> &str {
+        &self.inner.advertise
+    }
+
+    /// Add a peer after binding — how port-0 test clusters introduce
+    /// members whose addresses are only known once every node is bound.
+    pub fn add_peer(&self, addr: &str) {
+        self.inner
+            .members
+            .lock()
+            .expect("members lock poisoned")
+            .add_peer(addr, Instant::now());
+    }
+
+    /// Accept and serve until a `shutdown` request, then drain and
+    /// return. Starts the heartbeat thread; each connection gets its
+    /// own thread.
+    ///
+    /// # Errors
+    ///
+    /// A fatal accept-loop I/O error.
+    pub fn run(self) -> io::Result<()> {
+        let hb = {
+            let inner = Arc::clone(&self.inner);
+            std::thread::spawn(move || heartbeat_loop(&inner))
+        };
+        for stream in self.listener.incoming() {
+            if self.inner.shutdown.load(Ordering::SeqCst) {
+                break; // Woken by the shutdown self-connect.
+            }
+            let Ok(stream) = stream else {
+                continue; // Transient accept error; keep serving.
+            };
+            let inner = Arc::clone(&self.inner);
+            std::thread::spawn(move || handle_connection(&inner, stream));
+        }
+        drop(self.listener); // Closed before the drain, not after.
+        drain(&self.inner);
+        let _ = hb.join();
+        Ok(())
+    }
+
+    /// Run on a background thread; the socket is already bound, so
+    /// clients and peers can connect immediately.
+    ///
+    /// # Errors
+    ///
+    /// This call itself cannot fail; the handle's `join` reports the
+    /// serve loop's outcome.
+    pub fn spawn(self) -> io::Result<ClusterHandle> {
+        let addr = self.local_addr();
+        let advertise = self.advertise().to_string();
+        let thread = std::thread::spawn(move || self.run());
+        Ok(ClusterHandle {
+            addr,
+            advertise,
+            thread,
+        })
+    }
+}
+
+fn drain(inner: &NodeInner) {
+    let deadline = Instant::now() + inner.cfg.serve.drain_timeout;
+    while inner.inflight.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let pool = inner.pool.lock().expect("pool lock poisoned").take();
+    if let Some(pool) = pool {
+        pool.shutdown();
+    }
+}
+
+fn handle_connection(inner: &Arc<NodeInner>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    serve_frames(read_half, stream, |line| dispatch(inner, line));
+}
+
+/// This node's instantaneous load: queued jobs per worker. Draining
+/// nodes report an effectively infinite load so nobody delegates to
+/// them.
+fn load(inner: &NodeInner) -> f64 {
+    let pool = inner.pool.lock().expect("pool lock poisoned");
+    match pool.as_ref() {
+        Some(p) => p.depth() as f64 / p.threads().max(1) as f64,
+        None => 1e9,
+    }
+}
+
+/// The ring as this node currently believes it to be.
+fn ring(inner: &NodeInner) -> HashRing {
+    let members = inner.members.lock().expect("members lock poisoned");
+    HashRing::with_nodes(members.ring_members(), inner.cfg.vnodes)
+}
+
+/// A short, fast, fingerprint-jittered policy for node-to-node hops —
+/// a dead peer must fail fast so the caller can walk the fallback
+/// chain.
+fn hop_policy(inner: &NodeInner, fp: u64) -> RetryPolicy {
+    let mut h = FxHasher::default();
+    h.write(inner.advertise.as_bytes());
+    RetryPolicy {
+        attempts: 2,
+        base_ms: 5,
+        cap_ms: 20,
+        seed: h.finish(),
+    }
+    .for_fingerprint(fp)
+}
+
+/// One request/response exchange with a peer. `Err` is a transport
+/// failure or a reply that does not decode as a protocol response;
+/// `Ok` is the raw reply line, safe to relay verbatim.
+fn exchange(addr: &str, line: &str, policy: &RetryPolicy) -> Result<String, String> {
+    let mut client = Client::connect(addr, policy).map_err(|e| e.to_string())?;
+    let reply = client.request_line(line).map_err(|e| e.to_string())?;
+    parse_response(&reply)?;
+    Ok(reply)
+}
+
+fn note_peer_failure(inner: &NodeInner, addr: &str) {
+    inner
+        .members
+        .lock()
+        .expect("members lock poisoned")
+        .record_failure(addr, Instant::now());
+}
+
+fn dispatch(inner: &Arc<NodeInner>, line: &str) -> String {
+    let parsed = match Json::parse(line) {
+        Ok(v) => v,
+        Err(e) => return error_response(ErrorCode::BadRequest, &format!("malformed JSON: {e}")),
+    };
+    match parsed.get("op").and_then(Json::as_str) {
+        Some("ping") => ok_response("ping"),
+        Some("run") => handle_run(inner, &parsed),
+        Some("forward") => handle_forward(inner, &parsed),
+        Some("replicate") => handle_replicate(inner, &parsed),
+        Some("peers") => handle_peers(inner, &parsed),
+        Some("stats") => stats_response(inner),
+        Some("cluster-stats") => cluster_stats_response(inner),
+        Some("shutdown") => {
+            inner.shutdown.store(true, Ordering::SeqCst);
+            // Wake the acceptor so it notices the flag.
+            let _ = TcpStream::connect(inner.local_addr);
+            ok_response("shutdown")
+        }
+        Some(other) => error_response(
+            ErrorCode::BadRequest,
+            &format!(
+                "unknown op `{other}` \
+                 (ping|run|forward|replicate|peers|stats|cluster-stats|shutdown)"
+            ),
+        ),
+        None => error_response(ErrorCode::BadRequest, "request missing string `op`"),
+    }
+}
+
+/// Reject jobs whose cycle budget exceeds the per-job limit, exactly
+/// like the single-node server.
+fn admit(inner: &NodeInner, spec: &JobSpec) -> Result<(), String> {
+    let budget = spec.warm.saturating_add(spec.cycles);
+    if budget > inner.cfg.serve.max_job_cycles {
+        return Err(error_response(
+            ErrorCode::CycleLimit,
+            &format!(
+                "job wants {budget} cycles; per-job limit is {}",
+                inner.cfg.serve.max_job_cycles
+            ),
+        ));
+    }
+    Ok(())
+}
+
+/// A `run` from a client: this node is the gateway. Serve from the
+/// local cache, execute if we own the fingerprint, otherwise forward
+/// along the placement chain and relay the answer verbatim.
+fn handle_run(inner: &Arc<NodeInner>, request: &Json) -> String {
+    if inner.shutdown.load(Ordering::SeqCst) {
+        return error_response(ErrorCode::ShuttingDown, "node is draining");
+    }
+    let spec = match JobSpec::from_json(request) {
+        Ok(s) => s,
+        Err(e) => return error_response(ErrorCode::BadRequest, &e),
+    };
+    if let Err(reply) = admit(inner, &spec) {
+        return reply;
+    }
+    let fp = match inner.handler.fingerprint(&spec) {
+        Ok(fp) => fp,
+        Err(e) => return error_response(e.code, &e.message),
+    };
+    let hex = fingerprint_hex(fp);
+    if let Some(report) = inner.cache.lock().expect("cache lock poisoned").lookup(fp) {
+        return run_response(&hex, true, &report);
+    }
+    let placement: Vec<String> = {
+        let r = ring(inner);
+        r.placement(fp, inner.cfg.replicas + 1)
+            .into_iter()
+            .map(String::from)
+            .collect()
+    };
+    if placement.first().map(String::as_str) == Some(inner.advertise.as_str())
+        || placement.is_empty()
+    {
+        return execute_local(inner, spec, fp, &hex, true);
+    }
+    // Not ours: walk the placement chain — owner first, then the
+    // replica holders (who can answer resubmissions from their copy
+    // when the owner is down).
+    inner.counters.forwards_out.fetch_add(1, Ordering::Relaxed);
+    let line = spec.to_forward_line(1);
+    let policy = hop_policy(inner, fp);
+    for target in placement.iter().filter(|a| **a != inner.advertise) {
+        match exchange(target, &line, &policy) {
+            Ok(reply) => return reply,
+            Err(_) => note_peer_failure(inner, target),
+        }
+    }
+    // Every remote placement member is unreachable; answering locally
+    // beats failing, and the cache copy replicates back once they
+    // return.
+    inner
+        .counters
+        .fallback_local
+        .fetch_add(1, Ordering::Relaxed);
+    execute_local(inner, spec, fp, &hex, false)
+}
+
+/// A `forward` from a peer: cache, execute, or (if `ttl` allows)
+/// delegate — never re-route by ring position, which is what bounds
+/// the hop count.
+fn handle_forward(inner: &Arc<NodeInner>, request: &Json) -> String {
+    if inner.shutdown.load(Ordering::SeqCst) {
+        return error_response(ErrorCode::ShuttingDown, "node is draining");
+    }
+    let frame = match parse_forward(request) {
+        Ok(f) => f,
+        Err(e) => return error_response(ErrorCode::BadRequest, &e),
+    };
+    if frame.ttl == 0 {
+        inner
+            .counters
+            .delegations_in
+            .fetch_add(1, Ordering::Relaxed);
+    } else {
+        inner.counters.forwards_in.fetch_add(1, Ordering::Relaxed);
+    }
+    if let Err(reply) = admit(inner, &frame.spec) {
+        return reply;
+    }
+    let fp = match inner.handler.fingerprint(&frame.spec) {
+        Ok(fp) => fp,
+        Err(e) => return error_response(e.code, &e.message),
+    };
+    let hex = fingerprint_hex(fp);
+    if let Some(report) = inner.cache.lock().expect("cache lock poisoned").lookup(fp) {
+        inner
+            .counters
+            .forward_cache_hits
+            .fetch_add(1, Ordering::Relaxed);
+        return run_response(&hex, true, &report);
+    }
+    execute_local(inner, frame.spec, fp, &hex, frame.ttl > 0)
+}
+
+/// Run the job on the local pool; a full queue either delegates (one
+/// hop, when allowed) or rejects with `overloaded`.
+fn execute_local(
+    inner: &Arc<NodeInner>,
+    spec: JobSpec,
+    fp: u64,
+    hex: &str,
+    allow_delegate: bool,
+) -> String {
+    let deadline = Instant::now() + inner.cfg.serve.job_timeout;
+    let submitted = {
+        let pool = inner.pool.lock().expect("pool lock poisoned");
+        match pool.as_ref() {
+            None => return error_response(ErrorCode::ShuttingDown, "node is draining"),
+            Some(p) => p.try_submit((spec.clone(), deadline)),
+        }
+    };
+    let rx = match submitted {
+        Ok(rx) => rx,
+        Err(_) if allow_delegate => return delegate(inner, &spec, fp),
+        Err(_) => {
+            return error_response(
+                ErrorCode::Overloaded,
+                &format!(
+                    "job queue full ({} waiting, {} workers); retry later",
+                    inner.cfg.serve.queue_cap, inner.cfg.serve.workers
+                ),
+            );
+        }
+    };
+    inner.inflight.fetch_add(1, Ordering::SeqCst);
+    // Grace past the deadline so a handler that honors it always wins
+    // the race against this receive timeout.
+    let wait = inner.cfg.serve.job_timeout + Duration::from_secs(2);
+    let outcome = rx.recv_timeout(wait);
+    inner.inflight.fetch_sub(1, Ordering::SeqCst);
+    match outcome {
+        Ok(Ok(report)) => {
+            inner
+                .counters
+                .jobs_completed
+                .fetch_add(1, Ordering::Relaxed);
+            inner
+                .cache
+                .lock()
+                .expect("cache lock poisoned")
+                .insert(fp, report.clone());
+            replicate_out(inner, fp, hex, &report);
+            run_response(hex, false, &report)
+        }
+        Ok(Err(e)) => error_response(e.code, &e.message),
+        Err(_) => error_response(
+            ErrorCode::Timeout,
+            &format!(
+                "no result within {:.1}s (per-job wall-time limit)",
+                wait.as_secs_f64()
+            ),
+        ),
+    }
+}
+
+/// Load-aware overflow: hand the job to the least-loaded alive peer
+/// with `ttl = 0` (it must execute or reject — no forwarding loops).
+fn delegate(inner: &Arc<NodeInner>, spec: &JobSpec, fp: u64) -> String {
+    let target = inner
+        .members
+        .lock()
+        .expect("members lock poisoned")
+        .least_loaded_alive();
+    let Some(target) = target else {
+        return error_response(
+            ErrorCode::Overloaded,
+            &format!(
+                "job queue full ({} waiting, {} workers) and no alive peer to delegate to",
+                inner.cfg.serve.queue_cap, inner.cfg.serve.workers
+            ),
+        );
+    };
+    inner
+        .counters
+        .delegations_out
+        .fetch_add(1, Ordering::Relaxed);
+    {
+        let mut log = inner
+            .recent_delegations
+            .lock()
+            .expect("delegation log poisoned");
+        if log.len() == DELEGATION_LOG_CAP {
+            log.pop_front();
+        }
+        log.push_back(fp);
+    }
+    let line = spec.to_forward_line(0);
+    match exchange(&target, &line, &hop_policy(inner, fp)) {
+        Ok(reply) => reply,
+        Err(_) => {
+            note_peer_failure(inner, &target);
+            error_response(
+                ErrorCode::Overloaded,
+                "job queue full and the delegation target did not answer; retry later",
+            )
+        }
+    }
+}
+
+/// Synchronously copy a fresh cache entry to the fingerprint's other
+/// placement members, so the report survives this node's death.
+fn replicate_out(inner: &NodeInner, fp: u64, hex: &str, report: &str) {
+    if inner.cfg.replicas == 0 {
+        return;
+    }
+    let targets: Vec<String> = {
+        let r = ring(inner);
+        r.placement(fp, inner.cfg.replicas + 1)
+            .into_iter()
+            .filter(|a| *a != inner.advertise)
+            .map(String::from)
+            .collect()
+    };
+    if targets.is_empty() {
+        return;
+    }
+    let line = replicate_line(hex, report);
+    let policy = hop_policy(inner, fp);
+    for target in targets {
+        match exchange(&target, &line, &policy) {
+            Ok(_) => {
+                inner
+                    .counters
+                    .replications_sent
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                inner
+                    .counters
+                    .replication_failures
+                    .fetch_add(1, Ordering::Relaxed);
+                note_peer_failure(inner, &target);
+            }
+        }
+    }
+}
+
+/// Store a replicated entry. Duplicate inserts are no-ops, so
+/// replication is idempotent.
+fn handle_replicate(inner: &Arc<NodeInner>, request: &Json) -> String {
+    let frame = match parse_replicate(request) {
+        Ok(f) => f,
+        Err(e) => return error_response(ErrorCode::BadRequest, &e),
+    };
+    inner
+        .cache
+        .lock()
+        .expect("cache lock poisoned")
+        .insert(frame.fingerprint, frame.report);
+    inner
+        .counters
+        .replicas_stored
+        .fetch_add(1, Ordering::Relaxed);
+    ok_response("replicate")
+}
+
+/// Answer a heartbeat: learn the sender and its gossip, report our own
+/// load and member list back.
+fn handle_peers(inner: &Arc<NodeInner>, request: &Json) -> String {
+    let ex = match parse_peers(request) {
+        Ok(p) => p,
+        Err(e) => return error_response(ErrorCode::BadRequest, &e),
+    };
+    let now = Instant::now();
+    let known = {
+        let mut m = inner.members.lock().expect("members lock poisoned");
+        m.merge_known(&ex.known, now);
+        if ex.from != inner.advertise {
+            m.add_peer(&ex.from, now);
+            m.record_success(&ex.from, ex.load, now);
+        }
+        m.known()
+    };
+    peers_response(&inner.advertise, load(inner), &known)
+}
+
+fn heartbeat_loop(inner: &Arc<NodeInner>) {
+    let tick = (inner.cfg.heartbeat / 4).clamp(Duration::from_millis(5), Duration::from_millis(50));
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        let due = inner
+            .members
+            .lock()
+            .expect("members lock poisoned")
+            .due_probes(Instant::now());
+        for addr in due {
+            if inner.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            probe(inner, &addr);
+        }
+        std::thread::sleep(tick);
+    }
+}
+
+/// One heartbeat probe: a fresh connection, one `peers` exchange, no
+/// retries (the backoff schedule lives in [`Membership`]).
+fn probe(inner: &Arc<NodeInner>, addr: &str) {
+    let mut h = FxHasher::default();
+    h.write(inner.advertise.as_bytes());
+    h.write(addr.as_bytes());
+    let policy = RetryPolicy {
+        attempts: 1,
+        base_ms: 1,
+        cap_ms: 1,
+        seed: h.finish(),
+    };
+    // Snapshot the member list, then release before touching the pool
+    // lock (for the load figure) or the network.
+    let known = {
+        let m = inner.members.lock().expect("members lock poisoned");
+        m.known()
+    };
+    let line = peers_line(&inner.advertise, load(inner), &known);
+    let outcome = Client::connect(addr, &policy)
+        .and_then(|mut c| c.request_line(&line))
+        .map_err(|e| e.to_string())
+        .and_then(|reply| {
+            let v = Json::parse(&reply)?;
+            parse_peers(&v)
+        });
+    let now = Instant::now();
+    let mut m = inner.members.lock().expect("members lock poisoned");
+    match outcome {
+        Ok(ex) => {
+            m.merge_known(&ex.known, now);
+            m.record_success(addr, ex.load, now);
+        }
+        Err(_) => m.record_failure(addr, now),
+    }
+}
+
+/// The single-node `stats` surface: queue, workers, cache. The
+/// cluster-wide view lives in [`cluster_stats_response`].
+fn stats_response(inner: &NodeInner) -> String {
+    let (depth, workers, utilization) = {
+        let pool = inner.pool.lock().expect("pool lock poisoned");
+        match pool.as_ref() {
+            Some(p) => (p.depth(), p.threads(), p.utilization()),
+            None => (0, 0, Vec::new()),
+        }
+    };
+    let (entries, hit_rate, hits, misses) = {
+        let c = inner.cache.lock().expect("cache lock poisoned");
+        (c.len(), c.hit_rate(), c.hits(), c.misses())
+    };
+    let util_arr: Vec<String> = utilization.iter().map(|&u| json_f64(u)).collect();
+    format!(
+        "{{\"ok\":true,\"op\":\"stats\",\"queue_depth\":{depth},\"workers\":{workers},\
+         \"utilization\":[{}],\"cache_entries\":{entries},\"cache_hits\":{hits},\
+         \"cache_misses\":{misses},\"cache_hit_rate\":{}}}",
+        util_arr.join(","),
+        json_f64(hit_rate)
+    )
+}
+
+fn peer_json(p: &PeerView) -> String {
+    format!(
+        "{{\"addr\":\"{}\",\"status\":\"{}\",\"load\":{},\"failures\":{}}}",
+        json_escape(&p.addr),
+        p.status.as_str(),
+        json_f64(p.load),
+        p.failures
+    )
+}
+
+/// The cluster-wide view: identity, ring membership, peer table,
+/// routing/replication counters, and the recent delegation log.
+fn cluster_stats_response(inner: &NodeInner) -> String {
+    let (ring_nodes, peers) = {
+        let m = inner.members.lock().expect("members lock poisoned");
+        (m.ring_members(), m.snapshot())
+    };
+    let ring_arr: Vec<String> = ring_nodes
+        .iter()
+        .map(|n| format!("\"{}\"", json_escape(n)))
+        .collect();
+    let peer_arr: Vec<String> = peers.iter().map(peer_json).collect();
+    let delegations: Vec<String> = inner
+        .recent_delegations
+        .lock()
+        .expect("delegation log poisoned")
+        .iter()
+        .map(|fp| format!("\"{}\"", fingerprint_hex(*fp)))
+        .collect();
+    let c = &inner.counters;
+    let (entries, hits, misses) = {
+        let cache = inner.cache.lock().expect("cache lock poisoned");
+        (cache.len(), cache.hits(), cache.misses())
+    };
+    format!(
+        "{{\"ok\":true,\"op\":\"cluster-stats\",\"self\":\"{}\",\"replicas\":{},\
+         \"ring\":[{}],\"peers\":[{}],\"counters\":{{\
+         \"forwards_out\":{},\"forwards_in\":{},\
+         \"delegations_out\":{},\"delegations_in\":{},\
+         \"replications_sent\":{},\"replication_failures\":{},\
+         \"replicas_stored\":{},\"forward_cache_hits\":{},\
+         \"fallback_local\":{},\"jobs_completed\":{}}},\
+         \"recent_delegations\":[{}],\
+         \"cache_entries\":{entries},\"cache_hits\":{hits},\"cache_misses\":{misses}}}",
+        json_escape(&inner.advertise),
+        inner.cfg.replicas,
+        ring_arr.join(","),
+        peer_arr.join(","),
+        c.forwards_out.load(Ordering::Relaxed),
+        c.forwards_in.load(Ordering::Relaxed),
+        c.delegations_out.load(Ordering::Relaxed),
+        c.delegations_in.load(Ordering::Relaxed),
+        c.replications_sent.load(Ordering::Relaxed),
+        c.replication_failures.load(Ordering::Relaxed),
+        c.replicas_stored.load(Ordering::Relaxed),
+        c.forward_cache_hits.load(Ordering::Relaxed),
+        c.fallback_local.load(Ordering::Relaxed),
+        c.jobs_completed.load(Ordering::Relaxed),
+        delegations.join(","),
+    )
+}

@@ -31,6 +31,7 @@ pub mod fxhash;
 pub mod ids;
 pub mod layout;
 pub mod packet;
+pub mod ring;
 
 pub use addr_map::AddressMap;
 pub use config::{
@@ -44,3 +45,4 @@ pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{Addr, CoreId, Cycle, LineAddr, MemId, NodeId};
 pub use layout::{Layout, NodeKind};
 pub use packet::{MsgKind, Packet, PacketId, Priority, TrafficClass};
+pub use ring::{HashRing, DEFAULT_VNODES};

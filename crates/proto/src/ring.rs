@@ -1,0 +1,269 @@
+//! Consistent-hash placement of job fingerprints onto cluster nodes.
+//!
+//! `clognet-cluster` shards the content-addressed result cache across
+//! N service nodes. The shard key is the job fingerprint
+//! ([`crate::fingerprint`]) — already a content address — and placement
+//! must satisfy two properties:
+//!
+//! 1. **Agreement** — every node (and every client) that knows the same
+//!    member list computes the same owner for a fingerprint, with no
+//!    coordination. Placement is a pure function of (members, key).
+//! 2. **Stability** — adding or removing one node remaps only the keys
+//!    that node owned (plus its share of the ring), not the whole key
+//!    space, so a node death invalidates one replica's worth of
+//!    placement rather than the entire cluster cache.
+//!
+//! Classic consistent hashing delivers both: each node is hashed onto a
+//! `u64` ring at [`DEFAULT_VNODES`] pseudo-random points (virtual
+//! nodes, for balance), and a key is owned by the first node point at
+//! or clockwise-after the key's own position. The *placement* of a key
+//! is the owner plus the next `r` **distinct** nodes clockwise — the
+//! replica set that `clognet-cluster` copies cache entries to.
+//!
+//! Hashes come from the in-tree [`FxHasher`]; node identity is the
+//! advertised `host:port` string, so rings agree across processes as
+//! long as every member is named by the same string everywhere.
+
+use crate::fxhash::FxHasher;
+use std::hash::Hasher;
+
+/// Virtual nodes per member. Shared by every ring participant — the
+/// server nodes and the `clognet fingerprint --owner` client-side
+/// lookup must agree on this or on nothing.
+pub const DEFAULT_VNODES: usize = 64;
+
+fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(bytes);
+    h.finish()
+}
+
+/// SplitMix64 finalizer: decorrelates key positions from raw
+/// fingerprints (which FxHash already spreads, but whose low bits feed
+/// the same hasher that places ring points).
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A consistent-hash ring over named nodes.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    vnodes: usize,
+    /// Member names, sorted (index is the id used on `points`).
+    nodes: Vec<String>,
+    /// `(position, node index)`, sorted by position.
+    points: Vec<(u64, u32)>,
+}
+
+impl HashRing {
+    /// An empty ring with `vnodes` virtual nodes per member
+    /// (minimum 1).
+    pub fn new(vnodes: usize) -> HashRing {
+        HashRing {
+            vnodes: vnodes.max(1),
+            nodes: Vec::new(),
+            points: Vec::new(),
+        }
+    }
+
+    /// A ring populated from `nodes` (duplicates collapse).
+    pub fn with_nodes<I, S>(nodes: I, vnodes: usize) -> HashRing
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut ring = HashRing::new(vnodes);
+        for n in nodes {
+            ring.insert(n.as_ref());
+        }
+        ring
+    }
+
+    /// Add a member; a duplicate is a no-op.
+    pub fn insert(&mut self, node: &str) {
+        if self.nodes.iter().any(|n| n == node) {
+            return;
+        }
+        self.nodes.push(node.to_string());
+        self.nodes.sort();
+        self.rebuild();
+    }
+
+    /// Remove a member; an unknown name is a no-op.
+    pub fn remove(&mut self, node: &str) {
+        let before = self.nodes.len();
+        self.nodes.retain(|n| n != node);
+        if self.nodes.len() != before {
+            self.rebuild();
+        }
+    }
+
+    /// Whether `node` is a member.
+    pub fn contains(&self, node: &str) -> bool {
+        self.nodes.iter().any(|n| n == node)
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the ring has no members.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The member names, sorted.
+    pub fn nodes(&self) -> &[String] {
+        &self.nodes
+    }
+
+    fn rebuild(&mut self) {
+        self.points.clear();
+        for (i, node) in self.nodes.iter().enumerate() {
+            for v in 0..self.vnodes {
+                let pos = hash_bytes(format!("{node}#{v}").as_bytes());
+                self.points.push((pos, i as u32));
+            }
+        }
+        // Position ties (vanishingly rare) resolve by node index so
+        // every participant breaks them identically.
+        self.points.sort_unstable();
+    }
+
+    /// Index into `points` of the first point at or after the key.
+    fn successor_index(&self, fp: u64) -> usize {
+        let key = mix(fp);
+        match self.points.binary_search(&(key, 0)) {
+            Ok(i) => i,
+            Err(i) => i % self.points.len().max(1),
+        }
+    }
+
+    /// The member that owns a fingerprint, or `None` on an empty ring.
+    pub fn owner(&self, fp: u64) -> Option<&str> {
+        self.placement(fp, 1).into_iter().next()
+    }
+
+    /// The first `count` **distinct** members clockwise from the
+    /// fingerprint's position: the owner followed by its replica
+    /// successors. Returns fewer when the ring has fewer members.
+    pub fn placement(&self, fp: u64, count: usize) -> Vec<&str> {
+        if self.points.is_empty() || count == 0 {
+            return Vec::new();
+        }
+        let start = self.successor_index(fp) % self.points.len();
+        let want = count.min(self.nodes.len());
+        let mut out: Vec<&str> = Vec::with_capacity(want);
+        for step in 0..self.points.len() {
+            let (_, idx) = self.points[(start + step) % self.points.len()];
+            let name = self.nodes[idx as usize].as_str();
+            if !out.contains(&name) {
+                out.push(name);
+                if out.len() == want {
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three() -> HashRing {
+        HashRing::with_nodes(["127.0.0.1:9401", "127.0.0.1:9402", "127.0.0.1:9403"], 64)
+    }
+
+    #[test]
+    fn placement_is_deterministic_across_instances() {
+        let a = three();
+        // Insertion order must not matter.
+        let b = HashRing::with_nodes(["127.0.0.1:9403", "127.0.0.1:9401", "127.0.0.1:9402"], 64);
+        for fp in 0..1_000u64 {
+            assert_eq!(a.owner(fp), b.owner(fp), "fp {fp}");
+            assert_eq!(a.placement(fp, 2), b.placement(fp, 2), "fp {fp}");
+        }
+    }
+
+    #[test]
+    fn placement_names_distinct_nodes_in_ring_order() {
+        let ring = three();
+        for fp in 0..200u64 {
+            let p = ring.placement(fp, 3);
+            assert_eq!(p.len(), 3);
+            let mut sorted = p.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3, "placement repeats a node: {p:?}");
+            assert_eq!(p[0], ring.owner(fp).unwrap());
+        }
+        // Asking for more replicas than members truncates.
+        assert_eq!(ring.placement(7, 10).len(), 3);
+    }
+
+    #[test]
+    fn every_node_owns_a_meaningful_share() {
+        let ring = three();
+        let mut counts = std::collections::BTreeMap::new();
+        for fp in 0..6_000u64 {
+            *counts
+                .entry(ring.owner(fp).unwrap().to_string())
+                .or_insert(0u32) += 1;
+        }
+        assert_eq!(counts.len(), 3, "all nodes reachable: {counts:?}");
+        for (node, n) in &counts {
+            assert!(
+                *n >= 600,
+                "{node} owns {n}/6000 keys — worse than 10%: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn removing_a_node_only_remaps_its_keys() {
+        let full = three();
+        let mut reduced = three();
+        reduced.remove("127.0.0.1:9402");
+        for fp in 0..2_000u64 {
+            let before = full.owner(fp).unwrap();
+            let after = reduced.owner(fp).unwrap();
+            if before != "127.0.0.1:9402" {
+                assert_eq!(before, after, "fp {fp} moved although its owner survived");
+            } else {
+                // Orphaned keys land on the old placement's successor,
+                // which is where the replica lives.
+                assert_eq!(Some(after), full.placement(fp, 2).get(1).copied());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_single_node_rings() {
+        let mut ring = HashRing::new(8);
+        assert!(ring.is_empty());
+        assert_eq!(ring.owner(42), None);
+        assert!(ring.placement(42, 3).is_empty());
+        ring.insert("only");
+        assert_eq!(ring.owner(42), Some("only"));
+        assert_eq!(ring.placement(42, 3), vec!["only"]);
+        ring.remove("only");
+        assert!(ring.is_empty());
+        ring.remove("never-there");
+        assert!(!ring.contains("only"));
+    }
+
+    #[test]
+    fn duplicate_insert_is_a_no_op() {
+        let mut ring = HashRing::new(16);
+        ring.insert("a");
+        ring.insert("a");
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.nodes(), &["a".to_string()]);
+    }
+}

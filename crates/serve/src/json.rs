@@ -262,17 +262,23 @@ impl Parser<'_> {
                         other => return Err(format!("bad escape `\\{}`", other as char)),
                     }
                 }
+                Some(c) if c < 0x20 => {
+                    return Err(format!("raw control character at byte {}", self.i));
+                }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (input is &str, so this
-                    // is always well-formed).
-                    let rest = std::str::from_utf8(&self.b[self.i..])
-                        .map_err(|_| "invalid UTF-8".to_string())?;
-                    let c = rest.chars().next().ok_or("unterminated string")?;
-                    if (c as u32) < 0x20 {
-                        return Err(format!("raw control character at byte {}", self.i));
+                    // Consume a maximal run of plain bytes in one shot.
+                    // Every stop byte (`"`, `\`, control) is ASCII, so
+                    // the run never splits a multi-byte scalar and both
+                    // slice ends are UTF-8 boundaries.
+                    let start = self.i;
+                    while matches!(self.b.get(self.i), Some(&b) if b != b'"' && b != b'\\' && b >= 0x20)
+                    {
+                        self.i += 1;
                     }
-                    out.push(c);
-                    self.i += c.len_utf8();
+                    out.push_str(
+                        std::str::from_utf8(&self.b[start..self.i])
+                            .map_err(|_| "invalid UTF-8".to_string())?,
+                    );
                 }
             }
         }

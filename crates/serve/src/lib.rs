@@ -67,5 +67,8 @@ pub mod wire;
 pub use cache::ResultCache;
 pub use client::{Client, ClientError, RetryPolicy};
 pub use json::Json;
-pub use server::{JobError, JobHandler, ServeConfig, Server, ServerHandle};
-pub use wire::{ErrorCode, JobSpec, Response, RunResult};
+pub use server::{Frame, FrameReader, JobError, JobHandler, ServeConfig, Server, ServerHandle};
+pub use wire::{
+    ErrorCode, ForwardFrame, JobSpec, PeerExchange, ReplicateFrame, Response, RunResult,
+    MAX_FRAME_BYTES,
+};

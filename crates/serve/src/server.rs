@@ -25,16 +25,122 @@
 
 use crate::cache::ResultCache;
 use crate::json::Json;
-use crate::wire::{error_response, ok_response, run_response, ErrorCode, JobSpec};
+use crate::wire::{error_response, ok_response, run_response, ErrorCode, JobSpec, MAX_FRAME_BYTES};
 use clognet_bench::runner::WorkerPool;
 use clognet_proto::fingerprint_hex;
 use clognet_telemetry::export::{json_f64, registry_to_json};
 use clognet_telemetry::Registry;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// One read from a [`FrameReader`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Frame {
+    /// A complete line landed in the caller's buffer.
+    Line,
+    /// The line exceeded [`MAX_FRAME_BYTES`] before its newline; the
+    /// stream cannot be resynchronized and should be answered with a
+    /// structured error and closed.
+    Oversized,
+    /// The line was complete but not valid UTF-8; answer with a
+    /// structured error and keep reading.
+    BadUtf8,
+    /// Peer closed the connection.
+    Eof,
+}
+
+/// Length-capped NDJSON frame reader shared by the single-node server
+/// and the cluster node: one frame per line, at most
+/// [`MAX_FRAME_BYTES`] each, malformed bytes reported as values rather
+/// than torn connections.
+pub struct FrameReader<R: Read> {
+    inner: std::io::Take<BufReader<R>>,
+    buf: Vec<u8>,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wrap a stream's read half.
+    pub fn new(stream: R) -> FrameReader<R> {
+        FrameReader {
+            inner: BufReader::new(stream).take(MAX_FRAME_BYTES as u64 + 1),
+            buf: Vec::new(),
+        }
+    }
+
+    /// Read the next frame into `line` (cleared first; the trailing
+    /// newline is kept, matching `read_line`).
+    ///
+    /// # Errors
+    ///
+    /// Socket-level failures only; protocol violations come back as
+    /// [`Frame`] variants.
+    pub fn read_frame(&mut self, line: &mut String) -> std::io::Result<Frame> {
+        line.clear();
+        self.buf.clear();
+        let n = self.inner.read_until(b'\n', &mut self.buf)?;
+        if n == 0 {
+            return Ok(Frame::Eof);
+        }
+        if self.inner.limit() == 0 && self.buf.last() != Some(&b'\n') {
+            return Ok(Frame::Oversized);
+        }
+        self.inner.set_limit(MAX_FRAME_BYTES as u64 + 1);
+        match std::str::from_utf8(&self.buf) {
+            Ok(s) => {
+                line.push_str(s);
+                Ok(Frame::Line)
+            }
+            Err(_) => Ok(Frame::BadUtf8),
+        }
+    }
+}
+
+/// Answer one connection frame-by-frame: read with `reader`, dispatch
+/// complete lines through `dispatch`, and reply with the structured
+/// errors the frame contract specifies for oversized or non-UTF-8
+/// input. Returns when the peer disconnects or the stream dies.
+pub fn serve_frames<R, F>(reader: R, mut writer: impl Write, dispatch: F)
+where
+    R: Read,
+    F: Fn(&str) -> String,
+{
+    let mut frames = FrameReader::new(reader);
+    let mut line = String::new();
+    loop {
+        let response = match frames.read_frame(&mut line) {
+            Err(_) | Ok(Frame::Eof) => return,
+            Ok(Frame::Oversized) => {
+                let oversized = error_response(
+                    ErrorCode::BadRequest,
+                    &format!("frame exceeds {MAX_FRAME_BYTES} bytes"),
+                );
+                let _ = writer
+                    .write_all(oversized.as_bytes())
+                    .and_then(|()| writer.write_all(b"\n"))
+                    .and_then(|()| writer.flush());
+                return; // Cannot resynchronize mid-line.
+            }
+            Ok(Frame::BadUtf8) => error_response(ErrorCode::BadRequest, "frame is not UTF-8"),
+            Ok(Frame::Line) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                dispatch(line.trim())
+            }
+        };
+        if writer
+            .write_all(response.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            return;
+        }
+    }
+}
 
 /// A job failure produced by a [`JobHandler`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -248,28 +354,7 @@ fn handle_connection(inner: &Arc<Inner>, stream: TcpStream) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = stream;
-    let mut line = String::new();
-    loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => return, // Peer closed or died.
-            Ok(_) => {}
-        }
-        if line.trim().is_empty() {
-            continue;
-        }
-        let response = dispatch(inner, line.trim());
-        if writer
-            .write_all(response.as_bytes())
-            .and_then(|()| writer.write_all(b"\n"))
-            .and_then(|()| writer.flush())
-            .is_err()
-        {
-            return;
-        }
-    }
+    serve_frames(read_half, stream, |line| dispatch(inner, line));
 }
 
 fn count(inner: &Inner, name: &str) {

@@ -21,10 +21,31 @@
 //! Any request key other than `op`/`gpu`/`cpu`/`warm`/`cycles` is
 //! treated as a configuration option, exactly as if passed to
 //! `clognet run --key value`; the server-side handler validates them.
+//!
+//! ## Cluster frames
+//!
+//! `clognet-cluster` extends the same protocol with node-to-node
+//! frames (DESIGN.md §11):
+//!
+//! ```text
+//! {"op":"forward","ttl":1,"gpu":"HS",...}          // routed run; ttl 0 = must execute
+//! {"op":"replicate","fingerprint":"<16 hex>","report":"<escaped JSON>"}
+//! {"op":"peers","from":"<addr>","load":0.5,"known":["<addr>",...]}
+//! {"op":"cluster-stats"}
+//! ```
+//!
+//! The frame constructors and parsers live here so both sides of every
+//! exchange share one spelling.
 
 use crate::json::Json;
-use clognet_telemetry::export::json_escape;
+use clognet_telemetry::export::{json_escape, json_f64};
 use std::collections::BTreeMap;
+
+/// Largest accepted frame (one line, including the newline), in bytes.
+/// A `replicate` frame carries a whole escaped report document, so the
+/// cap is generous; anything larger is a protocol violation and gets a
+/// structured `bad_request` before the connection closes.
+pub const MAX_FRAME_BYTES: usize = 4 * 1024 * 1024;
 
 /// Wire error codes (the `error` field of a failure response).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -144,8 +165,20 @@ impl JobSpec {
 
     /// Serialize as a `run` request line (no trailing newline).
     pub fn to_request_line(&self) -> String {
+        self.line_with_op("run", "")
+    }
+
+    /// Serialize as a cluster `forward` frame: the same job, flagged as
+    /// already-routed. `ttl` is the number of *further* hops the
+    /// receiver may take (0 = execute here, saturated or not).
+    pub fn to_forward_line(&self, ttl: u32) -> String {
+        self.line_with_op("forward", &format!("\"ttl\":{ttl},"))
+    }
+
+    fn line_with_op(&self, op: &str, extra: &str) -> String {
         let mut out = format!(
-            "{{\"op\":\"run\",\"gpu\":\"{}\",\"cpu\":\"{}\",\"warm\":{},\"cycles\":{}",
+            "{{\"op\":\"{}\",{extra}\"gpu\":\"{}\",\"cpu\":\"{}\",\"warm\":{},\"cycles\":{}",
+            json_escape(op),
             json_escape(&self.gpu),
             json_escape(&self.cpu),
             self.warm,
@@ -157,6 +190,150 @@ impl JobSpec {
         out.push('}');
         out
     }
+}
+
+/// A decoded cluster `forward` frame: the routed job plus its remaining
+/// hop budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForwardFrame {
+    /// The job being routed.
+    pub spec: JobSpec,
+    /// Further hops the receiver may take (0 = must execute locally).
+    pub ttl: u32,
+}
+
+/// Decode a `forward` frame. The `ttl` field is routing metadata, not a
+/// job option — it is stripped before the [`JobSpec`] is built so the
+/// fingerprint is identical to the original `run` request's.
+///
+/// # Errors
+///
+/// Non-object input, a non-integer `ttl`, or an invalid job spec.
+pub fn parse_forward(v: &Json) -> Result<ForwardFrame, String> {
+    let obj = v.as_obj().ok_or("forward frame must be a JSON object")?;
+    let ttl = match obj.get("ttl") {
+        None => 0,
+        Some(t) => u32::try_from(t.as_u64().ok_or("`ttl` must be a non-negative integer")?)
+            .map_err(|_| "`ttl` out of range".to_string())?,
+    };
+    let mut stripped = obj.clone();
+    stripped.remove("ttl");
+    let spec = JobSpec::from_json(&Json::Obj(stripped))?;
+    Ok(ForwardFrame { spec, ttl })
+}
+
+/// A decoded cluster `replicate` frame: a cache entry being copied to a
+/// ring successor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicateFrame {
+    /// The entry's fingerprint.
+    pub fingerprint: u64,
+    /// The report bytes, exactly as the owner computed them.
+    pub report: String,
+}
+
+/// Build a `replicate` frame line. `fingerprint` must be the canonical
+/// 16-hex-digit spelling ([`clognet_proto::fingerprint_hex`]).
+pub fn replicate_line(fingerprint: &str, report: &str) -> String {
+    format!(
+        "{{\"op\":\"replicate\",\"fingerprint\":\"{}\",\"report\":\"{}\"}}",
+        json_escape(fingerprint),
+        json_escape(report)
+    )
+}
+
+/// Decode a `replicate` frame.
+///
+/// # Errors
+///
+/// A missing/malformed fingerprint or a missing report.
+pub fn parse_replicate(v: &Json) -> Result<ReplicateFrame, String> {
+    let hex = v
+        .get("fingerprint")
+        .and_then(Json::as_str)
+        .ok_or("replicate frame missing string `fingerprint`")?;
+    if hex.len() != 16 {
+        return Err(format!("fingerprint `{hex}` is not 16 hex digits"));
+    }
+    let fingerprint = u64::from_str_radix(hex, 16)
+        .map_err(|_| format!("fingerprint `{hex}` is not 16 hex digits"))?;
+    let report = v
+        .get("report")
+        .and_then(Json::as_str)
+        .ok_or("replicate frame missing string `report`")?
+        .to_string();
+    Ok(ReplicateFrame {
+        fingerprint,
+        report,
+    })
+}
+
+/// A decoded `peers` heartbeat/gossip exchange — the same shape is used
+/// for the request (with `from` set) and the response (where `from` is
+/// the responder's identity).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeerExchange {
+    /// The sender's advertised address (ring identity).
+    pub from: String,
+    /// The sender's load: queued + running jobs per worker.
+    pub load: f64,
+    /// Every other member address the sender knows (gossip).
+    pub known: Vec<String>,
+}
+
+fn peer_fields(from: &str, load: f64, known: &[String]) -> String {
+    let list: Vec<String> = known
+        .iter()
+        .map(|a| format!("\"{}\"", json_escape(a)))
+        .collect();
+    format!(
+        "\"from\":\"{}\",\"load\":{},\"known\":[{}]",
+        json_escape(from),
+        json_f64(load),
+        list.join(",")
+    )
+}
+
+/// Build a `peers` heartbeat request line.
+pub fn peers_line(from: &str, load: f64, known: &[String]) -> String {
+    format!("{{\"op\":\"peers\",{}}}", peer_fields(from, load, known))
+}
+
+/// Build the success response to a `peers` exchange.
+pub fn peers_response(from: &str, load: f64, known: &[String]) -> String {
+    format!(
+        "{{\"ok\":true,\"op\":\"peers\",{}}}",
+        peer_fields(from, load, known)
+    )
+}
+
+/// Decode either side of a `peers` exchange.
+///
+/// # Errors
+///
+/// A missing `from`, a non-numeric `load`, or a non-string entry in
+/// `known`.
+pub fn parse_peers(v: &Json) -> Result<PeerExchange, String> {
+    let from = v
+        .get("from")
+        .and_then(Json::as_str)
+        .ok_or("peers frame missing string `from`")?
+        .to_string();
+    let load = v
+        .get("load")
+        .and_then(Json::as_f64)
+        .ok_or("peers frame missing numeric `load`")?;
+    let mut known = Vec::new();
+    if let Some(arr) = v.get("known").and_then(Json::as_arr) {
+        for item in arr {
+            known.push(
+                item.as_str()
+                    .ok_or("peers `known` entries must be strings")?
+                    .to_string(),
+            );
+        }
+    }
+    Ok(PeerExchange { from, load, known })
 }
 
 /// A successful `run` response, decoded.
@@ -330,6 +507,63 @@ mod tests {
             Some(ErrorCode::CycleLimit)
         );
         assert_eq!(ErrorCode::from_wire("bogus"), None);
+    }
+
+    #[test]
+    fn forward_frames_strip_ttl_and_preserve_the_spec() {
+        let mut spec = JobSpec::new("MM", "canneal");
+        spec.opts.insert("scheme".into(), "dr".into());
+        let line = spec.to_forward_line(1);
+        let parsed = parse_forward(&Json::parse(&line).unwrap()).unwrap();
+        assert_eq!(parsed.ttl, 1);
+        assert_eq!(parsed.spec, spec, "ttl must not leak into the job options");
+        // A run line round-trips through parse_forward with ttl 0.
+        let plain = parse_forward(&Json::parse(&spec.to_request_line()).unwrap()).unwrap();
+        assert_eq!(plain.ttl, 0);
+        assert_eq!(plain.spec, spec);
+        assert!(parse_forward(&Json::parse("[1]").unwrap()).is_err());
+        assert!(parse_forward(&Json::parse(r#"{"ttl":-1}"#).unwrap()).is_err());
+    }
+
+    #[test]
+    fn replicate_frames_round_trip_reports_byte_identically() {
+        let report = "{\"scheme\":\"DR\",\"weird\":\"a\\\"b\\\\c\"}";
+        let line = replicate_line("00ff00ff00ff00ff", report);
+        let frame = parse_replicate(&Json::parse(&line).unwrap()).unwrap();
+        assert_eq!(frame.fingerprint, 0x00ff_00ff_00ff_00ff);
+        assert_eq!(frame.report, report);
+        // The canonical hex helper and the wire agree on the spelling.
+        let hex = clognet_proto::fingerprint_hex(frame.fingerprint);
+        let again = parse_replicate(&Json::parse(&replicate_line(&hex, report)).unwrap()).unwrap();
+        assert_eq!(again.fingerprint, frame.fingerprint);
+        for bad in [
+            r#"{"op":"replicate"}"#,
+            r#"{"op":"replicate","fingerprint":"xyz","report":""}"#,
+            r#"{"op":"replicate","fingerprint":"ff","report":""}"#,
+            r#"{"op":"replicate","fingerprint":"00ff00ff00ff00ff"}"#,
+        ] {
+            assert!(parse_replicate(&Json::parse(bad).unwrap()).is_err());
+        }
+    }
+
+    #[test]
+    fn peers_frames_round_trip_both_directions() {
+        let known = vec!["127.0.0.1:9402".to_string(), "127.0.0.1:9403".to_string()];
+        for line in [
+            peers_line("127.0.0.1:9401", 0.5, &known),
+            peers_response("127.0.0.1:9401", 0.5, &known),
+        ] {
+            let p = parse_peers(&Json::parse(&line).unwrap()).unwrap();
+            assert_eq!(p.from, "127.0.0.1:9401");
+            assert!((p.load - 0.5).abs() < 1e-12);
+            assert_eq!(p.known, known);
+        }
+        let empty = parse_peers(&Json::parse(&peers_line("a", 0.0, &[])).unwrap()).unwrap();
+        assert!(empty.known.is_empty());
+        assert!(parse_peers(&Json::parse(r#"{"op":"peers"}"#).unwrap()).is_err());
+        assert!(
+            parse_peers(&Json::parse(r#"{"from":"a","load":0,"known":[1]}"#).unwrap()).is_err()
+        );
     }
 
     #[test]

@@ -1,0 +1,157 @@
+//! Adversarial wire input: truncated JSON, oversized lines, invalid
+//! UTF-8, and assorted garbage must come back as *structured* error
+//! replies — never a silent connection drop and never a panic. The
+//! frame contract (DESIGN.md §10.1/§11.1): every complete line gets a
+//! reply; only an oversized line (which cannot be resynchronized) may
+//! close the connection, and even that is answered first.
+
+use clognet_serve::server::{JobError, JobHandler, ServeConfig, Server};
+use clognet_serve::wire::{ErrorCode, JobSpec, MAX_FRAME_BYTES};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Echo;
+
+impl JobHandler for Echo {
+    fn fingerprint(&self, spec: &JobSpec) -> Result<u64, JobError> {
+        Ok(spec.cycles)
+    }
+    fn run(&self, spec: &JobSpec, _deadline: Instant) -> Result<String, JobError> {
+        Ok(format!("{{\"gpu\":\"{}\"}}", spec.gpu))
+    }
+}
+
+fn boot() -> (String, clognet_serve::ServerHandle) {
+    let server = Server::bind(ServeConfig::default(), Arc::new(Echo)).expect("bind");
+    let addr = server.local_addr().to_string();
+    (addr, server.spawn().expect("spawn"))
+}
+
+fn shutdown(addr: &str, handle: clognet_serve::ServerHandle) {
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(b"{\"op\":\"shutdown\"}\n").unwrap();
+    let mut r = BufReader::new(s);
+    let mut line = String::new();
+    r.read_line(&mut line).unwrap();
+    handle.join().unwrap();
+}
+
+/// Send raw bytes, read one reply line.
+fn raw_round_trip(stream: &mut TcpStream, bytes: &[u8]) -> String {
+    stream.write_all(bytes).unwrap();
+    stream.flush().unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    line
+}
+
+fn assert_bad_request(reply: &str) {
+    match clognet_serve::wire::parse_response(reply.trim()).expect("reply decodes") {
+        clognet_serve::wire::Response::Error { code, .. } => {
+            assert_eq!(code, ErrorCode::BadRequest, "reply: {reply}");
+        }
+        other => panic!("expected bad_request, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_and_invalid_json_lines_get_structured_errors() {
+    let (addr, handle) = boot();
+    let mut stream = TcpStream::connect(&addr).unwrap();
+
+    // Each malformed line is answered in order on the SAME connection —
+    // proving none of them tore it down.
+    for bad in [
+        "{\"op\":\"run\",\"gpu\":\n",     // truncated mid-object
+        "{\"op\": \n",                    // truncated mid-key
+        "[1,2,\n",                        // truncated array
+        "not json at all\n",              // garbage
+        "{\"op\":\"run\",\"warm\":-1}\n", // valid JSON, invalid field
+        "{\"op\":\"run\",\"gpu\":3}\n",   // wrong field type
+        "\"just a string\"\n",            // wrong top-level type
+        "{}\n",                           // missing op
+    ] {
+        assert_bad_request(&raw_round_trip(&mut stream, bad.as_bytes()));
+    }
+
+    // The connection still works for a well-formed request afterwards.
+    let reply = raw_round_trip(&mut stream, b"{\"op\":\"ping\"}\n");
+    assert!(reply.contains("\"ok\":true"), "reply: {reply}");
+
+    drop(stream);
+    shutdown(&addr, handle);
+}
+
+#[test]
+fn invalid_utf8_is_answered_and_the_connection_survives() {
+    let (addr, handle) = boot();
+    let mut stream = TcpStream::connect(&addr).unwrap();
+
+    assert_bad_request(&raw_round_trip(&mut stream, b"{\"op\":\xff\xfe\"}\n"));
+    let reply = raw_round_trip(&mut stream, b"{\"op\":\"ping\"}\n");
+    assert!(reply.contains("\"ok\":true"), "reply: {reply}");
+
+    drop(stream);
+    shutdown(&addr, handle);
+}
+
+#[test]
+fn oversized_frames_are_answered_then_the_connection_closes() {
+    let (addr, handle) = boot();
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+
+    // A newline-free line exactly one byte past the cap. Exactly, so
+    // the server consumes every byte we send: leftover unread data at
+    // close would RST the socket instead of delivering a clean EOF.
+    let chunk = vec![b'x'; 64 * 1024];
+    let mut remaining = MAX_FRAME_BYTES + 1;
+    while remaining > 0 {
+        let n = remaining.min(chunk.len());
+        stream.write_all(&chunk[..n]).unwrap();
+        remaining -= n;
+    }
+    stream.flush().unwrap();
+
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert_bad_request(&line);
+    assert!(
+        line.contains("exceeds"),
+        "error names the frame cap: {line}"
+    );
+
+    // After the structured reply the server closes: EOF, not a hang.
+    let mut rest = Vec::new();
+    let n = reader.read_to_end(&mut rest).unwrap();
+    assert_eq!(n, 0, "connection closed after the oversized reply");
+
+    drop(stream);
+    shutdown(&addr, handle);
+}
+
+#[test]
+fn frames_at_the_cap_with_a_newline_still_parse() {
+    let (addr, handle) = boot();
+    let mut stream = TcpStream::connect(&addr).unwrap();
+
+    // A large-but-legal frame: padding via a long (rejected) option
+    // value proves size alone is not grounds for closing.
+    let padding = "p".repeat(1024 * 1024);
+    let frame = format!("{{\"op\":\"run\",\"bogus\":\"{padding}\"}}\n");
+    assert!(frame.len() <= MAX_FRAME_BYTES);
+    let reply = raw_round_trip(&mut stream, frame.as_bytes());
+    // Echo accepts any spec, so this big frame is simply served.
+    assert!(reply.contains("\"ok\""), "reply: {reply}");
+    let reply = raw_round_trip(&mut stream, b"{\"op\":\"ping\"}\n");
+    assert!(reply.contains("\"ok\":true"), "reply: {reply}");
+
+    drop(stream);
+    shutdown(&addr, handle);
+}
