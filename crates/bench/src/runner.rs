@@ -38,9 +38,36 @@ where
     R: Send,
     F: Fn(J) -> R + Sync,
 {
+    run_jobs_with_state(jobs, threads, || (), |(), j| f(j))
+}
+
+/// [`run_jobs`] with per-worker state: each worker calls `init` once
+/// when it starts and threads the value through every job it claims.
+///
+/// This is the hook batch harnesses use to amortize a per-worker
+/// resource — a scratch buffer, a network connection — across jobs
+/// instead of paying its construction per job. Determinism is
+/// unaffected as long as `f`'s *result* does not depend on the state's
+/// history (reuse a cleared buffer, not accumulated contents): results
+/// still come back in submission order whatever worker ran them.
+///
+/// With `threads <= 1` (or a single job) one state is built and
+/// everything runs inline on the caller's thread.
+///
+/// # Panics
+///
+/// Propagates a panic from any job after the scope joins.
+pub fn run_jobs_with_state<J, R, S, I, F>(jobs: Vec<J>, threads: usize, init: I, f: F) -> Vec<R>
+where
+    J: Send,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, J) -> R + Sync,
+{
     let n = jobs.len();
     if threads <= 1 || n <= 1 {
-        return jobs.into_iter().map(f).collect();
+        let mut state = init();
+        return jobs.into_iter().map(|j| f(&mut state, j)).collect();
     }
     let workers = threads.min(n);
     // Jobs move into per-slot cells so each worker can take them by
@@ -50,18 +77,21 @@ where
     let next = AtomicUsize::new(0);
     std::thread::scope(|s| {
         for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            s.spawn(|| {
+                let mut state = init();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let job = job_slots[i]
+                        .lock()
+                        .expect("job slot poisoned")
+                        .take()
+                        .expect("job claimed twice");
+                    let r = f(&mut state, job);
+                    *result_slots[i].lock().expect("result slot poisoned") = Some(r);
                 }
-                let job = job_slots[i]
-                    .lock()
-                    .expect("job slot poisoned")
-                    .take()
-                    .expect("job claimed twice");
-                let r = f(job);
-                *result_slots[i].lock().expect("result slot poisoned") = Some(r);
             });
         }
     });
@@ -263,6 +293,47 @@ mod tests {
         let out: Vec<u32> = run_jobs(Vec::<u32>::new(), 4, |j| j);
         assert!(out.is_empty());
         assert_eq!(run_jobs(vec![7u32], 4, |j| j + 1), vec![8]);
+    }
+
+    #[test]
+    fn with_state_builds_one_state_per_worker_and_reuses_it() {
+        let inits = AtomicUsize::new(0);
+        let jobs: Vec<u64> = (0..32).collect();
+        let out = run_jobs_with_state(
+            jobs,
+            4,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                Vec::<u64>::with_capacity(64)
+            },
+            |scratch, j| {
+                // A well-behaved job clears the scratch rather than
+                // depending on what the previous job left behind.
+                scratch.clear();
+                scratch.extend(0..=j);
+                scratch.iter().sum::<u64>()
+            },
+        );
+        assert_eq!(out, (0..32).map(|j| j * (j + 1) / 2).collect::<Vec<_>>());
+        let built = inits.load(Ordering::Relaxed);
+        assert!(
+            (1..=4).contains(&built),
+            "one state per worker, not per job (built {built})"
+        );
+    }
+
+    #[test]
+    fn with_state_inline_path_matches_parallel() {
+        let jobs: Vec<u32> = (0..24).collect();
+        let run = |threads| {
+            run_jobs_with_state(jobs.clone(), threads, String::new, |buf: &mut String, j| {
+                buf.clear();
+                use std::fmt::Write;
+                write!(buf, "{j:04}").unwrap();
+                buf.clone()
+            })
+        };
+        assert_eq!(run(1), run(5));
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use crate::args::{Args, ParseArgsError};
 use crate::serve_cmd::{SimHandler, DEFAULT_ADDR};
-use clognet_bench::runner::{run_jobs, timed};
+use clognet_bench::runner::{run_jobs_with_state, timed};
 use clognet_cluster::{ClusterConfig, ClusterHandle, ClusterNode};
 use clognet_serve::client::{Client, RetryPolicy};
 use clognet_serve::server::{JobHandler, ServeConfig};
@@ -149,7 +149,11 @@ fn boot_bench_mesh(
 }
 
 /// Submit every job through round-robin gateways; panics propagate from
-/// `run_jobs` if a submit fails outright.
+/// the runner if a submit fails outright.
+///
+/// Each driver thread keeps one persistent connection per gateway and
+/// reuses it for every job it claims, so the measured span times job
+/// throughput rather than per-job TCP setup (and its allocations).
 fn drive(addrs: &[String], specs: &[JobSpec], clients: usize) -> usize {
     let jobs: Vec<(String, JobSpec)> = specs
         .iter()
@@ -162,12 +166,30 @@ fn drive(addrs: &[String], specs: &[JobSpec], clients: usize) -> usize {
         cap_ms: 200,
         seed: 0xC1A5,
     };
-    let results = run_jobs(jobs, clients, |(addr, spec)| {
-        let fp = SimHandler.fingerprint(&spec).map_err(|e| e.message)?;
-        let mut client =
-            Client::connect(&addr, &policy.for_fingerprint(fp)).map_err(|e| e.to_string())?;
-        client.submit(&spec).map_err(|e| e.to_string())
-    });
+    let results = run_jobs_with_state(
+        jobs,
+        clients,
+        Vec::<(String, Client)>::new,
+        |conns, (addr, spec)| {
+            let fp = SimHandler.fingerprint(&spec).map_err(|e| e.message)?;
+            let pos = match conns.iter().position(|(a, _)| *a == addr) {
+                Some(pos) => pos,
+                None => {
+                    let client = Client::connect(&addr, &policy.for_fingerprint(fp))
+                        .map_err(|e| e.to_string())?;
+                    conns.push((addr.clone(), client));
+                    conns.len() - 1
+                }
+            };
+            conns[pos].1.submit(&spec).map_err(|e| {
+                // Drop a connection that failed mid-conversation so the
+                // next job on this gateway dials fresh instead of
+                // inheriting a broken stream.
+                conns.swap_remove(pos);
+                e.to_string()
+            })
+        },
+    );
     let mut ok = 0usize;
     for r in &results {
         match r {

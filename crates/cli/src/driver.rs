@@ -11,14 +11,16 @@
 
 use crate::args::ParseArgsError;
 use crate::report;
-use clognet_bench::runner::run_jobs;
-use clognet_core::{Report, System};
-use clognet_proto::{AddressMap, Scheme, SystemConfig};
+use clognet_bench::runner::{run_jobs, run_jobs_with_state};
+use clognet_core::{Report, System, TickEngine};
+use clognet_proto::{AddressMap, Layout, Scheme, SystemConfig};
 
 /// Build, warm, measure, and report one workload under one config.
 /// `ff` selects event-horizon fast-forward (the default) or the
-/// per-cycle reference loop (`--no-ff`); reports are identical either
-/// way — that equivalence is what the CI smoke step asserts.
+/// per-cycle reference loop (`--no-ff`); `shards` > 1 runs the spatial
+/// sharding engine. Reports are identical across both knobs — that
+/// equivalence is what the CI smoke steps assert.
+#[allow(clippy::too_many_arguments)] // mirrors the CLI surface 1:1
 pub fn measure(
     cfg: SystemConfig,
     gpu: &str,
@@ -26,9 +28,14 @@ pub fn measure(
     warm: u64,
     cycles: u64,
     ff: bool,
+    shards: usize,
 ) -> Report {
     let mut sys = System::new(cfg, gpu, cpu);
     sys.set_fast_forward(ff);
+    if shards > 1 {
+        sys.set_tick_engine(TickEngine::Sharded(shards))
+            .expect("shard plan validated before job construction");
+    }
     sys.run(warm);
     sys.reset_stats();
     sys.run(cycles);
@@ -46,6 +53,7 @@ pub fn compare_schemes() -> [Scheme; 3] {
 
 /// Run the scheme comparison across `threads` workers; rows come back
 /// in scheme order regardless of which finishes first.
+#[allow(clippy::too_many_arguments)] // mirrors the CLI surface 1:1
 pub fn run_compare(
     base: &SystemConfig,
     gpu: &str,
@@ -54,6 +62,7 @@ pub fn run_compare(
     cycles: u64,
     threads: usize,
     ff: bool,
+    shards: usize,
 ) -> Vec<(Scheme, Report)> {
     let jobs: Vec<(Scheme, SystemConfig)> = compare_schemes()
         .into_iter()
@@ -64,7 +73,7 @@ pub fn run_compare(
         })
         .collect();
     run_jobs(jobs, threads, |(scheme, cfg)| {
-        (scheme, measure(cfg, gpu, cpu, warm, cycles, ff))
+        (scheme, measure(cfg, gpu, cpu, warm, cycles, ff, shards))
     })
 }
 
@@ -139,6 +148,7 @@ pub fn run_sweep(
     cycles: u64,
     threads: usize,
     ff: bool,
+    shards: usize,
 ) -> Result<Vec<SweepPoint>, ParseArgsError> {
     // None of the sweep parameters move nodes or re-interleave
     // addresses, so derive both once instead of per (point, scheme).
@@ -156,6 +166,10 @@ pub fn run_sweep(
     let reports = run_jobs(jobs, threads, |cfg| {
         let mut sys = System::new_prebuilt(cfg, gpu, cpu, layout.clone(), map);
         sys.set_fast_forward(ff);
+        if shards > 1 {
+            sys.set_tick_engine(TickEngine::Sharded(shards))
+                .expect("shard plan validated before job construction");
+        }
         sys.run(warm);
         sys.reset_stats();
         sys.run(cycles);
@@ -414,9 +428,24 @@ fn time_leg(
     for _ in 0..LEG_REPS {
         let rep_jobs = jobs.clone();
         let start = std::time::Instant::now();
-        let reports = run_jobs(rep_jobs, threads, |(cfg, gpu, cpu)| {
-            measure(cfg, gpu, cpu, warm, cycles, true)
-        });
+        // Every job in the matrix shares the default chip shape, so
+        // each worker derives the node layout and address map once and
+        // reuses them for every job it claims instead of re-deriving
+        // per job (the PR 2 alloc-free idiom, per worker).
+        let reports = run_jobs_with_state(
+            rep_jobs,
+            threads,
+            || None::<(Layout, AddressMap)>,
+            |prebuilt, (cfg, gpu, cpu)| {
+                let (layout, map) = prebuilt
+                    .get_or_insert_with(|| (cfg.layout(), AddressMap::new(cfg.n_mem, cfg.seed)));
+                let mut sys = System::new_prebuilt(cfg, gpu, cpu, layout.clone(), *map);
+                sys.run(warm);
+                sys.reset_stats();
+                sys.run(cycles);
+                sys.report()
+            },
+        );
         samples.push(start.elapsed().as_secs_f64());
         assert_eq!(reports.len() as f64, n, "runner dropped a job");
     }
@@ -460,6 +489,168 @@ pub fn run_bench(threads: usize, warm: u64, cycles: u64) -> BenchResult {
         low_cycles_per_job: low_cycles,
         ff_on,
         ff_off,
+    }
+}
+
+/// One timed leg of the intra-run shard-scaling benchmark.
+pub struct ShardLeg {
+    /// Shard count for this leg (1 = sequential engine).
+    pub shards: usize,
+    /// Wall-clock seconds for the measured span (minimum over reps).
+    pub wall_s: f64,
+    /// Mean wall-clock seconds across reps.
+    pub wall_s_mean: f64,
+    /// Standard deviation of wall-clock seconds across reps.
+    pub wall_s_stddev: f64,
+    /// Simulated cycles per wall-clock second (best rep).
+    pub sim_cycles_per_s: f64,
+}
+
+/// Result of `clognet bench --shards <max>`: a strong-scaling curve
+/// for one simulation spatially sharded across cores, on a mesh big
+/// enough (16x16) that per-cycle router work dwarfs barrier overhead.
+pub struct ShardBenchResult {
+    /// Mesh dimensions of the benchmarked chip.
+    pub mesh: (usize, usize),
+    /// Warmup cycles per leg (excluded from the timed span).
+    pub warm: u64,
+    /// Measured cycles per leg.
+    pub cycles: u64,
+    /// One leg per shard count, ascending, starting at 1.
+    pub legs: Vec<ShardLeg>,
+    /// Whether every sharded leg reproduced the sequential leg's
+    /// report byte-for-byte (the determinism contract, re-checked on
+    /// the benchmark's own runs).
+    pub identical_reports: bool,
+}
+
+impl ShardBenchResult {
+    /// Wall-clock speedup of the `shards`-way leg over the sequential
+    /// leg, or 0 when that leg was not run.
+    pub fn speedup_at(&self, shards: usize) -> f64 {
+        let seq = self.legs.iter().find(|l| l.shards == 1);
+        let leg = self.legs.iter().find(|l| l.shards == shards);
+        match (seq, leg) {
+            (Some(s), Some(l)) if l.wall_s > 0.0 => s.wall_s / l.wall_s,
+            _ => 0.0,
+        }
+    }
+
+    /// The `BENCH_shards.json` document: scaling legs plus the
+    /// headline 4-shard speedup. Single-core CI hosts record the curve
+    /// without enforcing a ratio, so the host's parallelism is included
+    /// for interpretation.
+    pub fn to_json(&self) -> String {
+        let legs: Vec<String> = self
+            .legs
+            .iter()
+            .map(|l| {
+                format!(
+                    "{{\"shards\":{},\"wall_s\":{:.6},\"wall_s_mean\":{:.6},\
+                     \"wall_s_stddev\":{:.6},\"sim_cycles_per_s\":{:.1},\"speedup\":{:.3}}}",
+                    l.shards,
+                    l.wall_s,
+                    l.wall_s_mean,
+                    l.wall_s_stddev,
+                    l.sim_cycles_per_s,
+                    self.speedup_at(l.shards)
+                )
+            })
+            .collect();
+        format!(
+            "{{\"harness\":\"clognet bench --shards\",\"mesh\":\"{}x{}\",\
+             \"warm\":{},\"cycles\":{},\"reps\":{},\"host_threads\":{},\
+             \"legs\":[{}],\"speedup_at_4\":{:.3},\"identical_reports\":{}}}",
+            self.mesh.0,
+            self.mesh.1,
+            self.warm,
+            self.cycles,
+            LEG_REPS,
+            std::thread::available_parallelism().map_or(1, usize::from),
+            legs.join(","),
+            self.speedup_at(4),
+            self.identical_reports
+        )
+    }
+}
+
+/// The chip the shard-scaling benchmark runs: a 16x16 mesh (4x the
+/// default router count) under Delegated Replies, following the
+/// `--mesh` convention for node counts (one memory node per row, CPUs
+/// at twice that, GPU cores on the remaining tiles).
+pub fn shard_bench_config() -> SystemConfig {
+    let mut cfg = SystemConfig::default().with_scheme(Scheme::DelegatedReplies);
+    cfg.mesh_width = 16;
+    cfg.mesh_height = 16;
+    cfg.n_mem = 16;
+    cfg.n_cpu = 32;
+    cfg.n_gpu = 16 * 16 - 3 * 16;
+    cfg
+}
+
+/// Time one simulation at shard counts 1, 2, 4, ... up to
+/// `max_shards` (skipping counts that do not divide the mesh rows).
+/// Build and warmup happen outside the timer; each leg runs
+/// [`LEG_REPS`] times on freshly built systems and reports the minimum
+/// wall time. Every leg's report is checked against the sequential
+/// leg's — a sharded run that got faster by diverging would be a bug,
+/// not a speedup.
+pub fn run_shard_bench(max_shards: usize, warm: u64, cycles: u64) -> ShardBenchResult {
+    let cfg = shard_bench_config();
+    let (gpu, cpu) = ("HS", "bodytrack");
+    let mut counts = vec![1];
+    let mut s = 2;
+    while s <= max_shards {
+        if cfg.mesh_height.is_multiple_of(s) {
+            counts.push(s);
+        }
+        s *= 2;
+    }
+    let mut legs = Vec::with_capacity(counts.len());
+    let mut reference: Option<Report> = None;
+    let mut identical_reports = true;
+    for shards in counts {
+        let mut samples = Vec::with_capacity(LEG_REPS);
+        let mut last_report = None;
+        for _ in 0..LEG_REPS {
+            let mut sys = System::new(cfg.clone(), gpu, cpu);
+            if shards > 1 {
+                sys.set_tick_engine(TickEngine::Sharded(shards))
+                    .expect("power-of-two shard counts divide the 16 mesh rows");
+            }
+            sys.run(warm);
+            sys.reset_stats();
+            let start = std::time::Instant::now();
+            sys.run(cycles);
+            samples.push(start.elapsed().as_secs_f64());
+            last_report = Some(sys.report());
+        }
+        match (&reference, last_report) {
+            (None, report) => reference = report,
+            (Some(reference), Some(report)) => {
+                identical_reports &= *reference == report;
+            }
+            _ => {}
+        }
+        let (wall_s, wall_s_mean, wall_s_stddev) = rep_stats(&samples);
+        legs.push(ShardLeg {
+            shards,
+            wall_s,
+            wall_s_mean,
+            wall_s_stddev,
+            sim_cycles_per_s: if wall_s > 0.0 {
+                cycles as f64 / wall_s
+            } else {
+                0.0
+            },
+        });
+    }
+    ShardBenchResult {
+        mesh: (cfg.mesh_width, cfg.mesh_height),
+        warm,
+        cycles,
+        legs,
+        identical_reports,
     }
 }
 
@@ -544,6 +735,43 @@ mod tests {
         assert!((stddev - (8.0f64 / 3.0).sqrt()).abs() < 1e-12);
         let (min, mean, stddev) = rep_stats(&[1.5]);
         assert_eq!((min, mean, stddev), (1.5, 1.5, 0.0));
+    }
+
+    #[test]
+    fn shard_bench_config_fills_the_big_mesh() {
+        let cfg = shard_bench_config();
+        assert_eq!((cfg.mesh_width, cfg.mesh_height), (16, 16));
+        assert_eq!(cfg.n_gpu + cfg.n_cpu + cfg.n_mem, cfg.nodes());
+        assert_eq!(cfg.scheme, Scheme::DelegatedReplies);
+    }
+
+    #[test]
+    fn shard_bench_json_is_flat_and_balanced() {
+        let leg = |shards, wall_s, per_s| ShardLeg {
+            shards,
+            wall_s,
+            wall_s_mean: wall_s,
+            wall_s_stddev: 0.0,
+            sim_cycles_per_s: per_s,
+        };
+        let r = ShardBenchResult {
+            mesh: (16, 16),
+            warm: 10,
+            cycles: 100,
+            legs: vec![leg(1, 2.0, 50.0), leg(4, 0.5, 200.0)],
+            identical_reports: true,
+        };
+        let j = r.to_json();
+        assert!(j.contains("\"harness\":\"clognet bench --shards\""));
+        assert!(j.contains("\"mesh\":\"16x16\""));
+        assert!(j.contains("\"speedup_at_4\":4.000"));
+        assert!(j.contains("\"identical_reports\":true"));
+        assert!(j.contains("\"shards\":1"));
+        assert!(j.contains("\"speedup\":4.000"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        // A leg that was never run reports no speedup rather than NaN.
+        assert_eq!(r.speedup_at(2), 0.0);
     }
 
     #[test]

@@ -24,8 +24,8 @@ use clognet_bench::runner::default_threads;
 use clognet_cli::args::{Args, ParseArgsError};
 use clognet_cli::config::{config_from, CONFIG_KEYS};
 use clognet_cli::{cluster_cmd, driver, report, serve_cmd, timeline};
-use clognet_core::{System, TelemetryConfig};
-use clognet_proto::Scheme;
+use clognet_core::{System, TelemetryConfig, TickEngine};
+use clognet_proto::{Scheme, SystemConfig};
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -74,8 +74,26 @@ fn dispatch(raw: Vec<String>) -> Result<(), ParseArgsError> {
 
 fn run_keys() -> Vec<&'static str> {
     let mut keys = CONFIG_KEYS.to_vec();
-    keys.extend_from_slice(&["cycles", "warm", "no-ff"]);
+    keys.extend_from_slice(&["cycles", "warm", "no-ff", "shards"]);
     keys
+}
+
+/// Intra-run shard count from `--shards` (default 1 = the sequential
+/// engine), validated against the configured topology up front so a
+/// count that cannot partition the mesh fails with a clear message
+/// before any simulation is built.
+fn shard_count(args: &Args, cfg: &SystemConfig) -> Result<usize, ParseArgsError> {
+    let n = args.get_num("shards", 1usize)?;
+    clognet_core::validate_shards(cfg, n).map_err(|e| ParseArgsError(format!("--shards: {e}")))?;
+    Ok(n)
+}
+
+/// Apply a validated `--shards` count to a freshly built system.
+fn apply_shards(sys: &mut System, shards: usize) {
+    if shards > 1 {
+        sys.set_tick_engine(TickEngine::Sharded(shards))
+            .expect("shard count validated against this config");
+    }
 }
 
 /// Telemetry epoch length from `--sample` (default 500 cycles).
@@ -112,8 +130,10 @@ fn cmd_run(args: &Args) -> Result<(), ParseArgsError> {
     let csv_path = args.get("csv");
     let want_telemetry =
         metrics_path.is_some() || csv_path.is_some() || args.get("sample").is_some();
+    let shards = shard_count(args, &cfg)?;
     let mut sys = System::new(cfg, gpu, cpu);
     sys.set_fast_forward(!args.flag("no-ff"));
+    apply_shards(&mut sys, shards);
     if want_telemetry {
         sys.enable_telemetry(TelemetryConfig {
             epoch_len: sample_len(args)?,
@@ -157,8 +177,10 @@ fn cmd_timeline(args: &Args) -> Result<(), ParseArgsError> {
     let cols = args.get_num("width-cols", 72usize)?;
     let cfg = config_from(args)?;
     let scheme = cfg.scheme;
+    let shards = shard_count(args, &cfg)?;
     let mut sys = System::new(cfg, gpu, cpu);
     sys.set_fast_forward(!args.flag("no-ff"));
+    apply_shards(&mut sys, shards);
     sys.enable_telemetry(TelemetryConfig {
         epoch_len: sample_len(args)?,
         ..TelemetryConfig::default()
@@ -200,7 +222,17 @@ fn cmd_compare(args: &Args) -> Result<(), ParseArgsError> {
         println!("comparing schemes on {gpu}+{cpu} ({warm} warm + {cycles} measured cycles)\n");
     }
     let base = config_from(args)?;
-    let rows = driver::run_compare(&base, gpu, cpu, warm, cycles, threads, !args.flag("no-ff"));
+    let shards = shard_count(args, &base)?;
+    let rows = driver::run_compare(
+        &base,
+        gpu,
+        cpu,
+        warm,
+        cycles,
+        threads,
+        !args.flag("no-ff"),
+        shards,
+    );
     if args.flag("json") {
         print!("{}", report::comparison_json(&rows));
     } else {
@@ -237,6 +269,9 @@ fn cmd_sweep(args: &Args) -> Result<(), ParseArgsError> {
         );
     }
     let base = config_from(args)?;
+    // Sweep parameters never resize the mesh, so one validation against
+    // the base config covers every point.
+    let shards = shard_count(args, &base)?;
     let points = driver::run_sweep(
         &base,
         param,
@@ -247,6 +282,7 @@ fn cmd_sweep(args: &Args) -> Result<(), ParseArgsError> {
         cycles,
         threads,
         !args.flag("no-ff"),
+        shards,
     )?;
     for p in &points {
         if args.flag("json") {
@@ -268,7 +304,9 @@ fn cmd_sweep(args: &Args) -> Result<(), ParseArgsError> {
 }
 
 fn cmd_bench(args: &Args) -> Result<(), ParseArgsError> {
-    args.reject_unknown(&["threads", "quick", "warm", "cycles", "out", "json"])?;
+    args.reject_unknown(&[
+        "threads", "quick", "warm", "cycles", "out", "json", "shards",
+    ])?;
     // Quick mode: just enough cycles to prove the harness works (CI
     // smoke); default mode is long enough for meaningful rates.
     let (dwarm, dcycles) = if args.flag("quick") {
@@ -278,6 +316,11 @@ fn cmd_bench(args: &Args) -> Result<(), ParseArgsError> {
     };
     let warm = args.get_num("warm", dwarm)?;
     let cycles = args.get_num("cycles", dcycles)?;
+    // `--shards <max>` switches to the intra-run strong-scaling curve:
+    // one big-mesh simulation at 1, 2, 4, ... shards.
+    if args.get("shards").is_some() {
+        return cmd_shard_bench(args, warm, cycles);
+    }
     let threads = thread_count(args)?;
     let r = driver::run_bench(threads, warm, cycles);
     let doc = r.to_json();
@@ -312,6 +355,40 @@ fn cmd_bench(args: &Args) -> Result<(), ParseArgsError> {
     Ok(())
 }
 
+/// `clognet bench --shards <max>`: time one 16x16-mesh simulation at
+/// shard counts 1, 2, 4, ... `<max>` and report the scaling curve
+/// (the `BENCH_shards.json` artifact).
+fn cmd_shard_bench(args: &Args, warm: u64, cycles: u64) -> Result<(), ParseArgsError> {
+    let max = args.get_num("shards", 4usize)?;
+    let cfg = driver::shard_bench_config();
+    clognet_core::validate_shards(&cfg, max)
+        .map_err(|e| ParseArgsError(format!("--shards: {e}")))?;
+    let r = driver::run_shard_bench(max, warm, cycles);
+    let doc = r.to_json();
+    if args.flag("json") || args.get("out").is_none() {
+        println!("{doc}");
+    }
+    if let Some(path) = args.get("out") {
+        write_file(path, &format!("{doc}\n"))?;
+        eprintln!("wrote shard-scaling report to {path}");
+    }
+    if !args.flag("json") {
+        eprintln!(
+            "shard scaling on a {}x{} mesh ({} warm + {} measured cycles, reports identical: {}):",
+            r.mesh.0, r.mesh.1, r.warm, r.cycles, r.identical_reports
+        );
+        for leg in &r.legs {
+            eprintln!(
+                "  {:>2} shards: {:.3}s ({:.2}x)",
+                leg.shards,
+                leg.wall_s,
+                r.speedup_at(leg.shards)
+            );
+        }
+    }
+    Ok(())
+}
+
 fn cmd_trace(args: &Args) -> Result<(), ParseArgsError> {
     let mut keys = run_keys();
     keys.extend_from_slice(&["last", "kind"]);
@@ -325,8 +402,10 @@ fn cmd_trace(args: &Args) -> Result<(), ParseArgsError> {
     if args.get("scheme").is_none() {
         cfg.scheme = Scheme::DelegatedReplies;
     }
+    let shards = shard_count(args, &cfg)?;
     let mut sys = System::new(cfg, gpu, cpu);
     sys.set_fast_forward(!args.flag("no-ff"));
+    apply_shards(&mut sys, shards);
     sys.run(warm);
     sys.enable_trace(65_536);
     sys.run(cycles);
@@ -426,7 +505,9 @@ fn print_help() {
          \x20 --warm/--cycles    warmup / measured cycles (6000 / 15000)\n\
          \x20 --no-ff            disable event-horizon fast-forward (reference loop)\n\
          \x20 --seed <n>         workload + mapping seed\n\
-         \x20 --threads <n>      compare/sweep/bench worker threads (default: all cores)\n\n\
+         \x20 --threads <n>      compare/sweep/bench worker threads (default: all cores)\n\
+         \x20 --shards <n>       spatial shards ticking one simulation in parallel\n\
+         \x20                    (must divide the mesh rows; bench: max of scaling curve)\n\n\
          TELEMETRY OPTIONS:\n\
          \x20 --metrics <path>   run/timeline: write the telemetry session as JSON\n\
          \x20 --csv <path>       run: write per-epoch series as CSV\n\
@@ -457,6 +538,7 @@ fn print_help() {
          \x20 clognet timeline --gpu NN --cpu canneal --scheme baseline\n\
          \x20 clognet sweep --param width --values 8,16,24,32 --gpu HS --cpu x264\n\
          \x20 clognet bench --quick --out BENCH_smoke.json\n\
+         \x20 clognet bench --shards 4 --out BENCH_shards.json\n\
          \x20 clognet serve --workers 4 &\n\
          \x20 clognet submit --gpu MM --cpu canneal --scheme dr\n\
          \x20 clognet serve --addr 127.0.0.1:9401 --peers 127.0.0.1:9402,127.0.0.1:9403 &\n\
@@ -483,5 +565,37 @@ mod tests {
     fn empty_invocation_prints_help_and_succeeds() {
         assert!(dispatch(Vec::new()).is_ok());
         assert!(dispatch(vec!["help".into()]).is_ok());
+    }
+
+    fn args_of(words: &[&str]) -> Vec<String> {
+        words.iter().map(|w| w.to_string()).collect()
+    }
+
+    #[test]
+    fn run_rejects_shard_counts_that_cannot_partition_the_mesh() {
+        // 3 does not divide the default 8 mesh rows: a clear error
+        // before any simulation is built, not a panic or a silent
+        // fallback to the sequential engine.
+        let e = dispatch(args_of(&["run", "--shards", "3"])).unwrap_err();
+        assert!(e.0.contains("mesh rows"), "{e}");
+        // More shards than rows fails the same way.
+        let e = dispatch(args_of(&["run", "--shards", "16"])).unwrap_err();
+        assert!(e.0.contains("mesh rows"), "{e}");
+        // Non-mesh topologies only run sequentially.
+        let e = dispatch(args_of(&["run", "--topology", "crossbar", "--shards", "2"])).unwrap_err();
+        assert!(e.0.contains("mesh topology"), "{e}");
+        // Zero shards is nonsense whatever the topology.
+        assert!(dispatch(args_of(&["run", "--shards", "0"])).is_err());
+    }
+
+    #[test]
+    fn compare_and_sweep_reject_bad_shard_counts_too() {
+        let e = dispatch(args_of(&["compare", "--shards", "5"])).unwrap_err();
+        assert!(e.0.contains("mesh rows"), "{e}");
+        let e = dispatch(args_of(&[
+            "sweep", "--param", "width", "--values", "8,16", "--shards", "7",
+        ]))
+        .unwrap_err();
+        assert!(e.0.contains("mesh rows"), "{e}");
     }
 }

@@ -14,7 +14,7 @@ use crate::args::{Args, ParseArgsError};
 use crate::cluster_cmd::{parse_peers, CLUSTER_KEYS};
 use crate::config::{config_from, CONFIG_KEYS};
 use crate::report;
-use clognet_core::System;
+use clognet_core::{System, TickEngine};
 use clognet_proto::{canonical_job, fingerprint_hex, job_fingerprint, HashRing, SystemConfig};
 use clognet_serve::client::{Client, RetryPolicy};
 use clognet_serve::json::Json;
@@ -28,14 +28,14 @@ pub const DEFAULT_ADDR: &str = "127.0.0.1:9347";
 
 /// Option keys a job may carry (the `clognet run` configuration
 /// vocabulary, minus the workload names which travel as dedicated
-/// fields, plus `no-ff`).
+/// fields, plus the execution-mode knobs `no-ff` and `shards`).
 fn job_opt_keys() -> Vec<&'static str> {
     let mut keys: Vec<&'static str> = CONFIG_KEYS
         .iter()
         .copied()
         .filter(|k| !matches!(*k, "gpu" | "cpu"))
         .collect();
-    keys.push("no-ff");
+    keys.extend_from_slice(&["no-ff", "shards"]);
     keys
 }
 
@@ -46,9 +46,10 @@ const DEADLINE_CHUNK: u64 = 2_000;
 pub struct SimHandler;
 
 impl SimHandler {
-    /// Resolve a wire spec into a validated `(config, fast-forward)`
-    /// pair, rejecting unknown benchmarks and options.
-    fn resolve(spec: &JobSpec) -> Result<(SystemConfig, bool), JobError> {
+    /// Resolve a wire spec into a validated `(config, fast-forward,
+    /// shards)` triple, rejecting unknown benchmarks, options, and
+    /// shard counts that cannot partition the topology.
+    fn resolve(spec: &JobSpec) -> Result<(SystemConfig, bool, usize), JobError> {
         if clognet_workloads::gpu_benchmark(&spec.gpu).is_none() {
             return Err(JobError::bad_request(format!(
                 "unknown GPU benchmark `{}` (see `clognet list`)",
@@ -65,16 +66,22 @@ impl SimHandler {
         args.reject_unknown(&job_opt_keys())
             .map_err(|e| JobError::bad_request(e.0))?;
         let cfg = config_from(&args).map_err(|e| JobError::bad_request(e.0))?;
-        Ok((cfg, !args.flag("no-ff")))
+        let shards = args
+            .get_num("shards", 1usize)
+            .map_err(|e| JobError::bad_request(e.0))?;
+        clognet_core::validate_shards(&cfg, shards)
+            .map_err(|e| JobError::bad_request(format!("shards: {e}")))?;
+        Ok((cfg, !args.flag("no-ff"), shards))
     }
 }
 
 impl JobHandler for SimHandler {
     fn fingerprint(&self, spec: &JobSpec) -> Result<u64, JobError> {
-        let (cfg, _) = Self::resolve(spec)?;
-        // Fast-forward mode is deliberately excluded: reports are
-        // identical with it on or off (the CI equivalence smoke), so
-        // both spellings should share one cache entry.
+        let (cfg, _, _) = Self::resolve(spec)?;
+        // Execution-mode knobs are deliberately excluded: reports are
+        // byte-identical with fast-forward on or off and at any shard
+        // count (the CI equivalence smokes), so all spellings should
+        // share one cache entry.
         Ok(job_fingerprint(
             &cfg,
             &spec.gpu,
@@ -85,10 +92,14 @@ impl JobHandler for SimHandler {
     }
 
     fn run(&self, spec: &JobSpec, deadline: Instant) -> Result<String, JobError> {
-        let (cfg, ff) = Self::resolve(spec)?;
+        let (cfg, ff, shards) = Self::resolve(spec)?;
         let scheme = cfg.scheme;
         let mut sys = System::new(cfg, &spec.gpu, &spec.cpu);
         sys.set_fast_forward(ff);
+        if shards > 1 {
+            sys.set_tick_engine(TickEngine::Sharded(shards))
+                .expect("shard count validated in resolve");
+        }
         fn chunked(sys: &mut System, total: u64, deadline: Instant) -> Result<(), JobError> {
             let mut remaining = total;
             while remaining > 0 {
@@ -435,6 +446,28 @@ mod tests {
         let mut b = a.clone();
         b.opts.insert("no-ff".into(), "true".into());
         assert_eq!(h.fingerprint(&a).unwrap(), h.fingerprint(&b).unwrap());
+    }
+
+    #[test]
+    fn shard_count_does_not_change_the_fingerprint() {
+        // Sharding is an execution mode, not part of the job's
+        // identity: a sharded submit must hit the cache entry a
+        // sequential run populated.
+        let h = SimHandler;
+        let a = JobSpec::new("HS", "bodytrack");
+        let mut b = a.clone();
+        b.opts.insert("shards".into(), "4".into());
+        assert_eq!(h.fingerprint(&a).unwrap(), h.fingerprint(&b).unwrap());
+    }
+
+    #[test]
+    fn unpartitionable_shard_counts_are_rejected_as_bad_requests() {
+        let h = SimHandler;
+        let mut spec = JobSpec::new("HS", "bodytrack");
+        spec.opts.insert("shards".into(), "3".into());
+        let err = h.fingerprint(&spec).unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+        assert!(err.message.contains("mesh rows"), "{}", err.message);
     }
 
     #[test]

@@ -1,0 +1,72 @@
+//! Determinism under intra-run sharding: the `--json` documents
+//! `compare` and `sweep` print must be **byte-identical** between
+//! `--shards 1` (the sequential reference) and `--shards N` — in both
+//! fast-forward modes. Sharding is an execution-mode knob like thread
+//! count: it may only change wall-clock time, never a single output
+//! byte.
+
+use clognet_cli::driver;
+use clognet_cli::report;
+use clognet_proto::SystemConfig;
+
+const WARM: u64 = 300;
+const CYCLES: u64 = 900;
+
+#[test]
+fn compare_json_identical_across_shard_counts_and_ff_modes() {
+    let cfg = SystemConfig::default();
+    let seq = driver::run_compare(&cfg, "HS", "bodytrack", WARM, CYCLES, 1, true, 1);
+    let sharded = driver::run_compare(&cfg, "HS", "bodytrack", WARM, CYCLES, 1, true, 4);
+    let sharded_no_ff = driver::run_compare(&cfg, "HS", "bodytrack", WARM, CYCLES, 1, false, 4);
+    assert_eq!(
+        report::comparison_json(&seq),
+        report::comparison_json(&sharded),
+        "compare --json differs between --shards 1 and --shards 4"
+    );
+    assert_eq!(
+        report::comparison_json(&seq),
+        report::comparison_json(&sharded_no_ff),
+        "compare --json differs between --shards 4 and --shards 4 --no-ff"
+    );
+}
+
+#[test]
+fn sweep_json_identical_across_shard_counts() {
+    let cfg = SystemConfig::default();
+    let values = [8u64, 16];
+    let render = |points: &[driver::SweepPoint]| {
+        points
+            .iter()
+            .map(|p| driver::sweep_point_json("width", p))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let seq = driver::run_sweep(
+        &cfg, "width", &values, "MM", "canneal", WARM, CYCLES, 1, true, 1,
+    )
+    .unwrap();
+    let sharded = driver::run_sweep(
+        &cfg, "width", &values, "MM", "canneal", WARM, CYCLES, 1, true, 2,
+    )
+    .unwrap();
+    assert_eq!(
+        render(&seq),
+        render(&sharded),
+        "sweep --json differs between --shards 1 and --shards 2"
+    );
+}
+
+#[test]
+fn sharding_composes_with_worker_threads() {
+    // The two levels of parallelism stack: N jobs on M worker threads,
+    // each job itself sharded. Output must still match the fully
+    // sequential run byte for byte.
+    let cfg = SystemConfig::default();
+    let seq = driver::run_compare(&cfg, "BP", "ferret", WARM, CYCLES, 1, true, 1);
+    let stacked = driver::run_compare(&cfg, "BP", "ferret", WARM, CYCLES, 3, true, 2);
+    assert_eq!(
+        report::comparison_json(&seq),
+        report::comparison_json(&stacked),
+        "compare --json differs when jobs run threaded AND sharded"
+    );
+}

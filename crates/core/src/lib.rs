@@ -32,6 +32,6 @@ pub use clognet_telemetry::TelemetryConfig;
 pub use memnode::{MemNode, MemNodeStats, PendingReply};
 pub use nets::Nets;
 pub use report::{MissBreakdown, Report};
-pub use system::System;
+pub use system::{validate_shards, System, TickEngine};
 pub use telemetry::SystemTelemetry;
 pub use trace::{Event, TraceLog, Traced};

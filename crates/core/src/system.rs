@@ -14,7 +14,7 @@ use crate::telemetry::SystemTelemetry;
 use crate::trace::{Event, TraceLog};
 use clognet_cpu::{CpuOut, CpuSubsystem};
 use clognet_gpu::{GpuIn, GpuOut, GpuSubsystem};
-use clognet_noc::Network;
+use clognet_noc::{Network, ShardError};
 use clognet_proto::{
     AddressMap, CoreId, Cycle, Layout, LineAddr, MsgKind, NodeId, NodeKind, Packet, PacketId,
     Priority, Scheme, SystemConfig, TrafficClass,
@@ -22,6 +22,34 @@ use clognet_proto::{
 use clognet_telemetry::TelemetryConfig;
 use clognet_workloads::{cpu_benchmark, gpu_benchmark};
 use std::collections::VecDeque;
+
+/// How the NoC portion of [`System::tick`] executes.
+///
+/// Both engines compute the identical state transition; the sharded
+/// engine spreads it over a worker pool. Reports are byte-identical —
+/// the engine is an execution-mode knob like fast-forward and
+/// idle-skip, never part of a result's identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TickEngine {
+    /// One thread ticks every router (the reference loop).
+    Sequential,
+    /// Per-row spatial shards ticked on `n` threads with a
+    /// deterministic per-cycle barrier exchange of boundary flits and
+    /// credits. `Sharded(1)` is equivalent to `Sequential`.
+    Sharded(usize),
+}
+
+/// Validate a prospective shard count against a configuration without
+/// building a system — lets front ends reject a bad `--shards` with a
+/// clear message before any construction work.
+///
+/// # Errors
+///
+/// Fails when `shards` cannot partition `cfg`'s topology (more than
+/// one shard requires a mesh whose row count divides evenly).
+pub fn validate_shards(cfg: &SystemConfig, shards: usize) -> Result<(), ShardError> {
+    clognet_noc::shards::validate(cfg.noc.topology, cfg.mesh_height, shards)
+}
 
 /// Per-node outboxes (one per class) between the cores and the NIs.
 #[derive(Debug, Default)]
@@ -251,6 +279,33 @@ impl System {
     /// like every other counter).
     pub fn skipped_cycles(&self) -> u64 {
         self.skipped_cycles
+    }
+
+    /// Select the NoC tick engine. [`TickEngine::Sharded`] partitions
+    /// each physical network into per-row router groups ticked on a
+    /// worker pool with per-cycle barriers; reports stay byte-identical
+    /// to [`TickEngine::Sequential`], and the mode composes with
+    /// idle-skip and event-horizon fast-forward (shards run in lockstep
+    /// inside one network tick, so the quiescence horizon is global —
+    /// the clock only jumps when every shard agrees there is no work).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the shard count cannot partition the topology; the
+    /// current engine is left in place.
+    pub fn set_tick_engine(&mut self, engine: TickEngine) -> Result<(), ShardError> {
+        match engine {
+            TickEngine::Sequential => self.nets.set_shards(1),
+            TickEngine::Sharded(n) => self.nets.set_shards(n),
+        }
+    }
+
+    /// The active tick engine.
+    pub fn tick_engine(&self) -> TickEngine {
+        match self.nets.shards() {
+            1 => TickEngine::Sequential,
+            n => TickEngine::Sharded(n),
+        }
     }
 
     /// If the whole chip is quiescent at `self.now`, the cycle to jump

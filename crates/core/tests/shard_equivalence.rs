@@ -1,0 +1,82 @@
+//! Property test for the sharded tick engine: a spatially sharded run
+//! ([`TickEngine::Sharded`]) must be *invisible* — same
+//! [`Report`](clognet_core::Report), same telemetry series, same final
+//! clock — compared to the sequential reference loop, across schemes
+//! and with fast-forward both on and off (the two engines compose:
+//! shards run in lockstep inside one network tick, so the quiescence
+//! horizon stays global).
+
+use clognet_core::{System, TickEngine};
+use clognet_proto::{Scheme, SystemConfig};
+use clognet_telemetry::TelemetryConfig;
+
+fn assert_sharded_matches(cfg: SystemConfig, gpu: &str, cpu: &str, shards: usize, ff: bool) {
+    let mut sharded = System::new(cfg.clone(), gpu, cpu);
+    let mut reference = System::new(cfg, gpu, cpu);
+    sharded
+        .set_tick_engine(TickEngine::Sharded(shards))
+        .expect("valid shard plan");
+    assert_eq!(sharded.tick_engine(), TickEngine::Sharded(shards));
+    for sys in [&mut sharded, &mut reference] {
+        sys.set_fast_forward(ff);
+        sys.enable_telemetry(TelemetryConfig {
+            epoch_len: 256,
+            ring_cap: 64,
+        });
+    }
+    sharded.run(400);
+    reference.run(400);
+    sharded.reset_stats();
+    reference.reset_stats();
+    for chunk in 0..3 {
+        sharded.run(600);
+        reference.run(600);
+        assert_eq!(sharded.now(), reference.now(), "clocks diverged (ff={ff})");
+        assert_eq!(
+            sharded.report(),
+            reference.report(),
+            "{shards} shards changed the report at checkpoint {chunk} (ff={ff})"
+        );
+    }
+    assert_eq!(
+        sharded.export_series_csv(),
+        reference.export_series_csv(),
+        "{shards} shards changed the telemetry series (ff={ff})"
+    );
+}
+
+#[test]
+fn sharded_engine_matches_reference_across_schemes() {
+    for (i, scheme) in [
+        Scheme::Baseline,
+        Scheme::DelegatedReplies,
+        Scheme::rp_default(),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let cfg = SystemConfig::default().with_scheme(scheme);
+        // Alternate shard counts and fast-forward modes across schemes
+        // to cover the matrix without tripling the runtime.
+        let shards = [2, 4, 8][i % 3];
+        assert_sharded_matches(cfg.clone(), "HS", "bodytrack", shards, i % 2 == 0);
+    }
+}
+
+#[test]
+fn sharded_engine_composes_with_fast_forward_both_ways() {
+    let cfg = SystemConfig::default().with_scheme(Scheme::DelegatedReplies);
+    for ff in [true, false] {
+        assert_sharded_matches(cfg.clone(), "NN", "blackscholes", 4, ff);
+    }
+}
+
+#[test]
+fn invalid_shard_count_is_rejected_and_engine_unchanged() {
+    let cfg = SystemConfig::default(); // 8x8 mesh
+    let mut sys = System::new(cfg, "HS", "bodytrack");
+    let err = sys.set_tick_engine(TickEngine::Sharded(3)).unwrap_err();
+    assert!(err.0.contains("mesh rows"), "{err}");
+    assert_eq!(sys.tick_engine(), TickEngine::Sequential);
+    sys.run(200); // still runs fine on the unchanged engine
+}

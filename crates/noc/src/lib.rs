@@ -51,9 +51,11 @@ mod flit;
 pub mod network;
 mod router;
 pub mod routing;
+pub mod shards;
 pub mod stats;
 pub mod topology;
 
 pub use network::{ClassAssignment, NetParams, Network};
+pub use shards::{ShardError, ShardPlan, ShardPool};
 pub use stats::{LatencyBin, NocStats};
 pub use topology::{mesh_port, PortLink, TopologyGraph};

@@ -8,10 +8,12 @@
 use crate::flit::{Flit, Slot};
 use crate::router::{Alloc, Router};
 use crate::routing;
+use crate::shards::{Phase, ShardError, ShardPlan, ShardPool, ShardScratch};
 use crate::stats::{class_ix, NocStats};
 use crate::topology::{PortLink, TopologyGraph};
 use clognet_proto::{Cycle, NodeId, Packet, Priority, RoutingPolicy, Topology, TrafficClass};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// How traffic classes map onto this physical network's VCs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -205,17 +207,16 @@ pub struct Network {
     /// disabled and every router runs VA/SA each cycle (for equivalence
     /// tests; results must be identical either way).
     idle_skip: bool,
-    /// SA scratch, reused across routers and cycles: requests
-    /// (out_port, in_port, in_vc, prio).
-    sa_requests: Vec<(usize, usize, usize, Priority)>,
-    /// SA scratch: per-round grants (out, in, vc).
-    sa_grants: Vec<(usize, usize, usize)>,
-    /// SA scratch: accepted matches (in, vc, out).
-    sa_accepted: Vec<(usize, usize, usize)>,
-    /// SA scratch: output ports already matched this cycle.
-    sa_out_taken: Vec<bool>,
-    /// SA scratch: input ports already matched this cycle.
-    sa_in_taken: Vec<bool>,
+    /// Spatial partition of the router range: one entry (all routers)
+    /// for the sequential engine, per-row groups when sharded.
+    plan: ShardPlan,
+    /// Per-shard working sets (SA scratch + deferred cross-shard
+    /// traffic), reused across cycles; `scratch.len() == plan.shards()`.
+    scratch: Vec<ShardScratch>,
+    /// Worker pool driving shards 1.. in parallel (`None` = sequential).
+    /// Shared between sibling networks so the request/reply pair uses
+    /// one set of threads.
+    pool: Option<Arc<ShardPool>>,
     /// Per-slot received-flit counts for ejection reassembly, indexed by
     /// packet slot (a packet ejects at exactly one node, so one shared
     /// flat array replaces the former per-NI `HashMap<Slot, u8>`). Grows
@@ -277,11 +278,9 @@ impl Network {
             stats_epoch: 0,
             active: vec![0; n_routers],
             idle_skip: true,
-            sa_requests: Vec::new(),
-            sa_grants: Vec::new(),
-            sa_accepted: Vec::new(),
-            sa_out_taken: Vec::new(),
-            sa_in_taken: Vec::new(),
+            plan: ShardPlan::single(n_routers),
+            scratch: vec![ShardScratch::default()],
+            pool: None,
             eject_counts: Vec::new(),
             route_tables,
             topo,
@@ -294,6 +293,54 @@ impl Network {
     /// way, only wall-clock differs.
     pub fn set_idle_skip(&mut self, on: bool) {
         self.idle_skip = on;
+    }
+
+    /// Configure spatial sharding. `n == 1` restores the sequential
+    /// engine; `n > 1` partitions the mesh into per-row router groups
+    /// ticked on a dedicated worker pool with per-phase barriers.
+    /// Reports are byte-identical either way (see [`crate::shards`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails when `n` shards cannot partition this topology: more than
+    /// one shard requires a mesh whose row count `n` divides evenly.
+    pub fn set_shards(&mut self, n: usize) -> Result<(), ShardError> {
+        let pool = (n > 1).then(|| Arc::new(ShardPool::new(n)));
+        self.set_shards_pooled(n, pool)
+    }
+
+    /// [`Self::set_shards`] with a caller-supplied pool, so sibling
+    /// physical networks (the baseline's request + reply pair) share
+    /// one set of worker threads. `pool` must be built for exactly `n`
+    /// shards and be `None` iff `n == 1`.
+    pub fn set_shards_pooled(
+        &mut self,
+        n: usize,
+        pool: Option<Arc<ShardPool>>,
+    ) -> Result<(), ShardError> {
+        let plan = ShardPlan::new(
+            self.params.topology,
+            self.params.width,
+            self.params.height,
+            self.topo.routers(),
+            n,
+        )?;
+        assert_eq!(
+            pool.as_ref().map_or(1, |p| p.shards()),
+            plan.shards(),
+            "pool sized for a different shard count"
+        );
+        self.scratch = (0..plan.shards())
+            .map(|_| ShardScratch::default())
+            .collect();
+        self.plan = plan;
+        self.pool = pool;
+        Ok(())
+    }
+
+    /// Current shard count (1 = sequential engine).
+    pub fn shards(&self) -> usize {
+        self.plan.shards()
     }
 
     /// Current cycle.
@@ -561,27 +608,37 @@ impl Network {
     ///
     /// Steady-state ticks perform zero heap allocations: all per-cycle
     /// working sets (SA requests/grants/matches, link transfers, credit
-    /// returns) live in scratch buffers on `self` that are drained in
+    /// returns) live in per-shard scratch buffers that are drained in
     /// place, and routers with no buffered flits (`active[r] == 0`) skip
     /// VA/SA entirely.
+    ///
+    /// The VA and SA/ST phases run over the shard plan — inline for the
+    /// sequential engine, fanned out over the worker pool when sharded
+    /// — and the per-shard results merge in shard (= router) order, so
+    /// both engines execute the identical state transition.
     pub fn tick(&mut self) {
         // Reset per-tick NI progress flags.
         for ni in &mut self.nis {
             ni.progress.iter_mut().for_each(|p| *p = false);
         }
         self.update_adaptive_state();
-        for r in 0..self.routers.len() {
-            if self.idle_skip && self.active[r] == 0 {
-                continue;
-            }
-            self.va_router(r);
+        // Pre-size the reassembly counters: slots are bounded by the
+        // slab length, so the SA/ST phase (possibly parallel) indexes
+        // without growing the array.
+        if self.eject_counts.len() < self.packets.v.len() {
+            self.eject_counts.resize(self.packets.v.len(), 0);
         }
-        for r in 0..self.routers.len() {
-            if self.idle_skip && self.active[r] == 0 {
-                continue;
+        match self.pool.clone() {
+            Some(pool) => {
+                pool.run(self, Phase::Va);
+                pool.run(self, Phase::SaSt);
             }
-            self.sa_st_router(r);
+            None => {
+                self.va_shard(0);
+                self.sa_st_shard(0);
+            }
         }
+        self.merge_shards();
         // Apply link transfers (arrivals become visible next tick).
         // Drained in place: capacity is retained across cycles and
         // nothing pushes to `transfers` during the apply loop.
@@ -614,6 +671,67 @@ impl Network {
         }
         self.now += 1;
         self.stats.cycles = self.now - self.stats_epoch;
+    }
+
+    /// VC allocation over shard `s`'s router range. Mutates only those
+    /// routers' state, so shards run this concurrently.
+    pub(crate) fn va_shard(&mut self, s: usize) {
+        let range = self.plan.router_range(s);
+        for r in range {
+            if self.idle_skip && self.active[r] == 0 {
+                continue;
+            }
+            self.va_router(r);
+        }
+    }
+
+    /// Switch allocation + traversal over shard `s`'s router range.
+    /// In-place mutations stay within the shard (its routers and their
+    /// locally attached NIs); everything crossing a boundary is deferred
+    /// into the shard's scratch for the in-order merge.
+    pub(crate) fn sa_st_shard(&mut self, s: usize) {
+        let range = self.plan.router_range(s);
+        let mut sc = std::mem::take(&mut self.scratch[s]);
+        for r in range {
+            if self.idle_skip && self.active[r] == 0 {
+                continue;
+            }
+            self.sa_st_router(r, &mut sc);
+        }
+        self.scratch[s] = sc;
+    }
+
+    /// Fold the per-shard scratches back into global state, in shard
+    /// order. Shard order equals router order, so the transfer, credit,
+    /// and ejection streams — and with them the packet-slab free list
+    /// that decides future slot assignment — are exactly what one
+    /// sequential pass over all routers produces.
+    fn merge_shards(&mut self) {
+        for s in 0..self.scratch.len() {
+            let mut sc = std::mem::take(&mut self.scratch[s]);
+            for &(slot, node) in &sc.ejections {
+                let pkt = self.packets.remove(slot);
+                let latency = self.now - pkt.created;
+                self.stats
+                    .record_ejection(pkt.class(), pkt.prio, latency, node, pkt.flits);
+                self.nis[node].ejected.push_back(pkt);
+            }
+            sc.ejections.clear();
+            // The global apply buffers are empty here (drained last
+            // tick); swapping donates the scratch's capacity instead of
+            // copying, keeping the single-shard path free of extra work.
+            if self.transfers.is_empty() {
+                std::mem::swap(&mut self.transfers, &mut sc.transfers);
+            } else {
+                self.transfers.append(&mut sc.transfers);
+            }
+            if self.credit_returns.is_empty() {
+                std::mem::swap(&mut self.credit_returns, &mut sc.credit_returns);
+            } else {
+                self.credit_returns.append(&mut sc.credit_returns);
+            }
+            self.scratch[s] = sc;
+        }
     }
 
     fn update_adaptive_state(&mut self) {
@@ -771,14 +889,14 @@ impl Network {
     /// Switch allocation (iterative iSLIP with strict CPU priority)
     /// followed by switch/link traversal for the winners.
     ///
-    /// All working sets live in `sa_*` scratch buffers on `self`:
-    /// cleared (not reallocated) per router, so steady-state cycles
-    /// never touch the heap.
+    /// All working sets live in the `sa_*` buffers of the shard's
+    /// scratch: cleared (not reallocated) per router, so steady-state
+    /// cycles never touch the heap.
     #[allow(clippy::needless_range_loop)] // indices drive router state arrays
-    fn sa_st_router(&mut self, r: usize) {
+    fn sa_st_router(&mut self, r: usize, sc: &mut ShardScratch) {
         let n_ports = self.routers[r].inputs.len();
         // Gather requests: (out_port, in_port, in_vc, prio).
-        self.sa_requests.clear();
+        sc.sa_requests.clear();
         for i in 0..n_ports {
             for v in 0..self.total_vcs {
                 let ivc = &self.routers[r].inputs[i][v];
@@ -806,35 +924,35 @@ impl Network {
                 };
                 if ok {
                     let prio = self.packets.get(f.slot).prio;
-                    self.sa_requests.push((alloc.port as usize, i, v, prio));
+                    sc.sa_requests.push((alloc.port as usize, i, v, prio));
                 }
             }
         }
-        if self.sa_requests.is_empty() {
+        if sc.sa_requests.is_empty() {
             return;
         }
         let n_out = self.routers[r].out_owner.len();
-        self.sa_out_taken.clear();
-        self.sa_out_taken.resize(n_out, false);
-        self.sa_in_taken.clear();
-        self.sa_in_taken.resize(n_ports, false);
-        self.sa_accepted.clear();
+        sc.sa_out_taken.clear();
+        sc.sa_out_taken.resize(n_out, false);
+        sc.sa_in_taken.clear();
+        sc.sa_in_taken.resize(n_ports, false);
+        sc.sa_accepted.clear();
         // Iterative separable matching: each round runs a grant pass per
         // free output and an accept pass per free input; matched pairs
         // are removed and the next round fills in the matching.
         for round in 0..self.params.sa_iterations.max(1) {
             // Grant: one request per free output port (CPU first, then
             // rotating).
-            self.sa_grants.clear(); // (out, in, vc)
+            sc.sa_grants.clear(); // (out, in, vc)
             for op in 0..n_out {
-                if self.sa_out_taken[op] {
+                if sc.sa_out_taken[op] {
                     continue;
                 }
                 let mut best: Option<(usize, usize, Priority, usize)> = None;
                 let ptr = self.routers[r].grant_ptr[op];
                 let id_space = n_ports * self.total_vcs;
-                for &(o, i, v, prio) in &self.sa_requests {
-                    if o != op || self.sa_in_taken[i] {
+                for &(o, i, v, prio) in &sc.sa_requests {
+                    if o != op || sc.sa_in_taken[i] {
                         continue;
                     }
                     let id = i * self.total_vcs + v;
@@ -848,22 +966,22 @@ impl Network {
                     }
                 }
                 if let Some((i, v, _, _)) = best {
-                    self.sa_grants.push((op, i, v));
+                    sc.sa_grants.push((op, i, v));
                 }
             }
-            if self.sa_grants.is_empty() {
+            if sc.sa_grants.is_empty() {
                 break;
             }
             // Accept: one grant per free input port (CPU first, then
             // rotating).
             let mut progress = false;
             for i in 0..n_ports {
-                if self.sa_in_taken[i] {
+                if sc.sa_in_taken[i] {
                     continue;
                 }
                 let mut best: Option<(usize, usize, Priority, usize)> = None;
                 let ptr = self.routers[r].accept_ptr[i];
-                for &(op, gi, v) in &self.sa_grants {
+                for &(op, gi, v) in &sc.sa_grants {
                     if gi != i {
                         continue;
                     }
@@ -879,9 +997,9 @@ impl Network {
                     }
                 }
                 if let Some((op, v, _, _)) = best {
-                    self.sa_accepted.push((i, v, op));
-                    self.sa_in_taken[i] = true;
-                    self.sa_out_taken[op] = true;
+                    sc.sa_accepted.push((i, v, op));
+                    sc.sa_in_taken[i] = true;
+                    sc.sa_out_taken[op] = true;
                     progress = true;
                     // iSLIP pointer updates only on first-iteration
                     // accepts (the classic desynchronization rule).
@@ -897,15 +1015,16 @@ impl Network {
             }
         }
         // ST for the winners (indexed: traverse needs `&mut self`).
-        for k in 0..self.sa_accepted.len() {
-            let (i, v, op) = self.sa_accepted[k];
-            self.traverse(r, i, v, op);
+        for k in 0..sc.sa_accepted.len() {
+            let (i, v, op) = sc.sa_accepted[k];
+            self.traverse(r, i, v, op, sc);
         }
     }
 
     /// Move the head-of-VC flit of (router `r`, input `i`, VC `v`) out of
-    /// output port `op`.
-    fn traverse(&mut self, r: usize, i: usize, v: usize, op: usize) {
+    /// output port `op`. Cross-shard effects (credit returns, link
+    /// transfers, ejection finalization) are deferred into `sc`.
+    fn traverse(&mut self, r: usize, i: usize, v: usize, op: usize, sc: &mut ShardScratch) {
         let alloc = self.routers[r].inputs[i][v].alloc.expect("allocated");
         debug_assert_eq!(alloc.port as usize, op);
         let f = self.routers[r].inputs[i][v]
@@ -914,35 +1033,28 @@ impl Network {
             .expect("requested flit");
         self.active[r] -= 1;
         self.stats.link_flits[r][op] += 1;
-        // Credit return towards whoever feeds this input VC.
+        // Credit return towards whoever feeds this input VC (possibly a
+        // router in another shard — deferred).
         if let PortLink::Router { router: s, port: q } = self.topo.link(r, i) {
-            self.credit_returns.push((s, q, v));
+            sc.credit_returns.push((s, q, v));
         }
         let tail = f.is_tail();
         match self.topo.link(r, op) {
             PortLink::Node(node) => {
                 // Ejection into the NI reassembly buffer. Space for the
-                // whole packet was reserved when the head ejected.
+                // whole packet was reserved when the head ejected; the
+                // NI is locally attached, hence shard-local.
                 if f.is_head() {
                     self.nis[node.index()].eject_used += f.total as usize;
                 }
                 let s = f.slot as usize;
-                if self.eject_counts.len() <= s {
-                    self.eject_counts.resize(s + 1, 0);
-                }
+                debug_assert!(s < self.eject_counts.len(), "counters pre-sized in tick");
                 self.eject_counts[s] += 1;
                 if self.eject_counts[s] == f.total {
                     self.eject_counts[s] = 0;
-                    let pkt = self.packets.remove(f.slot);
-                    let latency = self.now - pkt.created;
-                    self.stats.record_ejection(
-                        pkt.class(),
-                        pkt.prio,
-                        latency,
-                        node.index(),
-                        pkt.flits,
-                    );
-                    self.nis[node.index()].ejected.push_back(pkt);
+                    // Completion touches shared state (packet slab,
+                    // global stats); finalized during the in-order merge.
+                    sc.ejections.push((f.slot, node.index()));
                 }
             }
             PortLink::Router { router: s, port: q } => {
@@ -958,7 +1070,7 @@ impl Network {
                     eligible: self.now + 1 + self.proc_delay(class),
                     ..f
                 };
-                self.transfers.push((s, q, out_vc, arrival));
+                sc.transfers.push((s, q, out_vc, arrival));
                 if tail {
                     self.routers[r].out_owner[op][out_vc] = None;
                 }
@@ -1425,5 +1537,161 @@ mod tests {
         }
         assert_eq!(net.in_flight(), 0);
         assert_eq!(net.stats().ejected_pkts[1], sent);
+    }
+
+    fn reply_net() -> Network {
+        Network::new(NetParams {
+            classes: ClassAssignment::Single(TrafficClass::Reply, 2),
+            ..params(Topology::Mesh)
+        })
+    }
+
+    #[test]
+    fn sharded_tick_is_byte_identical_to_sequential() {
+        // Column traffic from the top row to the bottom row crosses
+        // every shard boundary; the sharded twin must match the
+        // sequential one cycle for cycle and in final statistics.
+        for shards in [2, 4, 8] {
+            let mut seq = reply_net();
+            let mut shd = reply_net();
+            shd.set_shards(shards).unwrap();
+            assert_eq!(shd.shards(), shards);
+            let mut id = 0;
+            for t in 0..600u64 {
+                if t % 3 == 0 {
+                    for s in 0..8u16 {
+                        id += 1;
+                        let d = 63 - s;
+                        let a = seq.try_inject(mk_pkt(id, s, d, MsgKind::ReadReply, seq.now()));
+                        let b = shd.try_inject(mk_pkt(id, s, d, MsgKind::ReadReply, shd.now()));
+                        assert_eq!(a.is_ok(), b.is_ok(), "{shards} shards cycle {t}");
+                    }
+                }
+                seq.tick();
+                shd.tick();
+                assert_eq!(
+                    seq.in_flight(),
+                    shd.in_flight(),
+                    "{shards} shards cycle {t}"
+                );
+                assert_eq!(
+                    seq.buffered_flits(),
+                    shd.buffered_flits(),
+                    "{shards} shards cycle {t}"
+                );
+                for d in 0..64u16 {
+                    let pa = seq.take_ejected(NodeId(d), usize::MAX);
+                    let pb = shd.take_ejected(NodeId(d), usize::MAX);
+                    assert_eq!(
+                        pa.iter().map(|p| p.id).collect::<Vec<_>>(),
+                        pb.iter().map(|p| p.id).collect::<Vec<_>>(),
+                        "{shards} shards cycle {t} node {d}"
+                    );
+                }
+            }
+            for _ in 0..2000 {
+                seq.tick();
+                shd.tick();
+            }
+            assert_eq!(seq.in_flight(), shd.in_flight(), "{shards} shards leftover");
+            assert_eq!(
+                format!("{:?}", seq.stats()),
+                format!("{:?}", shd.stats()),
+                "{shards} shards: stats diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn boundary_credits_cross_partition_edge_same_cycle() {
+        // Two shards split the 8x8 mesh between rows 3 and 4. Streaming
+        // multi-flit replies in both directions across the seam makes
+        // flits and the matching credit returns cross the partition
+        // edge on the same cycle; the boundary routers' credit vectors
+        // must match the sequential twin exactly, every cycle.
+        let mut seq = reply_net();
+        let mut shd = reply_net();
+        shd.set_shards(2).unwrap();
+        let mut id = 0;
+        let mut crossings = 0u64;
+        for t in 0..400u64 {
+            for (s, d) in [(28u16, 36u16), (36, 28), (27, 35), (35, 27)] {
+                id += 1;
+                let a = seq.try_inject(mk_pkt(id, s, d, MsgKind::ReadReply, seq.now()));
+                let b = shd.try_inject(mk_pkt(id, s, d, MsgKind::ReadReply, shd.now()));
+                assert_eq!(a.is_ok(), b.is_ok(), "cycle {t} {s}->{d}");
+            }
+            seq.tick();
+            shd.tick();
+            // Boundary rows: the south edge of shard 0 (24..32) and the
+            // north edge of shard 1 (32..40).
+            for r in 24..40 {
+                assert_eq!(
+                    seq.routers[r].credits, shd.routers[r].credits,
+                    "cycle {t} router {r} credits"
+                );
+                crossings += seq.stats().link_flits[r][if r < 32 {
+                    mesh_port_south()
+                } else {
+                    mesh_port_north()
+                }];
+            }
+            for d in [36u16, 28, 35, 27] {
+                let pa = seq.take_ejected(NodeId(d), usize::MAX);
+                let pb = shd.take_ejected(NodeId(d), usize::MAX);
+                assert_eq!(pa.len(), pb.len(), "cycle {t} node {d}");
+            }
+        }
+        assert!(crossings > 0, "no flit ever crossed the partition edge");
+        for _ in 0..1000 {
+            seq.tick();
+            shd.tick();
+        }
+        assert_eq!(seq.in_flight(), shd.in_flight());
+        assert_eq!(format!("{:?}", seq.stats()), format!("{:?}", shd.stats()));
+    }
+
+    fn mesh_port_south() -> usize {
+        crate::topology::mesh_port::SOUTH
+    }
+
+    fn mesh_port_north() -> usize {
+        crate::topology::mesh_port::NORTH
+    }
+
+    #[test]
+    fn set_shards_rejects_bad_partitions() {
+        let mut net = Network::new(params(Topology::Mesh));
+        let err = net.set_shards(3).unwrap_err();
+        assert!(err.0.contains("8 mesh rows"), "{err}");
+        assert_eq!(
+            net.shards(),
+            1,
+            "failed set_shards must not change the engine"
+        );
+        let mut xbar = Network::new(params(Topology::Crossbar));
+        assert!(xbar.set_shards(2).is_err());
+        assert!(xbar.set_shards(1).is_ok());
+    }
+
+    #[test]
+    fn sharding_composes_with_idle_skip_off() {
+        // Reference mode (every router runs VA/SA each cycle) under a
+        // sharded engine must still match the plain sequential loop.
+        let mut seq = reply_net();
+        let mut shd = reply_net();
+        shd.set_shards(4).unwrap();
+        shd.set_idle_skip(false);
+        for (id, (s, d)) in [(0u16, 63u16), (63, 0), (9, 54)].into_iter().enumerate() {
+            seq.try_inject(mk_pkt(id as u64, s, d, MsgKind::ReadReply, 0))
+                .unwrap();
+            shd.try_inject(mk_pkt(id as u64, s, d, MsgKind::ReadReply, 0))
+                .unwrap();
+        }
+        for _ in 0..500 {
+            seq.tick();
+            shd.tick();
+        }
+        assert_eq!(format!("{:?}", seq.stats()), format!("{:?}", shd.stats()));
     }
 }
