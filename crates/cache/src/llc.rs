@@ -15,6 +15,7 @@
 //!   coherence at kernel boundaries).
 
 use crate::set_assoc::{CacheStats, Evicted, SetAssocCache};
+use clognet_proto::snap::{SnapError, SnapReader, SnapWriter};
 use clognet_proto::{CacheGeometry, CoreId, LineAddr};
 
 /// The result of an LLC lookup.
@@ -53,6 +54,32 @@ impl LlcSlice {
     /// coherence-overhead accounting.
     pub fn pointer_invalidations(&self) -> u64 {
         self.pointer_invalidations
+    }
+
+    /// Serialize the slice's mutable state (tag array with core
+    /// pointers, plus the pointer-invalidation counter).
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        self.cache.save_state(w, |w, meta| match meta {
+            Some(c) => {
+                w.bool(true);
+                w.u16(c.0);
+            }
+            None => w.bool(false),
+        });
+        w.u64(self.pointer_invalidations);
+    }
+
+    /// Overlay state captured by [`LlcSlice::save_state`].
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.cache.load_state(r, |r| {
+            Ok(if r.bool()? {
+                Some(CoreId(r.u16()?))
+            } else {
+                None
+            })
+        })?;
+        self.pointer_invalidations = r.u64()?;
+        Ok(())
     }
 
     /// Read access from a GPU core: on hit, returns the previous pointer

@@ -6,6 +6,7 @@
 //! remote target to the local MSHR's list (Section IV, outcome ii), and
 //! the LLC core pointers are also kept for in-flight MSHR entries.
 
+use clognet_proto::snap::{SnapError, SnapReader, SnapWriter};
 use clognet_proto::{FxHashMap, LineAddr};
 
 /// Outcome of [`MshrFile::allocate`].
@@ -114,6 +115,50 @@ impl<T> MshrFile<T> {
     /// Iterate outstanding lines.
     pub fn lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
         self.entries.keys().copied()
+    }
+
+    /// Serialize outstanding entries sorted by line address (hash-map
+    /// iteration order must never reach the byte stream); `target`
+    /// encodes each merged target in list order.
+    pub fn save_state(&self, w: &mut SnapWriter, mut target: impl FnMut(&mut SnapWriter, &T)) {
+        let mut keys: Vec<LineAddr> = self.entries.keys().copied().collect();
+        keys.sort_unstable();
+        w.usize(keys.len());
+        for k in keys {
+            w.u64(k.0);
+            let targets = &self.entries[&k];
+            w.usize(targets.len());
+            for t in targets {
+                target(w, t);
+            }
+        }
+    }
+
+    /// Overlay state captured by [`MshrFile::save_state`] onto a file
+    /// constructed with the same capacity limits.
+    pub fn load_state(
+        &mut self,
+        r: &mut SnapReader<'_>,
+        mut target: impl FnMut(&mut SnapReader<'_>) -> Result<T, SnapError>,
+    ) -> Result<(), SnapError> {
+        self.entries.clear();
+        let n = r.usize()?;
+        if n > self.capacity {
+            return Err(SnapError::Corrupt("mshr entries exceed capacity"));
+        }
+        for _ in 0..n {
+            let line = LineAddr(r.u64()?);
+            let m = r.usize()?;
+            if m > self.max_targets {
+                return Err(SnapError::Corrupt("mshr targets exceed limit"));
+            }
+            let mut v = Vec::with_capacity(m);
+            for _ in 0..m {
+                v.push(target(r)?);
+            }
+            self.entries.insert(line, v);
+        }
+        Ok(())
     }
 }
 

@@ -5,6 +5,7 @@
 //! data bytes. The structure is generic over the per-line metadata `M`
 //! (the LLC attaches the Delegated-Replies core pointer through it).
 
+use clognet_proto::snap::{SnapError, SnapReader, SnapWriter};
 use clognet_proto::{CacheGeometry, LineAddr};
 
 /// One cache line's bookkeeping.
@@ -262,6 +263,65 @@ impl<M> SetAssocCache<M> {
             .flat_map(|s| s.iter())
             .filter(|l| l.valid)
             .count()
+    }
+
+    /// Serialize the complete mutable state: stamp, statistics, and
+    /// every set's lines *in way order* (way order is the first-minimum
+    /// tiebreak of LRU eviction, so it must survive a round trip).
+    /// `meta` encodes each line's metadata.
+    pub fn save_state(&self, w: &mut SnapWriter, mut meta: impl FnMut(&mut SnapWriter, &M)) {
+        w.u64(self.stamp);
+        w.u64(self.stats.hits);
+        w.u64(self.stats.misses);
+        w.u64(self.stats.fills);
+        w.u64(self.stats.evictions);
+        w.usize(self.sets.len());
+        for set in &self.sets {
+            w.usize(set.len());
+            for l in set {
+                w.u64(l.tag);
+                w.bool(l.valid);
+                w.bool(l.dirty);
+                w.u64(l.last_use);
+                meta(w, &l.meta);
+            }
+        }
+    }
+
+    /// Overlay state captured by [`SetAssocCache::save_state`] onto a
+    /// freshly-built cache of the same geometry.
+    pub fn load_state(
+        &mut self,
+        r: &mut SnapReader<'_>,
+        mut meta: impl FnMut(&mut SnapReader<'_>) -> Result<M, SnapError>,
+    ) -> Result<(), SnapError> {
+        self.stamp = r.u64()?;
+        self.stats = CacheStats {
+            hits: r.u64()?,
+            misses: r.u64()?,
+            fills: r.u64()?,
+            evictions: r.u64()?,
+        };
+        if r.usize()? != self.sets.len() {
+            return Err(SnapError::Corrupt("cache set count mismatch"));
+        }
+        for set in &mut self.sets {
+            let n = r.usize()?;
+            if n > self.geom.ways as usize {
+                return Err(SnapError::Corrupt("cache set wider than ways"));
+            }
+            set.clear();
+            for _ in 0..n {
+                set.push(Line {
+                    tag: r.u64()?,
+                    valid: r.bool()?,
+                    dirty: r.bool()?,
+                    last_use: r.u64()?,
+                    meta: meta(r)?,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Iterate resident line addresses with their metadata.

@@ -16,7 +16,7 @@ pub struct Args {
 /// Option keys that are boolean flags: `--json` / `--quick` / `--no-ff`
 /// take no value (`--json=false` still works to switch one off
 /// explicitly).
-const FLAG_KEYS: &[&str] = &["json", "quick", "no-ff", "canonical", "owner"];
+const FLAG_KEYS: &[&str] = &["json", "quick", "no-ff", "canonical", "owner", "warm-start"];
 
 /// A parse failure with a user-facing message.
 #[derive(Debug, Clone, PartialEq, Eq)]

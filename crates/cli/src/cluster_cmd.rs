@@ -32,6 +32,7 @@ pub const CLUSTER_KEYS: &[&str] = &[
     "workers",
     "queue",
     "cache",
+    "snap-cache",
     "max-cycles",
     "timeout-ms",
     "drain-ms",
@@ -60,6 +61,7 @@ pub fn cluster_config_from(args: &Args) -> Result<ClusterConfig, ParseArgsError>
             workers: args.get_num("workers", serve_default.workers)?.max(1),
             queue_cap: args.get_num("queue", serve_default.queue_cap)?.max(1),
             cache_cap: args.get_num("cache", serve_default.cache_cap)?,
+            snap_cache_cap: args.get_num("snap-cache", serve_default.snap_cache_cap)?,
             max_job_cycles: args.get_num("max-cycles", serve_default.max_job_cycles)?,
             job_timeout: Duration::from_millis(
                 args.get_num("timeout-ms", serve_default.job_timeout.as_millis() as u64)?,

@@ -11,8 +11,8 @@
 
 use crate::args::ParseArgsError;
 use crate::report;
-use clognet_bench::runner::{run_jobs, run_jobs_with_state};
-use clognet_core::{Report, System, TickEngine};
+use clognet_bench::runner::{run_jobs, run_jobs_with_state, timed};
+use clognet_core::{Report, Snapshot, System, TickEngine};
 use clognet_proto::{AddressMap, Layout, Scheme, SystemConfig};
 
 /// Build, warm, measure, and report one workload under one config.
@@ -78,6 +78,7 @@ pub fn run_compare(
 }
 
 /// One sweep point: the swept value and both scheme reports.
+#[derive(Debug)]
 pub struct SweepPoint {
     /// The swept parameter's value at this point.
     pub value: u64,
@@ -122,13 +123,214 @@ pub fn apply_sweep_param(
         "l1kb" => cfg.gpu.l1.capacity_bytes = v * 1024,
         "llcmb" => cfg.llc.slice.capacity_bytes = v * 1024 * 1024 / cfg.n_mem as u64,
         "injbuf" => cfg.noc.mem_inj_buf_pkts = v as usize,
+        "drmax" => cfg.dr.max_per_cycle = v as usize,
         other => {
             return Err(ParseArgsError(format!(
-                "unknown sweep param `{other}` (width|l1kb|llcmb|injbuf)"
+                "unknown sweep param `{other}` ({SWEEP_PARAMS})"
             )))
         }
     }
     Ok(())
+}
+
+/// The sweep parameters `--param` accepts, for error messages and help.
+pub const SWEEP_PARAMS: &str = "width|l1kb|llcmb|injbuf|drmax";
+
+/// How a multi-variant command (`sweep`, `compare`) obtains its warmed
+/// starting state when `--warm-from` is given.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WarmStart {
+    /// Simulate the warmup once, snapshot, and fork the snapshot into
+    /// every variant on the parallel runner.
+    Fork,
+    /// Re-simulate the warmup per variant with the same
+    /// apply-after-warmup semantics as `Fork` — the cold reference leg
+    /// the CI equivalence smoke compares `Fork` against.
+    Each,
+    /// Fork from a snapshot file written earlier by `clognet snapshot`.
+    File(String),
+}
+
+/// Parse a `--warm-from` value: `fork`, `each`, or a snapshot path.
+pub fn parse_warm_start(s: &str) -> WarmStart {
+    match s {
+        "fork" => WarmStart::Fork,
+        "each" => WarmStart::Each,
+        path => WarmStart::File(path.to_string()),
+    }
+}
+
+/// Whether a sweep parameter can be retargeted on a warmed system
+/// without rebuilding it (see [`System::apply_warm_param`]).
+pub fn is_warm_param(param: &str) -> bool {
+    matches!(param, "injbuf" | "drmax")
+}
+
+/// Load and identity-check a snapshot file for `--warm-from <path>`:
+/// the embedded config and benchmark names must match what the command
+/// would otherwise simulate, or every variant would silently measure a
+/// different chip.
+fn load_warm_snapshot(
+    path: &str,
+    base: &SystemConfig,
+    gpu: &str,
+    cpu: &str,
+) -> Result<Snapshot, ParseArgsError> {
+    let bytes = std::fs::read(path).map_err(|e| ParseArgsError(format!("reading {path}: {e}")))?;
+    let snap = Snapshot::from_bytes(bytes)
+        .map_err(|e| ParseArgsError(format!("{path} is not a usable snapshot: {e}")))?;
+    if snap.gpu_bench() != gpu || snap.cpu_bench() != cpu {
+        return Err(ParseArgsError(format!(
+            "{path} was taken on {}+{}, not {gpu}+{cpu}",
+            snap.gpu_bench(),
+            snap.cpu_bench()
+        )));
+    }
+    if snap.config() != base {
+        return Err(ParseArgsError(format!(
+            "{path} was taken under a different configuration; \
+             rerun `clognet snapshot` with the same options"
+        )));
+    }
+    Ok(snap)
+}
+
+/// Run a warm-started parameter sweep: one shared warmup (simulated
+/// once and forked, re-simulated per variant, or loaded from a file per
+/// `mode`), then each (scheme, value) variant applied *after* warmup,
+/// stats reset, and the measured span run. `Fork` and `Each` produce
+/// byte-identical points — that equivalence is what the CI warm-start
+/// smoke asserts — and `Fork` pays for the warmup once instead of once
+/// per variant.
+///
+/// # Errors
+///
+/// Fails on a structural (non-warm-applicable) parameter, a bad value,
+/// or an unreadable/mismatched snapshot file.
+#[allow(clippy::too_many_arguments)] // mirrors the CLI surface 1:1
+pub fn run_sweep_warm(
+    base: &SystemConfig,
+    param: &str,
+    values: &[u64],
+    gpu: &str,
+    cpu: &str,
+    warm: u64,
+    cycles: u64,
+    threads: usize,
+    mode: &WarmStart,
+) -> Result<Vec<SweepPoint>, ParseArgsError> {
+    if !is_warm_param(param) {
+        return Err(ParseArgsError(format!(
+            "--warm-from sweeps only warm-applicable params (injbuf|drmax); \
+             `{param}` is structural — rerun without --warm-from"
+        )));
+    }
+    if param == "injbuf" && values.contains(&0) {
+        return Err(ParseArgsError("injbuf must be at least 1".into()));
+    }
+    let jobs: Vec<(Scheme, u64)> = values
+        .iter()
+        .flat_map(|&v| {
+            [Scheme::Baseline, Scheme::DelegatedReplies]
+                .into_iter()
+                .map(move |s| (s, v))
+        })
+        .collect();
+    let measure_fork = |sys: &mut System, scheme: Scheme, v: u64| {
+        sys.set_scheme(scheme);
+        sys.apply_warm_param(param, v)
+            .expect("warm param validated up front");
+        sys.reset_stats();
+        sys.run(cycles);
+        sys.report()
+    };
+    let reports = match mode {
+        WarmStart::Each => run_jobs(jobs, threads, |(scheme, v)| {
+            let mut sys = System::new(base.clone(), gpu, cpu);
+            sys.run(warm);
+            measure_fork(&mut sys, scheme, v)
+        }),
+        WarmStart::Fork => {
+            let mut sys = System::new(base.clone(), gpu, cpu);
+            sys.run(warm);
+            let snap = sys.snapshot();
+            run_jobs(jobs, threads, |(scheme, v)| {
+                let mut sys = System::restore(&snap).expect("just-taken snapshot restores");
+                measure_fork(&mut sys, scheme, v)
+            })
+        }
+        WarmStart::File(path) => {
+            let snap = load_warm_snapshot(path, base, gpu, cpu)?;
+            run_jobs(jobs, threads, |(scheme, v)| {
+                let mut sys = System::restore(&snap).expect("snapshot validated up front");
+                measure_fork(&mut sys, scheme, v)
+            })
+        }
+    };
+    let mut it = reports.into_iter();
+    Ok(values
+        .iter()
+        .map(|&value| SweepPoint {
+            value,
+            baseline: it.next().expect("one report per job"),
+            dr: it.next().expect("one report per job"),
+        })
+        .collect())
+}
+
+/// Run a warm-started scheme comparison: warm once under the base
+/// config's scheme, then fork (or re-warm, per `mode`) into each
+/// compared scheme via [`System::set_scheme`].
+///
+/// Note the semantics differ from cold `compare`: here every scheme
+/// shares one warmup trajectory (under `base.scheme`) and switches
+/// scheme at the fork point, so scheme-dependent warmup effects are
+/// deliberately held constant across rows.
+///
+/// # Errors
+///
+/// Fails on an unreadable/mismatched snapshot file.
+#[allow(clippy::too_many_arguments)] // mirrors the CLI surface 1:1
+pub fn run_compare_warm(
+    base: &SystemConfig,
+    gpu: &str,
+    cpu: &str,
+    warm: u64,
+    cycles: u64,
+    threads: usize,
+    mode: &WarmStart,
+) -> Result<Vec<(Scheme, Report)>, ParseArgsError> {
+    let jobs: Vec<Scheme> = compare_schemes().to_vec();
+    let measure_fork = |sys: &mut System, scheme: Scheme| {
+        sys.set_scheme(scheme);
+        sys.reset_stats();
+        sys.run(cycles);
+        sys.report()
+    };
+    let reports = match mode {
+        WarmStart::Each => run_jobs(jobs.clone(), threads, |scheme| {
+            let mut sys = System::new(base.clone(), gpu, cpu);
+            sys.run(warm);
+            measure_fork(&mut sys, scheme)
+        }),
+        WarmStart::Fork => {
+            let mut sys = System::new(base.clone(), gpu, cpu);
+            sys.run(warm);
+            let snap = sys.snapshot();
+            run_jobs(jobs.clone(), threads, |scheme| {
+                let mut sys = System::restore(&snap).expect("just-taken snapshot restores");
+                measure_fork(&mut sys, scheme)
+            })
+        }
+        WarmStart::File(path) => {
+            let snap = load_warm_snapshot(path, base, gpu, cpu)?;
+            run_jobs(jobs.clone(), threads, |scheme| {
+                let mut sys = System::restore(&snap).expect("snapshot validated up front");
+                measure_fork(&mut sys, scheme)
+            })
+        }
+    };
+    Ok(jobs.into_iter().zip(reports).collect())
 }
 
 /// Run a parameter sweep (each point under baseline and DR) across
@@ -536,10 +738,21 @@ impl ShardBenchResult {
         }
     }
 
+    /// Whether any benchmarked leg ran more shards than the host has
+    /// hardware threads. Shard workers are busy-wait barrier peers, so
+    /// oversubscribing them serializes (and then some) — speedups from
+    /// such a run describe scheduler behavior, not the engine. See
+    /// DESIGN.md §9.5.
+    pub fn shards_gt_host_threads(&self) -> bool {
+        let host = std::thread::available_parallelism().map_or(1, usize::from);
+        self.legs.iter().map(|l| l.shards).max().unwrap_or(1) > host
+    }
+
     /// The `BENCH_shards.json` document: scaling legs plus the
     /// headline 4-shard speedup. Single-core CI hosts record the curve
     /// without enforcing a ratio, so the host's parallelism is included
-    /// for interpretation.
+    /// for interpretation, and `shards_gt_host_threads` flags a curve
+    /// whose wall-clock numbers are not meaningful speedups.
     pub fn to_json(&self) -> String {
         let legs: Vec<String> = self
             .legs
@@ -560,6 +773,7 @@ impl ShardBenchResult {
         format!(
             "{{\"harness\":\"clognet bench --shards\",\"mesh\":\"{}x{}\",\
              \"warm\":{},\"cycles\":{},\"reps\":{},\"host_threads\":{},\
+             \"shards_gt_host_threads\":{},\
              \"legs\":[{}],\"speedup_at_4\":{:.3},\"identical_reports\":{}}}",
             self.mesh.0,
             self.mesh.1,
@@ -567,6 +781,7 @@ impl ShardBenchResult {
             self.cycles,
             LEG_REPS,
             std::thread::available_parallelism().map_or(1, usize::from),
+            self.shards_gt_host_threads(),
             legs.join(","),
             self.speedup_at(4),
             self.identical_reports
@@ -654,6 +869,130 @@ pub fn run_shard_bench(max_shards: usize, warm: u64, cycles: u64) -> ShardBenchR
     }
 }
 
+/// The injbuf values the warm-start benchmark sweeps: 8 variants, each
+/// measured under both schemes (16 forked systems per leg).
+pub const WARMSTART_VALUES: [u64; 8] = [2, 3, 4, 6, 8, 12, 16, 24];
+
+/// Result of `clognet bench --warm-start`: the same warm-started
+/// injbuf sweep timed cold (`--warm-from each`: warmup re-simulated
+/// per variant) and forked (`--warm-from fork`: warmup simulated once,
+/// snapshot forked per variant), on the same thread count.
+pub struct WarmStartBenchResult {
+    /// Swept values (each under baseline + DR).
+    pub values: Vec<u64>,
+    /// Warmup cycles (shared prefix the fork amortizes).
+    pub warm: u64,
+    /// Measured cycles per variant.
+    pub cycles: u64,
+    /// Worker threads for both legs.
+    pub threads: usize,
+    /// Wall-clock seconds for the cold (`each`) leg.
+    pub cold_wall_s: f64,
+    /// Wall-clock seconds for the forked leg (warmup included).
+    pub forked_wall_s: f64,
+    /// Whether every forked sweep point matched its cold twin
+    /// byte-for-byte — the run self-certifies the snapshot contract.
+    pub identical_reports: bool,
+}
+
+impl WarmStartBenchResult {
+    /// Wall-clock speedup of the forked leg over the cold leg.
+    pub fn speedup(&self) -> f64 {
+        if self.forked_wall_s > 0.0 {
+            self.cold_wall_s / self.forked_wall_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of each cold variant's simulated cycles spent in the
+    /// shared warmup — the budget forking can reclaim.
+    pub fn warm_fraction(&self) -> f64 {
+        let total = self.warm + self.cycles;
+        if total > 0 {
+            self.warm as f64 / total as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// The `BENCH_warmstart.json` document.
+    pub fn to_json(&self) -> String {
+        let values: Vec<String> = self.values.iter().map(u64::to_string).collect();
+        format!(
+            "{{\"harness\":\"clognet bench --warm-start\",\"param\":\"injbuf\",\
+             \"values\":[{}],\"schemes\":2,\"jobs\":{},\
+             \"warm\":{},\"cycles\":{},\"warm_fraction\":{:.3},\"threads\":{},\
+             \"wall_s_cold\":{:.6},\"wall_s_forked\":{:.6},\
+             \"speedup\":{:.3},\"identical_reports\":{}}}",
+            values.join(","),
+            self.values.len() * 2,
+            self.warm,
+            self.cycles,
+            self.warm_fraction(),
+            self.threads,
+            self.cold_wall_s,
+            self.forked_wall_s,
+            self.speedup(),
+            self.identical_reports
+        )
+    }
+}
+
+/// Time the warm-started injbuf sweep cold vs forked and check the
+/// per-variant outputs match byte-for-byte. Cold runs first so the
+/// forked leg cannot ride its cache warmth.
+pub fn run_warmstart_bench(threads: usize, warm: u64, cycles: u64) -> WarmStartBenchResult {
+    let base = SystemConfig::default();
+    let values = WARMSTART_VALUES.to_vec();
+    let (gpu, cpu) = ("HS", "bodytrack");
+    let (cold, cold_wall_s) = timed(|| {
+        run_sweep_warm(
+            &base,
+            "injbuf",
+            &values,
+            gpu,
+            cpu,
+            warm,
+            cycles,
+            threads,
+            &WarmStart::Each,
+        )
+        .expect("injbuf is warm-applicable")
+    });
+    let (forked, forked_wall_s) = timed(|| {
+        run_sweep_warm(
+            &base,
+            "injbuf",
+            &values,
+            gpu,
+            cpu,
+            warm,
+            cycles,
+            threads,
+            &WarmStart::Fork,
+        )
+        .expect("injbuf is warm-applicable")
+    });
+    let render = |points: &[SweepPoint]| {
+        points
+            .iter()
+            .map(|p| sweep_point_json("injbuf", p))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let identical_reports = render(&cold) == render(&forked);
+    WarmStartBenchResult {
+        values,
+        warm,
+        cycles,
+        threads,
+        cold_wall_s,
+        forked_wall_s,
+        identical_reports,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -671,7 +1010,105 @@ mod tests {
         assert_eq!(cfg.noc.channel_bytes, 32);
         apply_sweep_param(&mut cfg, "l1kb", 64).unwrap();
         assert_eq!(cfg.gpu.l1.capacity_bytes, 64 * 1024);
+        apply_sweep_param(&mut cfg, "drmax", 5).unwrap();
+        assert_eq!(cfg.dr.max_per_cycle, 5);
         assert!(apply_sweep_param(&mut cfg, "bogus", 1).is_err());
+    }
+
+    #[test]
+    fn warm_start_modes_parse() {
+        assert_eq!(parse_warm_start("fork"), WarmStart::Fork);
+        assert_eq!(parse_warm_start("each"), WarmStart::Each);
+        assert_eq!(
+            parse_warm_start("snap.bin"),
+            WarmStart::File("snap.bin".into())
+        );
+        assert!(is_warm_param("injbuf") && is_warm_param("drmax"));
+        assert!(!is_warm_param("width") && !is_warm_param("l1kb"));
+    }
+
+    #[test]
+    fn warm_sweep_rejects_structural_params_and_zero_injbuf() {
+        let cfg = SystemConfig::default();
+        let err = run_sweep_warm(
+            &cfg,
+            "width",
+            &[8, 16],
+            "HS",
+            "bodytrack",
+            100,
+            100,
+            1,
+            &WarmStart::Fork,
+        )
+        .unwrap_err();
+        assert!(err.0.contains("structural"), "{err}");
+        assert!(run_sweep_warm(
+            &cfg,
+            "injbuf",
+            &[4, 0],
+            "HS",
+            "bodytrack",
+            100,
+            100,
+            1,
+            &WarmStart::Fork,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn warm_sweep_rejects_missing_or_foreign_snapshot_files() {
+        let cfg = SystemConfig::default();
+        let run = |path: &str| {
+            run_sweep_warm(
+                &cfg,
+                "injbuf",
+                &[4],
+                "HS",
+                "bodytrack",
+                100,
+                100,
+                1,
+                &WarmStart::File(path.to_string()),
+            )
+        };
+        assert!(run("/nonexistent/snap.bin").is_err());
+        let dir = std::env::temp_dir().join("clognet-warm-from-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let junk = dir.join("junk.bin");
+        std::fs::write(&junk, b"definitely not a snapshot").unwrap();
+        let err = run(junk.to_str().unwrap()).unwrap_err();
+        assert!(err.0.contains("not a usable snapshot"), "{err}");
+        // A real snapshot of the wrong workload is caught by identity.
+        let mut sys = System::new(cfg.clone(), "MM", "canneal");
+        sys.run(50);
+        let other = dir.join("other.bin");
+        std::fs::write(&other, sys.snapshot().as_bytes()).unwrap();
+        let err = run(other.to_str().unwrap()).unwrap_err();
+        assert!(err.0.contains("MM+canneal"), "{err}");
+    }
+
+    #[test]
+    fn warmstart_json_is_flat_and_balanced() {
+        let r = WarmStartBenchResult {
+            values: vec![2, 4, 8],
+            warm: 2000,
+            cycles: 1000,
+            threads: 4,
+            cold_wall_s: 3.0,
+            forked_wall_s: 1.5,
+            identical_reports: true,
+        };
+        let j = r.to_json();
+        assert!(j.contains("\"harness\":\"clognet bench --warm-start\""));
+        assert!(j.contains("\"values\":[2,4,8]"));
+        assert!(j.contains("\"jobs\":6"));
+        assert!(j.contains("\"warm_fraction\":0.667"));
+        assert!(j.contains("\"speedup\":2.000"));
+        assert!(j.contains("\"identical_reports\":true"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
     }
 
     #[test]
@@ -766,6 +1203,7 @@ mod tests {
         assert!(j.contains("\"mesh\":\"16x16\""));
         assert!(j.contains("\"speedup_at_4\":4.000"));
         assert!(j.contains("\"identical_reports\":true"));
+        assert!(j.contains("\"shards_gt_host_threads\":"));
         assert!(j.contains("\"shards\":1"));
         assert!(j.contains("\"speedup\":4.000"));
         assert_eq!(j.matches('{').count(), j.matches('}').count());

@@ -5,9 +5,11 @@
 //! ```text
 //! clognet run      --gpu HS --cpu bodytrack --scheme dr [--cycles N] [--warm N]
 //!                  [--metrics out.json] [--csv out.csv] [--sample N] [--json] ...
-//! clognet compare  --gpu HS --cpu bodytrack [--threads N] [--json]  # baseline vs RP vs DR
-//! clognet sweep    --param width --values 8,16,24 [--threads N] [--json] ...
-//! clognet bench    [--threads N] [--quick] [--out BENCH_x.json]  # throughput harness
+//! clognet compare  --gpu HS --cpu bodytrack [--threads N] [--warm-from fork] [--json]
+//! clognet sweep    --param width --values 8,16,24 [--threads N] [--warm-from fork] ...
+//! clognet snapshot --gpu HS --cpu bodytrack --warm N --out snap.bin  # warm once, save
+//! clognet resume   --from snap.bin --cycles N [--scheme dr] [--set injbuf=4,drmax=1]
+//! clognet bench    [--threads N] [--quick] [--warm-start] [--out BENCH_x.json]
 //! clognet timeline --gpu NN --cpu canneal --scheme baseline     # ASCII clog timeline
 //! clognet trace    --gpu HS --cpu bodytrack [--last N] [--kind k]  # protocol events
 //! clognet serve    [--addr HOST:PORT] [--workers N] [--queue N]  # persistent service
@@ -50,6 +52,8 @@ fn dispatch(raw: Vec<String>) -> Result<(), ParseArgsError> {
         "compare" => cmd_compare(&args),
         "sweep" => cmd_sweep(&args),
         "bench" => cmd_bench(&args),
+        "snapshot" => cmd_snapshot(&args),
+        "resume" => cmd_resume(&args),
         "timeline" => cmd_timeline(&args),
         "trace" => cmd_trace(&args),
         "serve" => serve_cmd::cmd_serve(&args),
@@ -117,7 +121,14 @@ fn thread_count(args: &Args) -> Result<usize, ParseArgsError> {
 
 fn cmd_run(args: &Args) -> Result<(), ParseArgsError> {
     let mut keys = run_keys();
-    keys.extend_from_slice(&["metrics", "csv", "sample", "json"]);
+    keys.extend_from_slice(&[
+        "metrics",
+        "csv",
+        "sample",
+        "json",
+        "snapshot-every",
+        "snapshot-out",
+    ]);
     args.reject_unknown(&keys)?;
     args.reject_conflicts(&[("json", "csv")])?;
     let gpu = args.get_or("gpu", "HS");
@@ -130,6 +141,21 @@ fn cmd_run(args: &Args) -> Result<(), ParseArgsError> {
     let csv_path = args.get("csv");
     let want_telemetry =
         metrics_path.is_some() || csv_path.is_some() || args.get("sample").is_some();
+    let snap_every = match args.get("snapshot-every") {
+        None => None,
+        Some(_) => {
+            let n = args.get_num("snapshot-every", 0u64)?;
+            if n == 0 {
+                return Err(ParseArgsError("--snapshot-every must be at least 1".into()));
+            }
+            Some(n)
+        }
+    };
+    if args.get("snapshot-out").is_some() && snap_every.is_none() {
+        return Err(ParseArgsError(
+            "--snapshot-out needs --snapshot-every <cycles>".into(),
+        ));
+    }
     let shards = shard_count(args, &cfg)?;
     let mut sys = System::new(cfg, gpu, cpu);
     sys.set_fast_forward(!args.flag("no-ff"));
@@ -142,7 +168,24 @@ fn cmd_run(args: &Args) -> Result<(), ParseArgsError> {
     }
     sys.run(warm);
     sys.reset_stats();
-    sys.run(cycles);
+    if let Some(every) = snap_every {
+        // Periodic snapshots across the measured span: the run pauses
+        // at each multiple of `every` (plus the end) and writes the
+        // full system state where `clognet resume` can pick it up.
+        let prefix = args.get_or("snapshot-out", "clognet");
+        let mut done = 0;
+        while done < cycles {
+            let step = every.min(cycles - done);
+            sys.run(step);
+            done += step;
+            let path = format!("{prefix}-{:010}.snap", sys.now());
+            std::fs::write(&path, sys.snapshot().as_bytes())
+                .map_err(|e| ParseArgsError(format!("writing {path}: {e}")))?;
+            eprintln!("wrote snapshot at cycle {} to {path}", sys.now());
+        }
+    } else {
+        sys.run(cycles);
+    }
     let r = sys.report();
     if args.flag("json") {
         println!("{}", report::report_json(scheme, &r));
@@ -211,7 +254,7 @@ fn cmd_timeline(args: &Args) -> Result<(), ParseArgsError> {
 
 fn cmd_compare(args: &Args) -> Result<(), ParseArgsError> {
     let mut keys = run_keys();
-    keys.extend_from_slice(&["json", "threads"]);
+    keys.extend_from_slice(&["json", "threads", "warm-from"]);
     args.reject_unknown(&keys)?;
     let gpu = args.get_or("gpu", "HS");
     let cpu = args.get_or("cpu", "bodytrack");
@@ -223,16 +266,29 @@ fn cmd_compare(args: &Args) -> Result<(), ParseArgsError> {
     }
     let base = config_from(args)?;
     let shards = shard_count(args, &base)?;
-    let rows = driver::run_compare(
-        &base,
-        gpu,
-        cpu,
-        warm,
-        cycles,
-        threads,
-        !args.flag("no-ff"),
-        shards,
-    );
+    let rows = match args.get("warm-from") {
+        Some(mode) => {
+            if shards > 1 || args.flag("no-ff") {
+                return Err(ParseArgsError(
+                    "--warm-from composes with neither --shards nor --no-ff; \
+                     engine modes never change results, so drop them"
+                        .into(),
+                ));
+            }
+            let mode = driver::parse_warm_start(mode);
+            driver::run_compare_warm(&base, gpu, cpu, warm, cycles, threads, &mode)?
+        }
+        None => driver::run_compare(
+            &base,
+            gpu,
+            cpu,
+            warm,
+            cycles,
+            threads,
+            !args.flag("no-ff"),
+            shards,
+        ),
+    };
     if args.flag("json") {
         print!("{}", report::comparison_json(&rows));
     } else {
@@ -243,7 +299,7 @@ fn cmd_compare(args: &Args) -> Result<(), ParseArgsError> {
 
 fn cmd_sweep(args: &Args) -> Result<(), ParseArgsError> {
     let mut keys = run_keys();
-    keys.extend_from_slice(&["param", "values", "json", "threads"]);
+    keys.extend_from_slice(&["param", "values", "json", "threads", "warm-from"]);
     args.reject_unknown(&keys)?;
     let gpu = args.get_or("gpu", "HS");
     let cpu = args.get_or("cpu", "bodytrack");
@@ -252,14 +308,15 @@ fn cmd_sweep(args: &Args) -> Result<(), ParseArgsError> {
     let threads = thread_count(args)?;
     let param = args
         .get("param")
-        .ok_or_else(|| ParseArgsError("sweep needs --param (width|l1kb|llcmb|injbuf)".into()))?;
+        .ok_or_else(|| ParseArgsError(format!("sweep needs --param ({})", driver::SWEEP_PARAMS)))?;
     let values = driver::parse_sweep_values(
         args.get("values")
             .ok_or_else(|| ParseArgsError("sweep needs --values v1,v2,...".into()))?,
     )?;
-    if !matches!(param, "width" | "l1kb" | "llcmb" | "injbuf") {
+    if !matches!(param, "width" | "l1kb" | "llcmb" | "injbuf" | "drmax") {
         return Err(ParseArgsError(format!(
-            "unknown sweep param `{param}` (width|l1kb|llcmb|injbuf)"
+            "unknown sweep param `{param}` ({})",
+            driver::SWEEP_PARAMS
         )));
     }
     if !args.flag("json") {
@@ -272,18 +329,33 @@ fn cmd_sweep(args: &Args) -> Result<(), ParseArgsError> {
     // Sweep parameters never resize the mesh, so one validation against
     // the base config covers every point.
     let shards = shard_count(args, &base)?;
-    let points = driver::run_sweep(
-        &base,
-        param,
-        &values,
-        gpu,
-        cpu,
-        warm,
-        cycles,
-        threads,
-        !args.flag("no-ff"),
-        shards,
-    )?;
+    let points = match args.get("warm-from") {
+        Some(mode) => {
+            if shards > 1 || args.flag("no-ff") {
+                return Err(ParseArgsError(
+                    "--warm-from composes with neither --shards nor --no-ff; \
+                     engine modes never change results, so drop them"
+                        .into(),
+                ));
+            }
+            let mode = driver::parse_warm_start(mode);
+            driver::run_sweep_warm(
+                &base, param, &values, gpu, cpu, warm, cycles, threads, &mode,
+            )?
+        }
+        None => driver::run_sweep(
+            &base,
+            param,
+            &values,
+            gpu,
+            cpu,
+            warm,
+            cycles,
+            threads,
+            !args.flag("no-ff"),
+            shards,
+        )?,
+    };
     for p in &points {
         if args.flag("json") {
             // One NDJSON object per sweep point: both scheme reports.
@@ -305,8 +377,29 @@ fn cmd_sweep(args: &Args) -> Result<(), ParseArgsError> {
 
 fn cmd_bench(args: &Args) -> Result<(), ParseArgsError> {
     args.reject_unknown(&[
-        "threads", "quick", "warm", "cycles", "out", "json", "shards",
+        "threads",
+        "quick",
+        "warm",
+        "cycles",
+        "out",
+        "json",
+        "shards",
+        "warm-start",
     ])?;
+    // `--warm-start` switches to the snapshot-fork harness: the same
+    // warm-started sweep timed cold vs forked. Its defaults make the
+    // warmup dominate (the budget forking reclaims), so they differ
+    // from the throughput matrix's.
+    if args.flag("warm-start") {
+        let (dwarm, dcycles) = if args.flag("quick") {
+            (2_000u64, 600u64)
+        } else {
+            (20_000, 4_000)
+        };
+        let warm = args.get_num("warm", dwarm)?;
+        let cycles = args.get_num("cycles", dcycles)?;
+        return cmd_warmstart_bench(args, warm, cycles);
+    }
     // Quick mode: just enough cycles to prove the harness works (CI
     // smoke); default mode is long enough for meaningful rates.
     let (dwarm, dcycles) = if args.flag("quick") {
@@ -385,6 +478,128 @@ fn cmd_shard_bench(args: &Args, warm: u64, cycles: u64) -> Result<(), ParseArgsE
                 r.speedup_at(leg.shards)
             );
         }
+    }
+    if r.shards_gt_host_threads() {
+        eprintln!(
+            "warning: benchmarked more shards than this host has hardware threads; \
+             wall-clock ratios describe the scheduler, not the engine \
+             (identical_reports is still meaningful)"
+        );
+    }
+    Ok(())
+}
+
+/// `clognet bench --warm-start`: time the warm-started injbuf sweep
+/// cold (warmup per variant) vs forked (warmup once, snapshot forked
+/// per variant) and emit the `BENCH_warmstart.json` artifact.
+fn cmd_warmstart_bench(args: &Args, warm: u64, cycles: u64) -> Result<(), ParseArgsError> {
+    let threads = thread_count(args)?;
+    let r = driver::run_warmstart_bench(threads, warm, cycles);
+    let doc = r.to_json();
+    if args.flag("json") || args.get("out").is_none() {
+        println!("{doc}");
+    }
+    if let Some(path) = args.get("out") {
+        write_file(path, &format!("{doc}\n"))?;
+        eprintln!("wrote warm-start report to {path}");
+    }
+    if !args.flag("json") {
+        eprintln!(
+            "warm-start: {} variants x ({} warm + {} measured) at --threads {}: \
+             {:.2}s cold, {:.2}s forked ({:.2}x, reports identical: {})",
+            r.values.len() * 2,
+            r.warm,
+            r.cycles,
+            r.threads,
+            r.cold_wall_s,
+            r.forked_wall_s,
+            r.speedup(),
+            r.identical_reports
+        );
+    }
+    Ok(())
+}
+
+/// `clognet snapshot`: build a system, simulate the warmup, and write
+/// the versioned snapshot where `resume` / `--warm-from` can fork it.
+fn cmd_snapshot(args: &Args) -> Result<(), ParseArgsError> {
+    let mut keys = run_keys();
+    keys.push("out");
+    args.reject_unknown(&keys)?;
+    let gpu = args.get_or("gpu", "HS");
+    let cpu = args.get_or("cpu", "bodytrack");
+    let warm = args.get_num("warm", 6_000u64)?;
+    let out = args
+        .get("out")
+        .ok_or_else(|| ParseArgsError("snapshot needs --out <path>".into()))?;
+    if args.get("cycles").is_some() {
+        return Err(ParseArgsError(
+            "snapshot takes --warm (cycles to simulate before snapshotting), not --cycles".into(),
+        ));
+    }
+    let cfg = config_from(args)?;
+    let shards = shard_count(args, &cfg)?;
+    let mut sys = System::new(cfg, gpu, cpu);
+    sys.set_fast_forward(!args.flag("no-ff"));
+    apply_shards(&mut sys, shards);
+    sys.run(warm);
+    let snap = sys.snapshot();
+    std::fs::write(out, snap.as_bytes())
+        .map_err(|e| ParseArgsError(format!("writing {out}: {e}")))?;
+    eprintln!(
+        "wrote snapshot of {gpu}+{cpu} at cycle {} ({} bytes, key {:016x}) to {out}",
+        snap.cycle(),
+        snap.as_bytes().len(),
+        snap.key()
+    );
+    Ok(())
+}
+
+/// `clognet resume`: restore a snapshot file, optionally retarget
+/// warm-applicable knobs, and measure from there — the single-run face
+/// of the fork engine.
+fn cmd_resume(args: &Args) -> Result<(), ParseArgsError> {
+    args.reject_unknown(&["from", "cycles", "scheme", "set", "no-ff", "shards", "json"])?;
+    let path = args
+        .get("from")
+        .ok_or_else(|| ParseArgsError("resume needs --from <snapshot>".into()))?;
+    let cycles = args.get_num("cycles", 15_000u64)?;
+    let bytes = std::fs::read(path).map_err(|e| ParseArgsError(format!("reading {path}: {e}")))?;
+    let snap = clognet_core::Snapshot::from_bytes(bytes)
+        .map_err(|e| ParseArgsError(format!("{path} is not a usable snapshot: {e}")))?;
+    let mut sys = System::restore(&snap)
+        .map_err(|e| ParseArgsError(format!("{path} failed to restore: {e}")))?;
+    if let Some(s) = args.get("scheme") {
+        sys.set_scheme(clognet_cli::config::parse_scheme(s)?);
+    }
+    if let Some(sets) = args.get("set") {
+        for kv in sets.split(',') {
+            let (k, v) = kv
+                .split_once('=')
+                .ok_or_else(|| ParseArgsError(format!("--set wants k=v[,k=v...], got `{kv}`")))?;
+            let v: u64 = v
+                .parse()
+                .map_err(|_| ParseArgsError(format!("--set {k}: bad value `{v}`")))?;
+            sys.apply_warm_param(k, v).map_err(ParseArgsError)?;
+        }
+    }
+    let shards = shard_count(args, sys.config())?;
+    sys.set_fast_forward(!args.flag("no-ff"));
+    apply_shards(&mut sys, shards);
+    let scheme = sys.config().scheme;
+    eprintln!(
+        "resumed {}+{} at cycle {} from {path}",
+        snap.gpu_bench(),
+        snap.cpu_bench(),
+        snap.cycle()
+    );
+    sys.reset_stats();
+    sys.run(cycles);
+    let r = sys.report();
+    if args.flag("json") {
+        println!("{}", report::report_json(scheme, &r));
+    } else {
+        report::print_report(scheme, &r);
     }
     Ok(())
 }
@@ -479,6 +694,8 @@ fn print_help() {
          \x20 run      simulate one workload under one configuration\n\
          \x20 compare  baseline vs Realistic Probing vs Delegated Replies\n\
          \x20 sweep    sweep one parameter with and without Delegated Replies\n\
+         \x20 snapshot simulate a warmup once and save the full system state\n\
+         \x20 resume   restore a snapshot, retarget warm knobs, and measure\n\
          \x20 bench    time a fixed workload matrix 1- vs N-threaded (JSON report)\n\
          \x20 timeline ASCII per-epoch clog timeline + detected clog episodes\n\
          \x20 trace    protocol-event trace (delegations, blocking, probes)\n\
@@ -508,6 +725,16 @@ fn print_help() {
          \x20 --threads <n>      compare/sweep/bench worker threads (default: all cores)\n\
          \x20 --shards <n>       spatial shards ticking one simulation in parallel\n\
          \x20                    (must divide the mesh rows; bench: max of scaling curve)\n\n\
+         SNAPSHOT OPTIONS:\n\
+         \x20 --warm-from <m>    compare/sweep: fork (warm once, fork per variant) |\n\
+         \x20                    each (re-warm per variant, same semantics) | <snap file>\n\
+         \x20                    sweep: only warm-applicable params (injbuf|drmax)\n\
+         \x20 --out <path>       snapshot: where to write the system state\n\
+         \x20 --from <path>      resume: snapshot file to restore\n\
+         \x20 --set <k=v,...>    resume: retarget warm-applicable knobs (injbuf|drmax)\n\
+         \x20 --snapshot-every <n>  run: write a snapshot every n measured cycles\n\
+         \x20 --snapshot-out <p> run: snapshot path prefix (default `clognet`)\n\
+         \x20 --warm-start       bench: time the sweep cold vs snapshot-forked\n\n\
          TELEMETRY OPTIONS:\n\
          \x20 --metrics <path>   run/timeline: write the telemetry session as JSON\n\
          \x20 --csv <path>       run: write per-epoch series as CSV\n\
@@ -537,8 +764,12 @@ fn print_help() {
          \x20 clognet run --gpu NN --cpu canneal --metrics m.json --sample 500\n\
          \x20 clognet timeline --gpu NN --cpu canneal --scheme baseline\n\
          \x20 clognet sweep --param width --values 8,16,24,32 --gpu HS --cpu x264\n\
+         \x20 clognet sweep --param injbuf --values 2,4,8,16 --warm-from fork --json\n\
+         \x20 clognet snapshot --gpu HS --cpu bodytrack --warm 20000 --out warm.snap\n\
+         \x20 clognet resume --from warm.snap --cycles 4000 --set injbuf=4\n\
          \x20 clognet bench --quick --out BENCH_smoke.json\n\
          \x20 clognet bench --shards 4 --out BENCH_shards.json\n\
+         \x20 clognet bench --warm-start --out BENCH_warmstart.json\n\
          \x20 clognet serve --workers 4 &\n\
          \x20 clognet submit --gpu MM --cpu canneal --scheme dr\n\
          \x20 clognet serve --addr 127.0.0.1:9401 --peers 127.0.0.1:9402,127.0.0.1:9403 &\n\

@@ -14,8 +14,10 @@ use crate::args::{Args, ParseArgsError};
 use crate::cluster_cmd::{parse_peers, CLUSTER_KEYS};
 use crate::config::{config_from, CONFIG_KEYS};
 use crate::report;
-use clognet_core::{System, TickEngine};
-use clognet_proto::{canonical_job, fingerprint_hex, job_fingerprint, HashRing, SystemConfig};
+use clognet_core::{Snapshot, System, TickEngine};
+use clognet_proto::{
+    canonical_job, fingerprint_hex, job_fingerprint, snapshot_key, HashRing, SystemConfig,
+};
 use clognet_serve::client::{Client, RetryPolicy};
 use clognet_serve::json::Json;
 use clognet_serve::server::{JobError, JobHandler, ServeConfig, Server};
@@ -92,6 +94,26 @@ impl JobHandler for SimHandler {
     }
 
     fn run(&self, spec: &JobSpec, deadline: Instant) -> Result<String, JobError> {
+        self.run_with_snapshot(spec, deadline)
+            .map(|(report, _)| report)
+    }
+
+    fn snapshot_key(&self, spec: &JobSpec) -> Option<u64> {
+        if spec.warm == 0 {
+            return None; // No warmup prefix worth caching.
+        }
+        let (cfg, _, _) = Self::resolve(spec).ok()?;
+        // Like the fingerprint, the key excludes execution-mode knobs
+        // (`no-ff`, `shards`): a sharded submit must hit the snapshot a
+        // sequential one cached, and vice versa.
+        Some(snapshot_key(&cfg, &spec.gpu, &spec.cpu, spec.warm))
+    }
+
+    fn run_with_snapshot(
+        &self,
+        spec: &JobSpec,
+        deadline: Instant,
+    ) -> Result<(String, Option<Vec<u8>>), JobError> {
         let (cfg, ff, shards) = Self::resolve(spec)?;
         let scheme = cfg.scheme;
         let mut sys = System::new(cfg, &spec.gpu, &spec.cpu);
@@ -100,26 +122,65 @@ impl JobHandler for SimHandler {
             sys.set_tick_engine(TickEngine::Sharded(shards))
                 .expect("shard count validated in resolve");
         }
-        fn chunked(sys: &mut System, total: u64, deadline: Instant) -> Result<(), JobError> {
-            let mut remaining = total;
-            while remaining > 0 {
-                if Instant::now() >= deadline {
-                    return Err(JobError {
-                        code: ErrorCode::Timeout,
-                        message: "job exceeded its wall-time limit".into(),
-                    });
-                }
-                let step = remaining.min(DEADLINE_CHUNK);
-                sys.run(step);
-                remaining -= step;
-            }
-            Ok(())
-        }
         chunked(&mut sys, spec.warm, deadline)?;
+        let snap = (spec.warm > 0).then(|| sys.snapshot().into_bytes());
+        sys.reset_stats();
+        chunked(&mut sys, spec.cycles, deadline)?;
+        Ok((report::report_json(scheme, &sys.report()), snap))
+    }
+
+    fn run_from_snapshot(
+        &self,
+        spec: &JobSpec,
+        snapshot: &[u8],
+        deadline: Instant,
+    ) -> Result<String, JobError> {
+        let (cfg, ff, shards) = Self::resolve(spec)?;
+        let scheme = cfg.scheme;
+        // A cache entry that fails to restore (corrupt bytes, a version
+        // we no longer read) must never fail the job — snapshots are an
+        // optimization; fall back to the full run.
+        let restored = Snapshot::from_bytes(snapshot.to_vec())
+            .ok()
+            .filter(|snap| {
+                // Belt-and-braces identity check: even a key collision
+                // must not resume the wrong simulation.
+                snap.config() == &cfg
+                    && snap.gpu_bench() == spec.gpu
+                    && snap.cpu_bench() == spec.cpu
+                    && snap.cycle() == spec.warm
+            })
+            .and_then(|snap| System::restore(&snap).ok());
+        let Some(mut sys) = restored else {
+            return self.run(spec, deadline);
+        };
+        sys.set_fast_forward(ff);
+        if shards > 1 {
+            sys.set_tick_engine(TickEngine::Sharded(shards))
+                .expect("shard count validated in resolve");
+        }
         sys.reset_stats();
         chunked(&mut sys, spec.cycles, deadline)?;
         Ok(report::report_json(scheme, &sys.report()))
     }
+}
+
+/// Simulate `total` cycles in [`DEADLINE_CHUNK`]-sized steps, checking
+/// the wall-time deadline between chunks.
+fn chunked(sys: &mut System, total: u64, deadline: Instant) -> Result<(), JobError> {
+    let mut remaining = total;
+    while remaining > 0 {
+        if Instant::now() >= deadline {
+            return Err(JobError {
+                code: ErrorCode::Timeout,
+                message: "job exceeded its wall-time limit".into(),
+            });
+        }
+        let step = remaining.min(DEADLINE_CHUNK);
+        sys.run(step);
+        remaining -= step;
+    }
+    Ok(())
 }
 
 /// Build a [`JobSpec`] from `submit`-style CLI options.
@@ -191,6 +252,7 @@ pub fn cmd_serve(args: &Args) -> Result<(), ParseArgsError> {
         "workers",
         "queue",
         "cache",
+        "snap-cache",
         "max-cycles",
         "timeout-ms",
         "drain-ms",
@@ -201,6 +263,7 @@ pub fn cmd_serve(args: &Args) -> Result<(), ParseArgsError> {
         workers: args.get_num("workers", default.workers)?.max(1),
         queue_cap: args.get_num("queue", default.queue_cap)?.max(1),
         cache_cap: args.get_num("cache", default.cache_cap)?,
+        snap_cache_cap: args.get_num("snap-cache", default.snap_cache_cap)?,
         max_job_cycles: args.get_num("max-cycles", default.max_job_cycles)?,
         job_timeout: Duration::from_millis(
             args.get_num("timeout-ms", default.job_timeout.as_millis() as u64)?,
@@ -458,6 +521,68 @@ mod tests {
         let mut b = a.clone();
         b.opts.insert("shards".into(), "4".into());
         assert_eq!(h.fingerprint(&a).unwrap(), h.fingerprint(&b).unwrap());
+    }
+
+    #[test]
+    fn snapshot_keys_ignore_execution_mode_knobs() {
+        // The snapshot tier obeys the same exclusion rule as the
+        // fingerprint: a sharded or no-ff submit must hit the snapshot
+        // a sequential run cached.
+        let h = SimHandler;
+        let a = JobSpec::new("HS", "bodytrack");
+        let key = h.snapshot_key(&a).expect("warmup > 0 has a key");
+        let mut sharded = a.clone();
+        sharded.opts.insert("shards".into(), "4".into());
+        let mut no_ff = a.clone();
+        no_ff.opts.insert("no-ff".into(), "true".into());
+        assert_eq!(h.snapshot_key(&sharded), Some(key));
+        assert_eq!(h.snapshot_key(&no_ff), Some(key));
+        // Anything that changes the warmup prefix changes the key.
+        let mut other_warm = a.clone();
+        other_warm.warm += 1;
+        assert_ne!(h.snapshot_key(&other_warm), Some(key));
+        let mut other_scheme = a.clone();
+        other_scheme.opts.insert("scheme".into(), "dr".into());
+        assert_ne!(h.snapshot_key(&other_scheme), Some(key));
+        // But the measured window does not (that is the whole point).
+        let mut other_cycles = a.clone();
+        other_cycles.cycles += 500;
+        assert_eq!(h.snapshot_key(&other_cycles), Some(key));
+    }
+
+    #[test]
+    fn jobs_without_warmup_have_no_snapshot_key() {
+        let h = SimHandler;
+        let mut spec = JobSpec::new("HS", "bodytrack");
+        spec.warm = 0;
+        assert_eq!(h.snapshot_key(&spec), None);
+        let bad = JobSpec::new("NOPE", "bodytrack");
+        assert_eq!(h.snapshot_key(&bad), None, "unresolvable spec: no key");
+    }
+
+    #[test]
+    fn corrupt_snapshots_fall_back_to_a_full_run() {
+        let h = SimHandler;
+        let mut spec = JobSpec::new("HS", "bodytrack");
+        spec.warm = 300;
+        spec.cycles = 600;
+        let deadline = Instant::now() + Duration::from_secs(120);
+        let (cold, snap) = h.run_with_snapshot(&spec, deadline).unwrap();
+        let snap = snap.expect("warmup produced a snapshot");
+        // Resuming from the real snapshot is byte-identical...
+        let resumed = h.run_from_snapshot(&spec, &snap, deadline).unwrap();
+        assert_eq!(cold, resumed);
+        // ...and garbage bytes quietly fall back to the cold path.
+        let fallback = h.run_from_snapshot(&spec, b"junk", deadline).unwrap();
+        assert_eq!(cold, fallback);
+        // A *valid* snapshot for a different job must not be resumed.
+        let mut other = spec.clone();
+        other.warm = 400;
+        let (_, other_snap) = h.run_with_snapshot(&other, deadline).unwrap();
+        let guarded = h
+            .run_from_snapshot(&spec, &other_snap.unwrap(), deadline)
+            .unwrap();
+        assert_eq!(cold, guarded, "identity mismatch falls back to cold run");
     }
 
     #[test]

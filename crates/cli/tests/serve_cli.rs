@@ -115,6 +115,67 @@ fn concurrent_submissions_match_single_threaded_inline_runs() {
     handle.join().unwrap();
 }
 
+/// Regression: execution-mode knobs must not split the cache. A
+/// sharded submit has to hit the entry a sequential submit wrote —
+/// same fingerprint, same bytes.
+#[test]
+fn sharded_submit_hits_the_cache_entry_a_sequential_one_wrote() {
+    let (addr, handle) = serve(ServeConfig::default());
+    let mut client = Client::connect(&addr, &retry()).unwrap();
+
+    let sequential = spec("HS", "bodytrack", "dr");
+    let mut sharded = sequential.clone();
+    sharded.opts.insert("shards".into(), "4".into());
+    let mut no_ff = sequential.clone();
+    no_ff.opts.insert("no-ff".into(), "true".into());
+
+    let first = client.submit(&sequential).unwrap();
+    assert!(!first.cache_hit);
+    let second = client.submit(&sharded).unwrap();
+    assert_eq!(first.fingerprint, second.fingerprint);
+    assert!(second.cache_hit, "sharded submit shares the cache entry");
+    assert_eq!(first.report, second.report);
+    let third = client.submit(&no_ff).unwrap();
+    assert!(third.cache_hit, "no-ff submit shares the cache entry");
+    assert_eq!(first.report, third.report);
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// The snapshot tier: a job that misses the result cache but shares
+/// its warmup prefix (same config + workloads + warm) with an earlier
+/// job resumes from the cached snapshot — and the resumed report is
+/// byte-identical to an inline cold run.
+#[test]
+fn warm_prefix_sharing_resumes_from_the_snapshot_tier() {
+    let (addr, handle) = serve(ServeConfig::default());
+    let mut client = Client::connect(&addr, &retry()).unwrap();
+
+    let first_job = spec("HS", "bodytrack", "dr");
+    let mut longer = first_job.clone();
+    longer.cycles = CYCLES + 500; // New fingerprint, same warmup prefix.
+
+    let first = client.submit(&first_job).unwrap();
+    let second = client.submit(&longer).unwrap();
+    assert!(!first.cache_hit);
+    assert!(!second.cache_hit, "different cycles = different result");
+    assert_ne!(first.fingerprint, second.fingerprint);
+    assert_eq!(
+        second.report,
+        inline_report(&longer),
+        "snapshot-resumed report diverged from a cold inline run"
+    );
+    let stats = client.stats().unwrap();
+    assert!(
+        stats.contains("\"snapshot_hits\":1"),
+        "second job resumed from the snapshot tier: {stats}"
+    );
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
 #[test]
 fn resolved_spelling_variants_share_one_simulation() {
     let (addr, handle) = serve(ServeConfig::default());

@@ -15,7 +15,9 @@
 //! * **Replication** — after computing a miss, a node synchronously
 //!   copies the cache entry to the fingerprint's other placement
 //!   members (`replicas` successors), so a resubmission survives the
-//!   owner's death.
+//!   owner's death. When the job produced a warmup snapshot, it rides
+//!   along (`replicate-snap`), so a peer can resume a related job
+//!   mid-flight instead of re-simulating the warmup.
 //! * **Delegation** — an owner whose queue is full does not bounce the
 //!   job back as `overloaded`; with hops remaining (`ttl > 0`) it
 //!   delegates to the least-loaded alive peer, and only a saturated
@@ -35,10 +37,11 @@ use clognet_serve::client::{Client, RetryPolicy};
 use clognet_serve::json::Json;
 use clognet_serve::server::{serve_frames, JobHandler, ServeConfig};
 use clognet_serve::wire::{
-    error_response, ok_response, parse_forward, parse_peers, parse_replicate, parse_response,
-    peers_line, peers_response, replicate_line, run_response, ErrorCode, JobSpec,
+    error_response, ok_response, parse_forward, parse_peers, parse_replicate, parse_replicate_snap,
+    parse_response, peers_line, peers_response, replicate_line, replicate_snap_line, run_response,
+    ErrorCode, JobSpec, MAX_FRAME_BYTES,
 };
-use clognet_serve::ResultCache;
+use clognet_serve::{ResultCache, SnapshotCache};
 use clognet_telemetry::export::{json_escape, json_f64};
 use std::collections::VecDeque;
 use std::hash::Hasher;
@@ -106,24 +109,36 @@ struct Counters {
     replications_sent: AtomicU64,
     replication_failures: AtomicU64,
     replicas_stored: AtomicU64,
+    snap_replications_sent: AtomicU64,
+    snap_replications_skipped: AtomicU64,
+    snaps_stored: AtomicU64,
+    jobs_resumed_from_snapshot: AtomicU64,
     forward_cache_hits: AtomicU64,
     fallback_local: AtomicU64,
     jobs_completed: AtomicU64,
 }
 
-type PoolResult = Result<String, clognet_serve::JobError>;
+/// A pool job: the spec, the cached warmup snapshot to resume from
+/// (when the snapshot tier hit), and the wall-time deadline.
+type PoolJob = (JobSpec, Option<Arc<Vec<u8>>>, Instant);
+/// A pool result: the report, plus a fresh warmup snapshot to cache
+/// when the handler produced one.
+type PoolResult = Result<(String, Option<Vec<u8>>), clognet_serve::JobError>;
 
 struct NodeInner {
     cfg: ClusterConfig,
     advertise: String,
     handler: Arc<dyn JobHandler>,
-    pool: Mutex<Option<WorkerPool<(JobSpec, Instant), PoolResult>>>,
+    pool: Mutex<Option<WorkerPool<PoolJob, PoolResult>>>,
     cache: Mutex<ResultCache>,
+    snapshots: Mutex<SnapshotCache>,
     members: Mutex<Membership>,
     counters: Counters,
     recent_delegations: Mutex<VecDeque<u64>>,
     shutdown: AtomicBool,
     inflight: AtomicUsize,
+    /// Connection threads currently serving a peer.
+    conns: AtomicUsize,
     local_addr: SocketAddr,
 }
 
@@ -185,7 +200,12 @@ impl ClusterNode {
         let pool = WorkerPool::new(
             cfg.serve.workers,
             cfg.serve.queue_cap,
-            move |(spec, deadline): (JobSpec, Instant)| pool_handler.run(&spec, deadline),
+            move |(spec, snap, deadline): PoolJob| match snap {
+                Some(bytes) => pool_handler
+                    .run_from_snapshot(&spec, &bytes, deadline)
+                    .map(|report| (report, None)),
+                None => pool_handler.run_with_snapshot(&spec, deadline),
+            },
         );
         let mut members = Membership::new(
             &advertise,
@@ -199,17 +219,20 @@ impl ClusterNode {
             members.add_peer(seed, now);
         }
         let cache = ResultCache::new(cfg.serve.cache_cap);
+        let snapshots = SnapshotCache::new(cfg.serve.snap_cache_cap);
         let inner = Arc::new(NodeInner {
             cfg,
             advertise,
             handler,
             pool: Mutex::new(Some(pool)),
             cache: Mutex::new(cache),
+            snapshots: Mutex::new(snapshots),
             members: Mutex::new(members),
             counters: Counters::default(),
             recent_delegations: Mutex::new(VecDeque::new()),
             shutdown: AtomicBool::new(false),
             inflight: AtomicUsize::new(0),
+            conns: AtomicUsize::new(0),
             local_addr,
         });
         Ok(ClusterNode { listener, inner })
@@ -282,6 +305,11 @@ impl ClusterNode {
     }
 }
 
+/// Grace for connection threads to flush final responses (notably the
+/// `shutdown` acknowledgment, whose writer is a detached thread racing
+/// process exit) before `run` returns. Mirrors `clognet-serve`.
+const CONN_FLUSH_GRACE: Duration = Duration::from_millis(300);
+
 fn drain(inner: &NodeInner) {
     let deadline = Instant::now() + inner.cfg.serve.drain_timeout;
     while inner.inflight.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
@@ -291,6 +319,10 @@ fn drain(inner: &NodeInner) {
     if let Some(pool) = pool {
         pool.shutdown();
     }
+    let grace = Instant::now() + CONN_FLUSH_GRACE;
+    while inner.conns.load(Ordering::SeqCst) > 0 && Instant::now() < grace {
+        std::thread::sleep(Duration::from_millis(2));
+    }
 }
 
 fn handle_connection(inner: &Arc<NodeInner>, stream: TcpStream) {
@@ -298,7 +330,9 @@ fn handle_connection(inner: &Arc<NodeInner>, stream: TcpStream) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
+    inner.conns.fetch_add(1, Ordering::SeqCst);
     serve_frames(read_half, stream, |line| dispatch(inner, line));
+    inner.conns.fetch_sub(1, Ordering::SeqCst);
 }
 
 /// This node's instantaneous load: queued jobs per worker. Draining
@@ -361,6 +395,7 @@ fn dispatch(inner: &Arc<NodeInner>, line: &str) -> String {
         Some("run") => handle_run(inner, &parsed),
         Some("forward") => handle_forward(inner, &parsed),
         Some("replicate") => handle_replicate(inner, &parsed),
+        Some("replicate-snap") => handle_replicate_snap(inner, &parsed),
         Some("peers") => handle_peers(inner, &parsed),
         Some("stats") => stats_response(inner),
         Some("cluster-stats") => cluster_stats_response(inner),
@@ -374,7 +409,7 @@ fn dispatch(inner: &Arc<NodeInner>, line: &str) -> String {
             ErrorCode::BadRequest,
             &format!(
                 "unknown op `{other}` \
-                 (ping|run|forward|replicate|peers|stats|cluster-stats|shutdown)"
+                 (ping|run|forward|replicate|replicate-snap|peers|stats|cluster-stats|shutdown)"
             ),
         ),
         None => error_response(ErrorCode::BadRequest, "request missing string `op`"),
@@ -499,12 +534,23 @@ fn execute_local(
     hex: &str,
     allow_delegate: bool,
 ) -> String {
+    // The snapshot tier: a cached warmup prefix (computed locally or
+    // replicated from a peer) lets the worker resume mid-flight.
+    let skey = inner.handler.snapshot_key(&spec);
+    let snap = skey.and_then(|k| {
+        inner
+            .snapshots
+            .lock()
+            .expect("snapshot cache lock poisoned")
+            .lookup(k)
+    });
+    let resumed = snap.is_some();
     let deadline = Instant::now() + inner.cfg.serve.job_timeout;
     let submitted = {
         let pool = inner.pool.lock().expect("pool lock poisoned");
         match pool.as_ref() {
             None => return error_response(ErrorCode::ShuttingDown, "node is draining"),
-            Some(p) => p.try_submit((spec.clone(), deadline)),
+            Some(p) => p.try_submit((spec.clone(), snap, deadline)),
         }
     };
     let rx = match submitted {
@@ -527,17 +573,35 @@ fn execute_local(
     let outcome = rx.recv_timeout(wait);
     inner.inflight.fetch_sub(1, Ordering::SeqCst);
     match outcome {
-        Ok(Ok(report)) => {
+        Ok(Ok((report, fresh_snap))) => {
             inner
                 .counters
                 .jobs_completed
                 .fetch_add(1, Ordering::Relaxed);
+            if resumed {
+                inner
+                    .counters
+                    .jobs_resumed_from_snapshot
+                    .fetch_add(1, Ordering::Relaxed);
+            }
             inner
                 .cache
                 .lock()
                 .expect("cache lock poisoned")
                 .insert(fp, report.clone());
-            replicate_out(inner, fp, hex, &report);
+            let snap_to_share = match (skey, fresh_snap) {
+                (Some(k), Some(bytes)) => {
+                    let bytes = Arc::new(bytes);
+                    inner
+                        .snapshots
+                        .lock()
+                        .expect("snapshot cache lock poisoned")
+                        .insert(k, Arc::clone(&bytes));
+                    Some((k, bytes))
+                }
+                _ => None,
+            };
+            replicate_out(inner, fp, hex, &report, snap_to_share);
             run_response(hex, false, &report)
         }
         Ok(Err(e)) => error_response(e.code, &e.message),
@@ -596,8 +660,18 @@ fn delegate(inner: &Arc<NodeInner>, spec: &JobSpec, fp: u64) -> String {
 }
 
 /// Synchronously copy a fresh cache entry to the fingerprint's other
-/// placement members, so the report survives this node's death.
-fn replicate_out(inner: &NodeInner, fp: u64, hex: &str, report: &str) {
+/// placement members, so the report survives this node's death. When
+/// the job also produced a warmup snapshot, it rides along on the same
+/// connections (`replicate-snap`) — unless its hex form would not fit
+/// in a frame, in which case it is simply skipped: snapshots are an
+/// optimization, never required for correctness.
+fn replicate_out(
+    inner: &NodeInner,
+    fp: u64,
+    hex: &str,
+    report: &str,
+    snap: Option<(u64, Arc<Vec<u8>>)>,
+) {
     if inner.cfg.replicas == 0 {
         return;
     }
@@ -612,6 +686,17 @@ fn replicate_out(inner: &NodeInner, fp: u64, hex: &str, report: &str) {
     if targets.is_empty() {
         return;
     }
+    let snap_line = snap.and_then(|(key, bytes)| {
+        // Hex doubles the payload; leave headroom for the JSON wrapper.
+        if bytes.len() * 2 + 64 > MAX_FRAME_BYTES {
+            inner
+                .counters
+                .snap_replications_skipped
+                .fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        Some(replicate_snap_line(&fingerprint_hex(key), &bytes))
+    });
     let line = replicate_line(hex, report);
     let policy = hop_policy(inner, fp);
     for target in targets {
@@ -621,6 +706,23 @@ fn replicate_out(inner: &NodeInner, fp: u64, hex: &str, report: &str) {
                     .counters
                     .replications_sent
                     .fetch_add(1, Ordering::Relaxed);
+                if let Some(snap_line) = &snap_line {
+                    match exchange(&target, snap_line, &policy) {
+                        Ok(_) => {
+                            inner
+                                .counters
+                                .snap_replications_sent
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            inner
+                                .counters
+                                .replication_failures
+                                .fetch_add(1, Ordering::Relaxed);
+                            note_peer_failure(inner, &target);
+                        }
+                    }
+                }
             }
             Err(_) => {
                 inner
@@ -650,6 +752,22 @@ fn handle_replicate(inner: &Arc<NodeInner>, request: &Json) -> String {
         .replicas_stored
         .fetch_add(1, Ordering::Relaxed);
     ok_response("replicate")
+}
+
+/// Store a replicated warmup snapshot. Duplicate inserts are no-ops,
+/// so snapshot replication is idempotent too.
+fn handle_replicate_snap(inner: &Arc<NodeInner>, request: &Json) -> String {
+    let frame = match parse_replicate_snap(request) {
+        Ok(f) => f,
+        Err(e) => return error_response(ErrorCode::BadRequest, &e),
+    };
+    inner
+        .snapshots
+        .lock()
+        .expect("snapshot cache lock poisoned")
+        .insert(frame.key, Arc::new(frame.bytes));
+    inner.counters.snaps_stored.fetch_add(1, Ordering::Relaxed);
+    ok_response("replicate-snap")
 }
 
 /// Answer a heartbeat: learn the sender and its gossip, report our own
@@ -741,11 +859,20 @@ fn stats_response(inner: &NodeInner) -> String {
         let c = inner.cache.lock().expect("cache lock poisoned");
         (c.len(), c.hit_rate(), c.hits(), c.misses())
     };
+    let (snap_entries, snap_bytes, snap_hits, snap_misses) = {
+        let s = inner
+            .snapshots
+            .lock()
+            .expect("snapshot cache lock poisoned");
+        (s.len(), s.bytes(), s.hits(), s.misses())
+    };
     let util_arr: Vec<String> = utilization.iter().map(|&u| json_f64(u)).collect();
     format!(
         "{{\"ok\":true,\"op\":\"stats\",\"queue_depth\":{depth},\"workers\":{workers},\
          \"utilization\":[{}],\"cache_entries\":{entries},\"cache_hits\":{hits},\
-         \"cache_misses\":{misses},\"cache_hit_rate\":{}}}",
+         \"cache_misses\":{misses},\"cache_hit_rate\":{},\
+         \"snapshot_entries\":{snap_entries},\"snapshot_bytes\":{snap_bytes},\
+         \"snapshot_hits\":{snap_hits},\"snapshot_misses\":{snap_misses}}}",
         util_arr.join(","),
         json_f64(hit_rate)
     )
@@ -785,6 +912,13 @@ fn cluster_stats_response(inner: &NodeInner) -> String {
         let cache = inner.cache.lock().expect("cache lock poisoned");
         (cache.len(), cache.hits(), cache.misses())
     };
+    let (snap_entries, snap_hits, snap_misses) = {
+        let s = inner
+            .snapshots
+            .lock()
+            .expect("snapshot cache lock poisoned");
+        (s.len(), s.hits(), s.misses())
+    };
     format!(
         "{{\"ok\":true,\"op\":\"cluster-stats\",\"self\":\"{}\",\"replicas\":{},\
          \"ring\":[{}],\"peers\":[{}],\"counters\":{{\
@@ -792,9 +926,13 @@ fn cluster_stats_response(inner: &NodeInner) -> String {
          \"delegations_out\":{},\"delegations_in\":{},\
          \"replications_sent\":{},\"replication_failures\":{},\
          \"replicas_stored\":{},\"forward_cache_hits\":{},\
-         \"fallback_local\":{},\"jobs_completed\":{}}},\
+         \"fallback_local\":{},\"jobs_completed\":{},\
+         \"snap_replications_sent\":{},\"snap_replications_skipped\":{},\
+         \"snaps_stored\":{},\"jobs_resumed_from_snapshot\":{}}},\
          \"recent_delegations\":[{}],\
-         \"cache_entries\":{entries},\"cache_hits\":{hits},\"cache_misses\":{misses}}}",
+         \"cache_entries\":{entries},\"cache_hits\":{hits},\"cache_misses\":{misses},\
+         \"snapshot_entries\":{snap_entries},\"snapshot_hits\":{snap_hits},\
+         \"snapshot_misses\":{snap_misses}}}",
         json_escape(&inner.advertise),
         inner.cfg.replicas,
         ring_arr.join(","),
@@ -809,6 +947,10 @@ fn cluster_stats_response(inner: &NodeInner) -> String {
         c.forward_cache_hits.load(Ordering::Relaxed),
         c.fallback_local.load(Ordering::Relaxed),
         c.jobs_completed.load(Ordering::Relaxed),
+        c.snap_replications_sent.load(Ordering::Relaxed),
+        c.snap_replications_skipped.load(Ordering::Relaxed),
+        c.snaps_stored.load(Ordering::Relaxed),
+        c.jobs_resumed_from_snapshot.load(Ordering::Relaxed),
         delegations.join(","),
     )
 }

@@ -74,6 +74,72 @@ impl JobHandler for StubHandler {
     }
 }
 
+/// A stub with the snapshot hooks wired up: the "snapshot" is a token
+/// derived from the warmup prefix, and resumed runs are counted so
+/// tests can prove which path executed. Reports are identical on both
+/// paths, matching the real handler's byte-identity contract.
+struct SnapStub {
+    inner: StubHandler,
+    resumed: Arc<AtomicUsize>,
+    snap_len: usize,
+}
+
+impl SnapStub {
+    fn new(snap_len: usize) -> SnapStub {
+        SnapStub {
+            inner: StubHandler::new(),
+            resumed: Arc::new(AtomicUsize::new(0)),
+            snap_len,
+        }
+    }
+
+    fn prefix_token(spec: &JobSpec) -> Vec<u8> {
+        format!("snap:{}:{}:{}", spec.gpu, spec.cpu, spec.warm).into_bytes()
+    }
+}
+
+impl JobHandler for SnapStub {
+    fn fingerprint(&self, spec: &JobSpec) -> Result<u64, JobError> {
+        self.inner.fingerprint(spec)
+    }
+
+    fn run(&self, spec: &JobSpec, deadline: Instant) -> Result<String, JobError> {
+        self.inner.run(spec, deadline)
+    }
+
+    fn snapshot_key(&self, spec: &JobSpec) -> Option<u64> {
+        let mut key = spec.warm.wrapping_mul(977);
+        for b in spec.gpu.bytes().chain(spec.cpu.bytes()) {
+            key = key.wrapping_mul(131).wrapping_add(u64::from(b));
+        }
+        Some(key)
+    }
+
+    fn run_with_snapshot(
+        &self,
+        spec: &JobSpec,
+        deadline: Instant,
+    ) -> Result<(String, Option<Vec<u8>>), JobError> {
+        let mut snap = Self::prefix_token(spec);
+        snap.resize(snap.len().max(self.snap_len), 0);
+        Ok((self.run(spec, deadline)?, Some(snap)))
+    }
+
+    fn run_from_snapshot(
+        &self,
+        spec: &JobSpec,
+        snapshot: &[u8],
+        deadline: Instant,
+    ) -> Result<String, JobError> {
+        assert!(
+            snapshot.starts_with(&Self::prefix_token(spec)),
+            "resumed from a snapshot of a different warmup prefix"
+        );
+        self.resumed.fetch_add(1, Ordering::SeqCst);
+        self.run(spec, deadline)
+    }
+}
+
 fn test_config() -> ClusterConfig {
     ClusterConfig {
         serve: ServeConfig {
@@ -265,6 +331,96 @@ fn replication_survives_owner_death() {
         .cloned()
         .collect();
     shutdown_all(&survivors, kept);
+}
+
+/// Boot a 2-node mesh whose handlers implement the snapshot hooks,
+/// returning each node's resumed-run counter.
+fn boot_snap_pair(snap_len: usize) -> (Vec<String>, Vec<ClusterHandle>, Vec<Arc<AtomicUsize>>) {
+    let cfg = test_config();
+    let stubs: Vec<SnapStub> = (0..2).map(|_| SnapStub::new(snap_len)).collect();
+    let resumed: Vec<Arc<AtomicUsize>> = stubs.iter().map(|s| Arc::clone(&s.resumed)).collect();
+    let nodes: Vec<ClusterNode> = stubs
+        .into_iter()
+        .map(|s| ClusterNode::bind(cfg.clone(), Arc::new(s)).expect("bind"))
+        .collect();
+    let addrs: Vec<String> = nodes.iter().map(|n| n.advertise().to_string()).collect();
+    for node in &nodes {
+        for addr in &addrs {
+            if addr != node.advertise() {
+                node.add_peer(addr);
+            }
+        }
+    }
+    let handles = nodes
+        .into_iter()
+        .map(|n| n.spawn().expect("spawn"))
+        .collect();
+    (addrs, handles, resumed)
+}
+
+#[test]
+fn warmup_snapshots_replicate_alongside_results() {
+    let (addrs, handles, resumed) = boot_snap_pair(0);
+
+    // Job A, owned and executed by node 0: its warmup snapshot is
+    // cached locally and replicated to node 1 with the result.
+    let spec_a = spec_owned_by(&addrs, 0);
+    Client::connect(&addrs[0], &fast_retry())
+        .unwrap()
+        .submit(&spec_a)
+        .unwrap();
+    let s0 = cluster_stats(&addrs[0]);
+    assert!(counter(&s0, "snap_replications_sent") >= 1, "{s0:?}");
+    let s1 = cluster_stats(&addrs[1]);
+    assert!(
+        counter(&s1, "snaps_stored") >= 1,
+        "replica holds it: {s1:?}"
+    );
+
+    // Job B: same warmup prefix, different measured window, owned by
+    // node 1 — which never simulated the warmup itself, yet resumes
+    // from the snapshot node 0 replicated over.
+    let spec_b = spec_owned_by(&addrs, 1);
+    assert_ne!(spec_a, spec_b);
+    let direct = Client::connect(&addrs[1], &fast_retry())
+        .unwrap()
+        .submit(&spec_b)
+        .unwrap();
+    assert_eq!(resumed[1].load(Ordering::SeqCst), 1, "node 1 resumed");
+    assert_eq!(resumed[0].load(Ordering::SeqCst), 0);
+    let s1 = cluster_stats(&addrs[1]);
+    assert_eq!(counter(&s1, "jobs_resumed_from_snapshot"), 1, "{s1:?}");
+
+    // The resumed report is the same bytes every gateway serves.
+    let via_peer = Client::connect(&addrs[0], &fast_retry())
+        .unwrap()
+        .submit(&spec_b)
+        .unwrap();
+    assert_eq!(via_peer.report, direct.report);
+    shutdown_all(&addrs, handles);
+}
+
+#[test]
+fn oversized_snapshots_are_skipped_not_replicated() {
+    use clognet_serve::wire::MAX_FRAME_BYTES;
+    // Snapshots whose hex form would exceed a frame stay local; the
+    // result itself still replicates.
+    let (addrs, handles, _) = boot_snap_pair(MAX_FRAME_BYTES / 2);
+    let spec = spec_owned_by(&addrs, 0);
+    Client::connect(&addrs[0], &fast_retry())
+        .unwrap()
+        .submit(&spec)
+        .unwrap();
+    let s0 = cluster_stats(&addrs[0]);
+    assert!(counter(&s0, "snap_replications_skipped") >= 1, "{s0:?}");
+    assert_eq!(counter(&s0, "snap_replications_sent"), 0);
+    let s1 = cluster_stats(&addrs[1]);
+    assert_eq!(counter(&s1, "snaps_stored"), 0, "{s1:?}");
+    assert!(
+        s1.get("cache_entries").and_then(Json::as_u64).unwrap() >= 1,
+        "result replication unaffected: {s1:?}"
+    );
+    shutdown_all(&addrs, handles);
 }
 
 #[test]

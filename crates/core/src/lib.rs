@@ -24,6 +24,7 @@
 pub mod memnode;
 pub mod nets;
 pub mod report;
+pub mod snapshot;
 pub mod system;
 pub mod telemetry;
 pub mod trace;
@@ -32,6 +33,7 @@ pub use clognet_telemetry::TelemetryConfig;
 pub use memnode::{MemNode, MemNodeStats, PendingReply};
 pub use nets::Nets;
 pub use report::{MissBreakdown, Report};
+pub use snapshot::Snapshot;
 pub use system::{validate_shards, System, TickEngine};
 pub use telemetry::SystemTelemetry;
 pub use trace::{Event, TraceLog, Traced};

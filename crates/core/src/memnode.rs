@@ -17,6 +17,7 @@
 
 use clognet_cache::{LlcAccess, LlcSlice};
 use clognet_dram::{DramController, DramRequest};
+use clognet_proto::snap::{self, SnapError, SnapReader, SnapWriter};
 use clognet_proto::{
     Addr, CoreId, Cycle, FxHashMap, LineAddr, MemId, MsgKind, NodeId, Packet, Priority,
     SystemConfig,
@@ -394,6 +395,155 @@ impl MemNode {
         self.llc.invalidate_pointers_of(core)
     }
 
+    /// Retarget the injection-buffer capacity (warm-start sweeps apply
+    /// an `injbuf` variant to a restored snapshot through this). The
+    /// buffer contents are untouched; an over-full buffer simply blocks
+    /// until it drains below the new capacity.
+    pub fn set_cap(&mut self, cap: usize) {
+        self.cap = cap;
+    }
+
+    /// Serialize all mutable state. Capacity and latency come from the
+    /// configuration at rebuild time, so a restored node can be given a
+    /// different `injbuf` capacity without invalidating the snapshot.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        self.llc.save_state(w);
+        self.dram.save_state(w);
+        w.usize(self.llc_pipe.len());
+        for (ready, rep) in &self.llc_pipe {
+            w.u64(*ready);
+            save_reply(w, rep);
+        }
+        w.usize(self.inj_buf.len());
+        for rep in &self.inj_buf {
+            save_reply(w, rep);
+        }
+        w.usize(self.fill_ready.len());
+        for rep in &self.fill_ready {
+            save_reply(w, rep);
+        }
+        // Outstanding DRAM reads, sorted by token for a canonical order;
+        // `line_tokens` is the inverse index and is rebuilt on load.
+        let mut toks: Vec<u64> = self.dram_waiters.keys().copied().collect();
+        toks.sort_unstable();
+        w.usize(toks.len());
+        for tok in toks {
+            let (line, waiters) = &self.dram_waiters[&tok];
+            w.u64(tok);
+            w.u64(line.0);
+            w.usize(waiters.len());
+            for wt in waiters {
+                w.u16(wt.dst.0);
+                w.u8(match wt.prio {
+                    Priority::Cpu => 0,
+                    Priority::Gpu => 1,
+                });
+                w.u64(wt.addr.0);
+                w.u32(wt.line_bytes);
+                match wt.gpu_core {
+                    Some(c) => {
+                        w.bool(true);
+                        w.u16(c.0);
+                    }
+                    None => w.bool(false),
+                }
+            }
+        }
+        w.usize(self.wb_pending.len());
+        for line in &self.wb_pending {
+            w.u64(line.0);
+        }
+        w.u64(self.token_seq);
+        for v in [
+            self.stats.requests,
+            self.stats.llc_hits,
+            self.stats.llc_misses,
+            self.stats.blocked_cycles,
+            self.stats.delegations,
+            self.stats.injected_replies,
+            self.stats.writes,
+            self.stats.dnf_requests,
+        ] {
+            w.u64(v);
+        }
+    }
+
+    /// Overlay state captured by [`MemNode::save_state`] onto a node
+    /// freshly built from the same configuration.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.llc.load_state(r)?;
+        self.dram.load_state(r)?;
+        let n = r.usize()?;
+        self.llc_pipe.clear();
+        for _ in 0..n {
+            let ready = r.u64()?;
+            self.llc_pipe.push_back((ready, load_reply(r)?));
+        }
+        let n = r.usize()?;
+        self.inj_buf.clear();
+        for _ in 0..n {
+            self.inj_buf.push_back(load_reply(r)?);
+        }
+        let n = r.usize()?;
+        self.fill_ready.clear();
+        for _ in 0..n {
+            self.fill_ready.push_back(load_reply(r)?);
+        }
+        let n = r.usize()?;
+        self.dram_waiters.clear();
+        self.line_tokens.clear();
+        for _ in 0..n {
+            let tok = r.u64()?;
+            let line = LineAddr(r.u64()?);
+            let m = r.usize()?;
+            let mut waiters = Vec::with_capacity(m);
+            for _ in 0..m {
+                let dst = NodeId(r.u16()?);
+                let prio = match r.u8()? {
+                    0 => Priority::Cpu,
+                    1 => Priority::Gpu,
+                    t => {
+                        return Err(SnapError::BadTag {
+                            what: "waiter priority",
+                            tag: u64::from(t),
+                        })
+                    }
+                };
+                let addr = Addr(r.u64()?);
+                let line_bytes = r.u32()?;
+                let gpu_core = if r.bool()? {
+                    Some(CoreId(r.u16()?))
+                } else {
+                    None
+                };
+                waiters.push(Waiter {
+                    dst,
+                    prio,
+                    addr,
+                    line_bytes,
+                    gpu_core,
+                });
+            }
+            self.line_tokens.insert(line, tok);
+            self.dram_waiters.insert(tok, (line, waiters));
+        }
+        let n = r.usize()?;
+        self.wb_pending.clear();
+        for _ in 0..n {
+            self.wb_pending.push_back(LineAddr(r.u64()?));
+        }
+        self.token_seq = r.u64()?;
+        self.stats.requests = r.u64()?;
+        self.stats.llc_hits = r.u64()?;
+        self.stats.llc_misses = r.u64()?;
+        self.stats.blocked_cycles = r.u64()?;
+        self.stats.delegations = r.u64()?;
+        self.stats.injected_replies = r.u64()?;
+        self.stats.writes = r.u64()?;
+        self.stats.dnf_requests = r.u64()?;
+        Ok(())
+    }
+
     /// Zero the statistics (warmup exclusion).
     pub fn reset_stats(&mut self) {
         self.stats = MemNodeStats::default();
@@ -433,6 +583,54 @@ impl MemNode {
         }
         horizon
     }
+}
+
+fn save_reply(w: &mut SnapWriter, rep: &PendingReply) {
+    w.u16(rep.dst.0);
+    w.u8(snap::msg_kind_tag(rep.kind));
+    w.u8(match rep.prio {
+        Priority::Cpu => 0,
+        Priority::Gpu => 1,
+    });
+    w.u64(rep.addr.0);
+    w.u32(rep.line_bytes);
+    match rep.delegatable_to {
+        Some(c) => {
+            w.bool(true);
+            w.u16(c.0);
+        }
+        None => w.bool(false),
+    }
+}
+
+fn load_reply(r: &mut SnapReader<'_>) -> Result<PendingReply, SnapError> {
+    let dst = NodeId(r.u16()?);
+    let kind = snap::msg_kind_from(r.u8()?)?;
+    let prio = match r.u8()? {
+        0 => Priority::Cpu,
+        1 => Priority::Gpu,
+        t => {
+            return Err(SnapError::BadTag {
+                what: "reply priority",
+                tag: u64::from(t),
+            })
+        }
+    };
+    let addr = Addr(r.u64()?);
+    let line_bytes = r.u32()?;
+    let delegatable_to = if r.bool()? {
+        Some(CoreId(r.u16()?))
+    } else {
+        None
+    };
+    Ok(PendingReply {
+        dst,
+        kind,
+        prio,
+        addr,
+        line_bytes,
+        delegatable_to,
+    })
 }
 
 #[cfg(test)]

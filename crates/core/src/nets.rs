@@ -3,6 +3,7 @@
 //! (Section VII; AVCP in Fig. 6 varies the VC split).
 
 use clognet_noc::{ClassAssignment, NetParams, Network, ShardError, ShardPool};
+use clognet_proto::snap::{SnapError, SnapReader, SnapWriter};
 use clognet_proto::{Cycle, NodeId, Packet, Priority, SystemConfig, TrafficClass};
 use std::sync::Arc;
 
@@ -185,6 +186,41 @@ impl Nets {
                 reply.advance_to(cycle);
             }
             Nets::Shared(n) => n.advance_to(cycle),
+        }
+    }
+
+    /// Serialize all physical networks (request first for the separate
+    /// arrangement). The arrangement itself is derived from the config
+    /// and only tagged for validation.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        match self {
+            Nets::Separate { request, reply } => {
+                w.u8(0);
+                request.save_state(w);
+                reply.save_state(w);
+            }
+            Nets::Shared(n) => {
+                w.u8(1);
+                n.save_state(w);
+            }
+        }
+    }
+
+    /// Overlay state captured by [`Nets::save_state`] onto networks
+    /// freshly built from the same configuration.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let tag = r.u8()?;
+        match (tag, self) {
+            (0, Nets::Separate { request, reply }) => {
+                request.load_state(r)?;
+                reply.load_state(r)
+            }
+            (1, Nets::Shared(n)) => n.load_state(r),
+            (0 | 1, _) => Err(SnapError::Corrupt("network arrangement mismatch")),
+            (t, _) => Err(SnapError::BadTag {
+                what: "nets arrangement",
+                tag: u64::from(t),
+            }),
         }
     }
 

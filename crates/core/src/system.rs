@@ -10,11 +10,13 @@
 use crate::memnode::MemNode;
 use crate::nets::Nets;
 use crate::report::{MissBreakdown, Report};
+use crate::snapshot::{self, Snapshot};
 use crate::telemetry::SystemTelemetry;
 use crate::trace::{Event, TraceLog};
 use clognet_cpu::{CpuOut, CpuSubsystem};
 use clognet_gpu::{GpuIn, GpuOut, GpuSubsystem};
 use clognet_noc::{Network, ShardError};
+use clognet_proto::snap::{self as snap, SnapError};
 use clognet_proto::{
     AddressMap, CoreId, Cycle, Layout, LineAddr, MsgKind, NodeId, NodeKind, Packet, PacketId,
     Priority, Scheme, SystemConfig, TrafficClass,
@@ -954,6 +956,176 @@ impl System {
     /// The networks.
     pub fn nets(&self) -> &Nets {
         &self.nets
+    }
+
+    /// Capture the complete system state as a versioned [`Snapshot`].
+    ///
+    /// Call between [`run`](Self::run) spans (never mid-tick). The
+    /// snapshot embeds the config and benchmark names, so restoring
+    /// needs nothing else; execution-mode knobs (fast-forward,
+    /// idle-skip, the tick engine) are not captured — a snapshot taken
+    /// under one mode restores into any other with byte-identical
+    /// results.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut w = snapshot::begin_snapshot(&self.cfg, &self.gpu_bench, &self.cpu_bench, self.now);
+        w.u64(self.pkt_seq);
+        w.u64(self.stats_epoch);
+        w.u64(self.skipped_cycles);
+        w.u64(self.oracle_total);
+        w.u64(self.oracle_remote);
+        w.u64(self.delegations_sent);
+        w.usize(self.blocked_since.len());
+        for b in &self.blocked_since {
+            w.opt_u64(*b);
+        }
+        w.usize(self.outboxes.len());
+        for ob in &self.outboxes {
+            w.usize(ob.request.len());
+            for p in &ob.request {
+                snap::save_packet(&mut w, p);
+            }
+            w.usize(ob.reply.len());
+            for p in &ob.reply {
+                snap::save_packet(&mut w, p);
+            }
+        }
+        self.gpu.save_state(&mut w);
+        self.cpu.save_state(&mut w);
+        w.usize(self.mems.len());
+        for m in &self.mems {
+            m.save_state(&mut w);
+        }
+        self.nets.save_state(&mut w);
+        self.trace.save_state(&mut w);
+        match self.telemetry.as_deref() {
+            Some(t) => {
+                w.bool(true);
+                t.save_state(&mut w);
+            }
+            None => w.bool(false),
+        }
+        Snapshot::from_bytes(w.into_bytes()).expect("just-written snapshot parses")
+    }
+
+    /// Rebuild a system from a [`Snapshot`]: construct a fresh system
+    /// from the embedded config and benchmark names, then overlay every
+    /// piece of captured mutable state. The restored system starts in
+    /// the default execution mode (fast-forward on, sequential engine);
+    /// apply mode knobs afterwards as desired.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the snapshot body is truncated, carries trailing
+    /// bytes, or disagrees with the structure its own config implies.
+    pub fn restore(snapshot: &Snapshot) -> Result<System, SnapError> {
+        if clognet_workloads::gpu_benchmark(snapshot.gpu_bench()).is_none() {
+            return Err(SnapError::Corrupt("unknown GPU benchmark in snapshot"));
+        }
+        if clognet_workloads::cpu_benchmark(snapshot.cpu_bench()).is_none() {
+            return Err(SnapError::Corrupt("unknown CPU benchmark in snapshot"));
+        }
+        let mut r = snapshot::body_reader(snapshot)?;
+        let mut sys = System::new(
+            snapshot.config().clone(),
+            snapshot.gpu_bench(),
+            snapshot.cpu_bench(),
+        );
+        sys.now = snapshot.cycle();
+        sys.pkt_seq = r.u64()?;
+        sys.stats_epoch = r.u64()?;
+        sys.skipped_cycles = r.u64()?;
+        sys.oracle_total = r.u64()?;
+        sys.oracle_remote = r.u64()?;
+        sys.delegations_sent = r.u64()?;
+        if r.usize()? != sys.blocked_since.len() {
+            return Err(SnapError::Corrupt("blocked_since length mismatch"));
+        }
+        for b in &mut sys.blocked_since {
+            *b = r.opt_u64()?;
+        }
+        if r.usize()? != sys.outboxes.len() {
+            return Err(SnapError::Corrupt("outbox count mismatch"));
+        }
+        for ob in &mut sys.outboxes {
+            let n = r.usize()?;
+            ob.request.clear();
+            for _ in 0..n {
+                ob.request.push_back(snap::load_packet(&mut r)?);
+            }
+            let n = r.usize()?;
+            ob.reply.clear();
+            for _ in 0..n {
+                ob.reply.push_back(snap::load_packet(&mut r)?);
+            }
+        }
+        sys.gpu.load_state(&mut r)?;
+        sys.cpu.load_state(&mut r)?;
+        if r.usize()? != sys.mems.len() {
+            return Err(SnapError::Corrupt("memory node count mismatch"));
+        }
+        for m in &mut sys.mems {
+            m.load_state(&mut r)?;
+        }
+        sys.nets.load_state(&mut r)?;
+        sys.trace = TraceLog::load_state(&mut r)?;
+        sys.telemetry = if r.bool()? {
+            Some(Box::new(SystemTelemetry::load_state(
+                &mut r,
+                sys.mems.len(),
+            )?))
+        } else {
+            None
+        };
+        r.finish()?;
+        Ok(sys)
+    }
+
+    /// Apply a warm-applicable sweep parameter to a running (typically
+    /// just-restored) system. Only parameters that retarget live state
+    /// without rebuilding structure qualify:
+    ///
+    /// - `injbuf` — memory-node injection-buffer capacity in packets;
+    /// - `drmax` — delegations per memory node per cycle.
+    ///
+    /// Structural parameters (channel width, cache geometry, topology)
+    /// are rejected: forking those from a shared warmup would silently
+    /// diverge from a cold run.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the parameter when it is not
+    /// warm-applicable or the value is out of range.
+    pub fn apply_warm_param(&mut self, key: &str, value: u64) -> Result<(), String> {
+        let v = usize::try_from(value).map_err(|_| format!("{key}={value} out of range"))?;
+        match key {
+            "injbuf" => {
+                if v == 0 {
+                    return Err("injbuf must be at least 1".into());
+                }
+                self.cfg.noc.mem_inj_buf_pkts = v;
+                for m in &mut self.mems {
+                    m.set_cap(v);
+                }
+                Ok(())
+            }
+            "drmax" => {
+                self.cfg.dr.max_per_cycle = v;
+                Ok(())
+            }
+            other => Err(format!(
+                "parameter `{other}` is structural and cannot be warm-applied to a \
+                 restored snapshot (warm-applicable: injbuf, drmax)"
+            )),
+        }
+    }
+
+    /// Switch the delegation scheme on a live system (warm-start
+    /// `compare` forks one warmup into all three schemes). Safe at a
+    /// run boundary: in-flight probe/delegation traffic of the old
+    /// scheme is still handled on delivery, which is scheme-independent.
+    pub fn set_scheme(&mut self, scheme: Scheme) {
+        self.cfg.scheme = scheme;
+        self.gpu.set_scheme(scheme);
     }
 
     /// Build the figure-level report.

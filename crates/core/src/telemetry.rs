@@ -10,8 +10,9 @@ use crate::nets::Nets;
 use crate::report::Report;
 use clognet_cpu::CpuSubsystem;
 use clognet_gpu::GpuSubsystem;
+use clognet_proto::snap::{SnapError, SnapReader, SnapWriter};
 use clognet_proto::{Cycle, Priority, TrafficClass};
-use clognet_telemetry::{EpochSampler, SeriesId, Telemetry, TelemetryConfig};
+use clognet_telemetry::{Episode, EpochSampler, SeriesId, Telemetry, TelemetryConfig};
 
 /// Cumulative counters snapshotted at each epoch boundary so the
 /// sampler records per-epoch deltas, not run-to-date totals.
@@ -291,4 +292,148 @@ impl SystemTelemetry {
     pub fn sampler(&self) -> &EpochSampler {
         &self.session.sampler
     }
+
+    /// Serialize the telemetry session: config, sampler rings, episode
+    /// lists, and the delta baselines. The registry is *not* captured —
+    /// it is only populated from a finished [`Report`] at end of run.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.u64(self.session.config.epoch_len);
+        w.usize(self.session.config.ring_cap);
+        let (epochs, series) = self.session.sampler.export_state();
+        w.u64(epochs);
+        w.usize(series.len());
+        for (name, ring, last) in &series {
+            w.str(name);
+            w.usize(ring.len());
+            for &v in ring {
+                w.f64(v);
+            }
+            w.f64(*last);
+        }
+        let (open, closed) = self.session.episodes.export_state();
+        w.usize(open.len());
+        for ep in &open {
+            match ep {
+                Some(ep) => {
+                    w.bool(true);
+                    save_episode(w, ep);
+                }
+                None => w.bool(false),
+            }
+        }
+        w.usize(closed.len());
+        for ep in &closed {
+            save_episode(w, ep);
+        }
+        w.usize(self.prev.mem_reply_link_flits.len());
+        for row in &self.prev.mem_reply_link_flits {
+            w.usize(row.len());
+            for &v in row {
+                w.u64(v);
+            }
+        }
+        w.usize(self.prev.blocked_cycles.len());
+        for &v in &self.prev.blocked_cycles {
+            w.u64(v);
+        }
+        for v in [
+            self.prev.delegations,
+            self.prev.remote_hits,
+            self.prev.delayed_hits,
+            self.prev.dnf_bounces,
+            self.prev.row_hits,
+            self.prev.row_misses,
+            self.prev.gpu_retired,
+            self.prev.cpu_processed,
+        ] {
+            w.u64(v);
+        }
+    }
+
+    /// Rebuild a telemetry session captured by
+    /// [`SystemTelemetry::save_state`] for a system with `n_mem` memory
+    /// nodes.
+    pub fn load_state(r: &mut SnapReader<'_>, n_mem: usize) -> Result<Self, SnapError> {
+        let cfg = TelemetryConfig {
+            epoch_len: r.u64()?,
+            ring_cap: r.usize()?,
+        };
+        let mut t = SystemTelemetry::new(cfg, n_mem);
+        let epochs = r.u64()?;
+        let n = r.usize()?;
+        let mut series = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = r.str()?;
+            let len = r.usize()?;
+            if len > cfg.ring_cap {
+                return Err(SnapError::Corrupt("sampler ring longer than its capacity"));
+            }
+            let mut ring = Vec::with_capacity(len);
+            for _ in 0..len {
+                ring.push(r.f64()?);
+            }
+            let last = r.f64()?;
+            series.push((name, ring, last));
+        }
+        t.session.sampler.import_state(epochs, series);
+        let n = r.usize()?;
+        let mut open = Vec::with_capacity(n);
+        for _ in 0..n {
+            open.push(if r.bool()? {
+                Some(load_episode(r)?)
+            } else {
+                None
+            });
+        }
+        let n = r.usize()?;
+        let mut closed = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            closed.push(load_episode(r)?);
+        }
+        t.session.episodes.import_state(open, closed);
+        let n = r.usize()?;
+        let mut flits = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            let m = r.usize()?;
+            let mut row = Vec::with_capacity(m.min(1 << 16));
+            for _ in 0..m {
+                row.push(r.u64()?);
+            }
+            flits.push(row);
+        }
+        t.prev.mem_reply_link_flits = flits;
+        if r.usize()? != n_mem {
+            return Err(SnapError::Corrupt("telemetry blocked baseline length"));
+        }
+        for v in &mut t.prev.blocked_cycles {
+            *v = r.u64()?;
+        }
+        t.prev.delegations = r.u64()?;
+        t.prev.remote_hits = r.u64()?;
+        t.prev.delayed_hits = r.u64()?;
+        t.prev.dnf_bounces = r.u64()?;
+        t.prev.row_hits = r.u64()?;
+        t.prev.row_misses = r.u64()?;
+        t.prev.gpu_retired = r.u64()?;
+        t.prev.cpu_processed = r.u64()?;
+        Ok(t)
+    }
+}
+
+fn save_episode(w: &mut SnapWriter, ep: &Episode) {
+    w.usize(ep.node);
+    w.u64(ep.start);
+    w.u64(ep.end);
+    w.usize(ep.peak_depth);
+    w.u64(ep.flits_shed);
+}
+
+fn load_episode(r: &mut SnapReader<'_>) -> Result<Episode, SnapError> {
+    Ok(Episode {
+        node: r.usize()?,
+        start: r.u64()?,
+        end: r.u64()?,
+        peak_depth: r.usize()?,
+        flits_shed: r.u64()?,
+    })
 }

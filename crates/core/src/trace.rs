@@ -6,6 +6,7 @@
 //! Disabled by default (zero overhead beyond a branch); enable with
 //! [`System::enable_trace`](crate::System::enable_trace).
 
+use clognet_proto::snap::{SnapError, SnapReader, SnapWriter};
 use clognet_proto::{CoreId, Cycle, LineAddr, MemId};
 use std::collections::VecDeque;
 
@@ -191,6 +192,146 @@ impl TraceLog {
     pub fn of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a Traced> + 'a {
         self.buf.iter().filter(move |t| t.event.kind() == kind)
     }
+
+    /// Serialize the log (capacity, enablement, totals, and every
+    /// retained event in order).
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.usize(self.cap);
+        w.bool(self.enabled);
+        w.u64(self.total);
+        w.usize(self.buf.len());
+        for t in &self.buf {
+            w.u64(t.at);
+            save_event(w, &t.event);
+        }
+    }
+
+    /// Rebuild a log captured by [`TraceLog::save_state`].
+    pub fn load_state(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let cap = r.usize()?;
+        let enabled = r.bool()?;
+        let total = r.u64()?;
+        let n = r.usize()?;
+        if n > cap {
+            return Err(SnapError::Corrupt("trace log longer than its capacity"));
+        }
+        let mut log = TraceLog::new(cap);
+        log.enabled = enabled;
+        log.total = total;
+        for _ in 0..n {
+            let at = r.u64()?;
+            let event = load_event(r)?;
+            log.buf.push_back(Traced { at, event });
+        }
+        Ok(log)
+    }
+}
+
+fn save_event(w: &mut SnapWriter, e: &Event) {
+    match *e {
+        Event::Delegated {
+            mem,
+            target,
+            requester,
+            line,
+        } => {
+            w.u8(0);
+            w.u16(mem.0);
+            w.u16(target.0);
+            w.u16(requester.0);
+            w.u64(line.0);
+        }
+        Event::RemoteHit {
+            server,
+            requester,
+            line,
+        } => {
+            w.u8(1);
+            w.u16(server.0);
+            w.u16(requester.0);
+            w.u64(line.0);
+        }
+        Event::DelayedHit {
+            server,
+            requester,
+            line,
+        } => {
+            w.u8(2);
+            w.u16(server.0);
+            w.u16(requester.0);
+            w.u64(line.0);
+        }
+        Event::RemoteMiss {
+            server,
+            requester,
+            line,
+        } => {
+            w.u8(3);
+            w.u16(server.0);
+            w.u16(requester.0);
+            w.u64(line.0);
+        }
+        Event::BlockedEnter { mem } => {
+            w.u8(4);
+            w.u16(mem.0);
+        }
+        Event::BlockedExit { mem, for_cycles } => {
+            w.u8(5);
+            w.u16(mem.0);
+            w.u64(for_cycles);
+        }
+        Event::Flush { core, pointers } => {
+            w.u8(6);
+            w.u16(core.0);
+            w.u64(pointers as u64);
+        }
+    }
+}
+
+fn load_event(r: &mut SnapReader<'_>) -> Result<Event, SnapError> {
+    Ok(match r.u8()? {
+        0 => Event::Delegated {
+            mem: MemId(r.u16()?),
+            target: CoreId(r.u16()?),
+            requester: CoreId(r.u16()?),
+            line: LineAddr(r.u64()?),
+        },
+        1 => Event::RemoteHit {
+            server: CoreId(r.u16()?),
+            requester: CoreId(r.u16()?),
+            line: LineAddr(r.u64()?),
+        },
+        2 => Event::DelayedHit {
+            server: CoreId(r.u16()?),
+            requester: CoreId(r.u16()?),
+            line: LineAddr(r.u64()?),
+        },
+        3 => Event::RemoteMiss {
+            server: CoreId(r.u16()?),
+            requester: CoreId(r.u16()?),
+            line: LineAddr(r.u64()?),
+        },
+        4 => Event::BlockedEnter {
+            mem: MemId(r.u16()?),
+        },
+        5 => Event::BlockedExit {
+            mem: MemId(r.u16()?),
+            for_cycles: r.u64()?,
+        },
+        6 => Event::Flush {
+            core: CoreId(r.u16()?),
+            pointers: {
+                let v = r.u64()?;
+                usize::try_from(v).map_err(|_| SnapError::Corrupt("flush pointer count"))?
+            },
+        },
+        t => {
+            return Err(SnapError::BadTag {
+                what: "trace event",
+                tag: u64::from(t),
+            })
+        }
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,198 @@
+//! Property tests for the snapshot/fork engine: snapshot-at-K →
+//! restore → run-to-N must be **byte-identical** to a straight
+//! run-to-N — same report, same telemetry series, and the same
+//! serialized snapshot bytes at N — across topologies, schemes,
+//! engine modes (fast-forward, idle-skip, sharding), and with warmup
+//! stats-reset in the middle.
+
+use clognet_core::{Snapshot, System, TickEngine};
+use clognet_proto::{Scheme, SystemConfig, Topology, VirtualNetConfig};
+use clognet_telemetry::TelemetryConfig;
+
+/// Run `straight` to K+M in one go; fork `forked` at K through a full
+/// serialize/parse/restore cycle, run both to K+M, and demand
+/// byte-identical state at the end.
+fn assert_roundtrip(cfg: SystemConfig, gpu: &str, cpu: &str, k: u64, m: u64) {
+    let mut straight = System::new(cfg.clone(), gpu, cpu);
+    let mut warm = System::new(cfg, gpu, cpu);
+    straight.run(k);
+    warm.run(k);
+    let snap_bytes = warm.snapshot().into_bytes();
+    let snap = Snapshot::from_bytes(snap_bytes).expect("snapshot parses");
+    assert_eq!(snap.cycle(), k);
+    let mut forked = System::restore(&snap).expect("snapshot restores");
+    assert_eq!(forked.now(), k, "restored clock");
+    straight.run(m);
+    forked.run(m);
+    assert_eq!(straight.now(), forked.now(), "clocks diverged");
+    assert_eq!(straight.report(), forked.report(), "reports diverged");
+    assert_eq!(
+        straight.snapshot().as_bytes(),
+        forked.snapshot().as_bytes(),
+        "snapshot bytes at K+M diverged: restored state is not byte-stable"
+    );
+}
+
+#[test]
+fn roundtrip_across_schemes() {
+    for scheme in [
+        Scheme::Baseline,
+        Scheme::DelegatedReplies,
+        Scheme::rp_default(),
+    ] {
+        let cfg = SystemConfig::default().with_scheme(scheme);
+        assert_roundtrip(cfg, "HS", "bodytrack", 1_500, 1_500);
+    }
+}
+
+#[test]
+fn roundtrip_across_topologies() {
+    for topo in [Topology::Crossbar, Topology::FlattenedButterfly] {
+        let mut cfg = SystemConfig::default().with_scheme(Scheme::DelegatedReplies);
+        cfg.noc.topology = topo;
+        assert_roundtrip(cfg, "NN", "blackscholes", 1_000, 1_000);
+    }
+}
+
+#[test]
+fn roundtrip_on_shared_network() {
+    let mut cfg = SystemConfig::default().with_scheme(Scheme::DelegatedReplies);
+    cfg.noc.virtual_nets = Some(VirtualNetConfig {
+        request_vcs: 2,
+        reply_vcs: 2,
+    });
+    assert_roundtrip(cfg, "HS", "bodytrack", 1_200, 1_200);
+}
+
+/// A snapshot taken under one engine mode must restore into any other
+/// with identical results: run the warmup sharded + fast-forward,
+/// restore sequential + no-ff, and compare against a straight
+/// sequential no-ff run.
+#[test]
+fn roundtrip_crosses_engine_modes() {
+    let cfg = SystemConfig::default().with_scheme(Scheme::DelegatedReplies);
+    let mut straight = System::new(cfg.clone(), "HS", "bodytrack");
+    straight.set_fast_forward(false);
+    straight.set_noc_idle_skip(false);
+    straight.run(2_000);
+
+    let mut warm = System::new(cfg, "HS", "bodytrack");
+    warm.set_tick_engine(TickEngine::Sharded(4)).unwrap();
+    warm.run(1_000);
+    let snap = warm.snapshot();
+    let mut forked = System::restore(&snap).expect("restore");
+    assert_eq!(
+        forked.tick_engine(),
+        TickEngine::Sequential,
+        "engine modes are not part of a snapshot"
+    );
+    forked.set_fast_forward(false);
+    forked.set_noc_idle_skip(false);
+    forked.run(1_000);
+    assert_eq!(straight.now(), forked.now());
+    assert_eq!(straight.report(), forked.report());
+    // And the restored system can itself go sharded afterwards.
+    forked.set_tick_engine(TickEngine::Sharded(2)).unwrap();
+    forked.run(200);
+}
+
+/// Snapshot → restore → reset_stats → measure must equal
+/// run-warmup → reset_stats → measure (the warm-start sweep pattern).
+#[test]
+fn roundtrip_preserves_warmup_reset_semantics() {
+    let cfg = SystemConfig::default().with_scheme(Scheme::DelegatedReplies);
+    let mut cold = System::new(cfg.clone(), "HS", "bodytrack");
+    cold.run(2_000);
+    cold.reset_stats();
+    cold.run(1_000);
+
+    let mut warm = System::new(cfg, "HS", "bodytrack");
+    warm.run(2_000);
+    let snap = warm.snapshot();
+    let mut forked = System::restore(&snap).unwrap();
+    forked.reset_stats();
+    forked.run(1_000);
+
+    assert_eq!(cold.report(), forked.report());
+}
+
+/// Telemetry sessions (sampler rings, episodes, delta baselines)
+/// survive the round trip.
+#[test]
+fn roundtrip_carries_telemetry() {
+    let cfg = SystemConfig::default().with_scheme(Scheme::DelegatedReplies);
+    let tcfg = TelemetryConfig {
+        epoch_len: 256,
+        ring_cap: 64,
+    };
+    let mut straight = System::new(cfg.clone(), "HS", "bodytrack");
+    straight.enable_telemetry(tcfg);
+    straight.run(2_000);
+
+    let mut warm = System::new(cfg, "HS", "bodytrack");
+    warm.enable_telemetry(tcfg);
+    warm.run(1_000);
+    let mut forked = System::restore(&warm.snapshot()).unwrap();
+    forked.run(1_000);
+
+    assert_eq!(straight.report(), forked.report());
+    assert_eq!(
+        straight.export_series_csv(),
+        forked.export_series_csv(),
+        "telemetry series diverged across the round trip"
+    );
+}
+
+/// Warm-applied parameters: forking a warmup and retargeting `injbuf` /
+/// `drmax` must equal a cold run that applies the same values at the
+/// same cycle; structural parameters are rejected.
+#[test]
+fn warm_params_apply_and_structural_ones_are_rejected() {
+    let cfg = SystemConfig::default().with_scheme(Scheme::DelegatedReplies);
+    let mut cold = System::new(cfg.clone(), "HS", "bodytrack");
+    cold.run(1_500);
+    cold.apply_warm_param("injbuf", 4).unwrap();
+    cold.apply_warm_param("drmax", 1).unwrap();
+    cold.reset_stats();
+    cold.run(1_500);
+
+    let mut warm = System::new(cfg, "HS", "bodytrack");
+    warm.run(1_500);
+    let snap = warm.snapshot();
+    let mut forked = System::restore(&snap).unwrap();
+    forked.apply_warm_param("injbuf", 4).unwrap();
+    forked.apply_warm_param("drmax", 1).unwrap();
+    forked.reset_stats();
+    forked.run(1_500);
+
+    assert_eq!(cold.report(), forked.report());
+    assert_eq!(forked.config().noc.mem_inj_buf_pkts, 4);
+    assert_eq!(forked.config().dr.max_per_cycle, 1);
+
+    let err = forked.apply_warm_param("width", 32).unwrap_err();
+    assert!(err.contains("structural"), "{err}");
+    assert!(forked.apply_warm_param("injbuf", 0).is_err());
+}
+
+/// Scheme warm-apply: forking one Baseline warmup into a
+/// DelegatedReplies measurement must equal a cold run that switches
+/// scheme at the same cycle.
+#[test]
+fn scheme_switches_warm_apply() {
+    let cfg = SystemConfig::default().with_scheme(Scheme::Baseline);
+    let mut cold = System::new(cfg.clone(), "HS", "bodytrack");
+    cold.run(1_500);
+    cold.set_scheme(Scheme::DelegatedReplies);
+    cold.reset_stats();
+    cold.run(1_500);
+
+    let mut warm = System::new(cfg, "HS", "bodytrack");
+    warm.run(1_500);
+    let mut forked = System::restore(&warm.snapshot()).unwrap();
+    forked.set_scheme(Scheme::DelegatedReplies);
+    forked.reset_stats();
+    forked.run(1_500);
+
+    assert_eq!(cold.report(), forked.report());
+    assert!(forked.report().delegations > 0 || cold.report().delegations == 0);
+}

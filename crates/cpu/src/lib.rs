@@ -41,7 +41,8 @@
 //! ```
 
 use clognet_cache::SetAssocCache;
-use clognet_proto::{CoreId, CpuConfig, Cycle, FxHashMap, LineAddr};
+use clognet_proto::snap::{SnapError, SnapReader, SnapWriter};
+use clognet_proto::{Addr, CoreId, CpuConfig, Cycle, FxHashMap, LineAddr};
 use clognet_workloads::{CpuProfile, CpuStream, MemAccess};
 
 /// A message a CPU core sends to the memory system.
@@ -188,6 +189,92 @@ impl CpuSubsystem {
         } else {
             sum as f64 / n as f64
         }
+    }
+
+    /// Serialize all mutable state; the config/profile identity comes
+    /// from construction. Pending-miss maps are written sorted by line
+    /// so hash-map iteration order never reaches the byte stream.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.usize(self.cores.len());
+        for c in &self.cores {
+            c.stream.save_state(w);
+            c.l1.save_state(w, |_, ()| {});
+            w.usize(c.outstanding);
+            let mut lines: Vec<LineAddr> = c.pending.keys().copied().collect();
+            lines.sort_unstable();
+            w.usize(lines.len());
+            for line in lines {
+                w.u64(line.0);
+                let issues = &c.pending[&line];
+                w.usize(issues.len());
+                for &t in issues {
+                    w.u64(t);
+                }
+            }
+            match c.deferred {
+                Some(a) => {
+                    w.bool(true);
+                    w.u64(a.addr.0);
+                    w.bool(a.write);
+                }
+                None => w.bool(false),
+            }
+            let s = &c.stats;
+            for v in [
+                s.processed,
+                s.opportunities,
+                s.l1_hits,
+                s.reads,
+                s.writes,
+                s.stall_cycles,
+                s.read_latency_sum,
+                s.reads_done,
+            ] {
+                w.u64(v);
+            }
+        }
+    }
+
+    /// Overlay state captured by [`CpuSubsystem::save_state`] onto a
+    /// subsystem built with the same config/profile.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        if r.usize()? != self.cores.len() {
+            return Err(SnapError::Corrupt("cpu core count mismatch"));
+        }
+        for c in &mut self.cores {
+            c.stream.load_state(r)?;
+            c.l1.load_state(r, |_| Ok(()))?;
+            c.outstanding = r.usize()?;
+            c.pending.clear();
+            for _ in 0..r.usize()? {
+                let line = LineAddr(r.u64()?);
+                let m = r.usize()?;
+                let mut issues = Vec::with_capacity(m.min(4096));
+                for _ in 0..m {
+                    issues.push(r.u64()?);
+                }
+                c.pending.insert(line, issues);
+            }
+            c.deferred = if r.bool()? {
+                Some(MemAccess {
+                    addr: Addr(r.u64()?),
+                    write: r.bool()?,
+                })
+            } else {
+                None
+            };
+            c.stats = CpuCoreStats {
+                processed: r.u64()?,
+                opportunities: r.u64()?,
+                l1_hits: r.u64()?,
+                reads: r.u64()?,
+                writes: r.u64()?,
+                stall_cycles: r.u64()?,
+                read_latency_sum: r.u64()?,
+                reads_done: r.u64()?,
+            };
+        }
+        Ok(())
     }
 
     /// Advance all cores one cycle. `budget[i]` bounds how many messages

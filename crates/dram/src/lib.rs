@@ -27,6 +27,7 @@
 //! assert_eq!(done, vec![1]);
 //! ```
 
+use clognet_proto::snap::{SnapError, SnapReader, SnapWriter};
 use clognet_proto::{AddressMap, Cycle, DramConfig, LineAddr};
 use std::collections::VecDeque;
 
@@ -132,6 +133,91 @@ impl DramController {
     /// Accumulated statistics.
     pub fn stats(&self) -> DramStats {
         self.stats
+    }
+
+    /// Serialize the controller's mutable state (bank timers, queue in
+    /// arrival order, bus/activate/refresh timers, in-flight bursts,
+    /// statistics). Config and address map are rebuilt from the system
+    /// configuration on restore.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.usize(self.banks.len());
+        for b in &self.banks {
+            w.opt_u64(b.open_row);
+            w.u64(b.cas_ready);
+            w.u64(b.pre_ready);
+            w.u64(b.act_ready);
+        }
+        w.usize(self.queue.len());
+        for (req, at) in &self.queue {
+            w.u64(req.line.0);
+            w.bool(req.is_write);
+            w.bool(req.cpu);
+            w.u64(req.token);
+            w.u64(*at);
+        }
+        w.u64(self.bus_free);
+        w.opt_u64(self.last_activate);
+        w.u64(self.next_refresh);
+        w.usize(self.in_flight.len());
+        for f in &self.in_flight {
+            w.u64(f.token);
+            w.u64(f.done_at);
+        }
+        w.u64(self.stats.reads);
+        w.u64(self.stats.writes);
+        w.u64(self.stats.row_hits);
+        w.u64(self.stats.row_misses);
+        w.u64(self.stats.queue_wait_cycles);
+        w.u64(self.stats.refreshes);
+    }
+
+    /// Overlay state captured by [`DramController::save_state`] onto a
+    /// controller built with the same config and map seed.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        if r.usize()? != self.banks.len() {
+            return Err(SnapError::Corrupt("dram bank count mismatch"));
+        }
+        for b in &mut self.banks {
+            b.open_row = r.opt_u64()?;
+            b.cas_ready = r.u64()?;
+            b.pre_ready = r.u64()?;
+            b.act_ready = r.u64()?;
+        }
+        let n = r.usize()?;
+        if n > self.cfg.queue {
+            return Err(SnapError::Corrupt("dram queue overflow"));
+        }
+        self.queue.clear();
+        for _ in 0..n {
+            let req = DramRequest {
+                line: LineAddr(r.u64()?),
+                is_write: r.bool()?,
+                cpu: r.bool()?,
+                token: r.u64()?,
+            };
+            let at = r.u64()?;
+            self.queue.push_back((req, at));
+        }
+        self.bus_free = r.u64()?;
+        self.last_activate = r.opt_u64()?;
+        self.next_refresh = r.u64()?;
+        let n = r.usize()?;
+        self.in_flight.clear();
+        for _ in 0..n {
+            self.in_flight.push(InFlight {
+                token: r.u64()?,
+                done_at: r.u64()?,
+            });
+        }
+        self.stats = DramStats {
+            reads: r.u64()?,
+            writes: r.u64()?,
+            row_hits: r.u64()?,
+            row_misses: r.u64()?,
+            queue_wait_cycles: r.u64()?,
+            refreshes: r.u64()?,
+        };
+        Ok(())
     }
 
     /// Requests waiting or in flight.

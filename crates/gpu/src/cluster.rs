@@ -12,6 +12,7 @@
 //! re-sampling periodically.
 
 use clognet_cache::SetAssocCache;
+use clognet_proto::snap::{SnapError, SnapReader, SnapWriter};
 use clognet_proto::{CacheGeometry, Cycle, LineAddr};
 
 /// Current organization of a DynEB cluster (DC-L1 is always `Shared`).
@@ -73,6 +74,72 @@ impl Cluster {
     /// Current organization.
     pub fn mode(&self) -> ClusterMode {
         self.mode
+    }
+
+    /// Serialize the cluster's mutable state (slice tag arrays plus the
+    /// DynEB phase machine). `used` is per-cycle scratch reset by
+    /// [`Cluster::begin_cycle`] and is not part of the state.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.usize(self.slices.len());
+        for s in &self.slices {
+            s.save_state(w, |_, ()| {});
+        }
+        w.u8(match self.mode {
+            ClusterMode::Shared => 0,
+            ClusterMode::Private => 1,
+        });
+        match self.phase {
+            Phase::Sampling(i) => {
+                w.u8(0);
+                w.u8(i);
+            }
+            Phase::Committed(age) => {
+                w.u8(1);
+                w.u8(age);
+            }
+        }
+        w.u64(self.epoch_end);
+        w.u64(self.served_this_epoch);
+        w.u64(self.served_shared);
+        w.u64(self.served_private);
+        w.u64(self.switches);
+    }
+
+    /// Overlay state captured by [`Cluster::save_state`] onto a cluster
+    /// built with the same geometry.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        if r.usize()? != self.slices.len() {
+            return Err(SnapError::Corrupt("cluster slice count mismatch"));
+        }
+        for s in &mut self.slices {
+            s.load_state(r, |_| Ok(()))?;
+        }
+        self.mode = match r.u8()? {
+            0 => ClusterMode::Shared,
+            1 => ClusterMode::Private,
+            t => {
+                return Err(SnapError::BadTag {
+                    what: "cluster mode",
+                    tag: t as u64,
+                })
+            }
+        };
+        self.phase = match r.u8()? {
+            0 => Phase::Sampling(r.u8()?),
+            1 => Phase::Committed(r.u8()?),
+            t => {
+                return Err(SnapError::BadTag {
+                    what: "cluster phase",
+                    tag: t as u64,
+                })
+            }
+        };
+        self.epoch_end = r.u64()?;
+        self.served_this_epoch = r.u64()?;
+        self.served_shared = r.u64()?;
+        self.served_private = r.u64()?;
+        self.switches = r.u64()?;
+        Ok(())
     }
 
     /// The slice index a line maps to.

@@ -17,7 +17,8 @@
 use crate::cluster::{Cluster, ClusterMode};
 use crate::msg::{GpuIn, GpuOut};
 use clognet_cache::{MshrFile, MshrOutcome, SetAssocCache};
-use clognet_proto::{CoreId, CtaSched, Cycle, FxHashMap, GpuConfig, L1Org, LineAddr, Scheme};
+use clognet_proto::snap::{SnapError, SnapReader, SnapWriter};
+use clognet_proto::{Addr, CoreId, CtaSched, Cycle, FxHashMap, GpuConfig, L1Org, LineAddr, Scheme};
 use clognet_workloads::{GpuProfile, GpuStream, MemAccess};
 use std::collections::VecDeque;
 
@@ -211,6 +212,254 @@ impl GpuSubsystem {
     /// lines become remote misses).
     pub fn set_delayed_hits(&mut self, enabled: bool) {
         self.delayed_hits = enabled;
+    }
+
+    /// Swap the delegation scheme in place. Warm-started comparisons
+    /// share one warmup and apply each variant's scheme before the
+    /// measurement window; in-flight probe bookkeeping stays valid
+    /// because probe replies are handled scheme-independently on
+    /// delivery.
+    pub fn set_scheme(&mut self, scheme: Scheme) {
+        self.scheme = scheme;
+    }
+
+    /// Serialize all mutable state. Config, scheme, organization and
+    /// benchmark identity come from construction; per-cycle scratch
+    /// (`port_used`, `flush_lines`) is reset at every tick and skipped.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.bool(self.delayed_hits);
+        w.usize(self.cores.len());
+        for c in &self.cores {
+            w.usize(c.warps.len());
+            for warp in &c.warps {
+                match warp.state {
+                    WarpState::Compute(left) => {
+                        w.u8(0);
+                        w.u32(left);
+                    }
+                    WarpState::WaitMem => w.u8(1),
+                }
+                match warp.pending {
+                    Some(a) => {
+                        w.bool(true);
+                        w.u64(a.addr.0);
+                        w.bool(a.write);
+                    }
+                    None => w.bool(false),
+                }
+            }
+            c.stream.save_state(w);
+            c.mshr.save_state(w, |w, t| match *t {
+                Target::Warp(i) => {
+                    w.u8(0);
+                    w.u16(i);
+                }
+                Target::Remote(core) => {
+                    w.u8(1);
+                    w.u16(core.0);
+                }
+            });
+            w.usize(c.frq.len());
+            for e in &c.frq {
+                match *e {
+                    FrqEntry::Delegated { line, requester } => {
+                        w.u8(0);
+                        w.u64(line.0);
+                        w.u16(requester.0);
+                    }
+                    FrqEntry::Probe { line, from } => {
+                        w.u8(1);
+                        w.u64(line.0);
+                        w.u16(from.0);
+                    }
+                    FrqEntry::Fetch { line, from } => {
+                        w.u8(2);
+                        w.u64(line.0);
+                        w.u16(from.0);
+                    }
+                }
+            }
+            let mut lines: Vec<LineAddr> = c.probe_wait.keys().copied().collect();
+            lines.sort_unstable();
+            w.usize(lines.len());
+            for line in lines {
+                let p = &c.probe_wait[&line];
+                w.u64(line.0);
+                w.usize(p.outstanding);
+                w.bool(p.satisfied);
+                w.bool(p.fetch_sent);
+                w.usize(p.to_send.len());
+                for t in &p.to_send {
+                    w.u16(t.0);
+                }
+            }
+            w.bytes(&c.predictor);
+            w.usize(c.probe_rr);
+            w.u64(c.probe_seq);
+            w.i32(c.probe_score);
+            w.usize(c.suppliers.len());
+            for s in &c.suppliers {
+                w.u16(s.0);
+            }
+            w.opt_u64(c.next_flush);
+            let s = &c.stats;
+            for v in [
+                s.retired,
+                s.mem_ops,
+                s.mem_stall_cycles,
+                s.delegated_hits,
+                s.delegated_delayed,
+                s.delegated_misses,
+                s.frq_same_line,
+                s.probes_sent,
+                s.probe_hits_served,
+                s.probe_misses_served,
+                s.llc_reads,
+                s.writes,
+                s.flushes,
+            ] {
+                w.u64(v);
+            }
+        }
+        w.usize(self.l1s.len());
+        for l1 in &self.l1s {
+            l1.save_state(w, |_, ()| {});
+        }
+        w.usize(self.clusters.len());
+        for cl in &self.clusters {
+            cl.save_state(w);
+        }
+    }
+
+    /// Overlay state captured by [`GpuSubsystem::save_state`] onto a
+    /// subsystem built with the same config/profile.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.delayed_hits = r.bool()?;
+        if r.usize()? != self.cores.len() {
+            return Err(SnapError::Corrupt("gpu core count mismatch"));
+        }
+        for c in &mut self.cores {
+            if r.usize()? != c.warps.len() {
+                return Err(SnapError::Corrupt("gpu warp count mismatch"));
+            }
+            for warp in &mut c.warps {
+                warp.state = match r.u8()? {
+                    0 => WarpState::Compute(r.u32()?),
+                    1 => WarpState::WaitMem,
+                    t => {
+                        return Err(SnapError::BadTag {
+                            what: "warp state",
+                            tag: t as u64,
+                        })
+                    }
+                };
+                warp.pending = if r.bool()? {
+                    Some(MemAccess {
+                        addr: Addr(r.u64()?),
+                        write: r.bool()?,
+                    })
+                } else {
+                    None
+                };
+            }
+            c.stream.load_state(r)?;
+            c.mshr.load_state(r, |r| {
+                Ok(match r.u8()? {
+                    0 => Target::Warp(r.u16()?),
+                    1 => Target::Remote(CoreId(r.u16()?)),
+                    t => {
+                        return Err(SnapError::BadTag {
+                            what: "mshr target",
+                            tag: t as u64,
+                        })
+                    }
+                })
+            })?;
+            c.frq.clear();
+            for _ in 0..r.usize()? {
+                let tag = r.u8()?;
+                let line = LineAddr(r.u64()?);
+                let core = CoreId(r.u16()?);
+                c.frq.push_back(match tag {
+                    0 => FrqEntry::Delegated {
+                        line,
+                        requester: core,
+                    },
+                    1 => FrqEntry::Probe { line, from: core },
+                    2 => FrqEntry::Fetch { line, from: core },
+                    t => {
+                        return Err(SnapError::BadTag {
+                            what: "frq entry",
+                            tag: t as u64,
+                        })
+                    }
+                });
+            }
+            c.probe_wait.clear();
+            for _ in 0..r.usize()? {
+                let line = LineAddr(r.u64()?);
+                let outstanding = r.usize()?;
+                let satisfied = r.bool()?;
+                let fetch_sent = r.bool()?;
+                let n_send = r.usize()?;
+                if n_send > self.l1s.len() {
+                    return Err(SnapError::Corrupt("probe targets exceed core count"));
+                }
+                let mut to_send = Vec::with_capacity(n_send);
+                for _ in 0..n_send {
+                    to_send.push(CoreId(r.u16()?));
+                }
+                c.probe_wait.insert(
+                    line,
+                    ProbeWait {
+                        outstanding,
+                        satisfied,
+                        fetch_sent,
+                        to_send,
+                    },
+                );
+            }
+            c.predictor = r.bytes()?;
+            if c.predictor.len() != PREDICTOR_ENTRIES {
+                return Err(SnapError::Corrupt("predictor size mismatch"));
+            }
+            c.probe_rr = r.usize()?;
+            c.probe_seq = r.u64()?;
+            c.probe_score = r.i32()?;
+            c.suppliers.clear();
+            for _ in 0..r.usize()? {
+                c.suppliers.push_back(CoreId(r.u16()?));
+            }
+            c.next_flush = r.opt_u64()?;
+            c.stats = GpuCoreStats {
+                retired: r.u64()?,
+                mem_ops: r.u64()?,
+                mem_stall_cycles: r.u64()?,
+                delegated_hits: r.u64()?,
+                delegated_delayed: r.u64()?,
+                delegated_misses: r.u64()?,
+                frq_same_line: r.u64()?,
+                probes_sent: r.u64()?,
+                probe_hits_served: r.u64()?,
+                probe_misses_served: r.u64()?,
+                llc_reads: r.u64()?,
+                writes: r.u64()?,
+                flushes: r.u64()?,
+            };
+        }
+        if r.usize()? != self.l1s.len() {
+            return Err(SnapError::Corrupt("gpu l1 count mismatch"));
+        }
+        for l1 in &mut self.l1s {
+            l1.load_state(r, |_| Ok(()))?;
+        }
+        if r.usize()? != self.clusters.len() {
+            return Err(SnapError::Corrupt("gpu cluster count mismatch"));
+        }
+        for cl in &mut self.clusters {
+            cl.load_state(r)?;
+        }
+        Ok(())
     }
 
     /// Number of cores.
@@ -675,6 +924,11 @@ impl GpuSubsystem {
                     .filter(|(_, w)| !w.to_send.is_empty() && !w.satisfied)
                     .map(|(&l, _)| l),
             );
+            // Visit lines in a canonical order: hash-map iteration order
+            // depends on insertion history, which a snapshot restore
+            // cannot reproduce, and under a tight budget the visit order
+            // decides which line's probes go out first.
+            lines.sort_unstable();
             for &line in &lines {
                 if *budget == 0 {
                     break;

@@ -11,6 +11,7 @@ use crate::routing;
 use crate::shards::{Phase, ShardError, ShardPlan, ShardPool, ShardScratch};
 use crate::stats::{class_ix, NocStats};
 use crate::topology::{PortLink, TopologyGraph};
+use clognet_proto::snap::{self, SnapError, SnapReader, SnapWriter};
 use clognet_proto::{Cycle, NodeId, Packet, Priority, RoutingPolicy, Topology, TrafficClass};
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -368,6 +369,226 @@ impl Network {
         fresh.cycles = 0;
         self.stats = fresh;
         self.stats_epoch = self.now;
+    }
+
+    /// Serialize the network's full mutable state: routers, NIs, the
+    /// packet slab (including its free list, which decides future slot
+    /// assignment), reassembly counters, clock and statistics. Engine
+    /// configuration (idle-skip, shard plan, worker pool) is deliberately
+    /// excluded: snapshots are byte-identical across engine modes and a
+    /// restored network may run under a different one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called mid-tick (deferred transfers or credit returns
+    /// pending) — snapshots are only defined at tick boundaries.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        assert!(
+            self.transfers.is_empty() && self.credit_returns.is_empty(),
+            "snapshot mid-tick"
+        );
+        w.u64(self.now);
+        w.usize(self.packets.v.len());
+        for p in &self.packets.v {
+            match p {
+                Some(p) => {
+                    w.bool(true);
+                    snap::save_packet(w, p);
+                }
+                None => w.bool(false),
+            }
+        }
+        w.usize(self.packets.free.len());
+        for &s in &self.packets.free {
+            w.u32(s);
+        }
+        w.usize(self.packets.live);
+        for r in &self.routers {
+            for port in &r.inputs {
+                for vc in port {
+                    w.usize(vc.buf.len());
+                    for f in &vc.buf {
+                        w.u32(f.slot);
+                        w.u8(f.idx);
+                        w.u8(f.total);
+                        w.u64(f.eligible);
+                    }
+                    match vc.alloc {
+                        Some(a) => {
+                            w.bool(true);
+                            w.u8(a.port);
+                            w.u8(a.vc);
+                            w.bool(a.eject);
+                        }
+                        None => w.bool(false),
+                    }
+                }
+            }
+            for port in &r.out_owner {
+                for o in port {
+                    match o {
+                        Some((i, v)) => {
+                            w.bool(true);
+                            w.u8(*i);
+                            w.u8(*v);
+                        }
+                        None => w.bool(false),
+                    }
+                }
+            }
+            for port in &r.credits {
+                for &c in port {
+                    w.u8(c);
+                }
+            }
+            for &g in &r.grant_ptr {
+                w.usize(g);
+            }
+            for &a in &r.accept_ptr {
+                w.usize(a);
+            }
+            for &h in &r.hare_score {
+                w.f64(h);
+            }
+            for &f in &r.footprint {
+                w.u64(f);
+            }
+        }
+        for ni in &self.nis {
+            for s in &ni.inj {
+                match s {
+                    Some(s) => {
+                        w.bool(true);
+                        w.u32(s.slot);
+                        w.u8(s.next_idx);
+                        w.u8(s.total);
+                    }
+                    None => w.bool(false),
+                }
+            }
+            for &p in &ni.progress {
+                w.bool(p);
+            }
+            w.usize(ni.inj_rr);
+            w.bool(ni.want[0]);
+            w.bool(ni.want[1]);
+            w.usize(ni.eject_used);
+            w.usize(ni.ejected.len());
+            for p in &ni.ejected {
+                snap::save_packet(w, p);
+            }
+        }
+        w.bytes(&self.eject_counts);
+        w.u64(self.stats_epoch);
+        self.stats.save_state(w);
+    }
+
+    /// Overlay state captured by [`Network::save_state`] onto a network
+    /// built with the same [`NetParams`]. The current engine mode
+    /// (idle-skip, shard plan) is preserved; the idle-router activity
+    /// counts are recomputed from the restored buffers.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.now = r.u64()?;
+        let n = r.usize()?;
+        self.packets.v.clear();
+        for _ in 0..n {
+            self.packets.v.push(if r.bool()? {
+                Some(snap::load_packet(r)?)
+            } else {
+                None
+            });
+        }
+        self.packets.free.clear();
+        for _ in 0..r.usize()? {
+            self.packets.free.push(r.u32()?);
+        }
+        self.packets.live = r.usize()?;
+        let live = self.packets.v.iter().filter(|p| p.is_some()).count();
+        if self.packets.live != live {
+            return Err(SnapError::Corrupt("packet slab live count mismatch"));
+        }
+        for router in &mut self.routers {
+            for port in &mut router.inputs {
+                for vc in port {
+                    vc.buf.clear();
+                    for _ in 0..r.usize()? {
+                        vc.buf.push_back(Flit {
+                            slot: r.u32()?,
+                            idx: r.u8()?,
+                            total: r.u8()?,
+                            eligible: r.u64()?,
+                        });
+                    }
+                    vc.alloc = if r.bool()? {
+                        Some(Alloc {
+                            port: r.u8()?,
+                            vc: r.u8()?,
+                            eject: r.bool()?,
+                        })
+                    } else {
+                        None
+                    };
+                }
+            }
+            for port in &mut router.out_owner {
+                for o in port {
+                    *o = if r.bool()? {
+                        Some((r.u8()?, r.u8()?))
+                    } else {
+                        None
+                    };
+                }
+            }
+            for port in &mut router.credits {
+                for c in port {
+                    *c = r.u8()?;
+                }
+            }
+            for g in &mut router.grant_ptr {
+                *g = r.usize()?;
+            }
+            for a in &mut router.accept_ptr {
+                *a = r.usize()?;
+            }
+            for h in &mut router.hare_score {
+                *h = r.f64()?;
+            }
+            for f in &mut router.footprint {
+                *f = r.u64()?;
+            }
+        }
+        for ni in &mut self.nis {
+            for s in &mut ni.inj {
+                *s = if r.bool()? {
+                    Some(InjSlot {
+                        slot: r.u32()?,
+                        next_idx: r.u8()?,
+                        total: r.u8()?,
+                    })
+                } else {
+                    None
+                };
+            }
+            for p in &mut ni.progress {
+                *p = r.bool()?;
+            }
+            ni.inj_rr = r.usize()?;
+            ni.want = [r.bool()?, r.bool()?];
+            ni.eject_used = r.usize()?;
+            ni.ejected.clear();
+            for _ in 0..r.usize()? {
+                ni.ejected.push_back(snap::load_packet(r)?);
+            }
+        }
+        self.eject_counts = r.bytes()?;
+        self.stats_epoch = r.u64()?;
+        self.stats.load_state(r)?;
+        for (i, router) in self.routers.iter().enumerate() {
+            self.active[i] = router.buffered_flits() as u32;
+        }
+        self.transfers.clear();
+        self.credit_returns.clear();
+        Ok(())
     }
 
     /// Packets currently inside the network (including reassembled ones

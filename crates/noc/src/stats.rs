@@ -1,6 +1,7 @@
 //! Network statistics: link utilization, packet latency, per-node
 //! traffic, and injection-stall accounting.
 
+use clognet_proto::snap::{SnapError, SnapReader, SnapWriter};
 use clognet_proto::{Cycle, Priority, TrafficClass};
 use clognet_telemetry::Histogram;
 
@@ -103,6 +104,115 @@ impl NocStats {
         self.latency[class_ix(class)][prio_ix(prio)].record(latency);
         self.latency_hist[class_ix(class)][prio_ix(prio)].record(latency);
         self.node_rx_flits[node] += flits as u64;
+    }
+
+    /// Serialize every counter, including the full latency histograms.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.u64(self.cycles);
+        w.usize(self.link_flits.len());
+        for row in &self.link_flits {
+            w.usize(row.len());
+            for &v in row {
+                w.u64(v);
+            }
+        }
+        for arr in [
+            &self.injected_pkts,
+            &self.injected_flits,
+            &self.ejected_pkts,
+        ] {
+            for &v in arr.iter() {
+                w.u64(v);
+            }
+        }
+        for row in &self.latency {
+            for b in row {
+                w.u64(b.count);
+                w.u64(b.total_cycles);
+                w.u64(b.max_cycles);
+            }
+        }
+        for row in &self.latency_hist {
+            for h in row {
+                let (buckets, count, sum, min, max) = h.to_raw();
+                for &b in buckets.iter() {
+                    w.u64(b);
+                }
+                w.u64(count);
+                w.u64(sum);
+                w.u64(min);
+                w.u64(max);
+            }
+        }
+        for vec in [
+            &self.node_rx_flits,
+            &self.node_tx_flits,
+            &self.node_inj_stall_cycles,
+        ] {
+            w.usize(vec.len());
+            for &v in vec.iter() {
+                w.u64(v);
+            }
+        }
+    }
+
+    /// Overlay counters captured by [`NocStats::save_state`] onto stats
+    /// built for the same topology.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.cycles = r.u64()?;
+        if r.usize()? != self.link_flits.len() {
+            return Err(SnapError::Corrupt("link_flits router count mismatch"));
+        }
+        for row in &mut self.link_flits {
+            if r.usize()? != row.len() {
+                return Err(SnapError::Corrupt("link_flits port count mismatch"));
+            }
+            for v in row {
+                *v = r.u64()?;
+            }
+        }
+        for arr in [
+            &mut self.injected_pkts,
+            &mut self.injected_flits,
+            &mut self.ejected_pkts,
+        ] {
+            for v in arr.iter_mut() {
+                *v = r.u64()?;
+            }
+        }
+        for row in &mut self.latency {
+            for b in row {
+                b.count = r.u64()?;
+                b.total_cycles = r.u64()?;
+                b.max_cycles = r.u64()?;
+            }
+        }
+        for row in &mut self.latency_hist {
+            for h in row {
+                let mut buckets = [0u64; 65];
+                for b in buckets.iter_mut() {
+                    *b = r.u64()?;
+                }
+                let count = r.u64()?;
+                let sum = r.u64()?;
+                let min = r.u64()?;
+                let max = r.u64()?;
+                *h = Histogram::from_raw(buckets, count, sum, min, max);
+            }
+        }
+        for vec in [
+            &mut self.node_rx_flits,
+            &mut self.node_tx_flits,
+            &mut self.node_inj_stall_cycles,
+        ] {
+            if r.usize()? != vec.len() {
+                return Err(SnapError::Corrupt("node counter length mismatch"));
+            }
+            for v in vec.iter_mut() {
+                *v = r.u64()?;
+            }
+        }
+        Ok(())
     }
 
     /// Utilization of a router output link in [0, 1].

@@ -29,7 +29,12 @@ use std::hash::Hasher;
 
 /// Bump on any change to the canonical format *or* to simulation
 /// behavior that alters reports for an unchanged config.
-pub const FINGERPRINT_VERSION: u32 = 1;
+///
+/// v2: the GPU probe-wait deferred-flush scan now visits lines in sorted
+/// order instead of hash-map iteration order (required for snapshot
+/// restore to be byte-identical), which can reorder RP probe sends under
+/// the per-cycle budget and therefore shift reports.
+pub const FINGERPRINT_VERSION: u32 = 2;
 
 fn push_kv(out: &mut String, key: &str, value: impl std::fmt::Display) {
     let _ = write!(out, "{key}={value};");
@@ -207,6 +212,20 @@ pub fn fingerprint_hex(fp: u64) -> String {
     format!("{fp:016x}")
 }
 
+/// 64-bit key of a warmup snapshot: FxHash over the canonical config,
+/// the workload pairing, and the cycle the snapshot was taken at — but
+/// *not* the measurement cycle budget, so jobs that differ only in how
+/// long they run after warmup share the same snapshot. Execution-mode
+/// knobs (`--threads`, `--shards`, `--no-ff`) never reach
+/// [`canonical_config`] and so cannot move the key.
+pub fn snapshot_key(cfg: &SystemConfig, gpu: &str, cpu: &str, cycle: u64) -> u64 {
+    let mut out = canonical_config(cfg);
+    push_kv(&mut out, "snap.gpu", gpu);
+    push_kv(&mut out, "snap.cpu", cpu);
+    push_kv(&mut out, "snap.cycle", cycle);
+    hash_str(&out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -250,7 +269,7 @@ mod tests {
         });
         cfg.gpu.flush_interval = None;
         let s = canonical_config(&cfg);
-        assert!(s.starts_with("clognet-fp-v1;"));
+        assert!(s.starts_with("clognet-fp-v2;"));
         assert!(s.contains("noc.vnets=1+3;"));
         assert!(s.contains("gpu.flush=none;"));
         assert!(s.contains("scheme=baseline;"));

@@ -32,6 +32,7 @@ pub mod ids;
 pub mod layout;
 pub mod packet;
 pub mod ring;
+pub mod snap;
 
 pub use addr_map::AddressMap;
 pub use config::{
@@ -39,10 +40,12 @@ pub use config::{
     LlcConfig, NocConfig, RoutingPolicy, Scheme, SystemConfig, Topology, VirtualNetConfig,
 };
 pub use fingerprint::{
-    canonical_config, canonical_job, fingerprint_hex, job_fingerprint, FINGERPRINT_VERSION,
+    canonical_config, canonical_job, fingerprint_hex, job_fingerprint, snapshot_key,
+    FINGERPRINT_VERSION,
 };
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{Addr, CoreId, Cycle, LineAddr, MemId, NodeId};
 pub use layout::{Layout, NodeKind};
 pub use packet::{MsgKind, Packet, PacketId, Priority, TrafficClass};
 pub use ring::{HashRing, DEFAULT_VNODES};
+pub use snap::{SnapError, SnapReader, SnapWriter, SNAP_MAGIC, SNAP_VERSION};

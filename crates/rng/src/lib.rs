@@ -111,6 +111,19 @@ impl SeedableRng for SmallRng {
     }
 }
 
+impl SmallRng {
+    /// The raw xoshiro256++ state, for snapshot serialization.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuild a generator from a serialized [`SmallRng::state`]; the
+    /// restored stream continues exactly where the captured one was.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        SmallRng { s }
+    }
+}
+
 impl Rng for SmallRng {
     fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;

@@ -1,15 +1,23 @@
-//! Content-addressed result cache.
+//! Content-addressed result and snapshot caches.
 //!
 //! The simulator is deterministic, so a report is fully determined by
-//! its job fingerprint ([`clognet_proto::fingerprint`]): the cache maps
-//! `fingerprint -> report bytes` and a hit returns the *identical*
-//! bytes a fresh simulation would produce. Eviction is FIFO by
-//! insertion order — entries are equally cheap to regenerate, so a
-//! simple bound on resident entries beats LRU bookkeeping on the
+//! its job fingerprint ([`clognet_proto::fingerprint`]): the
+//! [`ResultCache`] maps `fingerprint -> report bytes` and a hit returns
+//! the *identical* bytes a fresh simulation would produce. Eviction is
+//! FIFO by insertion order — entries are equally cheap to regenerate,
+//! so a simple bound on resident entries beats LRU bookkeeping on the
 //! request path.
+//!
+//! The [`SnapshotCache`] is the second tier: it maps a snapshot key
+//! ([`clognet_proto::snapshot_key`] over the canonical config,
+//! workload pairing, and warmup cycle) to the serialized `CLOGSNAP`
+//! state a finished warmup produced. A job that misses the result
+//! cache but shares its warmup prefix with a cached snapshot resumes
+//! mid-flight instead of re-simulating the warmup.
 
 use clognet_proto::FxHashMap;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// A bounded fingerprint-addressed store of report documents.
 #[derive(Debug)]
@@ -96,6 +104,94 @@ impl ResultCache {
     }
 }
 
+/// A bounded store of serialized warmup snapshots, keyed by
+/// [`clognet_proto::snapshot_key`]. Entries are shared as `Arc` so a
+/// hit hands bytes to a worker without copying hundreds of kilobytes
+/// under the cache lock. Eviction is FIFO, like [`ResultCache`].
+#[derive(Debug)]
+pub struct SnapshotCache {
+    map: FxHashMap<u64, Arc<Vec<u8>>>,
+    /// Insertion order, for FIFO eviction.
+    order: VecDeque<u64>,
+    capacity: usize,
+    bytes: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl SnapshotCache {
+    /// A cache holding at most `capacity` snapshots (minimum 1).
+    pub fn new(capacity: usize) -> SnapshotCache {
+        SnapshotCache {
+            map: FxHashMap::default(),
+            order: VecDeque::new(),
+            capacity: capacity.max(1),
+            bytes: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Look up a snapshot key, recording a hit or miss.
+    pub fn lookup(&mut self, key: u64) -> Option<Arc<Vec<u8>>> {
+        match self.map.get(&key) {
+            Some(snap) => {
+                self.hits += 1;
+                Some(Arc::clone(snap))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a snapshot. Re-inserting an existing key is a no-op:
+    /// snapshots are byte-stable, so the first copy is as good as any
+    /// later one and the eviction order stays honest under racing
+    /// inserts.
+    pub fn insert(&mut self, key: u64, snapshot: Arc<Vec<u8>>) {
+        if self.map.contains_key(&key) {
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            if let Some(oldest) = self.order.pop_front() {
+                if let Some(old) = self.map.remove(&oldest) {
+                    self.bytes -= old.len();
+                }
+            }
+        }
+        self.bytes += snapshot.len();
+        self.map.insert(key, snapshot);
+        self.order.push_back(key);
+    }
+
+    /// Resident snapshots.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Total serialized bytes held.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Lookups that found a snapshot.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,5 +232,40 @@ mod tests {
         let mut c = ResultCache::new(0);
         c.insert(1, "a".into());
         assert_eq!(c.lookup(1).as_deref(), Some("a"));
+    }
+
+    fn snap(n: usize) -> Arc<Vec<u8>> {
+        Arc::new(vec![0xAB; n])
+    }
+
+    #[test]
+    fn snapshot_cache_hits_and_counts_bytes() {
+        let mut c = SnapshotCache::new(4);
+        assert!(c.lookup(7).is_none());
+        c.insert(7, snap(100));
+        assert_eq!(c.lookup(7).map(|s| s.len()), Some(100));
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+        assert_eq!(c.bytes(), 100);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_cache_evicts_fifo_and_releases_bytes() {
+        let mut c = SnapshotCache::new(2);
+        c.insert(1, snap(10));
+        c.insert(2, snap(20));
+        c.insert(3, snap(30));
+        assert_eq!(c.len(), 2);
+        assert!(c.lookup(1).is_none(), "oldest snapshot evicted");
+        assert_eq!(c.bytes(), 50, "evicted bytes released");
+    }
+
+    #[test]
+    fn snapshot_duplicate_insert_is_a_no_op() {
+        let mut c = SnapshotCache::new(2);
+        c.insert(1, snap(10));
+        c.insert(1, snap(99));
+        assert_eq!(c.lookup(1).map(|s| s.len()), Some(10));
+        assert_eq!(c.bytes(), 10);
     }
 }

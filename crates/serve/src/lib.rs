@@ -14,6 +14,11 @@
 //!   [`clognet_proto::fingerprint`] — the simulator is deterministic,
 //!   so a byte-identical report for a given fingerprint never needs to
 //!   be simulated twice,
+//! * warmup state memoized in a second-tier **snapshot cache**
+//!   ([`cache::SnapshotCache`]) keyed by
+//!   [`clognet_proto::snapshot_key`] — a job that misses the result
+//!   cache but shares its warmup prefix with a cached snapshot resumes
+//!   mid-flight and simulates only the measured window,
 //! * per-job cycle and wall-time limits, graceful drain on shutdown,
 //!   and a `stats` request backed by a [`clognet_telemetry`] registry,
 //! * a [`client`] that retries transient connect failures with capped
@@ -64,11 +69,11 @@ pub mod json;
 pub mod server;
 pub mod wire;
 
-pub use cache::ResultCache;
+pub use cache::{ResultCache, SnapshotCache};
 pub use client::{Client, ClientError, RetryPolicy};
 pub use json::Json;
 pub use server::{Frame, FrameReader, JobError, JobHandler, ServeConfig, Server, ServerHandle};
 pub use wire::{
     ErrorCode, ForwardFrame, JobSpec, PeerExchange, ReplicateFrame, Response, RunResult,
-    MAX_FRAME_BYTES,
+    SnapshotFrame, MAX_FRAME_BYTES,
 };

@@ -23,7 +23,7 @@
 //! builds a `System` per job, and the tests install stubs that fail,
 //! stall, or count invocations on demand.
 
-use crate::cache::ResultCache;
+use crate::cache::{ResultCache, SnapshotCache};
 use crate::json::Json;
 use crate::wire::{error_response, ok_response, run_response, ErrorCode, JobSpec, MAX_FRAME_BYTES};
 use clognet_bench::runner::WorkerPool;
@@ -165,6 +165,14 @@ impl JobError {
 /// key) and execution (for misses). Implementations must be
 /// deterministic — `run` must return byte-identical output for
 /// fingerprint-equal specs — or the cache contract is void.
+///
+/// The three snapshot hooks are optional (defaults disable the
+/// snapshot tier): a handler that implements them lets the server
+/// memoize warmup state, so a job that misses the result cache but
+/// shares its warmup prefix with an earlier job resumes mid-flight
+/// instead of re-simulating the warmup. Snapshot-resumed runs must be
+/// byte-identical to straight runs — the same contract as the result
+/// cache.
 pub trait JobHandler: Send + Sync + 'static {
     /// The canonical fingerprint of a spec (resolving option spelling
     /// variants), or a `bad_request` explaining what is invalid.
@@ -181,6 +189,47 @@ pub trait JobHandler: Send + Sync + 'static {
     ///
     /// Invalid specs or an exceeded deadline.
     fn run(&self, spec: &JobSpec, deadline: Instant) -> Result<String, JobError>;
+
+    /// The snapshot-cache key of this job's warmup prefix, or `None`
+    /// when the job has no cacheable prefix (no warmup, or the handler
+    /// does not support snapshots). Execution-mode knobs must not
+    /// change the key — the same exclusion rule as the fingerprint.
+    fn snapshot_key(&self, _spec: &JobSpec) -> Option<u64> {
+        None
+    }
+
+    /// Execute the job and also return the serialized warmup snapshot
+    /// for caching, when one is worth keeping. The default runs
+    /// without producing a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`JobHandler::run`].
+    fn run_with_snapshot(
+        &self,
+        spec: &JobSpec,
+        deadline: Instant,
+    ) -> Result<(String, Option<Vec<u8>>), JobError> {
+        self.run(spec, deadline).map(|report| (report, None))
+    }
+
+    /// Execute the job resuming from a cached warmup snapshot
+    /// (simulating only the measured window). A handler that cannot
+    /// use the snapshot — or finds it corrupt — must fall back to a
+    /// full run rather than fail the job. The default ignores the
+    /// snapshot entirely.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`JobHandler::run`].
+    fn run_from_snapshot(
+        &self,
+        spec: &JobSpec,
+        _snapshot: &[u8],
+        deadline: Instant,
+    ) -> Result<String, JobError> {
+        self.run(spec, deadline)
+    }
 }
 
 /// Server tuning knobs.
@@ -195,6 +244,10 @@ pub struct ServeConfig {
     pub queue_cap: usize,
     /// Reports retained by the content-addressed cache.
     pub cache_cap: usize,
+    /// Warmup snapshots retained by the snapshot tier. Snapshots are
+    /// hundreds of kilobytes each, so this bound is much tighter than
+    /// `cache_cap`.
+    pub snap_cache_cap: usize,
     /// Per-job cycle budget (`warm + cycles`) ceiling.
     pub max_job_cycles: u64,
     /// Per-job end-to-end wall-time limit (queue wait + simulation).
@@ -210,6 +263,7 @@ impl Default for ServeConfig {
             workers: 2,
             queue_cap: 16,
             cache_cap: 1024,
+            snap_cache_cap: 64,
             max_job_cycles: 10_000_000,
             job_timeout: Duration::from_secs(120),
             drain_timeout: Duration::from_secs(60),
@@ -217,18 +271,26 @@ impl Default for ServeConfig {
     }
 }
 
-type PoolResult = Result<String, JobError>;
+/// A pool job: the spec, the cached warmup snapshot to resume from
+/// (when the snapshot tier hit), and the wall-time deadline.
+type PoolJob = (JobSpec, Option<Arc<Vec<u8>>>, Instant);
+/// A pool result: the report, plus a fresh warmup snapshot to cache
+/// when the handler produced one.
+type PoolResult = Result<(String, Option<Vec<u8>>), JobError>;
 
 struct Inner {
     cfg: ServeConfig,
     handler: Arc<dyn JobHandler>,
     /// `None` once draining has begun.
-    pool: Mutex<Option<WorkerPool<(JobSpec, Instant), PoolResult>>>,
+    pool: Mutex<Option<WorkerPool<PoolJob, PoolResult>>>,
     cache: Mutex<ResultCache>,
+    snapshots: Mutex<SnapshotCache>,
     metrics: Mutex<Registry>,
     shutdown: AtomicBool,
     /// `run` requests admitted but not yet answered.
     inflight: AtomicUsize,
+    /// Connection threads currently serving a peer.
+    conns: AtomicUsize,
     local_addr: SocketAddr,
 }
 
@@ -279,17 +341,25 @@ impl Server {
         let pool = WorkerPool::new(
             cfg.workers,
             cfg.queue_cap,
-            move |(spec, deadline): (JobSpec, Instant)| pool_handler.run(&spec, deadline),
+            move |(spec, snap, deadline): PoolJob| match snap {
+                Some(bytes) => pool_handler
+                    .run_from_snapshot(&spec, &bytes, deadline)
+                    .map(|report| (report, None)),
+                None => pool_handler.run_with_snapshot(&spec, deadline),
+            },
         );
         let cache = ResultCache::new(cfg.cache_cap);
+        let snapshots = SnapshotCache::new(cfg.snap_cache_cap);
         let inner = Arc::new(Inner {
             cfg,
             handler,
             pool: Mutex::new(Some(pool)),
             cache: Mutex::new(cache),
+            snapshots: Mutex::new(snapshots),
             metrics: Mutex::new(Registry::new()),
             shutdown: AtomicBool::new(false),
             inflight: AtomicUsize::new(0),
+            conns: AtomicUsize::new(0),
             local_addr,
         });
         Ok(Server { listener, inner })
@@ -337,7 +407,16 @@ impl Server {
     }
 }
 
-/// Wait (bounded) for in-flight requests, then drain the pool.
+/// How long `drain` waits for connection threads to flush their final
+/// responses before the process is allowed to exit. The thread writing
+/// the `shutdown` acknowledgment is detached, so without this grace a
+/// CLI server could exit mid-write and the client would see a closed
+/// connection instead of the ack. Peers that idle past the grace (a
+/// client holding its connection open) are abandoned, as before.
+const CONN_FLUSH_GRACE: Duration = Duration::from_millis(300);
+
+/// Wait (bounded) for in-flight requests, drain the pool, then give
+/// connection threads a short grace to flush final responses.
 fn drain(inner: &Inner) {
     let deadline = Instant::now() + inner.cfg.drain_timeout;
     while inner.inflight.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
@@ -347,6 +426,10 @@ fn drain(inner: &Inner) {
     if let Some(pool) = pool {
         pool.shutdown();
     }
+    let grace = Instant::now() + CONN_FLUSH_GRACE;
+    while inner.conns.load(Ordering::SeqCst) > 0 && Instant::now() < grace {
+        std::thread::sleep(Duration::from_millis(2));
+    }
 }
 
 fn handle_connection(inner: &Arc<Inner>, stream: TcpStream) {
@@ -354,7 +437,9 @@ fn handle_connection(inner: &Arc<Inner>, stream: TcpStream) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
+    inner.conns.fetch_add(1, Ordering::SeqCst);
     serve_frames(read_half, stream, |line| dispatch(inner, line));
+    inner.conns.fetch_sub(1, Ordering::SeqCst);
 }
 
 fn count(inner: &Inner, name: &str) {
@@ -431,13 +516,35 @@ fn handle_run(inner: &Arc<Inner>, request: &Json) -> String {
         return run_response(&hex, true, &report);
     }
     count(inner, "cache_misses");
-    // Miss: admit into the bounded queue.
+    // Result miss: try the snapshot tier — a cached warmup prefix lets
+    // the worker resume mid-flight and simulate only the measured
+    // window.
+    let skey = inner.handler.snapshot_key(&spec);
+    let snap = skey.and_then(|k| {
+        inner
+            .snapshots
+            .lock()
+            .expect("snapshot cache lock poisoned")
+            .lookup(k)
+    });
+    if skey.is_some() {
+        count(
+            inner,
+            if snap.is_some() {
+                "snapshot_hits"
+            } else {
+                "snapshot_misses"
+            },
+        );
+    }
+    let resumed = snap.is_some();
+    // Admit into the bounded queue.
     let deadline = Instant::now() + inner.cfg.job_timeout;
     let submitted = {
         let pool = inner.pool.lock().expect("pool lock poisoned");
         match pool.as_ref() {
             None => return error_response(ErrorCode::ShuttingDown, "server is draining"),
-            Some(p) => p.try_submit((spec, deadline)),
+            Some(p) => p.try_submit((spec, snap, deadline)),
         }
     };
     let rx = match submitted {
@@ -461,13 +568,23 @@ fn handle_run(inner: &Arc<Inner>, request: &Json) -> String {
     let outcome = rx.recv_timeout(wait);
     inner.inflight.fetch_sub(1, Ordering::SeqCst);
     match outcome {
-        Ok(Ok(report)) => {
+        Ok(Ok((report, fresh_snap))) => {
             count(inner, "jobs_completed");
+            if resumed {
+                count(inner, "jobs_resumed_from_snapshot");
+            }
             inner
                 .cache
                 .lock()
                 .expect("cache lock poisoned")
                 .insert(fp, report.clone());
+            if let (Some(k), Some(bytes)) = (skey, fresh_snap) {
+                inner
+                    .snapshots
+                    .lock()
+                    .expect("snapshot cache lock poisoned")
+                    .insert(k, Arc::new(bytes));
+            }
             run_response(&hex, false, &report)
         }
         Ok(Err(e)) => {
@@ -499,6 +616,13 @@ fn stats_response(inner: &Arc<Inner>) -> String {
         let c = inner.cache.lock().expect("cache lock poisoned");
         (c.len(), c.hit_rate(), c.hits(), c.misses())
     };
+    let (snap_entries, snap_bytes, snap_hits, snap_misses) = {
+        let s = inner
+            .snapshots
+            .lock()
+            .expect("snapshot cache lock poisoned");
+        (s.len(), s.bytes(), s.hits(), s.misses())
+    };
     let registry_json = {
         let mut m = inner.metrics.lock().expect("metrics lock poisoned");
         // Mirror the instantaneous values into gauges so exported
@@ -519,7 +643,10 @@ fn stats_response(inner: &Arc<Inner>) -> String {
     format!(
         "{{\"ok\":true,\"op\":\"stats\",\"queue_depth\":{depth},\"workers\":{workers},\
          \"utilization\":[{}],\"cache_entries\":{entries},\"cache_hits\":{hits},\
-         \"cache_misses\":{misses},\"cache_hit_rate\":{},\"registry\":{registry_json}}}",
+         \"cache_misses\":{misses},\"cache_hit_rate\":{},\
+         \"snapshot_entries\":{snap_entries},\"snapshot_bytes\":{snap_bytes},\
+         \"snapshot_hits\":{snap_hits},\"snapshot_misses\":{snap_misses},\
+         \"registry\":{registry_json}}}",
         util_arr.join(","),
         json_f64(hit_rate)
     )

@@ -30,9 +30,16 @@
 //! ```text
 //! {"op":"forward","ttl":1,"gpu":"HS",...}          // routed run; ttl 0 = must execute
 //! {"op":"replicate","fingerprint":"<16 hex>","report":"<escaped JSON>"}
+//! {"op":"replicate-snap","key":"<16 hex>","bytes":"<hex>"}
 //! {"op":"peers","from":"<addr>","load":0.5,"known":["<addr>",...]}
 //! {"op":"cluster-stats"}
 //! ```
+//!
+//! `replicate-snap` carries a serialized `CLOGSNAP` warmup snapshot as
+//! lowercase hex (NDJSON frames must stay valid UTF-8 text); a snapshot
+//! whose hex form would not fit under [`MAX_FRAME_BYTES`] is simply not
+//! replicated — snapshots are an optimization, never required for
+//! correctness.
 //!
 //! The frame constructors and parsers live here so both sides of every
 //! exchange share one spelling.
@@ -266,6 +273,84 @@ pub fn parse_replicate(v: &Json) -> Result<ReplicateFrame, String> {
         fingerprint,
         report,
     })
+}
+
+/// A decoded cluster `replicate-snap` frame: a warmup snapshot being
+/// copied to a ring successor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotFrame {
+    /// The snapshot key ([`clognet_proto::snapshot_key`]).
+    pub key: u64,
+    /// The serialized `CLOGSNAP` bytes, exactly as the owner took them.
+    pub bytes: Vec<u8>,
+}
+
+/// Lowercase hex encoding for binary payloads carried on the NDJSON
+/// wire.
+pub fn hex_bytes(bytes: &[u8]) -> String {
+    const HEX: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(HEX[usize::from(b >> 4)] as char);
+        out.push(HEX[usize::from(b & 0xf)] as char);
+    }
+    out
+}
+
+/// Decode [`hex_bytes`] output.
+///
+/// # Errors
+///
+/// Odd length or a non-hex digit.
+pub fn parse_hex_bytes(s: &str) -> Result<Vec<u8>, String> {
+    if !s.len().is_multiple_of(2) {
+        return Err("hex payload has odd length".into());
+    }
+    let digits = s.as_bytes();
+    let mut out = Vec::with_capacity(s.len() / 2);
+    for pair in digits.chunks_exact(2) {
+        let hi = (pair[0] as char)
+            .to_digit(16)
+            .ok_or("hex payload has a non-hex digit")?;
+        let lo = (pair[1] as char)
+            .to_digit(16)
+            .ok_or("hex payload has a non-hex digit")?;
+        out.push(((hi << 4) | lo) as u8);
+    }
+    Ok(out)
+}
+
+/// Build a `replicate-snap` frame line. `key` must be the canonical
+/// 16-hex-digit spelling ([`clognet_proto::fingerprint_hex`]).
+pub fn replicate_snap_line(key: &str, bytes: &[u8]) -> String {
+    format!(
+        "{{\"op\":\"replicate-snap\",\"key\":\"{}\",\"bytes\":\"{}\"}}",
+        json_escape(key),
+        hex_bytes(bytes)
+    )
+}
+
+/// Decode a `replicate-snap` frame.
+///
+/// # Errors
+///
+/// A missing/malformed key or missing/non-hex bytes.
+pub fn parse_replicate_snap(v: &Json) -> Result<SnapshotFrame, String> {
+    let hex = v
+        .get("key")
+        .and_then(Json::as_str)
+        .ok_or("replicate-snap frame missing string `key`")?;
+    if hex.len() != 16 {
+        return Err(format!("snapshot key `{hex}` is not 16 hex digits"));
+    }
+    let key = u64::from_str_radix(hex, 16)
+        .map_err(|_| format!("snapshot key `{hex}` is not 16 hex digits"))?;
+    let bytes = parse_hex_bytes(
+        v.get("bytes")
+            .and_then(Json::as_str)
+            .ok_or("replicate-snap frame missing string `bytes`")?,
+    )?;
+    Ok(SnapshotFrame { key, bytes })
 }
 
 /// A decoded `peers` heartbeat/gossip exchange — the same shape is used
@@ -543,6 +628,30 @@ mod tests {
             r#"{"op":"replicate","fingerprint":"00ff00ff00ff00ff"}"#,
         ] {
             assert!(parse_replicate(&Json::parse(bad).unwrap()).is_err());
+        }
+    }
+
+    #[test]
+    fn replicate_snap_frames_round_trip_binary_payloads() {
+        // Every byte value survives the hex round trip.
+        let bytes: Vec<u8> = (0u8..=255).collect();
+        let line = replicate_snap_line("00ff00ff00ff00ff", &bytes);
+        let frame = parse_replicate_snap(&Json::parse(&line).unwrap()).unwrap();
+        assert_eq!(frame.key, 0x00ff_00ff_00ff_00ff);
+        assert_eq!(frame.bytes, bytes);
+        let empty = parse_replicate_snap(
+            &Json::parse(&replicate_snap_line("0000000000000001", &[])).unwrap(),
+        )
+        .unwrap();
+        assert!(empty.bytes.is_empty());
+        for bad in [
+            r#"{"op":"replicate-snap"}"#,
+            r#"{"op":"replicate-snap","key":"ff","bytes":""}"#,
+            r#"{"op":"replicate-snap","key":"00ff00ff00ff00ff"}"#,
+            r#"{"op":"replicate-snap","key":"00ff00ff00ff00ff","bytes":"abc"}"#,
+            r#"{"op":"replicate-snap","key":"00ff00ff00ff00ff","bytes":"zz"}"#,
+        ] {
+            assert!(parse_replicate_snap(&Json::parse(bad).unwrap()).is_err());
         }
     }
 

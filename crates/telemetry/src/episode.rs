@@ -101,6 +101,18 @@ impl EpisodeDetector {
         }
     }
 
+    /// Capture `(open, closed)` episode lists for snapshot
+    /// serialization.
+    pub fn export_state(&self) -> (Vec<Option<Episode>>, Vec<Episode>) {
+        (self.open.clone(), self.closed.clone())
+    }
+
+    /// Overlay a state captured by [`EpisodeDetector::export_state`].
+    pub fn import_state(&mut self, open: Vec<Option<Episode>>, closed: Vec<Episode>) {
+        self.open = open;
+        self.closed = closed;
+    }
+
     /// All closed episodes, in close order.
     pub fn episodes(&self) -> &[Episode] {
         &self.closed

@@ -39,6 +39,24 @@ impl Histogram {
         }
     }
 
+    /// Raw internal state for snapshot serialization:
+    /// `(buckets, count, sum, min, max)`. `min` is the raw sentinel
+    /// (`u64::MAX` while empty), not the clamped [`Histogram::min`].
+    pub fn to_raw(&self) -> ([u64; 65], u64, u64, u64, u64) {
+        (self.buckets, self.count, self.sum, self.min, self.max)
+    }
+
+    /// Rebuild a histogram from [`Histogram::to_raw`] output.
+    pub fn from_raw(buckets: [u64; 65], count: u64, sum: u64, min: u64, max: u64) -> Self {
+        Histogram {
+            buckets,
+            count,
+            sum,
+            min,
+            max,
+        }
+    }
+
     /// Record one sample.
     pub fn record(&mut self, v: u64) {
         self.buckets[bucket_of(v)] += 1;

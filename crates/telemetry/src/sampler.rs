@@ -130,6 +130,42 @@ impl EpochSampler {
         (0..ring.len).map(|i| ring.get(i)).collect()
     }
 
+    /// Capture the sampler's logical state for snapshot serialization:
+    /// `(epochs_committed, per-series (name, retained values oldest
+    /// first, staged pending value))` in registration order. Ring
+    /// internals (head position) are representation detail — a rebuilt
+    /// ring with the same logical contents behaves identically.
+    pub fn export_state(&self) -> (u64, Vec<(String, Vec<f64>, f64)>) {
+        let series = self
+            .names
+            .iter()
+            .zip(self.rings.iter())
+            .zip(self.pending.iter())
+            .map(|((n, r), &p)| (n.clone(), (0..r.len).map(|i| r.get(i)).collect(), p))
+            .collect();
+        (self.epochs_committed, series)
+    }
+
+    /// Overlay a state captured by [`EpochSampler::export_state`].
+    /// Series are re-registered in the captured order, so positional
+    /// [`SeriesId`]s handed out by an identically-ordered registration
+    /// sequence stay valid.
+    pub fn import_state(&mut self, epochs_committed: u64, series: Vec<(String, Vec<f64>, f64)>) {
+        self.names.clear();
+        self.rings.clear();
+        self.pending.clear();
+        for (name, values, pending) in series {
+            self.names.push(name);
+            let mut ring = Ring::new(self.ring_cap);
+            for v in values {
+                ring.push(v);
+            }
+            self.rings.push(ring);
+            self.pending.push(pending);
+        }
+        self.epochs_committed = epochs_committed;
+    }
+
     /// Iterate `(name, values)` over all series, oldest epoch first.
     pub fn all_series(&self) -> impl Iterator<Item = (&str, Vec<f64>)> {
         self.names.iter().map(String::as_str).zip(

@@ -10,6 +10,7 @@
 //! windows make it latency-*tolerant*, like `dedup`), and a write share.
 
 use crate::gpu::MemAccess;
+use clognet_proto::snap::{SnapError, SnapReader, SnapWriter};
 use clognet_proto::{Addr, CoreId};
 use clognet_rng::{Rng, SeedableRng, SmallRng};
 use std::collections::VecDeque;
@@ -219,6 +220,37 @@ impl CpuStream {
             }
         }
         trues
+    }
+
+    /// Serialize the stream's mutable state (RNG, walk cursor, buffered
+    /// lookahead draws). The profile and core identity come from
+    /// construction, not the byte stream.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        for s in self.rng.state() {
+            w.u64(s);
+        }
+        w.u64(self.cursor);
+        w.usize(self.lookahead.len());
+        for &v in &self.lookahead {
+            w.bool(v);
+        }
+    }
+
+    /// Overlay state captured by [`CpuStream::save_state`] onto a stream
+    /// built with the same profile/core/seed.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let mut s = [0u64; 4];
+        for v in &mut s {
+            *v = r.u64()?;
+        }
+        self.rng = SmallRng::from_state(s);
+        self.cursor = r.u64()?;
+        let n = r.usize()?;
+        self.lookahead.clear();
+        for _ in 0..n {
+            self.lookahead.push_back(r.bool()?);
+        }
+        Ok(())
     }
 
     /// Generate the next access.

@@ -30,6 +30,7 @@
 //!   (registers spills, thread-local arrays).
 
 use crate::zipf::Zipf;
+use clognet_proto::snap::{SnapError, SnapReader, SnapWriter};
 use clognet_proto::{Addr, CoreId, CtaSched};
 use clognet_rng::{Rng, SeedableRng, SmallRng};
 
@@ -332,6 +333,47 @@ impl GpuStream {
     /// Compute cycles a warp spends between memory operations.
     pub fn compute_per_mem(&self) -> u32 {
         self.profile.compute_per_mem
+    }
+
+    /// Serialize the stream's mutable state (RNG, stream positions and
+    /// the recent-line reuse window). The profile, Zipf table and tile
+    /// geometry are rebuilt from config on restore.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        for s in self.rng.state() {
+            w.u64(s);
+        }
+        w.u64(self.stream_pos);
+        w.u64(self.sweep_pos);
+        w.u32(self.sweep_count);
+        w.u64(self.out_pos);
+        for x in self.recent {
+            w.u64(x);
+        }
+        w.usize(self.recent_len);
+        w.usize(self.recent_cursor);
+    }
+
+    /// Overlay state captured by [`GpuStream::save_state`] onto a stream
+    /// rebuilt with the same constructor arguments.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let mut s = [0u64; 4];
+        for x in &mut s {
+            *x = r.u64()?;
+        }
+        self.rng = SmallRng::from_state(s);
+        self.stream_pos = r.u64()?;
+        self.sweep_pos = r.u64()?;
+        self.sweep_count = r.u32()?;
+        self.out_pos = r.u64()?;
+        for x in &mut self.recent {
+            *x = r.u64()?;
+        }
+        self.recent_len = r.usize()?;
+        self.recent_cursor = r.usize()?;
+        if self.recent_len > self.recent.len() || self.recent_cursor >= self.recent.len() {
+            return Err(SnapError::Corrupt("gpu stream recent window"));
+        }
+        Ok(())
     }
 
     /// Generate the next memory access of a warp on this core.
