@@ -16,7 +16,15 @@ pub struct Args {
 /// Option keys that are boolean flags: `--json` / `--quick` / `--no-ff`
 /// take no value (`--json=false` still works to switch one off
 /// explicitly).
-const FLAG_KEYS: &[&str] = &["json", "quick", "no-ff", "canonical", "owner", "warm-start"];
+const FLAG_KEYS: &[&str] = &[
+    "json",
+    "quick",
+    "no-ff",
+    "canonical",
+    "owner",
+    "warm-start",
+    "fabric",
+];
 
 /// A parse failure with a user-facing message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -177,6 +185,14 @@ mod tests {
         let a = parse("run").unwrap();
         assert_eq!(a.get_or("gpu", "HS"), "HS");
         assert_eq!(a.get_num("cycles", 42u64).unwrap(), 42);
+    }
+
+    #[test]
+    fn fabric_is_a_bare_flag() {
+        // `bench --fabric --out X` must not eat `--out` as a value.
+        let a = parse("bench --fabric --out BENCH_fabric.json").unwrap();
+        assert!(a.flag("fabric"));
+        assert_eq!(a.get("out"), Some("BENCH_fabric.json"));
     }
 
     #[test]

@@ -2,13 +2,47 @@
 
 use crate::args::{Args, ParseArgsError};
 use clognet_proto::{
-    CtaSched, L1Org, LayoutKind, RoutingPolicy, Scheme, SystemConfig, Topology, VirtualNetConfig,
+    CtaSched, FabricConfig, FabricInterleave, FabricTopology, L1Org, LayoutKind, RoutingPolicy,
+    Scheme, SystemConfig, Topology, VirtualNetConfig,
 };
 
 /// Options shared by `run`, `compare`, and `sweep`.
-pub const CONFIG_KEYS: [&str; 12] = [
-    "gpu", "cpu", "scheme", "layout", "topology", "routing", "width", "l1org", "cta", "vnets",
-    "seed", "mesh",
+pub const CONFIG_KEYS: [&str; 21] = [
+    "gpu",
+    "cpu",
+    "scheme",
+    "layout",
+    "topology",
+    "routing",
+    "width",
+    "l1org",
+    "cta",
+    "vnets",
+    "seed",
+    "mesh",
+    "chips",
+    "fabric-topology",
+    "fabric-width",
+    "fabric-latency",
+    "fabric-queue",
+    "fabric-gateways",
+    "fabric-interleave",
+    "fabric-reply-width",
+    "fabric-reply-latency",
+];
+
+/// The fabric subset of [`CONFIG_KEYS`] (every one an identity knob —
+/// see the fingerprint tests in `clognet-proto`).
+pub const FABRIC_KEYS: [&str; 9] = [
+    "chips",
+    "fabric-topology",
+    "fabric-width",
+    "fabric-latency",
+    "fabric-queue",
+    "fabric-gateways",
+    "fabric-interleave",
+    "fabric-reply-width",
+    "fabric-reply-latency",
 ];
 
 /// Parse a scheme name.
@@ -153,7 +187,70 @@ pub fn config_from(args: &Args) -> Result<SystemConfig, ParseArgsError> {
         cfg.n_gpu = w * h - 3 * h;
     }
     cfg.seed = args.get_num("seed", cfg.seed)?;
+    apply_fabric(args, &mut cfg)?;
     Ok(cfg)
+}
+
+/// Fold the `--chips` / `--fabric-*` options into `cfg.fabric`. Any
+/// fabric option present switches the config to an explicit
+/// [`FabricConfig`] (defaults filled in); `--chips 1` alone keeps the
+/// plain single-chip config (`fabric: None`), byte-identical to builds
+/// that never mention the fabric.
+fn apply_fabric(args: &Args, cfg: &mut SystemConfig) -> Result<(), ParseArgsError> {
+    if !FABRIC_KEYS.iter().any(|k| args.get(k).is_some()) {
+        return Ok(());
+    }
+    let d = FabricConfig::default();
+    let chips = args.get_num("chips", d.chips)?;
+    if chips == 1 {
+        if FABRIC_KEYS[1..].iter().any(|k| args.get(k).is_some()) {
+            return Err(ParseArgsError(
+                "--fabric-* options require --chips 2 or more".into(),
+            ));
+        }
+        cfg.fabric = None;
+        return Ok(());
+    }
+    let topology = match args.get("fabric-topology") {
+        Some(s) => match s.to_ascii_lowercase().as_str() {
+            "pair" => FabricTopology::Pair,
+            "ring" => FabricTopology::Ring,
+            "all" | "full" => FabricTopology::All,
+            other => {
+                return Err(ParseArgsError(format!(
+                    "unknown fabric topology `{other}` (pair|ring|all)"
+                )))
+            }
+        },
+        // The pair default only spans two chips; larger packages get a
+        // ring unless told otherwise.
+        None if chips > 2 => FabricTopology::Ring,
+        None => d.topology,
+    };
+    let interleave = match args.get("fabric-interleave") {
+        Some(s) => match s.to_ascii_lowercase().as_str() {
+            "hash" => FabricInterleave::Hash,
+            "modulo" | "mod" => FabricInterleave::Modulo,
+            other => {
+                return Err(ParseArgsError(format!(
+                    "unknown fabric interleave `{other}` (hash|modulo)"
+                )))
+            }
+        },
+        None => d.interleave,
+    };
+    cfg.fabric = Some(FabricConfig {
+        chips,
+        topology,
+        interleave,
+        link_flits: args.get_num("fabric-width", d.link_flits)?,
+        hop_latency: args.get_num("fabric-latency", d.hop_latency)?,
+        queue_pkts: args.get_num("fabric-queue", d.queue_pkts)?,
+        gateways: args.get_num("fabric-gateways", d.gateways)?,
+        reply_link_flits: args.get_num("fabric-reply-width", d.reply_link_flits)?,
+        reply_hop_latency: args.get_num("fabric-reply-latency", d.reply_hop_latency)?,
+    });
+    Ok(())
 }
 
 #[cfg(test)]

@@ -12,8 +12,8 @@
 use crate::args::ParseArgsError;
 use crate::report;
 use clognet_bench::runner::{run_jobs, run_jobs_with_state, timed};
-use clognet_core::{Report, Snapshot, System, TickEngine};
-use clognet_proto::{AddressMap, Layout, Scheme, SystemConfig};
+use clognet_core::{MultiChipSystem, Report, Snapshot, System, TickEngine};
+use clognet_proto::{AddressMap, FabricConfig, Layout, Scheme, SystemConfig};
 
 /// Build, warm, measure, and report one workload under one config.
 /// `ff` selects event-horizon fast-forward (the default) or the
@@ -30,7 +30,7 @@ pub fn measure(
     ff: bool,
     shards: usize,
 ) -> Report {
-    let mut sys = System::new(cfg, gpu, cpu);
+    let mut sys = MultiChipSystem::new(cfg, gpu, cpu);
     sys.set_fast_forward(ff);
     if shards > 1 {
         sys.set_tick_engine(TickEngine::Sharded(shards))
@@ -236,7 +236,7 @@ pub fn run_sweep_warm(
                 .map(move |s| (s, v))
         })
         .collect();
-    let measure_fork = |sys: &mut System, scheme: Scheme, v: u64| {
+    let measure_fork = |sys: &mut MultiChipSystem, scheme: Scheme, v: u64| {
         sys.set_scheme(scheme);
         sys.apply_warm_param(param, v)
             .expect("warm param validated up front");
@@ -246,23 +246,24 @@ pub fn run_sweep_warm(
     };
     let reports = match mode {
         WarmStart::Each => run_jobs(jobs, threads, |(scheme, v)| {
-            let mut sys = System::new(base.clone(), gpu, cpu);
+            let mut sys = MultiChipSystem::new(base.clone(), gpu, cpu);
             sys.run(warm);
             measure_fork(&mut sys, scheme, v)
         }),
         WarmStart::Fork => {
-            let mut sys = System::new(base.clone(), gpu, cpu);
+            let mut sys = MultiChipSystem::new(base.clone(), gpu, cpu);
             sys.run(warm);
             let snap = sys.snapshot();
             run_jobs(jobs, threads, |(scheme, v)| {
-                let mut sys = System::restore(&snap).expect("just-taken snapshot restores");
+                let mut sys =
+                    MultiChipSystem::restore(&snap).expect("just-taken snapshot restores");
                 measure_fork(&mut sys, scheme, v)
             })
         }
         WarmStart::File(path) => {
             let snap = load_warm_snapshot(path, base, gpu, cpu)?;
             run_jobs(jobs, threads, |(scheme, v)| {
-                let mut sys = System::restore(&snap).expect("snapshot validated up front");
+                let mut sys = MultiChipSystem::restore(&snap).expect("snapshot validated up front");
                 measure_fork(&mut sys, scheme, v)
             })
         }
@@ -301,7 +302,7 @@ pub fn run_compare_warm(
     mode: &WarmStart,
 ) -> Result<Vec<(Scheme, Report)>, ParseArgsError> {
     let jobs: Vec<Scheme> = compare_schemes().to_vec();
-    let measure_fork = |sys: &mut System, scheme: Scheme| {
+    let measure_fork = |sys: &mut MultiChipSystem, scheme: Scheme| {
         sys.set_scheme(scheme);
         sys.reset_stats();
         sys.run(cycles);
@@ -309,23 +310,24 @@ pub fn run_compare_warm(
     };
     let reports = match mode {
         WarmStart::Each => run_jobs(jobs.clone(), threads, |scheme| {
-            let mut sys = System::new(base.clone(), gpu, cpu);
+            let mut sys = MultiChipSystem::new(base.clone(), gpu, cpu);
             sys.run(warm);
             measure_fork(&mut sys, scheme)
         }),
         WarmStart::Fork => {
-            let mut sys = System::new(base.clone(), gpu, cpu);
+            let mut sys = MultiChipSystem::new(base.clone(), gpu, cpu);
             sys.run(warm);
             let snap = sys.snapshot();
             run_jobs(jobs.clone(), threads, |scheme| {
-                let mut sys = System::restore(&snap).expect("just-taken snapshot restores");
+                let mut sys =
+                    MultiChipSystem::restore(&snap).expect("just-taken snapshot restores");
                 measure_fork(&mut sys, scheme)
             })
         }
         WarmStart::File(path) => {
             let snap = load_warm_snapshot(path, base, gpu, cpu)?;
             run_jobs(jobs.clone(), threads, |scheme| {
-                let mut sys = System::restore(&snap).expect("snapshot validated up front");
+                let mut sys = MultiChipSystem::restore(&snap).expect("snapshot validated up front");
                 measure_fork(&mut sys, scheme)
             })
         }
@@ -366,7 +368,7 @@ pub fn run_sweep(
         }
     }
     let reports = run_jobs(jobs, threads, |cfg| {
-        let mut sys = System::new_prebuilt(cfg, gpu, cpu, layout.clone(), map);
+        let mut sys = MultiChipSystem::new_prebuilt(cfg, gpu, cpu, layout.clone(), map);
         sys.set_fast_forward(ff);
         if shards > 1 {
             sys.set_tick_engine(TickEngine::Sharded(shards))
@@ -989,6 +991,132 @@ pub fn run_warmstart_bench(threads: usize, warm: u64, cycles: u64) -> WarmStartB
         threads,
         cold_wall_s,
         forked_wall_s,
+        identical_reports,
+    }
+}
+
+/// The fabric reply-path degradation points `bench --fabric` sweeps:
+/// per-hop reply latency multiplier x reply link width in flits/cycle,
+/// from the healthy interconnect to a clogged one (10x slower, 1/4 the
+/// width) — the inter-chip analogue of the paper's reply-net clog.
+pub const FABRIC_POINTS: [(u32, u32); 4] = [(1, 4), (2, 4), (4, 2), (10, 1)];
+
+/// One degradation point of the fabric benchmark: all three schemes on
+/// the same degraded package.
+pub struct FabricPoint {
+    /// Reply per-hop latency as a multiple of the request path's.
+    pub lat_mult: u32,
+    /// Reply link width in flits/cycle.
+    pub reply_width: u32,
+    /// Report under [`Scheme::Baseline`].
+    pub baseline: Report,
+    /// Report under the default Realistic Probing fanout.
+    pub rp: Report,
+    /// Report under [`Scheme::DelegatedReplies`].
+    pub dr: Report,
+}
+
+/// Result of `clognet bench --fabric`: the scheme matrix across the
+/// reply-link degradation points on a 2-chip package, plus the
+/// engine-equivalence self-check (the `BENCH_fabric.json` artifact).
+pub struct FabricBenchResult {
+    /// Chips in the benchmarked package.
+    pub chips: usize,
+    /// Warmup cycles per cell (excluded from the measured span).
+    pub warm: u64,
+    /// Measured cycles per cell.
+    pub cycles: u64,
+    /// One entry per degradation point, in [`FABRIC_POINTS`] order.
+    pub points: Vec<FabricPoint>,
+    /// Whether every DR cell reproduced byte-for-byte on the per-cycle
+    /// reference loop (`--no-ff`) and on the sharded engine — the
+    /// determinism contract, re-checked on the benchmark's own runs.
+    pub identical_reports: bool,
+}
+
+impl FabricBenchResult {
+    /// The `BENCH_fabric.json` document.
+    pub fn to_json(&self) -> String {
+        let points: Vec<String> = self
+            .points
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"lat_mult\":{},\"reply_width\":{},\"baseline\":{},\"rp\":{},\"dr\":{},\
+                     \"dr_over_baseline\":{:.3}}}",
+                    p.lat_mult,
+                    p.reply_width,
+                    report::report_json(Scheme::Baseline, &p.baseline),
+                    report::report_json(Scheme::rp_default(), &p.rp),
+                    report::report_json(Scheme::DelegatedReplies, &p.dr),
+                    if p.baseline.gpu_ipc > 0.0 {
+                        p.dr.gpu_ipc / p.baseline.gpu_ipc
+                    } else {
+                        0.0
+                    }
+                )
+            })
+            .collect();
+        format!(
+            "{{\"harness\":\"clognet bench --fabric\",\"chips\":{},\
+             \"warm\":{},\"cycles\":{},\
+             \"points\":[{}],\"identical_reports\":{}}}",
+            self.chips,
+            self.warm,
+            self.cycles,
+            points.join(","),
+            self.identical_reports
+        )
+    }
+}
+
+/// The package the fabric benchmark degrades: two default-mesh chips
+/// on a pair fabric whose reply links run at `lat_mult` x the request
+/// hop latency and `reply_width` flits/cycle.
+pub fn fabric_bench_config(lat_mult: u32, reply_width: u32) -> SystemConfig {
+    let d = FabricConfig::default();
+    SystemConfig {
+        fabric: Some(FabricConfig {
+            reply_hop_latency: d.reply_hop_latency * lat_mult,
+            reply_link_flits: reply_width,
+            ..d
+        }),
+        ..SystemConfig::default()
+    }
+}
+
+/// Run the scheme matrix across [`FABRIC_POINTS`] and self-check the
+/// DR cells (the scheme whose engine path exercises delegation plus the
+/// fabric) against the reference loop and the sharded engine.
+pub fn run_fabric_bench(warm: u64, cycles: u64) -> FabricBenchResult {
+    let (gpu, cpu) = ("HS", "bodytrack");
+    let mut points = Vec::with_capacity(FABRIC_POINTS.len());
+    let mut identical_reports = true;
+    for (lat_mult, reply_width) in FABRIC_POINTS {
+        let base = fabric_bench_config(lat_mult, reply_width);
+        let run = |scheme: Scheme, ff: bool, shards: usize| {
+            let mut cfg = base.clone();
+            cfg.scheme = scheme;
+            measure(cfg, gpu, cpu, warm, cycles, ff, shards)
+        };
+        let baseline = run(Scheme::Baseline, true, 1);
+        let rp = run(Scheme::rp_default(), true, 1);
+        let dr = run(Scheme::DelegatedReplies, true, 1);
+        identical_reports &= run(Scheme::DelegatedReplies, false, 1) == dr;
+        identical_reports &= run(Scheme::DelegatedReplies, true, 2) == dr;
+        points.push(FabricPoint {
+            lat_mult,
+            reply_width,
+            baseline,
+            rp,
+            dr,
+        });
+    }
+    FabricBenchResult {
+        chips: fabric_bench_config(1, 4).chips(),
+        warm,
+        cycles,
+        points,
         identical_reports,
     }
 }

@@ -26,7 +26,7 @@ use clognet_bench::runner::default_threads;
 use clognet_cli::args::{Args, ParseArgsError};
 use clognet_cli::config::{config_from, CONFIG_KEYS};
 use clognet_cli::{cluster_cmd, driver, report, serve_cmd, timeline};
-use clognet_core::{System, TelemetryConfig, TickEngine};
+use clognet_core::{MultiChipSystem, System, TelemetryConfig, TickEngine};
 use clognet_proto::{Scheme, SystemConfig};
 
 fn main() {
@@ -92,12 +92,18 @@ fn shard_count(args: &Args, cfg: &SystemConfig) -> Result<usize, ParseArgsError>
     Ok(n)
 }
 
-/// Apply a validated `--shards` count to a freshly built system.
-fn apply_shards(sys: &mut System, shards: usize) {
+/// Apply a validated `--shards` count to a freshly built package.
+fn apply_shards(sys: &mut MultiChipSystem, shards: usize) {
     if shards > 1 {
         sys.set_tick_engine(TickEngine::Sharded(shards))
             .expect("shard count validated against this config");
     }
+}
+
+/// Validate the `--chips` / `--fabric-*` combination up front, exactly
+/// like [`shard_count`] does for `--shards`.
+fn check_fabric(cfg: &SystemConfig) -> Result<(), ParseArgsError> {
+    clognet_core::validate_fabric(cfg).map_err(|e| ParseArgsError(format!("--chips/--fabric: {e}")))
 }
 
 /// Telemetry epoch length from `--sample` (default 500 cycles).
@@ -136,6 +142,7 @@ fn cmd_run(args: &Args) -> Result<(), ParseArgsError> {
     let warm = args.get_num("warm", 6_000u64)?;
     let cycles = args.get_num("cycles", 15_000u64)?;
     let cfg = config_from(args)?;
+    check_fabric(&cfg)?;
     let scheme = cfg.scheme;
     let metrics_path = args.get("metrics");
     let csv_path = args.get("csv");
@@ -157,7 +164,7 @@ fn cmd_run(args: &Args) -> Result<(), ParseArgsError> {
         ));
     }
     let shards = shard_count(args, &cfg)?;
-    let mut sys = System::new(cfg, gpu, cpu);
+    let mut sys = MultiChipSystem::new(cfg, gpu, cpu);
     sys.set_fast_forward(!args.flag("no-ff"));
     apply_shards(&mut sys, shards);
     if want_telemetry {
@@ -219,9 +226,10 @@ fn cmd_timeline(args: &Args) -> Result<(), ParseArgsError> {
     let cycles = args.get_num("cycles", 20_000u64)?;
     let cols = args.get_num("width-cols", 72usize)?;
     let cfg = config_from(args)?;
+    check_fabric(&cfg)?;
     let scheme = cfg.scheme;
     let shards = shard_count(args, &cfg)?;
-    let mut sys = System::new(cfg, gpu, cpu);
+    let mut sys = MultiChipSystem::new(cfg, gpu, cpu);
     sys.set_fast_forward(!args.flag("no-ff"));
     apply_shards(&mut sys, shards);
     sys.enable_telemetry(TelemetryConfig {
@@ -265,6 +273,7 @@ fn cmd_compare(args: &Args) -> Result<(), ParseArgsError> {
         println!("comparing schemes on {gpu}+{cpu} ({warm} warm + {cycles} measured cycles)\n");
     }
     let base = config_from(args)?;
+    check_fabric(&base)?;
     let shards = shard_count(args, &base)?;
     let rows = match args.get("warm-from") {
         Some(mode) => {
@@ -326,6 +335,7 @@ fn cmd_sweep(args: &Args) -> Result<(), ParseArgsError> {
         );
     }
     let base = config_from(args)?;
+    check_fabric(&base)?;
     // Sweep parameters never resize the mesh, so one validation against
     // the base config covers every point.
     let shards = shard_count(args, &base)?;
@@ -385,6 +395,7 @@ fn cmd_bench(args: &Args) -> Result<(), ParseArgsError> {
         "json",
         "shards",
         "warm-start",
+        "fabric",
     ])?;
     // `--warm-start` switches to the snapshot-fork harness: the same
     // warm-started sweep timed cold vs forked. Its defaults make the
@@ -413,6 +424,11 @@ fn cmd_bench(args: &Args) -> Result<(), ParseArgsError> {
     // one big-mesh simulation at 1, 2, 4, ... shards.
     if args.get("shards").is_some() {
         return cmd_shard_bench(args, warm, cycles);
+    }
+    // `--fabric` switches to the inter-chip degradation matrix: a
+    // 2-chip package whose reply links get slower and narrower.
+    if args.flag("fabric") {
+        return cmd_fabric_bench(args, warm, cycles);
     }
     let threads = thread_count(args)?;
     let r = driver::run_bench(threads, warm, cycles);
@@ -489,6 +505,41 @@ fn cmd_shard_bench(args: &Args, warm: u64, cycles: u64) -> Result<(), ParseArgsE
     Ok(())
 }
 
+/// `clognet bench --fabric`: run the three schemes across the 2-chip
+/// reply-link degradation matrix and emit the `BENCH_fabric.json`
+/// artifact (the inter-chip analogue of the paper's headline figure).
+fn cmd_fabric_bench(args: &Args, warm: u64, cycles: u64) -> Result<(), ParseArgsError> {
+    let r = driver::run_fabric_bench(warm, cycles);
+    let doc = r.to_json();
+    if args.flag("json") || args.get("out").is_none() {
+        println!("{doc}");
+    }
+    if let Some(path) = args.get("out") {
+        write_file(path, &format!("{doc}\n"))?;
+        eprintln!("wrote fabric-degradation report to {path}");
+    }
+    if !args.flag("json") {
+        eprintln!(
+            "fabric degradation on a {}-chip package ({} warm + {} measured cycles, \
+             reports identical across engines: {}):",
+            r.chips, r.warm, r.cycles, r.identical_reports
+        );
+        for p in &r.points {
+            eprintln!(
+                "  reply {:>2}x latency, {} flits/cy: base {:.2} | rp {:.2} | dr {:.2} IPC \
+                 (dr/base {:.3})",
+                p.lat_mult,
+                p.reply_width,
+                p.baseline.gpu_ipc,
+                p.rp.gpu_ipc,
+                p.dr.gpu_ipc,
+                p.dr.gpu_ipc / p.baseline.gpu_ipc
+            );
+        }
+    }
+    Ok(())
+}
+
 /// `clognet bench --warm-start`: time the warm-started injbuf sweep
 /// cold (warmup per variant) vs forked (warmup once, snapshot forked
 /// per variant) and emit the `BENCH_warmstart.json` artifact.
@@ -538,8 +589,9 @@ fn cmd_snapshot(args: &Args) -> Result<(), ParseArgsError> {
         ));
     }
     let cfg = config_from(args)?;
+    check_fabric(&cfg)?;
     let shards = shard_count(args, &cfg)?;
-    let mut sys = System::new(cfg, gpu, cpu);
+    let mut sys = MultiChipSystem::new(cfg, gpu, cpu);
     sys.set_fast_forward(!args.flag("no-ff"));
     apply_shards(&mut sys, shards);
     sys.run(warm);
@@ -567,7 +619,7 @@ fn cmd_resume(args: &Args) -> Result<(), ParseArgsError> {
     let bytes = std::fs::read(path).map_err(|e| ParseArgsError(format!("reading {path}: {e}")))?;
     let snap = clognet_core::Snapshot::from_bytes(bytes)
         .map_err(|e| ParseArgsError(format!("{path} is not a usable snapshot: {e}")))?;
-    let mut sys = System::restore(&snap)
+    let mut sys = MultiChipSystem::restore(&snap)
         .map_err(|e| ParseArgsError(format!("{path} failed to restore: {e}")))?;
     if let Some(s) = args.get("scheme") {
         sys.set_scheme(clognet_cli::config::parse_scheme(s)?);
@@ -614,13 +666,22 @@ fn cmd_trace(args: &Args) -> Result<(), ParseArgsError> {
     let cycles = args.get_num("cycles", 4_000u64)?;
     let last = args.get_num("last", 40usize)?;
     let mut cfg = config_from(args)?;
+    check_fabric(&cfg)?;
+    if cfg.chips() > 1 {
+        return Err(ParseArgsError(
+            "trace is single-chip only; drop --chips / --fabric-*".into(),
+        ));
+    }
     if args.get("scheme").is_none() {
         cfg.scheme = Scheme::DelegatedReplies;
     }
     let shards = shard_count(args, &cfg)?;
     let mut sys = System::new(cfg, gpu, cpu);
     sys.set_fast_forward(!args.flag("no-ff"));
-    apply_shards(&mut sys, shards);
+    if shards > 1 {
+        sys.set_tick_engine(TickEngine::Sharded(shards))
+            .expect("shard count validated against this config");
+    }
     sys.run(warm);
     sys.enable_trace(65_536);
     sys.run(cycles);
@@ -725,6 +786,17 @@ fn print_help() {
          \x20 --threads <n>      compare/sweep/bench worker threads (default: all cores)\n\
          \x20 --shards <n>       spatial shards ticking one simulation in parallel\n\
          \x20                    (must divide the mesh rows; bench: max of scaling curve)\n\n\
+         MULTI-CHIP OPTIONS (run/compare/sweep/timeline/snapshot/serve):\n\
+         \x20 --chips <n>        chips in the package (default 1 = no fabric)\n\
+         \x20 --fabric-topology <t>   pair | ring | all (default: pair, ring when >2)\n\
+         \x20 --fabric-width <f>      request link width, flits/cycle (default 4)\n\
+         \x20 --fabric-latency <n>    request per-hop latency in cycles (default 4)\n\
+         \x20 --fabric-reply-width <f>   reply link width, flits/cycle (default 4)\n\
+         \x20 --fabric-reply-latency <n> reply per-hop latency in cycles (default 4)\n\
+         \x20 --fabric-queue <n>      per-link queue depth in packets (default 8)\n\
+         \x20 --fabric-gateways <n>   gateway mem-nodes per chip (default 2)\n\
+         \x20 --fabric-interleave <i> hash | modulo line-to-chip homing (default hash)\n\
+         \x20 --fabric           bench: scheme matrix across reply-link degradation\n\n\
          SNAPSHOT OPTIONS:\n\
          \x20 --warm-from <m>    compare/sweep: fork (warm once, fork per variant) |\n\
          \x20                    each (re-warm per variant, same semantics) | <snap file>\n\
@@ -769,6 +841,8 @@ fn print_help() {
          \x20 clognet resume --from warm.snap --cycles 4000 --set injbuf=4\n\
          \x20 clognet bench --quick --out BENCH_smoke.json\n\
          \x20 clognet bench --shards 4 --out BENCH_shards.json\n\
+         \x20 clognet compare --chips 2 --fabric-reply-latency 40 --json\n\
+         \x20 clognet bench --fabric --quick --out BENCH_fabric.json\n\
          \x20 clognet bench --warm-start --out BENCH_warmstart.json\n\
          \x20 clognet serve --workers 4 &\n\
          \x20 clognet submit --gpu MM --cpu canneal --scheme dr\n\
@@ -828,5 +902,43 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(e.0.contains("mesh rows"), "{e}");
+    }
+
+    #[test]
+    fn run_rejects_degenerate_fabric_configs_up_front() {
+        // Structurally impossible packages fail before any simulation
+        // is built, mirroring the --shards validation above.
+        let e = dispatch(args_of(&["run", "--chips", "0"])).unwrap_err();
+        assert!(e.0.contains("chips must be at least 1"), "{e}");
+        let e = dispatch(args_of(&["run", "--chips", "2", "--fabric-width", "0"])).unwrap_err();
+        assert!(e.0.contains("link width"), "{e}");
+        let e = dispatch(args_of(&["run", "--chips", "2", "--fabric-queue", "0"])).unwrap_err();
+        assert!(e.0.contains("queue"), "{e}");
+        // More gateways than the chip has memory nodes (default mesh
+        // has 8) cannot be wired.
+        let e = dispatch(args_of(&["run", "--chips", "2", "--fabric-gateways", "99"])).unwrap_err();
+        assert!(e.0.contains("memory nodes"), "{e}");
+        // The pair topology only spans two chips.
+        let e = dispatch(args_of(&[
+            "run",
+            "--chips",
+            "4",
+            "--fabric-topology",
+            "pair",
+        ]))
+        .unwrap_err();
+        assert!(e.0.contains("pair"), "{e}");
+    }
+
+    #[test]
+    fn fabric_options_without_chips_error() {
+        let e = dispatch(args_of(&["run", "--chips", "1", "--fabric-width", "8"])).unwrap_err();
+        assert!(e.0.contains("--chips 2 or more"), "{e}");
+    }
+
+    #[test]
+    fn trace_rejects_multi_chip_packages() {
+        let e = dispatch(args_of(&["trace", "--chips", "2"])).unwrap_err();
+        assert!(e.0.contains("single-chip"), "{e}");
     }
 }

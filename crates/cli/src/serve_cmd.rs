@@ -14,7 +14,7 @@ use crate::args::{Args, ParseArgsError};
 use crate::cluster_cmd::{parse_peers, CLUSTER_KEYS};
 use crate::config::{config_from, CONFIG_KEYS};
 use crate::report;
-use clognet_core::{Snapshot, System, TickEngine};
+use clognet_core::{MultiChipSystem, Snapshot, TickEngine};
 use clognet_proto::{
     canonical_job, fingerprint_hex, job_fingerprint, snapshot_key, HashRing, SystemConfig,
 };
@@ -73,6 +73,8 @@ impl SimHandler {
             .map_err(|e| JobError::bad_request(e.0))?;
         clognet_core::validate_shards(&cfg, shards)
             .map_err(|e| JobError::bad_request(format!("shards: {e}")))?;
+        clognet_core::validate_fabric(&cfg)
+            .map_err(|e| JobError::bad_request(format!("chips/fabric: {e}")))?;
         Ok((cfg, !args.flag("no-ff"), shards))
     }
 }
@@ -116,7 +118,7 @@ impl JobHandler for SimHandler {
     ) -> Result<(String, Option<Vec<u8>>), JobError> {
         let (cfg, ff, shards) = Self::resolve(spec)?;
         let scheme = cfg.scheme;
-        let mut sys = System::new(cfg, &spec.gpu, &spec.cpu);
+        let mut sys = MultiChipSystem::new(cfg, &spec.gpu, &spec.cpu);
         sys.set_fast_forward(ff);
         if shards > 1 {
             sys.set_tick_engine(TickEngine::Sharded(shards))
@@ -150,7 +152,7 @@ impl JobHandler for SimHandler {
                     && snap.cpu_bench() == spec.cpu
                     && snap.cycle() == spec.warm
             })
-            .and_then(|snap| System::restore(&snap).ok());
+            .and_then(|snap| MultiChipSystem::restore(&snap).ok());
         let Some(mut sys) = restored else {
             return self.run(spec, deadline);
         };
@@ -167,7 +169,7 @@ impl JobHandler for SimHandler {
 
 /// Simulate `total` cycles in [`DEADLINE_CHUNK`]-sized steps, checking
 /// the wall-time deadline between chunks.
-fn chunked(sys: &mut System, total: u64, deadline: Instant) -> Result<(), JobError> {
+fn chunked(sys: &mut MultiChipSystem, total: u64, deadline: Instant) -> Result<(), JobError> {
     let mut remaining = total;
     while remaining > 0 {
         if Instant::now() >= deadline {
@@ -548,6 +550,56 @@ mod tests {
         let mut other_cycles = a.clone();
         other_cycles.cycles += 500;
         assert_eq!(h.snapshot_key(&other_cycles), Some(key));
+    }
+
+    #[test]
+    fn fabric_knobs_are_identity_knobs_for_both_cache_tiers() {
+        // Unlike `no-ff`/`shards`, every `--chips`/`--fabric-*` option
+        // changes what is simulated: a 2-chip job must never hit the
+        // single-chip cache entry, and degrading a fabric link must
+        // miss both the result cache and the snapshot tier.
+        let h = SimHandler;
+        let a = JobSpec::new("HS", "bodytrack");
+        let fp = h.fingerprint(&a).unwrap();
+        let key = h.snapshot_key(&a).expect("warmup > 0 has a key");
+        let mut chips = a.clone();
+        chips.opts.insert("chips".into(), "2".into());
+        assert_ne!(h.fingerprint(&chips).unwrap(), fp);
+        assert_ne!(h.snapshot_key(&chips), Some(key));
+        let mut degraded = chips.clone();
+        degraded
+            .opts
+            .insert("fabric-reply-latency".into(), "40".into());
+        assert_ne!(
+            h.fingerprint(&degraded).unwrap(),
+            h.fingerprint(&chips).unwrap()
+        );
+        assert_ne!(h.snapshot_key(&degraded), h.snapshot_key(&chips));
+        // Spelling the defaults out loud still lands on a distinct
+        // entry from no fabric at all (a package is not a chip), but
+        // execution-mode knobs on a fabric job stay excluded.
+        let mut sharded = chips.clone();
+        sharded.opts.insert("shards".into(), "2".into());
+        assert_eq!(
+            h.fingerprint(&sharded).unwrap(),
+            h.fingerprint(&chips).unwrap()
+        );
+        assert_eq!(h.snapshot_key(&sharded), h.snapshot_key(&chips));
+    }
+
+    #[test]
+    fn degenerate_fabric_jobs_are_rejected_as_bad_requests() {
+        let h = SimHandler;
+        let mut spec = JobSpec::new("HS", "bodytrack");
+        spec.opts.insert("chips".into(), "2".into());
+        spec.opts.insert("fabric-gateways".into(), "99".into());
+        let err = h.fingerprint(&spec).unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+        assert!(err.message.contains("memory nodes"), "{}", err.message);
+        let mut zero = JobSpec::new("HS", "bodytrack");
+        zero.opts.insert("chips".into(), "0".into());
+        let err = h.fingerprint(&zero).unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! ```
 
 pub mod memnode;
+pub mod multichip;
 pub mod nets;
 pub mod report;
 pub mod snapshot;
@@ -31,6 +32,7 @@ pub mod trace;
 
 pub use clognet_telemetry::TelemetryConfig;
 pub use memnode::{MemNode, MemNodeStats, PendingReply};
+pub use multichip::{validate_fabric, FabricSummary, MultiChipSystem};
 pub use nets::Nets;
 pub use report::{MissBreakdown, Report};
 pub use snapshot::Snapshot;

@@ -18,8 +18,8 @@ use clognet_gpu::{GpuIn, GpuOut, GpuSubsystem};
 use clognet_noc::{Network, ShardError};
 use clognet_proto::snap::{self as snap, SnapError};
 use clognet_proto::{
-    AddressMap, CoreId, Cycle, Layout, LineAddr, MsgKind, NodeId, NodeKind, Packet, PacketId,
-    Priority, Scheme, SystemConfig, TrafficClass,
+    AddressMap, CoreId, Cycle, FabricConfig, FabricInterleave, Layout, LineAddr, MsgKind, NodeId,
+    NodeKind, Packet, PacketId, Priority, Scheme, SystemConfig, TrafficClass,
 };
 use clognet_telemetry::TelemetryConfig;
 use clognet_workloads::{cpu_benchmark, gpu_benchmark};
@@ -62,6 +62,62 @@ struct Outbox {
 
 const OUTBOX_CAP: usize = 16;
 
+/// A chip's attachment point to the inter-chip fabric: which package
+/// slot this chip occupies, how line addresses map to owner chips, and
+/// the gateway memory nodes that carry cross-chip traffic on and off
+/// chip. `None` on a plain single-chip system — every fabric branch in
+/// the hot paths compiles down to one `is_some` test.
+#[derive(Debug)]
+pub(crate) struct FabricPort {
+    /// This chip's index in the package.
+    chip: usize,
+    /// Total chips in the package.
+    chips: usize,
+    interleave: FabricInterleave,
+    /// The *package* seed (identical on every chip, so all chips agree
+    /// on line ownership even though per-chip address maps differ).
+    seed: u64,
+    /// Gateway nodes in dense `MemId` order (the first
+    /// `FabricConfig::gateways` memory nodes).
+    gateways: Vec<NodeId>,
+    /// Outbound cross-chip requests awaiting fabric handoff, in
+    /// ejection order. Bounded by `egress_cap`; a full egress
+    /// back-pressures the gateway's NI (head-of-line, deterministic).
+    egress: VecDeque<Packet>,
+    egress_cap: usize,
+}
+
+impl FabricPort {
+    /// Avalanche a line address with the package seed — the same fold
+    /// the [`AddressMap`] uses, salted so chip interleaving and
+    /// controller interleaving decorrelate.
+    fn fold(&self, line: LineAddr) -> u64 {
+        let mut x = line.0 ^ self.seed.rotate_left(17) ^ 0xC2B2_AE3D_27D4_EB4F;
+        x ^= x >> 7;
+        x ^= x >> 13;
+        x ^= x >> 23;
+        x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 31;
+        x
+    }
+
+    /// The chip that owns `line` under the package interleaving.
+    fn chip_of(&self, line: LineAddr) -> usize {
+        match self.interleave {
+            FabricInterleave::Modulo => (line.0 % self.chips as u64) as usize,
+            FabricInterleave::Hash => (self.fold(line) % self.chips as u64) as usize,
+        }
+    }
+
+    /// The gateway index `line` routes through — a pure function of the
+    /// line and the package seed, so the request (on the origin chip)
+    /// and its reply (returning through the owner chip) meet at the
+    /// same gateway slot on both sides.
+    fn gateway_index_for(&self, line: LineAddr) -> usize {
+        ((self.fold(line) >> 8) % self.gateways.len() as u64) as usize
+    }
+}
+
 /// The assembled chip.
 #[derive(Debug)]
 pub struct System {
@@ -86,6 +142,8 @@ pub struct System {
     trace: TraceLog,
     telemetry: Option<Box<SystemTelemetry>>,
     blocked_since: Vec<Option<Cycle>>,
+    /// Inter-chip fabric attachment (`None` on a plain single chip).
+    port: Option<FabricPort>,
     /// Scratch buffers reused across ticks.
     gpu_out: Vec<(CoreId, GpuOut)>,
     cpu_out: Vec<(CoreId, CpuOut)>,
@@ -180,6 +238,7 @@ impl System {
             trace: TraceLog::new(4096),
             telemetry: None,
             blocked_since: vec![None; cfg.n_mem],
+            port: None,
             gpu_out: Vec::new(),
             cpu_out: Vec::new(),
             gpu_budgets: Vec::new(),
@@ -211,8 +270,131 @@ impl System {
     }
 
     fn mem_node_of(&self, line: LineAddr) -> NodeId {
+        // Lines owned by another chip in the package route to this
+        // chip's gateway for the line instead of a local controller.
+        if let Some(port) = &self.port {
+            if port.chip_of(line) != port.chip {
+                return port.gateways[port.gateway_index_for(line)];
+            }
+        }
         let mc = self.map.controller_of(line);
         self.layout.mem_node(mc)
+    }
+
+    /// Attach this chip to an inter-chip fabric as package slot `chip`.
+    /// `seed` is the *package* seed — identical on every chip so all
+    /// chips agree on line ownership. Call once, before ticking.
+    pub(crate) fn attach_fabric_port(&mut self, chip: usize, fc: &FabricConfig, seed: u64) {
+        let gateways: Vec<NodeId> = self.layout.mem_nodes().take(fc.gateways).collect();
+        assert!(
+            !gateways.is_empty() && gateways.len() == fc.gateways,
+            "gateway count exceeds memory nodes (validate_fabric should have rejected this)"
+        );
+        self.port = Some(FabricPort {
+            chip,
+            chips: fc.chips,
+            interleave: fc.interleave,
+            seed,
+            gateways,
+            egress: VecDeque::new(),
+            egress_cap: fc.queue_pkts,
+        });
+    }
+
+    /// The owner chip of `line` under the attached fabric port.
+    pub(crate) fn fabric_chip_of(&self, line: LineAddr) -> usize {
+        self.port
+            .as_ref()
+            .expect("fabric port attached")
+            .chip_of(line)
+    }
+
+    /// Head of the outbound cross-chip request queue.
+    pub(crate) fn peek_egress(&self) -> Option<&Packet> {
+        self.port.as_ref().and_then(|p| p.egress.front())
+    }
+
+    /// Pop the outbound cross-chip request queue.
+    pub(crate) fn pop_egress(&mut self) -> Option<Packet> {
+        self.port.as_mut().and_then(|p| p.egress.pop_front())
+    }
+
+    /// Head of gateway `gi`'s parked cross-chip replies. On a chip with
+    /// a fabric port, every reply ejected at a memory node is bound for
+    /// another chip (local requesters are never memory nodes), so the
+    /// reply-net ejection queue at a gateway is exactly the fabric
+    /// reply staging queue.
+    pub(crate) fn peek_gateway_reply(&self, gi: usize) -> Option<&Packet> {
+        let gw = self.port.as_ref().expect("fabric port attached").gateways[gi];
+        self.nets.net(TrafficClass::Reply).peek_ejected(gw)
+    }
+
+    /// Pop gateway `gi`'s parked cross-chip reply queue.
+    pub(crate) fn pop_gateway_reply(&mut self, gi: usize) -> Option<Packet> {
+        let gw = self.port.as_ref().expect("fabric port attached").gateways[gi];
+        self.nets.net_mut(TrafficClass::Reply).pop_ejected(gw)
+    }
+
+    /// Inject a fabric-delivered cross-chip *request* at its gateway:
+    /// the adapter re-stamps the packet as a local request from the
+    /// gateway node to the line's home controller, with the gateway as
+    /// requester (so the reply returns to the gateway, and delegation —
+    /// which needs a GPU-core requester — is naturally suppressed).
+    ///
+    /// Returns the gateway index on success, `None` when gateway
+    /// injection is blocked (leave the message queued and retry next
+    /// cycle — fabric arrival back-pressure).
+    pub(crate) fn fabric_ingress_request(&mut self, pkt: &Packet) -> Option<usize> {
+        let line = pkt.addr.line(128);
+        let port = self.port.as_ref().expect("fabric port attached");
+        debug_assert_eq!(port.chip_of(line), port.chip, "misrouted fabric request");
+        let mc = self.map.controller_of(line);
+        let home = self.layout.mem_node(mc);
+        // The gateway proxies both NoC legs (gateway -> home request,
+        // home -> gateway reply), so it must differ from the line's
+        // home controller — a self-send on either leg is illegal. At
+        // most one gateway can be the home, and `validate_fabric`
+        // guarantees at least two, so stepping once always resolves.
+        let mut gi = port.gateway_index_for(line);
+        if port.gateways[gi] == home {
+            gi = (gi + 1) % port.gateways.len();
+        }
+        let gw = port.gateways[gi];
+        if !self.nets.can_inject(gw, TrafficClass::Request, pkt.prio) {
+            return None;
+        }
+        let mut local = pkt.clone();
+        local.id = self.next_pid();
+        local.src = gw;
+        local.dst = home;
+        local.requester = gw;
+        local.created = self.now;
+        self.nets
+            .try_inject(local)
+            .expect("can_inject checked above");
+        Some(gi)
+    }
+
+    /// Inject a fabric-delivered cross-chip *reply* at this chip's
+    /// gateway for the line, re-addressed to the original requester
+    /// `origin`. Returns false when gateway injection is blocked.
+    pub(crate) fn fabric_ingress_reply(&mut self, origin: NodeId, pkt: &Packet) -> bool {
+        let line = pkt.addr.line(128);
+        let port = self.port.as_ref().expect("fabric port attached");
+        let gw = port.gateways[port.gateway_index_for(line)];
+        if !self.nets.can_inject(gw, TrafficClass::Reply, pkt.prio) {
+            return false;
+        }
+        let mut local = pkt.clone();
+        local.id = self.next_pid();
+        local.src = gw;
+        local.dst = origin;
+        local.requester = origin;
+        local.created = self.now;
+        self.nets
+            .try_inject(local)
+            .expect("can_inject checked above");
+        true
     }
 
     /// Advance the whole chip by one cycle.
@@ -316,14 +498,16 @@ impl System {
     /// jump lands on a component horizon rather than a clamp (i.e. the
     /// landing cycle has component work). `None` when any component
     /// still has same-cycle work — the caller must tick normally.
-    fn quiescent_horizon(&mut self, end: Cycle) -> Option<(Cycle, bool)> {
+    pub(crate) fn quiescent_horizon(&mut self, end: Cycle) -> Option<(Cycle, bool)> {
         // Undelivered packets — in flight or parked in an ejection
-        // queue — and queued outbox packets are same-cycle work.
+        // queue — queued outbox packets, and cross-chip requests
+        // awaiting fabric handoff are same-cycle work.
         if self.nets.in_flight() > 0
             || self
                 .outboxes
                 .iter()
                 .any(|ob| !ob.request.is_empty() || !ob.reply.is_empty())
+            || self.port.as_ref().is_some_and(|p| !p.egress.is_empty())
         {
             return None;
         }
@@ -363,7 +547,7 @@ impl System {
 
     /// Jump the clock across `span` provably-dead cycles, integrating
     /// the skipped span into every per-cycle accumulator.
-    fn advance_span(&mut self, span: u64) {
+    pub(crate) fn advance_span(&mut self, span: u64) {
         debug_assert!(span > 0);
         self.cpu.advance(span);
         self.gpu.advance(span);
@@ -415,11 +599,30 @@ impl System {
     /// when telemetry was never enabled. Idempotent.
     pub fn finish_telemetry(&mut self) -> Option<&SystemTelemetry> {
         let report = self.report();
+        self.finish_telemetry_with(&report);
+        self.telemetry.as_deref()
+    }
+
+    /// Seal open clog episodes and fill the metric registry from a
+    /// caller-supplied report — the multi-chip wrapper passes the
+    /// package-level aggregate instead of this chip's own report.
+    pub(crate) fn finish_telemetry_with(&mut self, report: &Report) {
         let now = self.now;
         if let Some(t) = self.telemetry.as_deref_mut() {
-            t.populate_registry(&report, &self.nets, now);
+            t.populate_registry(report, &self.nets, now);
         }
-        self.telemetry.as_deref()
+    }
+
+    /// Mutable telemetry access for the multi-chip wrapper (fabric
+    /// series registration and per-epoch staging).
+    pub(crate) fn telemetry_mut(&mut self) -> Option<&mut SystemTelemetry> {
+        self.telemetry.as_deref_mut()
+    }
+
+    /// Set the cycle clock directly (multi-chip restore: the package
+    /// snapshot header carries one clock shared by every chip).
+    pub(crate) fn set_now(&mut self, now: Cycle) {
+        self.now = now;
     }
 
     /// Export the whole telemetry session (registry + per-epoch series +
@@ -769,16 +972,55 @@ impl System {
         for mi in 0..self.mems.len() {
             let node = self.mems[mi].node;
             // 1. Accept requests while unblocked (up to 2 per cycle).
+            //    On a fabric-attached chip, requests for lines owned by
+            //    another chip divert to the fabric egress instead of the
+            //    controller (they arrived here because this node is the
+            //    line's gateway); diversion is NI work and does not
+            //    consume the controller's accept budget, but a full
+            //    egress blocks the head (deterministic back-pressure).
             let budget = self.mems[mi].accept_budget().min(2);
-            for _ in 0..budget {
-                let Some(pkt) = self.nets.net_mut(TrafficClass::Request).pop_ejected(node) else {
+            let mut accepted = 0;
+            while let Some(head_addr) = self
+                .nets
+                .net(TrafficClass::Request)
+                .peek_ejected(node)
+                .map(|p| p.addr)
+            {
+                let remote = self
+                    .port
+                    .as_ref()
+                    .is_some_and(|p| p.chip_of(head_addr.line(128)) != p.chip);
+                if remote {
+                    let port = self.port.as_ref().expect("checked above");
+                    if port.egress.len() >= port.egress_cap {
+                        break;
+                    }
+                    let pkt = self
+                        .nets
+                        .net_mut(TrafficClass::Request)
+                        .pop_ejected(node)
+                        .expect("peeked");
+                    self.port
+                        .as_mut()
+                        .expect("checked above")
+                        .egress
+                        .push_back(pkt);
+                    continue;
+                }
+                if accepted >= budget {
                     break;
-                };
+                }
+                let pkt = self
+                    .nets
+                    .net_mut(TrafficClass::Request)
+                    .pop_ejected(node)
+                    .expect("peeked");
                 let layout = &self.layout;
                 self.mems[mi].process_request(&pkt, now, |n| match layout.kind_of(n) {
                     NodeKind::Gpu(c) => Some(c),
                     _ => None,
                 });
+                accepted += 1;
             }
             // 2. Memory-side progress.
             self.mems[mi].tick_memory(now);
@@ -968,6 +1210,19 @@ impl System {
     /// results.
     pub fn snapshot(&self) -> Snapshot {
         let mut w = snapshot::begin_snapshot(&self.cfg, &self.gpu_bench, &self.cpu_bench, self.now);
+        // Multi-chip tag: false = this body is one plain chip. The
+        // multi-chip wrapper writes true followed by a chip count and
+        // one body per chip.
+        w.bool(false);
+        self.save_body(&mut w);
+        Snapshot::from_bytes(w.into_bytes()).expect("just-written snapshot parses")
+    }
+
+    /// Serialize this chip's mutable state (everything after the
+    /// identifying prefix and the multi-chip tag). The fabric egress
+    /// section is present exactly when a port is attached — the restore
+    /// side attaches ports before loading, so both sides agree.
+    pub(crate) fn save_body(&self, w: &mut snap::SnapWriter) {
         w.u64(self.pkt_seq);
         w.u64(self.stats_epoch);
         w.u64(self.skipped_cycles);
@@ -982,29 +1237,34 @@ impl System {
         for ob in &self.outboxes {
             w.usize(ob.request.len());
             for p in &ob.request {
-                snap::save_packet(&mut w, p);
+                snap::save_packet(w, p);
             }
             w.usize(ob.reply.len());
             for p in &ob.reply {
-                snap::save_packet(&mut w, p);
+                snap::save_packet(w, p);
             }
         }
-        self.gpu.save_state(&mut w);
-        self.cpu.save_state(&mut w);
+        self.gpu.save_state(w);
+        self.cpu.save_state(w);
         w.usize(self.mems.len());
         for m in &self.mems {
-            m.save_state(&mut w);
+            m.save_state(w);
         }
-        self.nets.save_state(&mut w);
-        self.trace.save_state(&mut w);
+        self.nets.save_state(w);
+        self.trace.save_state(w);
         match self.telemetry.as_deref() {
             Some(t) => {
                 w.bool(true);
-                t.save_state(&mut w);
+                t.save_state(w);
             }
             None => w.bool(false),
         }
-        Snapshot::from_bytes(w.into_bytes()).expect("just-written snapshot parses")
+        if let Some(port) = &self.port {
+            w.usize(port.egress.len());
+            for p in &port.egress {
+                snap::save_packet(w, p);
+            }
+        }
     }
 
     /// Rebuild a system from a [`Snapshot`]: construct a fresh system
@@ -1025,12 +1285,29 @@ impl System {
             return Err(SnapError::Corrupt("unknown CPU benchmark in snapshot"));
         }
         let mut r = snapshot::body_reader(snapshot)?;
+        if r.bool()? {
+            let chips = r.usize()?;
+            return Err(SnapError::ChipMismatch {
+                snapshot: chips,
+                expected: 1,
+            });
+        }
         let mut sys = System::new(
             snapshot.config().clone(),
             snapshot.gpu_bench(),
             snapshot.cpu_bench(),
         );
         sys.now = snapshot.cycle();
+        sys.load_body(&mut r)?;
+        r.finish()?;
+        Ok(sys)
+    }
+
+    /// Deserialize one chip body written by [`save_body`](Self::save_body)
+    /// into a freshly-constructed system (port already attached when
+    /// restoring a multi-chip package).
+    pub(crate) fn load_body(&mut self, r: &mut snap::SnapReader<'_>) -> Result<(), SnapError> {
+        let sys = self;
         sys.pkt_seq = r.u64()?;
         sys.stats_epoch = r.u64()?;
         sys.skipped_cycles = r.u64()?;
@@ -1050,34 +1327,40 @@ impl System {
             let n = r.usize()?;
             ob.request.clear();
             for _ in 0..n {
-                ob.request.push_back(snap::load_packet(&mut r)?);
+                ob.request.push_back(snap::load_packet(r)?);
             }
             let n = r.usize()?;
             ob.reply.clear();
             for _ in 0..n {
-                ob.reply.push_back(snap::load_packet(&mut r)?);
+                ob.reply.push_back(snap::load_packet(r)?);
             }
         }
-        sys.gpu.load_state(&mut r)?;
-        sys.cpu.load_state(&mut r)?;
+        sys.gpu.load_state(r)?;
+        sys.cpu.load_state(r)?;
         if r.usize()? != sys.mems.len() {
             return Err(SnapError::Corrupt("memory node count mismatch"));
         }
         for m in &mut sys.mems {
-            m.load_state(&mut r)?;
+            m.load_state(r)?;
         }
-        sys.nets.load_state(&mut r)?;
-        sys.trace = TraceLog::load_state(&mut r)?;
+        sys.nets.load_state(r)?;
+        sys.trace = TraceLog::load_state(r)?;
         sys.telemetry = if r.bool()? {
-            Some(Box::new(SystemTelemetry::load_state(
-                &mut r,
-                sys.mems.len(),
-            )?))
+            Some(Box::new(SystemTelemetry::load_state(r, sys.mems.len())?))
         } else {
             None
         };
-        r.finish()?;
-        Ok(sys)
+        if let Some(port) = &mut sys.port {
+            let n = r.usize()?;
+            if n > port.egress_cap {
+                return Err(SnapError::Corrupt("fabric egress overflows capacity"));
+            }
+            port.egress.clear();
+            for _ in 0..n {
+                port.egress.push_back(snap::load_packet(r)?);
+            }
+        }
+        Ok(())
     }
 
     /// Apply a warm-applicable sweep parameter to a running (typically

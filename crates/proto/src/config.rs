@@ -470,6 +470,105 @@ impl Default for NocConfig {
     }
 }
 
+/// Inter-chip fabric topology (second-level interconnect above the
+/// per-chip NoCs; see DESIGN.md §13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FabricTopology {
+    /// Point-to-point pair: exactly two chips joined by one
+    /// bidirectional link (two directed links).
+    Pair,
+    /// Unidirectional-distance ring: each chip links to both neighbors;
+    /// routing takes the shorter direction (ties go clockwise).
+    Ring,
+    /// Fully-connected package: a directed link between every ordered
+    /// chip pair; every message is a single hop.
+    All,
+}
+
+impl FabricTopology {
+    /// All fabric topologies, smallest first.
+    pub const ALL: [FabricTopology; 3] = [
+        FabricTopology::Pair,
+        FabricTopology::Ring,
+        FabricTopology::All,
+    ];
+
+    /// Figure label.
+    pub fn label(self) -> &'static str {
+        match self {
+            FabricTopology::Pair => "Pair",
+            FabricTopology::Ring => "Ring",
+            FabricTopology::All => "All",
+        }
+    }
+}
+
+/// How cache lines are interleaved across chips in a multi-chip package.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FabricInterleave {
+    /// Seeded XOR-fold hash of the line address (the same family as the
+    /// on-chip [`AddressMap`](crate::AddressMap)); spreads hot sets.
+    Hash,
+    /// Plain modulo of the line address — adversarially simple striping,
+    /// useful for constructing worst-case cross-chip traffic.
+    Modulo,
+}
+
+impl FabricInterleave {
+    /// Figure label.
+    pub fn label(self) -> &'static str {
+        match self {
+            FabricInterleave::Hash => "Hash",
+            FabricInterleave::Modulo => "Modulo",
+        }
+    }
+}
+
+/// Inter-chip fabric parameters. All of these are **identity knobs**:
+/// every field changes simulated behavior, so every field participates
+/// in the canonical fingerprint and in snapshots. The fabric has no
+/// execution-mode knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FabricConfig {
+    /// Number of chips in the package (each one a full `System`).
+    pub chips: usize,
+    /// Inter-chip topology.
+    pub topology: FabricTopology,
+    /// Request-plane link bandwidth in flits per cycle per directed link.
+    pub link_flits: u32,
+    /// Request-plane per-hop latency in cycles.
+    pub hop_latency: u32,
+    /// Link-controller queue depth in packets (per directed link);
+    /// full queues back-pressure the sender hop-by-hop.
+    pub queue_pkts: usize,
+    /// Gateway count per chip: the first `gateways` memory nodes (in
+    /// dense `MemId` order) carry cross-chip traffic on and off chip.
+    pub gateways: usize,
+    /// Line-address interleaving across chips.
+    pub interleave: FabricInterleave,
+    /// Reply-plane link bandwidth in flits per cycle per directed link
+    /// (the headline experiment degrades this independently).
+    pub reply_link_flits: u32,
+    /// Reply-plane per-hop latency in cycles.
+    pub reply_hop_latency: u32,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig {
+            chips: 2,
+            topology: FabricTopology::Pair,
+            link_flits: 4,
+            hop_latency: 4,
+            queue_pkts: 8,
+            gateways: 2,
+            interleave: FabricInterleave::Hash,
+            reply_link_flits: 4,
+            reply_hop_latency: 4,
+        }
+    }
+}
+
 /// The complete simulated-system configuration (Table I defaults).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SystemConfig {
@@ -505,6 +604,9 @@ pub struct SystemConfig {
     pub cta_sched: CtaSched,
     /// Random seed for the address-mapping hash and workloads.
     pub seed: u64,
+    /// Inter-chip fabric; `None` = single-chip system (the default, and
+    /// byte-identical to builds that predate the fabric).
+    pub fabric: Option<FabricConfig>,
 }
 
 impl Default for SystemConfig {
@@ -526,6 +628,7 @@ impl Default for SystemConfig {
             l1_org: L1Org::Private,
             cta_sched: CtaSched::RoundRobin,
             seed: 0x0C10_64E7,
+            fabric: None,
         }
     }
 }
@@ -547,9 +650,20 @@ impl SystemConfig {
         )
     }
 
-    /// Total node count.
+    /// Total node count (per chip).
     pub fn nodes(&self) -> usize {
         self.mesh_width * self.mesh_height
+    }
+
+    /// Number of chips in the package (1 when no fabric is configured).
+    pub fn chips(&self) -> usize {
+        self.fabric.as_ref().map_or(1, |f| f.chips)
+    }
+
+    /// Attach an inter-chip fabric.
+    pub fn with_fabric(mut self, fabric: FabricConfig) -> Self {
+        self.fabric = Some(fabric);
+        self
     }
 
     /// Set CDR routing orders `(request, reply)`.
@@ -633,6 +747,20 @@ mod tests {
             .with_routing(RoutingPolicy::DorXY, RoutingPolicy::DorYX);
         assert_eq!(c.scheme, Scheme::DelegatedReplies);
         assert_eq!(c.noc.routing_request, RoutingPolicy::DorXY);
+    }
+
+    #[test]
+    fn fabric_defaults_and_chip_count() {
+        let c = SystemConfig::default();
+        assert!(c.fabric.is_none());
+        assert_eq!(c.chips(), 1);
+        let f = FabricConfig::default();
+        assert_eq!(f.chips, 2);
+        assert_eq!(f.topology, FabricTopology::Pair);
+        assert_eq!(f.link_flits, 4);
+        assert_eq!(f.reply_link_flits, 4);
+        let c = c.with_fabric(f);
+        assert_eq!(c.chips(), 2);
     }
 
     #[test]

@@ -21,7 +21,8 @@
 //! silently violate the cache's byte-identity contract.
 
 use crate::config::{
-    CacheGeometry, CtaSched, L1Org, LayoutKind, RoutingPolicy, Scheme, SystemConfig, Topology,
+    CacheGeometry, CtaSched, FabricInterleave, FabricTopology, L1Org, LayoutKind, RoutingPolicy,
+    Scheme, SystemConfig, Topology,
 };
 use crate::fxhash::FxHasher;
 use std::fmt::Write as _;
@@ -34,7 +35,12 @@ use std::hash::Hasher;
 /// order instead of hash-map iteration order (required for snapshot
 /// restore to be byte-identical), which can reorder RP probe sends under
 /// the per-cycle budget and therefore shift reports.
-pub const FINGERPRINT_VERSION: u32 = 2;
+///
+/// v3: [`SystemConfig`] gained the optional inter-chip fabric; every
+/// `FabricConfig` field is an identity knob and enters the canonical
+/// string (as `fabric=none;` when absent). The fabric has no
+/// execution-mode knobs.
+pub const FINGERPRINT_VERSION: u32 = 3;
 
 fn push_kv(out: &mut String, key: &str, value: impl std::fmt::Display) {
     let _ = write!(out, "{key}={value};");
@@ -181,6 +187,36 @@ pub fn canonical_config(cfg: &SystemConfig) -> String {
         },
     );
     push_kv(&mut out, "seed", cfg.seed);
+    // Inter-chip fabric: all fields are identity knobs (DESIGN.md §13).
+    match &cfg.fabric {
+        Some(fab) => {
+            push_kv(&mut out, "fabric.chips", fab.chips);
+            push_kv(
+                &mut out,
+                "fabric.topology",
+                match fab.topology {
+                    FabricTopology::Pair => "pair",
+                    FabricTopology::Ring => "ring",
+                    FabricTopology::All => "all",
+                },
+            );
+            push_kv(&mut out, "fabric.width", fab.link_flits);
+            push_kv(&mut out, "fabric.latency", fab.hop_latency);
+            push_kv(&mut out, "fabric.queue", fab.queue_pkts);
+            push_kv(&mut out, "fabric.gateways", fab.gateways);
+            push_kv(
+                &mut out,
+                "fabric.interleave",
+                match fab.interleave {
+                    FabricInterleave::Hash => "hash",
+                    FabricInterleave::Modulo => "modulo",
+                },
+            );
+            push_kv(&mut out, "fabric.reply_width", fab.reply_link_flits);
+            push_kv(&mut out, "fabric.reply_latency", fab.reply_hop_latency);
+        }
+        None => push_kv(&mut out, "fabric", "none"),
+    }
     out
 }
 
@@ -269,12 +305,43 @@ mod tests {
         });
         cfg.gpu.flush_interval = None;
         let s = canonical_config(&cfg);
-        assert!(s.starts_with("clognet-fp-v2;"));
+        assert!(s.starts_with("clognet-fp-v3;"));
         assert!(s.contains("noc.vnets=1+3;"));
         assert!(s.contains("gpu.flush=none;"));
         assert!(s.contains("scheme=baseline;"));
+        assert!(s.contains("fabric=none;"));
         // Optional fields must differ from their `none` spellings.
         assert_ne!(s, canonical_config(&SystemConfig::default()));
+    }
+
+    #[test]
+    fn every_fabric_knob_is_an_identity_knob() {
+        use crate::config::FabricConfig;
+        let base = SystemConfig::default().with_fabric(FabricConfig::default());
+        let fp = job_fingerprint(&base, "HS", "bodytrack", 500, 2000);
+        let sk = snapshot_key(&base, "HS", "bodytrack", 500);
+        // Attaching a fabric at all must move both keys.
+        let plain = SystemConfig::default();
+        assert_ne!(fp, job_fingerprint(&plain, "HS", "bodytrack", 500, 2000));
+        assert_ne!(sk, snapshot_key(&plain, "HS", "bodytrack", 500));
+        // Every FabricConfig field must move both keys.
+        let variants: [fn(&mut FabricConfig); 9] = [
+            |f| f.chips = 4,
+            |f| f.topology = FabricTopology::Ring,
+            |f| f.link_flits = 1,
+            |f| f.hop_latency = 40,
+            |f| f.queue_pkts = 3,
+            |f| f.gateways = 1,
+            |f| f.interleave = FabricInterleave::Modulo,
+            |f| f.reply_link_flits = 1,
+            |f| f.reply_hop_latency = 40,
+        ];
+        for v in variants {
+            let mut cfg = base.clone();
+            v(cfg.fabric.as_mut().unwrap());
+            assert_ne!(fp, job_fingerprint(&cfg, "HS", "bodytrack", 500, 2000));
+            assert_ne!(sk, snapshot_key(&cfg, "HS", "bodytrack", 500));
+        }
     }
 
     #[test]

@@ -43,8 +43,9 @@
 //! ```
 
 use crate::config::{
-    CacheGeometry, CpuConfig, CtaSched, DrKnobs, DramConfig, GpuConfig, L1Org, LayoutKind,
-    LlcConfig, NocConfig, RoutingPolicy, Scheme, SystemConfig, Topology, VirtualNetConfig,
+    CacheGeometry, CpuConfig, CtaSched, DrKnobs, DramConfig, FabricConfig, FabricInterleave,
+    FabricTopology, GpuConfig, L1Org, LayoutKind, LlcConfig, NocConfig, RoutingPolicy, Scheme,
+    SystemConfig, Topology, VirtualNetConfig,
 };
 use crate::ids::{Addr, NodeId};
 use crate::packet::{MsgKind, Packet, PacketId, Priority};
@@ -56,7 +57,12 @@ pub const SNAP_MAGIC: [u8; 8] = *b"CLOGSNAP";
 /// Snapshot format version. Bump whenever the field order or the set of
 /// serialized fields changes; old snapshots are rejected rather than
 /// misinterpreted.
-pub const SNAP_VERSION: u32 = 1;
+///
+/// * v1 — initial format.
+/// * v2 — [`SystemConfig`] gained the optional inter-chip fabric tail,
+///   and system bodies open with a chip-arrangement tag (single-chip
+///   vs. multi-chip).
+pub const SNAP_VERSION: u32 = 2;
 
 /// Why a snapshot byte stream could not be decoded.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -79,6 +85,15 @@ pub enum SnapError {
     /// A decoded value violates a structural invariant (e.g. a slot
     /// index beyond the packet table).
     Corrupt(&'static str),
+    /// The snapshot's chip arrangement does not match the restoring
+    /// system: a single-chip snapshot fed to a multi-chip config, or
+    /// vice versa, or a different chip count.
+    ChipMismatch {
+        /// Chips recorded in the snapshot (1 = single-chip body).
+        snapshot: usize,
+        /// Chips the restoring system expects.
+        expected: usize,
+    },
 }
 
 impl fmt::Display for SnapError {
@@ -95,6 +110,11 @@ impl fmt::Display for SnapError {
             SnapError::BadTag { what, tag } => write!(f, "invalid {what} tag {tag}"),
             SnapError::TrailingBytes(n) => write!(f, "{n} trailing bytes after snapshot"),
             SnapError::Corrupt(what) => write!(f, "corrupt snapshot: {what}"),
+            SnapError::ChipMismatch { snapshot, expected } => write!(
+                f,
+                "snapshot chip arrangement mismatch: snapshot has {snapshot} chip(s), \
+                 system expects {expected}"
+            ),
         }
     }
 }
@@ -529,6 +549,29 @@ pub fn save_config(w: &mut SnapWriter, c: &SystemConfig) {
         CtaSched::Distributed => 1,
     });
     w.u64(c.seed);
+    // fabric (v2 tail)
+    match &c.fabric {
+        Some(fab) => {
+            w.bool(true);
+            w.usize(fab.chips);
+            w.u8(match fab.topology {
+                FabricTopology::Pair => 0,
+                FabricTopology::Ring => 1,
+                FabricTopology::All => 2,
+            });
+            w.u32(fab.link_flits);
+            w.u32(fab.hop_latency);
+            w.usize(fab.queue_pkts);
+            w.usize(fab.gateways);
+            w.u8(match fab.interleave {
+                FabricInterleave::Hash => 0,
+                FabricInterleave::Modulo => 1,
+            });
+            w.u32(fab.reply_link_flits);
+            w.u32(fab.reply_hop_latency);
+        }
+        None => w.bool(false),
+    }
 }
 
 fn routing_tag(p: RoutingPolicy) -> u8 {
@@ -661,6 +704,31 @@ pub fn load_config(r: &mut SnapReader<'_>) -> Result<SystemConfig, SnapError> {
         1 => CtaSched::Distributed,
         t => return Err(tag_err("cta_sched", t)),
     };
+    let seed = r.u64()?;
+    let fabric = if r.bool()? {
+        Some(FabricConfig {
+            chips: r.usize()?,
+            topology: match r.u8()? {
+                0 => FabricTopology::Pair,
+                1 => FabricTopology::Ring,
+                2 => FabricTopology::All,
+                t => return Err(tag_err("fabric_topology", t)),
+            },
+            link_flits: r.u32()?,
+            hop_latency: r.u32()?,
+            queue_pkts: r.usize()?,
+            gateways: r.usize()?,
+            interleave: match r.u8()? {
+                0 => FabricInterleave::Hash,
+                1 => FabricInterleave::Modulo,
+                t => return Err(tag_err("fabric_interleave", t)),
+            },
+            reply_link_flits: r.u32()?,
+            reply_hop_latency: r.u32()?,
+        })
+    } else {
+        None
+    };
     Ok(SystemConfig {
         layout,
         mesh_width,
@@ -677,7 +745,8 @@ pub fn load_config(r: &mut SnapReader<'_>) -> Result<SystemConfig, SnapError> {
         dr,
         l1_org,
         cta_sched,
-        seed: r.u64()?,
+        seed,
+        fabric,
     })
 }
 
@@ -759,6 +828,17 @@ mod tests {
         c.gpu.flush_interval = None;
         c.dr.delegate_always = true;
         c.seed = 0x1357_9BDF;
+        c.fabric = Some(FabricConfig {
+            chips: 3,
+            topology: FabricTopology::Ring,
+            link_flits: 2,
+            hop_latency: 9,
+            queue_pkts: 5,
+            gateways: 4,
+            interleave: FabricInterleave::Modulo,
+            reply_link_flits: 1,
+            reply_hop_latency: 40,
+        });
         let mut w = SnapWriter::new();
         save_config(&mut w, &c);
         let b = w.into_bytes();
