@@ -24,6 +24,7 @@ const FLAG_KEYS: &[&str] = &[
     "owner",
     "warm-start",
     "fabric",
+    "adaptive",
 ];
 
 /// A parse failure with a user-facing message.

@@ -2,12 +2,12 @@
 
 use crate::args::{Args, ParseArgsError};
 use clognet_proto::{
-    CtaSched, FabricConfig, FabricInterleave, FabricTopology, L1Org, LayoutKind, RoutingPolicy,
-    Scheme, SystemConfig, Topology, VirtualNetConfig,
+    ControlConfig, ControlPolicyKind, CtaSched, FabricConfig, FabricInterleave, FabricTopology,
+    L1Org, LayoutKind, RoutingPolicy, Scheme, SystemConfig, Topology, VirtualNetConfig,
 };
 
 /// Options shared by `run`, `compare`, and `sweep`.
-pub const CONFIG_KEYS: [&str; 21] = [
+pub const CONFIG_KEYS: [&str; 29] = [
     "gpu",
     "cpu",
     "scheme",
@@ -20,6 +20,7 @@ pub const CONFIG_KEYS: [&str; 21] = [
     "vnets",
     "seed",
     "mesh",
+    "injbuf",
     "chips",
     "fabric-topology",
     "fabric-width",
@@ -29,6 +30,13 @@ pub const CONFIG_KEYS: [&str; 21] = [
     "fabric-interleave",
     "fabric-reply-width",
     "fabric-reply-latency",
+    "control",
+    "control-interval",
+    "control-enter",
+    "control-exit",
+    "control-enter-episode",
+    "control-exit-episode",
+    "control-dwell",
 ];
 
 /// The fabric subset of [`CONFIG_KEYS`] (every one an identity knob —
@@ -43,6 +51,18 @@ pub const FABRIC_KEYS: [&str; 9] = [
     "fabric-interleave",
     "fabric-reply-width",
     "fabric-reply-latency",
+];
+
+/// The adaptive-control subset of [`CONFIG_KEYS`] (every one an
+/// identity knob — see the fingerprint tests in `clognet-proto`).
+pub const CONTROL_KEYS: [&str; 7] = [
+    "control",
+    "control-interval",
+    "control-enter",
+    "control-exit",
+    "control-enter-episode",
+    "control-exit-episode",
+    "control-dwell",
 ];
 
 /// Parse a scheme name.
@@ -187,7 +207,12 @@ pub fn config_from(args: &Args) -> Result<SystemConfig, ParseArgsError> {
         cfg.n_gpu = w * h - 3 * h;
     }
     cfg.seed = args.get_num("seed", cfg.seed)?;
+    cfg.noc.mem_inj_buf_pkts = args.get_num("injbuf", cfg.noc.mem_inj_buf_pkts)?;
+    if cfg.noc.mem_inj_buf_pkts == 0 {
+        return Err(ParseArgsError("--injbuf must be at least 1".into()));
+    }
     apply_fabric(args, &mut cfg)?;
+    apply_control(args, &mut cfg)?;
     Ok(cfg)
 }
 
@@ -253,6 +278,68 @@ fn apply_fabric(args: &Args, cfg: &mut SystemConfig) -> Result<(), ParseArgsErro
     Ok(())
 }
 
+/// Fold the `--control*` options into `cfg.control`, mirroring
+/// [`apply_fabric`]: `--control <policy>` switches the adaptive loop on
+/// (threshold defaults filled in from [`ControlConfig::default`]);
+/// `--control none` keeps the static config (`control: None`),
+/// byte-identical to builds that never mention the controller.
+fn apply_control(args: &Args, cfg: &mut SystemConfig) -> Result<(), ParseArgsError> {
+    if !CONTROL_KEYS.iter().any(|k| args.get(k).is_some()) {
+        return Ok(());
+    }
+    let thresholds_given = CONTROL_KEYS[1..].iter().any(|k| args.get(k).is_some());
+    let policy = match args.get("control") {
+        None => {
+            return Err(ParseArgsError(
+                "--control-* options require --control noop|hysteresis".into(),
+            ))
+        }
+        Some(s) => match s.to_ascii_lowercase().as_str() {
+            "none" | "off" => {
+                if thresholds_given {
+                    return Err(ParseArgsError(
+                        "--control-* options require --control noop|hysteresis".into(),
+                    ));
+                }
+                cfg.control = None;
+                return Ok(());
+            }
+            "noop" | "no-op" => ControlPolicyKind::NoOp,
+            "hysteresis" | "adaptive" => ControlPolicyKind::Hysteresis,
+            other => {
+                return Err(ParseArgsError(format!(
+                    "unknown control policy `{other}` (none|noop|hysteresis)"
+                )))
+            }
+        },
+    };
+    let d = ControlConfig::default();
+    let interval = args.get_num("control-interval", d.interval)?;
+    if interval == 0 {
+        return Err(ParseArgsError(
+            "--control-interval must be at least 1".into(),
+        ));
+    }
+    let enter_blocked_pm = args.get_num("control-enter", d.enter_blocked_pm)?;
+    let exit_blocked_pm = args.get_num("control-exit", d.exit_blocked_pm)?;
+    if exit_blocked_pm > enter_blocked_pm {
+        return Err(ParseArgsError(format!(
+            "--control-exit {exit_blocked_pm} must not exceed --control-enter \
+             {enter_blocked_pm} (hysteresis needs exit <= enter)"
+        )));
+    }
+    cfg.control = Some(ControlConfig {
+        policy,
+        interval,
+        enter_blocked_pm,
+        exit_blocked_pm,
+        enter_episode: args.get_num("control-enter-episode", d.enter_episode)?,
+        exit_episode: args.get_num("control-exit-episode", d.exit_episode)?,
+        dwell: args.get_num("control-dwell", d.dwell)?,
+    });
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -305,5 +392,63 @@ mod tests {
         assert!(config_from(&parse("run --vnets 22")).is_err());
         assert!(config_from(&parse("run --mesh big")).is_err());
         assert!(config_from(&parse("run --routing diagonal")).is_err());
+        assert!(config_from(&parse("run --injbuf 0")).is_err());
+    }
+
+    #[test]
+    fn injbuf_retargets_the_injection_buffer() {
+        let c = config_from(&parse("run --injbuf 4")).unwrap();
+        assert_eq!(c.noc.mem_inj_buf_pkts, 4);
+        let d = config_from(&parse("run")).unwrap();
+        assert_eq!(
+            d.noc.mem_inj_buf_pkts,
+            SystemConfig::default().noc.mem_inj_buf_pkts
+        );
+    }
+
+    #[test]
+    fn control_defaults_to_none_and_switches_on_explicitly() {
+        assert_eq!(config_from(&parse("run")).unwrap().control, None);
+        assert_eq!(
+            config_from(&parse("run --control none")).unwrap().control,
+            None
+        );
+        let c = config_from(&parse("run --control hysteresis")).unwrap();
+        assert_eq!(c.control, Some(ControlConfig::default()));
+        let c = config_from(&parse("run --control noop")).unwrap();
+        assert_eq!(c.control.unwrap().policy, ControlPolicyKind::NoOp);
+    }
+
+    #[test]
+    fn control_thresholds_override_the_defaults() {
+        let c = config_from(&parse(
+            "run --control hysteresis --control-interval 250 --control-enter 400 \
+             --control-exit 10 --control-enter-episode 800 --control-exit-episode 1600 \
+             --control-dwell 3",
+        ))
+        .unwrap();
+        let ctl = c.control.unwrap();
+        assert_eq!(ctl.interval, 250);
+        assert_eq!(ctl.enter_blocked_pm, 400);
+        assert_eq!(ctl.exit_blocked_pm, 10);
+        assert_eq!(ctl.enter_episode, 800);
+        assert_eq!(ctl.exit_episode, 1600);
+        assert_eq!(ctl.dwell, 3);
+    }
+
+    #[test]
+    fn degenerate_control_combinations_error() {
+        // Threshold knobs without a policy, or alongside an explicit
+        // `none`, are contradictions, not silent defaults.
+        assert!(config_from(&parse("run --control-interval 100")).is_err());
+        assert!(config_from(&parse("run --control none --control-dwell 1")).is_err());
+        assert!(config_from(&parse("run --control bogus")).is_err());
+        assert!(config_from(&parse("run --control hysteresis --control-interval 0")).is_err());
+        // An exit threshold above the enter threshold inverts the
+        // hysteresis band.
+        assert!(config_from(&parse(
+            "run --control hysteresis --control-enter 100 --control-exit 200"
+        ))
+        .is_err());
     }
 }

@@ -13,7 +13,7 @@ use crate::args::ParseArgsError;
 use crate::report;
 use clognet_bench::runner::{run_jobs, run_jobs_with_state, timed};
 use clognet_core::{MultiChipSystem, Report, Snapshot, System, TickEngine};
-use clognet_proto::{AddressMap, FabricConfig, Layout, Scheme, SystemConfig};
+use clognet_proto::{AddressMap, ControlConfig, FabricConfig, Layout, Scheme, SystemConfig};
 
 /// Build, warm, measure, and report one workload under one config.
 /// `ff` selects event-horizon fast-forward (the default) or the
@@ -1121,6 +1121,204 @@ pub fn run_fabric_bench(warm: u64, cycles: u64) -> FabricBenchResult {
     }
 }
 
+/// Like [`measure`], but also report how many times the adaptive
+/// controller actuated a scheme switch (0 for static configs).
+pub fn control_measure(
+    cfg: SystemConfig,
+    gpu: &str,
+    cpu: &str,
+    warm: u64,
+    cycles: u64,
+) -> (Report, usize) {
+    let mut sys = MultiChipSystem::new(cfg, gpu, cpu);
+    sys.run(warm);
+    sys.reset_stats();
+    sys.run(cycles);
+    let actuations = sys.control_actuations();
+    (sys.report(), actuations)
+}
+
+/// The workload-intensity matrix `bench --adaptive` sweeps: workload
+/// pairings from clog-heavy to nearly idle, each at a tight and a
+/// roomy memory-node injection buffer. The adaptive controller should
+/// track the best static scheme at both ends.
+pub const CONTROL_POINTS: [(&str, &str, usize); 4] = [
+    ("HS", "bodytrack", 4),
+    ("HS", "bodytrack", 16),
+    ("MM", "canneal", 4),
+    ("NN", "swaptions", 16),
+];
+
+/// One point of the adaptive-control benchmark: the three static
+/// schemes and the hysteresis controller on the same workload.
+pub struct ControlPoint {
+    /// GPU benchmark.
+    pub gpu: &'static str,
+    /// CPU benchmark.
+    pub cpu: &'static str,
+    /// Memory-node injection buffer depth (packets).
+    pub injbuf: usize,
+    /// Report under static [`Scheme::Baseline`].
+    pub baseline: Report,
+    /// Report under the static default Realistic Probing fanout.
+    pub rp: Report,
+    /// Report under static [`Scheme::DelegatedReplies`].
+    pub dr: Report,
+    /// Report under the hysteresis controller (base scheme Baseline).
+    pub adaptive: Report,
+    /// Scheme switches the controller actuated across warm + measured.
+    pub actuations: usize,
+}
+
+impl ControlPoint {
+    /// GPU IPC of the best static scheme at this point.
+    pub fn best_static_ipc(&self) -> f64 {
+        self.baseline
+            .gpu_ipc
+            .max(self.rp.gpu_ipc)
+            .max(self.dr.gpu_ipc)
+    }
+
+    /// GPU IPC of the worst static scheme at this point.
+    pub fn worst_static_ipc(&self) -> f64 {
+        self.baseline
+            .gpu_ipc
+            .min(self.rp.gpu_ipc)
+            .min(self.dr.gpu_ipc)
+    }
+}
+
+/// Result of `clognet bench --adaptive`: the adaptive-vs-static matrix
+/// plus the no-op-policy byte-identity self-check (the
+/// `BENCH_control.json` artifact).
+pub struct ControlBenchResult {
+    /// Warmup cycles per cell (controller active, stats excluded).
+    pub warm: u64,
+    /// Measured cycles per cell.
+    pub cycles: u64,
+    /// One entry per matrix point, in [`CONTROL_POINTS`] order.
+    pub points: Vec<ControlPoint>,
+    /// Whether every no-op-policy cell reproduced its uncontrolled
+    /// twin byte-for-byte — the controller's observe-only contract,
+    /// re-checked on the benchmark's own runs.
+    pub identical_reports: bool,
+}
+
+impl ControlBenchResult {
+    /// Whether the adaptive controller landed within 5% of the best
+    /// static scheme's GPU IPC on *every* matrix point.
+    pub fn within_5pct_everywhere(&self) -> bool {
+        self.points
+            .iter()
+            .all(|p| p.adaptive.gpu_ipc >= 0.95 * p.best_static_ipc())
+    }
+
+    /// Whether the adaptive controller beat the worst static scheme on
+    /// at least one matrix point — the payoff for not having to pick.
+    pub fn beats_worst_somewhere(&self) -> bool {
+        self.points
+            .iter()
+            .any(|p| p.adaptive.gpu_ipc > p.worst_static_ipc())
+    }
+
+    /// Controller actuations summed across the matrix.
+    pub fn total_actuations(&self) -> usize {
+        self.points.iter().map(|p| p.actuations).sum()
+    }
+
+    /// The `BENCH_control.json` document.
+    pub fn to_json(&self) -> String {
+        let points: Vec<String> = self
+            .points
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"gpu\":\"{}\",\"cpu\":\"{}\",\"injbuf\":{},\
+                     \"baseline_ipc\":{:.4},\"rp_ipc\":{:.4},\"dr_ipc\":{:.4},\
+                     \"adaptive_ipc\":{:.4},\"actuations\":{},\
+                     \"adaptive_over_best\":{:.3},\"adaptive_over_worst\":{:.3}}}",
+                    p.gpu,
+                    p.cpu,
+                    p.injbuf,
+                    p.baseline.gpu_ipc,
+                    p.rp.gpu_ipc,
+                    p.dr.gpu_ipc,
+                    p.adaptive.gpu_ipc,
+                    p.actuations,
+                    if p.best_static_ipc() > 0.0 {
+                        p.adaptive.gpu_ipc / p.best_static_ipc()
+                    } else {
+                        0.0
+                    },
+                    if p.worst_static_ipc() > 0.0 {
+                        p.adaptive.gpu_ipc / p.worst_static_ipc()
+                    } else {
+                        0.0
+                    }
+                )
+            })
+            .collect();
+        format!(
+            "{{\"harness\":\"clognet bench --adaptive\",\"warm\":{},\"cycles\":{},\
+             \"points\":[{}],\"total_actuations\":{},\
+             \"within_5pct_of_best_everywhere\":{},\"beats_worst_somewhere\":{},\
+             \"identical_reports\":{}}}",
+            self.warm,
+            self.cycles,
+            points.join(","),
+            self.total_actuations(),
+            self.within_5pct_everywhere(),
+            self.beats_worst_somewhere(),
+            self.identical_reports
+        )
+    }
+}
+
+/// Run the adaptive-vs-static matrix. Each point measures the three
+/// static schemes, the hysteresis controller rooted at Baseline, and a
+/// no-op-policy leg whose report must match the uncontrolled Baseline
+/// cell byte-for-byte.
+pub fn run_control_bench(warm: u64, cycles: u64) -> ControlBenchResult {
+    let mut points = Vec::with_capacity(CONTROL_POINTS.len());
+    let mut identical_reports = true;
+    for (gpu, cpu, injbuf) in CONTROL_POINTS {
+        let mut base = SystemConfig::default();
+        base.noc.mem_inj_buf_pkts = injbuf;
+        let run_static = |scheme: Scheme| {
+            let mut cfg = base.clone();
+            cfg.scheme = scheme;
+            measure(cfg, gpu, cpu, warm, cycles, true, 1)
+        };
+        let baseline = run_static(Scheme::Baseline);
+        let rp = run_static(Scheme::rp_default());
+        let dr = run_static(Scheme::DelegatedReplies);
+        let mut adaptive_cfg = base.clone();
+        adaptive_cfg.scheme = Scheme::Baseline;
+        adaptive_cfg.control = Some(ControlConfig::default());
+        let (adaptive, actuations) = control_measure(adaptive_cfg, gpu, cpu, warm, cycles);
+        let mut noop_cfg = base.clone();
+        noop_cfg.scheme = Scheme::Baseline;
+        noop_cfg.control = Some(ControlConfig::noop());
+        identical_reports &= measure(noop_cfg, gpu, cpu, warm, cycles, true, 1) == baseline;
+        points.push(ControlPoint {
+            gpu,
+            cpu,
+            injbuf,
+            baseline,
+            rp,
+            dr,
+            adaptive,
+            actuations,
+        });
+    }
+    ControlBenchResult {
+        warm,
+        cycles,
+        points,
+        identical_reports,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1338,6 +1536,45 @@ mod tests {
         assert_eq!(j.matches('[').count(), j.matches(']').count());
         // A leg that was never run reports no speedup rather than NaN.
         assert_eq!(r.speedup_at(2), 0.0);
+    }
+
+    #[test]
+    fn control_bench_json_is_flat_and_balanced() {
+        let mut sys = System::new(SystemConfig::default(), "HS", "bodytrack");
+        sys.run(1_000);
+        let r = sys.report();
+        let mut dr = r.clone();
+        dr.gpu_ipc = r.gpu_ipc * 2.0;
+        let mut adaptive = r.clone();
+        adaptive.gpu_ipc = r.gpu_ipc * 1.95;
+        let result = ControlBenchResult {
+            warm: 100,
+            cycles: 400,
+            points: vec![ControlPoint {
+                gpu: "HS",
+                cpu: "bodytrack",
+                injbuf: 4,
+                baseline: r.clone(),
+                rp: r.clone(),
+                dr,
+                adaptive,
+                actuations: 2,
+            }],
+            identical_reports: true,
+        };
+        // Adaptive is within 5% of the doubled-IPC DR leg and beats
+        // the baseline/rp legs.
+        assert!(result.within_5pct_everywhere());
+        assert!(result.beats_worst_somewhere());
+        assert_eq!(result.total_actuations(), 2);
+        let j = result.to_json();
+        assert!(j.contains("\"harness\":\"clognet bench --adaptive\""));
+        assert!(j.contains("\"within_5pct_of_best_everywhere\":true"));
+        assert!(j.contains("\"beats_worst_somewhere\":true"));
+        assert!(j.contains("\"identical_reports\":true"));
+        assert!(j.contains("\"actuations\":2"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
     }
 
     #[test]

@@ -8,9 +8,10 @@ pub mod args;
 pub mod cluster_cmd;
 pub mod config;
 pub mod driver;
+pub mod fuzz_cmd;
 pub mod report;
 pub mod serve_cmd;
 pub mod timeline;
 
 pub use args::{Args, ParseArgsError};
-pub use config::{config_from, parse_layout, parse_scheme, CONFIG_KEYS};
+pub use config::{config_from, parse_layout, parse_scheme, CONFIG_KEYS, CONTROL_KEYS};

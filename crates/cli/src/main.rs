@@ -12,6 +12,7 @@
 //! clognet bench    [--threads N] [--quick] [--warm-start] [--out BENCH_x.json]
 //! clognet timeline --gpu NN --cpu canneal --scheme baseline     # ASCII clog timeline
 //! clognet trace    --gpu HS --cpu bodytrack [--last N] [--kind k]  # protocol events
+//! clognet fuzz     [--seed N] [--cases N]    # seeded engine-equivalence fuzzing
 //! clognet serve    [--addr HOST:PORT] [--workers N] [--queue N]  # persistent service
 //! clognet cluster  --addr H:P --peers H:P,... [--replicas N]  # sharded service node
 //! clognet cluster-bench [--nodes N] [--quick] [--out BENCH_cluster.json]
@@ -25,8 +26,8 @@
 use clognet_bench::runner::default_threads;
 use clognet_cli::args::{Args, ParseArgsError};
 use clognet_cli::config::{config_from, CONFIG_KEYS};
-use clognet_cli::{cluster_cmd, driver, report, serve_cmd, timeline};
-use clognet_core::{MultiChipSystem, System, TelemetryConfig, TickEngine};
+use clognet_cli::{cluster_cmd, driver, fuzz_cmd, report, serve_cmd, timeline};
+use clognet_core::{DecisionLog, MultiChipSystem, System, TelemetryConfig, TickEngine};
 use clognet_proto::{Scheme, SystemConfig};
 
 fn main() {
@@ -56,6 +57,7 @@ fn dispatch(raw: Vec<String>) -> Result<(), ParseArgsError> {
         "resume" => cmd_resume(&args),
         "timeline" => cmd_timeline(&args),
         "trace" => cmd_trace(&args),
+        "fuzz" => fuzz_cmd::cmd_fuzz(&args),
         "serve" => serve_cmd::cmd_serve(&args),
         "cluster" => cluster_cmd::cmd_cluster(&args),
         "cluster-bench" => cluster_cmd::cmd_cluster_bench(&args),
@@ -115,6 +117,58 @@ fn sample_len(args: &Args) -> Result<u64, ParseArgsError> {
     Ok(n)
 }
 
+/// Telemetry session config from `--sample` plus the episode-detector
+/// thresholds `--episode-enter` (minimum episode duration in cycles)
+/// and `--episode-exit` (re-block merge gap in cycles). Both default
+/// to 0 — record every blocked interval, the historical fold.
+fn telemetry_config(args: &Args) -> Result<TelemetryConfig, ParseArgsError> {
+    Ok(TelemetryConfig {
+        epoch_len: sample_len(args)?,
+        episode_min_duration: args.get_num("episode-enter", 0u64)?,
+        episode_merge_gap: args.get_num("episode-exit", 0u64)?,
+        ..TelemetryConfig::default()
+    })
+}
+
+/// Print a package's adaptive-control decision logs after a run. Human
+/// output gets the scheme switches on stdout; `--json` keeps stdout
+/// byte-identical to an uncontrolled report (and to what `submit`
+/// prints for the same job), so the summary goes to stderr.
+fn print_decision_logs(logs: &[(usize, &DecisionLog)], chips: usize, json: bool) {
+    for (chip, log) in logs {
+        let label = if chips > 1 {
+            format!("chip {chip} ")
+        } else {
+            String::new()
+        };
+        let summary = format!(
+            "{label}control: {} decisions ({} escalations, {} de-escalations)",
+            log.len(),
+            log.escalations(),
+            log.de_escalations()
+        );
+        if json {
+            eprintln!("{summary}");
+            continue;
+        }
+        println!("{summary}");
+        for d in log.entries().iter().filter(|d| d.from_level != d.to_level) {
+            println!(
+                "  cycle {:>8}: {} level {} -> {} (blocked {}‰, streak {} cy, \
+                 inj depth {}, shed {} flits)",
+                d.cycle,
+                d.action.label(),
+                d.from_level,
+                d.to_level,
+                d.max_blocked_pm,
+                d.hot_streak,
+                d.max_inj_depth,
+                d.shed_delta
+            );
+        }
+    }
+}
+
 /// Worker threads from `--threads` (default: available parallelism, or
 /// `CLOGNET_THREADS`).
 fn thread_count(args: &Args) -> Result<usize, ParseArgsError> {
@@ -134,6 +188,8 @@ fn cmd_run(args: &Args) -> Result<(), ParseArgsError> {
         "json",
         "snapshot-every",
         "snapshot-out",
+        "episode-enter",
+        "episode-exit",
     ]);
     args.reject_unknown(&keys)?;
     args.reject_conflicts(&[("json", "csv")])?;
@@ -146,8 +202,11 @@ fn cmd_run(args: &Args) -> Result<(), ParseArgsError> {
     let scheme = cfg.scheme;
     let metrics_path = args.get("metrics");
     let csv_path = args.get("csv");
-    let want_telemetry =
-        metrics_path.is_some() || csv_path.is_some() || args.get("sample").is_some();
+    let want_telemetry = metrics_path.is_some()
+        || csv_path.is_some()
+        || args.get("sample").is_some()
+        || args.get("episode-enter").is_some()
+        || args.get("episode-exit").is_some();
     let snap_every = match args.get("snapshot-every") {
         None => None,
         Some(_) => {
@@ -168,10 +227,7 @@ fn cmd_run(args: &Args) -> Result<(), ParseArgsError> {
     sys.set_fast_forward(!args.flag("no-ff"));
     apply_shards(&mut sys, shards);
     if want_telemetry {
-        sys.enable_telemetry(TelemetryConfig {
-            epoch_len: sample_len(args)?,
-            ..TelemetryConfig::default()
-        });
+        sys.enable_telemetry(telemetry_config(args)?);
     }
     sys.run(warm);
     sys.reset_stats();
@@ -199,6 +255,11 @@ fn cmd_run(args: &Args) -> Result<(), ParseArgsError> {
     } else {
         report::print_report(scheme, &r);
     }
+    print_decision_logs(
+        &sys.decision_logs(),
+        sys.config().chips(),
+        args.flag("json"),
+    );
     if let Some(path) = metrics_path {
         let doc = sys.export_metrics_json().expect("telemetry enabled");
         write_file(path, &doc)?;
@@ -218,7 +279,13 @@ fn write_file(path: &str, contents: &str) -> Result<(), ParseArgsError> {
 
 fn cmd_timeline(args: &Args) -> Result<(), ParseArgsError> {
     let mut keys = run_keys();
-    keys.extend_from_slice(&["sample", "width-cols", "metrics"]);
+    keys.extend_from_slice(&[
+        "sample",
+        "width-cols",
+        "metrics",
+        "episode-enter",
+        "episode-exit",
+    ]);
     args.reject_unknown(&keys)?;
     let gpu = args.get_or("gpu", "NN");
     let cpu = args.get_or("cpu", "canneal");
@@ -232,10 +299,7 @@ fn cmd_timeline(args: &Args) -> Result<(), ParseArgsError> {
     let mut sys = MultiChipSystem::new(cfg, gpu, cpu);
     sys.set_fast_forward(!args.flag("no-ff"));
     apply_shards(&mut sys, shards);
-    sys.enable_telemetry(TelemetryConfig {
-        epoch_len: sample_len(args)?,
-        ..TelemetryConfig::default()
-    });
+    sys.enable_telemetry(telemetry_config(args)?);
     sys.run(warm + cycles);
     sys.finish_telemetry();
     let t = sys.telemetry().expect("telemetry enabled");
@@ -396,6 +460,7 @@ fn cmd_bench(args: &Args) -> Result<(), ParseArgsError> {
         "shards",
         "warm-start",
         "fabric",
+        "adaptive",
     ])?;
     // `--warm-start` switches to the snapshot-fork harness: the same
     // warm-started sweep timed cold vs forked. Its defaults make the
@@ -410,6 +475,21 @@ fn cmd_bench(args: &Args) -> Result<(), ParseArgsError> {
         let warm = args.get_num("warm", dwarm)?;
         let cycles = args.get_num("cycles", dcycles)?;
         return cmd_warmstart_bench(args, warm, cycles);
+    }
+    // `--adaptive` switches to the adaptive-vs-static control matrix:
+    // the hysteresis controller against each static scheme. Its
+    // default warmup is long enough for the controller to finish
+    // climbing the ladder AND for the baseline-warmup transient to
+    // wash out before measurement starts.
+    if args.flag("adaptive") {
+        let (dwarm, dcycles) = if args.flag("quick") {
+            (1_000u64, 2_000u64)
+        } else {
+            (12_000, 15_000)
+        };
+        let warm = args.get_num("warm", dwarm)?;
+        let cycles = args.get_num("cycles", dcycles)?;
+        return cmd_control_bench(args, warm, cycles);
     }
     // Quick mode: just enough cycles to prove the harness works (CI
     // smoke); default mode is long enough for meaningful rates.
@@ -540,6 +620,50 @@ fn cmd_fabric_bench(args: &Args, warm: u64, cycles: u64) -> Result<(), ParseArgs
     Ok(())
 }
 
+/// `clognet bench --adaptive`: run the hysteresis controller against
+/// each static scheme across the workload-intensity matrix and emit
+/// the `BENCH_control.json` artifact (adaptive must track the best
+/// static everywhere and beat the worst somewhere).
+fn cmd_control_bench(args: &Args, warm: u64, cycles: u64) -> Result<(), ParseArgsError> {
+    let r = driver::run_control_bench(warm, cycles);
+    let doc = r.to_json();
+    if args.flag("json") || args.get("out").is_none() {
+        println!("{doc}");
+    }
+    if let Some(path) = args.get("out") {
+        write_file(path, &format!("{doc}\n"))?;
+        eprintln!("wrote adaptive-control report to {path}");
+    }
+    if !args.flag("json") {
+        eprintln!(
+            "adaptive control vs static schemes ({} warm + {} measured cycles, \
+             no-op controller byte-identical to uncontrolled: {}):",
+            r.warm, r.cycles, r.identical_reports
+        );
+        for p in &r.points {
+            eprintln!(
+                "  {:>2}+{:<10} injbuf {:>2}: base {:.2} | rp {:.2} | dr {:.2} | \
+                 adaptive {:.2} IPC ({} actuations, adaptive/best {:.3})",
+                p.gpu,
+                p.cpu,
+                p.injbuf,
+                p.baseline.gpu_ipc,
+                p.rp.gpu_ipc,
+                p.dr.gpu_ipc,
+                p.adaptive.gpu_ipc,
+                p.actuations,
+                p.adaptive.gpu_ipc / p.best_static_ipc()
+            );
+        }
+        eprintln!(
+            "  within 5% of best static everywhere: {}; beats worst static somewhere: {}",
+            r.within_5pct_everywhere(),
+            r.beats_worst_somewhere()
+        );
+    }
+    Ok(())
+}
+
 /// `clognet bench --warm-start`: time the warm-started injbuf sweep
 /// cold (warmup per variant) vs forked (warmup once, snapshot forked
 /// per variant) and emit the `BENCH_warmstart.json` artifact.
@@ -658,7 +782,7 @@ fn cmd_resume(args: &Args) -> Result<(), ParseArgsError> {
 
 fn cmd_trace(args: &Args) -> Result<(), ParseArgsError> {
     let mut keys = run_keys();
-    keys.extend_from_slice(&["last", "kind"]);
+    keys.extend_from_slice(&["last", "kind", "episode-enter", "episode-exit"]);
     args.reject_unknown(&keys)?;
     let gpu = args.get_or("gpu", "HS");
     let cpu = args.get_or("cpu", "bodytrack");
@@ -676,11 +800,17 @@ fn cmd_trace(args: &Args) -> Result<(), ParseArgsError> {
         cfg.scheme = Scheme::DelegatedReplies;
     }
     let shards = shard_count(args, &cfg)?;
+    // Episode thresholds ride on telemetry, so asking for them turns
+    // the episode detector on alongside the protocol trace.
+    let want_episodes = args.get("episode-enter").is_some() || args.get("episode-exit").is_some();
     let mut sys = System::new(cfg, gpu, cpu);
     sys.set_fast_forward(!args.flag("no-ff"));
     if shards > 1 {
         sys.set_tick_engine(TickEngine::Sharded(shards))
             .expect("shard count validated against this config");
+    }
+    if want_episodes {
+        sys.enable_telemetry(telemetry_config(args)?);
     }
     sys.run(warm);
     sys.enable_trace(65_536);
@@ -716,6 +846,15 @@ last {last} events{}:",
     for line in shown.iter().rev().take(last).rev() {
         println!("  {line}");
     }
+    if want_episodes {
+        sys.finish_telemetry();
+        let t = sys.telemetry().expect("telemetry enabled");
+        println!();
+        print!(
+            "{}",
+            timeline::render_episodes(t.session.episodes.episodes())
+        );
+    }
     Ok(())
 }
 
@@ -744,6 +883,7 @@ fn cmd_list() {
     println!("layouts  : a (baseline) | b (edge) | c (clustered) | d (distributed)");
     println!("topologies: mesh | crossbar | fbfly | dragonfly");
     println!("routing  : xy|yx|dyxy|footprint|hare, as <req>-<rep> (e.g. yx-xy)");
+    println!("control  : none (default) | noop | hysteresis (adaptive baseline->rp->dr ladder)");
 }
 
 fn print_help() {
@@ -760,6 +900,7 @@ fn print_help() {
          \x20 bench    time a fixed workload matrix 1- vs N-threaded (JSON report)\n\
          \x20 timeline ASCII per-epoch clog timeline + detected clog episodes\n\
          \x20 trace    protocol-event trace (delegations, blocking, probes)\n\
+         \x20 fuzz     seeded scenario fuzzing of the engine-equivalence contract\n\
          \x20 serve    persistent simulation service (job queue + result cache)\n\
          \x20 cluster  one node of a sharded multi-node service (serve --peers works too)\n\
          \x20 cluster-bench  1-node vs N-node cluster throughput (JSON report)\n\
@@ -780,6 +921,7 @@ fn print_help() {
          \x20 --cta <p>          rr | dist\n\
          \x20 --vnets <a>+<b>    shared physical net with a/b VCs per class\n\
          \x20 --mesh <w>x<h>     scale the chip (node mix kept proportional)\n\
+         \x20 --injbuf <n>       memory-node injection buffer depth in packets\n\
          \x20 --warm/--cycles    warmup / measured cycles (6000 / 15000)\n\
          \x20 --no-ff            disable event-horizon fast-forward (reference loop)\n\
          \x20 --seed <n>         workload + mapping seed\n\
@@ -811,7 +953,20 @@ fn print_help() {
          \x20 --metrics <path>   run/timeline: write the telemetry session as JSON\n\
          \x20 --csv <path>       run: write per-epoch series as CSV\n\
          \x20 --sample <n>       telemetry epoch length in cycles (default 500)\n\
+         \x20 --episode-enter <n> run/timeline/trace: min blocked cycles before an\n\
+         \x20                    episode counts (default 0 = every blocked span)\n\
+         \x20 --episode-exit <n> run/timeline/trace: merge episodes closer than n cycles\n\
          \x20 --json             run/compare/sweep: machine-readable stdout\n\n\
+         CONTROL OPTIONS (run/compare/sweep/timeline/snapshot/serve):\n\
+         \x20 --control <p>      none (default) | noop | hysteresis — epoch-boundary\n\
+         \x20                    adaptive scheme ladder driven by live telemetry\n\
+         \x20 --control-interval <n>      decision interval in cycles (default 500)\n\
+         \x20 --control-enter <permille>  blocked fraction that escalates (default 250)\n\
+         \x20 --control-exit <permille>   blocked fraction that de-escalates (default 50)\n\
+         \x20 --control-enter-episode <n> hot-streak cycles that jump to dr (default 1000)\n\
+         \x20 --control-exit-episode <n>  cold cycles before stepping down (default 2000)\n\
+         \x20 --control-dwell <n>         intervals to hold after a switch (default 2)\n\
+         \x20 --adaptive         bench: adaptive controller vs static scheme matrix\n\n\
          SERVICE OPTIONS:\n\
          \x20 --addr <h:p>       serve/submit/batch endpoint (default 127.0.0.1:9347)\n\
          \x20 --workers <n>      serve: simulation worker threads (default 2)\n\
@@ -844,6 +999,9 @@ fn print_help() {
          \x20 clognet compare --chips 2 --fabric-reply-latency 40 --json\n\
          \x20 clognet bench --fabric --quick --out BENCH_fabric.json\n\
          \x20 clognet bench --warm-start --out BENCH_warmstart.json\n\
+         \x20 clognet run --gpu HS --cpu bodytrack --injbuf 4 --control hysteresis\n\
+         \x20 clognet bench --adaptive --quick --out BENCH_control.json\n\
+         \x20 clognet fuzz --seed 1 --cases 25\n\
          \x20 clognet serve --workers 4 &\n\
          \x20 clognet submit --gpu MM --cpu canneal --scheme dr\n\
          \x20 clognet serve --addr 127.0.0.1:9401 --peers 127.0.0.1:9402,127.0.0.1:9403 &\n\

@@ -603,6 +603,40 @@ mod tests {
     }
 
     #[test]
+    fn control_knobs_are_identity_knobs_for_both_cache_tiers() {
+        // A controlled job simulates something different from an
+        // uncontrolled one (the controller can rewrite the scheme
+        // mid-run), so `--control` and every threshold knob must land
+        // on distinct result-cache and snapshot-tier entries.
+        let h = SimHandler;
+        let a = JobSpec::new("HS", "bodytrack");
+        let fp = h.fingerprint(&a).unwrap();
+        let key = h.snapshot_key(&a).expect("warmup > 0 has a key");
+        let mut ctl = a.clone();
+        ctl.opts.insert("control".into(), "hysteresis".into());
+        assert_ne!(h.fingerprint(&ctl).unwrap(), fp);
+        assert_ne!(h.snapshot_key(&ctl), Some(key));
+        // The no-op policy is byte-identical in behavior but still a
+        // different simulated machine (the controller runs and logs).
+        let mut noop = a.clone();
+        noop.opts.insert("control".into(), "noop".into());
+        assert_ne!(h.fingerprint(&noop).unwrap(), fp);
+        assert_ne!(h.fingerprint(&noop).unwrap(), h.fingerprint(&ctl).unwrap());
+        // Every threshold is part of the identity.
+        let mut tuned = ctl.clone();
+        tuned.opts.insert("control-enter".into(), "400".into());
+        assert_ne!(h.fingerprint(&tuned).unwrap(), h.fingerprint(&ctl).unwrap());
+        assert_ne!(h.snapshot_key(&tuned), h.snapshot_key(&ctl));
+        // Degenerate combinations are rejected as bad requests, not
+        // silently cached under a bogus identity.
+        let mut orphan = a.clone();
+        orphan.opts.insert("control-dwell".into(), "3".into());
+        let err = h.fingerprint(&orphan).unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+        assert!(err.message.contains("--control"), "{}", err.message);
+    }
+
+    #[test]
     fn jobs_without_warmup_have_no_snapshot_key() {
         let h = SimHandler;
         let mut spec = JobSpec::new("HS", "bodytrack");

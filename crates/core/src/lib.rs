@@ -30,6 +30,7 @@ pub mod system;
 pub mod telemetry;
 pub mod trace;
 
+pub use clognet_control::{Action, Decision, DecisionLog};
 pub use clognet_telemetry::TelemetryConfig;
 pub use memnode::{MemNode, MemNodeStats, PendingReply};
 pub use multichip::{validate_fabric, FabricSummary, MultiChipSystem};

@@ -82,6 +82,15 @@ pub fn validate_fabric(cfg: &SystemConfig) -> Result<(), String> {
             f.chips
         ));
     }
+    if f.chips > 1 && cfg.noc.virtual_nets.is_some() {
+        // The gateway adapter separates cross-chip replies from local
+        // requests by physical network; a shared-VC net mixes both
+        // classes in one ejection queue, which the adapter cannot
+        // disentangle. (Found by `clognet fuzz`.)
+        return Err("virtual-net sharing (--vnets) is single-chip only; \
+                    use separate request/reply networks with --chips"
+            .into());
+    }
     Ok(())
 }
 
@@ -405,7 +414,13 @@ impl MultiChipSystem {
                     let pos = self.returns[c][gi]
                         .iter()
                         .position(|e| e.addr == addr && e.prio == prio && e.kind == kind)
-                        .expect("gateway reply without a return entry");
+                        .unwrap_or_else(|| {
+                            panic!(
+                                "gateway reply without a return entry: chip {c} gw {gi} \
+                                 kind {kind:?} prio {prio:?} addr {addr:?}; entries: {:?}",
+                                self.returns[c][gi]
+                            )
+                        });
                     let e = self.returns[c][gi][pos];
                     if !self.fabric.as_ref().expect("multi-chip").can_send(
                         TrafficClass::Reply,
@@ -648,6 +663,25 @@ impl MultiChipSystem {
         for c in &mut self.chips {
             c.set_scheme(scheme);
         }
+    }
+
+    /// Per-chip adaptive-control decision logs, in package-slot order.
+    /// Empty when the configuration carries no control policy; each
+    /// chip runs its own controller, so the logs can diverge.
+    pub fn decision_logs(&self) -> Vec<(usize, &clognet_control::DecisionLog)> {
+        self.chips
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.decision_log().map(|l| (i, l)))
+            .collect()
+    }
+
+    /// Escalations plus de-escalations recorded across all chips.
+    pub fn control_actuations(&self) -> usize {
+        self.decision_logs()
+            .iter()
+            .map(|(_, l)| l.escalations() + l.de_escalations())
+            .sum()
     }
 
     /// The package-level report: a 1-chip package returns the inner

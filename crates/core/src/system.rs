@@ -13,6 +13,7 @@ use crate::report::{MissBreakdown, Report};
 use crate::snapshot::{self, Snapshot};
 use crate::telemetry::SystemTelemetry;
 use crate::trace::{Event, TraceLog};
+use clognet_control::{ControlInput, Controller, DecisionLog};
 use clognet_cpu::{CpuOut, CpuSubsystem};
 use clognet_gpu::{GpuIn, GpuOut, GpuSubsystem};
 use clognet_noc::{Network, ShardError};
@@ -141,6 +142,8 @@ pub struct System {
     skipped_cycles: u64,
     trace: TraceLog,
     telemetry: Option<Box<SystemTelemetry>>,
+    /// Adaptive control loop (`None` unless `cfg.control` is set).
+    control: Option<Box<Controller>>,
     blocked_since: Vec<Option<Cycle>>,
     /// Inter-chip fabric attachment (`None` on a plain single chip).
     port: Option<FabricPort>,
@@ -151,6 +154,9 @@ pub struct System {
     gpu_remote_budgets: Vec<usize>,
     cpu_budgets: Vec<usize>,
     gpu_forwards: Vec<(CoreId, GpuOut)>,
+    ctl_blocked: Vec<u64>,
+    ctl_depth: Vec<usize>,
+    ctl_shed: Vec<u64>,
 }
 
 impl System {
@@ -217,6 +223,9 @@ impl System {
         let outboxes = (0..layout.node_count())
             .map(|_| Outbox::default())
             .collect();
+        let control = cfg
+            .control
+            .map(|ctl| Box::new(Controller::new(ctl, cfg.scheme, cfg.n_mem)));
         System {
             layout,
             map,
@@ -237,6 +246,7 @@ impl System {
             skipped_cycles: 0,
             trace: TraceLog::new(4096),
             telemetry: None,
+            control,
             blocked_since: vec![None; cfg.n_mem],
             port: None,
             gpu_out: Vec::new(),
@@ -245,6 +255,9 @@ impl System {
             gpu_remote_budgets: Vec::new(),
             cpu_budgets: Vec::new(),
             gpu_forwards: Vec::new(),
+            ctl_blocked: Vec::new(),
+            ctl_depth: Vec::new(),
+            ctl_shed: Vec::new(),
             cfg,
         }
     }
@@ -419,6 +432,53 @@ impl System {
                 );
             }
         }
+        // Adaptive-control decision boundary: one branch when
+        // uncontrolled, a policy evaluation on interval boundaries.
+        if self.control.is_some() {
+            self.control_boundary();
+        }
+    }
+
+    /// Evaluate the adaptive controller if `now` is a decision
+    /// boundary, and apply the scheme it asks for. Fast-forward clamps
+    /// its jumps to the next boundary (see `quiescent_horizon`), so the
+    /// decision log is identical across engine modes.
+    fn control_boundary(&mut self) {
+        let Some(ctl) = self.control.as_deref() else {
+            return;
+        };
+        if !self.now.is_multiple_of(ctl.interval()) {
+            return;
+        }
+        // Reply flits each delegation keeps off the reply network — the
+        // same accounting the telemetry shed counter uses.
+        let shed_flits = u64::from(MsgKind::ReadReply.flits(128, self.cfg.noc.channel_bytes));
+        self.ctl_blocked.clear();
+        self.ctl_depth.clear();
+        self.ctl_shed.clear();
+        for m in &self.mems {
+            self.ctl_blocked.push(m.stats.blocked_cycles);
+            self.ctl_depth.push(m.inj_depth());
+            self.ctl_shed.push(m.stats.delegations * shed_flits);
+        }
+        let input = ControlInput {
+            cycle: self.now,
+            blocked_cycles: &self.ctl_blocked,
+            inj_depth: &self.ctl_depth,
+            shed_flits: &self.ctl_shed,
+        };
+        let switched = self
+            .control
+            .as_deref_mut()
+            .expect("checked above")
+            .observe(&input);
+        if let Some(scheme) = switched {
+            // Applied directly rather than through `set_scheme`: an
+            // external switch re-seats the ladder, the controller's own
+            // actuation must not.
+            self.cfg.scheme = scheme;
+            self.gpu.set_scheme(scheme);
+        }
     }
 
     /// Run for `cycles` cycles.
@@ -540,6 +600,14 @@ impl System {
             let len = t.epoch_len();
             bound = bound.min((now / len + 1) * len);
         }
+        // Adaptive control evaluates at every interval boundary even
+        // across dead spans — otherwise the decision log (and any
+        // de-escalation driven by sustained calm) would depend on the
+        // fast-forward mode.
+        if let Some(c) = self.control.as_deref() {
+            let len = c.interval();
+            bound = bound.min((now / len + 1) * len);
+        }
         let target = horizon.min(bound);
         debug_assert!(target > now, "quiescent horizon must be in the future");
         Some((target, horizon <= bound))
@@ -568,6 +636,9 @@ impl System {
                     self.delegations_sent,
                 );
             }
+        }
+        if self.control.is_some() {
+            self.control_boundary();
         }
     }
 
@@ -670,6 +741,9 @@ impl System {
         self.stats_epoch = self.now;
         if let Some(t) = self.telemetry.as_deref_mut() {
             t.on_stats_reset();
+        }
+        if let Some(c) = self.control.as_deref_mut() {
+            c.on_stats_reset();
         }
     }
 
@@ -1259,6 +1333,13 @@ impl System {
             }
             None => w.bool(false),
         }
+        match self.control.as_deref() {
+            Some(c) => {
+                w.bool(true);
+                c.save_state(w);
+            }
+            None => w.bool(false),
+        }
         if let Some(port) = &self.port {
             w.usize(port.egress.len());
             for p in &port.egress {
@@ -1350,6 +1431,25 @@ impl System {
         } else {
             None
         };
+        match (r.bool()?, sys.control.as_deref_mut()) {
+            (true, Some(c)) => c.load_state(r)?,
+            (false, None) => {}
+            _ => {
+                return Err(SnapError::Corrupt(
+                    "controller presence disagrees with the snapshot config",
+                ))
+            }
+        }
+        // The restored ladder level is authoritative for the active
+        // scheme (the embedded config may carry either the base or an
+        // escalated scheme, depending on when the snapshot was taken).
+        if let Some(c) = sys.control.as_deref() {
+            let scheme = c.scheme();
+            if scheme != sys.cfg.scheme {
+                sys.cfg.scheme = scheme;
+                sys.gpu.set_scheme(scheme);
+            }
+        }
         if let Some(port) = &mut sys.port {
             let n = r.usize()?;
             if n > port.egress_cap {
@@ -1409,6 +1509,21 @@ impl System {
     pub fn set_scheme(&mut self, scheme: Scheme) {
         self.cfg.scheme = scheme;
         self.gpu.set_scheme(scheme);
+        if let Some(c) = self.control.as_deref_mut() {
+            c.rebase(scheme);
+        }
+    }
+
+    /// The adaptive controller's decision log, when the configuration
+    /// carries a control policy.
+    pub fn decision_log(&self) -> Option<&DecisionLog> {
+        self.control.as_deref().map(Controller::log)
+    }
+
+    /// The adaptive controller's current ladder level (`None` on an
+    /// uncontrolled system).
+    pub fn control_level(&self) -> Option<u8> {
+        self.control.as_deref().map(Controller::level)
     }
 
     /// Build the figure-level report.

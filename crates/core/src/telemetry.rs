@@ -299,6 +299,8 @@ impl SystemTelemetry {
     pub fn save_state(&self, w: &mut SnapWriter) {
         w.u64(self.session.config.epoch_len);
         w.usize(self.session.config.ring_cap);
+        w.u64(self.session.config.episode_min_duration);
+        w.u64(self.session.config.episode_merge_gap);
         let (epochs, series) = self.session.sampler.export_state();
         w.u64(epochs);
         w.usize(series.len());
@@ -310,7 +312,7 @@ impl SystemTelemetry {
             }
             w.f64(*last);
         }
-        let (open, closed) = self.session.episodes.export_state();
+        let (open, closed, last_closed) = self.session.episodes.export_state();
         w.usize(open.len());
         for ep in &open {
             match ep {
@@ -324,6 +326,10 @@ impl SystemTelemetry {
         w.usize(closed.len());
         for ep in &closed {
             save_episode(w, ep);
+        }
+        w.usize(last_closed.len());
+        for idx in &last_closed {
+            w.opt_u64(idx.map(|i| i as u64));
         }
         w.usize(self.prev.mem_reply_link_flits.len());
         for row in &self.prev.mem_reply_link_flits {
@@ -357,6 +363,8 @@ impl SystemTelemetry {
         let cfg = TelemetryConfig {
             epoch_len: r.u64()?,
             ring_cap: r.usize()?,
+            episode_min_duration: r.u64()?,
+            episode_merge_gap: r.u64()?,
         };
         let mut t = SystemTelemetry::new(cfg, n_mem);
         let epochs = r.u64()?;
@@ -390,7 +398,23 @@ impl SystemTelemetry {
         for _ in 0..n {
             closed.push(load_episode(r)?);
         }
-        t.session.episodes.import_state(open, closed);
+        let n_last = r.usize()?;
+        let mut last_closed = Vec::with_capacity(n_last.min(1 << 16));
+        for _ in 0..n_last {
+            let idx = match r.opt_u64()? {
+                Some(v) => {
+                    let i = usize::try_from(v)
+                        .map_err(|_| SnapError::Corrupt("merge index out of range"))?;
+                    if i >= closed.len() {
+                        return Err(SnapError::Corrupt("merge index past the closed list"));
+                    }
+                    Some(i)
+                }
+                None => None,
+            };
+            last_closed.push(idx);
+        }
+        t.session.episodes.import_state(open, closed, last_closed);
         let n = r.usize()?;
         let mut flits = Vec::with_capacity(n.min(1 << 16));
         for _ in 0..n {

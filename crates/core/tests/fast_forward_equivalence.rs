@@ -69,6 +69,7 @@ fn assert_modes_equivalent(cfg: SystemConfig, gpu: &str, cpu: &str, telemetry: b
         let t = TelemetryConfig {
             epoch_len: 256,
             ring_cap: 64,
+            ..TelemetryConfig::default()
         };
         fast.enable_telemetry(t);
         reference.enable_telemetry(t);

@@ -37,10 +37,12 @@ fn one_chip_package_is_byte_identical_to_a_plain_system() {
         package.enable_telemetry(TelemetryConfig {
             epoch_len: 256,
             ring_cap: 64,
+            ..TelemetryConfig::default()
         });
         plain.enable_telemetry(TelemetryConfig {
             epoch_len: 256,
             ring_cap: 64,
+            ..TelemetryConfig::default()
         });
         package.run(700);
         plain.run(700);
@@ -77,6 +79,7 @@ fn assert_two_chip_engine_invariance(scheme: Scheme, shards: usize) {
         sys.enable_telemetry(TelemetryConfig {
             epoch_len: 256,
             ring_cap: 64,
+            ..TelemetryConfig::default()
         });
         sys.run(500);
         sys.reset_stats();
@@ -185,6 +188,20 @@ fn degenerate_fabric_configs_are_rejected_up_front() {
     assert!(reject(|f| f.gateways = 1).contains("at least 2"));
     assert!(reject(|f| f.gateways = 999).contains("memory nodes"));
     assert!(reject(|f| f.chips = 3).contains("pair"));
+    // A shared-VC net cannot host the gateway adapter: the fabric path
+    // separates cross-chip replies from local requests by physical
+    // network. (Composition found by `clognet fuzz`.)
+    let mut cfg = SystemConfig {
+        fabric: Some(FabricConfig::default()),
+        ..SystemConfig::default()
+    };
+    cfg.noc.virtual_nets = Some(clognet_proto::VirtualNetConfig {
+        request_vcs: 2,
+        reply_vcs: 2,
+    });
+    assert!(clognet_core::validate_fabric(&cfg)
+        .unwrap_err()
+        .contains("vnets"));
     // No fabric at all is always fine.
     clognet_core::validate_fabric(&SystemConfig::default()).unwrap();
 }

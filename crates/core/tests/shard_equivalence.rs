@@ -22,6 +22,7 @@ fn assert_sharded_matches(cfg: SystemConfig, gpu: &str, cpu: &str, shards: usize
         sys.enable_telemetry(TelemetryConfig {
             epoch_len: 256,
             ring_cap: 64,
+            ..TelemetryConfig::default()
         });
     }
     sharded.run(400);

@@ -124,6 +124,7 @@ fn roundtrip_carries_telemetry() {
     let tcfg = TelemetryConfig {
         epoch_len: 256,
         ring_cap: 64,
+        ..TelemetryConfig::default()
     };
     let mut straight = System::new(cfg.clone(), "HS", "bodytrack");
     straight.enable_telemetry(tcfg);

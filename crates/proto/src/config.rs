@@ -569,6 +569,90 @@ impl Default for FabricConfig {
     }
 }
 
+/// Which adaptive-control policy drives the epoch-boundary control
+/// loop (see DESIGN.md §14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ControlPolicyKind {
+    /// Observe and log at every decision boundary, never actuate. A
+    /// run under this policy produces byte-identical reports to an
+    /// uncontrolled run — the control-loop equivalent of a no-op.
+    NoOp,
+    /// Hysteresis threshold ladder: escalate
+    /// Baseline → Realistic Probing → Delegated Replies when clogging
+    /// signals cross the *enter* thresholds, de-escalate when they fall
+    /// below the *exit* thresholds. (The middle rung stands in for the
+    /// paper's AVCP point: a mitigation that spends request-network
+    /// bandwidth rather than reply-network delegation.)
+    Hysteresis,
+}
+
+impl ControlPolicyKind {
+    /// Figure label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ControlPolicyKind::NoOp => "NoOp",
+            ControlPolicyKind::Hysteresis => "Hysteresis",
+        }
+    }
+}
+
+/// Adaptive-control parameters. All of these are **identity knobs**:
+/// the controller actuates `set_scheme` mid-run, so every field changes
+/// simulated behavior and every field participates in the canonical
+/// fingerprint and in snapshots. The controller has no execution-mode
+/// knobs.
+///
+/// Blocked-fraction thresholds are expressed in per-mille (‰, 0..=1000)
+/// of a decision interval so the config stays `Eq`/`Hash`-able.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ControlConfig {
+    /// Which policy evaluates the telemetry snapshot.
+    pub policy: ControlPolicyKind,
+    /// Decision interval in cycles: the controller observes and (maybe)
+    /// actuates only at multiples of this, mirroring telemetry epochs.
+    pub interval: u64,
+    /// Escalate when any memory node spent at least this fraction
+    /// (per-mille) of the last interval blocked.
+    pub enter_blocked_pm: u32,
+    /// De-escalate when every node's blocked fraction (per-mille) over
+    /// the last interval is below this.
+    pub exit_blocked_pm: u32,
+    /// Escalate when a blocked streak (consecutive hot intervals on one
+    /// node) has lasted at least this many cycles — the episode-duration
+    /// trigger.
+    pub enter_episode: u64,
+    /// A streak must be fully cold for de-escalation; this many cycles
+    /// of sustained calm are required before stepping down.
+    pub exit_episode: u64,
+    /// Minimum decision intervals between scheme changes (dwell), so
+    /// the ladder cannot thrash within one clog episode.
+    pub dwell: u64,
+}
+
+impl Default for ControlConfig {
+    fn default() -> Self {
+        ControlConfig {
+            policy: ControlPolicyKind::Hysteresis,
+            interval: 500,
+            enter_blocked_pm: 250,
+            exit_blocked_pm: 50,
+            enter_episode: 1_000,
+            exit_episode: 2_000,
+            dwell: 2,
+        }
+    }
+}
+
+impl ControlConfig {
+    /// The static no-op policy with default observation cadence.
+    pub fn noop() -> Self {
+        ControlConfig {
+            policy: ControlPolicyKind::NoOp,
+            ..ControlConfig::default()
+        }
+    }
+}
+
 /// The complete simulated-system configuration (Table I defaults).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SystemConfig {
@@ -607,6 +691,10 @@ pub struct SystemConfig {
     /// Inter-chip fabric; `None` = single-chip system (the default, and
     /// byte-identical to builds that predate the fabric).
     pub fabric: Option<FabricConfig>,
+    /// Adaptive control loop; `None` = static scheme for the whole run
+    /// (the default, and byte-identical to builds that predate the
+    /// controller).
+    pub control: Option<ControlConfig>,
 }
 
 impl Default for SystemConfig {
@@ -629,6 +717,7 @@ impl Default for SystemConfig {
             cta_sched: CtaSched::RoundRobin,
             seed: 0x0C10_64E7,
             fabric: None,
+            control: None,
         }
     }
 }
@@ -663,6 +752,12 @@ impl SystemConfig {
     /// Attach an inter-chip fabric.
     pub fn with_fabric(mut self, fabric: FabricConfig) -> Self {
         self.fabric = Some(fabric);
+        self
+    }
+
+    /// Attach an adaptive control loop.
+    pub fn with_control(mut self, control: ControlConfig) -> Self {
+        self.control = Some(control);
         self
     }
 
@@ -761,6 +856,19 @@ mod tests {
         assert_eq!(f.reply_link_flits, 4);
         let c = c.with_fabric(f);
         assert_eq!(c.chips(), 2);
+    }
+
+    #[test]
+    fn control_defaults_and_builder() {
+        let c = SystemConfig::default();
+        assert!(c.control.is_none());
+        let ctl = ControlConfig::default();
+        assert_eq!(ctl.policy, ControlPolicyKind::Hysteresis);
+        assert_eq!(ctl.interval, 500);
+        assert!(ctl.enter_blocked_pm > ctl.exit_blocked_pm);
+        assert_eq!(ControlConfig::noop().policy, ControlPolicyKind::NoOp);
+        let c = c.with_control(ctl);
+        assert_eq!(c.control, Some(ctl));
     }
 
     #[test]

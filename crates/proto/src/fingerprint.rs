@@ -21,8 +21,8 @@
 //! silently violate the cache's byte-identity contract.
 
 use crate::config::{
-    CacheGeometry, CtaSched, FabricInterleave, FabricTopology, L1Org, LayoutKind, RoutingPolicy,
-    Scheme, SystemConfig, Topology,
+    CacheGeometry, ControlPolicyKind, CtaSched, FabricInterleave, FabricTopology, L1Org,
+    LayoutKind, RoutingPolicy, Scheme, SystemConfig, Topology,
 };
 use crate::fxhash::FxHasher;
 use std::fmt::Write as _;
@@ -40,7 +40,13 @@ use std::hash::Hasher;
 /// `FabricConfig` field is an identity knob and enters the canonical
 /// string (as `fabric=none;` when absent). The fabric has no
 /// execution-mode knobs.
-pub const FINGERPRINT_VERSION: u32 = 3;
+///
+/// v4: [`SystemConfig`] gained the optional adaptive control loop;
+/// every `ControlConfig` field is an identity knob (the controller
+/// actuates `set_scheme` mid-run) and enters the canonical string (as
+/// `control=none;` when absent). The controller has no execution-mode
+/// knobs.
+pub const FINGERPRINT_VERSION: u32 = 4;
 
 fn push_kv(out: &mut String, key: &str, value: impl std::fmt::Display) {
     let _ = write!(out, "{key}={value};");
@@ -217,6 +223,26 @@ pub fn canonical_config(cfg: &SystemConfig) -> String {
         }
         None => push_kv(&mut out, "fabric", "none"),
     }
+    // Adaptive control loop: all fields are identity knobs (DESIGN.md §14).
+    match &cfg.control {
+        Some(ctl) => {
+            push_kv(
+                &mut out,
+                "control.policy",
+                match ctl.policy {
+                    ControlPolicyKind::NoOp => "noop",
+                    ControlPolicyKind::Hysteresis => "hysteresis",
+                },
+            );
+            push_kv(&mut out, "control.interval", ctl.interval);
+            push_kv(&mut out, "control.enter_blocked", ctl.enter_blocked_pm);
+            push_kv(&mut out, "control.exit_blocked", ctl.exit_blocked_pm);
+            push_kv(&mut out, "control.enter_episode", ctl.enter_episode);
+            push_kv(&mut out, "control.exit_episode", ctl.exit_episode);
+            push_kv(&mut out, "control.dwell", ctl.dwell);
+        }
+        None => push_kv(&mut out, "control", "none"),
+    }
     out
 }
 
@@ -305,11 +331,12 @@ mod tests {
         });
         cfg.gpu.flush_interval = None;
         let s = canonical_config(&cfg);
-        assert!(s.starts_with("clognet-fp-v3;"));
+        assert!(s.starts_with("clognet-fp-v4;"));
         assert!(s.contains("noc.vnets=1+3;"));
         assert!(s.contains("gpu.flush=none;"));
         assert!(s.contains("scheme=baseline;"));
         assert!(s.contains("fabric=none;"));
+        assert!(s.contains("control=none;"));
         // Optional fields must differ from their `none` spellings.
         assert_ne!(s, canonical_config(&SystemConfig::default()));
     }
@@ -339,6 +366,34 @@ mod tests {
         for v in variants {
             let mut cfg = base.clone();
             v(cfg.fabric.as_mut().unwrap());
+            assert_ne!(fp, job_fingerprint(&cfg, "HS", "bodytrack", 500, 2000));
+            assert_ne!(sk, snapshot_key(&cfg, "HS", "bodytrack", 500));
+        }
+    }
+
+    #[test]
+    fn every_control_knob_is_an_identity_knob() {
+        use crate::config::ControlConfig;
+        let base = SystemConfig::default().with_control(ControlConfig::default());
+        let fp = job_fingerprint(&base, "HS", "bodytrack", 500, 2000);
+        let sk = snapshot_key(&base, "HS", "bodytrack", 500);
+        // Attaching a controller at all must move both keys.
+        let plain = SystemConfig::default();
+        assert_ne!(fp, job_fingerprint(&plain, "HS", "bodytrack", 500, 2000));
+        assert_ne!(sk, snapshot_key(&plain, "HS", "bodytrack", 500));
+        // Every ControlConfig field must move both keys.
+        let variants: [fn(&mut ControlConfig); 7] = [
+            |c| c.policy = ControlPolicyKind::NoOp,
+            |c| c.interval = 250,
+            |c| c.enter_blocked_pm = 999,
+            |c| c.exit_blocked_pm = 1,
+            |c| c.enter_episode = 77,
+            |c| c.exit_episode = 7_777,
+            |c| c.dwell = 9,
+        ];
+        for v in variants {
+            let mut cfg = base.clone();
+            v(cfg.control.as_mut().unwrap());
             assert_ne!(fp, job_fingerprint(&cfg, "HS", "bodytrack", 500, 2000));
             assert_ne!(sk, snapshot_key(&cfg, "HS", "bodytrack", 500));
         }

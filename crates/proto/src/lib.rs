@@ -36,9 +36,9 @@ pub mod snap;
 
 pub use addr_map::AddressMap;
 pub use config::{
-    CacheGeometry, CpuConfig, CtaSched, DrKnobs, DramConfig, FabricConfig, FabricInterleave,
-    FabricTopology, GpuConfig, L1Org, LayoutKind, LlcConfig, NocConfig, RoutingPolicy, Scheme,
-    SystemConfig, Topology, VirtualNetConfig,
+    CacheGeometry, ControlConfig, ControlPolicyKind, CpuConfig, CtaSched, DrKnobs, DramConfig,
+    FabricConfig, FabricInterleave, FabricTopology, GpuConfig, L1Org, LayoutKind, LlcConfig,
+    NocConfig, RoutingPolicy, Scheme, SystemConfig, Topology, VirtualNetConfig,
 };
 pub use fingerprint::{
     canonical_config, canonical_job, fingerprint_hex, job_fingerprint, snapshot_key,

@@ -43,9 +43,9 @@
 //! ```
 
 use crate::config::{
-    CacheGeometry, CpuConfig, CtaSched, DrKnobs, DramConfig, FabricConfig, FabricInterleave,
-    FabricTopology, GpuConfig, L1Org, LayoutKind, LlcConfig, NocConfig, RoutingPolicy, Scheme,
-    SystemConfig, Topology, VirtualNetConfig,
+    CacheGeometry, ControlConfig, ControlPolicyKind, CpuConfig, CtaSched, DrKnobs, DramConfig,
+    FabricConfig, FabricInterleave, FabricTopology, GpuConfig, L1Org, LayoutKind, LlcConfig,
+    NocConfig, RoutingPolicy, Scheme, SystemConfig, Topology, VirtualNetConfig,
 };
 use crate::ids::{Addr, NodeId};
 use crate::packet::{MsgKind, Packet, PacketId, Priority};
@@ -62,7 +62,11 @@ pub const SNAP_MAGIC: [u8; 8] = *b"CLOGSNAP";
 /// * v2 — [`SystemConfig`] gained the optional inter-chip fabric tail,
 ///   and system bodies open with a chip-arrangement tag (single-chip
 ///   vs. multi-chip).
-pub const SNAP_VERSION: u32 = 2;
+/// * v3 — [`SystemConfig`] gained the optional adaptive-control tail;
+///   system bodies carry the controller state + decision log, and the
+///   telemetry episode detector carries its configurable thresholds
+///   plus merge bookkeeping.
+pub const SNAP_VERSION: u32 = 3;
 
 /// Why a snapshot byte stream could not be decoded.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -572,6 +576,23 @@ pub fn save_config(w: &mut SnapWriter, c: &SystemConfig) {
         }
         None => w.bool(false),
     }
+    // control (v3 tail)
+    match &c.control {
+        Some(ctl) => {
+            w.bool(true);
+            w.u8(match ctl.policy {
+                ControlPolicyKind::NoOp => 0,
+                ControlPolicyKind::Hysteresis => 1,
+            });
+            w.u64(ctl.interval);
+            w.u32(ctl.enter_blocked_pm);
+            w.u32(ctl.exit_blocked_pm);
+            w.u64(ctl.enter_episode);
+            w.u64(ctl.exit_episode);
+            w.u64(ctl.dwell);
+        }
+        None => w.bool(false),
+    }
 }
 
 fn routing_tag(p: RoutingPolicy) -> u8 {
@@ -729,6 +750,23 @@ pub fn load_config(r: &mut SnapReader<'_>) -> Result<SystemConfig, SnapError> {
     } else {
         None
     };
+    let control = if r.bool()? {
+        Some(ControlConfig {
+            policy: match r.u8()? {
+                0 => ControlPolicyKind::NoOp,
+                1 => ControlPolicyKind::Hysteresis,
+                t => return Err(tag_err("control_policy", t)),
+            },
+            interval: r.u64()?,
+            enter_blocked_pm: r.u32()?,
+            exit_blocked_pm: r.u32()?,
+            enter_episode: r.u64()?,
+            exit_episode: r.u64()?,
+            dwell: r.u64()?,
+        })
+    } else {
+        None
+    };
     Ok(SystemConfig {
         layout,
         mesh_width,
@@ -747,6 +785,7 @@ pub fn load_config(r: &mut SnapReader<'_>) -> Result<SystemConfig, SnapError> {
         cta_sched,
         seed,
         fabric,
+        control,
     })
 }
 
@@ -838,6 +877,15 @@ mod tests {
             interleave: FabricInterleave::Modulo,
             reply_link_flits: 1,
             reply_hop_latency: 40,
+        });
+        c.control = Some(ControlConfig {
+            policy: ControlPolicyKind::Hysteresis,
+            interval: 250,
+            enter_blocked_pm: 400,
+            exit_blocked_pm: 25,
+            enter_episode: 1_500,
+            exit_episode: 3_000,
+            dwell: 3,
         });
         let mut w = SnapWriter::new();
         save_config(&mut w, &c);

@@ -33,16 +33,48 @@ impl Episode {
 /// cycle, and [`add_shed`](Self::add_shed) when a delegation avoids a
 /// reply injection. [`finish`](Self::finish) closes episodes still
 /// open at end of run.
+///
+/// Two thresholds tune what counts as one clog (both default to 0, in
+/// which case the fold is the raw transition record — byte-identical
+/// to the historical behavior):
+///
+/// * **minimum duration** — an episode shorter than this many cycles
+///   is a blip, not a clog, and is discarded on exit;
+/// * **merge gap** — a node that re-blocks within this many cycles of
+///   its previous exit is still in the *same* clog: the new interval
+///   extends the previous episode (peak depth maxed, shed summed)
+///   instead of opening a fresh record.
 #[derive(Debug, Clone, Default)]
 pub struct EpisodeDetector {
     open: Vec<Option<Episode>>, // indexed by node
     closed: Vec<Episode>,
+    min_duration: u64,
+    merge_gap: u64,
+    /// Per-node index of the node's most recent entry in `closed` (the
+    /// merge target while the gap is still open).
+    last_closed: Vec<Option<usize>>,
 }
 
 impl EpisodeDetector {
-    /// An empty detector.
+    /// An empty detector with both thresholds at 0 (record everything,
+    /// merge nothing).
     pub fn new() -> Self {
         EpisodeDetector::default()
+    }
+
+    /// An empty detector with the given minimum episode duration and
+    /// re-block merge gap, both in cycles.
+    pub fn with_thresholds(min_duration: u64, merge_gap: u64) -> Self {
+        EpisodeDetector {
+            min_duration,
+            merge_gap,
+            ..EpisodeDetector::default()
+        }
+    }
+
+    /// The configured `(min_duration, merge_gap)` thresholds.
+    pub fn thresholds(&self) -> (u64, u64) {
+        (self.min_duration, self.merge_gap)
     }
 
     fn slot(&mut self, node: usize) -> &mut Option<Episode> {
@@ -67,10 +99,31 @@ impl EpisodeDetector {
         }
     }
 
-    /// A node exited the blocked state, closing its open episode.
+    /// A node exited the blocked state, closing its open episode. The
+    /// interval merges into the node's previous episode when it starts
+    /// within the merge gap, and is discarded when shorter than the
+    /// minimum duration.
     pub fn exit(&mut self, node: usize, now: u64) {
         if let Some(mut ep) = self.slot(node).take() {
             ep.end = now.max(ep.start);
+            if self.merge_gap > 0 {
+                if let Some(&Some(idx)) = self.last_closed.get(node) {
+                    let prev = &mut self.closed[idx];
+                    if ep.start.saturating_sub(prev.end) <= self.merge_gap {
+                        prev.end = ep.end.max(prev.end);
+                        prev.peak_depth = prev.peak_depth.max(ep.peak_depth);
+                        prev.flits_shed += ep.flits_shed;
+                        return;
+                    }
+                }
+            }
+            if ep.duration() < self.min_duration {
+                return;
+            }
+            if node >= self.last_closed.len() {
+                self.last_closed.resize(node + 1, None);
+            }
+            self.last_closed[node] = Some(self.closed.len());
             self.closed.push(ep);
         }
     }
@@ -101,16 +154,26 @@ impl EpisodeDetector {
         }
     }
 
-    /// Capture `(open, closed)` episode lists for snapshot
-    /// serialization.
-    pub fn export_state(&self) -> (Vec<Option<Episode>>, Vec<Episode>) {
-        (self.open.clone(), self.closed.clone())
+    /// Capture `(open, closed, last_closed)` state for snapshot
+    /// serialization (thresholds travel in the telemetry config).
+    pub fn export_state(&self) -> (Vec<Option<Episode>>, Vec<Episode>, Vec<Option<usize>>) {
+        (
+            self.open.clone(),
+            self.closed.clone(),
+            self.last_closed.clone(),
+        )
     }
 
     /// Overlay a state captured by [`EpisodeDetector::export_state`].
-    pub fn import_state(&mut self, open: Vec<Option<Episode>>, closed: Vec<Episode>) {
+    pub fn import_state(
+        &mut self,
+        open: Vec<Option<Episode>>,
+        closed: Vec<Episode>,
+        last_closed: Vec<Option<usize>>,
+    ) {
         self.open = open;
         self.closed = closed;
+        self.last_closed = last_closed;
     }
 
     /// All closed episodes, in close order.
@@ -198,6 +261,61 @@ mod tests {
         assert_eq!(d.episodes().len(), 1);
         assert_eq!(d.episodes()[0].end, 900);
         assert_eq!(d.episodes()[0].peak_depth, 9);
+    }
+
+    #[test]
+    fn min_duration_discards_blips() {
+        let mut d = EpisodeDetector::with_thresholds(50, 0);
+        d.enter(0, 100);
+        d.exit(0, 120); // 20-cycle blip: dropped
+        d.enter(0, 200);
+        d.exit(0, 300); // 100-cycle clog: kept
+        assert_eq!(d.episodes().len(), 1);
+        assert_eq!(d.episodes()[0].start, 200);
+    }
+
+    #[test]
+    fn merge_gap_folds_a_quick_reblock_into_one_episode() {
+        let mut d = EpisodeDetector::with_thresholds(0, 30);
+        d.enter(1, 100);
+        d.observe_depth(1, 4);
+        d.add_shed(1, 8);
+        d.exit(1, 200);
+        // Re-blocks 20 cycles later (within the 30-cycle gap): same clog.
+        d.enter(1, 220);
+        d.observe_depth(1, 9);
+        d.add_shed(1, 3);
+        d.exit(1, 260);
+        // Re-blocks 100 cycles later (past the gap): a new episode.
+        d.enter(1, 360);
+        d.exit(1, 400);
+        // Another node is never merged across.
+        d.enter(2, 261);
+        d.exit(2, 262);
+        let at1: Vec<_> = d.episodes_at(1).collect();
+        assert_eq!(at1.len(), 2);
+        assert_eq!((at1[0].start, at1[0].end), (100, 260));
+        assert_eq!(at1[0].peak_depth, 9);
+        assert_eq!(at1[0].flits_shed, 11);
+        assert_eq!(at1[1].start, 360);
+        assert_eq!(d.episodes_at(2).count(), 1);
+    }
+
+    #[test]
+    fn zero_thresholds_match_the_default_fold() {
+        let script = |d: &mut EpisodeDetector| {
+            d.enter(0, 10);
+            d.exit(0, 11);
+            d.enter(0, 12);
+            d.observe_depth(0, 5);
+            d.exit(0, 90);
+        };
+        let mut plain = EpisodeDetector::new();
+        let mut tuned = EpisodeDetector::with_thresholds(0, 0);
+        script(&mut plain);
+        script(&mut tuned);
+        assert_eq!(plain.episodes(), tuned.episodes());
+        assert_eq!(plain.episodes().len(), 2);
     }
 
     #[test]

@@ -38,6 +38,12 @@ pub struct TelemetryConfig {
     /// Maximum epochs retained per series; older epochs are evicted
     /// (bounded memory for arbitrarily long runs).
     pub ring_cap: usize,
+    /// Discard clog episodes shorter than this many cycles (default 0:
+    /// record every blocked interval, the historical behavior).
+    pub episode_min_duration: u64,
+    /// Fold a re-block within this many cycles of the node's previous
+    /// exit into the same episode (default 0: never merge).
+    pub episode_merge_gap: u64,
 }
 
 impl Default for TelemetryConfig {
@@ -45,6 +51,8 @@ impl Default for TelemetryConfig {
         TelemetryConfig {
             epoch_len: 500,
             ring_cap: 4096,
+            episode_min_duration: 0,
+            episode_merge_gap: 0,
         }
     }
 }
@@ -72,7 +80,10 @@ impl Telemetry {
             config,
             registry: Registry::new(),
             sampler: EpochSampler::new(config.ring_cap),
-            episodes: EpisodeDetector::new(),
+            episodes: EpisodeDetector::with_thresholds(
+                config.episode_min_duration,
+                config.episode_merge_gap,
+            ),
         }
     }
 
